@@ -1,0 +1,82 @@
+// Ablation: stack depth for the greedy layer-wise sls encoder.
+//
+// The paper's model is one layer. This bench trains stacks of depth 1-3
+// (slsGRBM bottom, slsRBM above, per-layer re-supervision) and reports
+// downstream k-means accuracy at each depth, against the raw-data
+// baseline. Expected shape: depth 1 captures most of the gain, a second
+// layer can add a little, and deeper greedy layers without global
+// fine-tuning drift back down (standard DBN behaviour on small data).
+#include <iostream>
+
+#include "clustering/kmeans.h"
+#include "core/stacked.h"
+#include "data/paper_datasets.h"
+#include "data/transforms.h"
+#include "eval/experiment.h"
+#include "metrics/external.h"
+#include "util/string_util.h"
+
+using namespace mcirbm;  // NOLINT: bench driver
+
+namespace {
+
+void RunDataset(const data::Dataset& full) {
+  const data::Dataset ds = data::StratifiedSubsample(full, 250, 1);
+  linalg::Matrix x = ds.x;
+  data::StandardizeInPlace(&x);
+
+  const eval::ExperimentConfig paper = eval::MakePaperConfig(true);
+
+  core::StackedLayerConfig bottom;
+  bottom.model = core::ModelKind::kSlsGrbm;
+  bottom.rbm = paper.rbm;
+  bottom.sls = paper.sls;
+  bottom.supervision = paper.supervision;
+  bottom.supervision.num_clusters = ds.num_classes;
+
+  core::StackedLayerConfig middle = bottom;
+  middle.model = core::ModelKind::kSlsRbm;
+  middle.rbm.num_hidden = paper.rbm.num_hidden / 2;
+  middle.rbm.learning_rate = 0.01;
+
+  core::StackedLayerConfig top = middle;
+  top.rbm.num_hidden = paper.rbm.num_hidden / 4;
+
+  core::StackedEncoder stack({bottom, middle, top});
+  stack.Train(x, 7);
+
+  clustering::KMeansConfig km;
+  km.k = ds.num_classes;
+  std::cout << "\ndataset " << ds.name << "\n";
+  std::cout << "  depth  width  acc(k-means)\n";
+  {
+    const auto raw = clustering::KMeans(km).Cluster(ds.x, 1);
+    std::cout << "  raw    " << PadLeft(std::to_string(ds.num_features()), 5)
+              << PadLeft(FormatDouble(metrics::ClusteringAccuracy(
+                                          ds.labels, raw.assignment),
+                                      4),
+                         12)
+              << "\n";
+  }
+  for (std::size_t depth = 1; depth <= stack.num_layers(); ++depth) {
+    const linalg::Matrix features = stack.Transform(x, depth);
+    const auto result = clustering::KMeans(km).Cluster(features, 1);
+    std::cout << "    " << depth << "    "
+              << PadLeft(std::to_string(features.cols()), 5)
+              << PadLeft(FormatDouble(metrics::ClusteringAccuracy(
+                                          ds.labels, result.assignment),
+                                      4),
+                         12)
+              << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== ablation: greedy stack depth (sls encoders) ===\n";
+  for (const int index : {4, 8}) {
+    RunDataset(data::GenerateMsraLike(index, 7));
+  }
+  return 0;
+}

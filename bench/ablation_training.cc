@@ -1,0 +1,104 @@
+// Ablation: CD variants and regularizers for the plain-RBM substrate.
+//
+// Orthogonal to the sls objective: how do CD-k depth, persistent CD,
+// the sparsity penalty and PCA weight initialization change the plain
+// encoder? Reported per variant: final reconstruction error, mean hidden
+// activation, pseudo-log-likelihood (binary family), and downstream
+// k-means accuracy on the hidden features.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "clustering/kmeans.h"
+#include "data/paper_datasets.h"
+#include "data/transforms.h"
+#include "metrics/external.h"
+#include "rbm/free_energy.h"
+#include "rbm/rbm.h"
+#include "util/string_util.h"
+
+using namespace mcirbm;  // NOLINT: bench driver
+
+namespace {
+
+struct Variant {
+  std::string name;
+  rbm::RbmConfig config;
+};
+
+void RunDataset(const data::Dataset& full) {
+  const data::Dataset ds = data::StratifiedSubsample(full, 250, 1);
+  linalg::Matrix x = ds.x;
+  data::MinMaxScaleInPlace(&x);
+  data::BinarizeAtColumnMeanInPlace(&x);
+
+  rbm::RbmConfig base;
+  base.num_visible = static_cast<int>(x.cols());
+  base.num_hidden = 32;
+  base.epochs = 60;
+  base.learning_rate = 0.05;
+  base.batch_size = 25;
+  base.seed = 11;
+
+  std::vector<Variant> variants;
+  variants.push_back({"CD-1 (paper)", base});
+  {
+    rbm::RbmConfig c = base;
+    c.cd_k = 3;
+    variants.push_back({"CD-3", c});
+  }
+  {
+    rbm::RbmConfig c = base;
+    c.use_persistent_cd = true;
+    variants.push_back({"PCD-1", c});
+  }
+  {
+    rbm::RbmConfig c = base;
+    c.sparsity_target = 0.1;
+    c.sparsity_cost = 1.0;
+    variants.push_back({"CD-1 + sparsity(0.1)", c});
+  }
+  {
+    rbm::RbmConfig c = base;
+    c.weight_init = rbm::RbmConfig::WeightInit::kPca;
+    variants.push_back({"CD-1 + PCA init", c});
+  }
+
+  std::cout << "\ndataset " << ds.name << "\n";
+  std::cout << "  variant                 recon    mean(h)  PLL       "
+               "acc(hidden)\n";
+  for (const auto& variant : variants) {
+    rbm::Rbm model(variant.config);
+    const auto history = model.Train(x);
+    const double pll = rbm::PseudoLogLikelihood(model, x, 3);
+    clustering::KMeansConfig km;
+    km.k = ds.num_classes;
+    const double acc = metrics::ClusteringAccuracy(
+        ds.labels,
+        clustering::KMeans(km).Cluster(model.HiddenFeatures(x), 1)
+            .assignment);
+    std::cout << "  " << PadRight(variant.name, 24)
+              << PadLeft(FormatDouble(history.back().reconstruction_error, 3),
+                         7)
+              << PadLeft(FormatDouble(history.back().mean_hidden_activation,
+                                      3),
+                         9)
+              << PadLeft(FormatDouble(pll, 1), 10)
+              << PadLeft(FormatDouble(acc, 4), 12) << "\n";
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== ablation: CD variants / regularizers (binary RBM) ===\n";
+  for (const int index : {1, 5}) {
+    RunDataset(data::GenerateUciLike(index, 7));
+  }
+  std::cout << "\nreading: the variants end close in likelihood on these "
+               "small sets (PCD slightly ahead of CD-1); the sparsity "
+               "penalty reliably drives mean activation toward its target "
+               "and can sharpen downstream clusters; PCA init changes "
+               "where training starts, not where it ends.\n";
+  return 0;
+}

@@ -1,0 +1,100 @@
+#include "bench_common.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+
+#include "eval/report.h"
+#include "util/timer.h"
+
+namespace mcirbm::bench {
+namespace {
+
+long EnvLong(const char* name, long fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atol(value) : fallback;
+}
+
+double EnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atof(value) : fallback;
+}
+
+}  // namespace
+
+eval::ExperimentConfig MakeBenchConfig(bool grbm_family) {
+  eval::ExperimentConfig config = eval::MakePaperConfig(grbm_family);
+  config.repeats = static_cast<int>(EnvLong("MCIRBM_BENCH_REPEATS", 3));
+  config.seed = static_cast<std::uint64_t>(EnvLong("MCIRBM_BENCH_SEED", 7));
+  if (EnvLong("MCIRBM_BENCH_FULL", 0) == 0) {
+    config.max_instances =
+        static_cast<std::size_t>(EnvLong("MCIRBM_BENCH_MAX_N", 250));
+  }
+  config.sls.supervision_scale =
+      EnvDouble("MCIRBM_SLS_SCALE", config.sls.supervision_scale);
+  config.sls.disperse_weight =
+      EnvDouble("MCIRBM_SLS_DW", config.sls.disperse_weight);
+  config.supervision.kmeans_voters = static_cast<int>(
+      EnvLong("MCIRBM_SUP_KM_VOTERS", config.supervision.kmeans_voters));
+  config.sls.max_grad_norm =
+      EnvDouble("MCIRBM_SLS_CAP", config.sls.max_grad_norm);
+  config.rbm.epochs =
+      static_cast<int>(EnvLong("MCIRBM_BENCH_EPOCHS", config.rbm.epochs));
+  config.supervision_cluster_factor = EnvDouble(
+      "MCIRBM_SUP_FACTOR", config.supervision_cluster_factor);
+  config.rbm.num_hidden = static_cast<int>(
+      EnvLong("MCIRBM_BENCH_HIDDEN", config.rbm.num_hidden));
+  config.rbm.sample_hidden_states =
+      EnvLong("MCIRBM_BENCH_SAMPLE_H", config.rbm.sample_hidden_states ? 1
+                                                                       : 0)
+      != 0;
+  return config;
+}
+
+const std::vector<eval::DatasetExperimentResult>& FamilyResults(
+    bool grbm_family) {
+  static std::map<bool, std::vector<eval::DatasetExperimentResult>> cache;
+  auto it = cache.find(grbm_family);
+  if (it == cache.end()) {
+    WallTimer timer;
+    std::cout << "running " << (grbm_family ? "datasets I (MSRA-MM-like)"
+                                            : "datasets II (UCI-like)")
+              << " experiments"
+              << (std::getenv("MCIRBM_BENCH_FULL") ? " [full size]"
+                                                   : " [fast mode]")
+              << "...\n"
+              << std::flush;
+    it = cache.emplace(grbm_family,
+                       RunFamilyExperiments(MakeBenchConfig(grbm_family)))
+             .first;
+    std::cout << "experiments done in " << timer.Seconds() << "s\n";
+  }
+  return it->second;
+}
+
+int RunTableBench(eval::PaperTable table) {
+  const bool grbm = eval::PaperTableIsGrbmFamily(table);
+  const auto& results = FamilyResults(grbm);
+  eval::PrintTableComparison(std::cout, table, results);
+  eval::PrintFigureSeries(std::cout, table, results);
+  const auto checks = eval::EvaluateShapeChecks(
+      results, eval::PaperTableMetric(table), grbm);
+  return eval::PrintShapeChecks(std::cout, checks);
+}
+
+int RunAveragesBench(bool grbm_family) {
+  const auto& results = FamilyResults(grbm_family);
+  eval::PrintAveragesFigure(std::cout, grbm_family, results);
+  int failures = 0;
+  const std::vector<std::string> metrics =
+      grbm_family ? std::vector<std::string>{"accuracy", "purity", "fmi"}
+                  : std::vector<std::string>{"accuracy", "rand", "fmi"};
+  for (const auto& metric : metrics) {
+    const auto checks =
+        eval::EvaluateShapeChecks(results, metric, grbm_family);
+    failures += eval::PrintShapeChecks(std::cout, checks);
+  }
+  return failures;
+}
+
+}  // namespace mcirbm::bench

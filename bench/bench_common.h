@@ -1,0 +1,38 @@
+// Shared driver for the table/figure bench binaries.
+//
+// Environment knobs (all optional):
+//   MCIRBM_BENCH_FULL=1        run at full dataset size (default: capped)
+//   MCIRBM_BENCH_MAX_N=<int>   instance cap in fast mode (default 250)
+//   MCIRBM_BENCH_REPEATS=<int> repeats per dataset (default 3)
+//   MCIRBM_BENCH_SEED=<int>    experiment seed (default 7)
+//   MCIRBM_SLS_SCALE=<float>   override SlsConfig::supervision_scale
+#ifndef MCIRBM_BENCH_BENCH_COMMON_H_
+#define MCIRBM_BENCH_BENCH_COMMON_H_
+
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/paper_reference.h"
+
+namespace mcirbm::bench {
+
+/// Experiment configuration honoring the environment knobs above.
+eval::ExperimentConfig MakeBenchConfig(bool grbm_family);
+
+/// Runs (or reuses a per-process cache of) the family experiments for the
+/// given config. The cache lets one binary print several tables/figures
+/// without re-running the 9/6-dataset sweep.
+const std::vector<eval::DatasetExperimentResult>& FamilyResults(
+    bool grbm_family);
+
+/// Full output for one paper table: comparison table, figure series, the
+/// averages block, and shape checks. Returns the number of failed checks.
+int RunTableBench(eval::PaperTable table);
+
+/// Output for the averages figures (Fig. 5 / Fig. 9). Returns the number
+/// of failed shape checks across the family's metrics.
+int RunAveragesBench(bool grbm_family);
+
+}  // namespace mcirbm::bench
+
+#endif  // MCIRBM_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,100 @@
+// Calibration tool: sweeps sls hyper-parameters on one synthetic dataset
+// and prints raw/plain/sls clustering accuracy so the experiment defaults
+// (supervision_scale, epochs, hidden width) can be chosen with evidence.
+//
+// Usage: calibrate [grbm|rbm] [dataset-separation] [n] [d]
+#include <cstdlib>
+#include <iostream>
+
+#include "clustering/kmeans.h"
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "data/transforms.h"
+#include "eval/algorithms.h"
+#include "metrics/external.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace mcirbm;  // NOLINT: internal tool
+
+struct Row {
+  double scale, raw, plain, sls, coverage;
+  int epochs, hidden;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool grbm = argc < 2 || std::string(argv[1]) != "rbm";
+  const double separation = argc > 2 ? std::atof(argv[2]) : 2.2;
+  const int n = argc > 3 ? std::atoi(argv[3]) : 300;
+  const int d = argc > 4 ? std::atoi(argv[4]) : 30;
+
+  data::GaussianMixtureSpec spec;
+  spec.name = "cal";
+  spec.num_classes = 3;
+  spec.num_instances = n;
+  spec.num_features = d;
+  spec.separation = separation;
+  spec.informative_fraction = 0.4;
+  spec.confusion_fraction = 0.15;
+  data::Dataset ds = data::GenerateGaussianMixture(spec, 7);
+  linalg::Matrix x = ds.x;
+  if (grbm) {
+    data::StandardizeInPlace(&x);
+  } else {
+    data::MinMaxScaleInPlace(&x);
+  }
+
+  auto kmeans_acc = [&](const linalg::Matrix& feats) {
+    clustering::KMeansConfig km;
+    km.k = ds.num_classes;
+    const auto r = clustering::KMeans(km).Cluster(feats, 1);
+    return metrics::ClusteringAccuracy(ds.labels, r.assignment);
+  };
+  const double raw_acc = kmeans_acc(x);
+
+  std::cout << "family=" << (grbm ? "GRBM" : "RBM")
+            << " sep=" << separation << " n=" << n << " d=" << d
+            << " raw k-means acc=" << FormatDouble(raw_acc, 4) << "\n";
+  std::cout << "scale      epochs hidden  plain   sls     coverage\n";
+
+  for (int hidden : {16, 32, 64}) {
+    for (int epochs : {20, 40, 80}) {
+      for (double scale : {0.0, 10.0, 100.0, 1000.0, 5000.0}) {
+        core::PipelineConfig plain_cfg;
+        plain_cfg.model =
+            grbm ? core::ModelKind::kGrbm : core::ModelKind::kRbm;
+        plain_cfg.rbm.num_hidden = hidden;
+        plain_cfg.rbm.epochs = epochs;
+        plain_cfg.rbm.learning_rate = grbm ? 1e-4 : 1e-5;
+        const auto plain = core::RunEncoderPipeline(x, plain_cfg, 3);
+
+        core::PipelineConfig sls_cfg = plain_cfg;
+        sls_cfg.model =
+            grbm ? core::ModelKind::kSlsGrbm : core::ModelKind::kSlsRbm;
+        sls_cfg.sls.eta = grbm ? 0.4 : 0.5;
+        sls_cfg.sls.supervision_scale = scale;
+        sls_cfg.supervision.num_clusters = ds.num_classes;
+        const auto sls = core::RunEncoderPipeline(x, sls_cfg, 3);
+
+        std::cout << PadLeft(FormatDouble(scale, 1), 9) << " "
+                  << PadLeft(std::to_string(epochs), 6) << " "
+                  << PadLeft(std::to_string(hidden), 6) << " "
+                  << PadLeft(FormatDouble(kmeans_acc(plain.hidden_features),
+                                          4),
+                             7)
+                  << " "
+                  << PadLeft(
+                         FormatDouble(kmeans_acc(sls.hidden_features), 4),
+                         7)
+                  << " "
+                  << PadLeft(
+                         FormatDouble(sls.supervision.Coverage(), 3), 8)
+                  << "\n";
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// Per-dataset diagnostic: raw clustering accuracy of each base clusterer,
+// unanimous-vote coverage and precision, on the actual paper-dataset
+// generators. Drives calibration of the GaussianMixtureSpec knobs.
+#include <iostream>
+
+#include "core/pipeline.h"
+#include "data/paper_datasets.h"
+#include "data/transforms.h"
+#include "eval/algorithms.h"
+#include "metrics/external.h"
+#include "util/string_util.h"
+
+using namespace mcirbm;  // NOLINT: internal tool
+
+namespace {
+
+void Diagnose(const data::Dataset& ds, bool grbm, std::size_t cap) {
+  data::Dataset working = data::StratifiedSubsample(ds, cap, 1);
+  const linalg::Matrix& x_raw = working.x;  // raw baselines cluster this
+  linalg::Matrix x = working.x;             // encoders + supervision see this
+  if (grbm) {
+    data::StandardizeInPlace(&x);
+  } else {
+    data::MinMaxScaleInPlace(&x);
+  }
+  std::cout << PadRight(working.name, 28) << " n=" << working.num_instances()
+            << " d=" << working.num_features();
+  for (int c = 0; c < eval::kNumClusterers; ++c) {
+    const auto r = eval::RunClusterer(static_cast<eval::ClustererKind>(c),
+                                      x_raw, working.num_classes, 1);
+    std::cout << "  "
+              << eval::ClustererKindName(
+                     static_cast<eval::ClustererKind>(c))
+              << "="
+              << FormatDouble(
+                     metrics::ClusteringAccuracy(working.labels,
+                                                 r.assignment),
+                     3);
+  }
+  core::SupervisionConfig scfg;
+  scfg.num_clusters = working.num_classes;
+  const auto sup = core::ComputeSelfLearningSupervision(x, scfg, 1);
+  std::vector<int> truth, pred;
+  for (std::size_t i = 0; i < sup.cluster_of.size(); ++i) {
+    if (sup.cluster_of[i] >= 0) {
+      truth.push_back(working.labels[i]);
+      pred.push_back(sup.cluster_of[i]);
+    }
+  }
+  std::cout << "  cov=" << FormatDouble(sup.Coverage(), 3) << " prec="
+            << FormatDouble(truth.empty() ? 0.0
+                                          : metrics::ClusteringAccuracy(
+                                                truth, pred),
+                            3)
+            << " pur="
+            << FormatDouble(
+                   truth.empty() ? 0.0 : metrics::Purity(truth, pred), 3)
+            << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "--- MSRA-like (GRBM family) ---\n";
+  for (int i = 0; i < data::NumMsraDatasets(); ++i) {
+    Diagnose(data::GenerateMsraLike(i, 3), /*grbm=*/true, /*cap=*/300);
+  }
+  std::cout << "--- UCI-like (RBM family) ---\n";
+  for (int i = 0; i < data::NumUciDatasets(); ++i) {
+    Diagnose(data::GenerateUciLike(i, 3), /*grbm=*/false, /*cap=*/300);
+  }
+  return 0;
+}

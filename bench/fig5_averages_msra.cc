@@ -1,0 +1,11 @@
+// Regenerates Figure 5: average accuracy / purity / FMI over datasets I.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  const int failures = mcirbm::bench::RunAveragesBench(/*grbm_family=*/true);
+  std::cout << "\nfig5_averages_msra: " << failures
+            << " shape-check failure(s)\n";
+  return 0;
+}

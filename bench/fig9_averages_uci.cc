@@ -1,0 +1,11 @@
+// Regenerates Figure 9: average accuracy / Rand / FMI over datasets II.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  const int failures = mcirbm::bench::RunAveragesBench(/*grbm_family=*/false);
+  std::cout << "\nfig9_averages_uci: " << failures
+            << " shape-check failure(s)\n";
+  return 0;
+}

@@ -1,0 +1,161 @@
+// google-benchmark microbenchmarks for the numeric kernels:
+// GEMM variants, CD-1 epoch, sls gradient naive vs fast (the ablation of
+// the algebraic reduction), and the three clusterers.
+#include <benchmark/benchmark.h>
+
+#include "clustering/affinity_propagation.h"
+#include "clustering/density_peaks.h"
+#include "clustering/kmeans.h"
+#include "core/sls_gradient.h"
+#include "data/synthetic.h"
+#include "linalg/ops.h"
+#include "rbm/grbm.h"
+#include "rbm/rbm.h"
+#include "rng/rng.h"
+
+namespace {
+
+using namespace mcirbm;  // NOLINT: bench driver
+
+linalg::Matrix RandomMatrix(std::size_t r, std::size_t c,
+                            std::uint64_t seed) {
+  rng::Rng rng(seed);
+  linalg::Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Gaussian();
+  return m;
+}
+
+void BM_Gemm(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const linalg::Matrix a = RandomMatrix(n, n, 1);
+  const linalg::Matrix b = RandomMatrix(n, n, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::Gemm(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_GemmTransA(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const linalg::Matrix a = RandomMatrix(n, n, 3);
+  const linalg::Matrix b = RandomMatrix(n, n, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::GemmTransA(a, b));
+  }
+}
+BENCHMARK(BM_GemmTransA)->Arg(128)->Arg(256);
+
+void BM_PairwiseDistances(benchmark::State& state) {
+  const std::size_t n = state.range(0);
+  const linalg::Matrix m = RandomMatrix(n, 64, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::PairwiseSquaredDistances(m));
+  }
+}
+BENCHMARK(BM_PairwiseDistances)->Arg(128)->Arg(512);
+
+void BM_RbmCdEpoch(benchmark::State& state) {
+  const int nv = static_cast<int>(state.range(0));
+  rbm::RbmConfig cfg;
+  cfg.num_visible = nv;
+  cfg.num_hidden = 64;
+  cfg.epochs = 1;
+  cfg.learning_rate = 1e-4;
+  const linalg::Matrix x = RandomMatrix(256, nv, 6);
+  for (auto _ : state) {
+    rbm::Grbm model(cfg);
+    benchmark::DoNotOptimize(model.Train(x));
+  }
+}
+BENCHMARK(BM_RbmCdEpoch)->Arg(128)->Arg(512)->Arg(899);
+
+// The headline kernel ablation: literal pairwise Eq. 27 vs the GEMM
+// reduction, at growing cluster sizes. The naive form is O(N^2 d), the
+// fast form O(N d); the gap is the reason the reduction exists.
+void SlsGradientBench(benchmark::State& state, bool fast) {
+  const std::size_t m = state.range(0);
+  const std::size_t nv = 64, nh = 32;
+  const linalg::Matrix v = RandomMatrix(m, nv, 7);
+  const linalg::Matrix w = RandomMatrix(nv, nh, 8);
+  std::vector<double> b(nh, 0.1);
+  linalg::Matrix h = linalg::Gemm(v, w);
+  linalg::AddRowVector(&h, b);
+  linalg::SigmoidInPlace(&h);
+  voting::LocalSupervision sup;
+  sup.num_clusters = 3;
+  sup.cluster_of.resize(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    sup.cluster_of[i] = static_cast<int>(i % 3);
+  }
+  std::vector<std::size_t> idx(m);
+  for (std::size_t i = 0; i < m; ++i) idx[i] = i;
+  const core::SupervisionBatch batch =
+      core::BuildSupervisionBatch(sup, idx);
+  linalg::Matrix dw(nv, nh);
+  std::vector<double> db(nh, 0.0);
+  for (auto _ : state) {
+    dw.Fill(0.0);
+    std::fill(db.begin(), db.end(), 0.0);
+    if (fast) {
+      core::AccumulateSlsGradientFast(v, h, batch, w, b, {}, {&dw, &db});
+    } else {
+      core::AccumulateSlsGradientNaive(v, h, batch, w, b, {}, {&dw, &db});
+    }
+    benchmark::DoNotOptimize(dw.data());
+  }
+}
+void BM_SlsGradientNaive(benchmark::State& state) {
+  SlsGradientBench(state, false);
+}
+void BM_SlsGradientFast(benchmark::State& state) {
+  SlsGradientBench(state, true);
+}
+BENCHMARK(BM_SlsGradientNaive)->Arg(32)->Arg(128)->Arg(256);
+BENCHMARK(BM_SlsGradientFast)->Arg(32)->Arg(128)->Arg(256)->Arg(1024);
+
+data::Dataset BenchBlobs(int n) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "bench";
+  spec.num_classes = 3;
+  spec.num_instances = n;
+  spec.num_features = 32;
+  spec.separation = 4.0;
+  return data::GenerateGaussianMixture(spec, 9);
+}
+
+void BM_KMeans(benchmark::State& state) {
+  const data::Dataset ds = BenchBlobs(static_cast<int>(state.range(0)));
+  clustering::KMeansConfig cfg;
+  cfg.k = 3;
+  const clustering::KMeans km(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(km.Cluster(ds.x, 1));
+  }
+}
+BENCHMARK(BM_KMeans)->Arg(256)->Arg(1024);
+
+void BM_DensityPeaks(benchmark::State& state) {
+  const data::Dataset ds = BenchBlobs(static_cast<int>(state.range(0)));
+  clustering::DensityPeaksConfig cfg;
+  cfg.k = 3;
+  const clustering::DensityPeaks dp(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dp.Cluster(ds.x, 1));
+  }
+}
+BENCHMARK(BM_DensityPeaks)->Arg(256)->Arg(512);
+
+void BM_AffinityPropagation(benchmark::State& state) {
+  const data::Dataset ds = BenchBlobs(static_cast<int>(state.range(0)));
+  clustering::AffinityPropagationConfig cfg;  // median preference
+  const clustering::AffinityPropagation ap(cfg);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ap.Cluster(ds.x, 1));
+  }
+}
+BENCHMARK(BM_AffinityPropagation)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,12 @@
+// Regenerates the paper's Table 8 (and its companion figure series).
+// See bench_common.h for the environment knobs controlling scale/repeats.
+#include <iostream>
+
+#include "bench_common.h"
+
+int main() {
+  const int failures =
+      mcirbm::bench::RunTableBench(mcirbm::eval::PaperTable::kTable8RandUci);
+  std::cout << "\ntable8_rand_uci: " << failures << " shape-check failure(s)\n";
+  return 0;
+}

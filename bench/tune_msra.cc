@@ -1,0 +1,112 @@
+// Calibration sweep for the datasets-I (GRBM family) experiment defaults.
+//
+// For each MSRA-like dataset (capped like the fast bench) this prints the
+// raw K-means baseline and, for a grid of sls knobs, K-means accuracy and
+// purity on slsGRBM hidden features. Used to choose supervision_scale,
+// disperse_weight, epochs and sampling mode with evidence; see DESIGN.md.
+//
+// Usage: tune_msra [cap]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "clustering/kmeans.h"
+#include "core/pipeline.h"
+#include "data/paper_datasets.h"
+#include "data/transforms.h"
+#include "metrics/external.h"
+#include "util/string_util.h"
+
+using namespace mcirbm;  // NOLINT: internal tool
+
+namespace {
+
+struct Knobs {
+  double scale;
+  double disperse_weight;
+  int epochs;
+  bool sample_hidden;
+  double factor;  // supervision clusters = round(k * factor)
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t cap = argc > 1 ? std::atoi(argv[1]) : 250;
+
+  const std::vector<Knobs> grid = {
+      {0, 5, 60, true, 1.0},  // plain GRBM control
+      {5000, 5, 60, true, 1.0},
+      {8000, 8, 60, true, 1.0},
+      {5000, 5, 100, true, 1.0},
+  };
+
+  std::cout << "cap=" << cap << "\n";
+  std::cout << PadRight("dataset", 6) << PadLeft("rawKM", 7);
+  for (const auto& g : grid) {
+    std::cout << PadLeft(FormatDouble(g.scale, 0) + "/" +
+                             FormatDouble(g.disperse_weight, 0) + "/" +
+                             std::to_string(g.epochs) + "/" +
+                             (g.sample_hidden ? "s" : "m"),
+                         13);
+  }
+  std::cout << "\n";
+
+  std::vector<double> raw_sum(1, 0.0), acc_sum(grid.size(), 0.0),
+      pur_sum(grid.size(), 0.0);
+  for (int i = 0; i < data::NumMsraDatasets(); ++i) {
+    data::Dataset ds = data::GenerateMsraLike(i, 7);
+    ds = data::StratifiedSubsample(ds, cap, 7 ^ 0x73756273ULL);
+    const linalg::Matrix& x_raw = ds.x;
+    linalg::Matrix x = ds.x;
+    data::StandardizeInPlace(&x);
+
+    auto kmeans_of = [&](const linalg::Matrix& feats) {
+      clustering::KMeansConfig km;
+      km.k = ds.num_classes;
+      km.restarts = 3;
+      return clustering::KMeans(km).Cluster(feats, 7000010ULL);
+    };
+    const auto raw = kmeans_of(x_raw);
+    const double raw_acc =
+        metrics::ClusteringAccuracy(ds.labels, raw.assignment);
+    raw_sum[0] += raw_acc;
+    std::cout << PadRight(data::MsraDatasetInfo(i).short_name, 6)
+              << PadLeft(FormatDouble(raw_acc, 3), 7);
+
+    for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+      const auto& g = grid[gi];
+      core::PipelineConfig cfg;
+      cfg.model = core::ModelKind::kSlsGrbm;
+      cfg.rbm.num_hidden = 64;
+      cfg.rbm.epochs = g.epochs;
+      cfg.rbm.learning_rate = 1e-4;
+      cfg.rbm.sample_hidden_states = g.sample_hidden;
+      cfg.sls.eta = 0.4;
+      cfg.sls.supervision_scale = g.scale;
+      cfg.sls.disperse_weight = g.disperse_weight;
+      cfg.supervision.num_clusters = std::max(
+          2, static_cast<int>(std::lround(ds.num_classes * g.factor)));
+      const auto out = core::RunEncoderPipeline(x, cfg, 7000010ULL);
+      const auto r = kmeans_of(out.hidden_features);
+      const double acc =
+          metrics::ClusteringAccuracy(ds.labels, r.assignment);
+      const double pur = metrics::Purity(ds.labels, r.assignment);
+      acc_sum[gi] += acc;
+      pur_sum[gi] += pur;
+      std::cout << PadLeft(FormatDouble(acc, 3) + "|" + FormatDouble(pur, 2),
+                           13);
+    }
+    std::cout << "\n" << std::flush;
+  }
+  const double n = data::NumMsraDatasets();
+  std::cout << PadRight("AVG", 6) << PadLeft(FormatDouble(raw_sum[0] / n, 3), 7);
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    std::cout << PadLeft(FormatDouble(acc_sum[gi] / n, 3) + "|" +
+                             FormatDouble(pur_sum[gi] / n, 2),
+                         13);
+  }
+  std::cout << "\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Calibration sweep for the datasets-II (RBM family) experiment defaults.
+//
+// For each UCI-like dataset (capped like the fast bench) this prints the
+// raw DP / K-means baselines and, for a grid of sls knobs, DP and K-means
+// accuracy on slsRBM hidden features. scale 0 doubles as the plain-RBM
+// control. See DESIGN.md for how these sweeps set the defaults.
+//
+// Usage: tune_uci [cap]
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "clustering/density_peaks.h"
+#include "clustering/kmeans.h"
+#include "core/pipeline.h"
+#include "data/paper_datasets.h"
+#include "data/transforms.h"
+#include "metrics/external.h"
+#include "util/string_util.h"
+
+using namespace mcirbm;  // NOLINT: internal tool
+
+namespace {
+
+struct Knobs {
+  double scale;
+  double disperse_weight;
+  int epochs;
+  int hidden;
+  int voters;
+  double cap;  // SlsConfig::max_grad_norm
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t cap = argc > 1 ? std::atoi(argv[1]) : 250;
+
+  const std::vector<Knobs> grid = {
+      {150000, 2, 60, 32, 3, 5000},
+      {300000, 2, 60, 32, 3, 5000},
+      {500000, 2, 60, 32, 3, 5000},
+      {500000, 2, 60, 32, 3, 10000},
+  };
+
+  std::cout << "cap=" << cap << "  (cells are DPacc|KMacc)\n";
+  std::cout << PadRight("dataset", 6) << PadLeft("rawDP", 7)
+            << PadLeft("rawKM", 7);
+  for (const auto& g : grid) {
+    std::cout << PadLeft(FormatDouble(g.scale / 1000, 0) + "k/" +
+                             FormatDouble(g.disperse_weight, 0) + "/" +
+                             std::to_string(g.hidden) + "/" +
+                             std::to_string(g.voters),
+                         14);
+  }
+  std::cout << "\n";
+
+  std::vector<double> raw_dp_sum(1, 0.0), raw_km_sum(1, 0.0),
+      dp_sum(grid.size(), 0.0), km_sum(grid.size(), 0.0);
+  for (int i = 0; i < data::NumUciDatasets(); ++i) {
+    data::Dataset ds = data::GenerateUciLike(i, 7);
+    ds = data::StratifiedSubsample(ds, cap, 7 ^ 0x73756273ULL);
+    const linalg::Matrix& x_raw = ds.x;
+    linalg::Matrix x = ds.x;
+    data::MinMaxScaleInPlace(&x);
+
+    auto dp_of = [&](const linalg::Matrix& feats) {
+      clustering::DensityPeaksConfig dp;
+      dp.k = ds.num_classes;
+      const auto r = clustering::DensityPeaks(dp).Cluster(feats, 7000010ULL);
+      return metrics::ClusteringAccuracy(ds.labels, r.assignment);
+    };
+    auto km_of = [&](const linalg::Matrix& feats) {
+      clustering::KMeansConfig km;
+      km.k = ds.num_classes;
+      km.restarts = 3;
+      const auto r = clustering::KMeans(km).Cluster(feats, 7000010ULL);
+      return metrics::ClusteringAccuracy(ds.labels, r.assignment);
+    };
+    const double raw_dp = dp_of(x_raw);
+    const double raw_km = km_of(x_raw);
+    raw_dp_sum[0] += raw_dp;
+    raw_km_sum[0] += raw_km;
+    std::cout << PadRight(data::UciDatasetInfo(i).short_name, 6)
+              << PadLeft(FormatDouble(raw_dp, 3), 7)
+              << PadLeft(FormatDouble(raw_km, 3), 7);
+
+    for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+      const auto& g = grid[gi];
+      core::PipelineConfig cfg;
+      cfg.model = g.scale == 0 ? core::ModelKind::kRbm
+                               : core::ModelKind::kSlsRbm;
+      cfg.rbm.num_hidden = g.hidden;
+      cfg.rbm.epochs = g.epochs;
+      cfg.rbm.learning_rate = 1e-5;
+      cfg.sls.eta = 0.5;
+      cfg.sls.supervision_scale = g.scale;
+      cfg.sls.disperse_weight = g.disperse_weight;
+      cfg.sls.max_grad_norm = g.cap;
+      cfg.supervision.num_clusters = ds.num_classes;
+      cfg.supervision.kmeans_voters = g.voters;
+      const auto out = core::RunEncoderPipeline(x, cfg, 7000010ULL);
+      const double dp_acc = dp_of(out.hidden_features);
+      const double km_acc = km_of(out.hidden_features);
+      dp_sum[gi] += dp_acc;
+      km_sum[gi] += km_acc;
+      std::cout << PadLeft(
+          FormatDouble(dp_acc, 3) + "|" + FormatDouble(km_acc, 3), 14);
+    }
+    std::cout << "\n" << std::flush;
+  }
+  const double n = data::NumUciDatasets();
+  std::cout << PadRight("AVG", 6) << PadLeft(FormatDouble(raw_dp_sum[0] / n, 3), 7)
+            << PadLeft(FormatDouble(raw_km_sum[0] / n, 3), 7);
+  for (std::size_t gi = 0; gi < grid.size(); ++gi) {
+    std::cout << PadLeft(FormatDouble(dp_sum[gi] / n, 3) + "|" +
+                             FormatDouble(km_sum[gi] / n, 3),
+                         14);
+  }
+  std::cout << "\n";
+  return 0;
+}

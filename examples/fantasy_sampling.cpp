@@ -1,0 +1,100 @@
+// Fantasy sampling: the generative side of the RBM substrate.
+//
+// Trains a binary RBM on a two-mode Bernoulli pattern distribution
+// (left-half-on vs right-half-on 16-bit templates with 5% flip noise),
+// then runs Gibbs chains from pure noise. If training captured the
+// distribution, the fantasies concentrate on the two templates — which
+// is directly measurable: the fraction of fantasies within Hamming
+// distance 2 of a template vs the ~0.2% a uniform sampler would achieve.
+//
+// Build & run:  ./build/examples/fantasy_sampling
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "linalg/matrix.h"
+#include "rbm/rbm.h"
+#include "rbm/sampling.h"
+#include "rng/rng.h"
+
+namespace {
+
+constexpr std::size_t kBits = 16;
+
+// Bernoulli draws around the left-half-on / right-half-on templates.
+mcirbm::linalg::Matrix TwoModeData(std::size_t n, mcirbm::rng::Rng* rng) {
+  mcirbm::linalg::Matrix x(n, kBits);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool left = i % 2 == 0;
+    for (std::size_t j = 0; j < kBits; ++j) {
+      const double p = (left == (j < kBits / 2)) ? 0.95 : 0.05;
+      x(i, j) = rng->Bernoulli(p) ? 1.0 : 0.0;
+    }
+  }
+  return x;
+}
+
+// Hamming distance from a rounded row to the nearest template.
+int HammingToNearestTemplate(std::span<const double> row) {
+  int to_left = 0, to_right = 0;
+  for (std::size_t j = 0; j < row.size(); ++j) {
+    const int bit = row[j] >= 0.5 ? 1 : 0;
+    const int left_bit = j < row.size() / 2 ? 1 : 0;
+    to_left += bit != left_bit;
+    to_right += bit != 1 - left_bit;
+  }
+  return std::min(to_left, to_right);
+}
+
+}  // namespace
+
+int main() {
+  using namespace mcirbm;
+
+  rng::Rng data_rng(7);
+  const linalg::Matrix x = TwoModeData(200, &data_rng);
+  std::cout << "data: 200 samples of a two-template 16-bit distribution "
+               "(5% flip noise)\n";
+
+  rbm::RbmConfig config;
+  config.num_visible = kBits;
+  config.num_hidden = 12;
+  config.learning_rate = 0.1;
+  config.epochs = 200;
+  config.batch_size = 20;
+  config.momentum = 0.5;
+  config.momentum_final = 0.9;  // Hinton's two-stage schedule
+  config.weight_decay = 0.0;
+  config.seed = 11;
+  rbm::Rbm model(config);
+  const auto history = model.Train(x);
+  std::cout << "trained RBM: reconstruction error "
+            << history.front().reconstruction_error << " -> "
+            << history.back().reconstruction_error << "\n\n";
+
+  const linalg::Matrix fantasies = rbm::SampleFantasiesFromNoise(
+      model, /*num_samples=*/500, {.burn_in = 300, .seed = 3});
+
+  // How concentrated are the fantasies on the data's two modes?
+  std::size_t exact = 0, near = 0;
+  double mean_hamming = 0;
+  for (std::size_t f = 0; f < fantasies.rows(); ++f) {
+    const int d = HammingToNearestTemplate(fantasies.Row(f));
+    mean_hamming += d;
+    if (d == 0) ++exact;
+    if (d <= 2) ++near;
+  }
+  mean_hamming /= static_cast<double>(fantasies.rows());
+
+  // Uniform baseline: P(Hamming <= 2 of either template) =
+  // 2 * (C(16,0)+C(16,1)+C(16,2)) / 2^16 ≈ 0.42%.
+  std::cout << std::fixed << std::setprecision(4);
+  std::cout << "fantasies exactly on a template:      " << exact << "/"
+            << fantasies.rows() << "\n";
+  std::cout << "fantasies within Hamming 2 of one:    " << near << "/"
+            << fantasies.rows() << "  (uniform sampler: ~0.4%)\n";
+  std::cout << "mean Hamming distance to nearest:     " << mean_hamming
+            << "  (uniform sampler: ~6.0 of 16 bits)\n";
+  return 0;
+}

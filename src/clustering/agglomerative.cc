@@ -1,0 +1,127 @@
+#include "clustering/agglomerative.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "linalg/ops.h"
+#include "util/check.h"
+
+namespace mcirbm::clustering {
+
+const char* LinkageName(Linkage linkage) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return "single";
+    case Linkage::kComplete:
+      return "complete";
+    case Linkage::kAverage:
+      return "average";
+    case Linkage::kWard:
+      return "ward";
+  }
+  return "unknown";
+}
+
+std::string Agglomerative::name() const {
+  return std::string("Agglomerative-") + LinkageName(linkage_);
+}
+
+namespace {
+
+// Lance–Williams update: distance from the merged cluster (a ∪ b) to any
+// other cluster c as a function of d(a,c), d(b,c), d(a,b) and sizes.
+double MergedDistance(Linkage linkage, double dac, double dbc, double dab,
+                      double na, double nb, double nc) {
+  switch (linkage) {
+    case Linkage::kSingle:
+      return std::min(dac, dbc);
+    case Linkage::kComplete:
+      return std::max(dac, dbc);
+    case Linkage::kAverage:
+      return (na * dac + nb * dbc) / (na + nb);
+    case Linkage::kWard: {
+      // Ward over squared distances: α_a·d(a,c) + α_b·d(b,c) − β·d(a,b).
+      const double total = na + nb + nc;
+      return ((na + nc) * dac + (nb + nc) * dbc - nc * dab) / total;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+ClusteringResult Agglomerative::Cluster(const linalg::Matrix& x,
+                                        std::uint64_t /*seed*/) const {
+  const std::size_t n = x.rows();
+  MCIRBM_CHECK_GT(n, 0u) << "empty input";
+  MCIRBM_CHECK_GE(num_clusters_, 1);
+  const std::size_t k =
+      std::min(static_cast<std::size_t>(num_clusters_), n);
+
+  // Pairwise distances. Ward works on squared Euclidean distances; the
+  // other linkages use plain Euclidean.
+  linalg::Matrix dist = linalg::PairwiseSquaredDistances(x);
+  if (linkage_ != Linkage::kWard) {
+    linalg::Apply(&dist, [](double v) { return std::sqrt(std::max(v, 0.0)); });
+  }
+
+  std::vector<bool> active(n, true);
+  std::vector<double> cluster_size(n, 1.0);
+  // Union-find-ish parent chain resolved at the end.
+  std::vector<int> merged_into(n, -1);
+
+  std::size_t num_active = n;
+  int merges = 0;
+  while (num_active > k) {
+    // Find the closest active pair. O(n²) scan per merge; total O(n³).
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t bi = 0, bj = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!active[i]) continue;
+      for (std::size_t j = i + 1; j < n; ++j) {
+        if (!active[j]) continue;
+        if (dist(i, j) < best) {
+          best = dist(i, j);
+          bi = i;
+          bj = j;
+        }
+      }
+    }
+
+    // Merge bj into bi; update distances from bi to every other cluster.
+    const double dab = dist(bi, bj);
+    for (std::size_t c = 0; c < n; ++c) {
+      if (!active[c] || c == bi || c == bj) continue;
+      const double updated =
+          MergedDistance(linkage_, dist(bi, c), dist(bj, c), dab,
+                         cluster_size[bi], cluster_size[bj], cluster_size[c]);
+      dist(bi, c) = updated;
+      dist(c, bi) = updated;
+    }
+    cluster_size[bi] += cluster_size[bj];
+    active[bj] = false;
+    merged_into[bj] = static_cast<int>(bi);
+    --num_active;
+    ++merges;
+  }
+
+  // Resolve every instance to its surviving root, then compact ids.
+  ClusteringResult result;
+  result.assignment.assign(n, -1);
+  std::vector<int> root_id(n, -1);
+  int next_id = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = i;
+    while (merged_into[r] >= 0) r = static_cast<std::size_t>(merged_into[r]);
+    if (root_id[r] < 0) root_id[r] = next_id++;
+    result.assignment[i] = root_id[r];
+  }
+  result.num_clusters = next_id;
+  result.iterations = merges;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace mcirbm::clustering

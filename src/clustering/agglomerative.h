@@ -1,0 +1,51 @@
+// Agglomerative hierarchical clustering (Lance–Williams recurrence).
+//
+// An additional integration member for the multi-clustering voting
+// ensemble: hierarchical merges give a structurally different bias from
+// the paper's three base clusterers (centroid-based K-means, density-based
+// DP, exemplar-based AP), which is exactly what unanimous voting wants —
+// diverse voters whose agreement is informative.
+#ifndef MCIRBM_CLUSTERING_AGGLOMERATIVE_H_
+#define MCIRBM_CLUSTERING_AGGLOMERATIVE_H_
+
+#include <string>
+
+#include "clustering/clusterer.h"
+
+namespace mcirbm::clustering {
+
+/// Cluster-distance update rule used when two clusters merge.
+enum class Linkage {
+  kSingle,    ///< min pairwise distance (chains easily)
+  kComplete,  ///< max pairwise distance (compact, diameter-bound)
+  kAverage,   ///< unweighted mean pairwise distance (UPGMA)
+  kWard,      ///< minimum within-cluster variance increase
+};
+
+/// Returns a short name ("single", "ward", ...).
+const char* LinkageName(Linkage linkage);
+
+/// Bottom-up merging until `num_clusters` remain. O(n³) time / O(n²)
+/// memory over the full distance matrix — fine at the paper's dataset
+/// sizes (≤ ~1k instances).
+class Agglomerative : public Clusterer {
+ public:
+  Agglomerative(int num_clusters, Linkage linkage)
+      : num_clusters_(num_clusters), linkage_(linkage) {}
+
+  std::string name() const override;
+
+  /// Deterministic; `seed` is ignored.
+  ClusteringResult Cluster(const linalg::Matrix& x,
+                           std::uint64_t seed) const override;
+
+  Linkage linkage() const { return linkage_; }
+
+ private:
+  int num_clusters_;
+  Linkage linkage_;
+};
+
+}  // namespace mcirbm::clustering
+
+#endif  // MCIRBM_CLUSTERING_AGGLOMERATIVE_H_

@@ -1,0 +1,39 @@
+// Common interface for the unsupervised clusterers (DP, K-means, AP).
+#ifndef MCIRBM_CLUSTERING_CLUSTERER_H_
+#define MCIRBM_CLUSTERING_CLUSTERER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mcirbm::clustering {
+
+/// Result of one clustering run.
+struct ClusteringResult {
+  std::vector<int> assignment;  ///< compact ids 0..num_clusters-1
+  int num_clusters = 0;
+  int iterations = 0;          ///< iterations until convergence/stop
+  bool converged = false;
+  double objective = 0.0;      ///< algorithm-specific (e.g. k-means SSE)
+};
+
+/// Abstract clusterer over a row-major instance matrix.
+class Clusterer {
+ public:
+  virtual ~Clusterer() = default;
+
+  /// Human-readable algorithm name ("K-means", "DP", "AP").
+  virtual std::string name() const = 0;
+
+  /// Clusters the rows of `x`. `seed` drives any internal randomness;
+  /// deterministic algorithms ignore it.
+  virtual ClusteringResult Cluster(const linalg::Matrix& x,
+                                   std::uint64_t seed) const = 0;
+};
+
+}  // namespace mcirbm::clustering
+
+#endif  // MCIRBM_CLUSTERING_CLUSTERER_H_

@@ -1,0 +1,96 @@
+#include "clustering/dbscan.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <vector>
+
+#include "linalg/ops.h"
+#include "linalg/stats.h"
+#include "util/check.h"
+
+namespace mcirbm::clustering {
+
+double Dbscan::SelfTuneEps(const linalg::Matrix& x, int min_points,
+                           double quantile) {
+  const std::size_t n = x.rows();
+  MCIRBM_CHECK_GT(n, 0u);
+  const linalg::Matrix d2 = linalg::PairwiseSquaredDistances(x);
+  const std::size_t kth =
+      std::min(static_cast<std::size_t>(std::max(min_points - 1, 1)), n - 1);
+  std::vector<double> kdist(n);
+  std::vector<double> row(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) row[j] = d2(i, j);
+    std::nth_element(row.begin(), row.begin() + kth, row.end());
+    kdist[i] = std::sqrt(std::max(row[kth], 0.0));
+  }
+  const double eps = linalg::Percentile(kdist, quantile);
+  // Degenerate data (all duplicates) would give eps = 0; any tiny positive
+  // radius then behaves identically.
+  return eps > 0 ? eps : 1e-12;
+}
+
+ClusteringResult Dbscan::Cluster(const linalg::Matrix& x,
+                                 std::uint64_t /*seed*/) const {
+  const std::size_t n = x.rows();
+  MCIRBM_CHECK_GT(n, 0u) << "empty input";
+  MCIRBM_CHECK_GE(options_.min_points, 1);
+
+  const double eps =
+      options_.eps > 0
+          ? options_.eps
+          : SelfTuneEps(x, options_.min_points, options_.eps_quantile);
+  const double eps2 = eps * eps;
+
+  const linalg::Matrix d2 = linalg::PairwiseSquaredDistances(x);
+  std::vector<std::vector<std::size_t>> neighbours(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (d2(i, j) <= eps2) neighbours[i].push_back(j);  // includes self
+    }
+  }
+
+  constexpr int kUnvisited = -2;
+  constexpr int kNoise = -1;
+  std::vector<int> label(n, kUnvisited);
+  int next_cluster = 0;
+  int bfs_rounds = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    if (label[i] != kUnvisited) continue;
+    if (neighbours[i].size() <
+        static_cast<std::size_t>(options_.min_points)) {
+      label[i] = kNoise;
+      continue;
+    }
+    // New cluster seeded at core point i; expand over density-reachable
+    // points breadth-first.
+    const int cluster = next_cluster++;
+    label[i] = cluster;
+    std::deque<std::size_t> frontier(neighbours[i].begin(),
+                                     neighbours[i].end());
+    while (!frontier.empty()) {
+      ++bfs_rounds;
+      const std::size_t q = frontier.front();
+      frontier.pop_front();
+      if (label[q] == kNoise) label[q] = cluster;  // border point
+      if (label[q] != kUnvisited) continue;
+      label[q] = cluster;
+      if (neighbours[q].size() >=
+          static_cast<std::size_t>(options_.min_points)) {
+        frontier.insert(frontier.end(), neighbours[q].begin(),
+                        neighbours[q].end());
+      }
+    }
+  }
+
+  ClusteringResult result;
+  result.assignment = std::move(label);
+  result.num_clusters = next_cluster;
+  result.iterations = bfs_rounds;
+  result.converged = true;
+  return result;
+}
+
+}  // namespace mcirbm::clustering

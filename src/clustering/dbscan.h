@@ -1,0 +1,56 @@
+// DBSCAN density-based clustering (Ester et al. 1996).
+//
+// A density-based integration member with a different bias from DP: it
+// does not fix the number of clusters and labels low-density points as
+// noise (-1), which composes naturally with the voting layer — noise
+// points simply never reach consensus and stay outside the local
+// supervision.
+#ifndef MCIRBM_CLUSTERING_DBSCAN_H_
+#define MCIRBM_CLUSTERING_DBSCAN_H_
+
+#include <string>
+
+#include "clustering/clusterer.h"
+
+namespace mcirbm::clustering {
+
+/// Classic DBSCAN over Euclidean distance, O(n²) neighbour queries.
+///
+/// `eps <= 0` enables self-tuning: eps is set to the `eps_quantile`
+/// percentile of each point's distance to its min_points-th nearest
+/// neighbour (the standard k-distance heuristic), so the clusterer works
+/// out of the box across datasets with different scales.
+class Dbscan : public Clusterer {
+ public:
+  struct Options {
+    double eps = 0.0;        ///< neighbourhood radius; <= 0 -> self-tune
+    int min_points = 4;      ///< core-point density threshold (incl. self)
+    /// Percentile of the k-distance distribution for the self-tuning rule.
+    /// 75 approximates the usual "knee" pick: high enough that cluster
+    /// interiors are fully connected, below the outlier tail.
+    double eps_quantile = 75.0;
+  };
+
+  explicit Dbscan(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "DBSCAN"; }
+
+  /// Deterministic; `seed` is ignored. Unassigned noise points get -1 in
+  /// `assignment`; `num_clusters` counts real clusters only.
+  ClusteringResult Cluster(const linalg::Matrix& x,
+                           std::uint64_t seed) const override;
+
+  /// The radius actually used on the last call is not stored (the API is
+  /// const); use SelfTuneEps to inspect what self-tuning would pick.
+  static double SelfTuneEps(const linalg::Matrix& x, int min_points,
+                            double quantile);
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace mcirbm::clustering
+
+#endif  // MCIRBM_CLUSTERING_DBSCAN_H_

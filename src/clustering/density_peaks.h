@@ -1,0 +1,38 @@
+// Density Peaks clustering (Rodriguez & Laio, Science 2014; the paper's
+// "DP" baseline, ref [57]).
+//
+// Each point gets a local density rho (Gaussian kernel with cutoff d_c set
+// at a percentile of pairwise distances) and a separation delta (distance
+// to the nearest point of higher density). Cluster centers are the points
+// with the largest gamma = rho * delta; remaining points are assigned to
+// the cluster of their nearest higher-density neighbor.
+#ifndef MCIRBM_CLUSTERING_DENSITY_PEAKS_H_
+#define MCIRBM_CLUSTERING_DENSITY_PEAKS_H_
+
+#include "clustering/clusterer.h"
+
+namespace mcirbm::clustering {
+
+/// Density Peaks configuration.
+struct DensityPeaksConfig {
+  int k = 2;                    ///< number of cluster centers to pick
+  double dc_percentile = 2.0;   ///< percentile of pairwise distances for d_c
+  bool gaussian_kernel = true;  ///< Gaussian rho (vs hard cutoff count)
+};
+
+/// Deterministic Density Peaks clusterer (ignores the seed).
+class DensityPeaks : public Clusterer {
+ public:
+  explicit DensityPeaks(const DensityPeaksConfig& config);
+
+  std::string name() const override { return "DP"; }
+  ClusteringResult Cluster(const linalg::Matrix& x,
+                           std::uint64_t seed) const override;
+
+ private:
+  DensityPeaksConfig config_;
+};
+
+}  // namespace mcirbm::clustering
+
+#endif  // MCIRBM_CLUSTERING_DENSITY_PEAKS_H_

@@ -1,0 +1,152 @@
+#include "clustering/gmm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "clustering/kmeans.h"
+#include "linalg/ops.h"
+#include "util/check.h"
+
+namespace mcirbm::clustering {
+namespace {
+
+// log Σ exp(v) computed stably (shift by max).
+double LogSumExp(std::span<const double> v) {
+  double mx = -std::numeric_limits<double>::infinity();
+  for (double x : v) mx = std::max(mx, x);
+  if (!std::isfinite(mx)) return mx;
+  double sum = 0;
+  for (double x : v) sum += std::exp(x - mx);
+  return mx + std::log(sum);
+}
+
+}  // namespace
+
+GaussianMixture::SoftResult GaussianMixture::FitSoft(
+    const linalg::Matrix& x, std::uint64_t seed) const {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  const int k = options_.num_components;
+  MCIRBM_CHECK_GT(n, 0u) << "empty input";
+  MCIRBM_CHECK_GE(k, 1);
+  MCIRBM_CHECK_GE(options_.variance_floor, 0.0);
+
+  // Init from a short k-means run: means = centroids, shared variance.
+  KMeansConfig km_config;
+  km_config.k = k;
+  km_config.max_iterations = 20;
+  km_config.restarts = 1;
+  const KMeans kmeans(km_config);
+  const ClusteringResult init = kmeans.Cluster(x, seed);
+  linalg::Matrix means = KMeans::ComputeCentroids(x, init.assignment, k);
+
+  // Per-component diagonal variances and mixing weights.
+  linalg::Matrix vars(k, d, 1.0);
+  std::vector<double> weights(k, 1.0 / k);
+  {
+    // Start variances at the per-feature global variance (floored).
+    std::vector<double> mean = linalg::ColMeans(x);
+    std::vector<double> var(d, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = x.Row(i);
+      for (std::size_t j = 0; j < d; ++j) {
+        const double c = row[j] - mean[j];
+        var[j] += c * c;
+      }
+    }
+    for (std::size_t j = 0; j < d; ++j) {
+      var[j] = std::max(var[j] / n, options_.variance_floor);
+    }
+    for (int c = 0; c < k; ++c) {
+      for (std::size_t j = 0; j < d; ++j) vars(c, j) = var[j];
+    }
+  }
+
+  SoftResult out;
+  out.responsibilities.Resize(n, k);
+  linalg::Matrix& resp = out.responsibilities;
+  std::vector<double> log_prob(k);
+
+  double previous_ll = -std::numeric_limits<double>::infinity();
+  int iteration = 0;
+  bool converged = false;
+  for (; iteration < options_.max_iterations; ++iteration) {
+    // E step: responsibilities and data log-likelihood.
+    double ll = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto row = x.Row(i);
+      for (int c = 0; c < k; ++c) {
+        double lp = std::log(std::max(weights[c], 1e-300));
+        for (std::size_t j = 0; j < d; ++j) {
+          const double v = vars(c, j);
+          const double diff = row[j] - means(c, j);
+          lp += -0.5 * (std::log(2 * M_PI * v) + diff * diff / v);
+        }
+        log_prob[c] = lp;
+      }
+      const double lse = LogSumExp(log_prob);
+      ll += lse;
+      for (int c = 0; c < k; ++c) resp(i, c) = std::exp(log_prob[c] - lse);
+    }
+    ll /= static_cast<double>(n);
+    out.log_likelihood_trace.push_back(ll);
+    if (ll - previous_ll < options_.tolerance && iteration > 0) {
+      converged = true;
+      break;
+    }
+    previous_ll = ll;
+
+    // M step: weights, means, variances from responsibilities.
+    for (int c = 0; c < k; ++c) {
+      double nk = 0;
+      for (std::size_t i = 0; i < n; ++i) nk += resp(i, c);
+      // A fully starved component keeps its parameters (it can recover
+      // only by data shifting; re-seeding would break determinism).
+      if (nk < 1e-10) continue;
+      weights[c] = nk / static_cast<double>(n);
+      for (std::size_t j = 0; j < d; ++j) {
+        double m = 0;
+        for (std::size_t i = 0; i < n; ++i) m += resp(i, c) * x(i, j);
+        means(c, j) = m / nk;
+      }
+      for (std::size_t j = 0; j < d; ++j) {
+        double v = 0;
+        for (std::size_t i = 0; i < n; ++i) {
+          const double diff = x(i, j) - means(c, j);
+          v += resp(i, c) * diff * diff;
+        }
+        vars(c, j) = std::max(v / nk, options_.variance_floor);
+      }
+    }
+  }
+
+  // Hard labels by max responsibility; compact away empty components.
+  out.hard.assignment.assign(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    int best = 0;
+    for (int c = 1; c < k; ++c) {
+      if (resp(i, c) > resp(i, best)) best = c;
+    }
+    out.hard.assignment[i] = best;
+  }
+  std::vector<int> remap(k, -1);
+  int next = 0;
+  for (auto& id : out.hard.assignment) {
+    if (remap[id] < 0) remap[id] = next++;
+    id = remap[id];
+  }
+  out.hard.num_clusters = next;
+  out.hard.iterations = iteration;
+  out.hard.converged = converged;
+  out.hard.objective =
+      out.log_likelihood_trace.empty() ? 0 : out.log_likelihood_trace.back();
+  return out;
+}
+
+ClusteringResult GaussianMixture::Cluster(const linalg::Matrix& x,
+                                          std::uint64_t seed) const {
+  return FitSoft(x, seed).hard;
+}
+
+}  // namespace mcirbm::clustering

@@ -1,0 +1,56 @@
+// Gaussian mixture model clustering via EM with diagonal covariances.
+//
+// A model-based integration member: soft-assignment EM has a different
+// failure mode from K-means (it can stretch clusters along axes), adding
+// voter diversity to the multi-clustering integration. Initialized from
+// k-means++ like sklearn's default.
+#ifndef MCIRBM_CLUSTERING_GMM_H_
+#define MCIRBM_CLUSTERING_GMM_H_
+
+#include <string>
+#include <vector>
+
+#include "clustering/clusterer.h"
+
+namespace mcirbm::clustering {
+
+/// Diagonal-covariance GMM fit with EM; hard labels by max responsibility.
+class GaussianMixture : public Clusterer {
+ public:
+  struct Options {
+    int num_components = 2;
+    int max_iterations = 100;
+    /// Stop when the mean log-likelihood improves by less than this.
+    double tolerance = 1e-5;
+    /// Variance floor added to every diagonal entry (stability on
+    /// collapsed components / constant features).
+    double variance_floor = 1e-6;
+  };
+
+  explicit GaussianMixture(const Options& options) : options_(options) {}
+
+  std::string name() const override { return "GMM"; }
+
+  /// `seed` drives the k-means++ initialization.
+  ClusteringResult Cluster(const linalg::Matrix& x,
+                           std::uint64_t seed) const override;
+
+  /// Per-instance responsibilities from the last fitted model are not
+  /// retained (stateless API); FitSoft exposes them for callers that
+  /// need soft assignments.
+  struct SoftResult {
+    ClusteringResult hard;
+    linalg::Matrix responsibilities;  ///< n x k, rows sum to 1
+    std::vector<double> log_likelihood_trace;  ///< per EM iteration
+  };
+  SoftResult FitSoft(const linalg::Matrix& x, std::uint64_t seed) const;
+
+  const Options& options() const { return options_; }
+
+ private:
+  Options options_;
+};
+
+}  // namespace mcirbm::clustering
+
+#endif  // MCIRBM_CLUSTERING_GMM_H_

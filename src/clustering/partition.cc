@@ -1,0 +1,76 @@
+#include "clustering/partition.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/check.h"
+
+namespace mcirbm::clustering {
+
+int NumClusters(const std::vector<int>& assignment) {
+  int max_id = -1;
+  for (int a : assignment) max_id = std::max(max_id, a);
+  return max_id + 1;
+}
+
+int CompactRelabel(std::vector<int>* assignment) {
+  std::unordered_map<int, int> remap;
+  for (int& a : *assignment) {
+    if (a < 0) {
+      a = -1;
+      continue;
+    }
+    auto [it, inserted] =
+        remap.try_emplace(a, static_cast<int>(remap.size()));
+    a = it->second;
+  }
+  return static_cast<int>(remap.size());
+}
+
+std::vector<int> ClusterSizes(const std::vector<int>& assignment,
+                              int num_clusters) {
+  std::vector<int> sizes(num_clusters, 0);
+  for (int a : assignment) {
+    if (a < 0) continue;
+    MCIRBM_CHECK_LT(a, num_clusters);
+    ++sizes[a];
+  }
+  return sizes;
+}
+
+std::vector<std::vector<std::size_t>> ClusterMembers(
+    const std::vector<int>& assignment, int num_clusters) {
+  std::vector<std::vector<std::size_t>> members(num_clusters);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const int a = assignment[i];
+    if (a < 0) continue;
+    MCIRBM_CHECK_LT(a, num_clusters);
+    members[a].push_back(i);
+  }
+  return members;
+}
+
+std::vector<std::vector<int>> ContingencyTable(const std::vector<int>& pa,
+                                               int ka,
+                                               const std::vector<int>& pb,
+                                               int kb) {
+  MCIRBM_CHECK_EQ(pa.size(), pb.size());
+  std::vector<std::vector<int>> table(ka, std::vector<int>(kb, 0));
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    if (pa[i] < 0 || pb[i] < 0) continue;
+    MCIRBM_CHECK_LT(pa[i], ka);
+    MCIRBM_CHECK_LT(pb[i], kb);
+    ++table[pa[i]][pb[i]];
+  }
+  return table;
+}
+
+std::size_t NumAssigned(const std::vector<int>& assignment) {
+  std::size_t n = 0;
+  for (int a : assignment) {
+    if (a >= 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace mcirbm::clustering

@@ -1,0 +1,42 @@
+// Partition utilities shared by clusterers, metrics and voting.
+//
+// A partition is a vector<int> of cluster assignments; entries may be -1
+// to mark "unassigned" (used by local supervisions after voting).
+#ifndef MCIRBM_CLUSTERING_PARTITION_H_
+#define MCIRBM_CLUSTERING_PARTITION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mcirbm::clustering {
+
+/// Number of distinct non-negative cluster ids (assumes compact labeling
+/// 0..K-1; use CompactRelabel first if unsure).
+int NumClusters(const std::vector<int>& assignment);
+
+/// Remaps arbitrary non-negative ids to a compact 0..K-1 range (first-seen
+/// order); -1 entries are preserved. Returns the number of clusters K.
+int CompactRelabel(std::vector<int>* assignment);
+
+/// Sizes of clusters 0..K-1 (ignores -1 entries).
+std::vector<int> ClusterSizes(const std::vector<int>& assignment,
+                              int num_clusters);
+
+/// Member indices of each cluster 0..K-1 (ignores -1 entries).
+std::vector<std::vector<std::size_t>> ClusterMembers(
+    const std::vector<int>& assignment, int num_clusters);
+
+/// Contingency table C[a][b] = #instances with id `a` in `pa` and id `b`
+/// in `pb`. Both partitions must be compact; -1 entries in either side are
+/// skipped. Dimensions are (ka, kb).
+std::vector<std::vector<int>> ContingencyTable(const std::vector<int>& pa,
+                                               int ka,
+                                               const std::vector<int>& pb,
+                                               int kb);
+
+/// Count of assigned (non -1) entries.
+std::size_t NumAssigned(const std::vector<int>& assignment);
+
+}  // namespace mcirbm::clustering
+
+#endif  // MCIRBM_CLUSTERING_PARTITION_H_

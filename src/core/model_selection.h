@@ -1,0 +1,64 @@
+// Label-free model selection for the encoder's hidden width.
+//
+// The paper does not report how its hidden-layer sizes were chosen; this
+// helper makes the choice reproducible without labels: for each candidate
+// width, train the configured encoder and score the hidden features by
+// the silhouette of a k-means clustering on them (an internal index —
+// no ground truth involved). Returns the full sweep so callers can also
+// inspect the trade-off curve.
+#ifndef MCIRBM_CORE_MODEL_SELECTION_H_
+#define MCIRBM_CORE_MODEL_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "linalg/matrix.h"
+
+namespace mcirbm::core {
+
+/// Score of one candidate hidden width.
+struct WidthCandidate {
+  int num_hidden = 0;
+  double silhouette = 0;  ///< of k-means clusters on the hidden features
+  double reconstruction_error = 0;
+};
+
+/// Result of the sweep: every candidate plus the argmax by silhouette.
+struct WidthSelection {
+  std::vector<WidthCandidate> candidates;
+  int best_num_hidden = 0;
+};
+
+/// Trains `config` once per width in `widths` (all else equal) and scores
+/// each; `k` is the cluster count used for the internal scoring.
+/// Deterministic given `seed`. `widths` must be non-empty.
+WidthSelection SelectHiddenWidth(const linalg::Matrix& x,
+                                 const PipelineConfig& config,
+                                 const std::vector<int>& widths, int k,
+                                 std::uint64_t seed);
+
+/// Score of one candidate cluster count.
+struct KCandidate {
+  int k = 0;
+  double silhouette = 0;  ///< of a k-means clustering at this k
+};
+
+/// Result of a cluster-count sweep: every candidate plus the argmax.
+struct KSelection {
+  std::vector<KCandidate> candidates;
+  int best_k = 0;
+};
+
+/// Label-free choice of the cluster count K for the supervision stage.
+///
+/// The paper sets K to the number of classes, which presumes knowledge a
+/// fully unsupervised pipeline does not have. This helper recovers K from
+/// the data: k-means at every k in [k_min, k_max], scored by silhouette.
+/// Deterministic given `seed`; requires 2 <= k_min <= k_max < x.rows().
+KSelection SelectNumClusters(const linalg::Matrix& x, int k_min, int k_max,
+                             std::uint64_t seed);
+
+}  // namespace mcirbm::core
+
+#endif  // MCIRBM_CORE_MODEL_SELECTION_H_

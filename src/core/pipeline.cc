@@ -1,0 +1,139 @@
+#include "core/pipeline.h"
+
+#include <utility>
+#include <vector>
+
+#include "clustering/affinity_propagation.h"
+#include "clustering/agglomerative.h"
+#include "clustering/dbscan.h"
+#include "clustering/density_peaks.h"
+#include "clustering/gmm.h"
+#include "clustering/kmeans.h"
+#include "clustering/spectral.h"
+#include "util/check.h"
+#include "util/logging.h"
+
+namespace mcirbm::core {
+
+const char* ModelKindName(ModelKind kind) {
+  switch (kind) {
+    case ModelKind::kRbm:
+      return "RBM";
+    case ModelKind::kGrbm:
+      return "GRBM";
+    case ModelKind::kSlsRbm:
+      return "slsRBM";
+    case ModelKind::kSlsGrbm:
+      return "slsGRBM";
+  }
+  return "?";
+}
+
+voting::LocalSupervision ComputeSelfLearningSupervision(
+    const linalg::Matrix& x, const SupervisionConfig& config,
+    std::uint64_t seed) {
+  MCIRBM_CHECK_GT(config.num_clusters, 0);
+  std::vector<std::vector<int>> partitions;
+
+  if (config.use_density_peaks) {
+    clustering::DensityPeaksConfig dp;
+    dp.k = config.num_clusters;
+    partitions.push_back(
+        clustering::DensityPeaks(dp).Cluster(x, seed).assignment);
+  }
+  if (config.use_kmeans) {
+    MCIRBM_CHECK_GT(config.kmeans_voters, 0);
+    clustering::KMeansConfig km;
+    km.k = config.num_clusters;
+    for (int v = 0; v < config.kmeans_voters; ++v) {
+      partitions.push_back(
+          clustering::KMeans(km)
+              .Cluster(x, seed + static_cast<std::uint64_t>(v) * 7919ULL)
+              .assignment);
+    }
+  }
+  if (config.use_affinity_propagation) {
+    clustering::AffinityPropagationConfig ap;
+    ap.target_clusters = config.num_clusters;
+    partitions.push_back(
+        clustering::AffinityPropagation(ap).Cluster(x, seed).assignment);
+  }
+  if (config.use_agglomerative) {
+    partitions.push_back(
+        clustering::Agglomerative(config.num_clusters,
+                                  clustering::Linkage::kWard)
+            .Cluster(x, seed)
+            .assignment);
+  }
+  if (config.use_dbscan) {
+    partitions.push_back(
+        clustering::Dbscan(clustering::Dbscan::Options{})
+            .Cluster(x, seed)
+            .assignment);
+  }
+  if (config.use_gmm) {
+    clustering::GaussianMixture::Options gmm;
+    gmm.num_components = config.num_clusters;
+    partitions.push_back(
+        clustering::GaussianMixture(gmm).Cluster(x, seed).assignment);
+  }
+  if (config.use_spectral) {
+    clustering::Spectral::Options sp;
+    sp.num_clusters = config.num_clusters;
+    partitions.push_back(
+        clustering::Spectral(sp).Cluster(x, seed).assignment);
+  }
+  MCIRBM_CHECK(!partitions.empty())
+      << "at least one base clusterer must be enabled";
+
+  voting::LocalSupervision sup = voting::IntegratePartitions(
+      partitions, config.strategy, config.min_cluster_size);
+  MCIRBM_LOG(kInfo) << "self-learning supervision: " << sup.num_clusters
+                    << " credible clusters, coverage " << sup.Coverage();
+  return sup;
+}
+
+PipelineResult RunEncoderPipeline(const linalg::Matrix& x,
+                                  const PipelineConfig& config,
+                                  std::uint64_t seed) {
+  MCIRBM_CHECK_GT(x.rows(), 0u);
+  rbm::RbmConfig rbm_config = config.rbm;
+  if (rbm_config.num_visible == 0) {
+    rbm_config.num_visible = static_cast<int>(x.cols());
+  }
+  rbm_config.seed = rbm_config.seed ^ seed;
+
+  PipelineResult result;
+  const bool is_sls = config.model == ModelKind::kSlsRbm ||
+                      config.model == ModelKind::kSlsGrbm;
+  if (is_sls) {
+    result.supervision =
+        ComputeSelfLearningSupervision(x, config.supervision, seed);
+  }
+
+  switch (config.model) {
+    case ModelKind::kRbm:
+      result.model = std::make_unique<rbm::Rbm>(rbm_config);
+      break;
+    case ModelKind::kGrbm:
+      result.model = std::make_unique<rbm::Grbm>(rbm_config);
+      break;
+    case ModelKind::kSlsRbm:
+      result.model = std::make_unique<SlsRbm>(rbm_config, config.sls,
+                                              result.supervision);
+      break;
+    case ModelKind::kSlsGrbm:
+      result.model = std::make_unique<SlsGrbm>(rbm_config, config.sls,
+                                               result.supervision);
+      break;
+  }
+
+  const std::vector<rbm::EpochStats> history = result.model->Train(x);
+  result.final_reconstruction_error =
+      history.empty() ? result.model->ReconstructionError(x)
+                      : history.back().reconstruction_error;
+  result.hidden_features = result.model->HiddenFeatures(x);
+  return result;
+}
+
+}  // namespace mcirbm::core

@@ -1,0 +1,96 @@
+// End-to-end encoder pipeline (Fig. 1 of the paper).
+//
+//   visible data ──> {DP, K-means, AP} ──> unanimous voting ──>
+//   self-learning local supervision ──> sls(G)RBM CD-1 training ──>
+//   hidden-layer features for downstream clustering.
+#ifndef MCIRBM_CORE_PIPELINE_H_
+#define MCIRBM_CORE_PIPELINE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "core/sls_config.h"
+#include "core/sls_models.h"
+#include "linalg/matrix.h"
+#include "rbm/config.h"
+#include "voting/local_supervision.h"
+#include "voting/vote.h"
+
+namespace mcirbm::core {
+
+/// Which encoder to train.
+enum class ModelKind {
+  kRbm,      ///< plain binary RBM baseline
+  kGrbm,     ///< plain Gaussian RBM baseline
+  kSlsRbm,   ///< paper model for binary data
+  kSlsGrbm,  ///< paper model for real-valued data
+};
+
+const char* ModelKindName(ModelKind kind);
+
+/// Configuration of the supervision-construction stage.
+struct SupervisionConfig {
+  int num_clusters = 2;  ///< K passed to the base clusterers
+  voting::VoteStrategy strategy = voting::VoteStrategy::kUnanimous;
+  int min_cluster_size = 2;
+  bool use_density_peaks = true;
+  bool use_kmeans = true;
+  bool use_affinity_propagation = true;
+
+  /// Number of independently seeded K-means members contributed to the
+  /// integration (>= 1). Additional runs make the unanimous vote stricter:
+  /// instances that K-means assigns unstably across restarts lose their
+  /// credibility, which raises consensus precision at some coverage cost.
+  int kmeans_voters = 1;
+
+  // --- Extended integration members (beyond the paper's DP/K-means/AP).
+  // All default off; the ablation bench compares member sets. Diverse
+  // voters sharpen the unanimous vote: agreement across *different biases*
+  // (hierarchical, density-with-noise, model-based, graph-based) is
+  // stronger evidence than agreement across similar ones.
+
+  /// Ward-linkage agglomerative clustering as a voter.
+  bool use_agglomerative = false;
+  /// Self-tuning DBSCAN as a voter. Its noise points (-1) abstain, which
+  /// the voting layer already treats as "no consensus".
+  bool use_dbscan = false;
+  /// Diagonal-covariance GMM (EM) as a voter.
+  bool use_gmm = false;
+  /// Normalized-cut spectral clustering as a voter. O(n³) eigensolve —
+  /// intended for datasets up to a few hundred instances.
+  bool use_spectral = false;
+};
+
+/// Runs the enabled base clusterers on `x` and integrates their partitions
+/// into a LocalSupervision (Section V.A.2). `x` should already be in the
+/// representation the encoder will train on.
+voting::LocalSupervision ComputeSelfLearningSupervision(
+    const linalg::Matrix& x, const SupervisionConfig& config,
+    std::uint64_t seed);
+
+/// Full pipeline configuration.
+struct PipelineConfig {
+  ModelKind model = ModelKind::kSlsGrbm;
+  rbm::RbmConfig rbm;          ///< num_visible may be 0 = infer from data
+  SlsConfig sls;               ///< ignored by plain models
+  SupervisionConfig supervision;  ///< ignored by plain models
+};
+
+/// Result of running the pipeline on one dataset.
+struct PipelineResult {
+  linalg::Matrix hidden_features;           ///< n x num_hidden
+  voting::LocalSupervision supervision;     ///< empty for plain models
+  std::unique_ptr<rbm::RbmBase> model;      ///< the trained encoder
+  double final_reconstruction_error = 0;
+};
+
+/// Trains the configured encoder on `x` and extracts hidden features.
+/// For sls models the supervision is computed from `x` itself (fully
+/// unsupervised). Deterministic given `seed`.
+PipelineResult RunEncoderPipeline(const linalg::Matrix& x,
+                                  const PipelineConfig& config,
+                                  std::uint64_t seed);
+
+}  // namespace mcirbm::core
+
+#endif  // MCIRBM_CORE_PIPELINE_H_

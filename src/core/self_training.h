@@ -1,0 +1,63 @@
+// Iterated self-training: re-derive the self-learning local supervision
+// from the model's own hidden features and retrain.
+//
+// The paper computes the supervision once, from the visible data. If the
+// sls encoder really improves the feature distribution, clustering *its
+// hidden features* should produce better-agreeing partitions — i.e. a
+// broader and purer consensus — which in turn should supervise a better
+// encoder. This module closes that loop and reports whether it converges
+// (the coverage trace is the diagnostic: it typically grows and then
+// plateaus).
+#ifndef MCIRBM_CORE_SELF_TRAINING_H_
+#define MCIRBM_CORE_SELF_TRAINING_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/pipeline.h"
+#include "linalg/matrix.h"
+
+namespace mcirbm::core {
+
+/// Configuration of the iterated self-training loop.
+struct SelfTrainingConfig {
+  /// Base pipeline; `model` must be one of the sls kinds.
+  PipelineConfig pipeline;
+
+  /// Number of rounds. Round 0 is exactly the paper's pipeline
+  /// (supervision from visible data); each later round re-derives the
+  /// supervision from the previous round's hidden features and retrains
+  /// a fresh encoder on the visible data.
+  int rounds = 3;
+
+  /// Stop early when consensus coverage changes by less than this
+  /// between rounds (<= 0 disables early stopping).
+  double coverage_tolerance = 0.0;
+};
+
+/// Telemetry of one self-training round.
+struct SelfTrainingRound {
+  int round = 0;
+  double supervision_coverage = 0;
+  int supervision_clusters = 0;
+  double final_reconstruction_error = 0;
+};
+
+/// Outcome of the loop: the last round's model/features plus the trace.
+struct SelfTrainingResult {
+  std::vector<SelfTrainingRound> rounds;
+  linalg::Matrix hidden_features;           ///< last round, n x num_hidden
+  voting::LocalSupervision supervision;     ///< last round's supervision
+  std::unique_ptr<rbm::RbmBase> model;      ///< last round's encoder
+  bool stopped_early = false;
+};
+
+/// Runs the loop on `x`. Deterministic given `seed`.
+SelfTrainingResult RunSelfTraining(const linalg::Matrix& x,
+                                   const SelfTrainingConfig& config,
+                                   std::uint64_t seed);
+
+}  // namespace mcirbm::core
+
+#endif  // MCIRBM_CORE_SELF_TRAINING_H_

@@ -1,0 +1,241 @@
+#include "core/sls_gradient.h"
+
+#include <cmath>
+
+#include "linalg/ops.h"
+#include "util/check.h"
+
+namespace mcirbm::core {
+namespace {
+
+// Visible-cluster centers O_k (rows) for the retained clusters.
+linalg::Matrix ClusterCenters(const linalg::Matrix& v,
+                              const SupervisionBatch& batch) {
+  const std::size_t k = batch.num_clusters();
+  linalg::Matrix centers(k, v.cols());
+  for (std::size_t c = 0; c < k; ++c) {
+    const auto& rows = batch.members[c];
+    MCIRBM_DCHECK(!rows.empty());
+    double* crow = centers.data() + c * v.cols();
+    for (std::size_t r : rows) {
+      const double* vrow = v.data() + r * v.cols();
+      for (std::size_t j = 0; j < v.cols(); ++j) crow[j] += vrow[j];
+    }
+    const double inv = 1.0 / static_cast<double>(rows.size());
+    for (std::size_t j = 0; j < v.cols(); ++j) crow[j] *= inv;
+  }
+  return centers;
+}
+
+// Mapped centers C_k = σ(b + O_k W).
+linalg::Matrix MappedCenters(const linalg::Matrix& centers,
+                             const linalg::Matrix& w,
+                             const std::vector<double>& b) {
+  linalg::Matrix c = linalg::Gemm(centers, w);
+  linalg::AddRowVector(&c, b);
+  linalg::SigmoidInPlace(&c);
+  return c;
+}
+
+// Adds scale * ∂(−w_d·Ld)/∂θ where Ld is the center-dispersion term
+// (1/NC) Σ_{p<q} ||C_p − C_q||² and w_d the disperse weight. Shared by
+// both implementations: K is tiny so the explicit pair loop is optimal.
+void AccumulateDisperse(const linalg::Matrix& v,
+                        const SupervisionBatch& batch,
+                        const linalg::Matrix& w,
+                        const std::vector<double>& b, double scale,
+                        double disperse_weight, SlsGradientOutput out) {
+  const std::size_t k = batch.num_clusters();
+  if (k < 2) return;
+  const linalg::Matrix centers = ClusterCenters(v, batch);
+  const linalg::Matrix mapped = MappedCenters(centers, w, b);
+  const std::size_t nv = w.rows(), nh = w.cols();
+  const double nc = static_cast<double>(k) * (k - 1) / 2.0;
+  // ∂Ld/∂w_ij = (2/NC) Σ_{p<q} (C_pj−C_qj)(gC_pj O_pi − gC_qj O_qi);
+  // the dispersion enters L with a minus sign, hence -scale below.
+  const double f = -scale * disperse_weight * 2.0 / nc;
+  for (std::size_t p = 0; p < k; ++p) {
+    for (std::size_t q = p + 1; q < k; ++q) {
+      for (std::size_t j = 0; j < nh; ++j) {
+        const double cp = mapped(p, j), cq = mapped(q, j);
+        const double diff = cp - cq;
+        if (diff == 0.0) continue;
+        const double gp = cp * (1 - cp), gq = cq * (1 - cq);
+        (*out.db)[j] += f * diff * (gp - gq);
+        const double cj = f * diff;
+        double* dwcol = out.dw->data() + j;  // column j, stride nh
+        const double* op = centers.data() + p * nv;
+        const double* oq = centers.data() + q * nv;
+        for (std::size_t i = 0; i < nv; ++i) {
+          dwcol[i * nh] += cj * (gp * op[i] - gq * oq[i]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+SupervisionBatch BuildSupervisionBatch(
+    const voting::LocalSupervision& supervision,
+    const std::vector<std::size_t>& batch_indices) {
+  SupervisionBatch batch;
+  std::vector<std::vector<std::size_t>> raw(supervision.num_clusters);
+  for (std::size_t r = 0; r < batch_indices.size(); ++r) {
+    const std::size_t global = batch_indices[r];
+    MCIRBM_CHECK_LT(global, supervision.cluster_of.size());
+    const int c = supervision.cluster_of[global];
+    if (c >= 0) raw[c].push_back(r);
+  }
+  for (auto& rows : raw) {
+    if (rows.size() >= 2) {
+      batch.num_credible += rows.size();
+      batch.num_ordered_pairs += rows.size() * (rows.size() - 1);
+      batch.members.push_back(std::move(rows));
+    }
+  }
+  return batch;
+}
+
+void AccumulateSlsGradientNaive(const linalg::Matrix& v,
+                                const linalg::Matrix& h,
+                                const SupervisionBatch& batch,
+                                const linalg::Matrix& w,
+                                const std::vector<double>& b,
+                                const SlsGradientOptions& options,
+                                SlsGradientOutput out) {
+  if (batch.empty()) return;
+  MCIRBM_CHECK_EQ(v.rows(), h.rows());
+  MCIRBM_CHECK(out.dw->rows() == v.cols() && out.dw->cols() == h.cols());
+  MCIRBM_CHECK_EQ(out.db->size(), h.cols());
+  const std::size_t nv = v.cols(), nh = h.cols();
+  const double inv_norm =
+      1.0 / static_cast<double>(options.normalize_by_pairs
+                                    ? batch.num_ordered_pairs
+                                    : batch.num_credible);
+  const double f = options.scale * 2.0 * inv_norm;  // constrict prefactor
+
+  // Literal Eq. 27/31: ordered pairs (s,t) within each credible cluster.
+  for (const auto& rows : batch.members) {
+    for (std::size_t s : rows) {
+      const double* hs = h.data() + s * nh;
+      const double* vs = v.data() + s * nv;
+      for (std::size_t t : rows) {
+        if (s == t) continue;
+        const double* ht = h.data() + t * nh;
+        const double* vt = v.data() + t * nv;
+        for (std::size_t j = 0; j < nh; ++j) {
+          const double diff = hs[j] - ht[j];
+          if (diff == 0.0) continue;
+          const double gs = hs[j] * (1 - hs[j]);
+          const double gt = ht[j] * (1 - ht[j]);
+          (*out.db)[j] += f * diff * (gs - gt);
+          const double cj = f * diff;
+          double* dwcol = out.dw->data() + j;
+          for (std::size_t i = 0; i < nv; ++i) {
+            dwcol[i * nh] += cj * (gs * vs[i] - gt * vt[i]);
+          }
+        }
+      }
+    }
+  }
+  if (options.include_disperse) {
+    AccumulateDisperse(v, batch, w, b, options.scale,
+                       options.disperse_weight, out);
+  }
+}
+
+void AccumulateSlsGradientFast(const linalg::Matrix& v,
+                               const linalg::Matrix& h,
+                               const SupervisionBatch& batch,
+                               const linalg::Matrix& w,
+                               const std::vector<double>& b,
+                               const SlsGradientOptions& options,
+                               SlsGradientOutput out) {
+  if (batch.empty()) return;
+  MCIRBM_CHECK_EQ(v.rows(), h.rows());
+  MCIRBM_CHECK(out.dw->rows() == v.cols() && out.dw->cols() == h.cols());
+  MCIRBM_CHECK_EQ(out.db->size(), h.cols());
+  const std::size_t nv = v.cols(), nh = h.cols();
+  const double inv_norm =
+      1.0 / static_cast<double>(options.normalize_by_pairs
+                                    ? batch.num_ordered_pairs
+                                    : batch.num_credible);
+
+  // Σ_{s,t∈k}(a_s−a_t)(c_s−c_t) = 2N_k Σ_s a_s c_s − 2(Σ_s a_s)(Σ_s c_s)
+  // applied per column j with a_s = h_sj and c_s = g_sj·v_si turns the
+  // pairwise sums into two GEMMs per cluster.
+  for (const auto& rows : batch.members) {
+    const std::size_t nk = rows.size();
+    const linalg::Matrix vk = v.SelectRows(rows);
+    const linalg::Matrix hk = h.SelectRows(rows);
+    linalg::Matrix gk = linalg::SigmoidDeriv(hk);       // g = h(1-h)
+    linalg::Matrix hg = hk;
+    hg.HadamardInPlace(gk);                              // h∘g
+
+    const double c1 = options.scale * 4.0 * static_cast<double>(nk) *
+                      inv_norm;                      // (2/norm)·2N_k
+    const double c2 = options.scale * 4.0 * inv_norm;  // (2/norm)·2
+
+    // dW += c1·V_kᵀ(H∘G) − c2·diag-col-scaled V_kᵀG.
+    linalg::AccumulateGemmTransA(c1, vk, hg, out.dw);
+    const linalg::Matrix vg = linalg::GemmTransA(vk, gk);  // nv x nh
+    const std::vector<double> hsum = linalg::ColSums(hk);
+    for (std::size_t i = 0; i < nv; ++i) {
+      double* dwrow = out.dw->data() + i * nh;
+      const double* vgrow = vg.data() + i * nh;
+      for (std::size_t j = 0; j < nh; ++j) {
+        dwrow[j] -= c2 * hsum[j] * vgrow[j];
+      }
+    }
+    // db += c1·Σ_s h_sj g_sj − c2·hsum_j·gsum_j.
+    const std::vector<double> hgsum = linalg::ColSums(hg);
+    const std::vector<double> gsum = linalg::ColSums(gk);
+    for (std::size_t j = 0; j < nh; ++j) {
+      (*out.db)[j] += c1 * hgsum[j] - c2 * hsum[j] * gsum[j];
+    }
+  }
+  if (options.include_disperse) {
+    AccumulateDisperse(v, batch, w, b, options.scale,
+                       options.disperse_weight, out);
+  }
+}
+
+double SlsObjective(const linalg::Matrix& v, const linalg::Matrix& h,
+                    const SupervisionBatch& batch, const linalg::Matrix& w,
+                    const std::vector<double>& b,
+                    const SlsGradientOptions& options) {
+  if (batch.empty()) return 0.0;
+  const std::size_t nh = h.cols();
+  double constrict = 0;
+  for (const auto& rows : batch.members) {
+    for (std::size_t s : rows) {
+      for (std::size_t t : rows) {
+        if (s == t) continue;
+        constrict += linalg::SquaredDistance(h.Row(s), h.Row(t));
+      }
+    }
+  }
+  constrict /= static_cast<double>(options.normalize_by_pairs
+                                       ? batch.num_ordered_pairs
+                                       : batch.num_credible);
+
+  double disperse = 0;
+  const std::size_t k = batch.num_clusters();
+  if (options.include_disperse && k >= 2) {
+    const linalg::Matrix centers = ClusterCenters(v, batch);
+    const linalg::Matrix mapped = MappedCenters(centers, w, b);
+    for (std::size_t p = 0; p < k; ++p) {
+      for (std::size_t q = p + 1; q < k; ++q) {
+        for (std::size_t j = 0; j < nh; ++j) {
+          const double d = mapped(p, j) - mapped(q, j);
+          disperse += d * d;
+        }
+      }
+    }
+    disperse /= static_cast<double>(k) * (k - 1) / 2.0;
+  }
+  return constrict - options.disperse_weight * disperse;
+}
+
+}  // namespace mcirbm::core

@@ -1,0 +1,87 @@
+// The paper's two instantiation models.
+//
+//  * slsRBM  — binary visible/hidden units, sigmoid reconstruction,
+//              for binarized (UCI-style) data.
+//  * slsGRBM — Gaussian linear visible units, linear reconstruction,
+//              for standardized real-valued (image-feature) data.
+//
+// Both fuse the self-learning local supervision into CD-1 learning: each
+// update applies η-scaled CD plus the (1−η)-scaled constrict/disperse
+// gradient evaluated on BOTH the data view (V, H) and the reconstructed
+// view (Ṽ, H̃) — update rules Eq. 33-35.
+#ifndef MCIRBM_CORE_SLS_MODELS_H_
+#define MCIRBM_CORE_SLS_MODELS_H_
+
+#include "core/sls_config.h"
+#include "core/sls_gradient.h"
+#include "rbm/grbm.h"
+#include "rbm/rbm.h"
+#include "voting/local_supervision.h"
+
+namespace mcirbm::core {
+
+/// Shared supervision-fusion logic; owned by both sls models.
+class SlsSupervisionFuser {
+ public:
+  SlsSupervisionFuser(const SlsConfig& config,
+                      voting::LocalSupervision supervision);
+
+  /// Adds the (1−η)-scaled descent direction of Ldata (+ Lrecon) into
+  /// `grads`, using the batch snapshot and the current parameters.
+  void Accumulate(const rbm::BatchContext& batch, const linalg::Matrix& w,
+                  const std::vector<double>& b,
+                  rbm::GradientBuffers* grads) const;
+
+  const SlsConfig& config() const { return config_; }
+  const voting::LocalSupervision& supervision() const { return supervision_; }
+
+ private:
+  SlsConfig config_;
+  voting::LocalSupervision supervision_;
+};
+
+/// Self-learning local supervision RBM (binary units).
+class SlsRbm : public rbm::Rbm {
+ public:
+  SlsRbm(const rbm::RbmConfig& rbm_config, const SlsConfig& sls_config,
+         voting::LocalSupervision supervision)
+      : Rbm(rbm_config), fuser_(sls_config, std::move(supervision)) {}
+
+  std::string name() const override { return "sls-rbm"; }
+  const SlsSupervisionFuser& fuser() const { return fuser_; }
+
+ protected:
+  double CdScale() const override { return fuser_.config().eta; }
+  void AccumulateSupervisionGradient(const rbm::BatchContext& batch,
+                                     rbm::GradientBuffers* grads) override {
+    fuser_.Accumulate(batch, w_, b_, grads);
+  }
+
+ private:
+  SlsSupervisionFuser fuser_;
+};
+
+/// Self-learning local supervision GRBM (Gaussian linear visible units).
+class SlsGrbm : public rbm::Grbm {
+ public:
+  SlsGrbm(const rbm::RbmConfig& rbm_config, const SlsConfig& sls_config,
+          voting::LocalSupervision supervision)
+      : Grbm(rbm_config), fuser_(sls_config, std::move(supervision)) {}
+
+  std::string name() const override { return "sls-grbm"; }
+  const SlsSupervisionFuser& fuser() const { return fuser_; }
+
+ protected:
+  double CdScale() const override { return fuser_.config().eta; }
+  void AccumulateSupervisionGradient(const rbm::BatchContext& batch,
+                                     rbm::GradientBuffers* grads) override {
+    fuser_.Accumulate(batch, w_, b_, grads);
+  }
+
+ private:
+  SlsSupervisionFuser fuser_;
+};
+
+}  // namespace mcirbm::core
+
+#endif  // MCIRBM_CORE_SLS_MODELS_H_

@@ -1,0 +1,130 @@
+#include "core/stack_serialize.h"
+
+#include <fstream>
+#include <sstream>
+#include <utility>
+
+#include "rbm/grbm.h"
+#include "rbm/rbm.h"
+#include "rbm/serialize.h"
+#include "util/check.h"
+
+namespace mcirbm::core {
+namespace {
+
+constexpr char kMagic[] = "mcirbm-stack v1";
+
+// Reconstruction type of one layer, from its configured model kind.
+const char* ReconstructionName(ModelKind kind) {
+  return (kind == ModelKind::kGrbm || kind == ModelKind::kSlsGrbm)
+             ? "linear"
+             : "sigmoid";
+}
+
+std::string LayerFileName(const std::string& path, std::size_t index) {
+  return path + ".layer" + std::to_string(index);
+}
+
+// Peeks (nv, nh) from a single-model parameter file without loading it.
+Status PeekShape(const std::string& path, int* nv, int* nh) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string magic_line, name_line, shape_line;
+  std::getline(in, magic_line);
+  std::getline(in, name_line);
+  if (!std::getline(in, shape_line)) {
+    return Status::ParseError("truncated layer file " + path);
+  }
+  std::istringstream shape(shape_line);
+  if (!(shape >> *nv >> *nh) || *nv <= 0 || *nh <= 0) {
+    return Status::ParseError("bad shape line in " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status SaveStack(const StackedEncoder& stack, const std::string& path) {
+  if (!stack.is_trained()) {
+    return Status::InvalidArgument("stack has not been trained");
+  }
+  std::ofstream manifest(path);
+  if (!manifest) return Status::IoError("cannot open " + path);
+  manifest << kMagic << "\n" << stack.num_layers() << "\n";
+  for (std::size_t l = 0; l < stack.num_layers(); ++l) {
+    const std::string layer_path = LayerFileName(path, l);
+    const Status status = rbm::SaveParameters(stack.layer(l), layer_path);
+    if (!status.ok()) return status;
+    manifest << stack.layer(l).name() << " "
+             << ReconstructionName(stack.layer_config(l).model) << " "
+             << LayerFileName("", l) << "\n";
+  }
+  if (!manifest) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Status LoadStack(const std::string& path, LoadedStack* out) {
+  MCIRBM_CHECK_NE(out, nullptr);
+  std::ifstream manifest(path);
+  if (!manifest) return Status::IoError("cannot open " + path);
+  std::string magic_line;
+  std::getline(manifest, magic_line);
+  if (magic_line != kMagic) {
+    return Status::ParseError("bad stack magic in " + path);
+  }
+  std::size_t num_layers = 0;
+  manifest >> num_layers;
+  if (!manifest || num_layers == 0) {
+    return Status::ParseError("bad layer count in " + path);
+  }
+
+  std::vector<std::unique_ptr<rbm::RbmBase>> layers;
+  for (std::size_t l = 0; l < num_layers; ++l) {
+    std::string model_name, reconstruction, suffix;
+    if (!(manifest >> model_name >> reconstruction >> suffix)) {
+      return Status::ParseError("truncated manifest " + path);
+    }
+    if (reconstruction != "sigmoid" && reconstruction != "linear") {
+      return Status::ParseError("unknown reconstruction '" + reconstruction +
+                                "' in " + path);
+    }
+    const std::string layer_path = path + suffix;
+    int nv = 0, nh = 0;
+    Status status = PeekShape(layer_path, &nv, &nh);
+    if (!status.ok()) return status;
+
+    rbm::RbmConfig config;
+    config.num_visible = nv;
+    config.num_hidden = nh;
+    std::unique_ptr<rbm::RbmBase> model;
+    if (reconstruction == "linear") {
+      model = std::make_unique<rbm::Grbm>(config);
+    } else {
+      model = std::make_unique<rbm::Rbm>(config);
+    }
+    status = rbm::LoadParameters(layer_path, model.get());
+    if (!status.ok()) return status;
+    layers.push_back(std::move(model));
+  }
+  out->layers_ = std::move(layers);
+  return Status::Ok();
+}
+
+linalg::Matrix LoadedStack::Transform(const linalg::Matrix& x,
+                                      std::size_t depth) const {
+  MCIRBM_CHECK(!layers_.empty()) << "empty stack";
+  const std::size_t count = depth == 0 ? layers_.size() : depth;
+  MCIRBM_CHECK_LE(count, layers_.size());
+  linalg::Matrix features = x;
+  for (std::size_t l = 0; l < count; ++l) {
+    features = layers_[l]->HiddenFeatures(features);
+  }
+  return features;
+}
+
+const rbm::RbmBase& LoadedStack::layer(std::size_t i) const {
+  MCIRBM_CHECK_LT(i, layers_.size());
+  return *layers_[i];
+}
+
+}  // namespace mcirbm::core

@@ -1,0 +1,52 @@
+// (De)serialization of trained stacked encoders.
+//
+// Layout: a manifest at `path` plus one per-layer parameter file
+// "<path>.layer<i>" in the single-model format of rbm/serialize.h:
+//
+//   mcirbm-stack v1
+//   <num_layers>
+//   <model-name> <reconstruction: sigmoid|linear> <layer-file-basename>
+//   ...
+//
+// Loading reconstructs inference-equivalent plain models (Rbm for sigmoid
+// reconstruction, Grbm for linear): the sls supervision only affects
+// training, so Transform on a loaded stack matches the original exactly.
+#ifndef MCIRBM_CORE_STACK_SERIALIZE_H_
+#define MCIRBM_CORE_STACK_SERIALIZE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/stacked.h"
+#include "linalg/matrix.h"
+#include "rbm/rbm_base.h"
+#include "util/status.h"
+
+namespace mcirbm::core {
+
+/// A stack restored from disk: feature extraction only.
+class LoadedStack {
+ public:
+  /// Feature map through the first `depth` layers (0 = all layers).
+  linalg::Matrix Transform(const linalg::Matrix& x,
+                           std::size_t depth = 0) const;
+
+  std::size_t num_layers() const { return layers_.size(); }
+  const rbm::RbmBase& layer(std::size_t i) const;
+
+ private:
+  friend Status LoadStack(const std::string& path, LoadedStack* out);
+  std::vector<std::unique_ptr<rbm::RbmBase>> layers_;
+};
+
+/// Writes a trained stack (manifest + per-layer files). Fails if the
+/// stack has not been trained.
+Status SaveStack(const StackedEncoder& stack, const std::string& path);
+
+/// Restores a stack saved by SaveStack into `out`.
+Status LoadStack(const std::string& path, LoadedStack* out);
+
+}  // namespace mcirbm::core
+
+#endif  // MCIRBM_CORE_STACK_SERIALIZE_H_

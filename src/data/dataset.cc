@@ -1,0 +1,64 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace mcirbm::data {
+
+void Dataset::CheckValid() const {
+  MCIRBM_CHECK_EQ(x.rows(), labels.size())
+      << "dataset " << name << ": label count mismatch";
+  MCIRBM_CHECK_GT(num_classes, 0) << "dataset " << name;
+  for (int l : labels) {
+    MCIRBM_CHECK(l >= 0 && l < num_classes)
+        << "dataset " << name << ": label " << l << " out of range";
+  }
+}
+
+Dataset Dataset::Subset(const std::vector<std::size_t>& indices) const {
+  Dataset out;
+  out.name = name;
+  out.num_classes = num_classes;
+  out.x = x.SelectRows(indices);
+  out.labels.reserve(indices.size());
+  for (std::size_t i : indices) {
+    MCIRBM_CHECK_LT(i, labels.size());
+    out.labels.push_back(labels[i]);
+  }
+  return out;
+}
+
+std::vector<int> Dataset::ClassCounts() const {
+  std::vector<int> counts(num_classes, 0);
+  for (int l : labels) ++counts[l];
+  return counts;
+}
+
+Dataset StratifiedSubsample(const Dataset& dataset,
+                            std::size_t max_instances,
+                            std::uint64_t seed) {
+  if (dataset.num_instances() <= max_instances) return dataset;
+  rng::Rng rng(seed);
+  // Partition indices per class, shuffle each, take a proportional share.
+  std::vector<std::vector<std::size_t>> per_class(dataset.num_classes);
+  for (std::size_t i = 0; i < dataset.labels.size(); ++i) {
+    per_class[dataset.labels[i]].push_back(i);
+  }
+  const double keep_frac = static_cast<double>(max_instances) /
+                           static_cast<double>(dataset.num_instances());
+  std::vector<std::size_t> keep;
+  for (auto& idx : per_class) {
+    rng.Shuffle(&idx);
+    std::size_t take = static_cast<std::size_t>(
+        keep_frac * static_cast<double>(idx.size()) + 0.5);
+    take = std::max<std::size_t>(take, idx.empty() ? 0 : 1);
+    take = std::min(take, idx.size());
+    keep.insert(keep.end(), idx.begin(), idx.begin() + take);
+  }
+  std::sort(keep.begin(), keep.end());
+  return dataset.Subset(keep);
+}
+
+}  // namespace mcirbm::data

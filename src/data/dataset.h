@@ -1,0 +1,46 @@
+// Dataset container: a feature matrix plus ground-truth class labels.
+//
+// Labels are only consulted by *external* evaluation metrics (accuracy,
+// purity, Rand, FMI) — never by the learning algorithms, which are fully
+// unsupervised, matching the paper's protocol.
+#ifndef MCIRBM_DATA_DATASET_H_
+#define MCIRBM_DATA_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mcirbm::data {
+
+/// A named dataset: n instances x d features with integer class labels.
+struct Dataset {
+  std::string name;                ///< e.g. "Iris (IR)"
+  linalg::Matrix x;                ///< n x d feature matrix
+  std::vector<int> labels;         ///< length n, values in [0, num_classes)
+  int num_classes = 0;
+
+  std::size_t num_instances() const { return x.rows(); }
+  std::size_t num_features() const { return x.cols(); }
+
+  /// Validates the internal invariants (label range, sizes); aborts on
+  /// violation. Called by generators and loaders after construction.
+  void CheckValid() const;
+
+  /// Returns a copy restricted to the given row indices.
+  Dataset Subset(const std::vector<std::size_t>& indices) const;
+
+  /// Per-class instance counts (length num_classes).
+  std::vector<int> ClassCounts() const;
+};
+
+/// Uniformly subsamples `dataset` down to at most `max_instances` rows,
+/// keeping class proportions approximately intact (stratified). Used by the
+/// fast bench mode; a no-op if the dataset is already small enough.
+Dataset StratifiedSubsample(const Dataset& dataset,
+                            std::size_t max_instances,
+                            std::uint64_t seed);
+
+}  // namespace mcirbm::data
+
+#endif  // MCIRBM_DATA_DATASET_H_

@@ -1,0 +1,61 @@
+#include "data/io.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/csv.h"
+
+namespace mcirbm::data {
+
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
+  dataset.CheckValid();
+  std::vector<std::string> header;
+  header.reserve(dataset.num_features() + 1);
+  for (std::size_t j = 0; j < dataset.num_features(); ++j) {
+    header.push_back("f" + std::to_string(j));
+  }
+  header.push_back("label");
+  std::vector<std::vector<double>> rows;
+  rows.reserve(dataset.num_instances());
+  for (std::size_t i = 0; i < dataset.num_instances(); ++i) {
+    std::vector<double> row(dataset.x.Row(i).begin(),
+                            dataset.x.Row(i).end());
+    row.push_back(static_cast<double>(dataset.labels[i]));
+    rows.push_back(std::move(row));
+  }
+  return WriteCsv(path, header, rows);
+}
+
+StatusOr<Dataset> LoadDatasetCsv(const std::string& path,
+                                 const std::string& name) {
+  StatusOr<CsvTable> table = ReadCsv(path, /*has_header=*/true);
+  if (!table.ok()) return table.status();
+  const CsvTable& csv = table.value();
+  if (csv.rows.empty()) return Status::ParseError(path + ": no data rows");
+  const std::size_t width = csv.rows[0].size();
+  if (width < 2) {
+    return Status::ParseError(path + ": need >=1 feature + label column");
+  }
+  Dataset out;
+  out.name = name;
+  out.x.Resize(csv.rows.size(), width - 1);
+  out.labels.resize(csv.rows.size());
+  int max_label = 0;
+  for (std::size_t i = 0; i < csv.rows.size(); ++i) {
+    const auto& row = csv.rows[i];
+    for (std::size_t j = 0; j + 1 < width; ++j) out.x(i, j) = row[j];
+    const double lv = row[width - 1];
+    const int label = static_cast<int>(std::lround(lv));
+    if (std::fabs(lv - label) > 1e-9 || label < 0) {
+      return Status::ParseError(path + ": non-integer label at row " +
+                                std::to_string(i));
+    }
+    out.labels[i] = label;
+    max_label = std::max(max_label, label);
+  }
+  out.num_classes = max_label + 1;
+  out.CheckValid();
+  return out;
+}
+
+}  // namespace mcirbm::data

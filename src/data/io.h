@@ -1,0 +1,23 @@
+// Dataset CSV persistence: features plus a trailing integer label column.
+#ifndef MCIRBM_DATA_IO_H_
+#define MCIRBM_DATA_IO_H_
+
+#include <string>
+
+#include "data/dataset.h"
+#include "util/status.h"
+
+namespace mcirbm::data {
+
+/// Writes `dataset` as CSV: header "f0,...,f<d-1>,label", one row per
+/// instance, label as the last column.
+Status SaveDatasetCsv(const Dataset& dataset, const std::string& path);
+
+/// Reads a dataset previously written by SaveDatasetCsv (or any CSV whose
+/// last column is an integer class label). `name` is attached to the result.
+StatusOr<Dataset> LoadDatasetCsv(const std::string& path,
+                                 const std::string& name);
+
+}  // namespace mcirbm::data
+
+#endif  // MCIRBM_DATA_IO_H_

@@ -1,0 +1,165 @@
+#include "data/paper_datasets.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace mcirbm::data {
+namespace {
+
+// Difficulty knobs per dataset. Calibrated so that raw-feature clustering
+// lands in the paper's reported bands (accuracy ~0.38-0.57 on datasets I,
+// the per-dataset ordering of datasets II). See tests/data/calibration_test.
+struct MsraRow {
+  PaperDatasetInfo info;
+  double separation;
+  std::vector<double> proportions;  // imbalanced "relevance level" classes
+  double informative_fraction;
+  double confusion;
+};
+
+const std::array<MsraRow, 9>& MsraRows() {
+  static const std::array<MsraRow, 9> rows = {{
+      // name, full, no, k, n, d      sep   proportions          info  conf
+      {{"BO", "Book", 1, 3, 896, 892}, 9.0, {0.78, 0.13, 0.09}, 0.28, 0.10},
+      {{"WA", "Water", 2, 3, 922, 899}, 9.6, {0.72, 0.17, 0.11}, 0.28, 0.10},
+      {{"WR", "Weddingring", 3, 3, 897, 899}, 8.2, {0.70, 0.18, 0.12}, 0.25,
+       0.12},
+      {{"BC", "Birthdaycake", 4, 3, 932, 892}, 9.2, {0.66, 0.21, 0.13}, 0.28,
+       0.10},
+      {{"VE", "Vegetable", 5, 3, 872, 899}, 9.2, {0.73, 0.16, 0.11}, 0.28,
+       0.10},
+      {{"AM", "Ambulances", 6, 3, 930, 892}, 10.4, {0.62, 0.24, 0.14}, 0.30,
+       0.08},
+      {{"VI", "Vista", 7, 3, 799, 899}, 9.6, {0.76, 0.14, 0.10}, 0.28, 0.09},
+      {{"WP", "Wallpaper", 8, 3, 919, 899}, 9.0, {0.68, 0.19, 0.13}, 0.28,
+       0.10},
+      {{"VT", "Voituretuning", 9, 3, 879, 899}, 10.0, {0.84, 0.10, 0.06},
+       0.28, 0.08},
+  }};
+  return rows;
+}
+
+struct UciRow {
+  PaperDatasetInfo info;
+  double separation;
+  std::vector<double> proportions;
+  double informative_fraction;
+  double confusion;
+};
+
+const std::array<UciRow, 6>& UciRows() {
+  static const std::array<UciRow, 6> rows = {{
+      // Haberman's Survival: tiny, overlapping, imbalanced — hardest.
+      {{"HS", "Haberman's Survival", 1, 2, 306, 3}, 1.1, {0.735, 0.265},
+       1.0, 0.20},
+      // QSAR biodegradation: mid-size, mildly separable.
+      {{"QB", "QSAR biodegradation", 2, 2, 1055, 41}, 1.5, {0.66, 0.34},
+       0.30, 0.16},
+      // SPECT Heart: small, imbalanced, weak signal.
+      {{"SH", "SPECT Heart", 3, 2, 267, 22}, 1.5, {0.79, 0.21}, 0.40, 0.16},
+      // Climate Model Simulation Crashes: heavy imbalance, moderate signal.
+      {{"SC", "Simulation Crashes", 4, 2, 540, 18}, 2.0, {0.915, 0.085},
+       0.45, 0.08},
+      // Breast Cancer Wisconsin: well separated two-class — raw clustering
+      // is already strong (paper: DP 0.79, K-means 0.85) and the
+      // multi-clustering consensus is near-perfect, which is what lets
+      // slsRBM restore the separation that a plain RBM encoding destroys.
+      {{"BCW", "Breast Cancer Wisconsin", 5, 2, 569, 32}, 3.5, {0.63, 0.37},
+       0.70, 0.04},
+      // Iris: three classes, one linearly separable — easiest.
+      {{"IR", "Iris", 6, 3, 150, 4}, 4.5, {}, 1.0, 0.03},
+  }};
+  return rows;
+}
+
+GaussianMixtureSpec SpecFromMsra(const MsraRow& row) {
+  GaussianMixtureSpec spec;
+  spec.name = row.info.full_name + " (" + row.info.short_name + ")";
+  spec.num_classes = row.info.classes;
+  spec.num_instances = row.info.instances;
+  spec.num_features = row.info.features;
+  spec.informative_fraction = row.informative_fraction;
+  spec.separation = row.separation;
+  spec.class_proportions = row.proportions;
+  spec.anisotropy = 2.0;  // image descriptor bins vary widely in scale
+  spec.confusion_fraction = row.confusion;
+  spec.outlier_fraction = 0.02;
+  // Web-image "relevance level" classes are slices over shared visual
+  // themes: the clusterable structure is the modes, labels only partially
+  // follow them. This is what caps raw accuracy in the paper's bands.
+  spec.shared_modes = 7;
+  spec.mode_class_affinity = 0.96;
+  spec.mode_tightness_exponent = 0.4;
+  // Dense visual-theme cores with diffuse halos: consensus forms on the
+  // cores, whose labels are far more typical than the halo's. Core labels
+  // follow modes tightly so that the multi-clustering consensus is a
+  // *credible* supervision signal (the paper's premise); the halo mass and
+  // the raw-space descriptor noise below are what keep raw-feature
+  // clustering in the paper's 0.38-0.50 band.
+  spec.core_fraction = 0.80;
+  spec.halo_scale = 3.0;
+  spec.halo_affinity = 0.70;
+  // Concatenated-descriptor scale heterogeneity; dominates raw distances.
+  spec.noise_scale_max = 14.0;
+  return spec;
+}
+
+GaussianMixtureSpec SpecFromUci(const UciRow& row) {
+  GaussianMixtureSpec spec;
+  spec.name = row.info.full_name + " (" + row.info.short_name + ")";
+  spec.num_classes = row.info.classes;
+  spec.num_instances = row.info.instances;
+  spec.num_features = row.info.features;
+  spec.informative_fraction = row.informative_fraction;
+  spec.separation = row.separation;
+  spec.class_proportions = row.proportions;
+  spec.anisotropy = 1.5;
+  spec.confusion_fraction = row.confusion;
+  spec.outlier_fraction = 0.01;
+  return spec;
+}
+
+// Seed namespaces keep dataset streams independent of each other and of
+// model/experiment streams.
+constexpr std::uint64_t kMsraSeedBase = 0x4d535241ULL;  // "MSRA"
+constexpr std::uint64_t kUciSeedBase = 0x55434900ULL;   // "UCI"
+
+}  // namespace
+
+int NumMsraDatasets() { return static_cast<int>(MsraRows().size()); }
+int NumUciDatasets() { return static_cast<int>(UciRows().size()); }
+
+const PaperDatasetInfo& MsraDatasetInfo(int index) {
+  MCIRBM_CHECK(index >= 0 && index < NumMsraDatasets());
+  return MsraRows()[index].info;
+}
+
+const PaperDatasetInfo& UciDatasetInfo(int index) {
+  MCIRBM_CHECK(index >= 0 && index < NumUciDatasets());
+  return UciRows()[index].info;
+}
+
+GaussianMixtureSpec MsraSpec(int index) {
+  MCIRBM_CHECK(index >= 0 && index < NumMsraDatasets());
+  return SpecFromMsra(MsraRows()[index]);
+}
+
+GaussianMixtureSpec UciSpec(int index) {
+  MCIRBM_CHECK(index >= 0 && index < NumUciDatasets());
+  return SpecFromUci(UciRows()[index]);
+}
+
+Dataset GenerateMsraLike(int index, std::uint64_t seed) {
+  return GenerateGaussianMixture(
+      MsraSpec(index), kMsraSeedBase * 1000003ULL + seed * 31ULL +
+                           static_cast<std::uint64_t>(index));
+}
+
+Dataset GenerateUciLike(int index, std::uint64_t seed) {
+  return GenerateGaussianMixture(
+      UciSpec(index), kUciSeedBase * 1000003ULL + seed * 31ULL +
+                          static_cast<std::uint64_t>(index));
+}
+
+}  // namespace mcirbm::data

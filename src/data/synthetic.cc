@@ -1,0 +1,233 @@
+#include "data/synthetic.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace mcirbm::data {
+
+Dataset GenerateGaussianMixture(const GaussianMixtureSpec& spec,
+                                std::uint64_t seed) {
+  MCIRBM_CHECK_GT(spec.num_classes, 0);
+  MCIRBM_CHECK_GT(spec.num_instances, 0);
+  MCIRBM_CHECK_GT(spec.num_features, 0);
+  MCIRBM_CHECK(spec.informative_fraction > 0 &&
+               spec.informative_fraction <= 1.0);
+  rng::Rng rng(seed);
+
+  const int k = spec.num_classes;
+  const int n = spec.num_instances;
+  const int d = spec.num_features;
+  const int d_info = std::max(
+      1, static_cast<int>(std::lround(spec.informative_fraction * d)));
+
+  // Class proportions -> per-class counts (largest remainder rounding).
+  std::vector<double> props = spec.class_proportions;
+  if (props.empty()) props.assign(k, 1.0 / k);
+  MCIRBM_CHECK_EQ(static_cast<int>(props.size()), k);
+  double prop_sum = 0;
+  for (double p : props) prop_sum += p;
+  MCIRBM_CHECK(std::fabs(prop_sum - 1.0) < 1e-6)
+      << "class proportions must sum to 1";
+  std::vector<int> counts(k);
+  int assigned = 0;
+  for (int c = 0; c < k; ++c) {
+    counts[c] = static_cast<int>(props[c] * n);
+    assigned += counts[c];
+  }
+  for (int c = 0; assigned < n; c = (c + 1) % k) {
+    ++counts[c];
+    ++assigned;
+  }
+
+  // Class centers: random directions on the informative subspace, scaled so
+  // pairwise center distance ≈ spec.separation (in within-class stddevs).
+  linalg::Matrix centers(k, d_info);
+  for (int c = 0; c < k; ++c) {
+    double norm = 0;
+    for (int j = 0; j < d_info; ++j) {
+      const double v = rng.Gaussian();
+      centers(c, j) = v;
+      norm += v * v;
+    }
+    norm = std::sqrt(norm);
+    // Random unit directions are ~orthogonal in high dims, so scaling each
+    // center to radius sep/sqrt(2) gives pairwise distances ≈ sep.
+    const double radius = spec.separation / std::numbers::sqrt2;
+    for (int j = 0; j < d_info; ++j) {
+      centers(c, j) = centers(c, j) / norm * radius;
+    }
+  }
+
+  // Per-class spatial spread factor (see scale_spread_by_proportion).
+  std::vector<double> class_spread(k, 1.0);
+  if (spec.scale_spread_by_proportion) {
+    for (int c = 0; c < k; ++c) {
+      class_spread[c] = std::pow(static_cast<double>(k) * props[c], 0.75);
+    }
+  }
+
+  // Sub-cluster centers: per class, `subclusters_per_class` modes offset
+  // from the class center by subcluster_spread * separation (scaled by the
+  // class's spread factor).
+  const int n_sub = std::max(1, spec.subclusters_per_class);
+  linalg::Matrix sub_centers(k * n_sub, d_info);
+  for (int c = 0; c < k; ++c) {
+    for (int s = 0; s < n_sub; ++s) {
+      double norm = 0;
+      std::vector<double> dir(d_info);
+      for (int j = 0; j < d_info; ++j) {
+        dir[j] = rng.Gaussian();
+        norm += dir[j] * dir[j];
+      }
+      norm = std::sqrt(norm);
+      const double offset =
+          n_sub > 1
+              ? spec.subcluster_spread * spec.separation * class_spread[c]
+              : 0.0;
+      for (int j = 0; j < d_info; ++j) {
+        sub_centers(c * n_sub + s, j) =
+            centers(c, j) + dir[j] / norm * offset;
+      }
+    }
+  }
+
+  // Shared-mode layout (see GaussianMixtureSpec::shared_modes): mode
+  // centers at radius sep/sqrt(2) and a proportional mode->class
+  // ownership table.
+  const int n_modes = spec.shared_modes;
+  linalg::Matrix mode_centers(std::max(n_modes, 1), d_info);
+  std::vector<int> mode_owner(std::max(n_modes, 1), 0);
+  std::vector<std::vector<int>> class_modes(k);
+  if (n_modes > 0) {
+    MCIRBM_CHECK_GE(n_modes, k) << "need at least one mode per class";
+    for (int m = 0; m < n_modes; ++m) {
+      double norm = 0;
+      for (int j = 0; j < d_info; ++j) {
+        const double v = rng.Gaussian();
+        mode_centers(m, j) = v;
+        norm += v * v;
+      }
+      norm = std::sqrt(norm);
+      const double radius = spec.separation / std::numbers::sqrt2;
+      for (int j = 0; j < d_info; ++j) {
+        mode_centers(m, j) = mode_centers(m, j) / norm * radius;
+      }
+    }
+    // Largest-remainder allotment of modes to classes by prior, at least
+    // one mode each.
+    std::vector<int> allot(k, 1);
+    int remaining = n_modes - k;
+    std::vector<double> frac(k);
+    for (int c = 0; c < k; ++c) frac[c] = props[c] * remaining;
+    for (int c = 0; c < k; ++c) {
+      allot[c] += static_cast<int>(frac[c]);
+      remaining -= static_cast<int>(frac[c]);
+    }
+    for (int c = 0; remaining > 0; c = (c + 1) % k) {
+      ++allot[c];
+      --remaining;
+    }
+    int next = 0;
+    for (int c = 0; c < k; ++c) {
+      for (int i = 0; i < allot[c]; ++i, ++next) {
+        mode_owner[next] = c;
+        class_modes[c].push_back(next);
+      }
+    }
+  }
+
+  // Per-dimension anisotropic within-class stddevs.
+  std::vector<double> dim_stddev(d_info, 1.0);
+  if (spec.anisotropy > 1.0) {
+    for (int j = 0; j < d_info; ++j) {
+      dim_stddev[j] = rng.Uniform(1.0 / spec.anisotropy, spec.anisotropy);
+    }
+  }
+
+  // Heterogeneous scales for the uninformative dims (descriptor bins with
+  // different ranges); dominates raw Euclidean distances when large.
+  std::vector<double> noise_stddev(d - d_info, 1.0);
+  if (spec.noise_scale_max > 1.0) {
+    for (auto& s : noise_stddev) {
+      s = rng.Uniform(1.0, spec.noise_scale_max);
+    }
+  }
+
+  Dataset out;
+  out.name = spec.name;
+  out.num_classes = k;
+  out.x.Resize(n, d);
+  out.labels.resize(n);
+
+  int row = 0;
+  for (int c = 0; c < k; ++c) {
+    for (int i = 0; i < counts[c]; ++i, ++row) {
+      out.labels[row] = c;
+      int sample_class = c;
+      if (k > 1 && rng.Bernoulli(spec.confusion_fraction)) {
+        // Re-sample around another class center (ambiguous instance).
+        sample_class = static_cast<int>(rng.UniformIndex(k - 1));
+        if (sample_class >= c) ++sample_class;
+      }
+      const bool outlier = rng.Bernoulli(spec.outlier_fraction);
+      const bool halo = !rng.Bernoulli(spec.core_fraction);
+      double* xrow = out.x.data() + static_cast<std::size_t>(row) * d;
+      const double* mode_center;
+      double spread;
+      if (n_modes > 0) {
+        // Shared-mode layout: pick an owned mode with prob affinity,
+        // any foreign mode otherwise. Class spread scaling is off here —
+        // modes are common visual themes of a shared space. Halo
+        // instances use the (typically lower) halo affinity.
+        const double affinity =
+            halo && spec.halo_affinity >= 0 ? spec.halo_affinity
+                                            : spec.mode_class_affinity;
+        int mode;
+        if (rng.Bernoulli(affinity) ||
+            static_cast<int>(class_modes[sample_class].size()) == n_modes) {
+          const auto& own = class_modes[sample_class];
+          mode = own[rng.UniformIndex(own.size())];
+        } else {
+          do {
+            mode = static_cast<int>(rng.UniformIndex(n_modes));
+          } while (mode_owner[mode] == sample_class);
+        }
+        mode_center = mode_centers.data() +
+                      static_cast<std::size_t>(mode) * d_info;
+        // Minority-owned visual themes are compact, majority-owned ones
+        // diffuse (see GaussianMixtureSpec::mode_tightness_exponent).
+        spread = spec.mode_tightness_exponent > 0
+                     ? std::pow(static_cast<double>(k) * props[mode_owner[mode]],
+                                spec.mode_tightness_exponent)
+                     : 1.0;
+      } else {
+        const int sub = static_cast<int>(rng.UniformIndex(n_sub));
+        const int mode = sample_class * n_sub + sub;
+        mode_center =
+            sub_centers.data() + static_cast<std::size_t>(mode) * d_info;
+        spread = class_spread[sample_class];
+      }
+      if (halo) spread *= spec.halo_scale;
+      if (outlier) spread *= 3.0;
+      for (int j = 0; j < d_info; ++j) {
+        xrow[j] = mode_center[j] + rng.Gaussian(0.0, dim_stddev[j] * spread);
+      }
+      for (int j = d_info; j < d; ++j) {
+        // Uninformative dimension with its own descriptor-bin scale.
+        xrow[j] = rng.Gaussian(0.0, noise_stddev[j - d_info]);
+      }
+    }
+  }
+  MCIRBM_CHECK_EQ(row, n);
+
+  // Shuffle rows so class blocks are interleaved.
+  const std::vector<std::size_t> perm = rng.Permutation(n);
+  Dataset shuffled = out.Subset(perm);
+  shuffled.CheckValid();
+  return shuffled;
+}
+
+}  // namespace mcirbm::data

@@ -1,0 +1,52 @@
+#include "eval/algorithms.h"
+
+#include <cstdlib>
+
+#include "clustering/affinity_propagation.h"
+#include "clustering/density_peaks.h"
+#include "clustering/kmeans.h"
+#include "util/check.h"
+
+namespace mcirbm::eval {
+
+const char* ClustererKindName(ClustererKind kind) {
+  switch (kind) {
+    case ClustererKind::kDensityPeaks:
+      return "DP";
+    case ClustererKind::kKMeans:
+      return "K-means";
+    case ClustererKind::kAffinityProp:
+      return "AP";
+  }
+  return "?";
+}
+
+clustering::ClusteringResult RunClusterer(ClustererKind kind,
+                                          const linalg::Matrix& x, int k,
+                                          std::uint64_t seed) {
+  switch (kind) {
+    case ClustererKind::kDensityPeaks: {
+      clustering::DensityPeaksConfig cfg;
+      cfg.k = k;
+      return clustering::DensityPeaks(cfg).Cluster(x, seed);
+    }
+    case ClustererKind::kKMeans: {
+      clustering::KMeansConfig cfg;
+      cfg.k = k;
+      // Best-of-3 restarts by SSE; overridable for the restart-
+      // sensitivity ablation (single-run matches MATLAB-era defaults).
+      const char* env = std::getenv("MCIRBM_KMEANS_RESTARTS");
+      cfg.restarts = env != nullptr ? std::max(1, std::atoi(env)) : 3;
+      return clustering::KMeans(cfg).Cluster(x, seed);
+    }
+    case ClustererKind::kAffinityProp: {
+      clustering::AffinityPropagationConfig cfg;
+      cfg.target_clusters = k;
+      return clustering::AffinityPropagation(cfg).Cluster(x, seed);
+    }
+  }
+  MCIRBM_CHECK(false) << "unreachable";
+  return {};
+}
+
+}  // namespace mcirbm::eval

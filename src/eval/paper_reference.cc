@@ -1,0 +1,190 @@
+#include "eval/paper_reference.h"
+
+#include <array>
+
+#include "util/check.h"
+
+namespace mcirbm::eval {
+namespace {
+
+// Column order within each row matches the paper's tables:
+//   DP, K-means, AP | DP+(G)RBM, K-means+(G)RBM, AP+(G)RBM |
+//   DP+sls*, K-means+sls*, AP+sls*
+// i.e. [variant][clusterer] flattened as variant-major.
+using Row = std::array<double, 9>;
+
+// Table IV — accuracies, datasets I (means; variance column omitted).
+const std::array<Row, 9> kTable4 = {{
+    {0.4275, 0.4007, 0.4230, 0.4219, 0.3527, 0.4275, 0.4743, 0.4275, 0.4319},
+    {0.4544, 0.4176, 0.3905, 0.4360, 0.4273, 0.4024, 0.4837, 0.4826, 0.4826},
+    {0.4147, 0.4058, 0.4048, 0.5162, 0.4047, 0.4158, 0.5326, 0.5017, 0.4872},
+    {0.4453, 0.4979, 0.4753, 0.4742, 0.4796, 0.4882, 0.5472, 0.5461, 0.5054},
+    {0.5011, 0.4041, 0.4243, 0.4874, 0.4266, 0.4232, 0.5057, 0.5034, 0.4977},
+    {0.5667, 0.3935, 0.3968, 0.5548, 0.4968, 0.3581, 0.5699, 0.5570, 0.5570},
+    {0.5232, 0.4731, 0.4318, 0.4493, 0.4581, 0.4631, 0.5782, 0.5294, 0.5457},
+    {0.5016, 0.4266, 0.4342, 0.4723, 0.4211, 0.4690, 0.5365, 0.5626, 0.5647},
+    {0.4664, 0.3788, 0.4027, 0.4676, 0.3697, 0.4232, 0.5165, 0.6189, 0.6223},
+}};
+
+// Table V — purity, datasets I.
+const std::array<Row, 9> kTable5 = {{
+    {0.8778, 0.8559, 0.8731, 0.8707, 0.8785, 0.8731, 0.9014, 0.8875, 0.8945},
+    {0.8376, 0.8175, 0.8230, 0.8427, 0.8167, 0.8282, 0.8645, 0.8660, 0.8660},
+    {0.8089, 0.8068, 0.8028, 0.8069, 0.8056, 0.8037, 0.8297, 0.8240, 0.8298},
+    {0.8218, 0.7325, 0.7694, 0.8344, 0.7413, 0.7667, 0.8560, 0.8086, 0.8191},
+    {0.8339, 0.8290, 0.8327, 0.8333, 0.8317, 0.8319, 0.8591, 0.8576, 0.8589},
+    {0.7625, 0.7571, 0.7525, 0.7626, 0.7425, 0.7635, 0.7908, 0.7815, 0.7815},
+    {0.8490, 0.8489, 0.8493, 0.8486, 0.8482, 0.8492, 0.8780, 0.8772, 0.8778},
+    {0.7811, 0.7709, 0.7829, 0.7811, 0.7731, 0.7687, 0.8131, 0.8181, 0.8155},
+    {0.9179, 0.9194, 0.9201, 0.9171, 0.9196, 0.9173, 0.9495, 0.9506, 0.9510},
+}};
+
+// Table VI — Fowlkes-Mallows, datasets I.
+const std::array<Row, 9> kTable6 = {{
+    {0.4471, 0.3838, 0.3999, 0.4170, 0.3767, 0.4078, 0.5110, 0.4212, 0.3992},
+    {0.4731, 0.3907, 0.4001, 0.4660, 0.3932, 0.4011, 0.4907, 0.4781, 0.4781},
+    {0.4093, 0.4058, 0.4104, 0.4841, 0.4053, 0.4086, 0.5281, 0.4765, 0.4676},
+    {0.4803, 0.4632, 0.4288, 0.5140, 0.4537, 0.4342, 0.5215, 0.5199, 0.4783},
+    {0.5044, 0.4042, 0.4149, 0.4613, 0.4052, 0.4147, 0.5117, 0.4968, 0.5046},
+    {0.5887, 0.4341, 0.4271, 0.5719, 0.4771, 0.4074, 0.5508, 0.5151, 0.5151},
+    {0.4963, 0.4418, 0.4357, 0.5097, 0.4422, 0.4394, 0.5600, 0.5363, 0.5552},
+    {0.5718, 0.4148, 0.4154, 0.5027, 0.4078, 0.4362, 0.5336, 0.6782, 0.6743},
+    {0.4644, 0.4054, 0.4212, 0.4751, 0.4041, 0.4523, 0.4964, 0.6535, 0.6557},
+}};
+
+// Table VII — accuracies, datasets II. (The paper prints "05686" for
+// K-means+RBM on HS; transcribed as the evident 0.5686.)
+const std::array<Row, 6> kTable7 = {{
+    {0.5719, 0.5163, 0.5169, 0.5229, 0.5686, 0.5588, 0.6174, 0.6144, 0.5980},
+    {0.5592, 0.5886, 0.5640, 0.6142, 0.5782, 0.5678, 0.6218, 0.6028, 0.6104},
+    {0.6180, 0.5356, 0.5543, 0.5506, 0.5318, 0.5243, 0.7715, 0.5730, 0.5730},
+    {0.6259, 0.5315, 0.5315, 0.8056, 0.5556, 0.5481, 0.8111, 0.5741, 0.5963},
+    {0.7909, 0.8541, 0.8541, 0.6362, 0.6309, 0.6309, 0.8524, 0.8682, 0.8664},
+    {0.9067, 0.8933, 0.8867, 0.8333, 0.8333, 0.8200, 0.9800, 0.9667, 0.9467},
+}};
+
+// Table VIII — Rand index, datasets II.
+const std::array<Row, 6> kTable8 = {{
+    {0.5087, 0.4989, 0.4991, 0.4994, 0.5078, 0.5053, 0.5261, 0.5246, 0.5176},
+    {0.5066, 0.5152, 0.5077, 0.5256, 0.5118, 0.5087, 0.5292, 0.5207, 0.5239},
+    {0.5261, 0.5007, 0.5040, 0.5033, 0.5002, 0.4993, 0.6461, 0.5088, 0.5088},
+    {0.5308, 0.5011, 0.5011, 0.6861, 0.5053, 0.5037, 0.6930, 0.5101, 0.5177},
+    {0.6686, 0.7504, 0.7504, 0.5363, 0.5335, 0.5335, 0.7479, 0.7707, 0.7681},
+    {0.8923, 0.8797, 0.8737, 0.8322, 0.8301, 0.8213, 0.9740, 0.9575, 0.9341},
+}};
+
+// Table IX — Fowlkes-Mallows, datasets II.
+const std::array<Row, 6> kTable9 = {{
+    {0.5940, 0.5519, 0.5507, 0.5534, 0.5769, 0.5726, 0.6622, 0.6598, 0.6455},
+    {0.5586, 0.5906, 0.5625, 0.5505, 0.5511, 0.5569, 0.5743, 0.5713, 0.5751},
+    {0.6449, 0.5933, 0.6183, 0.5842, 0.5892, 0.5824, 0.7977, 0.6117, 0.6109},
+    {0.6784, 0.6503, 0.6504, 0.8014, 0.6536, 0.6534, 0.8315, 0.6775, 0.6844},
+    {0.7455, 0.7915, 0.7915, 0.7049, 0.6976, 0.6976, 0.8080, 0.8038, 0.8012},
+    {0.8407, 0.8208, 0.8093, 0.7637, 0.7421, 0.7398, 0.9805, 0.9554, 0.9201},
+}};
+
+const std::vector<std::string>& MsraNames() {
+  static const std::vector<std::string> names = {
+      "BO", "WA", "WR", "BC", "VE", "AM", "VI", "WP", "VT"};
+  return names;
+}
+
+const std::vector<std::string>& UciNames() {
+  static const std::vector<std::string> names = {"HS", "QB",  "SH",
+                                                 "SC", "BCW", "IR"};
+  return names;
+}
+
+double TableCell(PaperTable table, int row, int col) {
+  switch (table) {
+    case PaperTable::kTable4AccuracyMsra:
+      return kTable4[row][col];
+    case PaperTable::kTable5PurityMsra:
+      return kTable5[row][col];
+    case PaperTable::kTable6FmiMsra:
+      return kTable6[row][col];
+    case PaperTable::kTable7AccuracyUci:
+      return kTable7[row][col];
+    case PaperTable::kTable8RandUci:
+      return kTable8[row][col];
+    case PaperTable::kTable9FmiUci:
+      return kTable9[row][col];
+  }
+  MCIRBM_CHECK(false) << "unreachable";
+  return 0;
+}
+
+}  // namespace
+
+std::string PaperTableMetric(PaperTable table) {
+  switch (table) {
+    case PaperTable::kTable4AccuracyMsra:
+    case PaperTable::kTable7AccuracyUci:
+      return "accuracy";
+    case PaperTable::kTable5PurityMsra:
+      return "purity";
+    case PaperTable::kTable8RandUci:
+      return "rand";
+    case PaperTable::kTable6FmiMsra:
+    case PaperTable::kTable9FmiUci:
+      return "fmi";
+  }
+  return "accuracy";
+}
+
+std::string PaperTableTitle(PaperTable table) {
+  switch (table) {
+    case PaperTable::kTable4AccuracyMsra:
+      return "Table IV / Fig. 2 — accuracy (datasets I, MSRA-MM-like)";
+    case PaperTable::kTable5PurityMsra:
+      return "Table V / Fig. 3 — purity (datasets I, MSRA-MM-like)";
+    case PaperTable::kTable6FmiMsra:
+      return "Table VI / Fig. 4 — Fowlkes-Mallows (datasets I)";
+    case PaperTable::kTable7AccuracyUci:
+      return "Table VII / Fig. 6 — accuracy (datasets II, UCI-like)";
+    case PaperTable::kTable8RandUci:
+      return "Table VIII / Fig. 7 — Rand index (datasets II, UCI-like)";
+    case PaperTable::kTable9FmiUci:
+      return "Table IX / Fig. 8 — Fowlkes-Mallows (datasets II)";
+  }
+  return "?";
+}
+
+bool PaperTableIsGrbmFamily(PaperTable table) {
+  switch (table) {
+    case PaperTable::kTable4AccuracyMsra:
+    case PaperTable::kTable5PurityMsra:
+    case PaperTable::kTable6FmiMsra:
+      return true;
+    default:
+      return false;
+  }
+}
+
+int PaperTableRows(PaperTable table) {
+  return PaperTableIsGrbmFamily(table) ? 9 : 6;
+}
+
+double PaperValue(PaperTable table, int row, Variant variant,
+                  ClustererKind clusterer) {
+  MCIRBM_CHECK(row >= 0 && row < PaperTableRows(table));
+  const int col = static_cast<int>(variant) * kNumClusterers +
+                  static_cast<int>(clusterer);
+  return TableCell(table, row, col);
+}
+
+double PaperAverage(PaperTable table, Variant variant,
+                    ClustererKind clusterer) {
+  const int rows = PaperTableRows(table);
+  double sum = 0;
+  for (int r = 0; r < rows; ++r) {
+    sum += PaperValue(table, r, variant, clusterer);
+  }
+  return sum / rows;
+}
+
+const std::vector<std::string>& PaperTableDatasetNames(PaperTable table) {
+  return PaperTableIsGrbmFamily(table) ? MsraNames() : UciNames();
+}
+
+}  // namespace mcirbm::eval

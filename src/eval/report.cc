@@ -1,0 +1,161 @@
+#include "eval/report.h"
+
+#include <ostream>
+
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace mcirbm::eval {
+namespace {
+
+constexpr int kColWidth = 17;
+
+double MeasuredCell(const DatasetExperimentResult& r, const std::string& m,
+                    Variant v, ClustererKind c) {
+  return MetricByName(
+             r.cells[static_cast<int>(v)][static_cast<int>(c)], m)
+      .mean;
+}
+
+}  // namespace
+
+void PrintTableComparison(
+    std::ostream& out, PaperTable table,
+    const std::vector<DatasetExperimentResult>& results) {
+  const std::string metric = PaperTableMetric(table);
+  const bool grbm = PaperTableIsGrbmFamily(table);
+  MCIRBM_CHECK_EQ(results.size(),
+                  static_cast<std::size_t>(PaperTableRows(table)));
+
+  out << "\n=== " << PaperTableTitle(table) << " ===\n";
+  out << "measured (paper) — substrate is synthetic, compare shapes not "
+         "absolutes\n\n";
+  out << PadRight("Dataset", 9);
+  for (int v = 0; v < kNumVariants; ++v) {
+    for (int c = 0; c < kNumClusterers; ++c) {
+      out << PadLeft(CellName(static_cast<Variant>(v),
+                              static_cast<ClustererKind>(c), grbm),
+                     kColWidth);
+    }
+  }
+  out << "\n";
+  const auto& names = PaperTableDatasetNames(table);
+  for (int row = 0; row < PaperTableRows(table); ++row) {
+    out << PadRight(names[row], 9);
+    for (int v = 0; v < kNumVariants; ++v) {
+      for (int c = 0; c < kNumClusterers; ++c) {
+        const double measured =
+            MeasuredCell(results[row], metric, static_cast<Variant>(v),
+                         static_cast<ClustererKind>(c));
+        const double paper = PaperValue(table, row, static_cast<Variant>(v),
+                                        static_cast<ClustererKind>(c));
+        out << PadLeft(FormatDouble(measured, 4) + " (" +
+                           FormatDouble(paper, 4) + ")",
+                       kColWidth);
+      }
+    }
+    out << "\n";
+  }
+  out << PadRight("Average", 9);
+  for (int v = 0; v < kNumVariants; ++v) {
+    for (int c = 0; c < kNumClusterers; ++c) {
+      const double measured = FamilyAverage(
+          results, static_cast<Variant>(v), static_cast<ClustererKind>(c),
+          metric);
+      const double paper = PaperAverage(table, static_cast<Variant>(v),
+                                        static_cast<ClustererKind>(c));
+      out << PadLeft(FormatDouble(measured, 4) + " (" +
+                         FormatDouble(paper, 4) + ")",
+                     kColWidth);
+    }
+  }
+  out << "\n";
+}
+
+void PrintFigureSeries(std::ostream& out, PaperTable table,
+                       const std::vector<DatasetExperimentResult>& results) {
+  const std::string metric = PaperTableMetric(table);
+  const bool grbm = PaperTableIsGrbmFamily(table);
+  out << "\n--- figure series (" << metric
+      << " vs dataset number; one panel per clusterer) ---\n";
+  for (int c = 0; c < kNumClusterers; ++c) {
+    out << "panel " << ClustererKindName(static_cast<ClustererKind>(c))
+        << ":\n";
+    for (int v = 0; v < kNumVariants; ++v) {
+      out << "  " << PadRight(CellName(static_cast<Variant>(v),
+                                       static_cast<ClustererKind>(c), grbm),
+                              16)
+          << ":";
+      for (const auto& r : results) {
+        out << " " << FormatDouble(
+            MeasuredCell(r, metric, static_cast<Variant>(v),
+                         static_cast<ClustererKind>(c)),
+            4);
+      }
+      out << "\n";
+    }
+  }
+}
+
+void PrintAveragesFigure(
+    std::ostream& out, bool grbm_family,
+    const std::vector<DatasetExperimentResult>& results) {
+  const std::vector<std::string> metrics =
+      grbm_family ? std::vector<std::string>{"accuracy", "purity", "fmi"}
+                  : std::vector<std::string>{"accuracy", "rand", "fmi"};
+  out << "\n--- average " << (grbm_family ? "(datasets I, Fig. 5)"
+                                          : "(datasets II, Fig. 9)")
+      << " ---\n";
+  for (const auto& metric : metrics) {
+    out << "metric " << metric << ":\n";
+    for (int v = 0; v < kNumVariants; ++v) {
+      for (int c = 0; c < kNumClusterers; ++c) {
+        out << "  "
+            << PadRight(CellName(static_cast<Variant>(v),
+                                 static_cast<ClustererKind>(c), grbm_family),
+                        16)
+            << " "
+            << FormatDouble(
+                   FamilyAverage(results, static_cast<Variant>(v),
+                                 static_cast<ClustererKind>(c), metric),
+                   4)
+            << "\n";
+      }
+    }
+  }
+}
+
+std::vector<ShapeCheck> EvaluateShapeChecks(
+    const std::vector<DatasetExperimentResult>& results,
+    const std::string& metric, bool grbm_family) {
+  std::vector<ShapeCheck> checks;
+  for (int c = 0; c < kNumClusterers; ++c) {
+    const auto kind = static_cast<ClustererKind>(c);
+    const double raw = FamilyAverage(results, Variant::kRaw, kind, metric);
+    const double plain =
+        FamilyAverage(results, Variant::kPlain, kind, metric);
+    const double sls = FamilyAverage(results, Variant::kSls, kind, metric);
+    const std::string sls_name = CellName(Variant::kSls, kind, grbm_family);
+    checks.push_back({"avg " + metric + ": " + sls_name + " > raw " +
+                          ClustererKindName(kind),
+                      /*paper_claims=*/true, sls > raw});
+    checks.push_back({"avg " + metric + ": " + sls_name + " > " +
+                          CellName(Variant::kPlain, kind, grbm_family),
+                      /*paper_claims=*/true, sls > plain});
+  }
+  return checks;
+}
+
+int PrintShapeChecks(std::ostream& out,
+                     const std::vector<ShapeCheck>& checks) {
+  int failures = 0;
+  out << "\n--- shape checks (paper claim reproduced?) ---\n";
+  for (const auto& check : checks) {
+    const bool pass = check.Passes();
+    out << (pass ? "  [ OK ] " : "  [FAIL] ") << check.description << "\n";
+    if (!pass) ++failures;
+  }
+  return failures;
+}
+
+}  // namespace mcirbm::eval

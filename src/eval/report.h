@@ -1,0 +1,51 @@
+// Rendering of measured-vs-paper tables, figure series, and shape checks.
+#ifndef MCIRBM_EVAL_REPORT_H_
+#define MCIRBM_EVAL_REPORT_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "eval/experiment.h"
+#include "eval/paper_reference.h"
+
+namespace mcirbm::eval {
+
+/// Prints the full table: one row per dataset, 9 measured columns with the
+/// paper's value in parentheses, plus the Average row.
+void PrintTableComparison(std::ostream& out, PaperTable table,
+                          const std::vector<DatasetExperimentResult>& results);
+
+/// Prints the corresponding per-dataset figure series (Figs. 2-4 / 6-8):
+/// three panels (DP, K-means, AP), each with series raw / +model / +sls
+/// over the dataset number axis.
+void PrintFigureSeries(std::ostream& out, PaperTable table,
+                       const std::vector<DatasetExperimentResult>& results);
+
+/// Prints the averages bar-figure content (Figs. 5 / 9) for the metrics of
+/// the family: acc/purity/FMI (datasets I) or acc/Rand/FMI (datasets II).
+void PrintAveragesFigure(std::ostream& out, bool grbm_family,
+                         const std::vector<DatasetExperimentResult>& results);
+
+/// Outcome of one qualitative reproduction check.
+struct ShapeCheck {
+  std::string description;
+  bool paper_claims = true;  ///< what the paper reports
+  bool measured = false;     ///< what this build measured
+  bool Passes() const { return measured == paper_claims; }
+};
+
+/// Evaluates the family's headline shape claims on `metric`:
+///  1. avg(X+sls) > avg(X raw) for each clusterer X;
+///  2. avg(X+sls) > avg(X+plain) for each clusterer X.
+std::vector<ShapeCheck> EvaluateShapeChecks(
+    const std::vector<DatasetExperimentResult>& results,
+    const std::string& metric, bool grbm_family);
+
+/// Prints the checks and returns the number of failures.
+int PrintShapeChecks(std::ostream& out,
+                     const std::vector<ShapeCheck>& checks);
+
+}  // namespace mcirbm::eval
+
+#endif  // MCIRBM_EVAL_REPORT_H_

@@ -1,0 +1,155 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.h"
+
+namespace mcirbm::linalg {
+namespace {
+
+// Sum of squares of the strictly off-diagonal elements.
+double OffDiagonalSquaredNorm(const Matrix& a) {
+  const std::size_t n = a.rows();
+  double sum = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      sum += 2 * a(i, j) * a(i, j);
+    }
+  }
+  return sum;
+}
+
+void ValidateSymmetric(const Matrix& a) {
+  MCIRBM_CHECK_EQ(a.rows(), a.cols()) << "Jacobi needs a square matrix";
+  double max_abs = 0;
+  double max_asym = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = i; j < a.cols(); ++j) {
+      max_abs = std::max(max_abs, std::abs(a(i, j)));
+      max_asym = std::max(max_asym, std::abs(a(i, j) - a(j, i)));
+    }
+  }
+  MCIRBM_CHECK_LE(max_asym, 1e-9 * std::max(1.0, max_abs))
+      << "Jacobi input is not symmetric";
+}
+
+}  // namespace
+
+EigenDecomposition JacobiEigenSymmetric(const Matrix& a,
+                                        const JacobiOptions& options) {
+  ValidateSymmetric(a);
+  const std::size_t n = a.rows();
+  EigenDecomposition out;
+  out.vectors.Resize(n, n);
+  if (n == 0) {
+    out.converged = true;
+    return out;
+  }
+
+  Matrix d = a;  // Working copy, driven to diagonal form.
+  Matrix& v = out.vectors;
+  for (std::size_t i = 0; i < n; ++i) v(i, i) = 1.0;
+
+  const double initial = std::sqrt(OffDiagonalSquaredNorm(d));
+  const double threshold =
+      options.tolerance * std::max(initial, 1e-300);
+
+  int sweep = 0;
+  for (; sweep < options.max_sweeps; ++sweep) {
+    const double off = std::sqrt(OffDiagonalSquaredNorm(d));
+    if (off <= threshold) {
+      out.converged = true;
+      break;
+    }
+    // One cyclic sweep: rotate away every off-diagonal element once.
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = d(p, q);
+        if (apq == 0.0) continue;
+        const double app = d(p, p);
+        const double aqq = d(q, q);
+        // Stable rotation angle computation (Golub & Van Loan §8.5).
+        const double theta = (aqq - app) / (2 * apq);
+        const double t =
+            (theta >= 0 ? 1.0 : -1.0) /
+            (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        // Apply J(p,q,θ)ᵀ·D·J(p,q,θ) touching only rows/cols p,q.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dip = d(i, p);
+          const double diq = d(i, q);
+          d(i, p) = c * dip - s * diq;
+          d(i, q) = s * dip + c * diq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double dpi = d(p, i);
+          const double dqi = d(q, i);
+          d(p, i) = c * dpi - s * dqi;
+          d(q, i) = s * dpi + c * dqi;
+        }
+        // Accumulate the rotation into the eigenvector matrix.
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vip = v(i, p);
+          const double viq = v(i, q);
+          v(i, p) = c * vip - s * viq;
+          v(i, q) = s * vip + c * viq;
+        }
+      }
+    }
+  }
+  out.sweeps = sweep;
+  if (!out.converged) {
+    out.converged = std::sqrt(OffDiagonalSquaredNorm(d)) <= threshold;
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  out.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) out.values[i] = d(i, i);
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t x, std::size_t y) {
+    return out.values[x] > out.values[y];
+  });
+
+  std::vector<double> sorted_values(n);
+  Matrix sorted_vectors(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted_values[j] = out.values[order[j]];
+    for (std::size_t i = 0; i < n; ++i) {
+      sorted_vectors(i, j) = v(i, order[j]);
+    }
+  }
+  out.values = std::move(sorted_values);
+  out.vectors = std::move(sorted_vectors);
+  return out;
+}
+
+Matrix TopEigenvectors(const EigenDecomposition& eig, std::size_t k) {
+  const std::size_t n = eig.vectors.rows();
+  MCIRBM_CHECK_LE(k, n) << "asking for more eigenvectors than exist";
+  Matrix out(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) out(i, j) = eig.vectors(i, j);
+  }
+  return out;
+}
+
+Matrix BottomEigenvectors(const EigenDecomposition& eig, std::size_t k) {
+  const std::size_t n = eig.vectors.rows();
+  MCIRBM_CHECK_LE(k, n) << "asking for more eigenvectors than exist";
+  Matrix out(n, k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      // Column n-1-j holds the (j+1)-th smallest eigenvalue's vector;
+      // emit them in ascending-eigenvalue order.
+      out(i, j) = eig.vectors(i, n - 1 - j);
+    }
+  }
+  return out;
+}
+
+}  // namespace mcirbm::linalg

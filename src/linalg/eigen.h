@@ -1,0 +1,51 @@
+// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+//
+// The spectral-clustering substrate and the PCA module need eigenpairs of
+// small symmetric matrices (covariance / graph Laplacians, n up to ~1k).
+// Jacobi is the right tool at that scale: unconditionally stable,
+// dependency-free and accurate to machine precision for symmetric input.
+#ifndef MCIRBM_LINALG_EIGEN_H_
+#define MCIRBM_LINALG_EIGEN_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mcirbm::linalg {
+
+/// Eigenpairs of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column j of `vectors` is the unit eigenvector for values[j].
+  Matrix vectors;
+  /// Sweeps until convergence (off-diagonal norm below tolerance).
+  int sweeps = 0;
+  bool converged = false;
+};
+
+/// Options for the Jacobi iteration.
+struct JacobiOptions {
+  /// Stop when the off-diagonal Frobenius norm falls below
+  /// `tolerance * initial_frobenius_norm`.
+  double tolerance = 1e-12;
+  int max_sweeps = 64;
+};
+
+/// Decomposes a symmetric matrix `a` (validated: squareness always,
+/// symmetry up to 1e-9 relative). Returns eigenvalues sorted descending
+/// with matching eigenvector columns.
+EigenDecomposition JacobiEigenSymmetric(const Matrix& a,
+                                        const JacobiOptions& options = {});
+
+/// The `k` eigenvector columns with the largest eigenvalues, as an
+/// n x k matrix (convenience for PCA / spectral embedding).
+Matrix TopEigenvectors(const EigenDecomposition& eig, std::size_t k);
+
+/// The `k` eigenvector columns with the smallest eigenvalues (ascending),
+/// as an n x k matrix (convenience for Laplacian embeddings).
+Matrix BottomEigenvectors(const EigenDecomposition& eig, std::size_t k);
+
+}  // namespace mcirbm::linalg
+
+#endif  // MCIRBM_LINALG_EIGEN_H_

@@ -1,0 +1,153 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace mcirbm::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> init) {
+  rows_ = init.size();
+  cols_ = rows_ == 0 ? 0 : init.begin()->size();
+  data_.reserve(rows_ * cols_);
+  for (const auto& row : init) {
+    MCIRBM_CHECK_EQ(row.size(), cols_) << "ragged initializer list";
+    data_.insert(data_.end(), row.begin(), row.end());
+  }
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Resize(std::size_t rows, std::size_t cols) {
+  rows_ = rows;
+  cols_ = cols;
+  data_.assign(rows * cols, 0.0);
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* src = data_.data() + r * cols_;
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = src[c];
+  }
+  return t;
+}
+
+Matrix Matrix::SelectRows(const std::vector<std::size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    MCIRBM_CHECK_LT(indices[i], rows_);
+    std::copy_n(data_.data() + indices[i] * cols_, cols_,
+                out.data() + i * cols_);
+  }
+  return out;
+}
+
+Matrix Matrix::SelectRows(const std::vector<int>& indices) const {
+  std::vector<std::size_t> idx(indices.size());
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    MCIRBM_CHECK_GE(indices[i], 0);
+    idx[i] = static_cast<std::size_t>(indices[i]);
+  }
+  return SelectRows(idx);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  MCIRBM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  MCIRBM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (double& v : data_) v *= scalar;
+  return *this;
+}
+
+Matrix& Matrix::HadamardInPlace(const Matrix& other) {
+  MCIRBM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+  return *this;
+}
+
+void Matrix::Axpy(double scalar, const Matrix& other) {
+  MCIRBM_CHECK(rows_ == other.rows_ && cols_ == other.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += scalar * other.data_[i];
+  }
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::Sum() const {
+  double s = 0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::MaxAbs() const {
+  double m = 0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+bool Matrix::AllClose(const Matrix& other, double tol) const {
+  if (rows_ != other.rows_ || cols_ != other.cols_) return false;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    if (std::fabs(data_[i] - other.data_[i]) > tol) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(std::size_t max_rows,
+                             std::size_t max_cols) const {
+  std::ostringstream out;
+  out << rows_ << "x" << cols_ << " [";
+  const std::size_t rshow = std::min(rows_, max_rows);
+  for (std::size_t r = 0; r < rshow; ++r) {
+    out << (r ? ", [" : "[");
+    const std::size_t cshow = std::min(cols_, max_cols);
+    for (std::size_t c = 0; c < cshow; ++c) {
+      if (c) out << ", ";
+      out << (*this)(r, c);
+    }
+    if (cshow < cols_) out << ", ...";
+    out << "]";
+  }
+  if (rshow < rows_) out << ", ...";
+  out << "]";
+  return out.str();
+}
+
+Matrix operator+(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out += b;
+  return out;
+}
+
+Matrix operator-(const Matrix& a, const Matrix& b) {
+  Matrix out = a;
+  out -= b;
+  return out;
+}
+
+Matrix operator*(const Matrix& a, double s) {
+  Matrix out = a;
+  out *= s;
+  return out;
+}
+
+Matrix operator*(double s, const Matrix& a) { return a * s; }
+
+}  // namespace mcirbm::linalg

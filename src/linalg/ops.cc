@@ -1,0 +1,211 @@
+#include "linalg/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcirbm::linalg {
+
+namespace {
+constexpr std::size_t kBlock = 64;  // elements per cache tile dimension
+}  // namespace
+
+Matrix Gemm(const Matrix& a, const Matrix& b) {
+  MCIRBM_CHECK_EQ(a.cols(), b.rows()) << "Gemm shape mismatch";
+  const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
+    const std::size_t i1 = std::min(i0 + kBlock, m);
+    for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
+      const std::size_t p1 = std::min(p0 + kBlock, k);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double* arow = a.data() + i * k;
+        double* crow = c.data() + i * n;
+        for (std::size_t p = p0; p < p1; ++p) {
+          const double av = arow[p];
+          if (av == 0.0) continue;
+          const double* brow = b.data() + p * n;
+          for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+  return c;
+}
+
+Matrix GemmTransA(const Matrix& a, const Matrix& b) {
+  MCIRBM_CHECK_EQ(a.rows(), b.rows()) << "GemmTransA shape mismatch";
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  Matrix c(m, n);
+  // Cᵀ-style accumulation: iterate shared dim outermost, rank-1 updates.
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a.data() + p * m;
+    const double* brow = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double av = arow[i];
+      if (av == 0.0) continue;
+      double* crow = c.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Matrix GemmTransB(const Matrix& a, const Matrix& b) {
+  MCIRBM_CHECK_EQ(a.cols(), b.cols()) << "GemmTransB shape mismatch";
+  const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
+  Matrix c(m, n);
+  for (std::size_t i = 0; i < m; ++i) {
+    const double* arow = a.data() + i * k;
+    double* crow = c.data() + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const double* brow = b.data() + j * k;
+      double s = 0;
+      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+      crow[j] = s;
+    }
+  }
+  return c;
+}
+
+void AccumulateGemmTransA(double alpha, const Matrix& a, const Matrix& b,
+                          Matrix* out) {
+  MCIRBM_CHECK_EQ(a.rows(), b.rows());
+  MCIRBM_CHECK(out->rows() == a.cols() && out->cols() == b.cols());
+  const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (std::size_t p = 0; p < k; ++p) {
+    const double* arow = a.data() + p * m;
+    const double* brow = b.data() + p * n;
+    for (std::size_t i = 0; i < m; ++i) {
+      const double av = alpha * arow[i];
+      if (av == 0.0) continue;
+      double* crow = out->data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
+  MCIRBM_CHECK_EQ(a.cols(), x.size());
+  std::vector<double> y(a.rows(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double* row = a.data() + i * a.cols();
+    double s = 0;
+    for (std::size_t j = 0; j < a.cols(); ++j) s += row[j] * x[j];
+    y[i] = s;
+  }
+  return y;
+}
+
+std::vector<double> MatTVec(const Matrix& a, const std::vector<double>& x) {
+  MCIRBM_CHECK_EQ(a.rows(), x.size());
+  std::vector<double> y(a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row = a.data() + i * a.cols();
+    for (std::size_t j = 0; j < a.cols(); ++j) y[j] += xi * row[j];
+  }
+  return y;
+}
+
+void AddRowVector(Matrix* m, const std::vector<double>& v) {
+  MCIRBM_CHECK_EQ(m->cols(), v.size());
+  for (std::size_t i = 0; i < m->rows(); ++i) {
+    double* row = m->data() + i * m->cols();
+    for (std::size_t j = 0; j < m->cols(); ++j) row[j] += v[j];
+  }
+}
+
+std::vector<double> ColSums(const Matrix& m) {
+  std::vector<double> s(m.cols(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.data() + i * m.cols();
+    for (std::size_t j = 0; j < m.cols(); ++j) s[j] += row[j];
+  }
+  return s;
+}
+
+std::vector<double> ColMeans(const Matrix& m) {
+  MCIRBM_CHECK_GT(m.rows(), 0u);
+  std::vector<double> s = ColSums(m);
+  for (double& v : s) v /= static_cast<double>(m.rows());
+  return s;
+}
+
+std::vector<double> RowSums(const Matrix& m) {
+  std::vector<double> s(m.rows(), 0.0);
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const double* row = m.data() + i * m.cols();
+    double acc = 0;
+    for (std::size_t j = 0; j < m.cols(); ++j) acc += row[j];
+    s[i] = acc;
+  }
+  return s;
+}
+
+void Apply(Matrix* m, const std::function<double(double)>& f) {
+  double* p = m->data();
+  const std::size_t n = m->size();
+  for (std::size_t i = 0; i < n; ++i) p[i] = f(p[i]);
+}
+
+double Sigmoid(double x) {
+  if (x >= 0) {
+    const double e = std::exp(-x);
+    return 1.0 / (1.0 + e);
+  }
+  const double e = std::exp(x);
+  return e / (1.0 + e);
+}
+
+void SigmoidInPlace(Matrix* m) {
+  double* p = m->data();
+  const std::size_t n = m->size();
+  for (std::size_t i = 0; i < n; ++i) p[i] = Sigmoid(p[i]);
+}
+
+Matrix SigmoidDeriv(const Matrix& a) {
+  Matrix d(a.rows(), a.cols());
+  const double* src = a.data();
+  double* dst = d.data();
+  for (std::size_t i = 0; i < a.size(); ++i) dst[i] = src[i] * (1 - src[i]);
+  return d;
+}
+
+double SquaredDistance(std::span<const double> a,
+                       std::span<const double> b) {
+  MCIRBM_DCHECK(a.size() == b.size());
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    s += d * d;
+  }
+  return s;
+}
+
+Matrix PairwiseSquaredDistances(const Matrix& m) {
+  const std::size_t n = m.rows();
+  Matrix gram = GemmTransB(m, m);  // n x n
+  std::vector<double> sq(n);
+  for (std::size_t i = 0; i < n; ++i) sq[i] = gram(i, i);
+  Matrix d(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    d(i, i) = 0.0;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double v = sq[i] + sq[j] - 2.0 * gram(i, j);
+      if (v < 0) v = 0;  // numeric guard
+      d(i, j) = v;
+      d(j, i) = v;
+    }
+  }
+  return d;
+}
+
+double Dot(std::span<const double> a, std::span<const double> b) {
+  MCIRBM_DCHECK(a.size() == b.size());
+  double s = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+}  // namespace mcirbm::linalg

@@ -1,0 +1,112 @@
+#include "linalg/pca.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/eigen.h"
+#include "linalg/ops.h"
+#include "util/check.h"
+
+namespace mcirbm::linalg {
+
+Pca Pca::Fit(const Matrix& x, const Options& options) {
+  const std::size_t n = x.rows();
+  const std::size_t d = x.cols();
+  MCIRBM_CHECK_GE(n, 2u) << "PCA needs at least two instances";
+  MCIRBM_CHECK_GE(d, 1u) << "PCA needs at least one feature";
+
+  Pca pca;
+  pca.mean_ = ColMeans(x);
+  pca.whiten_ = options.whiten;
+
+  // Centered copy, then covariance C = Xcᵀ·Xc / (n-1).
+  Matrix centered = x;
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = centered.Row(i);
+    for (std::size_t j = 0; j < d; ++j) row[j] -= pca.mean_[j];
+  }
+  Matrix cov = GemmTransA(centered, centered);
+  cov *= 1.0 / static_cast<double>(n - 1);
+
+  const EigenDecomposition eig = JacobiEigenSymmetric(cov);
+  MCIRBM_CHECK(eig.converged) << "covariance eigendecomposition diverged";
+
+  std::size_t k = options.num_components;
+  const std::size_t max_k = std::min(n - 1, d);
+  if (k == 0) k = max_k;
+  MCIRBM_CHECK_LE(k, d) << "more components than features";
+
+  pca.components_ = TopEigenvectors(eig, k);
+  pca.explained_variance_.assign(eig.values.begin(), eig.values.begin() + k);
+  // Numerical noise can push tiny eigenvalues below zero; clamp.
+  for (double& v : pca.explained_variance_) v = std::max(v, 0.0);
+  pca.total_variance_ = 0;
+  for (double v : eig.values) pca.total_variance_ += std::max(v, 0.0);
+
+  pca.scale_.assign(k, 1.0);
+  if (options.whiten) {
+    for (std::size_t j = 0; j < k; ++j) {
+      pca.scale_[j] =
+          1.0 / std::sqrt(pca.explained_variance_[j] + options.whiten_epsilon);
+    }
+  }
+  return pca;
+}
+
+Matrix Pca::Transform(const Matrix& x) const {
+  MCIRBM_CHECK_EQ(x.cols(), mean_.size()) << "feature-count mismatch";
+  Matrix centered = x;
+  for (std::size_t i = 0; i < centered.rows(); ++i) {
+    auto row = centered.Row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] -= mean_[j];
+  }
+  Matrix projected = Gemm(centered, components_);
+  if (whiten_) {
+    for (std::size_t i = 0; i < projected.rows(); ++i) {
+      auto row = projected.Row(i);
+      for (std::size_t j = 0; j < row.size(); ++j) row[j] *= scale_[j];
+    }
+  }
+  return projected;
+}
+
+Matrix Pca::InverseTransform(const Matrix& projected) const {
+  MCIRBM_CHECK_EQ(projected.cols(), components_.cols())
+      << "component-count mismatch";
+  Matrix unscaled = projected;
+  if (whiten_) {
+    for (std::size_t i = 0; i < unscaled.rows(); ++i) {
+      auto row = unscaled.Row(i);
+      for (std::size_t j = 0; j < row.size(); ++j) row[j] /= scale_[j];
+    }
+  }
+  Matrix restored = GemmTransB(unscaled, components_);
+  for (std::size_t i = 0; i < restored.rows(); ++i) {
+    auto row = restored.Row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] += mean_[j];
+  }
+  return restored;
+}
+
+std::vector<double> Pca::ExplainedVarianceRatio() const {
+  std::vector<double> ratio(explained_variance_.size(), 0.0);
+  if (total_variance_ <= 0) return ratio;
+  for (std::size_t j = 0; j < ratio.size(); ++j) {
+    ratio[j] = explained_variance_[j] / total_variance_;
+  }
+  return ratio;
+}
+
+std::size_t Pca::ComponentsForVariance(double target) const {
+  MCIRBM_CHECK_GE(target, 0.0);
+  MCIRBM_CHECK_LE(target, 1.0);
+  const std::vector<double> ratio = ExplainedVarianceRatio();
+  double cumulative = 0;
+  for (std::size_t j = 0; j < ratio.size(); ++j) {
+    cumulative += ratio[j];
+    if (cumulative >= target) return j + 1;
+  }
+  return std::max<std::size_t>(ratio.size(), 1);
+}
+
+}  // namespace mcirbm::linalg

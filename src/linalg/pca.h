@@ -1,0 +1,76 @@
+// Principal component analysis on the covariance eigendecomposition.
+//
+// Two consumers inside the library:
+//  * the PCA-based weight initialization for RBM pre-training (ablation of
+//    Xie et al. [46], one of the paper's cited alternatives), and
+//  * dimensionality reduction ahead of the clustering substrates on wide
+//    image-feature data.
+#ifndef MCIRBM_LINALG_PCA_H_
+#define MCIRBM_LINALG_PCA_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mcirbm::linalg {
+
+/// A fitted PCA basis.
+class Pca {
+ public:
+  /// Options controlling the fit.
+  struct Options {
+    /// Number of components to keep; 0 keeps min(rows-1, cols).
+    std::size_t num_components = 0;
+    /// Scale each projected coordinate by 1/sqrt(eigenvalue) so the
+    /// transformed features have unit variance (up to regularization).
+    bool whiten = false;
+    /// Variance floor added before whitening division, for stability on
+    /// near-degenerate directions.
+    double whiten_epsilon = 1e-8;
+  };
+
+  /// Fits the basis to the rows of `x` (n instances x d features).
+  /// Requires n >= 2 and d >= 1.
+  static Pca Fit(const Matrix& x, const Options& options);
+  /// Fit with default options.
+  static Pca Fit(const Matrix& x) { return Fit(x, Options{}); }
+
+  /// Projects rows of `x` (n x d) onto the basis -> n x num_components.
+  Matrix Transform(const Matrix& x) const;
+
+  /// Maps projected rows back to the original space (lossy when
+  /// num_components < d). Inverse of Transform up to truncation error.
+  Matrix InverseTransform(const Matrix& projected) const;
+
+  /// d x num_components; column j is the j-th principal direction.
+  const Matrix& components() const { return components_; }
+
+  /// Per-component variance (descending eigenvalues of the covariance).
+  const std::vector<double>& explained_variance() const {
+    return explained_variance_;
+  }
+
+  /// Fraction of total variance captured per component; sums to <= 1.
+  std::vector<double> ExplainedVarianceRatio() const;
+
+  /// Smallest number of leading components whose cumulative variance
+  /// ratio reaches `target` in [0, 1]; at least 1.
+  std::size_t ComponentsForVariance(double target) const;
+
+  const std::vector<double>& mean() const { return mean_; }
+  std::size_t num_components() const { return components_.cols(); }
+
+ private:
+  Pca() = default;
+
+  std::vector<double> mean_;            // feature means, length d
+  Matrix components_;                   // d x k
+  std::vector<double> explained_variance_;  // length k
+  std::vector<double> scale_;           // per-component whitening scale
+  double total_variance_ = 0;
+  bool whiten_ = false;
+};
+
+}  // namespace mcirbm::linalg
+
+#endif  // MCIRBM_LINALG_PCA_H_

@@ -1,0 +1,45 @@
+// Per-column statistics and simple scalar aggregates used by data
+// transforms and experiment reporting.
+#ifndef MCIRBM_LINALG_STATS_H_
+#define MCIRBM_LINALG_STATS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mcirbm::linalg {
+
+/// Per-column mean and (population) standard deviation.
+struct ColumnStats {
+  std::vector<double> mean;
+  std::vector<double> stddev;  ///< sqrt(E[x²] − E[x]²), >= 0
+};
+
+/// Computes per-column mean/stddev; requires rows() > 0.
+ColumnStats ComputeColumnStats(const Matrix& m);
+
+/// Per-column min and max.
+struct ColumnRange {
+  std::vector<double> min;
+  std::vector<double> max;
+};
+
+/// Computes per-column min/max; requires rows() > 0.
+ColumnRange ComputeColumnRange(const Matrix& m);
+
+/// Mean of a scalar sample.
+double Mean(const std::vector<double>& xs);
+
+/// Population variance of a scalar sample (0 for n <= 1).
+double Variance(const std::vector<double>& xs);
+
+/// Population standard deviation of a scalar sample.
+double StdDev(const std::vector<double>& xs);
+
+/// p-th percentile (p in [0,100]) with linear interpolation; requires a
+/// non-empty sample. Input is copied, not mutated.
+double Percentile(std::vector<double> xs, double p);
+
+}  // namespace mcirbm::linalg
+
+#endif  // MCIRBM_LINALG_STATS_H_

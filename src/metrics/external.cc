@@ -1,0 +1,233 @@
+#include "metrics/external.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "clustering/partition.h"
+#include "metrics/hungarian.h"
+#include "util/check.h"
+
+namespace mcirbm::metrics {
+namespace {
+
+using clustering::ContingencyTable;
+
+struct PairCounts {
+  // Pair-level confusion: same/same, same/diff, diff/same, diff/diff, where
+  // the first word refers to `truth` and the second to `pred`.
+  double ss = 0, sd = 0, ds = 0, dd = 0;
+};
+
+// Computes the four pair counts from the contingency table in O(ka*kb).
+PairCounts ComputePairCounts(const std::vector<int>& truth,
+                             const std::vector<int>& pred) {
+  MCIRBM_CHECK_EQ(truth.size(), pred.size());
+  std::vector<int> t = truth, p = pred;
+  const int kt = clustering::CompactRelabel(&t);
+  const int kp = clustering::CompactRelabel(&p);
+  const auto table = ContingencyTable(t, kt, p, kp);
+  const double n = static_cast<double>(truth.size());
+
+  auto choose2 = [](double m) { return m * (m - 1) / 2.0; };
+
+  double sum_nij2 = 0;  // Σ C(n_ij, 2)
+  std::vector<double> row_sums(kt, 0), col_sums(kp, 0);
+  for (int a = 0; a < kt; ++a) {
+    for (int b = 0; b < kp; ++b) {
+      sum_nij2 += choose2(table[a][b]);
+      row_sums[a] += table[a][b];
+      col_sums[b] += table[a][b];
+    }
+  }
+  double sum_ai2 = 0, sum_bj2 = 0;
+  for (double r : row_sums) sum_ai2 += choose2(r);
+  for (double c : col_sums) sum_bj2 += choose2(c);
+  const double total_pairs = choose2(n);
+
+  PairCounts pc;
+  pc.ss = sum_nij2;                    // same class, same cluster (TP)
+  pc.sd = sum_ai2 - sum_nij2;          // same class, diff cluster (FN)
+  pc.ds = sum_bj2 - sum_nij2;          // diff class, same cluster (FP)
+  pc.dd = total_pairs - pc.ss - pc.sd - pc.ds;
+  return pc;
+}
+
+}  // namespace
+
+double ClusteringAccuracy(const std::vector<int>& truth,
+                          const std::vector<int>& pred) {
+  MCIRBM_CHECK_EQ(truth.size(), pred.size());
+  MCIRBM_CHECK(!truth.empty());
+  std::vector<int> t = truth, p = pred;
+  const int kt = clustering::CompactRelabel(&t);
+  const int kp = clustering::CompactRelabel(&p);
+  // Rows = clusters, cols = classes; map each cluster to at most one class.
+  const auto table = ContingencyTable(p, kp, t, kt);
+  const std::vector<int> match = MaxWeightAssignment(table);
+  long correct = 0;
+  for (int c = 0; c < kp; ++c) {
+    if (match[c] >= 0) correct += table[c][match[c]];
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+double Purity(const std::vector<int>& truth, const std::vector<int>& pred) {
+  MCIRBM_CHECK_EQ(truth.size(), pred.size());
+  MCIRBM_CHECK(!truth.empty());
+  std::vector<int> t = truth, p = pred;
+  const int kt = clustering::CompactRelabel(&t);
+  const int kp = clustering::CompactRelabel(&p);
+  const auto table = ContingencyTable(p, kp, t, kt);
+  long majority_total = 0;
+  for (int c = 0; c < kp; ++c) {
+    majority_total += *std::max_element(table[c].begin(), table[c].end());
+  }
+  return static_cast<double>(majority_total) /
+         static_cast<double>(truth.size());
+}
+
+double RandIndex(const std::vector<int>& truth,
+                 const std::vector<int>& pred) {
+  const PairCounts pc = ComputePairCounts(truth, pred);
+  const double total = pc.ss + pc.sd + pc.ds + pc.dd;
+  if (total <= 0) return 1.0;
+  return (pc.ss + pc.dd) / total;
+}
+
+double FowlkesMallows(const std::vector<int>& truth,
+                      const std::vector<int>& pred) {
+  const PairCounts pc = ComputePairCounts(truth, pred);
+  const double tp = pc.ss, fp = pc.ds, fn = pc.sd;
+  if (tp <= 0) return 0.0;
+  return std::sqrt(tp / (tp + fp) * tp / (tp + fn));
+}
+
+double AdjustedRandIndex(const std::vector<int>& truth,
+                         const std::vector<int>& pred) {
+  const PairCounts pc = ComputePairCounts(truth, pred);
+  const double total = pc.ss + pc.sd + pc.ds + pc.dd;
+  if (total <= 0) return 1.0;
+  const double sum_ai2 = pc.ss + pc.sd;  // Σ C(a_i,2)
+  const double sum_bj2 = pc.ss + pc.ds;  // Σ C(b_j,2)
+  const double expected = sum_ai2 * sum_bj2 / total;
+  const double max_index = 0.5 * (sum_ai2 + sum_bj2);
+  if (std::fabs(max_index - expected) < 1e-12) return 1.0;
+  return (pc.ss - expected) / (max_index - expected);
+}
+
+double NormalizedMutualInformation(const std::vector<int>& truth,
+                                   const std::vector<int>& pred) {
+  MCIRBM_CHECK_EQ(truth.size(), pred.size());
+  MCIRBM_CHECK(!truth.empty());
+  std::vector<int> t = truth, p = pred;
+  const int kt = clustering::CompactRelabel(&t);
+  const int kp = clustering::CompactRelabel(&p);
+  const auto table = ContingencyTable(t, kt, p, kp);
+  const double n = static_cast<double>(truth.size());
+  std::vector<double> row(kt, 0), col(kp, 0);
+  for (int a = 0; a < kt; ++a) {
+    for (int b = 0; b < kp; ++b) {
+      row[a] += table[a][b];
+      col[b] += table[a][b];
+    }
+  }
+  double mi = 0, ht = 0, hp = 0;
+  for (int a = 0; a < kt; ++a) {
+    if (row[a] > 0) ht -= row[a] / n * std::log(row[a] / n);
+    for (int b = 0; b < kp; ++b) {
+      const double nij = table[a][b];
+      if (nij > 0) {
+        mi += nij / n * std::log(nij * n / (row[a] * col[b]));
+      }
+    }
+  }
+  for (int b = 0; b < kp; ++b) {
+    if (col[b] > 0) hp -= col[b] / n * std::log(col[b] / n);
+  }
+  const double denom = 0.5 * (ht + hp);
+  if (denom < 1e-12) return 1.0;  // both partitions trivial
+  return mi / denom;
+}
+
+double JaccardIndex(const std::vector<int>& truth,
+                    const std::vector<int>& pred) {
+  const PairCounts pc = ComputePairCounts(truth, pred);
+  const double denom = pc.ss + pc.sd + pc.ds;
+  if (denom <= 0) return 1.0;  // no positive pairs anywhere: trivial match
+  return pc.ss / denom;
+}
+
+namespace {
+
+// Entropies needed by homogeneity/completeness, all in nats over n points:
+// H(T), H(P) and the joint H(T,P), from which the conditionals follow.
+struct PartitionEntropies {
+  double h_truth = 0, h_pred = 0, h_joint = 0;
+};
+
+PartitionEntropies ComputeEntropies(const std::vector<int>& truth,
+                                    const std::vector<int>& pred) {
+  MCIRBM_CHECK_EQ(truth.size(), pred.size());
+  MCIRBM_CHECK(!truth.empty());
+  std::vector<int> t = truth, p = pred;
+  const int kt = clustering::CompactRelabel(&t);
+  const int kp = clustering::CompactRelabel(&p);
+  const auto table = ContingencyTable(t, kt, p, kp);
+  const double n = static_cast<double>(truth.size());
+  std::vector<double> row(kt, 0), col(kp, 0);
+  PartitionEntropies e;
+  for (int a = 0; a < kt; ++a) {
+    for (int b = 0; b < kp; ++b) {
+      const double nij = table[a][b];
+      row[a] += nij;
+      col[b] += nij;
+      if (nij > 0) e.h_joint -= nij / n * std::log(nij / n);
+    }
+  }
+  for (double r : row) {
+    if (r > 0) e.h_truth -= r / n * std::log(r / n);
+  }
+  for (double c : col) {
+    if (c > 0) e.h_pred -= c / n * std::log(c / n);
+  }
+  return e;
+}
+
+}  // namespace
+
+double Homogeneity(const std::vector<int>& truth,
+                   const std::vector<int>& pred) {
+  const PartitionEntropies e = ComputeEntropies(truth, pred);
+  if (e.h_truth < 1e-12) return 1.0;  // single class: trivially homogeneous
+  const double h_truth_given_pred = e.h_joint - e.h_pred;
+  return 1.0 - h_truth_given_pred / e.h_truth;
+}
+
+double Completeness(const std::vector<int>& truth,
+                    const std::vector<int>& pred) {
+  const PartitionEntropies e = ComputeEntropies(truth, pred);
+  if (e.h_pred < 1e-12) return 1.0;  // single cluster: trivially complete
+  const double h_pred_given_truth = e.h_joint - e.h_truth;
+  return 1.0 - h_pred_given_truth / e.h_pred;
+}
+
+double VMeasure(const std::vector<int>& truth, const std::vector<int>& pred) {
+  const double h = Homogeneity(truth, pred);
+  const double c = Completeness(truth, pred);
+  if (h + c < 1e-12) return 0.0;
+  return 2 * h * c / (h + c);
+}
+
+MetricBundle ComputeAll(const std::vector<int>& truth,
+                        const std::vector<int>& pred) {
+  MetricBundle m;
+  m.accuracy = ClusteringAccuracy(truth, pred);
+  m.purity = Purity(truth, pred);
+  m.rand_index = RandIndex(truth, pred);
+  m.fmi = FowlkesMallows(truth, pred);
+  m.ari = AdjustedRandIndex(truth, pred);
+  m.nmi = NormalizedMutualInformation(truth, pred);
+  return m;
+}
+
+}  // namespace mcirbm::metrics

@@ -1,0 +1,70 @@
+// External clustering evaluation metrics used by the paper's evaluation:
+// accuracy (Eq. 36), purity (Eq. 38), Rand index (Eq. 37), Fowlkes–Mallows
+// index (Eq. 39); plus ARI and NMI as extended diagnostics.
+//
+// `truth` and `pred` are equal-length assignment vectors; `pred` ids need
+// not align with class ids (accuracy computes the optimal 1-1 map).
+#ifndef MCIRBM_METRICS_EXTERNAL_H_
+#define MCIRBM_METRICS_EXTERNAL_H_
+
+#include <vector>
+
+namespace mcirbm::metrics {
+
+/// Clustering accuracy: best one-to-one cluster->class map (Hungarian on
+/// the contingency table), then fraction of correctly mapped instances.
+double ClusteringAccuracy(const std::vector<int>& truth,
+                          const std::vector<int>& pred);
+
+/// Purity: sum over clusters of the majority-class count, divided by n.
+double Purity(const std::vector<int>& truth, const std::vector<int>& pred);
+
+/// Rand index: (Nss + Ndd) / C(n,2) over instance pairs.
+double RandIndex(const std::vector<int>& truth, const std::vector<int>& pred);
+
+/// Fowlkes–Mallows index: sqrt(TP/(TP+FP) * TP/(TP+FN)) over pairs.
+double FowlkesMallows(const std::vector<int>& truth,
+                      const std::vector<int>& pred);
+
+/// Adjusted Rand index (Hubert & Arabie); chance-corrected, in [-1, 1].
+double AdjustedRandIndex(const std::vector<int>& truth,
+                         const std::vector<int>& pred);
+
+/// Normalized mutual information (arithmetic-mean normalization), [0, 1].
+double NormalizedMutualInformation(const std::vector<int>& truth,
+                                   const std::vector<int>& pred);
+
+/// Pair-level Jaccard index TP / (TP + FP + FN), in [0, 1].
+double JaccardIndex(const std::vector<int>& truth,
+                    const std::vector<int>& pred);
+
+/// Homogeneity: 1 − H(class|cluster)/H(class); high when each cluster
+/// holds a single class. In [0, 1]; 1 when every cluster is pure.
+double Homogeneity(const std::vector<int>& truth,
+                   const std::vector<int>& pred);
+
+/// Completeness: 1 − H(cluster|class)/H(cluster); high when each class
+/// lands in a single cluster. In [0, 1].
+double Completeness(const std::vector<int>& truth,
+                    const std::vector<int>& pred);
+
+/// V-measure: harmonic mean of homogeneity and completeness (β = 1).
+double VMeasure(const std::vector<int>& truth, const std::vector<int>& pred);
+
+/// All of the above in one pass-friendly record.
+struct MetricBundle {
+  double accuracy = 0;
+  double purity = 0;
+  double rand_index = 0;
+  double fmi = 0;
+  double ari = 0;
+  double nmi = 0;
+};
+
+/// Computes every metric in the bundle.
+MetricBundle ComputeAll(const std::vector<int>& truth,
+                        const std::vector<int>& pred);
+
+}  // namespace mcirbm::metrics
+
+#endif  // MCIRBM_METRICS_EXTERNAL_H_

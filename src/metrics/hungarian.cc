@@ -1,0 +1,99 @@
+#include "metrics/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.h"
+
+namespace mcirbm::metrics {
+namespace {
+
+// Classic O(n^3) Hungarian algorithm on a square *cost* matrix (minimize).
+// Implementation follows the potentials + augmenting-path formulation.
+std::vector<int> MinCostAssignmentSquare(
+    const std::vector<std::vector<double>>& cost) {
+  const int n = static_cast<int>(cost.size());
+  // 1-based potentials; way[j] = previous column on the augmenting path.
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<int> p(n + 1, 0), way(n + 1, 0);
+  for (int i = 1; i <= n; ++i) {
+    p[0] = i;
+    int j0 = 0;
+    std::vector<double> minv(n + 1, std::numeric_limits<double>::max());
+    std::vector<char> used(n + 1, false);
+    do {
+      used[j0] = true;
+      const int i0 = p[j0];
+      double delta = std::numeric_limits<double>::max();
+      int j1 = 0;
+      for (int j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        const double cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (int j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      const int j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0);
+  }
+  std::vector<int> match(n, -1);
+  for (int j = 1; j <= n; ++j) {
+    if (p[j] > 0) match[p[j] - 1] = j - 1;
+  }
+  return match;
+}
+
+}  // namespace
+
+std::vector<int> MaxWeightAssignment(
+    const std::vector<std::vector<double>>& weight) {
+  const int rows = static_cast<int>(weight.size());
+  MCIRBM_CHECK_GT(rows, 0);
+  const int cols = static_cast<int>(weight[0].size());
+  for (const auto& row : weight) {
+    MCIRBM_CHECK_EQ(static_cast<int>(row.size()), cols);
+  }
+  const int n = std::max(rows, cols);
+  // Pad to square and negate (max-weight -> min-cost). Padding cells cost 0
+  // which never beats a real max-weight cell after negation shift, but to
+  // be safe use 0 cost for dummies and shift real cells by -w.
+  std::vector<std::vector<double>> cost(n, std::vector<double>(n, 0.0));
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) cost[r][c] = -weight[r][c];
+  }
+  std::vector<int> match = MinCostAssignmentSquare(cost);
+  match.resize(rows);
+  for (int r = 0; r < rows; ++r) {
+    if (match[r] >= cols) match[r] = -1;  // matched to a dummy column
+  }
+  return match;
+}
+
+std::vector<int> MaxWeightAssignment(
+    const std::vector<std::vector<int>>& weight) {
+  std::vector<std::vector<double>> w(weight.size());
+  for (std::size_t r = 0; r < weight.size(); ++r) {
+    w[r].assign(weight[r].begin(), weight[r].end());
+  }
+  return MaxWeightAssignment(w);
+}
+
+}  // namespace mcirbm::metrics

@@ -1,0 +1,27 @@
+// Hungarian (Kuhn–Munkres) assignment, O(n^3).
+//
+// Used for (a) the optimal one-to-one map between cluster ids and class
+// labels inside the clustering-accuracy metric and (b) aligning partitions
+// from different clusterers before unanimous voting.
+#ifndef MCIRBM_METRICS_HUNGARIAN_H_
+#define MCIRBM_METRICS_HUNGARIAN_H_
+
+#include <vector>
+
+namespace mcirbm::metrics {
+
+/// Solves the max-weight perfect assignment on `weight` (rows x cols,
+/// rectangular allowed; the smaller side is fully matched).
+///
+/// Returns `match` of length rows(): match[r] = assigned column or -1 when
+/// rows > cols and row r is unmatched. Each column is used at most once.
+std::vector<int> MaxWeightAssignment(
+    const std::vector<std::vector<double>>& weight);
+
+/// Convenience overload for integer weights (contingency tables).
+std::vector<int> MaxWeightAssignment(
+    const std::vector<std::vector<int>>& weight);
+
+}  // namespace mcirbm::metrics
+
+#endif  // MCIRBM_METRICS_HUNGARIAN_H_

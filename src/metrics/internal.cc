@@ -1,0 +1,189 @@
+#include "metrics/internal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/ops.h"
+#include "util/check.h"
+
+namespace mcirbm::metrics {
+namespace {
+
+// Per-cluster member lists over assigned (id >= 0) instances; compact ids
+// are NOT required — ids index a sparse map collapsed to the used ones.
+struct Clusters {
+  std::vector<std::vector<std::size_t>> members;  // per used cluster
+  std::vector<int> cluster_index_of;  // instance -> index in `members`, -1
+};
+
+Clusters GroupByCluster(const linalg::Matrix& x,
+                        const std::vector<int>& assignment) {
+  MCIRBM_CHECK_EQ(x.rows(), assignment.size());
+  int max_id = -1;
+  for (int id : assignment) max_id = std::max(max_id, id);
+  std::vector<int> slot(static_cast<std::size_t>(max_id) + 1, -1);
+  Clusters out;
+  out.cluster_index_of.assign(assignment.size(), -1);
+  for (std::size_t i = 0; i < assignment.size(); ++i) {
+    const int id = assignment[i];
+    if (id < 0) continue;
+    if (slot[id] < 0) {
+      slot[id] = static_cast<int>(out.members.size());
+      out.members.emplace_back();
+    }
+    out.members[slot[id]].push_back(i);
+    out.cluster_index_of[i] = slot[id];
+  }
+  return out;
+}
+
+// Centroid of the given rows.
+std::vector<double> Centroid(const linalg::Matrix& x,
+                             const std::vector<std::size_t>& rows) {
+  std::vector<double> c(x.cols(), 0.0);
+  for (std::size_t r : rows) {
+    const auto row = x.Row(r);
+    for (std::size_t j = 0; j < c.size(); ++j) c[j] += row[j];
+  }
+  for (double& v : c) v /= static_cast<double>(rows.size());
+  return c;
+}
+
+double Distance(std::span<const double> a, std::span<const double> b) {
+  return std::sqrt(linalg::SquaredDistance(a, b));
+}
+
+}  // namespace
+
+double SilhouetteScore(const linalg::Matrix& x,
+                       const std::vector<int>& assignment) {
+  const Clusters g = GroupByCluster(x, assignment);
+  const std::size_t k = g.members.size();
+  MCIRBM_CHECK_GE(k, 2u) << "silhouette needs >= 2 clusters";
+
+  double total = 0;
+  std::size_t counted = 0;
+  for (std::size_t c = 0; c < k; ++c) {
+    for (std::size_t i : g.members[c]) {
+      if (g.members[c].size() == 1) {
+        ++counted;  // singleton: silhouette defined as 0
+        continue;
+      }
+      // a(i): mean distance to own cluster (excluding self).
+      double a = 0;
+      for (std::size_t j : g.members[c]) {
+        if (j != i) a += Distance(x.Row(i), x.Row(j));
+      }
+      a /= static_cast<double>(g.members[c].size() - 1);
+      // b(i): smallest mean distance to another cluster.
+      double b = std::numeric_limits<double>::infinity();
+      for (std::size_t o = 0; o < k; ++o) {
+        if (o == c) continue;
+        double mean = 0;
+        for (std::size_t j : g.members[o]) {
+          mean += Distance(x.Row(i), x.Row(j));
+        }
+        mean /= static_cast<double>(g.members[o].size());
+        b = std::min(b, mean);
+      }
+      const double denom = std::max(a, b);
+      total += denom > 0 ? (b - a) / denom : 0.0;
+      ++counted;
+    }
+  }
+  MCIRBM_CHECK_GT(counted, 0u);
+  return total / static_cast<double>(counted);
+}
+
+double DaviesBouldinIndex(const linalg::Matrix& x,
+                          const std::vector<int>& assignment) {
+  const Clusters g = GroupByCluster(x, assignment);
+  const std::size_t k = g.members.size();
+  MCIRBM_CHECK_GE(k, 2u) << "Davies-Bouldin needs >= 2 clusters";
+
+  std::vector<std::vector<double>> centroids(k);
+  std::vector<double> scatter(k, 0.0);  // mean distance to own centroid
+  for (std::size_t c = 0; c < k; ++c) {
+    centroids[c] = Centroid(x, g.members[c]);
+    for (std::size_t i : g.members[c]) {
+      scatter[c] += Distance(x.Row(i), centroids[c]);
+    }
+    scatter[c] /= static_cast<double>(g.members[c].size());
+  }
+
+  double sum = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    double worst = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      if (i == j) continue;
+      const double d = Distance(centroids[i], centroids[j]);
+      // Coincident centroids with any scatter: ratio is unbounded; use a
+      // large finite proxy so the index stays comparable.
+      const double ratio = d > 0 ? (scatter[i] + scatter[j]) / d
+                                 : std::numeric_limits<double>::max() / 4;
+      worst = std::max(worst, ratio);
+    }
+    sum += worst;
+  }
+  return sum / static_cast<double>(k);
+}
+
+double WithinClusterSse(const linalg::Matrix& x,
+                        const std::vector<int>& assignment) {
+  const Clusters g = GroupByCluster(x, assignment);
+  double sse = 0;
+  for (const auto& members : g.members) {
+    const std::vector<double> c = Centroid(x, members);
+    for (std::size_t i : members) {
+      sse += linalg::SquaredDistance(x.Row(i), c);
+    }
+  }
+  return sse;
+}
+
+double BetweenClusterSse(const linalg::Matrix& x,
+                         const std::vector<int>& assignment) {
+  const Clusters g = GroupByCluster(x, assignment);
+  std::vector<std::size_t> all;
+  for (const auto& members : g.members) {
+    all.insert(all.end(), members.begin(), members.end());
+  }
+  MCIRBM_CHECK(!all.empty());
+  const std::vector<double> global = Centroid(x, all);
+  double sse = 0;
+  for (const auto& members : g.members) {
+    const std::vector<double> c = Centroid(x, members);
+    sse += static_cast<double>(members.size()) *
+           linalg::SquaredDistance(c, global);
+  }
+  return sse;
+}
+
+double CalinskiHarabaszIndex(const linalg::Matrix& x,
+                             const std::vector<int>& assignment) {
+  const Clusters g = GroupByCluster(x, assignment);
+  const std::size_t k = g.members.size();
+  std::size_t n = 0;
+  for (const auto& members : g.members) n += members.size();
+  MCIRBM_CHECK_GE(k, 2u) << "Calinski-Harabasz needs >= 2 clusters";
+  MCIRBM_CHECK_GT(n, k) << "Calinski-Harabasz needs n > k";
+  const double within = WithinClusterSse(x, assignment);
+  const double between = BetweenClusterSse(x, assignment);
+  if (within <= 0) return std::numeric_limits<double>::max() / 4;
+  return (between / static_cast<double>(k - 1)) /
+         (within / static_cast<double>(n - k));
+}
+
+InternalMetricBundle ComputeInternal(const linalg::Matrix& x,
+                                     const std::vector<int>& assignment) {
+  InternalMetricBundle b;
+  b.silhouette = SilhouetteScore(x, assignment);
+  b.davies_bouldin = DaviesBouldinIndex(x, assignment);
+  b.calinski_harabasz = CalinskiHarabaszIndex(x, assignment);
+  b.within_sse = WithinClusterSse(x, assignment);
+  b.between_sse = BetweenClusterSse(x, assignment);
+  return b;
+}
+
+}  // namespace mcirbm::metrics

@@ -1,0 +1,61 @@
+// Internal (label-free) clustering quality indices.
+//
+// The paper's claim is that sls training gives the hidden layer a "more
+// reasonable distribution" — constricted within credible clusters,
+// dispersed across them. These indices quantify exactly that geometry
+// without ground truth, so the ablation benches can show the feature-space
+// effect directly rather than only through downstream accuracy.
+#ifndef MCIRBM_METRICS_INTERNAL_H_
+#define MCIRBM_METRICS_INTERNAL_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mcirbm::metrics {
+
+/// Mean silhouette coefficient over all assigned instances, in [-1, 1].
+/// Instances with assignment -1 (no cluster) are ignored; instances in
+/// singleton clusters contribute 0 (their silhouette is undefined).
+/// Requires at least 2 distinct clusters among the assigned instances.
+double SilhouetteScore(const linalg::Matrix& x,
+                       const std::vector<int>& assignment);
+
+/// Davies–Bouldin index: mean over clusters of the worst
+/// (scatter_i + scatter_j) / centroid_distance_ij ratio. Lower is better;
+/// 0 is ideal. Requires >= 2 non-empty clusters.
+double DaviesBouldinIndex(const linalg::Matrix& x,
+                          const std::vector<int>& assignment);
+
+/// Calinski–Harabasz index: (between-SSE / (k-1)) / (within-SSE / (n-k)).
+/// Higher is better. Requires n > k >= 2.
+double CalinskiHarabaszIndex(const linalg::Matrix& x,
+                             const std::vector<int>& assignment);
+
+/// Total within-cluster sum of squared distances to centroids (the
+/// k-means objective over the given assignment).
+double WithinClusterSse(const linalg::Matrix& x,
+                        const std::vector<int>& assignment);
+
+/// Between-cluster SSE: Σ_k n_k · |c_k − c|², dispersion of centroids
+/// around the global mean (of assigned instances).
+double BetweenClusterSse(const linalg::Matrix& x,
+                         const std::vector<int>& assignment);
+
+/// One-line summary of the feature-space geometry.
+struct InternalMetricBundle {
+  double silhouette = 0;
+  double davies_bouldin = 0;
+  double calinski_harabasz = 0;
+  double within_sse = 0;
+  double between_sse = 0;
+};
+
+/// Computes the full internal bundle (guards degenerate inputs by
+/// returning the individual functions' conventions).
+InternalMetricBundle ComputeInternal(const linalg::Matrix& x,
+                                     const std::vector<int>& assignment);
+
+}  // namespace mcirbm::metrics
+
+#endif  // MCIRBM_METRICS_INTERNAL_H_

@@ -1,0 +1,82 @@
+// Training configuration for RBM-family models.
+#ifndef MCIRBM_RBM_CONFIG_H_
+#define MCIRBM_RBM_CONFIG_H_
+
+#include <cstdint>
+
+namespace mcirbm::rbm {
+
+/// Hyper-parameters for CD training of an RBM/GRBM.
+///
+/// The paper trains slsGRBM with learning rate 1e-4 and slsRBM with 1e-5
+/// (Section V.B); those are the defaults used by the experiment harness.
+struct RbmConfig {
+  int num_visible = 0;
+  int num_hidden = 64;
+
+  double learning_rate = 1e-4;
+  int epochs = 30;
+
+  /// Minibatch size; 0 = full-batch (the paper's regime on these small
+  /// datasets).
+  int batch_size = 0;
+
+  /// Gibbs steps per update (CD-k). The paper uses CD-1 following
+  /// Karakida et al.'s analysis.
+  int cd_k = 1;
+
+  double momentum = 0.5;
+
+  /// Two-stage momentum schedule (Hinton's practical guide: 0.5 for the
+  /// first few epochs while gradients are large and noisy, then 0.9).
+  /// 0 disables the switch and `momentum` is used throughout.
+  double momentum_final = 0.0;
+  int momentum_switch_epoch = 5;
+
+  double weight_decay = 1e-4;
+
+  /// Stddev of the Gaussian weight init (Hinton's practical guide value).
+  double init_weight_stddev = 0.01;
+
+  /// If true, the hidden layer is sampled to binary states before the
+  /// reconstruction pass (standard CD); if false, probabilities are used
+  /// (mean-field, lower-variance gradients).
+  bool sample_hidden_states = true;
+
+  // --- Training extensions beyond the paper's CD-1 (all default off;
+  // exercised by bench/ablation_training).
+
+  /// Persistent CD (Tieleman 2008, the paper's ref [11]): the negative
+  /// phase runs persistent fantasy chains instead of restarting the Gibbs
+  /// chain at the data. Better likelihood gradients at small k on
+  /// multi-modal data.
+  bool use_persistent_cd = false;
+
+  /// Number of persistent fantasy chains; 0 = one per batch row.
+  int pcd_chains = 0;
+
+  /// Sparsity regularization (sparse RBM, the paper's ref [25]): drives
+  /// the mean activation of every hidden unit toward `sparsity_target`
+  /// with penalty weight `sparsity_cost`. Both must be > 0 to enable.
+  double sparsity_target = 0.0;
+  double sparsity_cost = 0.0;
+
+  /// Exponential-decay factor of the running mean-activation estimate
+  /// used by the sparsity penalty.
+  double sparsity_decay = 0.9;
+
+  /// Weight initialization scheme.
+  enum class WeightInit {
+    kGaussian,  ///< N(0, init_weight_stddev) — Hinton's default
+    kPca,       ///< principal directions of the training data (Xie et
+                ///< al., the paper's ref [46]); falls back to Gaussian
+                ///< columns beyond the data rank
+  };
+  WeightInit weight_init = WeightInit::kGaussian;
+
+  std::uint64_t seed = 42;
+};
+
+}  // namespace mcirbm::rbm
+
+#endif  // MCIRBM_RBM_CONFIG_H_

@@ -1,0 +1,43 @@
+#include "rbm/free_energy.h"
+
+#include <cmath>
+#include <vector>
+
+#include "linalg/ops.h"
+#include "rng/rng.h"
+#include "util/check.h"
+
+namespace mcirbm::rbm {
+
+double PseudoLogLikelihood(const RbmBase& model, const linalg::Matrix& v,
+                           std::uint64_t seed) {
+  const std::size_t n = v.rows();
+  const std::size_t nv = v.cols();
+  MCIRBM_CHECK_GT(n, 0u);
+  MCIRBM_CHECK_GT(nv, 0u);
+  rng::Rng rng(seed);
+
+  double total = 0;
+  std::vector<double> row(nv);
+  for (std::size_t r = 0; r < n; ++r) {
+    const auto src = v.Row(r);
+    for (std::size_t i = 0; i < nv; ++i) row[i] = src[i];
+    const double fe = model.FreeEnergy(row);
+    const std::size_t flip = rng.UniformIndex(nv);
+    row[flip] = 1.0 - row[flip];
+    const double fe_flipped = model.FreeEnergy(row);
+    // log σ(F(ṽ) − F(v)), stable for large |gap|.
+    const double gap = fe_flipped - fe;
+    const double log_sigmoid =
+        gap > 30 ? 0.0 : gap - std::log1p(std::exp(std::min(gap, 30.0)));
+    total += static_cast<double>(nv) * log_sigmoid;
+  }
+  return total / static_cast<double>(n);
+}
+
+double FreeEnergyGap(const RbmBase& model, const linalg::Matrix& train,
+                     const linalg::Matrix& reference) {
+  return model.MeanFreeEnergy(reference) - model.MeanFreeEnergy(train);
+}
+
+}  // namespace mcirbm::rbm

@@ -1,0 +1,32 @@
+// Likelihood-progress estimators built on the free energy.
+//
+// CD reconstruction error is the usual training monitor but is not a
+// likelihood; pseudo-log-likelihood (PLL) gives a tractable proxy for
+// binary RBMs, and the free-energy gap between training and a reference
+// sample detects overfitting for both unit types.
+#ifndef MCIRBM_RBM_FREE_ENERGY_H_
+#define MCIRBM_RBM_FREE_ENERGY_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "rbm/rbm_base.h"
+
+namespace mcirbm::rbm {
+
+/// Stochastic pseudo-log-likelihood per instance for a binary-visible
+/// model: for each row one random bit i is flipped and
+/// PLL ≈ nv · log σ(F(ṽ) − F(v)) (Marlin et al. 2010). Inputs should be
+/// in {0,1}; deterministic given `seed`. More negative = worse fit.
+double PseudoLogLikelihood(const RbmBase& model, const linalg::Matrix& v,
+                           std::uint64_t seed);
+
+/// Mean free-energy gap F(reference) − F(train). A model that merely
+/// memorizes training rows drives train free energy far below that of
+/// held-out/reference data; a well-fit model keeps the gap small.
+double FreeEnergyGap(const RbmBase& model, const linalg::Matrix& train,
+                     const linalg::Matrix& reference);
+
+}  // namespace mcirbm::rbm
+
+#endif  // MCIRBM_RBM_FREE_ENERGY_H_

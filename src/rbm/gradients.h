@@ -1,0 +1,33 @@
+// Gradient accumulation buffers shared by CD learning and the sls terms.
+#ifndef MCIRBM_RBM_GRADIENTS_H_
+#define MCIRBM_RBM_GRADIENTS_H_
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace mcirbm::rbm {
+
+/// Accumulators for one parameter update: dW (nv x nh), da (nv), db (nh).
+struct GradientBuffers {
+  linalg::Matrix dw;
+  std::vector<double> da;
+  std::vector<double> db;
+
+  GradientBuffers() = default;
+  GradientBuffers(std::size_t num_visible, std::size_t num_hidden)
+      : dw(num_visible, num_hidden),
+        da(num_visible, 0.0),
+        db(num_hidden, 0.0) {}
+
+  /// Zeroes all buffers (shape preserved).
+  void Reset() {
+    dw.Fill(0.0);
+    std::fill(da.begin(), da.end(), 0.0);
+    std::fill(db.begin(), db.end(), 0.0);
+  }
+};
+
+}  // namespace mcirbm::rbm
+
+#endif  // MCIRBM_RBM_GRADIENTS_H_

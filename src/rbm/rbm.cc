@@ -1,0 +1,21 @@
+#include "rbm/rbm.h"
+
+#include "linalg/ops.h"
+
+namespace mcirbm::rbm {
+
+linalg::Matrix Rbm::ReconstructVisible(const linalg::Matrix& h) const {
+  // p(v=1|h) = σ(a + h·Wᵀ)  (Eq. 3).
+  linalg::Matrix v = linalg::GemmTransB(h, w_);
+  linalg::AddRowVector(&v, a_);
+  linalg::SigmoidInPlace(&v);
+  return v;
+}
+
+double Rbm::VisibleFreeEnergyTerm(std::span<const double> v) const {
+  double dot = 0;
+  for (std::size_t i = 0; i < v.size(); ++i) dot += a_[i] * v[i];
+  return -dot;
+}
+
+}  // namespace mcirbm::rbm

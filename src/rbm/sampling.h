@@ -1,0 +1,43 @@
+// Gibbs sampling from a trained RBM-family model.
+//
+// An RBM is a generative model; drawing fantasy samples is both a
+// qualitative check that training captured the data's modes and the
+// negative-phase machinery behind PCD exposed as a public API.
+#ifndef MCIRBM_RBM_SAMPLING_H_
+#define MCIRBM_RBM_SAMPLING_H_
+
+#include <cstdint>
+
+#include "linalg/matrix.h"
+#include "rbm/rbm_base.h"
+
+namespace mcirbm::rbm {
+
+/// Options for the Gibbs chain.
+struct GibbsOptions {
+  /// Full v->h->v steps per returned sample.
+  int burn_in = 100;
+  /// Sample binary hidden states (true, proper Gibbs) or propagate
+  /// probabilities (false, mean-field — deterministic given the start).
+  bool sample_hidden = true;
+  std::uint64_t seed = 1;
+};
+
+/// Runs `options.burn_in` Gibbs steps from each row of `start` and returns
+/// the final visible configurations (probabilities/means, not sampled
+/// states) — one fantasy per start row.
+linalg::Matrix SampleFantasies(const RbmBase& model,
+                               const linalg::Matrix& start,
+                               const GibbsOptions& options);
+
+/// Convenience: starts `num_samples` chains from Bernoulli(0.5) noise
+/// (binary models) — for Gaussian models prefer SampleFantasies with
+/// data-shaped starts, since a unit-Gaussian start may sit far from the
+/// model's modes.
+linalg::Matrix SampleFantasiesFromNoise(const RbmBase& model,
+                                        std::size_t num_samples,
+                                        const GibbsOptions& options);
+
+}  // namespace mcirbm::rbm
+
+#endif  // MCIRBM_RBM_SAMPLING_H_

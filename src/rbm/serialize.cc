@@ -1,0 +1,72 @@
+#include "rbm/serialize.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+namespace mcirbm::rbm {
+namespace {
+constexpr char kMagic[] = "mcirbm-rbm v1";
+}  // namespace
+
+Status SaveParameters(const RbmBase& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << kMagic << "\n" << model.name() << "\n";
+  const auto& w = model.weights();
+  out << w.rows() << " " << w.cols() << "\n";
+  out << std::setprecision(17);
+  out << "a:";
+  for (double v : model.visible_bias()) out << " " << v;
+  out << "\nb:";
+  for (double v : model.hidden_bias()) out << " " << v;
+  out << "\nW:\n";
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    for (std::size_t c = 0; c < w.cols(); ++c) {
+      if (c) out << " ";
+      out << w(r, c);
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+Status LoadParameters(const std::string& path, RbmBase* model) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string line;
+  if (!std::getline(in, line) || line != kMagic) {
+    return Status::ParseError(path + ": bad magic header");
+  }
+  std::string stored_name;
+  if (!std::getline(in, stored_name)) {
+    return Status::ParseError(path + ": missing model name");
+  }
+  std::size_t nv = 0, nh = 0;
+  in >> nv >> nh;
+  if (!in) return Status::ParseError(path + ": bad shape line");
+  if (nv != model->weights().rows() || nh != model->weights().cols()) {
+    std::ostringstream msg;
+    msg << path << ": shape " << nv << "x" << nh << " != model "
+        << model->weights().rows() << "x" << model->weights().cols();
+    return Status::InvalidArgument(msg.str());
+  }
+  std::string tag;
+  in >> tag;
+  if (tag != "a:") return Status::ParseError(path + ": expected 'a:'");
+  for (std::size_t j = 0; j < nv; ++j) in >> (*model->mutable_visible_bias())[j];
+  in >> tag;
+  if (tag != "b:") return Status::ParseError(path + ": expected 'b:'");
+  for (std::size_t j = 0; j < nh; ++j) in >> (*model->mutable_hidden_bias())[j];
+  in >> tag;
+  if (tag != "W:") return Status::ParseError(path + ": expected 'W:'");
+  linalg::Matrix* w = model->mutable_weights();
+  for (std::size_t r = 0; r < nv; ++r) {
+    for (std::size_t c = 0; c < nh; ++c) in >> (*w)(r, c);
+  }
+  if (!in) return Status::ParseError(path + ": truncated parameter block");
+  return Status::Ok();
+}
+
+}  // namespace mcirbm::rbm

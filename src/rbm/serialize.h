@@ -1,0 +1,29 @@
+// Text (de)serialization of RBM parameters for checkpointing / export.
+//
+// Format (line oriented, locale-independent):
+//   mcirbm-rbm v1
+//   <model-name>
+//   <num_visible> <num_hidden>
+//   a: <nv doubles>
+//   b: <nh doubles>
+//   W: nv lines of nh doubles
+#ifndef MCIRBM_RBM_SERIALIZE_H_
+#define MCIRBM_RBM_SERIALIZE_H_
+
+#include <string>
+
+#include "rbm/rbm_base.h"
+#include "util/status.h"
+
+namespace mcirbm::rbm {
+
+/// Writes `model`'s parameters to `path`.
+Status SaveParameters(const RbmBase& model, const std::string& path);
+
+/// Loads parameters into `model`; fails if the stored shape does not match
+/// the model's configured shape (the model name is informational only).
+Status LoadParameters(const std::string& path, RbmBase* model);
+
+}  // namespace mcirbm::rbm
+
+#endif  // MCIRBM_RBM_SERIALIZE_H_

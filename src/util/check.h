@@ -1,0 +1,73 @@
+// Lightweight CHECK macros for precondition validation.
+//
+// Library code is exception-free (Google C++ style); violated invariants are
+// programming errors and abort with a diagnostic. Use Status (status.h) for
+// recoverable conditions such as I/O failures.
+#ifndef MCIRBM_UTIL_CHECK_H_
+#define MCIRBM_UTIL_CHECK_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace mcirbm {
+namespace internal {
+
+/// Prints the failure message and aborts. Never returns.
+[[noreturn]] inline void CheckFail(const char* file, int line,
+                                   const char* expr, const std::string& msg) {
+  std::cerr << "CHECK failed at " << file << ":" << line << ": " << expr;
+  if (!msg.empty()) std::cerr << " — " << msg;
+  std::cerr << std::endl;
+  std::abort();
+}
+
+/// Stream-collecting helper so CHECK(x) << "context" works.
+class CheckMessage {
+ public:
+  CheckMessage(const char* file, int line, const char* expr)
+      : file_(file), line_(line), expr_(expr) {}
+  [[noreturn]] ~CheckMessage() { CheckFail(file_, line_, expr_, out_.str()); }
+  template <typename T>
+  CheckMessage& operator<<(const T& v) {
+    out_ << v;
+    return *this;
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  const char* expr_;
+  std::ostringstream out_;
+};
+
+}  // namespace internal
+}  // namespace mcirbm
+
+#define MCIRBM_CHECK(cond)                                             \
+  if (cond) {                                                          \
+  } else                                                               \
+    ::mcirbm::internal::CheckMessage(__FILE__, __LINE__, #cond)
+
+#define MCIRBM_CHECK_OP(a, b, op) \
+  MCIRBM_CHECK((a)op(b)) << "(" << (a) << " vs " << (b) << ") "
+
+#define MCIRBM_CHECK_EQ(a, b) MCIRBM_CHECK_OP(a, b, ==)
+#define MCIRBM_CHECK_NE(a, b) MCIRBM_CHECK_OP(a, b, !=)
+#define MCIRBM_CHECK_LT(a, b) MCIRBM_CHECK_OP(a, b, <)
+#define MCIRBM_CHECK_LE(a, b) MCIRBM_CHECK_OP(a, b, <=)
+#define MCIRBM_CHECK_GT(a, b) MCIRBM_CHECK_OP(a, b, >)
+#define MCIRBM_CHECK_GE(a, b) MCIRBM_CHECK_OP(a, b, >=)
+
+// Debug-only variants; compiled out in NDEBUG builds (hot loops).
+#ifdef NDEBUG
+#define MCIRBM_DCHECK(cond) \
+  if (true) {               \
+  } else                    \
+    ::mcirbm::internal::CheckMessage(__FILE__, __LINE__, #cond)
+#else
+#define MCIRBM_DCHECK(cond) MCIRBM_CHECK(cond)
+#endif
+
+#endif  // MCIRBM_UTIL_CHECK_H_

@@ -1,0 +1,66 @@
+#include "util/csv.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace mcirbm {
+
+StatusOr<CsvTable> ReadCsv(const std::string& path, bool has_header) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  CsvTable table;
+  std::string line;
+  size_t lineno = 0;
+  size_t width = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (Trim(line).empty()) continue;
+    const std::vector<std::string> cells = Split(line, ',');
+    if (lineno == 1 && has_header) {
+      for (const auto& c : cells) table.header.push_back(Trim(c));
+      width = cells.size();
+      continue;
+    }
+    if (width == 0) width = cells.size();
+    if (cells.size() != width) {
+      return Status::ParseError(path + ":" + std::to_string(lineno) +
+                                ": ragged row");
+    }
+    std::vector<double> row;
+    row.reserve(cells.size());
+    for (const auto& c : cells) {
+      double v;
+      if (!ParseDouble(c, &v)) {
+        return Status::ParseError(path + ":" + std::to_string(lineno) +
+                                  ": non-numeric cell '" + c + "'");
+      }
+      row.push_back(v);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<double>>& rows) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << std::setprecision(17);  // lossless double round-trip
+  if (!header.empty()) out << Join(header, ",") << "\n";
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out << ',';
+      out << row[i];
+    }
+    out << "\n";
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+}  // namespace mcirbm

@@ -1,0 +1,29 @@
+// Minimal CSV reading/writing for numeric tables (datasets, features).
+#ifndef MCIRBM_UTIL_CSV_H_
+#define MCIRBM_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace mcirbm {
+
+/// A parsed numeric CSV: optional header plus a dense row-major table.
+struct CsvTable {
+  std::vector<std::string> header;       ///< empty if has_header was false
+  std::vector<std::vector<double>> rows; ///< all rows have equal width
+};
+
+/// Reads a numeric CSV file. If `has_header`, the first line is kept as
+/// column names. Fails with kParseError on ragged rows or non-numeric cells.
+StatusOr<CsvTable> ReadCsv(const std::string& path, bool has_header);
+
+/// Writes a numeric CSV file; `header` may be empty to omit the header line.
+Status WriteCsv(const std::string& path,
+                const std::vector<std::string>& header,
+                const std::vector<std::vector<double>>& rows);
+
+}  // namespace mcirbm
+
+#endif  // MCIRBM_UTIL_CSV_H_

@@ -1,0 +1,49 @@
+// Leveled logging to stderr with a runtime-adjustable threshold.
+//
+// Usage:  MCIRBM_LOG(kInfo) << "trained epoch " << e << " recon=" << err;
+// Set MCIRBM_LOG_LEVEL=debug|info|warning|error in the environment, or call
+// SetLogLevel() programmatically. Default threshold is kWarning so library
+// consumers see nothing unless they opt in.
+#ifndef MCIRBM_UTIL_LOGGING_H_
+#define MCIRBM_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace mcirbm {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level that is actually emitted.
+void SetLogLevel(LogLevel level);
+
+/// Current global threshold (initialized from MCIRBM_LOG_LEVEL env var).
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and flushes it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) out_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream out_;
+};
+
+}  // namespace internal
+}  // namespace mcirbm
+
+#define MCIRBM_LOG(severity)                                        \
+  ::mcirbm::internal::LogMessage(::mcirbm::LogLevel::severity, \
+                                 __FILE__, __LINE__)
+
+#endif  // MCIRBM_UTIL_LOGGING_H_

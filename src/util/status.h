@@ -1,0 +1,91 @@
+// Minimal Status / StatusOr for recoverable errors (I/O, parsing).
+#ifndef MCIRBM_UTIL_STATUS_H_
+#define MCIRBM_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "util/check.h"
+
+namespace mcirbm {
+
+/// Error categories surfaced by fallible library operations.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kParseError,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode.
+const char* StatusCodeName(StatusCode code);
+
+/// Value-semantic result of a fallible operation: a code plus a message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string m) {
+    return Status(StatusCode::kInvalidArgument, std::move(m));
+  }
+  static Status NotFound(std::string m) {
+    return Status(StatusCode::kNotFound, std::move(m));
+  }
+  static Status IoError(std::string m) {
+    return Status(StatusCode::kIoError, std::move(m));
+  }
+  static Status ParseError(std::string m) {
+    return Status(StatusCode::kParseError, std::move(m));
+  }
+  static Status Internal(std::string m) {
+    return Status(StatusCode::kInternal, std::move(m));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "CODE: message".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Holds either a value of T or an error Status.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+  StatusOr(Status status) : status_(std::move(status)) {      // NOLINT
+    MCIRBM_CHECK(!status_.ok()) << "StatusOr(Status) requires an error";
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Returns the value; aborts if not ok().
+  const T& value() const& {
+    MCIRBM_CHECK(ok()) << status_.ToString();
+    return value_;
+  }
+  T&& value() && {
+    MCIRBM_CHECK(ok()) << status_.ToString();
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace mcirbm
+
+#endif  // MCIRBM_UTIL_STATUS_H_

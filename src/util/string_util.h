@@ -1,0 +1,40 @@
+// Small string helpers shared by CSV parsing and table rendering.
+#ifndef MCIRBM_UTIL_STRING_UTIL_H_
+#define MCIRBM_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace mcirbm {
+
+/// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
+std::vector<std::string> Split(const std::string& s, char delim);
+
+/// Joins `parts` with `delim` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& delim);
+
+/// Strips ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool StartsWith(const std::string& s, const std::string& prefix);
+
+/// Formats a double with `digits` digits after the decimal point.
+std::string FormatDouble(double v, int digits);
+
+/// Left-pads (or passes through) `s` to width `w` with spaces.
+std::string PadLeft(const std::string& s, int w);
+
+/// Right-pads (or passes through) `s` to width `w` with spaces.
+std::string PadRight(const std::string& s, int w);
+
+/// Parses a double; returns false on any trailing garbage or empty input.
+bool ParseDouble(const std::string& s, double* out);
+
+/// Parses an int; returns false on any trailing garbage or empty input.
+bool ParseInt(const std::string& s, int* out);
+
+}  // namespace mcirbm
+
+#endif  // MCIRBM_UTIL_STRING_UTIL_H_

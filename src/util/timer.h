@@ -1,0 +1,32 @@
+// Wall-clock timer for experiment bookkeeping.
+#ifndef MCIRBM_UTIL_TIMER_H_
+#define MCIRBM_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace mcirbm {
+
+/// Measures elapsed wall-clock time; starts on construction.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or the last Reset().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace mcirbm
+
+#endif  // MCIRBM_UTIL_TIMER_H_

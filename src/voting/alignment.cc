@@ -1,0 +1,31 @@
+#include "voting/alignment.h"
+
+#include "clustering/partition.h"
+#include "metrics/hungarian.h"
+#include "util/check.h"
+
+namespace mcirbm::voting {
+
+std::vector<int> AlignToReference(const std::vector<int>& reference,
+                                  int k_reference,
+                                  const std::vector<int>& other,
+                                  int k_other) {
+  MCIRBM_CHECK_EQ(reference.size(), other.size());
+  // Overlap table: rows = other's clusters, cols = reference clusters.
+  const auto table = clustering::ContingencyTable(other, k_other, reference,
+                                                  k_reference);
+  const std::vector<int> match = metrics::MaxWeightAssignment(table);
+  // Build the id remap; unmatched `other` clusters get fresh ids.
+  std::vector<int> remap(k_other, -1);
+  int next_fresh = k_reference;
+  for (int c = 0; c < k_other; ++c) {
+    remap[c] = match[c] >= 0 ? match[c] : next_fresh++;
+  }
+  std::vector<int> out(other.size(), -1);
+  for (std::size_t i = 0; i < other.size(); ++i) {
+    if (other[i] >= 0) out[i] = remap[other[i]];
+  }
+  return out;
+}
+
+}  // namespace mcirbm::voting

@@ -1,0 +1,27 @@
+// Partition alignment: maps cluster ids of one partition onto another's
+// id space so that votes can be compared instance-wise.
+//
+// Different clusterers emit arbitrary (and possibly different numbers of)
+// cluster ids; alignment finds the max-overlap one-to-one correspondence
+// via the Hungarian algorithm on the contingency table.
+#ifndef MCIRBM_VOTING_ALIGNMENT_H_
+#define MCIRBM_VOTING_ALIGNMENT_H_
+
+#include <vector>
+
+namespace mcirbm::voting {
+
+/// Relabels `other` so its ids maximally overlap `reference`.
+///
+/// Both inputs must be compact (ids 0..K-1; -1 allowed and preserved).
+/// Clusters of `other` that receive no reference partner (when `other`
+/// has more clusters) keep fresh ids past the reference's range.
+/// Returns the relabeled copy of `other`.
+std::vector<int> AlignToReference(const std::vector<int>& reference,
+                                  int k_reference,
+                                  const std::vector<int>& other,
+                                  int k_other);
+
+}  // namespace mcirbm::voting
+
+#endif  // MCIRBM_VOTING_ALIGNMENT_H_

@@ -1,0 +1,29 @@
+#include "voting/local_supervision.h"
+
+#include "clustering/partition.h"
+#include "util/check.h"
+
+namespace mcirbm::voting {
+
+double LocalSupervision::Coverage() const {
+  if (cluster_of.empty()) return 0.0;
+  return static_cast<double>(clustering::NumAssigned(cluster_of)) /
+         static_cast<double>(cluster_of.size());
+}
+
+std::vector<std::vector<std::size_t>> LocalSupervision::Members() const {
+  return clustering::ClusterMembers(cluster_of, num_clusters);
+}
+
+std::size_t LocalSupervision::NumCredible() const {
+  return clustering::NumAssigned(cluster_of);
+}
+
+void LocalSupervision::CheckValid() const {
+  for (int c : cluster_of) {
+    MCIRBM_CHECK(c >= -1 && c < num_clusters)
+        << "local supervision id out of range";
+  }
+}
+
+}  // namespace mcirbm::voting

@@ -1,0 +1,38 @@
+// Self-learning local supervision: the product of multi-clustering
+// integration (Section IV + V.A.2 of the paper).
+//
+// After several unsupervised clusterers partition the visible data, their
+// partitions are aligned and reduced by a voting strategy; instances on
+// which the ensemble agrees form K "locally credible clusters" that guide
+// the constrict/disperse terms of the sls objective. Instances without
+// consensus carry no supervision (cluster id -1).
+#ifndef MCIRBM_VOTING_LOCAL_SUPERVISION_H_
+#define MCIRBM_VOTING_LOCAL_SUPERVISION_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace mcirbm::voting {
+
+/// Locally credible clusters over the visible data.
+struct LocalSupervision {
+  /// cluster id in [0, num_clusters) for credible instances, -1 otherwise.
+  std::vector<int> cluster_of;
+  int num_clusters = 0;
+
+  /// Fraction of instances that received a credible cluster.
+  double Coverage() const;
+
+  /// Indices of credible instances, per cluster.
+  std::vector<std::vector<std::size_t>> Members() const;
+
+  /// Total number of credible instances.
+  std::size_t NumCredible() const;
+
+  /// Validates invariants (id range, non-empty when num_clusters > 0).
+  void CheckValid() const;
+};
+
+}  // namespace mcirbm::voting
+
+#endif  // MCIRBM_VOTING_LOCAL_SUPERVISION_H_

@@ -1,0 +1,71 @@
+#include "voting/vote.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "clustering/partition.h"
+#include "util/check.h"
+#include "voting/alignment.h"
+
+namespace mcirbm::voting {
+
+LocalSupervision IntegratePartitions(
+    const std::vector<std::vector<int>>& partitions, VoteStrategy strategy,
+    int min_cluster_size) {
+  MCIRBM_CHECK(!partitions.empty());
+  const std::size_t n = partitions[0].size();
+  for (const auto& p : partitions) MCIRBM_CHECK_EQ(p.size(), n);
+
+  // Compact every partition, then align all onto partitions[0].
+  std::vector<std::vector<int>> aligned;
+  aligned.reserve(partitions.size());
+  std::vector<int> reference = partitions[0];
+  const int k_ref = clustering::CompactRelabel(&reference);
+  aligned.push_back(reference);
+  for (std::size_t m = 1; m < partitions.size(); ++m) {
+    std::vector<int> other = partitions[m];
+    const int k_other = clustering::CompactRelabel(&other);
+    aligned.push_back(AlignToReference(reference, k_ref, other, k_other));
+  }
+
+  LocalSupervision sup;
+  sup.cluster_of.assign(n, -1);
+  const std::size_t votes_needed =
+      strategy == VoteStrategy::kUnanimous
+          ? aligned.size()
+          : aligned.size() / 2 + 1;  // strict majority
+
+  for (std::size_t i = 0; i < n; ++i) {
+    // Count votes per candidate id at this instance.
+    std::unordered_map<int, std::size_t> votes;
+    for (const auto& p : aligned) {
+      if (p[i] >= 0) ++votes[p[i]];
+    }
+    int winner = -1;
+    std::size_t winner_votes = 0;
+    for (const auto& [id, count] : votes) {
+      if (count > winner_votes) {
+        winner_votes = count;
+        winner = id;
+      }
+    }
+    if (winner >= 0 && winner_votes >= votes_needed) {
+      sup.cluster_of[i] = winner;
+    }
+  }
+
+  // Drop too-small credible clusters, then compact ids.
+  sup.num_clusters = clustering::CompactRelabel(&sup.cluster_of);
+  if (sup.num_clusters > 0) {
+    const std::vector<int> sizes =
+        clustering::ClusterSizes(sup.cluster_of, sup.num_clusters);
+    for (int& c : sup.cluster_of) {
+      if (c >= 0 && sizes[c] < min_cluster_size) c = -1;
+    }
+    sup.num_clusters = clustering::CompactRelabel(&sup.cluster_of);
+  }
+  sup.CheckValid();
+  return sup;
+}
+
+}  // namespace mcirbm::voting

@@ -1,0 +1,38 @@
+// Voting strategies that integrate multiple cluster divisions into a
+// self-learning local supervision.
+//
+// The paper uses the *unanimous* strategy (Section V.A.2): an instance is
+// credible only when every aligned partition assigns it the same cluster.
+// Majority voting is provided as the ablation comparator (cf. the brain-
+// segmentation fusion work the paper cites as closest related work).
+#ifndef MCIRBM_VOTING_VOTE_H_
+#define MCIRBM_VOTING_VOTE_H_
+
+#include <vector>
+
+#include "voting/local_supervision.h"
+
+namespace mcirbm::voting {
+
+/// How votes are reduced across aligned partitions.
+enum class VoteStrategy {
+  kUnanimous,  ///< all partitions must agree (paper's choice)
+  kMajority,   ///< strict majority (> half) must agree
+};
+
+/// Integrates `partitions` (each a full assignment over the same n
+/// instances, compact ids, -1 allowed) into a LocalSupervision.
+///
+/// Pipeline: partitions[0] is the reference; every other partition is
+/// aligned onto it (max-overlap Hungarian); then per-instance votes are
+/// reduced with `strategy`. Clusters ids in the result are re-compacted;
+/// clusters smaller than `min_cluster_size` are dropped (their instances
+/// become non-credible) since singleton "clusters" give the constrict term
+/// nothing to work with.
+LocalSupervision IntegratePartitions(
+    const std::vector<std::vector<int>>& partitions, VoteStrategy strategy,
+    int min_cluster_size = 2);
+
+}  // namespace mcirbm::voting
+
+#endif  // MCIRBM_VOTING_VOTE_H_

@@ -1,0 +1,91 @@
+#include "clustering/affinity_propagation.h"
+
+#include <gtest/gtest.h>
+
+#include "clustering/partition.h"
+#include "data/synthetic.h"
+#include "metrics/external.h"
+
+namespace mcirbm::clustering {
+namespace {
+
+data::Dataset Blobs(int classes, int n, double separation,
+                    std::uint64_t seed) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "blobs";
+  spec.num_classes = classes;
+  spec.num_instances = n;
+  spec.num_features = 4;
+  spec.separation = separation;
+  return data::GenerateGaussianMixture(spec, seed);
+}
+
+TEST(AffinityPropagationTest, RecoversWellSeparatedBlobs) {
+  const auto d = Blobs(3, 120, 10.0, 1);
+  AffinityPropagationConfig cfg;
+  cfg.target_clusters = 3;
+  const auto result = AffinityPropagation(cfg).Cluster(d.x, 1);
+  EXPECT_GT(metrics::ClusteringAccuracy(d.labels, result.assignment), 0.9);
+}
+
+TEST(AffinityPropagationTest, TargetClusterSearchHitsK) {
+  const auto d = Blobs(3, 90, 8.0, 2);
+  AffinityPropagationConfig cfg;
+  cfg.target_clusters = 3;
+  const auto result = AffinityPropagation(cfg).Cluster(d.x, 1);
+  EXPECT_EQ(result.num_clusters, 3);
+}
+
+TEST(AffinityPropagationTest, MedianPreferenceYieldsSomeClusters) {
+  const auto d = Blobs(3, 80, 6.0, 3);
+  AffinityPropagationConfig cfg;  // target_clusters = 0 -> median pref
+  const auto result = AffinityPropagation(cfg).Cluster(d.x, 1);
+  EXPECT_GE(result.num_clusters, 1);
+  EXPECT_LT(result.num_clusters, 80);
+}
+
+TEST(AffinityPropagationTest, AssignmentIsCompactAndComplete) {
+  const auto d = Blobs(2, 70, 5.0, 4);
+  AffinityPropagationConfig cfg;
+  cfg.target_clusters = 2;
+  auto result = AffinityPropagation(cfg).Cluster(d.x, 1);
+  EXPECT_EQ(result.assignment.size(), 70u);
+  std::vector<int> copy = result.assignment;
+  EXPECT_EQ(CompactRelabel(&copy), result.num_clusters);
+  EXPECT_EQ(copy, result.assignment);  // already compact
+}
+
+TEST(AffinityPropagationTest, DeterministicGivenSeed) {
+  const auto d = Blobs(2, 60, 6.0, 5);
+  AffinityPropagationConfig cfg;
+  cfg.target_clusters = 2;
+  const auto a = AffinityPropagation(cfg).Cluster(d.x, 9);
+  const auto b = AffinityPropagation(cfg).Cluster(d.x, 9);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(AffinityPropagationTest, ConvergesOnEasyData) {
+  const auto d = Blobs(2, 60, 12.0, 6);
+  AffinityPropagationConfig cfg;  // median preference
+  const auto result = AffinityPropagation(cfg).Cluster(d.x, 1);
+  EXPECT_TRUE(result.converged);
+}
+
+TEST(AffinityPropagationDeathTest, BadDampingAborts) {
+  AffinityPropagationConfig cfg;
+  cfg.damping = 0.3;
+  EXPECT_DEATH(AffinityPropagation{cfg}, "CHECK failed");
+}
+
+TEST(AffinityPropagationTest, SingleInstanceIsTrivialCluster) {
+  linalg::Matrix x(1, 2);
+  AffinityPropagationConfig cfg;
+  const ClusteringResult r = AffinityPropagation(cfg).Cluster(x, 1);
+  EXPECT_EQ(r.num_clusters, 1);
+  ASSERT_EQ(r.assignment.size(), 1u);
+  EXPECT_EQ(r.assignment[0], 0);
+  EXPECT_TRUE(r.converged);
+}
+
+}  // namespace
+}  // namespace mcirbm::clustering

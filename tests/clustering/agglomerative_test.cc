@@ -1,0 +1,129 @@
+#include "clustering/agglomerative.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/external.h"
+#include "rng/rng.h"
+
+namespace mcirbm::clustering {
+namespace {
+
+using linalg::Matrix;
+
+Matrix Blobs(const std::vector<std::pair<double, double>>& centers,
+             std::size_t per, double spread, rng::Rng* rng,
+             std::vector<int>* labels) {
+  Matrix x(centers.size() * per, 2);
+  labels->assign(centers.size() * per, 0);
+  for (std::size_t c = 0; c < centers.size(); ++c) {
+    for (std::size_t i = 0; i < per; ++i) {
+      const std::size_t r = c * per + i;
+      x(r, 0) = rng->Gaussian(centers[c].first, spread);
+      x(r, 1) = rng->Gaussian(centers[c].second, spread);
+      (*labels)[r] = static_cast<int>(c);
+    }
+  }
+  return x;
+}
+
+class LinkageTest : public ::testing::TestWithParam<Linkage> {};
+
+TEST_P(LinkageTest, RecoversWellSeparatedBlobs) {
+  rng::Rng rng(21);
+  std::vector<int> labels;
+  const Matrix x = Blobs({{0, 0}, {20, 0}, {0, 20}}, 25, 0.5, &rng, &labels);
+  const Agglomerative agg(3, GetParam());
+  const ClusteringResult r = agg.Cluster(x, 0);
+  EXPECT_EQ(r.num_clusters, 3);
+  EXPECT_GT(metrics::ClusteringAccuracy(labels, r.assignment), 0.99)
+      << LinkageName(GetParam());
+}
+
+TEST_P(LinkageTest, DeterministicAcrossSeeds) {
+  rng::Rng rng(22);
+  std::vector<int> labels;
+  const Matrix x = Blobs({{0, 0}, {8, 8}}, 20, 1.0, &rng, &labels);
+  const Agglomerative agg(2, GetParam());
+  const ClusteringResult a = agg.Cluster(x, 1);
+  const ClusteringResult b = agg.Cluster(x, 999);
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST_P(LinkageTest, EveryInstanceAssignedCompactIds) {
+  rng::Rng rng(23);
+  std::vector<int> labels;
+  const Matrix x = Blobs({{0, 0}, {5, 5}}, 15, 1.5, &rng, &labels);
+  const Agglomerative agg(4, GetParam());
+  const ClusteringResult r = agg.Cluster(x, 0);
+  EXPECT_EQ(r.num_clusters, 4);
+  std::vector<bool> seen(4, false);
+  for (int id : r.assignment) {
+    ASSERT_GE(id, 0);
+    ASSERT_LT(id, 4);
+    seen[id] = true;
+  }
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllLinkages, LinkageTest,
+                         ::testing::Values(Linkage::kSingle,
+                                           Linkage::kComplete,
+                                           Linkage::kAverage, Linkage::kWard),
+                         [](const auto& info) {
+                           return LinkageName(info.param);
+                         });
+
+TEST(AgglomerativeTest, KEqualsNGivesSingletons) {
+  Matrix x{{0, 0}, {1, 1}, {2, 2}};
+  const Agglomerative agg(3, Linkage::kAverage);
+  const ClusteringResult r = agg.Cluster(x, 0);
+  EXPECT_EQ(r.num_clusters, 3);
+  EXPECT_EQ(r.iterations, 0);  // no merges needed
+}
+
+TEST(AgglomerativeTest, KOneMergesEverything) {
+  Matrix x{{0, 0}, {1, 1}, {50, 50}, {51, 51}};
+  const Agglomerative agg(1, Linkage::kComplete);
+  const ClusteringResult r = agg.Cluster(x, 0);
+  EXPECT_EQ(r.num_clusters, 1);
+  for (int id : r.assignment) EXPECT_EQ(id, 0);
+}
+
+TEST(AgglomerativeTest, KLargerThanNClampsToN) {
+  Matrix x{{0, 0}, {9, 9}};
+  const Agglomerative agg(10, Linkage::kWard);
+  const ClusteringResult r = agg.Cluster(x, 0);
+  EXPECT_EQ(r.num_clusters, 2);
+}
+
+TEST(AgglomerativeTest, SingleLinkageFollowsChains) {
+  // A chain of near points plus one far point: single linkage keeps the
+  // whole chain together where complete linkage splits it.
+  Matrix x{{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}, {30, 0}};
+  const std::vector<int> want_chain = {0, 0, 0, 0, 0, 1};
+
+  const Agglomerative single(2, Linkage::kSingle);
+  const ClusteringResult r = single.Cluster(x, 0);
+  EXPECT_EQ(metrics::ClusteringAccuracy(want_chain, r.assignment), 1.0);
+}
+
+TEST(AgglomerativeTest, WardPrefersBalancedCompactClusters) {
+  rng::Rng rng(29);
+  std::vector<int> labels;
+  // Two elongated but separated blobs.
+  Matrix x(40, 2);
+  labels.assign(40, 0);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = rng.Gaussian(0, 2.0);
+    x(i, 1) = rng.Gaussian(0, 0.2);
+    x(20 + i, 0) = rng.Gaussian(0, 2.0);
+    x(20 + i, 1) = rng.Gaussian(8, 0.2);
+    labels[20 + i] = 1;
+  }
+  const Agglomerative ward(2, Linkage::kWard);
+  const ClusteringResult r = ward.Cluster(x, 0);
+  EXPECT_GT(metrics::ClusteringAccuracy(labels, r.assignment), 0.95);
+}
+
+}  // namespace
+}  // namespace mcirbm::clustering

@@ -1,0 +1,198 @@
+// Shared-contract property suite: every Clusterer implementation must
+// satisfy the same invariants on the same inputs. Parameterized over all
+// seven algorithms so a new clusterer added to the registry is covered by
+// adding one line.
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "clustering/affinity_propagation.h"
+#include "clustering/agglomerative.h"
+#include "clustering/clusterer.h"
+#include "clustering/dbscan.h"
+#include "clustering/density_peaks.h"
+#include "clustering/gmm.h"
+#include "clustering/kmeans.h"
+#include "clustering/spectral.h"
+#include "metrics/external.h"
+#include "rng/rng.h"
+
+namespace mcirbm::clustering {
+namespace {
+
+using linalg::Matrix;
+
+// Factory so each test gets a fresh clusterer asking for k clusters.
+using ClustererFactory = std::unique_ptr<Clusterer> (*)(int k);
+
+std::unique_ptr<Clusterer> MakeKMeans(int k) {
+  KMeansConfig config;
+  config.k = k;
+  return std::make_unique<KMeans>(config);
+}
+std::unique_ptr<Clusterer> MakeDensityPeaks(int k) {
+  DensityPeaksConfig config;
+  config.k = k;
+  return std::make_unique<DensityPeaks>(config);
+}
+std::unique_ptr<Clusterer> MakeAffinityPropagation(int k) {
+  AffinityPropagationConfig config;
+  config.target_clusters = k;
+  return std::make_unique<AffinityPropagation>(config);
+}
+std::unique_ptr<Clusterer> MakeAgglomerative(int k) {
+  return std::make_unique<Agglomerative>(k, Linkage::kWard);
+}
+std::unique_ptr<Clusterer> MakeDbscan(int /*k*/) {
+  // DBSCAN discovers its own k; included for the shared invariants.
+  return std::make_unique<Dbscan>(Dbscan::Options{});
+}
+std::unique_ptr<Clusterer> MakeGmm(int k) {
+  GaussianMixture::Options options;
+  options.num_components = k;
+  return std::make_unique<GaussianMixture>(options);
+}
+std::unique_ptr<Clusterer> MakeSpectral(int k) {
+  Spectral::Options options;
+  options.num_clusters = k;
+  return std::make_unique<Spectral>(options);
+}
+
+struct Algo {
+  const char* name;
+  ClustererFactory make;
+  bool fixed_k;  ///< honours the requested cluster count exactly
+};
+
+class ClustererContractTest : public ::testing::TestWithParam<Algo> {
+ protected:
+  // Three tight, well-separated blobs: every algorithm must solve this.
+  static Matrix EasyBlobs(std::vector<int>* labels) {
+    rng::Rng rng(77);
+    const std::size_t per = 20;
+    Matrix x(3 * per, 2);
+    labels->assign(3 * per, 0);
+    const double cx[3] = {0, 30, 0}, cy[3] = {0, 0, 30};
+    for (int c = 0; c < 3; ++c) {
+      for (std::size_t i = 0; i < per; ++i) {
+        const std::size_t r = c * per + i;
+        x(r, 0) = rng.Gaussian(cx[c], 0.5);
+        x(r, 1) = rng.Gaussian(cy[c], 0.5);
+        (*labels)[r] = c;
+      }
+    }
+    return x;
+  }
+};
+
+TEST_P(ClustererContractTest, AssignmentCoversAllRowsWithValidIds) {
+  std::vector<int> labels;
+  const Matrix x = EasyBlobs(&labels);
+  const auto clusterer = GetParam().make(3);
+  const ClusteringResult result = clusterer->Cluster(x, 3);
+  ASSERT_EQ(result.assignment.size(), x.rows());
+  for (int id : result.assignment) {
+    EXPECT_GE(id, -1);
+    EXPECT_LT(id, result.num_clusters);
+  }
+}
+
+TEST_P(ClustererContractTest, CompactClusterIds) {
+  std::vector<int> labels;
+  const Matrix x = EasyBlobs(&labels);
+  const auto clusterer = GetParam().make(3);
+  const ClusteringResult result = clusterer->Cluster(x, 3);
+  // Every id in [0, num_clusters) must actually occur.
+  std::vector<bool> seen(result.num_clusters, false);
+  for (int id : result.assignment) {
+    if (id >= 0) seen[id] = true;
+  }
+  for (int c = 0; c < result.num_clusters; ++c) {
+    EXPECT_TRUE(seen[c]) << "cluster id " << c << " unused";
+  }
+}
+
+TEST_P(ClustererContractTest, DeterministicForFixedSeed) {
+  std::vector<int> labels;
+  const Matrix x = EasyBlobs(&labels);
+  const auto clusterer = GetParam().make(3);
+  EXPECT_EQ(clusterer->Cluster(x, 11).assignment,
+            clusterer->Cluster(x, 11).assignment);
+}
+
+TEST_P(ClustererContractTest, SolvesWellSeparatedBlobs) {
+  std::vector<int> labels;
+  const Matrix x = EasyBlobs(&labels);
+  const auto clusterer = GetParam().make(3);
+  const ClusteringResult result = clusterer->Cluster(x, 5);
+  // Score only assigned instances (DBSCAN may drop a stray point).
+  std::vector<int> truth, pred;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    if (result.assignment[i] >= 0) {
+      truth.push_back(labels[i]);
+      pred.push_back(result.assignment[i]);
+    }
+  }
+  // DBSCAN may shed a few low-density border points as noise.
+  ASSERT_GT(truth.size(), labels.size() * 8 / 10);
+  EXPECT_GE(metrics::ClusteringAccuracy(truth, pred), 0.95)
+      << GetParam().name;
+}
+
+TEST_P(ClustererContractTest, HonoursRequestedK) {
+  if (!GetParam().fixed_k) {
+    GTEST_SKIP() << GetParam().name << " discovers its own k";
+  }
+  std::vector<int> labels;
+  const Matrix x = EasyBlobs(&labels);
+  for (const int k : {2, 3, 4}) {
+    const auto clusterer = GetParam().make(k);
+    EXPECT_EQ(clusterer->Cluster(x, 3).num_clusters, k)
+        << GetParam().name << " k=" << k;
+  }
+}
+
+TEST_P(ClustererContractTest, TranslationInvariantStructure) {
+  std::vector<int> labels;
+  const Matrix x = EasyBlobs(&labels);
+  Matrix shifted = x;
+  for (std::size_t i = 0; i < shifted.rows(); ++i) {
+    shifted(i, 0) += 1000;
+    shifted(i, 1) -= 500;
+  }
+  const auto clusterer = GetParam().make(3);
+  const auto a = clusterer->Cluster(x, 9);
+  const auto b = clusterer->Cluster(shifted, 9);
+  // Same partition up to relabeling (Rand index 1).
+  EXPECT_NEAR(metrics::RandIndex(a.assignment, b.assignment), 1.0, 1e-12)
+      << GetParam().name;
+}
+
+TEST_P(ClustererContractTest, SingleInstanceInput) {
+  Matrix x{{1.0, 2.0}};
+  const auto clusterer = GetParam().make(1);
+  const ClusteringResult result = clusterer->Cluster(x, 1);
+  ASSERT_EQ(result.assignment.size(), 1u);
+  EXPECT_LE(result.num_clusters, 1);
+}
+
+TEST_P(ClustererContractTest, NameIsNonEmpty) {
+  EXPECT_FALSE(GetParam().make(2)->name().empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllClusterers, ClustererContractTest,
+    ::testing::Values(Algo{"KMeans", &MakeKMeans, true},
+                      Algo{"DensityPeaks", &MakeDensityPeaks, true},
+                      Algo{"AffinityPropagation", &MakeAffinityPropagation,
+                           false},
+                      Algo{"AgglomerativeWard", &MakeAgglomerative, true},
+                      Algo{"Dbscan", &MakeDbscan, false},
+                      Algo{"Gmm", &MakeGmm, true},
+                      Algo{"Spectral", &MakeSpectral, true}),
+    [](const auto& info) { return std::string(info.param.name); });
+
+}  // namespace
+}  // namespace mcirbm::clustering

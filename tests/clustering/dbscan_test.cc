@@ -1,0 +1,131 @@
+#include "clustering/dbscan.h"
+
+#include <gtest/gtest.h>
+
+#include "metrics/external.h"
+#include "rng/rng.h"
+
+namespace mcirbm::clustering {
+namespace {
+
+using linalg::Matrix;
+
+Matrix TwoBlobsAndOutlier(rng::Rng* rng, std::vector<int>* labels) {
+  Matrix x(41, 2);
+  labels->assign(41, 0);
+  for (std::size_t i = 0; i < 20; ++i) {
+    x(i, 0) = rng->Gaussian(0, 0.3);
+    x(i, 1) = rng->Gaussian(0, 0.3);
+    (*labels)[i] = 0;
+    x(20 + i, 0) = rng->Gaussian(10, 0.3);
+    x(20 + i, 1) = rng->Gaussian(10, 0.3);
+    (*labels)[20 + i] = 1;
+  }
+  x(40, 0) = 100;  // isolated outlier
+  x(40, 1) = -100;
+  (*labels)[40] = -1;
+  return x;
+}
+
+TEST(DbscanTest, FindsTwoBlobsAndMarksOutlierNoise) {
+  rng::Rng rng(31);
+  std::vector<int> labels;
+  const Matrix x = TwoBlobsAndOutlier(&rng, &labels);
+  const Dbscan dbscan({.eps = 1.5, .min_points = 4});
+  const ClusteringResult r = dbscan.Cluster(x, 0);
+  EXPECT_EQ(r.num_clusters, 2);
+  EXPECT_EQ(r.assignment[40], -1) << "outlier must be noise";
+  // Blob members agree with labels.
+  std::vector<int> truth(labels.begin(), labels.begin() + 40);
+  std::vector<int> pred(r.assignment.begin(), r.assignment.begin() + 40);
+  EXPECT_EQ(metrics::ClusteringAccuracy(truth, pred), 1.0);
+}
+
+TEST(DbscanTest, SelfTuningFindsBlobsWithoutEps) {
+  rng::Rng rng(37);
+  std::vector<int> labels;
+  const Matrix x = TwoBlobsAndOutlier(&rng, &labels);
+  const Dbscan dbscan({.eps = 0.0, .min_points = 4});
+  const ClusteringResult r = dbscan.Cluster(x, 0);
+  EXPECT_EQ(r.num_clusters, 2);
+  EXPECT_EQ(r.assignment[40], -1);
+}
+
+TEST(DbscanTest, TinyEpsMakesEverythingNoise) {
+  rng::Rng rng(41);
+  std::vector<int> labels;
+  const Matrix x = TwoBlobsAndOutlier(&rng, &labels);
+  const Dbscan dbscan({.eps = 1e-9, .min_points = 4});
+  const ClusteringResult r = dbscan.Cluster(x, 0);
+  EXPECT_EQ(r.num_clusters, 0);
+  for (int id : r.assignment) EXPECT_EQ(id, -1);
+}
+
+TEST(DbscanTest, HugeEpsMakesOneCluster) {
+  rng::Rng rng(43);
+  std::vector<int> labels;
+  const Matrix x = TwoBlobsAndOutlier(&rng, &labels);
+  const Dbscan dbscan({.eps = 1e6, .min_points = 4});
+  const ClusteringResult r = dbscan.Cluster(x, 0);
+  EXPECT_EQ(r.num_clusters, 1);
+  for (int id : r.assignment) EXPECT_EQ(id, 0);
+}
+
+TEST(DbscanTest, DeterministicAcrossSeeds) {
+  rng::Rng rng(47);
+  std::vector<int> labels;
+  const Matrix x = TwoBlobsAndOutlier(&rng, &labels);
+  const Dbscan dbscan({.eps = 1.0, .min_points = 3});
+  EXPECT_EQ(dbscan.Cluster(x, 1).assignment, dbscan.Cluster(x, 2).assignment);
+}
+
+TEST(DbscanTest, MinPointsOneAssignsEverything) {
+  Matrix x{{0, 0}, {100, 100}};
+  const Dbscan dbscan({.eps = 1.0, .min_points = 1});
+  const ClusteringResult r = dbscan.Cluster(x, 0);
+  EXPECT_EQ(r.num_clusters, 2);
+  for (int id : r.assignment) EXPECT_GE(id, 0);
+}
+
+TEST(DbscanTest, BorderPointJoinsCoreCluster) {
+  // 5 core points at spacing 1 with eps 1.2, plus a border point within
+  // eps of the end but with too few neighbours to be core itself.
+  Matrix x{{0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 0}, {5.1, 0}};
+  const Dbscan dbscan({.eps = 1.2, .min_points = 3});
+  const ClusteringResult r = dbscan.Cluster(x, 0);
+  EXPECT_EQ(r.num_clusters, 1);
+  EXPECT_EQ(r.assignment[5], 0) << "border point belongs to the cluster";
+}
+
+TEST(DbscanTest, SelfTuneEpsPositiveAndScalesWithData) {
+  rng::Rng rng(53);
+  Matrix small(30, 2), large(30, 2);
+  for (std::size_t i = 0; i < 30; ++i) {
+    const double a = rng.Gaussian(), b = rng.Gaussian();
+    small(i, 0) = a;
+    small(i, 1) = b;
+    large(i, 0) = 100 * a;
+    large(i, 1) = 100 * b;
+  }
+  const double eps_small = Dbscan::SelfTuneEps(small, 4, 50);
+  const double eps_large = Dbscan::SelfTuneEps(large, 4, 50);
+  EXPECT_GT(eps_small, 0);
+  EXPECT_NEAR(eps_large / eps_small, 100.0, 1.0);
+}
+
+TEST(DbscanTest, NoiseComposesWithVotingSemantics) {
+  // The -1 convention must survive into downstream consumers: noise ids
+  // are strictly -1, cluster ids compact from 0.
+  rng::Rng rng(59);
+  std::vector<int> labels;
+  const Matrix x = TwoBlobsAndOutlier(&rng, &labels);
+  const Dbscan dbscan({.eps = 1.5, .min_points = 4});
+  const ClusteringResult r = dbscan.Cluster(x, 0);
+  for (int id : r.assignment) {
+    EXPECT_GE(id, -1);
+    EXPECT_LT(id, r.num_clusters);
+  }
+}
+
+}  // namespace
+}  // namespace mcirbm::clustering

@@ -1,0 +1,110 @@
+#include "clustering/density_peaks.h"
+
+#include <gtest/gtest.h>
+
+#include "clustering/partition.h"
+
+#include "data/synthetic.h"
+#include "metrics/external.h"
+
+namespace mcirbm::clustering {
+namespace {
+
+data::Dataset Blobs(int classes, int n, double separation,
+                    std::uint64_t seed) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "blobs";
+  spec.num_classes = classes;
+  spec.num_instances = n;
+  spec.num_features = 4;
+  spec.separation = separation;
+  return data::GenerateGaussianMixture(spec, seed);
+}
+
+TEST(DensityPeaksTest, RecoversWellSeparatedBlobs) {
+  const auto d = Blobs(3, 150, 10.0, 1);
+  DensityPeaksConfig cfg;
+  cfg.k = 3;
+  const auto result = DensityPeaks(cfg).Cluster(d.x, 0);
+  EXPECT_EQ(result.num_clusters, 3);
+  EXPECT_GT(metrics::ClusteringAccuracy(d.labels, result.assignment), 0.95);
+}
+
+TEST(DensityPeaksTest, IsDeterministic) {
+  const auto d = Blobs(2, 80, 6.0, 2);
+  DensityPeaksConfig cfg;
+  cfg.k = 2;
+  const auto a = DensityPeaks(cfg).Cluster(d.x, 1);
+  const auto b = DensityPeaks(cfg).Cluster(d.x, 999);  // seed ignored
+  EXPECT_EQ(a.assignment, b.assignment);
+}
+
+TEST(DensityPeaksTest, EveryInstanceAssigned) {
+  const auto d = Blobs(3, 100, 5.0, 3);
+  DensityPeaksConfig cfg;
+  cfg.k = 3;
+  const auto result = DensityPeaks(cfg).Cluster(d.x, 0);
+  for (int a : result.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 3);
+  }
+}
+
+TEST(DensityPeaksTest, ExactlyKClusters) {
+  const auto d = Blobs(2, 120, 2.0, 4);
+  for (int k = 1; k <= 4; ++k) {
+    DensityPeaksConfig cfg;
+    cfg.k = k;
+    const auto result = DensityPeaks(cfg).Cluster(d.x, 0);
+    std::vector<int> assignment = result.assignment;
+    EXPECT_EQ(NumClusters(assignment), k) << "k=" << k;
+  }
+}
+
+TEST(DensityPeaksTest, HardCutoffKernelAlsoWorks) {
+  const auto d = Blobs(3, 150, 10.0, 5);
+  DensityPeaksConfig cfg;
+  cfg.k = 3;
+  cfg.gaussian_kernel = false;
+  const auto result = DensityPeaks(cfg).Cluster(d.x, 0);
+  // The hard-cutoff rho has many ties, so it trails the Gaussian kernel;
+  // it must still broadly recover the blobs.
+  EXPECT_GT(metrics::ClusteringAccuracy(d.labels, result.assignment), 0.7);
+}
+
+TEST(DensityPeaksTest, DcPercentileAffectsButStaysValid) {
+  const auto d = Blobs(3, 90, 8.0, 6);
+  for (double pct : {0.5, 2.0, 10.0}) {
+    DensityPeaksConfig cfg;
+    cfg.k = 3;
+    cfg.dc_percentile = pct;
+    const auto result = DensityPeaks(cfg).Cluster(d.x, 0);
+    EXPECT_EQ(result.num_clusters, 3);
+  }
+}
+
+TEST(DensityPeaksTest, CentersAreHighDensityPoints) {
+  // Two dense blobs plus one far outlier: the outlier must not become a
+  // center when k=2 (it has high delta but negligible rho).
+  data::Dataset d = Blobs(2, 60, 12.0, 7);
+  linalg::Matrix x(d.x.rows() + 1, d.x.cols());
+  for (std::size_t i = 0; i < d.x.rows(); ++i) {
+    for (std::size_t j = 0; j < d.x.cols(); ++j) x(i, j) = d.x(i, j);
+  }
+  for (std::size_t j = 0; j < x.cols(); ++j) x(d.x.rows(), j) = 1e3;
+  DensityPeaksConfig cfg;
+  cfg.k = 2;
+  const auto result = DensityPeaks(cfg).Cluster(x, 0);
+  // The outlier joins one of the two real clusters rather than forming its
+  // own: all three labels {0,1} only.
+  EXPECT_EQ(result.num_clusters, 2);
+}
+
+TEST(DensityPeaksDeathTest, InvalidConfigAborts) {
+  DensityPeaksConfig cfg;
+  cfg.dc_percentile = 0;
+  EXPECT_DEATH(DensityPeaks{cfg}, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace mcirbm::clustering

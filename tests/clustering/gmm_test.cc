@@ -1,0 +1,133 @@
+#include "clustering/gmm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "metrics/external.h"
+#include "rng/rng.h"
+
+namespace mcirbm::clustering {
+namespace {
+
+using linalg::Matrix;
+
+Matrix TwoGaussians(std::size_t per, double sep, rng::Rng* rng,
+                    std::vector<int>* labels) {
+  Matrix x(2 * per, 2);
+  labels->assign(2 * per, 0);
+  for (std::size_t i = 0; i < per; ++i) {
+    x(i, 0) = rng->Gaussian(0, 1);
+    x(i, 1) = rng->Gaussian(0, 1);
+    x(per + i, 0) = rng->Gaussian(sep, 1);
+    x(per + i, 1) = rng->Gaussian(sep, 1);
+    (*labels)[per + i] = 1;
+  }
+  return x;
+}
+
+TEST(GmmTest, SeparatedGaussiansRecovered) {
+  rng::Rng rng(61);
+  std::vector<int> labels;
+  const Matrix x = TwoGaussians(60, 8, &rng, &labels);
+  const GaussianMixture gmm({.num_components = 2});
+  const ClusteringResult r = gmm.Cluster(x, 5);
+  EXPECT_EQ(r.num_clusters, 2);
+  EXPECT_GT(metrics::ClusteringAccuracy(labels, r.assignment), 0.98);
+}
+
+TEST(GmmTest, LogLikelihoodMonotonicallyImproves) {
+  rng::Rng rng(67);
+  std::vector<int> labels;
+  const Matrix x = TwoGaussians(50, 4, &rng, &labels);
+  const GaussianMixture gmm({.num_components = 2, .max_iterations = 50});
+  const auto soft = gmm.FitSoft(x, 3);
+  const auto& trace = soft.log_likelihood_trace;
+  ASSERT_GE(trace.size(), 2u);
+  for (std::size_t i = 1; i < trace.size(); ++i) {
+    EXPECT_GE(trace[i], trace[i - 1] - 1e-9)
+        << "EM log-likelihood decreased at iteration " << i;
+  }
+}
+
+TEST(GmmTest, ResponsibilitiesRowsSumToOne) {
+  rng::Rng rng(71);
+  std::vector<int> labels;
+  const Matrix x = TwoGaussians(30, 5, &rng, &labels);
+  const GaussianMixture gmm({.num_components = 3});
+  const auto soft = gmm.FitSoft(x, 11);
+  for (std::size_t i = 0; i < soft.responsibilities.rows(); ++i) {
+    double sum = 0;
+    for (std::size_t c = 0; c < soft.responsibilities.cols(); ++c) {
+      const double v = soft.responsibilities(i, c);
+      EXPECT_GE(v, 0.0);
+      EXPECT_LE(v, 1.0 + 1e-12);
+      sum += v;
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(GmmTest, DeterministicGivenSeed) {
+  rng::Rng rng(73);
+  std::vector<int> labels;
+  const Matrix x = TwoGaussians(40, 6, &rng, &labels);
+  const GaussianMixture gmm({.num_components = 2});
+  EXPECT_EQ(gmm.Cluster(x, 7).assignment, gmm.Cluster(x, 7).assignment);
+}
+
+TEST(GmmTest, SingleComponentCoversAll) {
+  rng::Rng rng(79);
+  std::vector<int> labels;
+  const Matrix x = TwoGaussians(20, 3, &rng, &labels);
+  const GaussianMixture gmm({.num_components = 1});
+  const ClusteringResult r = gmm.Cluster(x, 0);
+  EXPECT_EQ(r.num_clusters, 1);
+  for (int id : r.assignment) EXPECT_EQ(id, 0);
+}
+
+TEST(GmmTest, AnisotropicClustersBeatDistanceOnlyIntuition) {
+  // Two clusters sharing an x range but differing in y variance; the
+  // diagonal GMM separates them via variance, which a pure distance
+  // metric often mangles.
+  rng::Rng rng(83);
+  Matrix x(100, 2);
+  std::vector<int> labels(100, 0);
+  for (std::size_t i = 0; i < 50; ++i) {
+    x(i, 0) = rng.Gaussian(0, 2.0);
+    x(i, 1) = rng.Gaussian(0, 0.1);
+    x(50 + i, 0) = rng.Gaussian(0, 2.0);
+    x(50 + i, 1) = rng.Gaussian(6, 0.1);
+    labels[50 + i] = 1;
+  }
+  const GaussianMixture gmm({.num_components = 2});
+  const ClusteringResult r = gmm.Cluster(x, 13);
+  EXPECT_GT(metrics::ClusteringAccuracy(labels, r.assignment), 0.95);
+}
+
+TEST(GmmTest, VarianceFloorSurvivesDuplicatePoints) {
+  // All points identical: without the floor the variance collapses to 0
+  // and the densities blow up.
+  Matrix x(10, 2, 1.0);
+  const GaussianMixture gmm({.num_components = 2});
+  const ClusteringResult r = gmm.Cluster(x, 17);
+  EXPECT_GE(r.num_clusters, 1);
+  for (int id : r.assignment) EXPECT_GE(id, 0);
+  for (double ll : gmm.FitSoft(x, 17).log_likelihood_trace) {
+    EXPECT_TRUE(std::isfinite(ll));
+  }
+}
+
+TEST(GmmTest, ConvergesWellBeforeIterationCap) {
+  rng::Rng rng(89);
+  std::vector<int> labels;
+  const Matrix x = TwoGaussians(50, 10, &rng, &labels);
+  const GaussianMixture gmm(
+      {.num_components = 2, .max_iterations = 200, .tolerance = 1e-6});
+  const auto soft = gmm.FitSoft(x, 19);
+  EXPECT_TRUE(soft.hard.converged);
+  EXPECT_LT(soft.hard.iterations, 100);
+}
+
+}  // namespace
+}  // namespace mcirbm::clustering

@@ -1,0 +1,116 @@
+#include "clustering/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "metrics/external.h"
+
+namespace mcirbm::clustering {
+namespace {
+
+data::Dataset WellSeparated(int classes, int n, int d, std::uint64_t seed) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "blobs";
+  spec.num_classes = classes;
+  spec.num_instances = n;
+  spec.num_features = d;
+  spec.separation = 10.0;
+  return data::GenerateGaussianMixture(spec, seed);
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  const auto d = WellSeparated(3, 150, 4, 1);
+  KMeansConfig cfg;
+  cfg.k = 3;
+  const auto result = KMeans(cfg).Cluster(d.x, 1);
+  EXPECT_EQ(result.num_clusters, 3);
+  EXPECT_GT(metrics::ClusteringAccuracy(d.labels, result.assignment), 0.98);
+}
+
+TEST(KMeansTest, AssignmentCoversAllInstances) {
+  const auto d = WellSeparated(2, 60, 3, 2);
+  KMeansConfig cfg;
+  cfg.k = 2;
+  const auto result = KMeans(cfg).Cluster(d.x, 2);
+  EXPECT_EQ(result.assignment.size(), 60u);
+  for (int a : result.assignment) {
+    EXPECT_GE(a, 0);
+    EXPECT_LT(a, 2);
+  }
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  const auto d = WellSeparated(3, 90, 4, 3);
+  KMeansConfig cfg;
+  cfg.k = 3;
+  const auto a = KMeans(cfg).Cluster(d.x, 7);
+  const auto b = KMeans(cfg).Cluster(d.x, 7);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.objective, b.objective);
+}
+
+TEST(KMeansTest, MoreRestartsNeverWorseObjective) {
+  const auto d = WellSeparated(4, 200, 6, 4);
+  KMeansConfig one;
+  one.k = 4;
+  one.restarts = 1;
+  KMeansConfig many = one;
+  many.restarts = 8;
+  const double sse1 = KMeans(one).Cluster(d.x, 5).objective;
+  const double sse8 = KMeans(many).Cluster(d.x, 5).objective;
+  EXPECT_LE(sse8, sse1 + 1e-9);
+}
+
+TEST(KMeansTest, KEqualsNAssignsSingletons) {
+  linalg::Matrix x{{0, 0}, {10, 0}, {0, 10}};
+  KMeansConfig cfg;
+  cfg.k = 3;
+  const auto result = KMeans(cfg).Cluster(x, 1);
+  std::vector<int> sorted = result.assignment;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2}));
+  EXPECT_NEAR(result.objective, 0.0, 1e-12);
+}
+
+TEST(KMeansTest, SingleClusterTrivial) {
+  const auto d = WellSeparated(2, 40, 3, 5);
+  KMeansConfig cfg;
+  cfg.k = 1;
+  const auto result = KMeans(cfg).Cluster(d.x, 1);
+  for (int a : result.assignment) EXPECT_EQ(a, 0);
+}
+
+TEST(KMeansTest, ConvergesOnEasyData) {
+  const auto d = WellSeparated(3, 120, 4, 6);
+  KMeansConfig cfg;
+  cfg.k = 3;
+  cfg.max_iterations = 100;
+  const auto result = KMeans(cfg).Cluster(d.x, 1);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LT(result.iterations, 100);
+}
+
+TEST(KMeansTest, ComputeCentroidsMatchesClusterMeans) {
+  linalg::Matrix x{{0, 0}, {2, 0}, {10, 10}};
+  const std::vector<int> assignment = {0, 0, 1};
+  const auto centroids = KMeans::ComputeCentroids(x, assignment, 2);
+  EXPECT_DOUBLE_EQ(centroids(0, 0), 1);
+  EXPECT_DOUBLE_EQ(centroids(0, 1), 0);
+  EXPECT_DOUBLE_EQ(centroids(1, 0), 10);
+}
+
+TEST(KMeansDeathTest, MoreClustersThanPointsAborts) {
+  linalg::Matrix x{{0.0, 0.0}};
+  KMeansConfig cfg;
+  cfg.k = 2;
+  EXPECT_DEATH(KMeans(cfg).Cluster(x, 1), "fewer instances");
+}
+
+TEST(KMeansDeathTest, InvalidConfigAborts) {
+  KMeansConfig cfg;
+  cfg.k = 0;
+  EXPECT_DEATH(KMeans{cfg}, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace mcirbm::clustering

@@ -1,0 +1,76 @@
+#include "clustering/partition.h"
+
+#include <gtest/gtest.h>
+
+namespace mcirbm::clustering {
+namespace {
+
+TEST(NumClustersTest, CountsMaxPlusOne) {
+  EXPECT_EQ(NumClusters({0, 1, 2, 1}), 3);
+  EXPECT_EQ(NumClusters({0, 0}), 1);
+  EXPECT_EQ(NumClusters({-1, -1}), 0);
+  EXPECT_EQ(NumClusters({}), 0);
+}
+
+TEST(CompactRelabelTest, FirstSeenOrder) {
+  std::vector<int> a = {5, 2, 5, 9, 2};
+  const int k = CompactRelabel(&a);
+  EXPECT_EQ(k, 3);
+  EXPECT_EQ(a, (std::vector<int>{0, 1, 0, 2, 1}));
+}
+
+TEST(CompactRelabelTest, PreservesNegatives) {
+  std::vector<int> a = {-1, 7, -3, 7};
+  const int k = CompactRelabel(&a);
+  EXPECT_EQ(k, 1);
+  EXPECT_EQ(a, (std::vector<int>{-1, 0, -1, 0}));
+}
+
+TEST(CompactRelabelTest, AlreadyCompactUnchanged) {
+  std::vector<int> a = {0, 1, 2, 0};
+  CompactRelabel(&a);
+  EXPECT_EQ(a, (std::vector<int>{0, 1, 2, 0}));
+}
+
+TEST(ClusterSizesTest, CountsAndIgnoresUnassigned) {
+  const auto sizes = ClusterSizes({0, 1, 1, -1, 0, 1}, 2);
+  EXPECT_EQ(sizes[0], 2);
+  EXPECT_EQ(sizes[1], 3);
+}
+
+TEST(ClusterMembersTest, GroupsIndices) {
+  const auto members = ClusterMembers({1, 0, 1, -1}, 2);
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], (std::vector<std::size_t>{1}));
+  EXPECT_EQ(members[1], (std::vector<std::size_t>{0, 2}));
+}
+
+TEST(ContingencyTableTest, CountsJointOccurrences) {
+  const std::vector<int> a = {0, 0, 1, 1, 1};
+  const std::vector<int> b = {0, 1, 1, 1, 0};
+  const auto table = ContingencyTable(a, 2, b, 2);
+  EXPECT_EQ(table[0][0], 1);
+  EXPECT_EQ(table[0][1], 1);
+  EXPECT_EQ(table[1][0], 1);
+  EXPECT_EQ(table[1][1], 2);
+}
+
+TEST(ContingencyTableTest, SkipsUnassignedInEitherSide) {
+  const std::vector<int> a = {0, -1, 1};
+  const std::vector<int> b = {0, 0, -1};
+  const auto table = ContingencyTable(a, 2, b, 1);
+  EXPECT_EQ(table[0][0], 1);
+  EXPECT_EQ(table[1][0], 0);
+}
+
+TEST(NumAssignedTest, CountsNonNegative) {
+  EXPECT_EQ(NumAssigned({0, -1, 3, -1}), 2u);
+  EXPECT_EQ(NumAssigned({}), 0u);
+}
+
+TEST(ContingencyDeathTest, SizeMismatchAborts) {
+  EXPECT_DEATH(ContingencyTable({0}, 1, {0, 1}, 2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace mcirbm::clustering

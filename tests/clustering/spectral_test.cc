@@ -1,0 +1,151 @@
+#include "clustering/spectral.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/ops.h"
+#include "metrics/external.h"
+#include "rng/rng.h"
+
+namespace mcirbm::clustering {
+namespace {
+
+using linalg::Matrix;
+
+Matrix Blobs(std::size_t per, double sep, rng::Rng* rng,
+             std::vector<int>* labels) {
+  Matrix x(2 * per, 2);
+  labels->assign(2 * per, 0);
+  for (std::size_t i = 0; i < per; ++i) {
+    x(i, 0) = rng->Gaussian(0, 0.4);
+    x(i, 1) = rng->Gaussian(0, 0.4);
+    x(per + i, 0) = rng->Gaussian(sep, 0.4);
+    x(per + i, 1) = rng->Gaussian(sep, 0.4);
+    (*labels)[per + i] = 1;
+  }
+  return x;
+}
+
+// Two concentric rings: the canonical case where spectral beats K-means.
+Matrix Rings(std::size_t per, rng::Rng* rng, std::vector<int>* labels) {
+  Matrix x(2 * per, 2);
+  labels->assign(2 * per, 0);
+  for (std::size_t i = 0; i < per; ++i) {
+    const double t0 = rng->Uniform(0, 2 * M_PI);
+    const double t1 = rng->Uniform(0, 2 * M_PI);
+    const double r0 = 1.0 + rng->Gaussian(0, 0.05);
+    const double r1 = 5.0 + rng->Gaussian(0, 0.05);
+    x(i, 0) = r0 * std::cos(t0);
+    x(i, 1) = r0 * std::sin(t0);
+    x(per + i, 0) = r1 * std::cos(t1);
+    x(per + i, 1) = r1 * std::sin(t1);
+    (*labels)[per + i] = 1;
+  }
+  return x;
+}
+
+TEST(SpectralTest, SeparatedBlobsRecovered) {
+  rng::Rng rng(91);
+  std::vector<int> labels;
+  const Matrix x = Blobs(30, 10, &rng, &labels);
+  const Spectral spectral({.num_clusters = 2});
+  const ClusteringResult r = spectral.Cluster(x, 3);
+  EXPECT_GT(metrics::ClusteringAccuracy(labels, r.assignment), 0.98);
+}
+
+TEST(SpectralTest, ConcentricRingsWithKnnGraph) {
+  rng::Rng rng(97);
+  std::vector<int> labels;
+  const Matrix x = Rings(40, &rng, &labels);
+  const Spectral spectral({.num_clusters = 2, .sigma = 0.5, .knn = 8});
+  const ClusteringResult r = spectral.Cluster(x, 5);
+  EXPECT_GT(metrics::ClusteringAccuracy(labels, r.assignment), 0.95)
+      << "kNN spectral should separate the rings";
+}
+
+TEST(SpectralTest, EmbeddingRowsAreUnitNorm) {
+  rng::Rng rng(101);
+  std::vector<int> labels;
+  const Matrix x = Blobs(20, 6, &rng, &labels);
+  const Spectral spectral({.num_clusters = 2});
+  const Matrix e = spectral.Embed(x);
+  ASSERT_EQ(e.rows(), x.rows());
+  ASSERT_EQ(e.cols(), 2u);
+  for (std::size_t i = 0; i < e.rows(); ++i) {
+    double norm = 0;
+    for (std::size_t j = 0; j < e.cols(); ++j) norm += e(i, j) * e(i, j);
+    EXPECT_NEAR(std::sqrt(norm), 1.0, 1e-9) << "row " << i;
+  }
+}
+
+TEST(SpectralTest, EmbeddingSeparatesComponents) {
+  // Two far blobs: the graph is (nearly) disconnected, so within-blob
+  // embedding rows nearly coincide and across-blob rows differ.
+  rng::Rng rng(103);
+  std::vector<int> labels;
+  const Matrix x = Blobs(15, 50, &rng, &labels);
+  const Spectral spectral({.num_clusters = 2, .sigma = 1.0});
+  const Matrix e = spectral.Embed(x);
+  double max_within = 0, min_across = 1e9;
+  for (std::size_t i = 0; i < e.rows(); ++i) {
+    for (std::size_t j = i + 1; j < e.rows(); ++j) {
+      const double d =
+          std::sqrt(linalg::SquaredDistance(e.Row(i), e.Row(j)));
+      if (labels[i] == labels[j]) {
+        max_within = std::max(max_within, d);
+      } else {
+        min_across = std::min(min_across, d);
+      }
+    }
+  }
+  EXPECT_LT(max_within, min_across);
+}
+
+TEST(SpectralTest, DeterministicGivenSeed) {
+  rng::Rng rng(107);
+  std::vector<int> labels;
+  const Matrix x = Blobs(20, 8, &rng, &labels);
+  const Spectral spectral({.num_clusters = 2});
+  EXPECT_EQ(spectral.Cluster(x, 9).assignment,
+            spectral.Cluster(x, 9).assignment);
+}
+
+TEST(SpectralTest, KLargerThanNClamps) {
+  Matrix x{{0, 0}, {1, 1}, {10, 10}};
+  const Spectral spectral({.num_clusters = 5});
+  const ClusteringResult r = spectral.Cluster(x, 0);
+  EXPECT_LE(r.num_clusters, 3);
+  for (int id : r.assignment) EXPECT_GE(id, 0);
+}
+
+class SpectralKSweepTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SpectralKSweepTest, KBlobsRecovered) {
+  const int k = GetParam();
+  rng::Rng rng(200 + k);
+  const std::size_t per = 15;
+  Matrix x(per * k, 2);
+  std::vector<int> labels(per * k);
+  for (int c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < per; ++i) {
+      const std::size_t r = c * per + i;
+      // Blobs on a circle of radius 30.
+      const double cx = 30 * std::cos(2 * M_PI * c / k);
+      const double cy = 30 * std::sin(2 * M_PI * c / k);
+      x(r, 0) = rng.Gaussian(cx, 0.5);
+      x(r, 1) = rng.Gaussian(cy, 0.5);
+      labels[r] = c;
+    }
+  }
+  const Spectral spectral({.num_clusters = k});
+  const ClusteringResult r = spectral.Cluster(x, 1);
+  EXPECT_GT(metrics::ClusteringAccuracy(labels, r.assignment), 0.95)
+      << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, SpectralKSweepTest,
+                         ::testing::Values(2, 3, 4));
+
+}  // namespace
+}  // namespace mcirbm::clustering

@@ -1,0 +1,136 @@
+#include "core/model_selection.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "data/transforms.h"
+#include "rng/rng.h"
+
+namespace mcirbm::core {
+namespace {
+
+data::Dataset Mixture(std::uint64_t seed) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "width-select";
+  spec.num_classes = 3;
+  spec.num_instances = 120;
+  spec.num_features = 16;
+  spec.separation = 3.5;
+  spec.informative_fraction = 0.6;
+  data::Dataset ds = data::GenerateGaussianMixture(spec, seed);
+  data::StandardizeInPlace(&ds.x);
+  return ds;
+}
+
+PipelineConfig FastConfig() {
+  PipelineConfig config;
+  config.model = ModelKind::kGrbm;  // plain: fast, no supervision stage
+  config.rbm.epochs = 10;
+  config.rbm.learning_rate = 1e-3;
+  return config;
+}
+
+TEST(ModelSelectionTest, SweepCoversAllCandidates) {
+  const data::Dataset ds = Mixture(3);
+  const auto selection =
+      SelectHiddenWidth(ds.x, FastConfig(), {4, 8, 16}, 3, 7);
+  ASSERT_EQ(selection.candidates.size(), 3u);
+  EXPECT_EQ(selection.candidates[0].num_hidden, 4);
+  EXPECT_EQ(selection.candidates[1].num_hidden, 8);
+  EXPECT_EQ(selection.candidates[2].num_hidden, 16);
+}
+
+TEST(ModelSelectionTest, BestIsArgmaxOfSilhouette) {
+  const data::Dataset ds = Mixture(5);
+  const auto selection =
+      SelectHiddenWidth(ds.x, FastConfig(), {4, 8, 16, 32}, 3, 7);
+  double best = -2;
+  int best_width = 0;
+  for (const auto& c : selection.candidates) {
+    if (c.silhouette > best) {
+      best = c.silhouette;
+      best_width = c.num_hidden;
+    }
+  }
+  EXPECT_EQ(selection.best_num_hidden, best_width);
+}
+
+TEST(ModelSelectionTest, DeterministicGivenSeed) {
+  const data::Dataset ds = Mixture(7);
+  const auto a = SelectHiddenWidth(ds.x, FastConfig(), {8, 16}, 3, 11);
+  const auto b = SelectHiddenWidth(ds.x, FastConfig(), {8, 16}, 3, 11);
+  EXPECT_EQ(a.best_num_hidden, b.best_num_hidden);
+  for (std::size_t i = 0; i < a.candidates.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.candidates[i].silhouette,
+                     b.candidates[i].silhouette);
+  }
+}
+
+TEST(ModelSelectionTest, SingleCandidateIsTriviallyBest) {
+  const data::Dataset ds = Mixture(9);
+  const auto selection =
+      SelectHiddenWidth(ds.x, FastConfig(), {12}, 3, 7);
+  EXPECT_EQ(selection.best_num_hidden, 12);
+}
+
+TEST(ModelSelectionTest, WorksWithSlsModel) {
+  const data::Dataset ds = Mixture(11);
+  PipelineConfig config = FastConfig();
+  config.model = ModelKind::kSlsGrbm;
+  config.rbm.learning_rate = 1e-4;
+  config.supervision.num_clusters = 3;
+  const auto selection = SelectHiddenWidth(ds.x, config, {8, 16}, 3, 7);
+  EXPECT_TRUE(selection.best_num_hidden == 8 ||
+              selection.best_num_hidden == 16);
+  for (const auto& c : selection.candidates) {
+    EXPECT_GE(c.silhouette, -1.0);
+    EXPECT_LE(c.silhouette, 1.0);
+  }
+}
+
+TEST(KSelectionTest, RecoversTrueClusterCountOnSeparatedBlobs) {
+  // 3 tight blobs far apart: silhouette peaks exactly at k = 3.
+  rng::Rng rng(21);
+  linalg::Matrix x(90, 2);
+  for (int c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < 30; ++i) {
+      const std::size_t r = c * 30 + i;
+      x(r, 0) = rng.Gaussian(c * 20.0, 0.5);
+      x(r, 1) = rng.Gaussian((c % 2) * 20.0, 0.5);
+    }
+  }
+  const auto selection = SelectNumClusters(x, 2, 6, 7);
+  EXPECT_EQ(selection.best_k, 3);
+  ASSERT_EQ(selection.candidates.size(), 5u);
+}
+
+TEST(KSelectionTest, SweepsRequestedRangeInclusive) {
+  const data::Dataset ds = Mixture(17);
+  const auto selection = SelectNumClusters(ds.x, 2, 5, 7);
+  ASSERT_EQ(selection.candidates.size(), 4u);
+  EXPECT_EQ(selection.candidates.front().k, 2);
+  EXPECT_EQ(selection.candidates.back().k, 5);
+  EXPECT_GE(selection.best_k, 2);
+  EXPECT_LE(selection.best_k, 5);
+}
+
+TEST(KSelectionTest, DeterministicGivenSeed) {
+  const data::Dataset ds = Mixture(19);
+  const auto a = SelectNumClusters(ds.x, 2, 4, 11);
+  const auto b = SelectNumClusters(ds.x, 2, 4, 11);
+  EXPECT_EQ(a.best_k, b.best_k);
+}
+
+TEST(KSelectionDeathTest, KBelowTwoChecks) {
+  const data::Dataset ds = Mixture(21);
+  EXPECT_DEATH(SelectNumClusters(ds.x, 1, 3, 7), "k = 2");
+}
+
+TEST(ModelSelectionDeathTest, EmptyWidthsChecks) {
+  const data::Dataset ds = Mixture(13);
+  EXPECT_DEATH(SelectHiddenWidth(ds.x, FastConfig(), {}, 3, 7),
+               "candidate widths");
+}
+
+}  // namespace
+}  // namespace mcirbm::core

@@ -1,0 +1,158 @@
+#include "core/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "clustering/kmeans.h"
+#include "data/synthetic.h"
+#include "data/transforms.h"
+#include "metrics/external.h"
+
+namespace mcirbm::core {
+namespace {
+
+data::Dataset MakeData(int n, int d, int k, double separation,
+                       std::uint64_t seed) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "pipe";
+  spec.num_classes = k;
+  spec.num_instances = n;
+  spec.num_features = d;
+  spec.separation = separation;
+  return data::GenerateGaussianMixture(spec, seed);
+}
+
+PipelineConfig SmallConfig(ModelKind model) {
+  PipelineConfig cfg;
+  cfg.model = model;
+  cfg.rbm.num_hidden = 8;
+  cfg.rbm.epochs = 15;
+  cfg.rbm.learning_rate = 1e-3;
+  cfg.supervision.num_clusters = 2;
+  return cfg;
+}
+
+TEST(SupervisionPipelineTest, EasyDataGetsHighCoverageSupervision) {
+  data::Dataset d = MakeData(90, 6, 2, 8.0, 1);
+  data::StandardizeInPlace(&d.x);
+  SupervisionConfig cfg;
+  cfg.num_clusters = 2;
+  const voting::LocalSupervision sup =
+      ComputeSelfLearningSupervision(d.x, cfg, 1);
+  EXPECT_EQ(sup.num_clusters, 2);
+  EXPECT_GT(sup.Coverage(), 0.8);
+  // Credible clusters should align with the true classes almost perfectly.
+  std::vector<int> truth, pred;
+  for (std::size_t i = 0; i < sup.cluster_of.size(); ++i) {
+    if (sup.cluster_of[i] >= 0) {
+      truth.push_back(d.labels[i]);
+      pred.push_back(sup.cluster_of[i]);
+    }
+  }
+  EXPECT_GT(metrics::ClusteringAccuracy(truth, pred), 0.95);
+}
+
+TEST(SupervisionPipelineTest, HardDataGetsLowerCoverage) {
+  data::Dataset easy = MakeData(80, 6, 2, 8.0, 2);
+  data::Dataset hard = MakeData(80, 6, 2, 0.7, 2);
+  data::StandardizeInPlace(&easy.x);
+  data::StandardizeInPlace(&hard.x);
+  SupervisionConfig cfg;
+  cfg.num_clusters = 2;
+  const double cov_easy =
+      ComputeSelfLearningSupervision(easy.x, cfg, 1).Coverage();
+  const double cov_hard =
+      ComputeSelfLearningSupervision(hard.x, cfg, 1).Coverage();
+  EXPECT_LT(cov_hard, cov_easy);
+}
+
+TEST(SupervisionPipelineTest, SubsetOfClusterersWorks) {
+  data::Dataset d = MakeData(60, 5, 2, 6.0, 3);
+  data::StandardizeInPlace(&d.x);
+  SupervisionConfig cfg;
+  cfg.num_clusters = 2;
+  cfg.use_affinity_propagation = false;
+  const voting::LocalSupervision sup =
+      ComputeSelfLearningSupervision(d.x, cfg, 1);
+  EXPECT_GT(sup.Coverage(), 0.5);
+}
+
+TEST(SupervisionPipelineDeathTest, NoClusterersAborts) {
+  linalg::Matrix x(10, 3);
+  SupervisionConfig cfg;
+  cfg.use_density_peaks = false;
+  cfg.use_kmeans = false;
+  cfg.use_affinity_propagation = false;
+  EXPECT_DEATH(ComputeSelfLearningSupervision(x, cfg, 1),
+               "at least one base clusterer");
+}
+
+TEST(PipelineTest, AllModelKindsProduceFeatures) {
+  data::Dataset d = MakeData(50, 8, 2, 4.0, 4);
+  linalg::Matrix real = d.x;
+  data::StandardizeInPlace(&real);
+  linalg::Matrix binary = d.x;
+  data::MinMaxScaleInPlace(&binary);
+
+  for (ModelKind kind : {ModelKind::kRbm, ModelKind::kGrbm,
+                         ModelKind::kSlsRbm, ModelKind::kSlsGrbm}) {
+    const bool is_binary_model =
+        kind == ModelKind::kRbm || kind == ModelKind::kSlsRbm;
+    const linalg::Matrix& x = is_binary_model ? binary : real;
+    const PipelineResult result =
+        RunEncoderPipeline(x, SmallConfig(kind), 5);
+    EXPECT_EQ(result.hidden_features.rows(), 50u) << ModelKindName(kind);
+    EXPECT_EQ(result.hidden_features.cols(), 8u);
+    EXPECT_NE(result.model, nullptr);
+  }
+}
+
+TEST(PipelineTest, PlainModelsSkipSupervision) {
+  data::Dataset d = MakeData(40, 6, 2, 4.0, 6);
+  data::StandardizeInPlace(&d.x);
+  const PipelineResult result =
+      RunEncoderPipeline(d.x, SmallConfig(ModelKind::kGrbm), 7);
+  EXPECT_EQ(result.supervision.num_clusters, 0);
+  EXPECT_TRUE(result.supervision.cluster_of.empty());
+}
+
+TEST(PipelineTest, DeterministicGivenSeed) {
+  data::Dataset d = MakeData(40, 6, 2, 5.0, 7);
+  data::StandardizeInPlace(&d.x);
+  const PipelineConfig cfg = SmallConfig(ModelKind::kSlsGrbm);
+  const PipelineResult a = RunEncoderPipeline(d.x, cfg, 11);
+  const PipelineResult b = RunEncoderPipeline(d.x, cfg, 11);
+  EXPECT_TRUE(a.hidden_features.AllClose(b.hidden_features, 0));
+}
+
+TEST(PipelineTest, SlsFeaturesImproveKmeansOnModerateData) {
+  // Moderate separation: raw k-means is imperfect, sls features should be
+  // at least as good (the paper's headline effect, miniaturized).
+  data::Dataset d = MakeData(120, 10, 2, 2.8, 8);
+  data::StandardizeInPlace(&d.x);
+
+  PipelineConfig cfg = SmallConfig(ModelKind::kSlsGrbm);
+  cfg.rbm.epochs = 30;
+  cfg.sls.supervision_scale = 500.0;
+  const PipelineResult sls = RunEncoderPipeline(d.x, cfg, 9);
+
+  clustering::KMeansConfig km;
+  km.k = 2;
+  const auto raw_result = clustering::KMeans(km).Cluster(d.x, 1);
+  const auto sls_result =
+      clustering::KMeans(km).Cluster(sls.hidden_features, 1);
+  const double acc_raw =
+      metrics::ClusteringAccuracy(d.labels, raw_result.assignment);
+  const double acc_sls =
+      metrics::ClusteringAccuracy(d.labels, sls_result.assignment);
+  EXPECT_GE(acc_sls, acc_raw - 0.02);
+}
+
+TEST(PipelineTest, ModelKindNamesAreStable) {
+  EXPECT_STREQ(ModelKindName(ModelKind::kRbm), "RBM");
+  EXPECT_STREQ(ModelKindName(ModelKind::kGrbm), "GRBM");
+  EXPECT_STREQ(ModelKindName(ModelKind::kSlsRbm), "slsRBM");
+  EXPECT_STREQ(ModelKindName(ModelKind::kSlsGrbm), "slsGRBM");
+}
+
+}  // namespace
+}  // namespace mcirbm::core

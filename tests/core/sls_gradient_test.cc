@@ -1,0 +1,296 @@
+#include "core/sls_gradient.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "linalg/ops.h"
+#include "rng/rng.h"
+
+namespace mcirbm::core {
+namespace {
+
+struct GradSetup {
+  linalg::Matrix v;         // m x nv
+  linalg::Matrix w;         // nv x nh
+  std::vector<double> b;    // nh
+  voting::LocalSupervision sup;
+  std::vector<std::size_t> batch_indices;
+};
+
+// Hidden features from the current parameters (the gradient formulas
+// assume h = σ(b + vW)).
+linalg::Matrix Hidden(const GradSetup& s) {
+  linalg::Matrix h = linalg::Gemm(s.v, s.w);
+  linalg::AddRowVector(&h, s.b);
+  linalg::SigmoidInPlace(&h);
+  return h;
+}
+
+GradSetup MakeSetup(int m, int nv, int nh, int k, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  GradSetup s;
+  s.v.Resize(m, nv);
+  for (std::size_t i = 0; i < s.v.size(); ++i) {
+    s.v.data()[i] = rng.Gaussian();
+  }
+  s.w.Resize(nv, nh);
+  for (std::size_t i = 0; i < s.w.size(); ++i) {
+    s.w.data()[i] = rng.Gaussian(0, 0.5);
+  }
+  s.b.resize(nh);
+  for (auto& bj : s.b) bj = rng.Gaussian(0, 0.2);
+  // Credible clusters: round-robin so every cluster has >= 2 members;
+  // leave ~1/4 of instances unsupervised.
+  s.sup.num_clusters = k;
+  s.sup.cluster_of.resize(m);
+  for (int i = 0; i < m; ++i) {
+    s.sup.cluster_of[i] = (i % 4 == 3) ? -1 : i % k;
+  }
+  s.batch_indices.resize(m);
+  for (int i = 0; i < m; ++i) s.batch_indices[i] = i;
+  return s;
+}
+
+TEST(BuildSupervisionBatchTest, RestrictsToBatchRows) {
+  voting::LocalSupervision sup;
+  sup.num_clusters = 2;
+  sup.cluster_of = {0, 0, 1, 1, -1, 0};
+  // Batch contains global rows {5, 2, 0, 4}.
+  const std::vector<std::size_t> batch = {5, 2, 0, 4};
+  const SupervisionBatch sb = BuildSupervisionBatch(sup, batch);
+  // Cluster 0 has batch rows {0 (global 5), 2 (global 0)}; cluster 1 has
+  // only one member in batch (global 2) -> dropped.
+  ASSERT_EQ(sb.members.size(), 1u);
+  EXPECT_EQ(sb.members[0], (std::vector<std::size_t>{0, 2}));
+  EXPECT_EQ(sb.num_credible, 2u);
+}
+
+TEST(BuildSupervisionBatchTest, EmptySupervisionYieldsEmptyBatch) {
+  voting::LocalSupervision sup;
+  sup.num_clusters = 0;
+  sup.cluster_of = {-1, -1};
+  const SupervisionBatch sb = BuildSupervisionBatch(sup, {0, 1});
+  EXPECT_TRUE(sb.empty());
+}
+
+// ---- Property: fast implementation == naive implementation ----
+
+class SlsGradientEquivalenceTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(SlsGradientEquivalenceTest, FastMatchesNaive) {
+  const auto [m, nv, nh, k] = GetParam();
+  const GradSetup s = MakeSetup(m, nv, nh, k, 100 + m + nv * 7 + nh * 13 + k);
+  const linalg::Matrix h = Hidden(s);
+  const SupervisionBatch sb = BuildSupervisionBatch(s.sup, s.batch_indices);
+
+  SlsGradientOptions options;
+  options.scale = 0.37;  // arbitrary non-unit scale
+
+  linalg::Matrix dw_naive(nv, nh), dw_fast(nv, nh);
+  std::vector<double> db_naive(nh, 0.0), db_fast(nh, 0.0);
+  AccumulateSlsGradientNaive(s.v, h, sb, s.w, s.b, options,
+                             {&dw_naive, &db_naive});
+  AccumulateSlsGradientFast(s.v, h, sb, s.w, s.b, options,
+                            {&dw_fast, &db_fast});
+  EXPECT_TRUE(dw_fast.AllClose(dw_naive, 1e-9))
+      << "m=" << m << " nv=" << nv << " nh=" << nh << " k=" << k;
+  for (int j = 0; j < nh; ++j) {
+    EXPECT_NEAR(db_fast[j], db_naive[j], 1e-9);
+  }
+}
+
+TEST_P(SlsGradientEquivalenceTest, FastMatchesNaiveWithoutDisperse) {
+  const auto [m, nv, nh, k] = GetParam();
+  const GradSetup s = MakeSetup(m, nv, nh, k, 500 + m + nv + nh + k);
+  const linalg::Matrix h = Hidden(s);
+  const SupervisionBatch sb = BuildSupervisionBatch(s.sup, s.batch_indices);
+
+  SlsGradientOptions options;
+  options.include_disperse = false;
+
+  linalg::Matrix dw_naive(nv, nh), dw_fast(nv, nh);
+  std::vector<double> db_naive(nh, 0.0), db_fast(nh, 0.0);
+  AccumulateSlsGradientNaive(s.v, h, sb, s.w, s.b, options,
+                             {&dw_naive, &db_naive});
+  AccumulateSlsGradientFast(s.v, h, sb, s.w, s.b, options,
+                            {&dw_fast, &db_fast});
+  EXPECT_TRUE(dw_fast.AllClose(dw_naive, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, SlsGradientEquivalenceTest,
+    ::testing::Values(std::make_tuple(8, 3, 4, 2),
+                      std::make_tuple(12, 5, 6, 3),
+                      std::make_tuple(20, 4, 3, 4),
+                      std::make_tuple(9, 2, 8, 2),
+                      std::make_tuple(16, 6, 5, 5)));
+
+// ---- Property: the naive gradient matches finite differences of the
+// objective. This validates the calculus of Eq. 27/31 end to end, with h
+// recomputed from perturbed parameters (h depends on W and b). ----
+
+double ObjectiveAt(const GradSetup& s, const linalg::Matrix& w,
+                   const std::vector<double>& b,
+                   const SlsGradientOptions& options) {
+  linalg::Matrix h = linalg::Gemm(s.v, w);
+  linalg::AddRowVector(&h, b);
+  linalg::SigmoidInPlace(&h);
+  const SupervisionBatch sb = BuildSupervisionBatch(s.sup, s.batch_indices);
+  return SlsObjective(s.v, h, sb, w, b, options);
+}
+
+// Params: (include_disperse, normalize_by_pairs, disperse_weight).
+class SlsFiniteDifferenceTest
+    : public ::testing::TestWithParam<std::tuple<bool, bool, double>> {
+ protected:
+  SlsGradientOptions Options() const {
+    SlsGradientOptions options;
+    options.include_disperse = std::get<0>(GetParam());
+    options.normalize_by_pairs = std::get<1>(GetParam());
+    options.disperse_weight = std::get<2>(GetParam());
+    return options;
+  }
+};
+
+TEST_P(SlsFiniteDifferenceTest, WeightGradientMatchesNumeric) {
+  const SlsGradientOptions options = Options();
+  const GradSetup s = MakeSetup(10, 4, 5, 2, 42);
+  const linalg::Matrix h = Hidden(s);
+  const SupervisionBatch sb = BuildSupervisionBatch(s.sup, s.batch_indices);
+
+  linalg::Matrix dw(4, 5);
+  std::vector<double> db(5, 0.0);
+  AccumulateSlsGradientNaive(s.v, h, sb, s.w, s.b, options, {&dw, &db});
+
+  const double eps = 1e-6;
+  for (std::size_t i = 0; i < 4; ++i) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      linalg::Matrix wp = s.w, wm = s.w;
+      wp(i, j) += eps;
+      wm(i, j) -= eps;
+      const double numeric = (ObjectiveAt(s, wp, s.b, options) -
+                              ObjectiveAt(s, wm, s.b, options)) /
+                             (2 * eps);
+      EXPECT_NEAR(dw(i, j), numeric, 1e-5) << "dW(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_P(SlsFiniteDifferenceTest, BiasGradientMatchesNumeric) {
+  const SlsGradientOptions options = Options();
+  const GradSetup s = MakeSetup(10, 4, 5, 2, 43);
+  const linalg::Matrix h = Hidden(s);
+  const SupervisionBatch sb = BuildSupervisionBatch(s.sup, s.batch_indices);
+
+  linalg::Matrix dw(4, 5);
+  std::vector<double> db(5, 0.0);
+  AccumulateSlsGradientNaive(s.v, h, sb, s.w, s.b, options, {&dw, &db});
+
+  const double eps = 1e-6;
+  for (std::size_t j = 0; j < 5; ++j) {
+    std::vector<double> bp = s.b, bm = s.b;
+    bp[j] += eps;
+    bm[j] -= eps;
+    const double numeric = (ObjectiveAt(s, s.w, bp, options) -
+                            ObjectiveAt(s, s.w, bm, options)) /
+                           (2 * eps);
+    EXPECT_NEAR(db[j], numeric, 1e-5) << "db(" << j << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOptionCombos, SlsFiniteDifferenceTest,
+    ::testing::Combine(::testing::Bool(), ::testing::Bool(),
+                       ::testing::Values(1.0, 7.5)));
+
+// ---- Behavioral properties ----
+
+TEST(SlsGradientTest, DescentStepReducesObjective) {
+  GradSetup s = MakeSetup(14, 5, 6, 2, 77);
+  SlsGradientOptions options;
+  const double before = ObjectiveAt(s, s.w, s.b, options);
+
+  const linalg::Matrix h = Hidden(s);
+  const SupervisionBatch sb = BuildSupervisionBatch(s.sup, s.batch_indices);
+  linalg::Matrix dw(5, 6);
+  std::vector<double> db(6, 0.0);
+  AccumulateSlsGradientFast(s.v, h, sb, s.w, s.b, options, {&dw, &db});
+
+  const double step = 1e-2;
+  linalg::Matrix w2 = s.w;
+  w2.Axpy(-step, dw);
+  std::vector<double> b2 = s.b;
+  for (std::size_t j = 0; j < b2.size(); ++j) b2[j] -= step * db[j];
+  const double after = ObjectiveAt(s, w2, b2, options);
+  EXPECT_LT(after, before);
+}
+
+TEST(SlsGradientTest, EmptyBatchAddsNothing) {
+  const GradSetup s = MakeSetup(8, 3, 4, 2, 5);
+  voting::LocalSupervision empty;
+  empty.num_clusters = 0;
+  empty.cluster_of.assign(8, -1);
+  const SupervisionBatch sb =
+      BuildSupervisionBatch(empty, s.batch_indices);
+  linalg::Matrix dw(3, 4);
+  std::vector<double> db(4, 0.0);
+  const linalg::Matrix h = Hidden(s);
+  AccumulateSlsGradientFast(s.v, h, sb, s.w, s.b, {}, {&dw, &db});
+  EXPECT_DOUBLE_EQ(dw.FrobeniusNorm(), 0.0);
+  for (double v : db) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(SlsGradientTest, ScaleIsLinear) {
+  const GradSetup s = MakeSetup(10, 3, 4, 2, 6);
+  const linalg::Matrix h = Hidden(s);
+  const SupervisionBatch sb = BuildSupervisionBatch(s.sup, s.batch_indices);
+  linalg::Matrix dw1(3, 4), dw2(3, 4);
+  std::vector<double> db1(4, 0.0), db2(4, 0.0);
+  SlsGradientOptions o1, o2;
+  o1.scale = 1.0;
+  o2.scale = -2.5;
+  AccumulateSlsGradientFast(s.v, h, sb, s.w, s.b, o1, {&dw1, &db1});
+  AccumulateSlsGradientFast(s.v, h, sb, s.w, s.b, o2, {&dw2, &db2});
+  linalg::Matrix expected = dw1 * -2.5;
+  EXPECT_TRUE(dw2.AllClose(expected, 1e-9));
+  for (int j = 0; j < 4; ++j) EXPECT_NEAR(db2[j], -2.5 * db1[j], 1e-9);
+}
+
+TEST(SlsGradientTest, SingleClusterHasNoDisperseContribution) {
+  GradSetup s = MakeSetup(10, 3, 4, 1, 7);
+  for (auto& c : s.sup.cluster_of) {
+    if (c >= 0) c = 0;  // all credible instances in one cluster
+  }
+  s.sup.num_clusters = 1;
+  const linalg::Matrix h = Hidden(s);
+  const SupervisionBatch sb = BuildSupervisionBatch(s.sup, s.batch_indices);
+  linalg::Matrix dw_with(3, 4), dw_without(3, 4);
+  std::vector<double> db_with(4, 0.0), db_without(4, 0.0);
+  SlsGradientOptions with_d, without_d;
+  without_d.include_disperse = false;
+  AccumulateSlsGradientFast(s.v, h, sb, s.w, s.b, with_d,
+                            {&dw_with, &db_with});
+  AccumulateSlsGradientFast(s.v, h, sb, s.w, s.b, without_d,
+                            {&dw_without, &db_without});
+  EXPECT_TRUE(dw_with.AllClose(dw_without, 0));
+}
+
+TEST(SlsObjectiveTest, IdenticalHiddenRowsGiveZeroConstrict) {
+  GradSetup s = MakeSetup(6, 3, 4, 1, 8);
+  for (auto& c : s.sup.cluster_of) c = 0;
+  s.sup.num_clusters = 1;
+  // Identical visible rows -> identical hidden rows -> zero objective.
+  for (std::size_t i = 1; i < s.v.rows(); ++i) {
+    for (std::size_t j = 0; j < s.v.cols(); ++j) s.v(i, j) = s.v(0, j);
+  }
+  const linalg::Matrix h = Hidden(s);
+  const SupervisionBatch sb = BuildSupervisionBatch(s.sup, s.batch_indices);
+  EXPECT_NEAR(SlsObjective(s.v, h, sb, s.w, s.b, SlsGradientOptions{}),
+              0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mcirbm::core

@@ -1,0 +1,142 @@
+#include "core/stack_serialize.h"
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "data/transforms.h"
+
+namespace mcirbm::core {
+namespace {
+
+class StackSerializeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/stack_" +
+            std::to_string(reinterpret_cast<std::uintptr_t>(this));
+  }
+  void TearDown() override {
+    std::remove(path_.c_str());
+    for (int l = 0; l < 4; ++l) {
+      std::remove((path_ + ".layer" + std::to_string(l)).c_str());
+    }
+  }
+  std::string path_;
+};
+
+data::Dataset SmallMixture(std::uint64_t seed) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "serialize";
+  spec.num_classes = 2;
+  spec.num_instances = 80;
+  spec.num_features = 10;
+  spec.separation = 3.0;
+  data::Dataset ds = data::GenerateGaussianMixture(spec, seed);
+  data::StandardizeInPlace(&ds.x);
+  return ds;
+}
+
+StackedEncoder MakeTrainedStack(const linalg::Matrix& x, bool with_sls) {
+  StackedLayerConfig bottom;
+  bottom.model = with_sls ? ModelKind::kSlsGrbm : ModelKind::kGrbm;
+  bottom.rbm.num_hidden = 8;
+  bottom.rbm.epochs = 5;
+  bottom.rbm.learning_rate = 1e-3;
+  bottom.supervision.num_clusters = 2;
+
+  StackedLayerConfig top;
+  top.model = ModelKind::kRbm;
+  top.rbm.num_hidden = 4;
+  top.rbm.epochs = 5;
+  top.rbm.learning_rate = 0.05;
+
+  StackedEncoder stack({bottom, top});
+  stack.Train(x, 5);
+  return stack;
+}
+
+TEST_F(StackSerializeTest, RoundTripPreservesTransform) {
+  const data::Dataset ds = SmallMixture(3);
+  StackedEncoder stack = MakeTrainedStack(ds.x, /*with_sls=*/false);
+  ASSERT_TRUE(SaveStack(stack, path_).ok());
+
+  LoadedStack loaded;
+  ASSERT_TRUE(LoadStack(path_, &loaded).ok());
+  ASSERT_EQ(loaded.num_layers(), 2u);
+  EXPECT_TRUE(
+      loaded.Transform(ds.x).AllClose(stack.Transform(ds.x), 1e-12));
+  EXPECT_TRUE(
+      loaded.Transform(ds.x, 1).AllClose(stack.Transform(ds.x, 1), 1e-12));
+}
+
+TEST_F(StackSerializeTest, SlsLayersLoadAsInferenceEquivalentPlainModels) {
+  const data::Dataset ds = SmallMixture(5);
+  StackedEncoder stack = MakeTrainedStack(ds.x, /*with_sls=*/true);
+  ASSERT_TRUE(SaveStack(stack, path_).ok());
+
+  LoadedStack loaded;
+  ASSERT_TRUE(LoadStack(path_, &loaded).ok());
+  // The loaded bottom layer is a plain GRBM, but Transform must agree
+  // exactly (supervision affects training only).
+  EXPECT_EQ(loaded.layer(0).name(), "grbm");
+  EXPECT_TRUE(
+      loaded.Transform(ds.x).AllClose(stack.Transform(ds.x), 1e-12));
+}
+
+TEST_F(StackSerializeTest, UntrainedStackRejected) {
+  StackedLayerConfig layer;
+  layer.model = ModelKind::kGrbm;
+  layer.rbm.num_hidden = 4;
+  StackedEncoder stack({layer});
+  const Status status = SaveStack(stack, path_);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(StackSerializeTest, MissingManifestIsIoError) {
+  LoadedStack loaded;
+  const Status status = LoadStack(path_ + ".does-not-exist", &loaded);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(StackSerializeTest, CorruptMagicRejected) {
+  {
+    std::ofstream out(path_);
+    out << "not-a-stack v9\n1\n";
+  }
+  LoadedStack loaded;
+  const Status status = LoadStack(path_, &loaded);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST_F(StackSerializeTest, MissingLayerFileRejected) {
+  const data::Dataset ds = SmallMixture(7);
+  StackedEncoder stack = MakeTrainedStack(ds.x, /*with_sls=*/false);
+  ASSERT_TRUE(SaveStack(stack, path_).ok());
+  std::remove((path_ + ".layer1").c_str());
+  LoadedStack loaded;
+  EXPECT_FALSE(LoadStack(path_, &loaded).ok());
+}
+
+TEST_F(StackSerializeTest, TruncatedManifestRejected) {
+  const data::Dataset ds = SmallMixture(9);
+  StackedEncoder stack = MakeTrainedStack(ds.x, /*with_sls=*/false);
+  ASSERT_TRUE(SaveStack(stack, path_).ok());
+  {
+    // Rewrite the manifest claiming 3 layers but listing 2.
+    std::ifstream in(path_);
+    std::string magic;
+    std::getline(in, magic);
+    std::string rest((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::ofstream out(path_);
+    out << magic << "\n3\n" << rest.substr(rest.find('\n') + 1);
+  }
+  LoadedStack loaded;
+  EXPECT_FALSE(LoadStack(path_, &loaded).ok());
+}
+
+}  // namespace
+}  // namespace mcirbm::core

@@ -1,0 +1,142 @@
+#include "core/stacked.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "data/transforms.h"
+#include "metrics/external.h"
+
+namespace mcirbm::core {
+namespace {
+
+data::Dataset RealValuedMixture(std::uint64_t seed) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "stacked";
+  spec.num_classes = 3;
+  spec.num_instances = 150;
+  spec.num_features = 20;
+  spec.separation = 3.5;
+  spec.informative_fraction = 0.6;
+  data::Dataset ds = data::GenerateGaussianMixture(spec, seed);
+  data::StandardizeInPlace(&ds.x);
+  return ds;
+}
+
+StackedLayerConfig GrbmLayer(int hidden) {
+  StackedLayerConfig layer;
+  layer.model = ModelKind::kGrbm;
+  layer.rbm.num_hidden = hidden;
+  layer.rbm.epochs = 15;
+  layer.rbm.learning_rate = 1e-3;
+  return layer;
+}
+
+StackedLayerConfig RbmLayer(int hidden) {
+  StackedLayerConfig layer;
+  layer.model = ModelKind::kRbm;
+  layer.rbm.num_hidden = hidden;
+  layer.rbm.epochs = 15;
+  layer.rbm.learning_rate = 0.05;
+  return layer;
+}
+
+TEST(StackedEncoderTest, TwoLayerShapesAndTransform) {
+  const data::Dataset ds = RealValuedMixture(3);
+  StackedEncoder stack({GrbmLayer(16), RbmLayer(8)});
+  const auto stats = stack.Train(ds.x, 11);
+  ASSERT_EQ(stats.size(), 2u);
+  EXPECT_FALSE(stats[0].epochs.empty());
+  EXPECT_FALSE(stats[1].epochs.empty());
+
+  const linalg::Matrix features = stack.Transform(ds.x);
+  EXPECT_EQ(features.rows(), ds.x.rows());
+  EXPECT_EQ(features.cols(), 8u);
+
+  const linalg::Matrix depth1 = stack.Transform(ds.x, 1);
+  EXPECT_EQ(depth1.cols(), 16u);
+}
+
+TEST(StackedEncoderTest, TransformMatchesManualComposition) {
+  const data::Dataset ds = RealValuedMixture(5);
+  StackedEncoder stack({GrbmLayer(12), RbmLayer(6)});
+  stack.Train(ds.x, 13);
+  const linalg::Matrix via_stack = stack.Transform(ds.x);
+  const linalg::Matrix h0 = stack.layer(0).HiddenFeatures(ds.x);
+  const linalg::Matrix via_manual = stack.layer(1).HiddenFeatures(h0);
+  EXPECT_TRUE(via_stack.AllClose(via_manual, 1e-12));
+}
+
+TEST(StackedEncoderTest, SlsLayerRecomputesSupervisionPerLayer) {
+  const data::Dataset ds = RealValuedMixture(7);
+  StackedLayerConfig bottom;
+  bottom.model = ModelKind::kSlsGrbm;
+  bottom.rbm.num_hidden = 16;
+  bottom.rbm.epochs = 10;
+  bottom.rbm.learning_rate = 1e-4;
+  bottom.supervision.num_clusters = 3;
+
+  StackedLayerConfig top;
+  top.model = ModelKind::kSlsRbm;
+  top.rbm.num_hidden = 8;
+  top.rbm.epochs = 10;
+  top.rbm.learning_rate = 1e-4;
+  top.supervision.num_clusters = 3;
+  top.recompute_supervision = true;
+
+  StackedEncoder stack({bottom, top});
+  const auto stats = stack.Train(ds.x, 17);
+  EXPECT_GT(stats[0].supervision_coverage, 0.0);
+  EXPECT_GT(stats[1].supervision_coverage, 0.0);
+  EXPECT_GT(stats[0].supervision_clusters, 1);
+  EXPECT_GT(stats[1].supervision_clusters, 1);
+}
+
+TEST(StackedEncoderTest, ReusedSupervisionSkipsRecomputation) {
+  const data::Dataset ds = RealValuedMixture(9);
+  StackedLayerConfig bottom;
+  bottom.model = ModelKind::kSlsGrbm;
+  bottom.rbm.num_hidden = 12;
+  bottom.rbm.epochs = 5;
+  bottom.rbm.learning_rate = 1e-4;
+  bottom.supervision.num_clusters = 3;
+
+  StackedLayerConfig top = bottom;
+  top.model = ModelKind::kSlsRbm;
+  top.recompute_supervision = false;  // reuse the bottom supervision
+
+  StackedEncoder stack({bottom, top});
+  const auto stats = stack.Train(ds.x, 19);
+  // Reused supervision: identical coverage and cluster count.
+  EXPECT_DOUBLE_EQ(stats[0].supervision_coverage,
+                   stats[1].supervision_coverage);
+  EXPECT_EQ(stats[0].supervision_clusters, stats[1].supervision_clusters);
+}
+
+TEST(StackedEncoderTest, DeterministicGivenSeed) {
+  const data::Dataset ds = RealValuedMixture(11);
+  StackedEncoder a({GrbmLayer(10), RbmLayer(5)});
+  StackedEncoder b({GrbmLayer(10), RbmLayer(5)});
+  a.Train(ds.x, 23);
+  b.Train(ds.x, 23);
+  EXPECT_TRUE(a.Transform(ds.x).AllClose(b.Transform(ds.x), 0.0));
+}
+
+TEST(StackedEncoderTest, DeeperFeaturesStayInUnitInterval) {
+  const data::Dataset ds = RealValuedMixture(13);
+  StackedEncoder stack({GrbmLayer(16), RbmLayer(8), RbmLayer(4)});
+  stack.Train(ds.x, 29);
+  const linalg::Matrix features = stack.Transform(ds.x);
+  for (std::size_t i = 0; i < features.size(); ++i) {
+    EXPECT_GE(features.data()[i], 0.0);
+    EXPECT_LE(features.data()[i], 1.0);
+  }
+}
+
+TEST(StackedEncoderDeathTest, TransformBeforeTrainChecks) {
+  const data::Dataset ds = RealValuedMixture(15);
+  StackedEncoder stack({GrbmLayer(8)});
+  EXPECT_DEATH(stack.Transform(ds.x), "Transform before Train");
+}
+
+}  // namespace
+}  // namespace mcirbm::core

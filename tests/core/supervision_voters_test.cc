@@ -1,0 +1,100 @@
+// Tests for SupervisionConfig::kmeans_voters — additional independently
+// seeded K-means members in the multi-clustering integration. More voters
+// make the unanimous vote stricter, trading coverage for precision.
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "data/synthetic.h"
+#include "data/transforms.h"
+#include "metrics/external.h"
+
+namespace mcirbm::core {
+namespace {
+
+data::Dataset NoisyMixture(std::uint64_t seed) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "voters";
+  spec.num_classes = 3;
+  spec.num_instances = 240;
+  spec.num_features = 16;
+  spec.separation = 2.0;  // overlapping: K-means restarts disagree
+  spec.informative_fraction = 0.5;
+  spec.confusion_fraction = 0.15;
+  data::Dataset ds = data::GenerateGaussianMixture(spec, seed);
+  data::StandardizeInPlace(&ds.x);
+  return ds;
+}
+
+TEST(SupervisionVotersTest, MoreVotersNeverRaiseCoverage) {
+  const data::Dataset ds = NoisyMixture(3);
+  double prev_coverage = 1.1;
+  for (const int voters : {1, 3, 6}) {
+    SupervisionConfig cfg;
+    cfg.num_clusters = 3;
+    cfg.kmeans_voters = voters;
+    const auto sup = ComputeSelfLearningSupervision(ds.x, cfg, 5);
+    EXPECT_LE(sup.Coverage(), prev_coverage + 1e-12)
+        << voters << " voters";
+    prev_coverage = sup.Coverage();
+  }
+}
+
+TEST(SupervisionVotersTest, StricterVoteDoesNotLowerPrecision) {
+  // Consensus precision (accuracy of credible instances vs truth) with 5
+  // voters should be at least that of 1 voter on overlapping data, since
+  // only unstable instances are dropped. Allow a small tolerance: the
+  // retained set changes, so exact monotonicity is not guaranteed.
+  const data::Dataset ds = NoisyMixture(4);
+  auto precision_with = [&](int voters) {
+    SupervisionConfig cfg;
+    cfg.num_clusters = 3;
+    cfg.kmeans_voters = voters;
+    const auto sup = ComputeSelfLearningSupervision(ds.x, cfg, 5);
+    std::vector<int> truth, pred;
+    for (std::size_t i = 0; i < sup.cluster_of.size(); ++i) {
+      if (sup.cluster_of[i] >= 0) {
+        truth.push_back(ds.labels[i]);
+        pred.push_back(sup.cluster_of[i]);
+      }
+    }
+    return truth.empty() ? 0.0
+                         : metrics::ClusteringAccuracy(truth, pred);
+  };
+  EXPECT_GE(precision_with(5), precision_with(1) - 0.05);
+}
+
+TEST(SupervisionVotersTest, DeterministicGivenSeed) {
+  const data::Dataset ds = NoisyMixture(6);
+  SupervisionConfig cfg;
+  cfg.num_clusters = 3;
+  cfg.kmeans_voters = 3;
+  const auto a = ComputeSelfLearningSupervision(ds.x, cfg, 9);
+  const auto b = ComputeSelfLearningSupervision(ds.x, cfg, 9);
+  EXPECT_EQ(a.cluster_of, b.cluster_of);
+  EXPECT_EQ(a.num_clusters, b.num_clusters);
+}
+
+TEST(SupervisionVotersTest, VotersUseDistinctSeeds) {
+  // With K-means disabled the voters knob must be irrelevant.
+  const data::Dataset ds = NoisyMixture(8);
+  SupervisionConfig no_km;
+  no_km.num_clusters = 3;
+  no_km.use_kmeans = false;
+  no_km.kmeans_voters = 4;
+  SupervisionConfig no_km_single = no_km;
+  no_km_single.kmeans_voters = 1;
+  const auto a = ComputeSelfLearningSupervision(ds.x, no_km, 2);
+  const auto b = ComputeSelfLearningSupervision(ds.x, no_km_single, 2);
+  EXPECT_EQ(a.cluster_of, b.cluster_of);
+}
+
+TEST(SupervisionVotersDeathTest, ZeroVotersAborts) {
+  const data::Dataset ds = NoisyMixture(1);
+  SupervisionConfig cfg;
+  cfg.num_clusters = 3;
+  cfg.kmeans_voters = 0;
+  EXPECT_DEATH(ComputeSelfLearningSupervision(ds.x, cfg, 1), "kmeans_voters");
+}
+
+}  // namespace
+}  // namespace mcirbm::core

@@ -1,0 +1,86 @@
+#include "data/dataset.h"
+
+#include <gtest/gtest.h>
+
+namespace mcirbm::data {
+namespace {
+
+Dataset MakeToy() {
+  Dataset d;
+  d.name = "toy";
+  d.x = linalg::Matrix{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}};
+  d.labels = {0, 0, 0, 1, 1, 1};
+  d.num_classes = 2;
+  return d;
+}
+
+TEST(DatasetTest, ValidDatasetPassesCheck) { MakeToy().CheckValid(); }
+
+TEST(DatasetDeathTest, LabelCountMismatchAborts) {
+  Dataset d = MakeToy();
+  d.labels.pop_back();
+  EXPECT_DEATH(d.CheckValid(), "label count mismatch");
+}
+
+TEST(DatasetDeathTest, OutOfRangeLabelAborts) {
+  Dataset d = MakeToy();
+  d.labels[0] = 2;
+  EXPECT_DEATH(d.CheckValid(), "out of range");
+}
+
+TEST(DatasetTest, SubsetKeepsLabelsAligned) {
+  Dataset d = MakeToy();
+  Dataset s = d.Subset({5, 0, 3});
+  ASSERT_EQ(s.num_instances(), 3u);
+  EXPECT_EQ(s.labels[0], 1);
+  EXPECT_EQ(s.labels[1], 0);
+  EXPECT_EQ(s.labels[2], 1);
+  EXPECT_DOUBLE_EQ(s.x(0, 0), 5);
+}
+
+TEST(DatasetTest, ClassCounts) {
+  Dataset d = MakeToy();
+  d.labels = {0, 0, 1, 1, 1, 0};
+  const auto counts = d.ClassCounts();
+  EXPECT_EQ(counts[0], 3);
+  EXPECT_EQ(counts[1], 3);
+}
+
+TEST(StratifiedSubsampleTest, NoOpWhenSmallEnough) {
+  Dataset d = MakeToy();
+  Dataset s = StratifiedSubsample(d, 10, 1);
+  EXPECT_EQ(s.num_instances(), d.num_instances());
+}
+
+TEST(StratifiedSubsampleTest, ReducesToApproximateTarget) {
+  Dataset d;
+  d.name = "big";
+  d.num_classes = 2;
+  d.x.Resize(100, 2);
+  d.labels.resize(100);
+  for (int i = 0; i < 100; ++i) d.labels[i] = i < 80 ? 0 : 1;
+  Dataset s = StratifiedSubsample(d, 50, 1);
+  EXPECT_LE(s.num_instances(), 52u);
+  EXPECT_GE(s.num_instances(), 48u);
+  // Both classes survive with roughly original proportions.
+  const auto counts = s.ClassCounts();
+  EXPECT_NEAR(static_cast<double>(counts[0]) / s.num_instances(), 0.8,
+              0.1);
+  EXPECT_GT(counts[1], 0);
+}
+
+TEST(StratifiedSubsampleTest, DeterministicGivenSeed) {
+  Dataset d;
+  d.num_classes = 2;
+  d.x.Resize(60, 1);
+  for (int i = 0; i < 60; ++i) d.x(i, 0) = i;
+  d.labels.assign(60, 0);
+  for (int i = 30; i < 60; ++i) d.labels[i] = 1;
+  Dataset a = StratifiedSubsample(d, 20, 5);
+  Dataset b = StratifiedSubsample(d, 20, 5);
+  ASSERT_EQ(a.num_instances(), b.num_instances());
+  EXPECT_TRUE(a.x.AllClose(b.x, 0));
+}
+
+}  // namespace
+}  // namespace mcirbm::data

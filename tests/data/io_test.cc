@@ -1,0 +1,79 @@
+#include "data/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "data/synthetic.h"
+
+namespace mcirbm::data {
+namespace {
+
+class DataIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/dataset_io_test.csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(DataIoTest, RoundTripPreservesEverything) {
+  GaussianMixtureSpec spec;
+  spec.name = "rt";
+  spec.num_classes = 3;
+  spec.num_instances = 40;
+  spec.num_features = 5;
+  const Dataset original = GenerateGaussianMixture(spec, 11);
+
+  ASSERT_TRUE(SaveDatasetCsv(original, path_).ok());
+  auto loaded = LoadDatasetCsv(path_, "rt");
+  ASSERT_TRUE(loaded.ok());
+  const Dataset& d = loaded.value();
+  EXPECT_EQ(d.num_instances(), original.num_instances());
+  EXPECT_EQ(d.num_features(), original.num_features());
+  EXPECT_EQ(d.num_classes, original.num_classes);
+  EXPECT_EQ(d.labels, original.labels);
+  EXPECT_TRUE(d.x.AllClose(original.x, 1e-9));
+}
+
+TEST_F(DataIoTest, MissingFileFails) {
+  auto loaded = LoadDatasetCsv("/no/such/file.csv", "x");
+  EXPECT_FALSE(loaded.ok());
+}
+
+TEST_F(DataIoTest, NonIntegerLabelFails) {
+  std::ofstream out(path_);
+  out << "f0,label\n1.0,0.5\n";
+  out.close();
+  auto loaded = LoadDatasetCsv(path_, "x");
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(DataIoTest, NegativeLabelFails) {
+  std::ofstream out(path_);
+  out << "f0,label\n1.0,-1\n";
+  out.close();
+  EXPECT_FALSE(LoadDatasetCsv(path_, "x").ok());
+}
+
+TEST_F(DataIoTest, SingleColumnFails) {
+  std::ofstream out(path_);
+  out << "label\n0\n";
+  out.close();
+  EXPECT_FALSE(LoadDatasetCsv(path_, "x").ok());
+}
+
+TEST_F(DataIoTest, NumClassesInferredFromMaxLabel) {
+  std::ofstream out(path_);
+  out << "f0,label\n1,0\n2,3\n";
+  out.close();
+  auto loaded = LoadDatasetCsv(path_, "x");
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().num_classes, 4);
+}
+
+}  // namespace
+}  // namespace mcirbm::data

@@ -1,0 +1,91 @@
+// Tests for GaussianMixtureSpec::mode_tightness_exponent — minority-owned
+// shared modes become spatially compact, majority-owned modes diffuse.
+#include <cmath>
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+
+namespace mcirbm::data {
+namespace {
+
+GaussianMixtureSpec BaseSpec() {
+  GaussianMixtureSpec spec;
+  spec.name = "tightness";
+  spec.num_classes = 3;
+  spec.num_instances = 1200;
+  spec.num_features = 20;
+  spec.informative_fraction = 1.0;
+  spec.separation = 12.0;  // modes far apart: within-mode spread dominates
+  spec.class_proportions = {0.7, 0.2, 0.1};
+  spec.shared_modes = 3;  // one mode per class for a clean ownership map
+  spec.mode_class_affinity = 1.0;  // every instance on its own class mode
+  return spec;
+}
+
+// Mean squared deviation of class-c rows around the class mean.
+double ClassSpread(const Dataset& ds, int c) {
+  const std::size_t d = ds.x.cols();
+  std::vector<double> mean(d, 0.0);
+  std::size_t count = 0;
+  for (std::size_t r = 0; r < ds.x.rows(); ++r) {
+    if (ds.labels[r] != c) continue;
+    ++count;
+    for (std::size_t j = 0; j < d; ++j) mean[j] += ds.x(r, j);
+  }
+  for (auto& m : mean) m /= static_cast<double>(count);
+  double spread = 0;
+  for (std::size_t r = 0; r < ds.x.rows(); ++r) {
+    if (ds.labels[r] != c) continue;
+    for (std::size_t j = 0; j < d; ++j) {
+      const double dev = ds.x(r, j) - mean[j];
+      spread += dev * dev;
+    }
+  }
+  return spread / static_cast<double>(count * d);
+}
+
+TEST(ModeTightnessTest, OffByDefaultClassesHaveSimilarSpread) {
+  const Dataset ds = GenerateGaussianMixture(BaseSpec(), 3);
+  const double majority = ClassSpread(ds, 0);
+  const double minority = ClassSpread(ds, 2);
+  EXPECT_NEAR(majority / minority, 1.0, 0.25);
+}
+
+TEST(ModeTightnessTest, ExponentCompactsMinorityModes) {
+  GaussianMixtureSpec spec = BaseSpec();
+  spec.mode_tightness_exponent = 0.6;
+  const Dataset ds = GenerateGaussianMixture(spec, 3);
+  // Spread scale: pow(k * prop, 2 * 0.6) in variance units.
+  const double majority = ClassSpread(ds, 0);  // prop 0.7 -> (2.1)^1.2
+  const double minority = ClassSpread(ds, 2);  // prop 0.1 -> (0.3)^1.2
+  const double expected_ratio =
+      std::pow(3 * 0.7, 1.2) / std::pow(3 * 0.1, 1.2);
+  EXPECT_GT(majority, minority);
+  EXPECT_NEAR(majority / minority, expected_ratio, 0.35 * expected_ratio);
+}
+
+TEST(ModeTightnessTest, LargerExponentWidensTheGap) {
+  GaussianMixtureSpec weak = BaseSpec();
+  weak.mode_tightness_exponent = 0.3;
+  GaussianMixtureSpec strong = BaseSpec();
+  strong.mode_tightness_exponent = 0.9;
+  const Dataset a = GenerateGaussianMixture(weak, 5);
+  const Dataset b = GenerateGaussianMixture(strong, 5);
+  const double gap_weak = ClassSpread(a, 0) / ClassSpread(a, 2);
+  const double gap_strong = ClassSpread(b, 0) / ClassSpread(b, 2);
+  EXPECT_GT(gap_strong, gap_weak);
+}
+
+TEST(ModeTightnessTest, DeterministicGivenSeed) {
+  GaussianMixtureSpec spec = BaseSpec();
+  spec.mode_tightness_exponent = 0.5;
+  const Dataset a = GenerateGaussianMixture(spec, 7);
+  const Dataset b = GenerateGaussianMixture(spec, 7);
+  ASSERT_EQ(a.x.size(), b.x.size());
+  for (std::size_t i = 0; i < a.x.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.x.data()[i], b.x.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace mcirbm::data

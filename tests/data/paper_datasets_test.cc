@@ -1,0 +1,109 @@
+#include "data/paper_datasets.h"
+
+#include <gtest/gtest.h>
+
+namespace mcirbm::data {
+namespace {
+
+TEST(PaperDatasetsTest, CountsMatchPaperTables) {
+  EXPECT_EQ(NumMsraDatasets(), 9);  // Table II
+  EXPECT_EQ(NumUciDatasets(), 6);   // Table III
+}
+
+// Table II rows: name, classes, instances, features.
+struct Row {
+  const char* name;
+  int classes, instances, features;
+};
+
+constexpr Row kTable2[] = {
+    {"BO", 3, 896, 892}, {"WA", 3, 922, 899}, {"WR", 3, 897, 899},
+    {"BC", 3, 932, 892}, {"VE", 3, 872, 899}, {"AM", 3, 930, 892},
+    {"VI", 3, 799, 899}, {"WP", 3, 919, 899}, {"VT", 3, 879, 899},
+};
+
+constexpr Row kTable3[] = {
+    {"HS", 2, 306, 3},   {"QB", 2, 1055, 41}, {"SH", 2, 267, 22},
+    {"SC", 2, 540, 18},  {"BCW", 2, 569, 32}, {"IR", 3, 150, 4},
+};
+
+class MsraInfoTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MsraInfoTest, InfoMatchesTable2) {
+  const int i = GetParam();
+  const PaperDatasetInfo& info = MsraDatasetInfo(i);
+  EXPECT_EQ(info.short_name, kTable2[i].name);
+  EXPECT_EQ(info.classes, kTable2[i].classes);
+  EXPECT_EQ(info.instances, kTable2[i].instances);
+  EXPECT_EQ(info.features, kTable2[i].features);
+  EXPECT_EQ(info.number, i + 1);
+}
+
+TEST_P(MsraInfoTest, GeneratedShapeMatchesTable2) {
+  const int i = GetParam();
+  const Dataset d = GenerateMsraLike(i, 1);
+  EXPECT_EQ(d.num_instances(),
+            static_cast<std::size_t>(kTable2[i].instances));
+  EXPECT_EQ(d.num_features(),
+            static_cast<std::size_t>(kTable2[i].features));
+  EXPECT_EQ(d.num_classes, kTable2[i].classes);
+  d.CheckValid();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMsra, MsraInfoTest, ::testing::Range(0, 9));
+
+class UciInfoTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(UciInfoTest, InfoMatchesTable3) {
+  const int i = GetParam();
+  const PaperDatasetInfo& info = UciDatasetInfo(i);
+  EXPECT_EQ(info.short_name, kTable3[i].name);
+  EXPECT_EQ(info.classes, kTable3[i].classes);
+  EXPECT_EQ(info.instances, kTable3[i].instances);
+  EXPECT_EQ(info.features, kTable3[i].features);
+}
+
+TEST_P(UciInfoTest, GeneratedShapeMatchesTable3) {
+  const int i = GetParam();
+  const Dataset d = GenerateUciLike(i, 1);
+  EXPECT_EQ(d.num_instances(),
+            static_cast<std::size_t>(kTable3[i].instances));
+  EXPECT_EQ(d.num_features(),
+            static_cast<std::size_t>(kTable3[i].features));
+  EXPECT_EQ(d.num_classes, kTable3[i].classes);
+  d.CheckValid();
+}
+
+INSTANTIATE_TEST_SUITE_P(AllUci, UciInfoTest, ::testing::Range(0, 6));
+
+TEST(PaperDatasetsTest, MsraSetsAreImbalanced) {
+  // MSRA-MM relevance classes are dominated by one level; purity in the
+  // paper is 0.73-0.95, implying a dominant class.
+  const Dataset d = GenerateMsraLike(0, 1);
+  const auto counts = d.ClassCounts();
+  const int max_count = *std::max_element(counts.begin(), counts.end());
+  EXPECT_GT(static_cast<double>(max_count) / d.num_instances(), 0.55);
+}
+
+TEST(PaperDatasetsTest, IrisLikeIsBalancedThreeClass) {
+  const Dataset d = GenerateUciLike(5, 1);
+  const auto counts = d.ClassCounts();
+  EXPECT_EQ(counts.size(), 3u);
+  EXPECT_EQ(counts[0], 50);
+  EXPECT_EQ(counts[1], 50);
+  EXPECT_EQ(counts[2], 50);
+}
+
+TEST(PaperDatasetsTest, SeedChangesData) {
+  const Dataset a = GenerateUciLike(0, 1);
+  const Dataset b = GenerateUciLike(0, 2);
+  EXPECT_FALSE(a.x.AllClose(b.x, 1e-9));
+}
+
+TEST(PaperDatasetsDeathTest, OutOfRangeIndexAborts) {
+  EXPECT_DEATH(MsraDatasetInfo(9), "CHECK failed");
+  EXPECT_DEATH(UciDatasetInfo(-1), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace mcirbm::data

@@ -1,0 +1,253 @@
+#include "data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/ops.h"
+
+namespace mcirbm::data {
+namespace {
+
+GaussianMixtureSpec BaseSpec() {
+  GaussianMixtureSpec spec;
+  spec.name = "test";
+  spec.num_classes = 3;
+  spec.num_instances = 300;
+  spec.num_features = 10;
+  spec.separation = 4.0;
+  return spec;
+}
+
+TEST(SyntheticTest, ShapeMatchesSpec) {
+  const Dataset d = GenerateGaussianMixture(BaseSpec(), 1);
+  EXPECT_EQ(d.num_instances(), 300u);
+  EXPECT_EQ(d.num_features(), 10u);
+  EXPECT_EQ(d.num_classes, 3);
+  d.CheckValid();
+}
+
+TEST(SyntheticTest, DeterministicGivenSeed) {
+  const Dataset a = GenerateGaussianMixture(BaseSpec(), 9);
+  const Dataset b = GenerateGaussianMixture(BaseSpec(), 9);
+  EXPECT_TRUE(a.x.AllClose(b.x, 0));
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(SyntheticTest, DifferentSeedsDiffer) {
+  const Dataset a = GenerateGaussianMixture(BaseSpec(), 1);
+  const Dataset b = GenerateGaussianMixture(BaseSpec(), 2);
+  EXPECT_FALSE(a.x.AllClose(b.x, 1e-6));
+}
+
+TEST(SyntheticTest, BalancedByDefault) {
+  const Dataset d = GenerateGaussianMixture(BaseSpec(), 3);
+  const auto counts = d.ClassCounts();
+  EXPECT_EQ(counts[0], 100);
+  EXPECT_EQ(counts[1], 100);
+  EXPECT_EQ(counts[2], 100);
+}
+
+TEST(SyntheticTest, ProportionsRespected) {
+  GaussianMixtureSpec spec = BaseSpec();
+  spec.num_classes = 2;
+  spec.num_instances = 1000;
+  spec.class_proportions = {0.8, 0.2};
+  const Dataset d = GenerateGaussianMixture(spec, 4);
+  const auto counts = d.ClassCounts();
+  EXPECT_NEAR(counts[0], 800, 1);
+  EXPECT_NEAR(counts[1], 200, 1);
+}
+
+TEST(SyntheticTest, RowsAreShuffled) {
+  const Dataset d = GenerateGaussianMixture(BaseSpec(), 5);
+  // If unshuffled, the first 100 labels would all be class 0.
+  int first_block_class0 = 0;
+  for (int i = 0; i < 100; ++i) first_block_class0 += d.labels[i] == 0;
+  EXPECT_LT(first_block_class0, 90);
+  EXPECT_GT(first_block_class0, 10);
+}
+
+// Mean distance between same-class vs cross-class instances should
+// reflect the separation knob: larger separation, larger contrast.
+double ClassContrast(const Dataset& d) {
+  double same = 0, cross = 0;
+  int n_same = 0, n_cross = 0;
+  for (std::size_t i = 0; i < d.num_instances(); i += 7) {
+    for (std::size_t j = i + 1; j < d.num_instances(); j += 7) {
+      const double dist =
+          linalg::SquaredDistance(d.x.Row(i), d.x.Row(j));
+      if (d.labels[i] == d.labels[j]) {
+        same += dist;
+        ++n_same;
+      } else {
+        cross += dist;
+        ++n_cross;
+      }
+    }
+  }
+  return (cross / n_cross) / (same / n_same);
+}
+
+TEST(SyntheticTest, SeparationIncreasesClassContrast) {
+  GaussianMixtureSpec tight = BaseSpec();
+  tight.separation = 0.5;
+  GaussianMixtureSpec wide = BaseSpec();
+  wide.separation = 6.0;
+  const double contrast_tight =
+      ClassContrast(GenerateGaussianMixture(tight, 6));
+  const double contrast_wide =
+      ClassContrast(GenerateGaussianMixture(wide, 6));
+  EXPECT_GT(contrast_wide, contrast_tight + 0.5);
+}
+
+TEST(SyntheticTest, NoiseDimsCarryNoSignal) {
+  GaussianMixtureSpec spec = BaseSpec();
+  spec.num_features = 20;
+  spec.informative_fraction = 0.25;  // dims 5..19 are noise
+  const Dataset d = GenerateGaussianMixture(spec, 7);
+  // Per-class mean of a noise dim should be ~0 for every class.
+  for (int c = 0; c < spec.num_classes; ++c) {
+    double mean = 0;
+    int count = 0;
+    for (std::size_t i = 0; i < d.num_instances(); ++i) {
+      if (d.labels[i] == c) {
+        mean += d.x(i, 15);
+        ++count;
+      }
+    }
+    EXPECT_NEAR(mean / count, 0.0, 0.5);
+  }
+}
+
+TEST(SyntheticTest, ConfusionFractionDegradesSeparation) {
+  GaussianMixtureSpec clean = BaseSpec();
+  GaussianMixtureSpec confused = BaseSpec();
+  confused.confusion_fraction = 0.45;
+  const double c_clean = ClassContrast(GenerateGaussianMixture(clean, 8));
+  const double c_conf =
+      ClassContrast(GenerateGaussianMixture(confused, 8));
+  EXPECT_LT(c_conf, c_clean);
+}
+
+TEST(SyntheticDeathTest, BadProportionsAbort) {
+  GaussianMixtureSpec spec = BaseSpec();
+  spec.class_proportions = {0.5, 0.2, 0.1};  // sums to 0.8
+  EXPECT_DEATH(GenerateGaussianMixture(spec, 1), "sum to 1");
+}
+
+TEST(SyntheticDeathTest, ZeroClassesAbort) {
+  GaussianMixtureSpec spec = BaseSpec();
+  spec.num_classes = 0;
+  EXPECT_DEATH(GenerateGaussianMixture(spec, 1), "CHECK failed");
+}
+
+
+TEST(SyntheticSharedModesTest, LabelsOnlyPartiallyFollowModes) {
+  GaussianMixtureSpec spec = BaseSpec();
+  spec.num_instances = 600;
+  spec.shared_modes = 6;
+  spec.mode_class_affinity = 0.9;
+  const Dataset d = GenerateGaussianMixture(spec, 21);
+  d.CheckValid();
+  EXPECT_EQ(d.num_instances(), 600u);
+  // All classes still present with ~balanced counts.
+  for (int c : d.ClassCounts()) EXPECT_EQ(c, 200);
+}
+
+TEST(SyntheticSharedModesTest, AffinityControlsClassContrast) {
+  GaussianMixtureSpec lo = BaseSpec();
+  lo.shared_modes = 6;
+  lo.mode_class_affinity = 0.4;
+  GaussianMixtureSpec hi = lo;
+  hi.mode_class_affinity = 0.95;
+  const double c_lo = ClassContrast(GenerateGaussianMixture(lo, 22));
+  const double c_hi = ClassContrast(GenerateGaussianMixture(hi, 22));
+  // Higher affinity => class labels align with spatial modes more.
+  EXPECT_GT(c_hi, c_lo);
+}
+
+TEST(SyntheticSharedModesDeathTest, FewerModesThanClassesAborts) {
+  GaussianMixtureSpec spec = BaseSpec();
+  spec.shared_modes = 2;  // < num_classes = 3
+  EXPECT_DEATH(GenerateGaussianMixture(spec, 1), "one mode per class");
+}
+
+TEST(SyntheticCoreHaloTest, HaloInflatesSpread) {
+  GaussianMixtureSpec core_only = BaseSpec();
+  GaussianMixtureSpec with_halo = BaseSpec();
+  with_halo.core_fraction = 0.5;
+  with_halo.halo_scale = 4.0;
+  const Dataset a = GenerateGaussianMixture(core_only, 23);
+  const Dataset b = GenerateGaussianMixture(with_halo, 23);
+  // Mean within-class spread must grow with a halo.
+  auto spread = [](const Dataset& d) {
+    double total = 0;
+    int count = 0;
+    for (std::size_t i = 0; i < d.num_instances(); i += 5) {
+      for (std::size_t j = i + 5; j < d.num_instances(); j += 5) {
+        if (d.labels[i] == d.labels[j]) {
+          total += linalg::SquaredDistance(d.x.Row(i), d.x.Row(j));
+          ++count;
+        }
+      }
+    }
+    return total / count;
+  };
+  EXPECT_GT(spread(b), spread(a) * 1.3);
+}
+
+TEST(SyntheticNoiseScaleTest, HeterogeneousNoiseDimsHaveLargerVariance) {
+  GaussianMixtureSpec spec = BaseSpec();
+  spec.num_features = 40;
+  spec.informative_fraction = 0.25;  // dims 10..39 are noise
+  spec.noise_scale_max = 6.0;
+  const Dataset d = GenerateGaussianMixture(spec, 24);
+  double noise_var = 0;
+  for (std::size_t j = 10; j < 40; ++j) {
+    double mean = 0, m2 = 0;
+    for (std::size_t i = 0; i < d.num_instances(); ++i) {
+      mean += d.x(i, j);
+      m2 += d.x(i, j) * d.x(i, j);
+    }
+    mean /= d.num_instances();
+    noise_var += m2 / d.num_instances() - mean * mean;
+  }
+  noise_var /= 30;
+  // E[s^2] for s ~ U(1,6) is (36+6+1)/3 ≈ 14.3; homogeneous would be 1.
+  EXPECT_GT(noise_var, 5.0);
+}
+
+TEST(SyntheticProportionSpreadTest, DominantClassIsMoreDiffuse) {
+  GaussianMixtureSpec spec = BaseSpec();
+  spec.num_classes = 2;
+  spec.num_instances = 400;
+  spec.class_proportions = {0.8, 0.2};
+  spec.scale_spread_by_proportion = true;
+  spec.separation = 8.0;
+  const Dataset d = GenerateGaussianMixture(spec, 25);
+  double spread[2] = {0, 0};
+  int count[2] = {0, 0};
+  // Mean squared distance to the class mean, per class.
+  linalg::Matrix mean(2, d.num_features());
+  int n_class[2] = {0, 0};
+  for (std::size_t i = 0; i < d.num_instances(); ++i) {
+    ++n_class[d.labels[i]];
+    for (std::size_t j = 0; j < d.num_features(); ++j) {
+      mean(d.labels[i], j) += d.x(i, j);
+    }
+  }
+  for (int c = 0; c < 2; ++c) {
+    for (std::size_t j = 0; j < d.num_features(); ++j) {
+      mean(c, j) /= n_class[c];
+    }
+  }
+  for (std::size_t i = 0; i < d.num_instances(); ++i) {
+    spread[d.labels[i]] +=
+        linalg::SquaredDistance(d.x.Row(i), mean.Row(d.labels[i]));
+    ++count[d.labels[i]];
+  }
+  EXPECT_GT(spread[0] / count[0], spread[1] / count[1]);
+}
+}  // namespace
+}  // namespace mcirbm::data

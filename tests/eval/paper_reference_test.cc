@@ -1,0 +1,128 @@
+#include "eval/paper_reference.h"
+
+#include <gtest/gtest.h>
+
+namespace mcirbm::eval {
+namespace {
+
+const PaperTable kAllTables[] = {
+    PaperTable::kTable4AccuracyMsra, PaperTable::kTable5PurityMsra,
+    PaperTable::kTable6FmiMsra,      PaperTable::kTable7AccuracyUci,
+    PaperTable::kTable8RandUci,      PaperTable::kTable9FmiUci,
+};
+
+TEST(PaperReferenceTest, RowCountsMatchFamilies) {
+  EXPECT_EQ(PaperTableRows(PaperTable::kTable4AccuracyMsra), 9);
+  EXPECT_EQ(PaperTableRows(PaperTable::kTable7AccuracyUci), 6);
+}
+
+TEST(PaperReferenceTest, AllValuesAreValidFractions) {
+  for (PaperTable table : kAllTables) {
+    for (int row = 0; row < PaperTableRows(table); ++row) {
+      for (int v = 0; v < kNumVariants; ++v) {
+        for (int c = 0; c < kNumClusterers; ++c) {
+          const double value =
+              PaperValue(table, row, static_cast<Variant>(v),
+                         static_cast<ClustererKind>(c));
+          EXPECT_GT(value, 0.0);
+          EXPECT_LT(value, 1.0);
+        }
+      }
+    }
+  }
+}
+
+// Spot checks against the paper text.
+TEST(PaperReferenceTest, SpotCheckTable4) {
+  EXPECT_DOUBLE_EQ(PaperValue(PaperTable::kTable4AccuracyMsra, 0,
+                              Variant::kRaw, ClustererKind::kDensityPeaks),
+                   0.4275);  // BO / DP
+  EXPECT_DOUBLE_EQ(PaperValue(PaperTable::kTable4AccuracyMsra, 8,
+                              Variant::kSls, ClustererKind::kAffinityProp),
+                   0.6223);  // VT / AP+slsGRBM
+}
+
+TEST(PaperReferenceTest, SpotCheckTable7) {
+  EXPECT_DOUBLE_EQ(PaperValue(PaperTable::kTable7AccuracyUci, 5,
+                              Variant::kSls, ClustererKind::kDensityPeaks),
+                   0.98);  // IR / DP+slsRBM
+  EXPECT_DOUBLE_EQ(PaperValue(PaperTable::kTable7AccuracyUci, 3,
+                              Variant::kPlain, ClustererKind::kDensityPeaks),
+                   0.8056);  // SC / DP+RBM
+}
+
+// The paper's own "Average" rows must match the mean of the embedded cells
+// (to rounding): guards against transcription slips.
+TEST(PaperReferenceTest, AveragesConsistentWithCells) {
+  struct Expected {
+    PaperTable table;
+    Variant variant;
+    ClustererKind clusterer;
+    double printed_average;
+  };
+  const Expected cases[] = {
+      {PaperTable::kTable4AccuracyMsra, Variant::kRaw,
+       ClustererKind::kDensityPeaks, 0.4779},
+      {PaperTable::kTable4AccuracyMsra, Variant::kSls,
+       ClustererKind::kKMeans, 0.5255},
+      {PaperTable::kTable5PurityMsra, Variant::kSls,
+       ClustererKind::kDensityPeaks, 0.8603},
+      {PaperTable::kTable6FmiMsra, Variant::kSls, ClustererKind::kKMeans,
+       0.5306},
+      {PaperTable::kTable7AccuracyUci, Variant::kSls,
+       ClustererKind::kDensityPeaks, 0.7757},
+      {PaperTable::kTable8RandUci, Variant::kRaw, ClustererKind::kKMeans,
+       0.6077},
+      {PaperTable::kTable9FmiUci, Variant::kPlain,
+       ClustererKind::kAffinityProp, 0.6338},
+  };
+  for (const auto& c : cases) {
+    EXPECT_NEAR(PaperAverage(c.table, c.variant, c.clusterer),
+                c.printed_average, 6e-4)
+        << PaperTableTitle(c.table);
+  }
+}
+
+// The paper's central claims hold inside the embedded data: sls beats raw
+// and plain on every family average.
+TEST(PaperReferenceTest, EmbeddedDataSupportsHeadlineClaims) {
+  for (PaperTable table : kAllTables) {
+    for (int c = 0; c < kNumClusterers; ++c) {
+      const auto kind = static_cast<ClustererKind>(c);
+      const double raw = PaperAverage(table, Variant::kRaw, kind);
+      const double plain = PaperAverage(table, Variant::kPlain, kind);
+      const double sls = PaperAverage(table, Variant::kSls, kind);
+      EXPECT_GT(sls, raw) << PaperTableTitle(table) << " "
+                          << ClustererKindName(kind);
+      EXPECT_GT(sls, plain) << PaperTableTitle(table) << " "
+                            << ClustererKindName(kind);
+    }
+  }
+}
+
+TEST(PaperReferenceTest, DatasetNamesMatchTables) {
+  const auto& msra = PaperTableDatasetNames(PaperTable::kTable4AccuracyMsra);
+  ASSERT_EQ(msra.size(), 9u);
+  EXPECT_EQ(msra.front(), "BO");
+  EXPECT_EQ(msra.back(), "VT");
+  const auto& uci = PaperTableDatasetNames(PaperTable::kTable8RandUci);
+  ASSERT_EQ(uci.size(), 6u);
+  EXPECT_EQ(uci.front(), "HS");
+  EXPECT_EQ(uci.back(), "IR");
+}
+
+TEST(PaperReferenceTest, MetricNamesRoundTrip) {
+  EXPECT_EQ(PaperTableMetric(PaperTable::kTable4AccuracyMsra), "accuracy");
+  EXPECT_EQ(PaperTableMetric(PaperTable::kTable5PurityMsra), "purity");
+  EXPECT_EQ(PaperTableMetric(PaperTable::kTable8RandUci), "rand");
+  EXPECT_EQ(PaperTableMetric(PaperTable::kTable9FmiUci), "fmi");
+}
+
+TEST(PaperReferenceDeathTest, RowOutOfRangeAborts) {
+  EXPECT_DEATH(PaperValue(PaperTable::kTable7AccuracyUci, 6, Variant::kRaw,
+                          ClustererKind::kKMeans),
+               "CHECK failed");
+}
+
+}  // namespace
+}  // namespace mcirbm::eval

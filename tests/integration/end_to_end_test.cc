@@ -1,0 +1,103 @@
+// Integration tests: the full paper pipeline on miniature versions of both
+// dataset families, asserting the qualitative claims end to end.
+#include <gtest/gtest.h>
+
+#include "data/paper_datasets.h"
+#include "data/synthetic.h"
+#include "eval/experiment.h"
+#include "eval/report.h"
+
+namespace mcirbm::eval {
+namespace {
+
+ExperimentConfig MiniConfig(bool grbm) {
+  ExperimentConfig cfg = MakePaperConfig(grbm);
+  cfg.repeats = 2;
+  cfg.rbm.epochs = 12;
+  cfg.rbm.num_hidden = 16;
+  cfg.max_instances = 150;  // miniature for test runtime
+  return cfg;
+}
+
+data::Dataset MiniDataset(int classes, double separation,
+                          std::uint64_t seed) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "mini";
+  spec.num_classes = classes;
+  spec.num_instances = 120;
+  spec.num_features = 16;
+  spec.separation = separation;
+  spec.informative_fraction = 0.5;
+  spec.confusion_fraction = 0.1;
+  return data::GenerateGaussianMixture(spec, seed);
+}
+
+TEST(EndToEndTest, GrbmFamilySlsBeatsPlainOnModerateData) {
+  const auto result =
+      RunDatasetExperiment(MiniDataset(3, 3.0, 1), 1, MiniConfig(true));
+  // The robust per-dataset paper claim is sls over the plain encoder (raw
+  // vs sls is an average-level claim asserted by the bench binaries over
+  // the full families, not per miniature dataset).
+  const double plain =
+      result.cells[1][static_cast<int>(ClustererKind::kKMeans)]
+          .accuracy.mean;
+  const double sls =
+      result.cells[2][static_cast<int>(ClustererKind::kKMeans)]
+          .accuracy.mean;
+  EXPECT_GE(sls, plain - 0.05);
+}
+
+TEST(EndToEndTest, RbmFamilyPipelineProducesCoherentMetrics) {
+  const auto result =
+      RunDatasetExperiment(MiniDataset(2, 3.5, 2), 1, MiniConfig(false));
+  for (int v = 0; v < kNumVariants; ++v) {
+    for (int c = 0; c < kNumClusterers; ++c) {
+      const auto& cell = result.cells[v][c];
+      // Coherence: purity >= accuracy, all in [0,1].
+      EXPECT_GE(cell.purity.mean + 1e-9, cell.accuracy.mean);
+      EXPECT_GE(cell.rand_index.mean, 0);
+      EXPECT_LE(cell.fmi.mean, 1);
+    }
+  }
+}
+
+TEST(EndToEndTest, SupervisionCoverageIsMeaningful) {
+  const auto easy =
+      RunDatasetExperiment(MiniDataset(2, 6.0, 3), 1, MiniConfig(true));
+  EXPECT_GT(easy.supervision_coverage, 0.5);
+  EXPECT_GT(easy.supervision_clusters, 0);
+}
+
+TEST(EndToEndTest, PaperDatasetGeneratorsFeedTheHarness) {
+  // One real (subsampled) paper dataset from each family through the whole
+  // harness: a smoke test of the exact bench code path.
+  ExperimentConfig grbm_cfg = MiniConfig(true);
+  grbm_cfg.max_instances = 120;
+  grbm_cfg.rbm.epochs = 6;
+  const auto msra = RunDatasetExperiment(data::GenerateMsraLike(0, 1), 1,
+                                         grbm_cfg);
+  EXPECT_FALSE(msra.dataset.empty());
+
+  ExperimentConfig rbm_cfg = MiniConfig(false);
+  rbm_cfg.max_instances = 120;
+  rbm_cfg.rbm.epochs = 6;
+  const auto uci = RunDatasetExperiment(data::GenerateUciLike(5, 1), 6,
+                                        rbm_cfg);
+  // Iris-like is easy: even in miniature, raw accuracy should be high.
+  EXPECT_GT(uci.cells[0][1].accuracy.mean, 0.7);
+}
+
+TEST(EndToEndTest, ShapeChecksRunOnRealResults) {
+  std::vector<DatasetExperimentResult> results;
+  results.push_back(
+      RunDatasetExperiment(MiniDataset(2, 3.0, 5), 1, MiniConfig(true)));
+  results.push_back(
+      RunDatasetExperiment(MiniDataset(3, 3.5, 6), 2, MiniConfig(true)));
+  const auto checks = EvaluateShapeChecks(results, "accuracy", true);
+  EXPECT_EQ(checks.size(), 6u);
+  // No assertion on pass/fail here (2 miniature datasets are noisy); the
+  // bench binaries assert on the full families.
+}
+
+}  // namespace
+}  // namespace mcirbm::eval

@@ -1,0 +1,156 @@
+#include "linalg/eigen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/ops.h"
+#include "rng/rng.h"
+
+namespace mcirbm::linalg {
+namespace {
+
+Matrix RandomSymmetric(std::size_t n, rng::Rng* rng) {
+  Matrix a(n, n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i; j < n; ++j) {
+      const double v = rng->Gaussian();
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+  }
+  return a;
+}
+
+// || A·V − V·diag(λ) ||_F, the defect of the decomposition.
+double ResidualNorm(const Matrix& a, const EigenDecomposition& eig) {
+  Matrix av = Gemm(a, eig.vectors);
+  Matrix vl = eig.vectors;
+  for (std::size_t i = 0; i < vl.rows(); ++i) {
+    for (std::size_t j = 0; j < vl.cols(); ++j) vl(i, j) *= eig.values[j];
+  }
+  return (av - vl).FrobeniusNorm();
+}
+
+TEST(JacobiEigenTest, DiagonalMatrixIsItsOwnDecomposition) {
+  Matrix a{{3, 0, 0}, {0, -1, 0}, {0, 0, 7}};
+  const EigenDecomposition eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.converged);
+  ASSERT_EQ(eig.values.size(), 3u);
+  EXPECT_NEAR(eig.values[0], 7, 1e-12);
+  EXPECT_NEAR(eig.values[1], 3, 1e-12);
+  EXPECT_NEAR(eig.values[2], -1, 1e-12);
+}
+
+TEST(JacobiEigenTest, KnownTwoByTwo) {
+  // Eigenvalues of [[2,1],[1,2]] are 3 and 1.
+  Matrix a{{2, 1}, {1, 2}};
+  const EigenDecomposition eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.converged);
+  EXPECT_NEAR(eig.values[0], 3, 1e-12);
+  EXPECT_NEAR(eig.values[1], 1, 1e-12);
+  // Leading eigenvector is (1,1)/sqrt(2) up to sign.
+  const double inv_sqrt2 = 1.0 / std::sqrt(2.0);
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), inv_sqrt2, 1e-12);
+  EXPECT_NEAR(std::abs(eig.vectors(1, 0)), inv_sqrt2, 1e-12);
+}
+
+TEST(JacobiEigenTest, EmptyMatrix) {
+  const EigenDecomposition eig = JacobiEigenSymmetric(Matrix());
+  EXPECT_TRUE(eig.converged);
+  EXPECT_TRUE(eig.values.empty());
+}
+
+TEST(JacobiEigenTest, OneByOne) {
+  Matrix a{{-4.5}};
+  const EigenDecomposition eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.converged);
+  EXPECT_NEAR(eig.values[0], -4.5, 1e-15);
+  EXPECT_NEAR(std::abs(eig.vectors(0, 0)), 1.0, 1e-15);
+}
+
+TEST(JacobiEigenTest, ValuesSortedDescending) {
+  rng::Rng rng(11);
+  const Matrix a = RandomSymmetric(12, &rng);
+  const EigenDecomposition eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.converged);
+  EXPECT_TRUE(std::is_sorted(eig.values.rbegin(), eig.values.rend()));
+}
+
+TEST(JacobiEigenTest, TraceEqualsEigenvalueSum) {
+  rng::Rng rng(5);
+  const Matrix a = RandomSymmetric(9, &rng);
+  const EigenDecomposition eig = JacobiEigenSymmetric(a);
+  double trace = 0;
+  for (std::size_t i = 0; i < a.rows(); ++i) trace += a(i, i);
+  double sum = 0;
+  for (double v : eig.values) sum += v;
+  EXPECT_NEAR(trace, sum, 1e-9);
+}
+
+class JacobiPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(JacobiPropertyTest, ReconstructsInput) {
+  rng::Rng rng(100 + GetParam());
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 17;
+  const Matrix a = RandomSymmetric(n, &rng);
+  const EigenDecomposition eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.converged);
+  EXPECT_LE(ResidualNorm(a, eig), 1e-9 * std::max(1.0, a.FrobeniusNorm()));
+}
+
+TEST_P(JacobiPropertyTest, EigenvectorsAreOrthonormal) {
+  rng::Rng rng(200 + GetParam());
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 17;
+  const Matrix a = RandomSymmetric(n, &rng);
+  const EigenDecomposition eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.converged);
+  const Matrix gram = GemmTransA(eig.vectors, eig.vectors);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(gram(i, j), i == j ? 1.0 : 0.0, 1e-10)
+          << "gram(" << i << "," << j << ")";
+    }
+  }
+}
+
+TEST_P(JacobiPropertyTest, PsdMatrixHasNonNegativeEigenvalues) {
+  rng::Rng rng(300 + GetParam());
+  const std::size_t n = 2 + static_cast<std::size_t>(GetParam()) % 11;
+  // B·Bᵀ is PSD by construction.
+  Matrix b(n, n + 2);
+  for (std::size_t i = 0; i < b.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) b(i, j) = rng.Gaussian();
+  }
+  const Matrix a = GemmTransB(b, b);
+  const EigenDecomposition eig = JacobiEigenSymmetric(a);
+  ASSERT_TRUE(eig.converged);
+  for (double v : eig.values) EXPECT_GE(v, -1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, JacobiPropertyTest, ::testing::Range(0, 10));
+
+TEST(TopEigenvectorsTest, SelectsLeadingColumns) {
+  Matrix a{{5, 0, 0}, {0, 2, 0}, {0, 0, 1}};
+  const EigenDecomposition eig = JacobiEigenSymmetric(a);
+  const Matrix top = TopEigenvectors(eig, 2);
+  EXPECT_EQ(top.rows(), 3u);
+  EXPECT_EQ(top.cols(), 2u);
+  // Leading direction corresponds to eigenvalue 5 -> e1.
+  EXPECT_NEAR(std::abs(top(0, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(top(1, 1)), 1.0, 1e-12);
+}
+
+TEST(BottomEigenvectorsTest, AscendingOrder) {
+  Matrix a{{5, 0, 0}, {0, 2, 0}, {0, 0, 1}};
+  const EigenDecomposition eig = JacobiEigenSymmetric(a);
+  const Matrix bottom = BottomEigenvectors(eig, 2);
+  // First column must be the eigenvalue-1 direction (e3), second the
+  // eigenvalue-2 direction (e2).
+  EXPECT_NEAR(std::abs(bottom(2, 0)), 1.0, 1e-12);
+  EXPECT_NEAR(std::abs(bottom(1, 1)), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mcirbm::linalg

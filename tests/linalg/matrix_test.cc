@@ -1,0 +1,159 @@
+#include "linalg/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace mcirbm::linalg {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, ZeroInitialized) {
+  Matrix m(2, 3);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_EQ(m(r, c), 0.0);
+  }
+}
+
+TEST(MatrixTest, ValueConstructor) {
+  Matrix m(2, 2, 7.5);
+  EXPECT_EQ(m(1, 1), 7.5);
+}
+
+TEST(MatrixTest, InitializerList) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m(1, 2), 6);
+}
+
+TEST(MatrixTest, RowSpanIsWritable) {
+  Matrix m(2, 3);
+  auto row = m.Row(1);
+  row[2] = 9;
+  EXPECT_EQ(m(1, 2), 9);
+}
+
+TEST(MatrixTest, FillSetsAll) {
+  Matrix m(3, 3);
+  m.Fill(2.0);
+  EXPECT_EQ(m.Sum(), 18.0);
+}
+
+TEST(MatrixTest, ResizeZeroesContent) {
+  Matrix m(2, 2, 5.0);
+  m.Resize(3, 1);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 1u);
+  EXPECT_EQ(m.Sum(), 0.0);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 0), 3);
+  EXPECT_EQ(t(0, 1), 4);
+}
+
+TEST(MatrixTest, DoubleTransposeIsIdentity) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_TRUE(m.Transposed().Transposed().AllClose(m, 0));
+}
+
+TEST(MatrixTest, SelectRowsPicksInOrder) {
+  Matrix m{{1, 1}, {2, 2}, {3, 3}};
+  Matrix s = m.SelectRows(std::vector<std::size_t>{2, 0});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s(0, 0), 3);
+  EXPECT_EQ(s(1, 0), 1);
+}
+
+TEST(MatrixTest, SelectRowsIntOverload) {
+  Matrix m{{1, 1}, {2, 2}};
+  Matrix s = m.SelectRows(std::vector<int>{1, 1});
+  EXPECT_EQ(s.rows(), 2u);
+  EXPECT_EQ(s(0, 1), 2);
+  EXPECT_EQ(s(1, 1), 2);
+}
+
+TEST(MatrixTest, ElementwiseAddSub) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  Matrix sum = a + b;
+  Matrix diff = a - b;
+  EXPECT_EQ(sum(0, 0), 5);
+  EXPECT_EQ(sum(1, 1), 5);
+  EXPECT_EQ(diff(0, 0), -3);
+  EXPECT_EQ(diff(1, 1), 3);
+}
+
+TEST(MatrixTest, ScalarMultiply) {
+  Matrix a{{1, -2}};
+  Matrix b = 2.0 * a;
+  Matrix c = a * 0.5;
+  EXPECT_EQ(b(0, 1), -4);
+  EXPECT_EQ(c(0, 0), 0.5);
+}
+
+TEST(MatrixTest, HadamardInPlace) {
+  Matrix a{{2, 3}};
+  Matrix b{{4, 5}};
+  a.HadamardInPlace(b);
+  EXPECT_EQ(a(0, 0), 8);
+  EXPECT_EQ(a(0, 1), 15);
+}
+
+TEST(MatrixTest, Axpy) {
+  Matrix a{{1, 1}};
+  Matrix b{{2, 4}};
+  a.Axpy(0.5, b);
+  EXPECT_EQ(a(0, 0), 2);
+  EXPECT_EQ(a(0, 1), 3);
+}
+
+TEST(MatrixTest, FrobeniusNorm) {
+  Matrix m{{3, 4}};
+  EXPECT_DOUBLE_EQ(m.FrobeniusNorm(), 5.0);
+}
+
+TEST(MatrixTest, MaxAbs) {
+  Matrix m{{-7, 3}, {2, 5}};
+  EXPECT_EQ(m.MaxAbs(), 7);
+}
+
+TEST(MatrixTest, AllCloseRespectsTolerance) {
+  Matrix a{{1.0, 2.0}};
+  Matrix b{{1.0 + 1e-10, 2.0}};
+  EXPECT_TRUE(a.AllClose(b, 1e-9));
+  EXPECT_FALSE(a.AllClose(b, 1e-11));
+}
+
+TEST(MatrixTest, AllCloseShapeMismatchIsFalse) {
+  Matrix a(1, 2), b(2, 1);
+  EXPECT_FALSE(a.AllClose(b, 1.0));
+}
+
+TEST(MatrixTest, ToStringTruncates) {
+  Matrix m(10, 20, 1.0);
+  const std::string s = m.ToString(2, 3);
+  EXPECT_NE(s.find("10x20"), std::string::npos);
+  EXPECT_NE(s.find("..."), std::string::npos);
+}
+
+TEST(MatrixDeathTest, RaggedInitializerAborts) {
+  EXPECT_DEATH((Matrix{{1, 2}, {3}}), "ragged");
+}
+
+TEST(MatrixDeathTest, ShapeMismatchAddAborts) {
+  Matrix a(1, 2), b(2, 2);
+  EXPECT_DEATH(a += b, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace mcirbm::linalg

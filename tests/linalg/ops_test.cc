@@ -1,0 +1,213 @@
+#include "linalg/ops.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "rng/rng.h"
+
+namespace mcirbm::linalg {
+namespace {
+
+Matrix RandomMatrix(std::size_t r, std::size_t c, rng::Rng* rng) {
+  Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Gaussian();
+  return m;
+}
+
+// Reference O(mnk) GEMM with no blocking, used as ground truth.
+Matrix NaiveGemm(const Matrix& a, const Matrix& b) {
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t j = 0; j < b.cols(); ++j) {
+      double s = 0;
+      for (std::size_t p = 0; p < a.cols(); ++p) s += a(i, p) * b(p, j);
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+TEST(GemmTest, SmallKnownProduct) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{5, 6}, {7, 8}};
+  Matrix c = Gemm(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50);
+}
+
+TEST(GemmTest, IdentityIsNeutral) {
+  rng::Rng rng(1);
+  Matrix a = RandomMatrix(5, 5, &rng);
+  Matrix id(5, 5);
+  for (int i = 0; i < 5; ++i) id(i, i) = 1;
+  EXPECT_TRUE(Gemm(a, id).AllClose(a, 1e-12));
+  EXPECT_TRUE(Gemm(id, a).AllClose(a, 1e-12));
+}
+
+// Property sweep: blocked GEMM variants agree with the naive reference
+// across awkward shapes (non-multiples of the block size, thin, wide).
+class GemmShapeTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapeTest, MatchesNaiveReference) {
+  const auto [m, k, n] = GetParam();
+  rng::Rng rng(1000 + m * 97 + k * 13 + n);
+  Matrix a = RandomMatrix(m, k, &rng);
+  Matrix b = RandomMatrix(k, n, &rng);
+  EXPECT_TRUE(Gemm(a, b).AllClose(NaiveGemm(a, b), 1e-9));
+}
+
+TEST_P(GemmShapeTest, TransAMatchesExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  rng::Rng rng(2000 + m * 97 + k * 13 + n);
+  Matrix a = RandomMatrix(k, m, &rng);  // will be transposed
+  Matrix b = RandomMatrix(k, n, &rng);
+  EXPECT_TRUE(
+      GemmTransA(a, b).AllClose(NaiveGemm(a.Transposed(), b), 1e-9));
+}
+
+TEST_P(GemmShapeTest, TransBMatchesExplicitTranspose) {
+  const auto [m, k, n] = GetParam();
+  rng::Rng rng(3000 + m * 97 + k * 13 + n);
+  Matrix a = RandomMatrix(m, k, &rng);
+  Matrix b = RandomMatrix(n, k, &rng);  // will be transposed
+  EXPECT_TRUE(
+      GemmTransB(a, b).AllClose(NaiveGemm(a, b.Transposed()), 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmShapeTest,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(3, 5, 2),
+                      std::make_tuple(7, 64, 9), std::make_tuple(65, 3, 64),
+                      std::make_tuple(64, 64, 64),
+                      std::make_tuple(100, 17, 65),
+                      std::make_tuple(2, 129, 1)));
+
+TEST(AccumulateGemmTransATest, AddsScaledProduct) {
+  rng::Rng rng(4);
+  Matrix a = RandomMatrix(6, 3, &rng);
+  Matrix b = RandomMatrix(6, 4, &rng);
+  Matrix out(3, 4, 1.0);
+  AccumulateGemmTransA(2.0, a, b, &out);
+  Matrix expected = NaiveGemm(a.Transposed(), b) * 2.0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    expected.data()[i] += 1.0;
+  }
+  EXPECT_TRUE(out.AllClose(expected, 1e-9));
+}
+
+TEST(MatVecTest, MatchesGemm) {
+  rng::Rng rng(5);
+  Matrix a = RandomMatrix(4, 3, &rng);
+  std::vector<double> x = {1, -2, 0.5};
+  const auto y = MatVec(a, x);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_NEAR(y[i], a(i, 0) - 2 * a(i, 1) + 0.5 * a(i, 2), 1e-12);
+  }
+}
+
+TEST(MatTVecTest, MatchesTransposedMatVec) {
+  rng::Rng rng(6);
+  Matrix a = RandomMatrix(4, 3, &rng);
+  std::vector<double> x = {1, 2, 3, 4};
+  const auto y = MatTVec(a, x);
+  const auto ref = MatVec(a.Transposed(), x);
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(y[j], ref[j], 1e-12);
+}
+
+TEST(AddRowVectorTest, AddsToEveryRow) {
+  Matrix m(2, 3, 1.0);
+  AddRowVector(&m, {1, 2, 3});
+  EXPECT_EQ(m(0, 0), 2);
+  EXPECT_EQ(m(1, 2), 4);
+}
+
+TEST(ReductionTest, ColSumsMeansRowSums) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  const auto cs = ColSums(m);
+  EXPECT_DOUBLE_EQ(cs[0], 9);
+  EXPECT_DOUBLE_EQ(cs[1], 12);
+  const auto cm = ColMeans(m);
+  EXPECT_DOUBLE_EQ(cm[0], 3);
+  const auto rs = RowSums(m);
+  EXPECT_DOUBLE_EQ(rs[2], 11);
+}
+
+TEST(SigmoidTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(Sigmoid(0), 0.5);
+  EXPECT_NEAR(Sigmoid(2), 1.0 / (1.0 + std::exp(-2)), 1e-15);
+}
+
+TEST(SigmoidTest, StableAtExtremes) {
+  EXPECT_NEAR(Sigmoid(1000), 1.0, 1e-12);
+  EXPECT_NEAR(Sigmoid(-1000), 0.0, 1e-12);
+  EXPECT_FALSE(std::isnan(Sigmoid(-1e308)));
+}
+
+TEST(SigmoidTest, SymmetryProperty) {
+  for (double x : {0.1, 0.7, 3.0, 17.0}) {
+    EXPECT_NEAR(Sigmoid(x) + Sigmoid(-x), 1.0, 1e-12);
+  }
+}
+
+TEST(SigmoidInPlaceTest, MapsWholeMatrix) {
+  Matrix m{{0, 100}, {-100, 0}};
+  SigmoidInPlace(&m);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.5);
+  EXPECT_NEAR(m(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(m(1, 0), 0.0, 1e-12);
+}
+
+TEST(SigmoidDerivTest, MatchesFormula) {
+  Matrix a{{0.2, 0.5, 0.9}};
+  Matrix d = SigmoidDeriv(a);
+  EXPECT_NEAR(d(0, 0), 0.16, 1e-12);
+  EXPECT_NEAR(d(0, 1), 0.25, 1e-12);
+  EXPECT_NEAR(d(0, 2), 0.09, 1e-12);
+}
+
+TEST(SquaredDistanceTest, BasicAndZero) {
+  std::vector<double> a = {1, 2}, b = {4, 6};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25);
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, a), 0);
+}
+
+TEST(PairwiseSquaredDistancesTest, MatchesDirectComputation) {
+  rng::Rng rng(7);
+  Matrix m = RandomMatrix(10, 5, &rng);
+  Matrix d = PairwiseSquaredDistances(m);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(d(i, i), 0.0);
+    for (std::size_t j = 0; j < 10; ++j) {
+      EXPECT_NEAR(d(i, j), SquaredDistance(m.Row(i), m.Row(j)), 1e-8);
+      EXPECT_DOUBLE_EQ(d(i, j), d(j, i));
+    }
+  }
+}
+
+TEST(PairwiseSquaredDistancesTest, NonNegativeUnderCancellation) {
+  // Nearly identical rows exercise the numeric guard against negative
+  // values from the |a|²+|b|²−2ab expansion.
+  Matrix m(2, 3, 1e8);
+  m(1, 2) += 1e-4;
+  Matrix d = PairwiseSquaredDistances(m);
+  EXPECT_GE(d(0, 1), 0.0);
+}
+
+TEST(DotTest, Basic) {
+  std::vector<double> a = {1, 2, 3}, b = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(Dot(a, b), 32);
+}
+
+TEST(ApplyTest, ElementwiseMap) {
+  Matrix m{{1, 4}, {9, 16}};
+  Apply(&m, [](double v) { return std::sqrt(v); });
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+}
+
+}  // namespace
+}  // namespace mcirbm::linalg

@@ -1,0 +1,150 @@
+#include "linalg/pca.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/ops.h"
+#include "linalg/stats.h"
+#include "rng/rng.h"
+
+namespace mcirbm::linalg {
+namespace {
+
+// n points on a noisy line y = 2x in 2-D: one dominant direction.
+Matrix LineData(std::size_t n, double noise, rng::Rng* rng) {
+  Matrix x(n, 2);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = rng->Gaussian();
+    x(i, 0) = t + noise * rng->Gaussian();
+    x(i, 1) = 2 * t + noise * rng->Gaussian();
+  }
+  return x;
+}
+
+TEST(PcaTest, RecoversDominantDirection) {
+  rng::Rng rng(7);
+  const Matrix x = LineData(400, 0.01, &rng);
+  const Pca pca = Pca::Fit(x, {.num_components = 2});
+  // First component ∝ (1,2)/sqrt(5) up to sign.
+  const double c0 = pca.components()(0, 0);
+  const double c1 = pca.components()(1, 0);
+  EXPECT_NEAR(std::abs(c1 / c0), 2.0, 0.05);
+  // Nearly all variance on the first component.
+  const auto ratio = pca.ExplainedVarianceRatio();
+  EXPECT_GT(ratio[0], 0.99);
+}
+
+TEST(PcaTest, TransformThenInverseIsIdentityWithFullRank) {
+  rng::Rng rng(13);
+  Matrix x(50, 4);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) x(i, j) = rng.Gaussian();
+  }
+  const Pca pca = Pca::Fit(x, {.num_components = 4});
+  const Matrix restored = pca.InverseTransform(pca.Transform(x));
+  EXPECT_TRUE(restored.AllClose(x, 1e-8));
+}
+
+TEST(PcaTest, WhitenedOutputHasUnitVariance) {
+  rng::Rng rng(29);
+  const Matrix x = LineData(600, 0.5, &rng);
+  const Pca pca = Pca::Fit(x, {.num_components = 2, .whiten = true});
+  const Matrix z = pca.Transform(x);
+  const ColumnStats stats = ComputeColumnStats(z);
+  for (std::size_t j = 0; j < 2; ++j) {
+    EXPECT_NEAR(stats.mean[j], 0.0, 1e-9);
+    EXPECT_NEAR(stats.stddev[j], 1.0, 0.05) << "component " << j;
+  }
+}
+
+TEST(PcaTest, WhitenedInverseRoundTrips) {
+  rng::Rng rng(31);
+  const Matrix x = LineData(100, 0.5, &rng);
+  const Pca pca = Pca::Fit(x, {.num_components = 2, .whiten = true});
+  const Matrix restored = pca.InverseTransform(pca.Transform(x));
+  EXPECT_TRUE(restored.AllClose(x, 1e-5));
+}
+
+TEST(PcaTest, ProjectedCoordinatesAreUncorrelated) {
+  rng::Rng rng(17);
+  Matrix x(300, 3);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double a = rng.Gaussian();
+    const double b = rng.Gaussian();
+    x(i, 0) = a;
+    x(i, 1) = a + 0.3 * b;
+    x(i, 2) = b;
+  }
+  const Pca pca = Pca::Fit(x);
+  const Matrix z = pca.Transform(x);
+  // Covariance of the projection must be diagonal.
+  const std::size_t n = z.rows();
+  Matrix centered = z;
+  const auto means = ColMeans(z);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto row = centered.Row(i);
+    for (std::size_t j = 0; j < row.size(); ++j) row[j] -= means[j];
+  }
+  Matrix cov = GemmTransA(centered, centered);
+  cov *= 1.0 / static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < cov.rows(); ++i) {
+    for (std::size_t j = 0; j < cov.cols(); ++j) {
+      if (i != j) EXPECT_NEAR(cov(i, j), 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(PcaTest, ExplainedVarianceMatchesColumnVariance) {
+  rng::Rng rng(23);
+  // Axis-aligned data: variances 9 and 1, components are the axes.
+  Matrix x(500, 2);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    x(i, 0) = rng.Gaussian(0, 3);
+    x(i, 1) = rng.Gaussian(0, 1);
+  }
+  const Pca pca = Pca::Fit(x);
+  EXPECT_NEAR(pca.explained_variance()[0], 9.0, 1.2);
+  EXPECT_NEAR(pca.explained_variance()[1], 1.0, 0.2);
+}
+
+TEST(PcaTest, ComponentsForVarianceThreshold) {
+  rng::Rng rng(41);
+  const Matrix x = LineData(300, 0.05, &rng);
+  const Pca pca = Pca::Fit(x);
+  EXPECT_EQ(pca.ComponentsForVariance(0.9), 1u);
+  EXPECT_EQ(pca.ComponentsForVariance(1.0), 2u);
+  EXPECT_EQ(pca.ComponentsForVariance(0.0), 1u);
+}
+
+TEST(PcaTest, DefaultComponentCountIsMinRankBound) {
+  rng::Rng rng(43);
+  Matrix x(5, 8);  // n-1 = 4 < d = 8.
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) x(i, j) = rng.Gaussian();
+  }
+  const Pca pca = Pca::Fit(x);
+  EXPECT_EQ(pca.num_components(), 4u);
+}
+
+TEST(PcaTest, TruncatedReconstructionReducesError) {
+  rng::Rng rng(47);
+  const Matrix x = LineData(200, 0.3, &rng);
+  const Pca one = Pca::Fit(x, {.num_components = 1});
+  const Matrix restored = one.InverseTransform(one.Transform(x));
+  // The rank-1 reconstruction keeps most of the energy of centered data.
+  const auto means = ColMeans(x);
+  double total = 0, residual = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    for (std::size_t j = 0; j < x.cols(); ++j) {
+      const double c = x(i, j) - means[j];
+      total += c * c;
+      const double r = x(i, j) - restored(i, j);
+      residual += r * r;
+    }
+  }
+  EXPECT_LT(residual, 0.2 * total);
+}
+
+}  // namespace
+}  // namespace mcirbm::linalg

@@ -1,0 +1,144 @@
+// Tests for the extended external metrics: Jaccard, homogeneity,
+// completeness, V-measure. The paper metrics are covered in
+// external_test.cc; here we pin the extensions' known values and
+// invariants.
+#include <gtest/gtest.h>
+
+#include "metrics/external.h"
+#include "rng/rng.h"
+
+namespace mcirbm::metrics {
+namespace {
+
+TEST(JaccardTest, IdenticalPartitionsScoreOne) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(JaccardIndex(a, a), 1.0);
+}
+
+TEST(JaccardTest, LabelPermutationInvariant) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> pred = {2, 2, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(JaccardIndex(truth, pred), 1.0);
+}
+
+TEST(JaccardTest, DisjointPairStructureScoresZero) {
+  // truth groups {0,1},{2,3}; pred groups {0,2},{1,3}: no common pair.
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> pred = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(JaccardIndex(truth, pred), 0.0);
+}
+
+TEST(JaccardTest, KnownHandComputedValue) {
+  // truth {0,1,2} vs pred {0,1},{2}: TP pairs = C(2,2)=1 among {0,1}.
+  // truth has all three together: truth pairs = 3. pred pairs = 1.
+  // TP=1, FN=2, FP=0 -> J = 1/3.
+  const std::vector<int> truth = {0, 0, 0};
+  const std::vector<int> pred = {0, 0, 1};
+  EXPECT_NEAR(JaccardIndex(truth, pred), 1.0 / 3.0, 1e-12);
+}
+
+TEST(JaccardTest, AllSingletonsBothSidesIsTrivialMatch) {
+  const std::vector<int> truth = {0, 1, 2, 3};
+  const std::vector<int> pred = {3, 2, 1, 0};
+  EXPECT_DOUBLE_EQ(JaccardIndex(truth, pred), 1.0);
+}
+
+TEST(HomogeneityTest, PureClustersScoreOne) {
+  // Each cluster holds one class (over-segmented truth is fine).
+  const std::vector<int> truth = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> pred = {0, 0, 1, 2, 2, 3};
+  EXPECT_NEAR(Homogeneity(truth, pred), 1.0, 1e-12);
+}
+
+TEST(HomogeneityTest, MixedClusterScoresBelowOne) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> pred = {0, 0, 0, 0};
+  EXPECT_LT(Homogeneity(truth, pred), 0.01);
+}
+
+TEST(CompletenessTest, OneClusterPerClassScoresOne) {
+  // Each class lands in a single cluster (under-segmentation is fine).
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> pred = {0, 0, 0, 0, 1, 1};
+  EXPECT_NEAR(Completeness(truth, pred), 1.0, 1e-12);
+}
+
+TEST(CompletenessTest, SplitClassScoresBelowOne) {
+  const std::vector<int> truth = {0, 0, 0, 0};
+  const std::vector<int> pred = {0, 0, 1, 1};
+  EXPECT_LT(Completeness(truth, pred), 0.01);
+}
+
+TEST(VMeasureTest, PerfectPartitionScoresOne) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> pred = {1, 1, 2, 2, 0, 0};
+  EXPECT_NEAR(VMeasure(truth, pred), 1.0, 1e-12);
+}
+
+TEST(VMeasureTest, SymmetricInArguments) {
+  const std::vector<int> a = {0, 0, 1, 1, 2, 2, 0, 1};
+  const std::vector<int> b = {0, 1, 1, 1, 2, 0, 0, 2};
+  EXPECT_NEAR(VMeasure(a, b), VMeasure(b, a), 1e-12);
+}
+
+TEST(VMeasureTest, HarmonicMeanOfComponents) {
+  const std::vector<int> truth = {0, 0, 1, 1, 2, 2, 0, 1};
+  const std::vector<int> pred = {0, 1, 1, 1, 2, 0, 0, 2};
+  const double h = Homogeneity(truth, pred);
+  const double c = Completeness(truth, pred);
+  EXPECT_NEAR(VMeasure(truth, pred), 2 * h * c / (h + c), 1e-12);
+}
+
+TEST(VMeasureTest, TrivialSingleClassAndCluster) {
+  const std::vector<int> truth = {0, 0, 0};
+  const std::vector<int> pred = {0, 0, 0};
+  EXPECT_DOUBLE_EQ(Homogeneity(truth, pred), 1.0);
+  EXPECT_DOUBLE_EQ(Completeness(truth, pred), 1.0);
+  EXPECT_DOUBLE_EQ(VMeasure(truth, pred), 1.0);
+}
+
+// Random-partition properties: all extended metrics stay in bounds and
+// are invariant to relabeling.
+class ExternalExtraPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ExternalExtraPropertyTest, BoundsAndRelabelInvariance) {
+  rng::Rng rng(400 + GetParam());
+  const std::size_t n = 40;
+  std::vector<int> truth(n), pred(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    truth[i] = static_cast<int>(rng.UniformIndex(4));
+    pred[i] = static_cast<int>(rng.UniformIndex(3));
+  }
+  const double j = JaccardIndex(truth, pred);
+  const double h = Homogeneity(truth, pred);
+  const double c = Completeness(truth, pred);
+  const double v = VMeasure(truth, pred);
+  EXPECT_GE(j, 0.0);
+  EXPECT_LE(j, 1.0);
+  EXPECT_GE(h, -1e-12);
+  EXPECT_LE(h, 1.0 + 1e-12);
+  EXPECT_GE(c, -1e-12);
+  EXPECT_LE(c, 1.0 + 1e-12);
+  EXPECT_GE(v, -1e-12);
+  EXPECT_LE(v, 1.0 + 1e-12);
+
+  // Relabel pred ids (0<->2) — every metric must be unchanged.
+  std::vector<int> relabeled = pred;
+  for (auto& id : relabeled) {
+    if (id == 0) {
+      id = 2;
+    } else if (id == 2) {
+      id = 0;
+    }
+  }
+  EXPECT_NEAR(JaccardIndex(truth, relabeled), j, 1e-12);
+  EXPECT_NEAR(Homogeneity(truth, relabeled), h, 1e-12);
+  EXPECT_NEAR(Completeness(truth, relabeled), c, 1e-12);
+  EXPECT_NEAR(VMeasure(truth, relabeled), v, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExternalExtraPropertyTest,
+                         ::testing::Range(0, 8));
+
+}  // namespace
+}  // namespace mcirbm::metrics

@@ -1,0 +1,232 @@
+#include "metrics/external.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "rng/rng.h"
+
+namespace mcirbm::metrics {
+namespace {
+
+const std::vector<int> kTruth = {0, 0, 0, 1, 1, 1, 2, 2};
+
+TEST(AccuracyTest, PerfectClusteringIsOne) {
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(kTruth, kTruth), 1.0);
+}
+
+TEST(AccuracyTest, InvariantToClusterIdPermutation) {
+  const std::vector<int> relabeled = {2, 2, 2, 0, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(kTruth, relabeled), 1.0);
+}
+
+TEST(AccuracyTest, KnownPartialMatch) {
+  // One instance of class 0 lands in the class-1 cluster.
+  const std::vector<int> pred = {0, 0, 1, 1, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(kTruth, pred), 7.0 / 8.0);
+}
+
+TEST(AccuracyTest, SingleClusterGetsMajorityClassShare) {
+  const std::vector<int> pred(kTruth.size(), 0);
+  // Optimal map: the single cluster -> the largest class (size 3 of 8).
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(kTruth, pred), 3.0 / 8.0);
+}
+
+TEST(AccuracyTest, MoreClustersThanClassesUsesInjectiveMap) {
+  // Class 0 split into clusters 0 and 3: only one piece can map to it.
+  const std::vector<int> truth = {0, 0, 0, 0, 1, 1};
+  const std::vector<int> pred = {0, 0, 3, 3, 1, 1};
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(truth, pred), 4.0 / 6.0);
+}
+
+TEST(PurityTest, PerfectIsOne) {
+  EXPECT_DOUBLE_EQ(Purity(kTruth, kTruth), 1.0);
+}
+
+TEST(PurityTest, SingleClusterIsMajorityFraction) {
+  const std::vector<int> pred(kTruth.size(), 0);
+  EXPECT_DOUBLE_EQ(Purity(kTruth, pred), 3.0 / 8.0);
+}
+
+TEST(PurityTest, SingletonsGivePurityOne) {
+  std::vector<int> pred(kTruth.size());
+  for (std::size_t i = 0; i < pred.size(); ++i) pred[i] = static_cast<int>(i);
+  EXPECT_DOUBLE_EQ(Purity(kTruth, pred), 1.0);
+}
+
+TEST(PurityTest, AtLeastAccuracy) {
+  rng::Rng rng(3);
+  std::vector<int> pred(kTruth.size());
+  for (auto& p : pred) p = static_cast<int>(rng.UniformIndex(3));
+  EXPECT_GE(Purity(kTruth, pred) + 1e-12,
+            ClusteringAccuracy(kTruth, pred));
+}
+
+TEST(RandIndexTest, PerfectIsOne) {
+  EXPECT_DOUBLE_EQ(RandIndex(kTruth, kTruth), 1.0);
+}
+
+TEST(RandIndexTest, KnownSmallCase) {
+  // truth: {a,b | c}, pred: {a | b,c}
+  const std::vector<int> truth = {0, 0, 1};
+  const std::vector<int> pred = {0, 1, 1};
+  // Pairs: (a,b): same/diff; (a,c): diff/diff; (b,c): diff/same.
+  // Agreements: 1 of 3.
+  EXPECT_NEAR(RandIndex(truth, pred), 1.0 / 3.0, 1e-12);
+}
+
+TEST(RandIndexTest, SymmetricInArguments) {
+  const std::vector<int> a = {0, 0, 1, 1, 2};
+  const std::vector<int> b = {0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(RandIndex(a, b), RandIndex(b, a));
+}
+
+TEST(FmiTest, PerfectIsOne) {
+  EXPECT_DOUBLE_EQ(FowlkesMallows(kTruth, kTruth), 1.0);
+}
+
+TEST(FmiTest, KnownSmallCase) {
+  const std::vector<int> truth = {0, 0, 1, 1};
+  const std::vector<int> pred = {0, 1, 0, 1};
+  // TP=0 -> FMI = 0.
+  EXPECT_DOUBLE_EQ(FowlkesMallows(truth, pred), 0.0);
+}
+
+TEST(FmiTest, GeometricMeanOfPrecisionRecall) {
+  const std::vector<int> truth = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> pred = {0, 0, 1, 1, 1, 1};
+  // TP = C(2,2)+C(3,2) = 1+3 = 4; cluster pairs = C(2,2)+C(4,2)=1+6=7;
+  // class pairs = 3+3=6. FMI = sqrt(4/7 * 4/6).
+  EXPECT_NEAR(FowlkesMallows(truth, pred),
+              std::sqrt(4.0 / 7.0 * 4.0 / 6.0), 1e-12);
+}
+
+TEST(AriTest, PerfectIsOne) {
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(kTruth, kTruth), 1.0);
+}
+
+TEST(AriTest, RandomLabelingNearZero) {
+  rng::Rng rng(11);
+  const int n = 3000;
+  std::vector<int> truth(n), pred(n);
+  for (int i = 0; i < n; ++i) {
+    truth[i] = static_cast<int>(rng.UniformIndex(3));
+    pred[i] = static_cast<int>(rng.UniformIndex(3));
+  }
+  EXPECT_NEAR(AdjustedRandIndex(truth, pred), 0.0, 0.02);
+}
+
+TEST(NmiTest, PerfectIsOne) {
+  EXPECT_NEAR(NormalizedMutualInformation(kTruth, kTruth), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentPartitionsNearZero) {
+  rng::Rng rng(13);
+  const int n = 5000;
+  std::vector<int> truth(n), pred(n);
+  for (int i = 0; i < n; ++i) {
+    truth[i] = static_cast<int>(rng.UniformIndex(4));
+    pred[i] = static_cast<int>(rng.UniformIndex(4));
+  }
+  EXPECT_LT(NormalizedMutualInformation(truth, pred), 0.01);
+}
+
+TEST(MetricRangeTest, AllMetricsInExpectedRanges) {
+  rng::Rng rng(17);
+  for (int trial = 0; trial < 20; ++trial) {
+    std::vector<int> truth(50), pred(50);
+    for (int i = 0; i < 50; ++i) {
+      truth[i] = static_cast<int>(rng.UniformIndex(4));
+      pred[i] = static_cast<int>(rng.UniformIndex(1 + trial % 6));
+    }
+    const MetricBundle m = ComputeAll(truth, pred);
+    EXPECT_GE(m.accuracy, 0);
+    EXPECT_LE(m.accuracy, 1);
+    EXPECT_GE(m.purity, 0);
+    EXPECT_LE(m.purity, 1);
+    EXPECT_GE(m.rand_index, 0);
+    EXPECT_LE(m.rand_index, 1);
+    EXPECT_GE(m.fmi, 0);
+    EXPECT_LE(m.fmi, 1);
+    EXPECT_GE(m.ari, -1);
+    EXPECT_LE(m.ari, 1);
+    EXPECT_GE(m.nmi, 0);
+    EXPECT_LE(m.nmi, 1 + 1e-12);
+  }
+}
+
+TEST(MetricsTest, NonCompactIdsHandled) {
+  const std::vector<int> truth = {10, 10, 20, 20};
+  const std::vector<int> pred = {7, 7, 3, 3};
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(truth, pred), 1.0);
+  EXPECT_DOUBLE_EQ(RandIndex(truth, pred), 1.0);
+}
+
+TEST(MetricsDeathTest, SizeMismatchAborts) {
+  EXPECT_DEATH(ClusteringAccuracy({0, 1}, {0}), "CHECK failed");
+}
+
+TEST(MetricsDeathTest, EmptyInputAborts) {
+  EXPECT_DEATH(ClusteringAccuracy({}, {}), "CHECK failed");
+}
+
+
+// ---- Property sweep over random partitions ----
+
+class MetricPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MetricPropertyTest, PairMetricsAreSymmetric) {
+  rng::Rng rng(400 + GetParam());
+  std::vector<int> a(40), b(40);
+  for (int i = 0; i < 40; ++i) {
+    a[i] = static_cast<int>(rng.UniformIndex(3));
+    b[i] = static_cast<int>(rng.UniformIndex(4));
+  }
+  EXPECT_DOUBLE_EQ(RandIndex(a, b), RandIndex(b, a));
+  EXPECT_DOUBLE_EQ(FowlkesMallows(a, b), FowlkesMallows(b, a));
+  EXPECT_DOUBLE_EQ(AdjustedRandIndex(a, b), AdjustedRandIndex(b, a));
+  EXPECT_NEAR(NormalizedMutualInformation(a, b),
+              NormalizedMutualInformation(b, a), 1e-12);
+}
+
+TEST_P(MetricPropertyTest, RefiningAPartitionNeverLowersPurity) {
+  rng::Rng rng(500 + GetParam());
+  std::vector<int> truth(60), coarse(60), fine(60);
+  for (int i = 0; i < 60; ++i) {
+    truth[i] = static_cast<int>(rng.UniformIndex(3));
+    coarse[i] = static_cast<int>(rng.UniformIndex(3));
+    // fine = coarse split further by parity of the index.
+    fine[i] = coarse[i] * 2 + (i % 2);
+  }
+  EXPECT_GE(Purity(truth, fine) + 1e-12, Purity(truth, coarse));
+}
+
+TEST_P(MetricPropertyTest, AccuracyInvariantUnderConsistentRelabeling) {
+  rng::Rng rng(600 + GetParam());
+  std::vector<int> truth(50), pred(50), relabeled(50);
+  const int perm[4] = {2, 3, 1, 0};
+  for (int i = 0; i < 50; ++i) {
+    truth[i] = static_cast<int>(rng.UniformIndex(4));
+    pred[i] = static_cast<int>(rng.UniformIndex(4));
+    relabeled[i] = perm[pred[i]];
+  }
+  EXPECT_DOUBLE_EQ(ClusteringAccuracy(truth, pred),
+                   ClusteringAccuracy(truth, relabeled));
+  EXPECT_DOUBLE_EQ(Purity(truth, pred), Purity(truth, relabeled));
+  EXPECT_DOUBLE_EQ(RandIndex(truth, pred), RandIndex(truth, relabeled));
+}
+
+TEST_P(MetricPropertyTest, AccuracyNeverExceedsPurity) {
+  rng::Rng rng(700 + GetParam());
+  std::vector<int> truth(45), pred(45);
+  for (int i = 0; i < 45; ++i) {
+    truth[i] = static_cast<int>(rng.UniformIndex(3));
+    pred[i] = static_cast<int>(rng.UniformIndex(2 + GetParam() % 5));
+  }
+  EXPECT_LE(ClusteringAccuracy(truth, pred), Purity(truth, pred) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomPartitions, MetricPropertyTest,
+                         ::testing::Range(0, 10));
+}  // namespace
+}  // namespace mcirbm::metrics

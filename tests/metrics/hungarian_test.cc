@@ -1,0 +1,125 @@
+#include "metrics/hungarian.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "rng/rng.h"
+
+namespace mcirbm::metrics {
+namespace {
+
+double AssignmentWeight(const std::vector<std::vector<double>>& w,
+                        const std::vector<int>& match) {
+  double total = 0;
+  for (std::size_t r = 0; r < match.size(); ++r) {
+    if (match[r] >= 0) total += w[r][match[r]];
+  }
+  return total;
+}
+
+// Brute-force optimal assignment by permuting the smaller side.
+double BruteForceBest(const std::vector<std::vector<double>>& w) {
+  const int rows = static_cast<int>(w.size());
+  const int cols = static_cast<int>(w[0].size());
+  if (rows <= cols) {
+    std::vector<int> cols_perm(cols);
+    std::iota(cols_perm.begin(), cols_perm.end(), 0);
+    double best = -1e300;
+    do {
+      double total = 0;
+      for (int r = 0; r < rows; ++r) total += w[r][cols_perm[r]];
+      best = std::max(best, total);
+    } while (std::next_permutation(cols_perm.begin(), cols_perm.end()));
+    return best;
+  }
+  std::vector<int> rows_perm(rows);
+  std::iota(rows_perm.begin(), rows_perm.end(), 0);
+  double best = -1e300;
+  do {
+    double total = 0;
+    for (int c = 0; c < cols; ++c) total += w[rows_perm[c]][c];
+    best = std::max(best, total);
+  } while (std::next_permutation(rows_perm.begin(), rows_perm.end()));
+  return best;
+}
+
+TEST(HungarianTest, IdentityIsOptimalOnDiagonalMatrix) {
+  const std::vector<std::vector<double>> w = {
+      {10, 1, 1}, {1, 10, 1}, {1, 1, 10}};
+  const auto match = MaxWeightAssignment(w);
+  EXPECT_EQ(match, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(HungarianTest, AntiDiagonalOptimal) {
+  const std::vector<std::vector<double>> w = {{1, 9}, {9, 1}};
+  const auto match = MaxWeightAssignment(w);
+  EXPECT_EQ(match, (std::vector<int>{1, 0}));
+}
+
+TEST(HungarianTest, SingleCell) {
+  const auto match =
+      MaxWeightAssignment(std::vector<std::vector<double>>{{5.0}});
+  EXPECT_EQ(match, (std::vector<int>{0}));
+}
+
+TEST(HungarianTest, WideMatrixMatchesAllRows) {
+  const std::vector<std::vector<double>> w = {{1, 5, 2, 0},
+                                              {7, 1, 3, 2}};
+  const auto match = MaxWeightAssignment(w);
+  EXPECT_EQ(match[0], 1);
+  EXPECT_EQ(match[1], 0);
+}
+
+TEST(HungarianTest, TallMatrixLeavesRowsUnmatched) {
+  const std::vector<std::vector<double>> w = {{9, 0}, {8, 0}, {0, 7}};
+  const auto match = MaxWeightAssignment(w);
+  int unmatched = 0;
+  for (int m : match) unmatched += m < 0;
+  EXPECT_EQ(unmatched, 1);
+  EXPECT_NEAR(AssignmentWeight(w, match), 16, 1e-12);
+}
+
+TEST(HungarianTest, EachColumnUsedAtMostOnce) {
+  const std::vector<std::vector<double>> w = {
+      {5, 5, 5}, {5, 5, 5}, {5, 5, 5}};
+  const auto match = MaxWeightAssignment(w);
+  std::vector<int> used;
+  for (int m : match) {
+    if (m >= 0) used.push_back(m);
+  }
+  std::sort(used.begin(), used.end());
+  EXPECT_EQ(std::adjacent_find(used.begin(), used.end()), used.end());
+}
+
+TEST(HungarianTest, IntegerOverloadMatchesDouble) {
+  const std::vector<std::vector<int>> wi = {{3, 1}, {2, 4}};
+  const std::vector<std::vector<double>> wd = {{3, 1}, {2, 4}};
+  EXPECT_EQ(MaxWeightAssignment(wi), MaxWeightAssignment(wd));
+}
+
+// Property sweep: Hungarian equals brute force on random instances.
+class HungarianRandomTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(HungarianRandomTest, MatchesBruteForce) {
+  const auto [rows, cols, seed] = GetParam();
+  rng::Rng rng(seed);
+  std::vector<std::vector<double>> w(rows, std::vector<double>(cols));
+  for (auto& row : w) {
+    for (auto& cell : row) cell = rng.Uniform(0, 100);
+  }
+  const auto match = MaxWeightAssignment(w);
+  EXPECT_NEAR(AssignmentWeight(w, match), BruteForceBest(w), 1e-9)
+      << rows << "x" << cols << " seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomInstances, HungarianRandomTest,
+    ::testing::Combine(::testing::Values(2, 3, 5, 6),
+                       ::testing::Values(2, 4, 6),
+                       ::testing::Values(1, 2, 3)));
+
+}  // namespace
+}  // namespace mcirbm::metrics

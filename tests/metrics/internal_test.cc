@@ -1,0 +1,175 @@
+#include "metrics/internal.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/matrix.h"
+#include "rng/rng.h"
+
+namespace mcirbm::metrics {
+namespace {
+
+using linalg::Matrix;
+
+// Two well-separated 2-D blobs around (0,0) and (10,10).
+Matrix TwoBlobs(std::size_t per_blob, double spread, rng::Rng* rng,
+                std::vector<int>* labels) {
+  Matrix x(2 * per_blob, 2);
+  labels->assign(2 * per_blob, 0);
+  for (std::size_t i = 0; i < per_blob; ++i) {
+    x(i, 0) = rng->Gaussian(0, spread);
+    x(i, 1) = rng->Gaussian(0, spread);
+    (*labels)[i] = 0;
+    x(per_blob + i, 0) = rng->Gaussian(10, spread);
+    x(per_blob + i, 1) = rng->Gaussian(10, spread);
+    (*labels)[per_blob + i] = 1;
+  }
+  return x;
+}
+
+TEST(SilhouetteTest, PerfectSeparationIsNearOne) {
+  rng::Rng rng(3);
+  std::vector<int> labels;
+  const Matrix x = TwoBlobs(30, 0.1, &rng, &labels);
+  EXPECT_GT(SilhouetteScore(x, labels), 0.95);
+}
+
+TEST(SilhouetteTest, RandomAssignmentIsNearZeroOrNegative) {
+  rng::Rng rng(5);
+  std::vector<int> labels;
+  const Matrix x = TwoBlobs(40, 0.1, &rng, &labels);
+  std::vector<int> random(labels.size());
+  for (auto& v : random) v = static_cast<int>(rng.UniformIndex(2));
+  EXPECT_LT(SilhouetteScore(x, random), 0.2);
+}
+
+TEST(SilhouetteTest, IgnoresUnassignedInstances) {
+  rng::Rng rng(7);
+  std::vector<int> labels;
+  const Matrix x = TwoBlobs(20, 0.1, &rng, &labels);
+  std::vector<int> with_holes = labels;
+  // Park a few points mid-way and mark them unassigned; they must not
+  // drag the score down.
+  with_holes[0] = -1;
+  with_holes[25] = -1;
+  const double full = SilhouetteScore(x, labels);
+  const double holey = SilhouetteScore(x, with_holes);
+  EXPECT_NEAR(full, holey, 0.05);
+}
+
+TEST(SilhouetteTest, SingletonClusterContributesZero) {
+  Matrix x{{0, 0}, {0.1, 0}, {10, 10}};
+  const std::vector<int> a = {0, 0, 1};
+  // Points 0,1 have silhouette ~1, the singleton contributes 0.
+  EXPECT_NEAR(SilhouetteScore(x, a), 2.0 / 3.0, 0.01);
+}
+
+TEST(DaviesBouldinTest, TightSeparatedBlobsScoreLow) {
+  rng::Rng rng(11);
+  std::vector<int> labels;
+  const Matrix x = TwoBlobs(30, 0.1, &rng, &labels);
+  EXPECT_LT(DaviesBouldinIndex(x, labels), 0.1);
+}
+
+TEST(DaviesBouldinTest, WorseAssignmentScoresHigher) {
+  rng::Rng rng(13);
+  std::vector<int> labels;
+  const Matrix x = TwoBlobs(30, 0.5, &rng, &labels);
+  std::vector<int> shuffled = labels;
+  // Swap half of each blob: clusters now straddle both blobs.
+  for (std::size_t i = 0; i < 15; ++i) {
+    std::swap(shuffled[i], shuffled[30 + i]);
+  }
+  EXPECT_GT(DaviesBouldinIndex(x, shuffled),
+            DaviesBouldinIndex(x, labels) * 2);
+}
+
+TEST(CalinskiHarabaszTest, SeparationIncreasesScore) {
+  rng::Rng rng(17);
+  std::vector<int> labels_near, labels_far;
+  Matrix near(40, 2), far(40, 2);
+  for (std::size_t i = 0; i < 20; ++i) {
+    near(i, 0) = rng.Gaussian(0, 1);
+    near(i, 1) = rng.Gaussian(0, 1);
+    near(20 + i, 0) = rng.Gaussian(2, 1);
+    near(20 + i, 1) = rng.Gaussian(2, 1);
+    far(i, 0) = rng.Gaussian(0, 1);
+    far(i, 1) = rng.Gaussian(0, 1);
+    far(20 + i, 0) = rng.Gaussian(20, 1);
+    far(20 + i, 1) = rng.Gaussian(20, 1);
+  }
+  std::vector<int> labels(40, 0);
+  for (std::size_t i = 20; i < 40; ++i) labels[i] = 1;
+  EXPECT_GT(CalinskiHarabaszIndex(far, labels),
+            10 * CalinskiHarabaszIndex(near, labels));
+}
+
+TEST(SseTest, WithinPlusBetweenEqualsTotal) {
+  rng::Rng rng(19);
+  std::vector<int> labels;
+  const Matrix x = TwoBlobs(25, 1.0, &rng, &labels);
+  const double within = WithinClusterSse(x, labels);
+  const double between = BetweenClusterSse(x, labels);
+  // Total SSE around the global mean.
+  std::vector<double> mean(2, 0);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    mean[0] += x(i, 0);
+    mean[1] += x(i, 1);
+  }
+  mean[0] /= static_cast<double>(x.rows());
+  mean[1] /= static_cast<double>(x.rows());
+  double total = 0;
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    const double d0 = x(i, 0) - mean[0];
+    const double d1 = x(i, 1) - mean[1];
+    total += d0 * d0 + d1 * d1;
+  }
+  EXPECT_NEAR(within + between, total, 1e-6 * total);
+}
+
+TEST(SseTest, PerfectClusteringHasZeroWithin) {
+  Matrix x{{1, 1}, {1, 1}, {5, 5}};
+  const std::vector<int> a = {0, 0, 1};
+  EXPECT_NEAR(WithinClusterSse(x, a), 0.0, 1e-12);
+  EXPECT_GT(BetweenClusterSse(x, a), 0.0);
+}
+
+TEST(InternalBundleTest, AllFieldsPopulated) {
+  rng::Rng rng(23);
+  std::vector<int> labels;
+  const Matrix x = TwoBlobs(20, 0.2, &rng, &labels);
+  const InternalMetricBundle b = ComputeInternal(x, labels);
+  EXPECT_GT(b.silhouette, 0.9);
+  EXPECT_LT(b.davies_bouldin, 0.2);
+  EXPECT_GT(b.calinski_harabasz, 100);
+  EXPECT_GT(b.between_sse, b.within_sse);
+}
+
+// Property sweep: for k tight well-separated blobs the silhouette stays
+// high and CH grows with n.
+class InternalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(InternalPropertyTest, SeparatedBlobsScoreWell) {
+  const int k = GetParam();
+  rng::Rng rng(100 + k);
+  const std::size_t per = 15;
+  Matrix x(per * k, 2);
+  std::vector<int> labels(per * k);
+  for (int c = 0; c < k; ++c) {
+    for (std::size_t i = 0; i < per; ++i) {
+      const std::size_t r = c * per + i;
+      x(r, 0) = rng.Gaussian(c * 25.0, 0.3);
+      x(r, 1) = rng.Gaussian(0, 0.3);
+      labels[r] = c;
+    }
+  }
+  EXPECT_GT(SilhouetteScore(x, labels), 0.9) << "k=" << k;
+  EXPECT_LT(DaviesBouldinIndex(x, labels), 0.2) << "k=" << k;
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, InternalPropertyTest,
+                         ::testing::Values(2, 3, 4, 5, 7));
+
+}  // namespace
+}  // namespace mcirbm::metrics

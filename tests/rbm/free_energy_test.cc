@@ -1,0 +1,123 @@
+#include "rbm/free_energy.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "rbm/grbm.h"
+#include "rbm/rbm.h"
+#include "rng/rng.h"
+
+namespace mcirbm::rbm {
+namespace {
+
+// Bernoulli data with two template patterns.
+linalg::Matrix BinaryPatterns(std::size_t n, std::size_t nv, rng::Rng* rng) {
+  linalg::Matrix x(n, nv);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool left = i % 2 == 0;
+    for (std::size_t j = 0; j < nv; ++j) {
+      const double p = (left == (j < nv / 2)) ? 0.9 : 0.1;
+      x(i, j) = rng->Bernoulli(p) ? 1.0 : 0.0;
+    }
+  }
+  return x;
+}
+
+RbmConfig SmallConfig(int nv) {
+  RbmConfig c;
+  c.num_visible = nv;
+  c.num_hidden = 8;
+  c.learning_rate = 0.1;
+  c.epochs = 150;
+  c.batch_size = 10;
+  c.momentum = 0.0;
+  c.weight_decay = 0.0;
+  c.seed = 9;
+  return c;
+}
+
+TEST(FreeEnergyTest, UntrainedRbmFreeEnergyIsFinite) {
+  const Rbm model(SmallConfig(12));
+  rng::Rng rng(1);
+  const linalg::Matrix x = BinaryPatterns(10, 12, &rng);
+  for (std::size_t i = 0; i < x.rows(); ++i) {
+    EXPECT_TRUE(std::isfinite(model.FreeEnergy(x.Row(i))));
+  }
+}
+
+TEST(FreeEnergyTest, TrainingLowersDataFreeEnergyRelativeToNoise) {
+  rng::Rng rng(3);
+  const linalg::Matrix x = BinaryPatterns(80, 16, &rng);
+  // Uniform Bernoulli(0.5) noise as the reference distribution.
+  linalg::Matrix noise(80, 16);
+  for (std::size_t i = 0; i < noise.size(); ++i) {
+    noise.data()[i] = rng.Bernoulli(0.5) ? 1.0 : 0.0;
+  }
+  Rbm model(SmallConfig(16));
+  const double gap_before = FreeEnergyGap(model, x, noise);
+  model.Train(x);
+  const double gap_after = FreeEnergyGap(model, x, noise);
+  // After training, the data should be much more probable than noise
+  // (higher gap = reference free energy above data free energy).
+  EXPECT_GT(gap_after, gap_before + 1.0);
+}
+
+TEST(FreeEnergyTest, PllImprovesWithTraining) {
+  rng::Rng rng(5);
+  const linalg::Matrix x = BinaryPatterns(60, 16, &rng);
+  Rbm model(SmallConfig(16));
+  const double pll_before = PseudoLogLikelihood(model, x, 7);
+  model.Train(x);
+  const double pll_after = PseudoLogLikelihood(model, x, 7);
+  EXPECT_GT(pll_after, pll_before);
+}
+
+TEST(FreeEnergyTest, PllDeterministicGivenSeed) {
+  rng::Rng rng(7);
+  const linalg::Matrix x = BinaryPatterns(20, 10, &rng);
+  const Rbm model(SmallConfig(10));
+  EXPECT_DOUBLE_EQ(PseudoLogLikelihood(model, x, 11),
+                   PseudoLogLikelihood(model, x, 11));
+}
+
+TEST(FreeEnergyTest, PllIsNonPositiveForBinaryData) {
+  rng::Rng rng(9);
+  const linalg::Matrix x = BinaryPatterns(20, 10, &rng);
+  const Rbm model(SmallConfig(10));
+  // log σ(·) <= 0 always, so PLL <= 0.
+  EXPECT_LE(PseudoLogLikelihood(model, x, 13), 0.0);
+}
+
+TEST(FreeEnergyTest, GrbmFreeEnergyPenalizesDistanceFromBias) {
+  RbmConfig config = SmallConfig(4);
+  config.num_visible = 4;
+  const Grbm model(config);
+  // With near-zero weights and zero biases, F(v) ≈ ½|v|² + const.
+  const std::vector<double> near{0.1, 0.1, 0.1, 0.1};
+  const std::vector<double> far{3.0, 3.0, 3.0, 3.0};
+  EXPECT_LT(model.FreeEnergy(near), model.FreeEnergy(far));
+}
+
+TEST(FreeEnergyTest, RbmFreeEnergyMatchesManualFormula) {
+  RbmConfig config;
+  config.num_visible = 2;
+  config.num_hidden = 2;
+  Rbm model(config);
+  // Set explicit parameters and compare to the closed form.
+  (*model.mutable_weights())(0, 0) = 0.5;
+  (*model.mutable_weights())(0, 1) = -0.25;
+  (*model.mutable_weights())(1, 0) = 0.0;
+  (*model.mutable_weights())(1, 1) = 1.0;
+  (*model.mutable_visible_bias()) = {0.3, -0.2};
+  (*model.mutable_hidden_bias()) = {0.1, 0.4};
+  const std::vector<double> v{1.0, 1.0};
+  const double pre0 = 0.1 + 0.5 + 0.0;
+  const double pre1 = 0.4 - 0.25 + 1.0;
+  const double want = -(0.3 - 0.2) - std::log1p(std::exp(pre0)) -
+                      std::log1p(std::exp(pre1));
+  EXPECT_NEAR(model.FreeEnergy(v), want, 1e-12);
+}
+
+}  // namespace
+}  // namespace mcirbm::rbm

@@ -1,0 +1,147 @@
+#include "rbm/rbm.h"
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.h"
+#include "data/transforms.h"
+#include "rng/rng.h"
+
+namespace mcirbm::rbm {
+namespace {
+
+// Binary-ish data with structure: two prototype bit patterns plus noise.
+linalg::Matrix PatternData(int n, int d, std::uint64_t seed) {
+  rng::Rng rng(seed);
+  linalg::Matrix x(n, d);
+  for (int i = 0; i < n; ++i) {
+    const bool proto = i % 2 == 0;
+    for (int j = 0; j < d; ++j) {
+      const bool on = proto ? j < d / 2 : j >= d / 2;
+      const double p = on ? 0.9 : 0.1;
+      x(i, j) = rng.Bernoulli(p) ? 1.0 : 0.0;
+    }
+  }
+  return x;
+}
+
+RbmConfig SmallConfig(int nv) {
+  RbmConfig cfg;
+  cfg.num_visible = nv;
+  cfg.num_hidden = 8;
+  cfg.learning_rate = 0.05;
+  cfg.epochs = 30;
+  cfg.seed = 3;
+  return cfg;
+}
+
+TEST(RbmTest, HiddenFeatureShapeAndRange) {
+  Rbm model(SmallConfig(12));
+  const linalg::Matrix x = PatternData(20, 12, 1);
+  const linalg::Matrix h = model.HiddenFeatures(x);
+  EXPECT_EQ(h.rows(), 20u);
+  EXPECT_EQ(h.cols(), 8u);
+  for (std::size_t i = 0; i < h.size(); ++i) {
+    EXPECT_GT(h.data()[i], 0.0);
+    EXPECT_LT(h.data()[i], 1.0);
+  }
+}
+
+TEST(RbmTest, ReconstructionIsProbabilities) {
+  Rbm model(SmallConfig(10));
+  const linalg::Matrix x = PatternData(15, 10, 2);
+  const linalg::Matrix r = model.Reconstruct(x);
+  EXPECT_EQ(r.rows(), x.rows());
+  EXPECT_EQ(r.cols(), x.cols());
+  for (std::size_t i = 0; i < r.size(); ++i) {
+    EXPECT_GT(r.data()[i], 0.0);
+    EXPECT_LT(r.data()[i], 1.0);
+  }
+}
+
+TEST(RbmTest, TrainingReducesReconstructionError) {
+  RbmConfig cfg = SmallConfig(16);
+  cfg.epochs = 60;
+  Rbm model(cfg);
+  const linalg::Matrix x = PatternData(60, 16, 3);
+  const double before = model.ReconstructionError(x);
+  const auto history = model.Train(x);
+  const double after = model.ReconstructionError(x);
+  EXPECT_LT(after, before);
+  ASSERT_EQ(history.size(), 60u);
+  // Late-epoch error beats early-epoch error on average.
+  double early = 0, late = 0;
+  for (int e = 0; e < 10; ++e) early += history[e].reconstruction_error;
+  for (int e = 50; e < 60; ++e) late += history[e].reconstruction_error;
+  EXPECT_LT(late, early);
+}
+
+TEST(RbmTest, DeterministicTraining) {
+  const linalg::Matrix x = PatternData(30, 10, 4);
+  Rbm a(SmallConfig(10)), b(SmallConfig(10));
+  a.Train(x);
+  b.Train(x);
+  EXPECT_TRUE(a.weights().AllClose(b.weights(), 0));
+  EXPECT_EQ(a.hidden_bias(), b.hidden_bias());
+}
+
+TEST(RbmTest, SeedChangesInitialization) {
+  RbmConfig c1 = SmallConfig(10);
+  RbmConfig c2 = SmallConfig(10);
+  c2.seed = 99;
+  Rbm a(c1), b(c2);
+  EXPECT_FALSE(a.weights().AllClose(b.weights(), 1e-9));
+}
+
+TEST(RbmTest, MinibatchTrainingRuns) {
+  RbmConfig cfg = SmallConfig(10);
+  cfg.batch_size = 7;  // does not divide 30 evenly on purpose
+  Rbm model(cfg);
+  const linalg::Matrix x = PatternData(30, 10, 5);
+  const auto history = model.Train(x);
+  EXPECT_EQ(history.size(), static_cast<std::size_t>(cfg.epochs));
+}
+
+TEST(RbmTest, CdKGreaterThanOneRuns) {
+  RbmConfig cfg = SmallConfig(10);
+  cfg.cd_k = 3;
+  cfg.epochs = 10;
+  Rbm model(cfg);
+  const linalg::Matrix x = PatternData(20, 10, 6);
+  model.Train(x);
+  EXPECT_LT(model.ReconstructionError(x), 1.0);
+}
+
+TEST(RbmTest, MeanFieldModeRuns) {
+  RbmConfig cfg = SmallConfig(10);
+  cfg.sample_hidden_states = false;
+  Rbm model(cfg);
+  const linalg::Matrix x = PatternData(20, 10, 7);
+  const auto history = model.Train(x);
+  EXPECT_FALSE(history.empty());
+}
+
+TEST(RbmTest, ZeroEpochsLeavesParametersAtInit) {
+  RbmConfig cfg = SmallConfig(10);
+  cfg.epochs = 0;
+  Rbm model(cfg);
+  const linalg::Matrix w0 = model.weights();
+  const linalg::Matrix x = PatternData(10, 10, 8);
+  model.Train(x);
+  EXPECT_TRUE(model.weights().AllClose(w0, 0));
+}
+
+TEST(RbmDeathTest, WrongDataWidthAborts) {
+  Rbm model(SmallConfig(10));
+  const linalg::Matrix x(5, 9);
+  EXPECT_DEATH(model.Train(x), "num_visible");
+}
+
+TEST(RbmDeathTest, InvalidConfigAborts) {
+  RbmConfig cfg;
+  cfg.num_visible = 0;
+  cfg.num_hidden = 4;
+  EXPECT_DEATH(Rbm{cfg}, "CHECK failed");
+}
+
+}  // namespace
+}  // namespace mcirbm::rbm

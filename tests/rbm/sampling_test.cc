@@ -1,0 +1,205 @@
+#include "rbm/sampling.h"
+
+#include <cmath>
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "linalg/ops.h"
+#include "rbm/grbm.h"
+#include "rbm/rbm.h"
+#include "rng/rng.h"
+
+namespace mcirbm::rbm {
+namespace {
+
+// Two template patterns: left-half-on or right-half-on (with flip noise).
+linalg::Matrix BinaryPatterns(std::size_t n, std::size_t nv, rng::Rng* rng) {
+  linalg::Matrix x(n, nv);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool left = i % 2 == 0;
+    for (std::size_t j = 0; j < nv; ++j) {
+      const double p = (left == (j < nv / 2)) ? 0.95 : 0.05;
+      x(i, j) = rng->Bernoulli(p) ? 1.0 : 0.0;
+    }
+  }
+  return x;
+}
+
+std::unique_ptr<Rbm> TrainedModel(const linalg::Matrix& x) {
+  RbmConfig config;
+  config.num_visible = static_cast<int>(x.cols());
+  config.num_hidden = 12;
+  config.learning_rate = 0.1;
+  config.epochs = 150;
+  config.batch_size = 10;
+  config.momentum = 0.0;
+  config.weight_decay = 0.0;
+  config.seed = 3;
+  auto model = std::make_unique<Rbm>(config);
+  model->Train(x);
+  return model;
+}
+
+// Distance from a visible configuration to the nearest template.
+double DistanceToNearestMode(std::span<const double> v) {
+  const std::size_t nv = v.size();
+  double to_left = 0, to_right = 0;
+  for (std::size_t j = 0; j < nv; ++j) {
+    const double left_bit = j < nv / 2 ? 1.0 : 0.0;
+    to_left += std::abs(v[j] - left_bit);
+    to_right += std::abs(v[j] - (1.0 - left_bit));
+  }
+  return std::min(to_left, to_right) / static_cast<double>(nv);
+}
+
+TEST(SamplingTest, FantasiesLandNearDataModes) {
+  rng::Rng rng(5);
+  const linalg::Matrix x = BinaryPatterns(80, 16, &rng);
+  const auto model = TrainedModel(x);
+
+  const linalg::Matrix fantasies =
+      SampleFantasiesFromNoise(*model, 20, {.burn_in = 200, .seed = 9});
+  double mean_distance = 0;
+  for (std::size_t i = 0; i < fantasies.rows(); ++i) {
+    mean_distance += DistanceToNearestMode(fantasies.Row(i));
+  }
+  mean_distance /= static_cast<double>(fantasies.rows());
+  // Noise sits at ~0.5 from either template; trained fantasies must be
+  // far closer.
+  EXPECT_LT(mean_distance, 0.25);
+}
+
+TEST(SamplingTest, UntrainedModelFantasiesStayNoisy) {
+  RbmConfig config;
+  config.num_visible = 16;
+  config.num_hidden = 12;
+  const Rbm model(config);
+  const linalg::Matrix fantasies =
+      SampleFantasiesFromNoise(model, 20, {.burn_in = 50, .seed = 9});
+  double mean_distance = 0;
+  for (std::size_t i = 0; i < fantasies.rows(); ++i) {
+    mean_distance += DistanceToNearestMode(fantasies.Row(i));
+  }
+  mean_distance /= static_cast<double>(fantasies.rows());
+  EXPECT_GT(mean_distance, 0.35);
+}
+
+TEST(SamplingTest, DeterministicGivenSeed) {
+  rng::Rng rng(7);
+  const linalg::Matrix x = BinaryPatterns(40, 12, &rng);
+  const auto model = TrainedModel(x);
+  const GibbsOptions options{.burn_in = 30, .seed = 11};
+  const linalg::Matrix a = SampleFantasiesFromNoise(*model, 5, options);
+  const linalg::Matrix b = SampleFantasiesFromNoise(*model, 5, options);
+  EXPECT_TRUE(a.AllClose(b, 0.0));
+}
+
+TEST(SamplingTest, MeanFieldChainIsDeterministicFromStart) {
+  rng::Rng rng(9);
+  const linalg::Matrix x = BinaryPatterns(40, 12, &rng);
+  const auto model = TrainedModel(x);
+  const linalg::Matrix start = x.SelectRows(std::vector<std::size_t>{0, 1});
+  GibbsOptions options;
+  options.burn_in = 20;
+  options.sample_hidden = false;
+  options.seed = 1;
+  const linalg::Matrix a = SampleFantasies(*model, start, options);
+  options.seed = 999;  // seed is irrelevant without hidden sampling
+  const linalg::Matrix b = SampleFantasies(*model, start, options);
+  EXPECT_TRUE(a.AllClose(b, 0.0));
+}
+
+TEST(SamplingTest, OutputShapeMatchesChainsAndVisible) {
+  rng::Rng rng(11);
+  const linalg::Matrix x = BinaryPatterns(20, 10, &rng);
+  const auto model = TrainedModel(x);
+  const linalg::Matrix fantasies =
+      SampleFantasiesFromNoise(*model, 7, {.burn_in = 5, .seed = 1});
+  EXPECT_EQ(fantasies.rows(), 7u);
+  EXPECT_EQ(fantasies.cols(), 10u);
+  // Binary model outputs are probabilities in [0,1].
+  for (std::size_t i = 0; i < fantasies.size(); ++i) {
+    EXPECT_GE(fantasies.data()[i], 0.0);
+    EXPECT_LE(fantasies.data()[i], 1.0);
+  }
+}
+
+TEST(SamplingTest, MomentumScheduleTrainsAtLeastAsWell) {
+  rng::Rng rng(13);
+  const linalg::Matrix x = BinaryPatterns(60, 16, &rng);
+  RbmConfig config;
+  config.num_visible = 16;
+  config.num_hidden = 12;
+  config.learning_rate = 0.05;
+  config.epochs = 60;
+  config.batch_size = 10;
+  config.weight_decay = 0.0;
+  config.seed = 3;
+
+  RbmConfig scheduled = config;
+  scheduled.momentum = 0.5;
+  scheduled.momentum_final = 0.9;
+  scheduled.momentum_switch_epoch = 10;
+
+  Rbm plain(config), sched(scheduled);
+  const auto plain_history = plain.Train(x);
+  const auto sched_history = sched.Train(x);
+  // The schedule is a training accelerant; it must at minimum stay stable
+  // and converge (and usually ends lower).
+  EXPECT_LT(sched_history.back().reconstruction_error,
+            sched_history.front().reconstruction_error);
+  EXPECT_LT(sched_history.back().reconstruction_error,
+            plain_history.back().reconstruction_error * 1.5);
+}
+
+TEST(GibbsStepTest, MeanFieldStepEqualsReconstruct) {
+  rng::Rng rng(15);
+  const linalg::Matrix x = BinaryPatterns(10, 8, &rng);
+  RbmConfig config;
+  config.num_visible = 8;
+  config.num_hidden = 4;
+  const Rbm model(config);
+  const linalg::Matrix via_step =
+      model.GibbsStep(x, /*sample_hidden=*/false, nullptr);
+  const linalg::Matrix via_reconstruct = model.Reconstruct(x);
+  EXPECT_TRUE(via_step.AllClose(via_reconstruct, 0.0));
+}
+
+TEST(GibbsStepTest, SampledStepDiffersFromMeanField) {
+  rng::Rng rng(17);
+  const linalg::Matrix x = BinaryPatterns(10, 8, &rng);
+  RbmConfig config;
+  config.num_visible = 8;
+  config.num_hidden = 4;
+  config.init_weight_stddev = 1.0;  // strong weights: sampling matters
+  const Rbm model(config);
+  rng::Rng gibbs_rng(19);
+  const linalg::Matrix sampled =
+      model.GibbsStep(x, /*sample_hidden=*/true, &gibbs_rng);
+  const linalg::Matrix mean_field =
+      model.GibbsStep(x, /*sample_hidden=*/false, nullptr);
+  EXPECT_FALSE(sampled.AllClose(mean_field, 1e-9));
+}
+
+TEST(GibbsStepDeathTest, SampledStepWithoutRngChecks) {
+  RbmConfig config;
+  config.num_visible = 4;
+  config.num_hidden = 2;
+  const Rbm model(config);
+  linalg::Matrix x(1, 4);
+  EXPECT_DEATH(model.GibbsStep(x, /*sample_hidden=*/true, nullptr),
+               "needs an Rng");
+}
+
+TEST(SamplingDeathTest, WrongStartWidthChecks) {
+  RbmConfig config;
+  config.num_visible = 8;
+  config.num_hidden = 4;
+  const Rbm model(config);
+  linalg::Matrix bad(2, 5);
+  EXPECT_DEATH(SampleFantasies(model, bad, GibbsOptions{}), "num_visible");
+}
+
+}  // namespace
+}  // namespace mcirbm::rbm

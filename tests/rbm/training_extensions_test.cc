@@ -1,0 +1,205 @@
+// Tests for the training extensions: persistent CD, sparsity
+// regularization, and PCA weight initialization.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "linalg/ops.h"
+#include "rbm/grbm.h"
+#include "rbm/rbm.h"
+#include "rng/rng.h"
+
+namespace mcirbm::rbm {
+namespace {
+
+linalg::Matrix BinaryPatterns(std::size_t n, std::size_t nv, rng::Rng* rng) {
+  linalg::Matrix x(n, nv);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool left = i % 2 == 0;
+    for (std::size_t j = 0; j < nv; ++j) {
+      const double p = (left == (j < nv / 2)) ? 0.9 : 0.1;
+      x(i, j) = rng->Bernoulli(p) ? 1.0 : 0.0;
+    }
+  }
+  return x;
+}
+
+linalg::Matrix GaussianBlobs(std::size_t n, std::size_t nv, rng::Rng* rng) {
+  linalg::Matrix x(n, nv);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double center = (i % 2 == 0) ? -1.0 : 1.0;
+    for (std::size_t j = 0; j < nv; ++j) {
+      x(i, j) = rng->Gaussian(center, 0.5);
+    }
+  }
+  return x;
+}
+
+RbmConfig BaseConfig(int nv) {
+  RbmConfig c;
+  c.num_visible = nv;
+  c.num_hidden = 8;
+  c.learning_rate = 0.05;
+  c.epochs = 30;
+  c.momentum = 0.0;
+  c.weight_decay = 0.0;
+  c.seed = 17;
+  return c;
+}
+
+TEST(PersistentCdTest, TrainsAndReducesReconstructionError) {
+  rng::Rng rng(19);
+  const linalg::Matrix x = BinaryPatterns(60, 16, &rng);
+  RbmConfig config = BaseConfig(16);
+  config.use_persistent_cd = true;
+  config.batch_size = 20;
+  Rbm model(config);
+  const auto history = model.Train(x);
+  ASSERT_FALSE(history.empty());
+  EXPECT_LT(history.back().reconstruction_error,
+            history.front().reconstruction_error);
+}
+
+TEST(PersistentCdTest, DeterministicGivenSeed) {
+  rng::Rng rng(23);
+  const linalg::Matrix x = BinaryPatterns(40, 12, &rng);
+  RbmConfig config = BaseConfig(12);
+  config.use_persistent_cd = true;
+  Rbm a(config), b(config);
+  a.Train(x);
+  b.Train(x);
+  EXPECT_TRUE(a.weights().AllClose(b.weights(), 0.0));
+}
+
+TEST(PersistentCdTest, ChainCountConfigurable) {
+  rng::Rng rng(29);
+  const linalg::Matrix x = BinaryPatterns(40, 12, &rng);
+  RbmConfig config = BaseConfig(12);
+  config.use_persistent_cd = true;
+  config.pcd_chains = 5;  // fewer chains than batch rows
+  Rbm model(config);
+  const auto history = model.Train(x);
+  EXPECT_LT(history.back().reconstruction_error,
+            history.front().reconstruction_error);
+}
+
+TEST(PersistentCdTest, ProducesDifferentModelFromPlainCd) {
+  rng::Rng rng(31);
+  const linalg::Matrix x = BinaryPatterns(40, 12, &rng);
+  RbmConfig cd_config = BaseConfig(12);
+  RbmConfig pcd_config = cd_config;
+  pcd_config.use_persistent_cd = true;
+  Rbm cd(cd_config), pcd(pcd_config);
+  cd.Train(x);
+  pcd.Train(x);
+  EXPECT_FALSE(cd.weights().AllClose(pcd.weights(), 1e-9));
+}
+
+TEST(SparsityTest, PenaltyLowersMeanHiddenActivation) {
+  rng::Rng rng(37);
+  const linalg::Matrix x = BinaryPatterns(80, 16, &rng);
+
+  RbmConfig plain = BaseConfig(16);
+  plain.epochs = 60;
+  RbmConfig sparse = plain;
+  sparse.sparsity_target = 0.05;
+  sparse.sparsity_cost = 2.0;
+
+  Rbm plain_model(plain), sparse_model(sparse);
+  const auto plain_hist = plain_model.Train(x);
+  const auto sparse_hist = sparse_model.Train(x);
+
+  EXPECT_LT(sparse_hist.back().mean_hidden_activation,
+            plain_hist.back().mean_hidden_activation);
+  EXPECT_LT(sparse_hist.back().mean_hidden_activation, 0.35);
+}
+
+TEST(SparsityTest, ActivationTelemetryInUnitRange) {
+  rng::Rng rng(41);
+  const linalg::Matrix x = BinaryPatterns(30, 10, &rng);
+  RbmConfig config = BaseConfig(10);
+  config.sparsity_target = 0.1;
+  config.sparsity_cost = 1.0;
+  Rbm model(config);
+  for (const auto& stats : model.Train(x)) {
+    EXPECT_GE(stats.mean_hidden_activation, 0.0);
+    EXPECT_LE(stats.mean_hidden_activation, 1.0);
+  }
+}
+
+TEST(SparsityTest, ZeroCostIsExactlyPlainTraining) {
+  rng::Rng rng(43);
+  const linalg::Matrix x = BinaryPatterns(30, 10, &rng);
+  RbmConfig plain = BaseConfig(10);
+  RbmConfig zero = plain;
+  zero.sparsity_target = 0.1;
+  zero.sparsity_cost = 0.0;  // disabled
+  Rbm a(plain), b(zero);
+  a.Train(x);
+  b.Train(x);
+  EXPECT_TRUE(a.weights().AllClose(b.weights(), 0.0));
+}
+
+TEST(PcaInitTest, InitialColumnsSpanPrincipalDirections) {
+  rng::Rng rng(47);
+  const linalg::Matrix x = GaussianBlobs(100, 8, &rng);
+  RbmConfig config = BaseConfig(8);
+  config.epochs = 0;  // keep the untouched init
+  config.weight_init = RbmConfig::WeightInit::kPca;
+  Grbm model(config);
+  model.Train(x);
+  // The dominant data direction is all-ones (blob centers at ±1·1).
+  // Column 0 of W should be nearly parallel to it.
+  std::vector<double> col0(8);
+  for (std::size_t i = 0; i < 8; ++i) col0[i] = model.weights()(i, 0);
+  double dot = 0, norm = 0;
+  for (double v : col0) {
+    dot += v;
+    norm += v * v;
+  }
+  const double cosine =
+      std::abs(dot) / (std::sqrt(norm) * std::sqrt(8.0));
+  EXPECT_GT(cosine, 0.95);
+}
+
+TEST(PcaInitTest, TrainsToLowerErrorOrEqualFromStructuredInit) {
+  rng::Rng rng(53);
+  const linalg::Matrix x = GaussianBlobs(100, 8, &rng);
+  RbmConfig config = BaseConfig(8);
+  config.epochs = 10;
+  config.weight_init = RbmConfig::WeightInit::kPca;
+  Grbm model(config);
+  const auto history = model.Train(x);
+  EXPECT_LT(history.back().reconstruction_error,
+            history.front().reconstruction_error * 1.5);
+}
+
+TEST(PcaInitTest, DeterministicGivenSeed) {
+  rng::Rng rng(59);
+  const linalg::Matrix x = GaussianBlobs(60, 6, &rng);
+  RbmConfig config = BaseConfig(6);
+  config.weight_init = RbmConfig::WeightInit::kPca;
+  Grbm a(config), b(config);
+  a.Train(x);
+  b.Train(x);
+  EXPECT_TRUE(a.weights().AllClose(b.weights(), 0.0));
+}
+
+// CD-k sweep: deeper chains must still train stably.
+class CdkTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CdkTest, TrainingConvergesForAnyK) {
+  rng::Rng rng(61);
+  const linalg::Matrix x = BinaryPatterns(50, 12, &rng);
+  RbmConfig config = BaseConfig(12);
+  config.cd_k = GetParam();
+  Rbm model(config);
+  const auto history = model.Train(x);
+  EXPECT_LT(history.back().reconstruction_error,
+            history.front().reconstruction_error);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, CdkTest, ::testing::Values(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace mcirbm::rbm

@@ -1,0 +1,91 @@
+#include "util/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+namespace mcirbm {
+namespace {
+
+class CsvTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/csv_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()
+                               ->random_seed()) +
+            ".csv";
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  void WriteFile(const std::string& content) {
+    std::ofstream out(path_);
+    out << content;
+  }
+
+  std::string path_;
+};
+
+TEST_F(CsvTest, RoundTripWithHeader) {
+  ASSERT_TRUE(WriteCsv(path_, {"a", "b"}, {{1, 2}, {3, 4}}).ok());
+  auto table = ReadCsv(path_, /*has_header=*/true);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().header, (std::vector<std::string>{"a", "b"}));
+  ASSERT_EQ(table.value().rows.size(), 2u);
+  EXPECT_DOUBLE_EQ(table.value().rows[1][0], 3);
+}
+
+TEST_F(CsvTest, RoundTripWithoutHeader) {
+  ASSERT_TRUE(WriteCsv(path_, {}, {{1.5, -2.5}}).ok());
+  auto table = ReadCsv(path_, /*has_header=*/false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_TRUE(table.value().header.empty());
+  ASSERT_EQ(table.value().rows.size(), 1u);
+  EXPECT_DOUBLE_EQ(table.value().rows[0][1], -2.5);
+}
+
+TEST_F(CsvTest, MissingFileIsIoError) {
+  auto table = ReadCsv("/nonexistent/nope.csv", true);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(CsvTest, RaggedRowIsParseError) {
+  WriteFile("1,2\n3\n");
+  auto table = ReadCsv(path_, false);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(CsvTest, NonNumericCellIsParseError) {
+  WriteFile("1,abc\n");
+  auto table = ReadCsv(path_, false);
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), StatusCode::kParseError);
+}
+
+TEST_F(CsvTest, SkipsBlankLines) {
+  WriteFile("1,2\n\n3,4\n");
+  auto table = ReadCsv(path_, false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().rows.size(), 2u);
+}
+
+TEST_F(CsvTest, HandlesWindowsLineEndings) {
+  WriteFile("a,b\r\n1,2\r\n");
+  auto table = ReadCsv(path_, true);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table.value().header[1], "b");
+  EXPECT_DOUBLE_EQ(table.value().rows[0][1], 2);
+}
+
+TEST_F(CsvTest, ScientificNotationCells) {
+  WriteFile("1e-3,2.5E2\n");
+  auto table = ReadCsv(path_, false);
+  ASSERT_TRUE(table.ok());
+  EXPECT_DOUBLE_EQ(table.value().rows[0][0], 1e-3);
+  EXPECT_DOUBLE_EQ(table.value().rows[0][1], 250);
+}
+
+}  // namespace
+}  // namespace mcirbm

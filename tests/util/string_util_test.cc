@@ -1,0 +1,102 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace mcirbm {
+namespace {
+
+TEST(SplitTest, BasicCommaSplit) {
+  const auto parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "b");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  const auto parts = Split("a,,b", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitTest, EmptyStringYieldsOneEmptyField) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+TEST(SplitTest, TrailingDelimiterYieldsTrailingEmpty) {
+  const auto parts = Split("a,b,", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[2], "");
+}
+
+TEST(JoinTest, RoundTripsSplit) {
+  const std::string s = "x,y,z";
+  EXPECT_EQ(Join(Split(s, ','), ","), s);
+}
+
+TEST(JoinTest, EmptyVector) { EXPECT_EQ(Join({}, ","), ""); }
+
+TEST(JoinTest, SingleElement) { EXPECT_EQ(Join({"a"}, ","), "a"); }
+
+TEST(TrimTest, StripsBothEnds) { EXPECT_EQ(Trim("  hi \t\n"), "hi"); }
+
+TEST(TrimTest, AllWhitespaceBecomesEmpty) { EXPECT_EQ(Trim(" \t "), ""); }
+
+TEST(TrimTest, NoWhitespaceUnchanged) { EXPECT_EQ(Trim("abc"), "abc"); }
+
+TEST(StartsWithTest, Matches) {
+  EXPECT_TRUE(StartsWith("hello world", "hello"));
+  EXPECT_FALSE(StartsWith("hello", "hello world"));
+  EXPECT_TRUE(StartsWith("x", ""));
+}
+
+TEST(FormatDoubleTest, RoundsToDigits) {
+  EXPECT_EQ(FormatDouble(0.12345, 3), "0.123");
+  EXPECT_EQ(FormatDouble(0.9999, 2), "1.00");
+  EXPECT_EQ(FormatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(PadTest, PadLeftAddsSpaces) { EXPECT_EQ(PadLeft("ab", 4), "  ab"); }
+
+TEST(PadTest, PadRightAddsSpaces) { EXPECT_EQ(PadRight("ab", 4), "ab  "); }
+
+TEST(PadTest, LongerStringUnchanged) {
+  EXPECT_EQ(PadLeft("abcdef", 3), "abcdef");
+  EXPECT_EQ(PadRight("abcdef", 3), "abcdef");
+}
+
+TEST(ParseDoubleTest, ParsesPlainAndScientific) {
+  double v = 0;
+  ASSERT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  ASSERT_TRUE(ParseDouble("-1e-3", &v));
+  EXPECT_DOUBLE_EQ(v, -1e-3);
+}
+
+TEST(ParseDoubleTest, RejectsGarbage) {
+  double v = 0;
+  EXPECT_FALSE(ParseDouble("3.25x", &v));
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("  ", &v));
+}
+
+TEST(ParseDoubleTest, AcceptsSurroundingWhitespace) {
+  double v = 0;
+  ASSERT_TRUE(ParseDouble("  2.5 ", &v));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+}
+
+TEST(ParseIntTest, ParsesAndRejects) {
+  int v = 0;
+  ASSERT_TRUE(ParseInt("42", &v));
+  EXPECT_EQ(v, 42);
+  ASSERT_TRUE(ParseInt("-7", &v));
+  EXPECT_EQ(v, -7);
+  EXPECT_FALSE(ParseInt("4.5", &v));
+  EXPECT_FALSE(ParseInt("", &v));
+}
+
+}  // namespace
+}  // namespace mcirbm

@@ -1,0 +1,66 @@
+#include "voting/alignment.h"
+
+#include <gtest/gtest.h>
+
+namespace mcirbm::voting {
+namespace {
+
+TEST(AlignmentTest, PermutedIdsAreMappedBack) {
+  const std::vector<int> ref = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> other = {2, 2, 0, 0, 1, 1};  // same partition
+  const auto aligned = AlignToReference(ref, 3, other, 3);
+  EXPECT_EQ(aligned, ref);
+}
+
+TEST(AlignmentTest, IdenticalPartitionUnchanged) {
+  const std::vector<int> ref = {0, 1, 0, 1};
+  const auto aligned = AlignToReference(ref, 2, ref, 2);
+  EXPECT_EQ(aligned, ref);
+}
+
+TEST(AlignmentTest, PartialOverlapMapsToMajorityPartner) {
+  const std::vector<int> ref = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> other = {1, 1, 0, 0, 0, 0};
+  // other's cluster 1 overlaps ref 0 (2 inst); other's 0 overlaps ref 1
+  // more (3 of 4).
+  const auto aligned = AlignToReference(ref, 2, other, 2);
+  EXPECT_EQ(aligned, (std::vector<int>{0, 0, 1, 1, 1, 1}));
+}
+
+TEST(AlignmentTest, ExtraClustersGetFreshIds) {
+  const std::vector<int> ref = {0, 0, 0, 0};
+  const std::vector<int> other = {0, 0, 1, 2};
+  const auto aligned = AlignToReference(ref, 1, other, 3);
+  // Exactly one of other's clusters maps to ref id 0; the others get ids
+  // >= 1 (fresh).
+  int mapped_to_zero = 0;
+  for (int a : aligned) mapped_to_zero += a == 0;
+  EXPECT_EQ(mapped_to_zero, 2);  // the largest-overlap cluster (size 2)
+  EXPECT_GE(aligned[2], 1);
+  EXPECT_GE(aligned[3], 1);
+  EXPECT_NE(aligned[2], aligned[3]);
+}
+
+TEST(AlignmentTest, UnassignedEntriesPreserved) {
+  const std::vector<int> ref = {0, 0, 1, 1};
+  const std::vector<int> other = {0, -1, 1, 1};
+  const auto aligned = AlignToReference(ref, 2, other, 2);
+  EXPECT_EQ(aligned[1], -1);
+  EXPECT_EQ(aligned[0], 0);
+  EXPECT_EQ(aligned[2], 1);
+}
+
+TEST(AlignmentTest, FewerClustersThanReference) {
+  const std::vector<int> ref = {0, 0, 1, 1, 2, 2};
+  const std::vector<int> other = {0, 0, 0, 1, 1, 1};
+  const auto aligned = AlignToReference(ref, 3, other, 2);
+  // other 0 -> ref 0 (2 overlap), other 1 -> ref 2 (2 overlap).
+  EXPECT_EQ(aligned, (std::vector<int>{0, 0, 0, 2, 2, 2}));
+}
+
+TEST(AlignmentDeathTest, LengthMismatchAborts) {
+  EXPECT_DEATH(AlignToReference({0}, 1, {0, 1}, 2), "CHECK failed");
+}
+
+}  // namespace
+}  // namespace mcirbm::voting

@@ -1,0 +1,136 @@
+// Edge-case tests for IntegratePartitions: abstaining voters (-1 ids, as
+// produced by DBSCAN noise), tie handling under majority voting, the
+// min_cluster_size filter, and large heterogeneous ensembles.
+#include <gtest/gtest.h>
+
+#include "voting/vote.h"
+
+namespace mcirbm::voting {
+namespace {
+
+TEST(VoteExtendedTest, AbstentionBlocksUnanimityButNotMajority) {
+  // Voter 3 abstains on instance 2; the other three agree everywhere.
+  const std::vector<std::vector<int>> partitions = {
+      {0, 0, 1, 1},
+      {0, 0, 1, 1},
+      {0, 0, 1, 1},
+      {0, 0, -1, 1},
+  };
+  const auto unanimous =
+      IntegratePartitions(partitions, VoteStrategy::kUnanimous, 1);
+  EXPECT_EQ(unanimous.cluster_of[2], -1) << "abstention breaks unanimity";
+  EXPECT_GE(unanimous.cluster_of[0], 0);
+
+  const auto majority =
+      IntegratePartitions(partitions, VoteStrategy::kMajority, 1);
+  EXPECT_GE(majority.cluster_of[2], 0) << "3 of 4 real votes is a majority";
+}
+
+TEST(VoteExtendedTest, AllVotersAbstainOnInstance) {
+  const std::vector<std::vector<int>> partitions = {
+      {0, -1, 1},
+      {0, -1, 1},
+  };
+  const auto sup =
+      IntegratePartitions(partitions, VoteStrategy::kUnanimous, 1);
+  EXPECT_EQ(sup.cluster_of[1], -1);
+  EXPECT_GE(sup.cluster_of[0], 0);
+  EXPECT_GE(sup.cluster_of[2], 0);
+}
+
+TEST(VoteExtendedTest, MajorityNeedsStrictlyMoreThanHalf) {
+  // 2-2 split across four voters (after alignment the ids differ): no
+  // candidate reaches 3 votes, so the instance stays non-credible.
+  const std::vector<std::vector<int>> partitions = {
+      {0, 0, 1, 1, 0},
+      {0, 0, 1, 1, 0},
+      {0, 1, 1, 0, 0},
+      {0, 1, 1, 0, 0},
+  };
+  const auto sup =
+      IntegratePartitions(partitions, VoteStrategy::kMajority, 1);
+  EXPECT_EQ(sup.cluster_of[1], -1) << "2-2 tie is not a strict majority";
+  EXPECT_EQ(sup.cluster_of[3], -1);
+  EXPECT_GE(sup.cluster_of[0], 0);
+  EXPECT_GE(sup.cluster_of[2], 0);
+  EXPECT_GE(sup.cluster_of[4], 0);
+}
+
+TEST(VoteExtendedTest, MinClusterSizeDropsTinyConsensusClusters) {
+  // Consensus forms clusters of sizes 4 and 1.
+  const std::vector<std::vector<int>> partitions = {
+      {0, 0, 0, 0, 1},
+      {0, 0, 0, 0, 1},
+  };
+  const auto strict =
+      IntegratePartitions(partitions, VoteStrategy::kUnanimous, 2);
+  EXPECT_EQ(strict.num_clusters, 1);
+  EXPECT_EQ(strict.cluster_of[4], -1) << "singleton cluster dropped";
+
+  const auto lenient =
+      IntegratePartitions(partitions, VoteStrategy::kUnanimous, 1);
+  EXPECT_EQ(lenient.num_clusters, 2);
+  EXPECT_GE(lenient.cluster_of[4], 0);
+}
+
+TEST(VoteExtendedTest, SingleVoterIsItsOwnConsensus) {
+  const std::vector<std::vector<int>> partitions = {{2, 2, 5, 5, 5}};
+  const auto sup =
+      IntegratePartitions(partitions, VoteStrategy::kUnanimous, 1);
+  EXPECT_EQ(sup.num_clusters, 2);
+  EXPECT_EQ(sup.cluster_of[0], sup.cluster_of[1]);
+  EXPECT_EQ(sup.cluster_of[2], sup.cluster_of[3]);
+  EXPECT_NE(sup.cluster_of[0], sup.cluster_of[2]);
+}
+
+TEST(VoteExtendedTest, LabelPermutedVotersStillAgreeAfterAlignment) {
+  // Same partition under three different labelings: alignment must map
+  // them together and unanimity must hold everywhere.
+  const std::vector<std::vector<int>> partitions = {
+      {0, 0, 1, 1, 2, 2},
+      {2, 2, 0, 0, 1, 1},
+      {1, 1, 2, 2, 0, 0},
+  };
+  const auto sup =
+      IntegratePartitions(partitions, VoteStrategy::kUnanimous, 1);
+  EXPECT_EQ(sup.num_clusters, 3);
+  EXPECT_DOUBLE_EQ(sup.Coverage(), 1.0);
+}
+
+TEST(VoteExtendedTest, VoterWithMoreClustersThanReference) {
+  // The second voter over-segments cluster 1; its sub-cluster not mapped
+  // onto the reference becomes disagreement on those instances.
+  const std::vector<std::vector<int>> partitions = {
+      {0, 0, 0, 1, 1, 1},
+      {0, 0, 0, 1, 2, 2},
+  };
+  const auto sup =
+      IntegratePartitions(partitions, VoteStrategy::kUnanimous, 1);
+  // Instances 0-2 agree. Max-overlap alignment maps the voter's
+  // 2-element sub-cluster {4,5} onto reference id 1, so 4-5 stay
+  // credible while instance 3 (the 1-element sub-cluster) loses
+  // unanimity.
+  EXPECT_GE(sup.cluster_of[0], 0);
+  EXPECT_GE(sup.cluster_of[1], 0);
+  EXPECT_GE(sup.cluster_of[2], 0);
+  EXPECT_EQ(sup.cluster_of[3], -1);
+  EXPECT_GE(sup.cluster_of[4], 0);
+  EXPECT_GE(sup.cluster_of[5], 0);
+}
+
+TEST(VoteExtendedTest, CoverageAndMembersConsistent) {
+  const std::vector<std::vector<int>> partitions = {
+      {0, 0, 1, 1, -1, 0},
+      {0, 0, 1, -1, 1, 0},
+  };
+  const auto sup =
+      IntegratePartitions(partitions, VoteStrategy::kUnanimous, 1);
+  std::size_t member_total = 0;
+  for (const auto& cluster : sup.Members()) member_total += cluster.size();
+  EXPECT_EQ(member_total, sup.NumCredible());
+  EXPECT_DOUBLE_EQ(sup.Coverage(),
+                   static_cast<double>(member_total) / 6.0);
+}
+
+}  // namespace
+}  // namespace mcirbm::voting

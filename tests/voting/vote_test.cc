@@ -1,0 +1,187 @@
+#include "voting/vote.h"
+
+#include <gtest/gtest.h>
+
+#include "rng/rng.h"
+
+namespace mcirbm::voting {
+namespace {
+
+TEST(UnanimousVoteTest, FullAgreementKeepsEverything) {
+  const std::vector<int> p = {0, 0, 1, 1, 1, 0};
+  const LocalSupervision sup = IntegratePartitions({p, p, p},
+                                                   VoteStrategy::kUnanimous);
+  EXPECT_EQ(sup.num_clusters, 2);
+  EXPECT_DOUBLE_EQ(sup.Coverage(), 1.0);
+  EXPECT_EQ(sup.cluster_of, p);
+}
+
+TEST(UnanimousVoteTest, PermutedIdsStillAgreeAfterAlignment) {
+  const std::vector<int> a = {0, 0, 1, 1, 1, 0};
+  const std::vector<int> b = {1, 1, 0, 0, 0, 1};  // same partition, swapped
+  const LocalSupervision sup =
+      IntegratePartitions({a, b}, VoteStrategy::kUnanimous);
+  EXPECT_DOUBLE_EQ(sup.Coverage(), 1.0);
+  EXPECT_EQ(sup.num_clusters, 2);
+}
+
+TEST(UnanimousVoteTest, DisagreementsDropped) {
+  const std::vector<int> a = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> b = {0, 0, 1, 1, 1, 1};  // disagrees at index 2
+  const LocalSupervision sup =
+      IntegratePartitions({a, b}, VoteStrategy::kUnanimous);
+  EXPECT_EQ(sup.cluster_of[2], -1);
+  EXPECT_EQ(sup.NumCredible(), 5u);
+}
+
+TEST(UnanimousVoteTest, ThreeWayDisagreementDropsInstance) {
+  // Three clusterers each put instance 0 somewhere else.
+  const std::vector<int> a = {0, 0, 0, 1, 1, 2, 2};
+  const std::vector<int> b = {1, 0, 0, 1, 1, 2, 2};
+  const std::vector<int> c = {2, 0, 0, 1, 1, 2, 2};
+  const LocalSupervision sup =
+      IntegratePartitions({a, b, c}, VoteStrategy::kUnanimous);
+  EXPECT_EQ(sup.cluster_of[0], -1);
+  for (int i = 1; i < 7; ++i) EXPECT_GE(sup.cluster_of[i], 0);
+}
+
+TEST(MajorityVoteTest, TwoOfThreeSuffices) {
+  const std::vector<int> a = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> b = {0, 0, 0, 1, 1, 1};
+  const std::vector<int> c = {1, 0, 0, 1, 1, 0};  // dissents at 0 and 5
+  const LocalSupervision unanimous =
+      IntegratePartitions({a, b, c}, VoteStrategy::kUnanimous);
+  const LocalSupervision majority =
+      IntegratePartitions({a, b, c}, VoteStrategy::kMajority);
+  EXPECT_EQ(unanimous.cluster_of[0], -1);
+  EXPECT_GE(majority.cluster_of[0], 0);
+  EXPECT_GE(majority.NumCredible(), unanimous.NumCredible());
+}
+
+TEST(MajorityVoteTest, TwoPartitionsRequireBothToAgree) {
+  // With 2 partitions, strict majority = 2 votes = unanimous.
+  const std::vector<int> a = {0, 0, 1, 1};
+  const std::vector<int> b = {0, 1, 1, 1};
+  const LocalSupervision maj =
+      IntegratePartitions({a, b}, VoteStrategy::kMajority);
+  const LocalSupervision unan =
+      IntegratePartitions({a, b}, VoteStrategy::kUnanimous);
+  EXPECT_EQ(maj.cluster_of, unan.cluster_of);
+}
+
+TEST(VoteTest, MinClusterSizeFiltersSmallClusters) {
+  const std::vector<int> p = {0, 0, 0, 0, 1, 2, 2};
+  // Cluster 1 has a single member -> dropped with min size 2.
+  const LocalSupervision sup =
+      IntegratePartitions({p}, VoteStrategy::kUnanimous, 2);
+  EXPECT_EQ(sup.cluster_of[4], -1);
+  EXPECT_EQ(sup.num_clusters, 2);
+}
+
+TEST(VoteTest, MinClusterSizeCanEmptyEverything) {
+  const std::vector<int> p = {0, 1, 2, 3};
+  const LocalSupervision sup =
+      IntegratePartitions({p}, VoteStrategy::kUnanimous, 2);
+  EXPECT_EQ(sup.num_clusters, 0);
+  EXPECT_EQ(sup.NumCredible(), 0u);
+  EXPECT_DOUBLE_EQ(sup.Coverage(), 0.0);
+}
+
+TEST(VoteTest, SinglePartitionPassesThrough) {
+  const std::vector<int> p = {0, 0, 1, 1};
+  const LocalSupervision sup =
+      IntegratePartitions({p}, VoteStrategy::kUnanimous);
+  EXPECT_EQ(sup.cluster_of, p);
+}
+
+TEST(VoteTest, ResultIdsAreCompact) {
+  const std::vector<int> a = {0, 0, 2, 2, 5, 5};
+  const LocalSupervision sup =
+      IntegratePartitions({a}, VoteStrategy::kUnanimous);
+  EXPECT_EQ(sup.num_clusters, 3);
+  for (int c : sup.cluster_of) {
+    EXPECT_GE(c, 0);
+    EXPECT_LT(c, 3);
+  }
+}
+
+TEST(VoteTest, MembersGroupsCredibleInstances) {
+  const std::vector<int> a = {0, 0, 1, 1, 1};
+  const std::vector<int> b = {0, 1, 1, 1, 1};
+  const LocalSupervision sup =
+      IntegratePartitions({a, b}, VoteStrategy::kUnanimous);
+  const auto members = sup.Members();
+  ASSERT_EQ(members.size(), static_cast<std::size_t>(sup.num_clusters));
+  std::size_t total = 0;
+  for (const auto& m : members) total += m.size();
+  EXPECT_EQ(total, sup.NumCredible());
+}
+
+TEST(VoteDeathTest, EmptyPartitionListAborts) {
+  EXPECT_DEATH(IntegratePartitions({}, VoteStrategy::kUnanimous),
+               "CHECK failed");
+}
+
+TEST(VoteDeathTest, LengthMismatchAborts) {
+  EXPECT_DEATH(
+      IntegratePartitions({{0, 1}, {0}}, VoteStrategy::kUnanimous),
+      "CHECK failed");
+}
+
+
+// ---- Property sweep over random partition ensembles ----
+
+class VotePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(VotePropertyTest, MajorityCoverageAtLeastUnanimous) {
+  rng::Rng rng(1000 + GetParam());
+  const int n = 60;
+  std::vector<std::vector<int>> partitions(3, std::vector<int>(n));
+  for (auto& p : partitions) {
+    for (int& v : p) v = static_cast<int>(rng.UniformIndex(3));
+  }
+  const LocalSupervision unan =
+      IntegratePartitions(partitions, VoteStrategy::kUnanimous);
+  const LocalSupervision maj =
+      IntegratePartitions(partitions, VoteStrategy::kMajority);
+  EXPECT_GE(maj.NumCredible(), unan.NumCredible());
+}
+
+TEST_P(VotePropertyTest, SelfEnsembleAlwaysFullCoverage) {
+  rng::Rng rng(2000 + GetParam());
+  const int n = 40;
+  std::vector<int> p(n);
+  for (int& v : p) v = static_cast<int>(rng.UniformIndex(4));
+  // Make sure every cluster has >= 2 members so none is size-filtered.
+  for (int c = 0; c < 4; ++c) {
+    p[2 * c] = c;
+    p[2 * c + 1] = c;
+  }
+  const LocalSupervision sup =
+      IntegratePartitions({p, p, p}, VoteStrategy::kUnanimous);
+  EXPECT_DOUBLE_EQ(sup.Coverage(), 1.0);
+}
+
+TEST_P(VotePropertyTest, CredibleIdsAlwaysCompactAndValid) {
+  rng::Rng rng(3000 + GetParam());
+  const int n = 50;
+  std::vector<std::vector<int>> partitions(2, std::vector<int>(n));
+  for (auto& p : partitions) {
+    for (int& v : p) v = static_cast<int>(rng.UniformIndex(5));
+  }
+  const LocalSupervision sup =
+      IntegratePartitions(partitions, VoteStrategy::kUnanimous);
+  sup.CheckValid();
+  std::vector<bool> seen(std::max(sup.num_clusters, 1), false);
+  for (int c : sup.cluster_of) {
+    if (c >= 0) seen[c] = true;
+  }
+  for (int c = 0; c < sup.num_clusters; ++c) {
+    EXPECT_TRUE(seen[c]) << "cluster " << c << " empty but not compacted";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomEnsembles, VotePropertyTest,
+                         ::testing::Range(0, 8));
+}  // namespace
+}  // namespace mcirbm::voting

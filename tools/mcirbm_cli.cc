@@ -1,0 +1,389 @@
+// mcirbm_cli — command-line front end for the library.
+//
+// Subcommands:
+//   synth      generate one of the paper-equivalent synthetic datasets
+//   select-k   label-free choice of the cluster count (silhouette sweep)
+//   supervise  report the multi-clustering consensus for a CSV
+//   train      train an encoder (rbm|grbm|sls-rbm|sls-grbm) on a CSV
+//   transform  map a CSV through a saved encoder, write feature CSV
+//   eval       cluster a CSV (optionally through a saved encoder) and
+//              print the paper's external metrics against the labels
+//
+// CSV format: numeric feature columns with a trailing integer label
+// column (header row required), as written by `synth` / data/io.h.
+//
+// Examples:
+//   mcirbm_cli synth --family msra --index 8 --out vt.csv
+//   mcirbm_cli train --data vt.csv --model sls-grbm --standardize \
+//       --out vt_model.txt
+//   mcirbm_cli eval --data vt.csv --model-file vt_model.txt \
+//       --standardize --clusterer kmeans
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "clustering/kmeans.h"
+#include "core/model_selection.h"
+#include "core/pipeline.h"
+#include "data/io.h"
+#include "data/paper_datasets.h"
+#include "data/transforms.h"
+#include "eval/algorithms.h"
+#include "eval/experiment.h"
+#include "metrics/external.h"
+#include "rbm/serialize.h"
+#include "util/string_util.h"
+
+namespace {
+
+using namespace mcirbm;  // NOLINT: CLI driver
+
+// Minimal --flag value parser; flags without '--' are positional.
+class Args {
+ public:
+  Args(int argc, char** argv) {
+    for (int i = 2; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        const std::string key = arg.substr(2);
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[key] = argv[++i];
+        } else {
+          values_[key] = "1";  // boolean flag
+        }
+      } else {
+        std::cerr << "unexpected positional argument: " << arg << "\n";
+        ok_ = false;
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string Get(const std::string& key, const std::string& fallback = "")
+      const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  int GetInt(const std::string& key, int fallback) const {
+    return Has(key) ? std::stoi(Get(key)) : fallback;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    return Has(key) ? std::stod(Get(key)) : fallback;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+int Fail(const std::string& message) {
+  std::cerr << "error: " << message << "\n";
+  return 1;
+}
+
+// Applies the representation flags to `x` in the documented order.
+void ApplyTransforms(const Args& args, linalg::Matrix* x) {
+  if (args.Has("standardize")) data::StandardizeInPlace(x);
+  if (args.Has("minmax")) data::MinMaxScaleInPlace(x);
+  if (args.Has("binarize")) {
+    data::MinMaxScaleInPlace(x);
+    data::BinarizeAtColumnMeanInPlace(x);
+  }
+}
+
+core::ModelKind ParseModelKind(const std::string& name, bool* ok) {
+  *ok = true;
+  if (name == "rbm") return core::ModelKind::kRbm;
+  if (name == "grbm") return core::ModelKind::kGrbm;
+  if (name == "sls-rbm") return core::ModelKind::kSlsRbm;
+  if (name == "sls-grbm") return core::ModelKind::kSlsGrbm;
+  *ok = false;
+  return core::ModelKind::kRbm;
+}
+
+// Reconstructs an inference-equivalent model from a parameter file (the
+// stored name chooses sigmoid vs linear reconstruction; sls variants are
+// inference-identical to their plain bases).
+std::unique_ptr<rbm::RbmBase> LoadModelFile(const std::string& path,
+                                            std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open " + path;
+    return nullptr;
+  }
+  std::string magic, name, shape_line;
+  std::getline(in, magic);
+  std::getline(in, name);
+  std::getline(in, shape_line);
+  std::istringstream shape(shape_line);
+  int nv = 0, nh = 0;
+  if (!(shape >> nv >> nh) || nv <= 0 || nh <= 0) {
+    *error = "bad parameter file " + path;
+    return nullptr;
+  }
+  rbm::RbmConfig config;
+  config.num_visible = nv;
+  config.num_hidden = nh;
+  std::unique_ptr<rbm::RbmBase> model;
+  if (name.find("grbm") != std::string::npos) {
+    model = std::make_unique<rbm::Grbm>(config);
+  } else {
+    model = std::make_unique<rbm::Rbm>(config);
+  }
+  const Status status = rbm::LoadParameters(path, model.get());
+  if (!status.ok()) {
+    *error = status.message();
+    return nullptr;
+  }
+  return model;
+}
+
+int RunSynth(const Args& args) {
+  const std::string family = args.Get("family", "msra");
+  const int index = args.GetInt("index", 0);
+  const std::string out = args.Get("out");
+  if (out.empty()) return Fail("synth needs --out <csv>");
+  const std::uint64_t seed = args.GetInt("seed", 7);
+
+  data::Dataset ds;
+  if (family == "msra") {
+    if (index < 0 || index >= data::NumMsraDatasets()) {
+      return Fail("msra index out of range");
+    }
+    ds = data::GenerateMsraLike(index, seed);
+  } else if (family == "uci") {
+    if (index < 0 || index >= data::NumUciDatasets()) {
+      return Fail("uci index out of range");
+    }
+    ds = data::GenerateUciLike(index, seed);
+  } else {
+    return Fail("unknown family '" + family + "' (msra|uci)");
+  }
+  const Status status = data::SaveDatasetCsv(ds, out);
+  if (!status.ok()) return Fail(status.message());
+  std::cout << "wrote " << ds.name << ": " << ds.num_instances() << " x "
+            << ds.num_features() << " (+label) to " << out << "\n";
+  return 0;
+}
+
+int RunSelectK(const Args& args) {
+  const std::string path = args.Get("data");
+  if (path.empty()) return Fail("select-k needs --data <csv>");
+  auto loaded = data::LoadDatasetCsv(path, path);
+  if (!loaded.ok()) return Fail(loaded.status().message());
+  data::Dataset ds = std::move(loaded).value();
+  ApplyTransforms(args, &ds.x);
+  const int k_min = args.GetInt("kmin", 2);
+  const int k_max = args.GetInt("kmax", 8);
+  const auto selection = core::SelectNumClusters(
+      ds.x, k_min, k_max, args.GetInt("seed", 7));
+  std::cout << "k   silhouette\n";
+  for (const auto& candidate : selection.candidates) {
+    std::cout << candidate.k << "   "
+              << FormatDouble(candidate.silhouette, 4)
+              << (candidate.k == selection.best_k ? "   <- selected" : "")
+              << "\n";
+  }
+  return 0;
+}
+
+int RunSupervise(const Args& args) {
+  const std::string path = args.Get("data");
+  if (path.empty()) return Fail("supervise needs --data <csv>");
+  auto loaded = data::LoadDatasetCsv(path, path);
+  if (!loaded.ok()) return Fail(loaded.status().message());
+  data::Dataset ds = std::move(loaded).value();
+  ApplyTransforms(args, &ds.x);
+
+  core::SupervisionConfig config;
+  config.num_clusters = args.GetInt("clusters", ds.num_classes);
+  config.kmeans_voters = args.GetInt("kmeans-voters", 1);
+  config.use_agglomerative = args.Has("with-agglomerative");
+  config.use_dbscan = args.Has("with-dbscan");
+  config.use_gmm = args.Has("with-gmm");
+  config.use_spectral = args.Has("with-spectral");
+  if (args.Get("strategy", "unanimous") == "majority") {
+    config.strategy = voting::VoteStrategy::kMajority;
+  }
+  const auto sup = core::ComputeSelfLearningSupervision(
+      ds.x, config, args.GetInt("seed", 7));
+  std::cout << "consensus: " << sup.num_clusters << " credible clusters, "
+            << sup.NumCredible() << "/" << ds.num_instances()
+            << " instances (coverage " << FormatDouble(sup.Coverage(), 3)
+            << ")\n";
+  return 0;
+}
+
+int RunTrain(const Args& args) {
+  const std::string path = args.Get("data");
+  const std::string out = args.Get("out");
+  if (path.empty() || out.empty()) {
+    return Fail("train needs --data <csv> and --out <path>");
+  }
+  bool kind_ok = false;
+  const core::ModelKind kind =
+      ParseModelKind(args.Get("model", "sls-grbm"), &kind_ok);
+  if (!kind_ok) return Fail("unknown --model (rbm|grbm|sls-rbm|sls-grbm)");
+
+  auto loaded = data::LoadDatasetCsv(path, path);
+  if (!loaded.ok()) return Fail(loaded.status().message());
+  data::Dataset ds = std::move(loaded).value();
+  ApplyTransforms(args, &ds.x);
+
+  const bool grbm_family = kind == core::ModelKind::kGrbm ||
+                           kind == core::ModelKind::kSlsGrbm;
+  const eval::ExperimentConfig paper = eval::MakePaperConfig(grbm_family);
+  core::PipelineConfig config;
+  config.model = kind;
+  config.rbm = paper.rbm;
+  config.sls = paper.sls;
+  config.supervision = paper.supervision;
+  config.rbm.num_hidden = args.GetInt("hidden", paper.rbm.num_hidden);
+  config.rbm.epochs = args.GetInt("epochs", paper.rbm.epochs);
+  config.rbm.learning_rate = args.GetDouble("lr", paper.rbm.learning_rate);
+  config.sls.eta = args.GetDouble("eta", paper.sls.eta);
+  config.sls.supervision_scale =
+      args.GetDouble("scale", paper.sls.supervision_scale);
+  config.supervision.num_clusters =
+      args.GetInt("clusters", ds.num_classes);
+
+  const auto result =
+      core::RunEncoderPipeline(ds.x, config, args.GetInt("seed", 7));
+  std::cout << "trained " << result.model->name()
+            << "; final reconstruction error "
+            << FormatDouble(result.final_reconstruction_error, 4) << "\n";
+  if (config.model == core::ModelKind::kSlsRbm ||
+      config.model == core::ModelKind::kSlsGrbm) {
+    std::cout << "supervision coverage "
+              << FormatDouble(result.supervision.Coverage(), 3) << " ("
+              << result.supervision.num_clusters << " credible clusters)\n";
+  }
+  const Status status = rbm::SaveParameters(*result.model, out);
+  if (!status.ok()) return Fail(status.message());
+  std::cout << "saved parameters to " << out << "\n";
+  return 0;
+}
+
+int RunTransform(const Args& args) {
+  const std::string path = args.Get("data");
+  const std::string model_path = args.Get("model-file");
+  const std::string out = args.Get("out");
+  if (path.empty() || model_path.empty() || out.empty()) {
+    return Fail("transform needs --data, --model-file and --out");
+  }
+  auto loaded = data::LoadDatasetCsv(path, path);
+  if (!loaded.ok()) return Fail(loaded.status().message());
+  data::Dataset ds = std::move(loaded).value();
+  ApplyTransforms(args, &ds.x);
+
+  std::string error;
+  const auto model = LoadModelFile(model_path, &error);
+  if (!model) return Fail(error);
+
+  data::Dataset features = ds;
+  features.x = model->HiddenFeatures(ds.x);
+  features.name = ds.name + ":hidden";
+  const Status status = data::SaveDatasetCsv(features, out);
+  if (!status.ok()) return Fail(status.message());
+  std::cout << "wrote " << features.x.rows() << " x " << features.x.cols()
+            << " hidden features (+label) to " << out << "\n";
+  return 0;
+}
+
+int RunEval(const Args& args) {
+  const std::string path = args.Get("data");
+  if (path.empty()) return Fail("eval needs --data <csv>");
+  auto loaded = data::LoadDatasetCsv(path, path);
+  if (!loaded.ok()) return Fail(loaded.status().message());
+  data::Dataset ds = std::move(loaded).value();
+  linalg::Matrix x = ds.x;
+  ApplyTransforms(args, &x);
+
+  if (args.Has("model-file")) {
+    std::string error;
+    const auto model = LoadModelFile(args.Get("model-file"), &error);
+    if (!model) return Fail(error);
+    x = model->HiddenFeatures(x);
+  }
+
+  const std::string clusterer_name = args.Get("clusterer", "kmeans");
+  eval::ClustererKind kind;
+  if (clusterer_name == "kmeans") {
+    kind = eval::ClustererKind::kKMeans;
+  } else if (clusterer_name == "dp") {
+    kind = eval::ClustererKind::kDensityPeaks;
+  } else if (clusterer_name == "ap") {
+    kind = eval::ClustererKind::kAffinityProp;
+  } else {
+    return Fail("unknown --clusterer (kmeans|dp|ap)");
+  }
+  const int k = args.GetInt("k", ds.num_classes);
+  const auto result =
+      eval::RunClusterer(kind, x, k, args.GetInt("seed", 7));
+  const auto m = metrics::ComputeAll(ds.labels, result.assignment);
+  std::cout << "clusterer " << eval::ClustererKindName(kind) << ", k=" << k
+            << ", " << result.num_clusters << " clusters found\n";
+  std::cout << "accuracy " << FormatDouble(m.accuracy, 4) << "  purity "
+            << FormatDouble(m.purity, 4) << "  rand "
+            << FormatDouble(m.rand_index, 4) << "  FMI "
+            << FormatDouble(m.fmi, 4) << "  ARI "
+            << FormatDouble(m.ari, 4) << "  NMI "
+            << FormatDouble(m.nmi, 4) << "\n";
+  return 0;
+}
+
+void PrintUsage() {
+  std::cout <<
+      "usage: mcirbm_cli <command> [--flag value ...]\n"
+      "\n"
+      "commands:\n"
+      "  synth      --family msra|uci --index N --out <csv> [--seed N]\n"
+      "  select-k   --data <csv> [--kmin 2] [--kmax 8] [--standardize|"
+      "--binarize]\n"
+      "  supervise  --data <csv> [--clusters K] [--strategy "
+      "unanimous|majority]\n"
+      "             [--kmeans-voters N] [--with-agglomerative] "
+      "[--with-dbscan]\n"
+      "             [--with-gmm] [--with-spectral] [--standardize|"
+      "--binarize]\n"
+      "  train      --data <csv> --model rbm|grbm|sls-rbm|sls-grbm --out "
+      "<path>\n"
+      "             [--hidden N] [--epochs N] [--lr F] [--eta F] "
+      "[--scale F]\n"
+      "             [--clusters K] [--standardize|--binarize] [--seed N]\n"
+      "  transform  --data <csv> --model-file <path> --out <csv>\n"
+      "             [--standardize|--binarize]\n"
+      "  eval       --data <csv> [--model-file <path>] [--clusterer "
+      "kmeans|dp|ap]\n"
+      "             [--k K] [--standardize|--binarize] [--seed N]\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  const Args args(argc, argv);
+  if (!args.ok()) return 1;
+  if (command == "synth") return RunSynth(args);
+  if (command == "select-k") return RunSelectK(args);
+  if (command == "supervise") return RunSupervise(args);
+  if (command == "train") return RunTrain(args);
+  if (command == "transform") return RunTransform(args);
+  if (command == "eval") return RunEval(args);
+  if (command == "help" || command == "--help") {
+    PrintUsage();
+    return 0;
+  }
+  std::cerr << "unknown command '" << command << "'\n";
+  PrintUsage();
+  return 1;
+}
