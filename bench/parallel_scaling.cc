@@ -1,0 +1,130 @@
+// Speedup-vs-threads microbench for the parallel execution engine.
+//
+// Measures the two paths named in the acceptance criteria — the
+// PairwiseSquaredDistances kernel and one CD-1 training epoch — plus the
+// GEMM underneath both, at 1/2/4/8 threads, and emits a JSON document:
+//
+//   {"hardware_threads": ..., "kernels": [
+//     {"name": "pairwise_sqdist", "n": ..., "results":
+//       [{"threads": 1, "seconds": ..., "speedup": 1.0}, ...]}, ...]}
+//
+// Environment knobs:
+//   MCIRBM_BENCH_SCALE_N=<int>   instance count (default 1200)
+//   MCIRBM_BENCH_SCALE_REPS=<int> timing repetitions, best-of (default 3)
+//
+// Note: speedups are only meaningful on a machine with that many physical
+// cores; the JSON records hardware_threads so trajectory tooling can
+// discount oversubscribed points.
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "linalg/ops.h"
+#include "parallel/thread_pool.h"
+#include "rbm/grbm.h"
+#include "rng/rng.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace mcirbm;  // NOLINT: bench driver
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+linalg::Matrix RandomMatrix(std::size_t r, std::size_t c,
+                            std::uint64_t seed) {
+  // Per-shard substreams keep generation itself parallel-friendly and
+  // reproducible.
+  linalg::Matrix m(r, c);
+  constexpr std::size_t kGrain = 4096;
+  parallel::ParallelFor(
+      m.size(), kGrain, [&](std::size_t begin, std::size_t end) {
+        rng::Rng rng = parallel::ShardRng(seed, begin / kGrain);
+        for (std::size_t i = begin; i < end; ++i) {
+          m.data()[i] = rng.Gaussian();
+        }
+      });
+  return m;
+}
+
+struct Timing {
+  int threads = 0;
+  double seconds = 0;
+};
+
+// Best-of-`reps` wall time of fn() at the given pool width.
+template <typename Fn>
+double TimeAt(int threads, int reps, const Fn& fn) {
+  parallel::SetNumThreads(threads);
+  fn();  // warm-up (pool spin-up, page faults)
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.Seconds());
+  }
+  return best;
+}
+
+void EmitKernel(const std::string& name, std::size_t n,
+                const std::vector<Timing>& timings, bool last) {
+  std::cout << "    {\"name\": \"" << name << "\", \"n\": " << n
+            << ", \"results\": [";
+  const double serial = timings.front().seconds;
+  for (std::size_t i = 0; i < timings.size(); ++i) {
+    std::cout << (i ? ", " : "") << "{\"threads\": " << timings[i].threads
+              << ", \"seconds\": " << timings[i].seconds
+              << ", \"speedup\": " << serial / timings[i].seconds << "}";
+  }
+  std::cout << "]}" << (last ? "" : ",") << "\n";
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t n = EnvInt("MCIRBM_BENCH_SCALE_N", 1200);
+  const int reps = EnvInt("MCIRBM_BENCH_SCALE_REPS", 3);
+  const std::vector<int> widths = {1, 2, 4, 8};
+
+  const linalg::Matrix x = RandomMatrix(n, 64, 1);
+  const linalg::Matrix a = RandomMatrix(n, 256, 2);
+  const linalg::Matrix b = RandomMatrix(256, 256, 3);
+
+  rbm::RbmConfig cd1;
+  cd1.num_visible = 64;
+  cd1.num_hidden = 128;
+  cd1.epochs = 1;
+  cd1.batch_size = 0;  // full batch, the paper's small-dataset setting
+  cd1.seed = 7;
+
+  std::vector<Timing> pairwise, gemm, cd1_epoch;
+  for (int threads : widths) {
+    pairwise.push_back(
+        {threads, TimeAt(threads, reps, [&] {
+           volatile double sink = linalg::PairwiseSquaredDistances(x)(0, 1);
+           (void)sink;
+         })});
+    gemm.push_back({threads, TimeAt(threads, reps, [&] {
+                      volatile double sink = linalg::Gemm(a, b)(0, 0);
+                      (void)sink;
+                    })});
+    cd1_epoch.push_back({threads, TimeAt(threads, reps, [&] {
+                           rbm::Grbm model(cd1);
+                           model.Train(x);
+                         })});
+  }
+  parallel::SetNumThreads(0);
+
+  std::cout << "{\n  \"hardware_threads\": "
+            << std::thread::hardware_concurrency() << ",\n  \"kernels\": [\n";
+  EmitKernel("pairwise_sqdist", n, pairwise, false);
+  EmitKernel("gemm", n, gemm, false);
+  EmitKernel("cd1_epoch", n, cd1_epoch, true);
+  std::cout << "  ]\n}\n";
+  return 0;
+}

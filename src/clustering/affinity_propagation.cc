@@ -7,6 +7,7 @@
 #include "clustering/partition.h"
 #include "linalg/ops.h"
 #include "linalg/stats.h"
+#include "parallel/thread_pool.h"
 #include "rng/rng.h"
 #include "util/check.h"
 
@@ -35,71 +36,80 @@ ApRun RunMessagePassing(const linalg::Matrix& s,
   for (int iter = 0; iter < cfg.max_iterations; ++iter) {
     run.iterations = iter + 1;
     // --- responsibilities ---
-    for (std::size_t i = 0; i < n; ++i) {
-      // Find top-2 of a(i,k)+s(i,k) over k.
-      double best = -std::numeric_limits<double>::max();
-      double second = best;
-      std::size_t best_k = 0;
-      const double* arow = a.data() + i * n;
-      const double* srow = s.data() + i * n;
-      for (std::size_t k = 0; k < n; ++k) {
-        const double v = arow[k] + srow[k];
-        if (v > best) {
-          second = best;
-          best = v;
-          best_k = k;
-        } else if (v > second) {
-          second = v;
+    // Row i's update reads a/s and writes only r's row i: a parallel map.
+    parallel::ParallelFor(n, 32, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        // Find top-2 of a(i,k)+s(i,k) over k.
+        double best = -std::numeric_limits<double>::max();
+        double second = best;
+        std::size_t best_k = 0;
+        const double* arow = a.data() + i * n;
+        const double* srow = s.data() + i * n;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double v = arow[k] + srow[k];
+          if (v > best) {
+            second = best;
+            best = v;
+            best_k = k;
+          } else if (v > second) {
+            second = v;
+          }
+        }
+        double* rrow = r.data() + i * n;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double cap = (k == best_k) ? second : best;
+          const double newr = srow[k] - cap;
+          rrow[k] = cfg.damping * rrow[k] + (1 - cfg.damping) * newr;
         }
       }
-      double* rrow = r.data() + i * n;
-      for (std::size_t k = 0; k < n; ++k) {
-        const double cap = (k == best_k) ? second : best;
-        const double newr = srow[k] - cap;
-        rrow[k] = cfg.damping * rrow[k] + (1 - cfg.damping) * newr;
-      }
-    }
+    });
     // --- availabilities ---
-    // Column sums of max(0, r(i,k)) for i != k, plus r(k,k).
+    // Column sums of max(0, r(i,k)) for i != k, plus r(k,k). Partitioned
+    // by column; each colsum[k] accumulates rows in serial order.
     std::vector<double> colsum(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double* rrow = r.data() + i * n;
-      for (std::size_t k = 0; k < n; ++k) {
-        if (i == k) continue;
-        const double rp = std::max(0.0, rrow[k]);
-        colsum[k] += rp;
-      }
-    }
-    for (std::size_t i = 0; i < n; ++i) {
-      double* arow = a.data() + i * n;
-      const double* rrow = r.data() + i * n;
-      for (std::size_t k = 0; k < n; ++k) {
-        double newa;
-        if (i == k) {
-          newa = colsum[k];
-        } else {
-          const double without_i = colsum[k] - std::max(0.0, rrow[k]);
-          newa = std::min(0.0, r(k, k) + without_i);
+    parallel::ParallelFor(n, 32, [&](std::size_t k0, std::size_t k1) {
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* rrow = r.data() + i * n;
+        for (std::size_t k = k0; k < k1; ++k) {
+          if (i == k) continue;
+          colsum[k] += std::max(0.0, rrow[k]);
         }
-        arow[k] = cfg.damping * arow[k] + (1 - cfg.damping) * newa;
       }
-    }
+    });
+    parallel::ParallelFor(n, 32, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        double* arow = a.data() + i * n;
+        const double* rrow = r.data() + i * n;
+        for (std::size_t k = 0; k < n; ++k) {
+          double newa;
+          if (i == k) {
+            newa = colsum[k];
+          } else {
+            const double without_i = colsum[k] - std::max(0.0, rrow[k]);
+            newa = std::min(0.0, r(k, k) + without_i);
+          }
+          arow[k] = cfg.damping * arow[k] + (1 - cfg.damping) * newa;
+        }
+      }
+    });
     // --- exemplar extraction & convergence check ---
     std::vector<int> exemplars(n);
-    for (std::size_t i = 0; i < n; ++i) {
-      double best = -std::numeric_limits<double>::max();
-      std::size_t best_k = i;
-      const double* arow = a.data() + i * n;
-      const double* rrow = r.data() + i * n;
-      for (std::size_t k = 0; k < n; ++k) {
-        const double v = arow[k] + rrow[k];
-        if (v > best) {
-          best = v;
-          best_k = k;
+    parallel::ParallelFor(n, 32, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        double best = -std::numeric_limits<double>::max();
+        std::size_t best_k = i;
+        const double* arow = a.data() + i * n;
+        const double* rrow = r.data() + i * n;
+        for (std::size_t k = 0; k < n; ++k) {
+          const double v = arow[k] + rrow[k];
+          if (v > best) {
+            best = v;
+            best_k = k;
+          }
         }
+        exemplars[i] = static_cast<int>(best_k);
       }
-      exemplars[i] = static_cast<int>(best_k);
-    }
+    });
     if (exemplars == prev_exemplars) {
       if (++stable >= cfg.convergence_window) {
         run.converged = true;

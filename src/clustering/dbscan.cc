@@ -7,6 +7,7 @@
 
 #include "linalg/ops.h"
 #include "linalg/stats.h"
+#include "parallel/thread_pool.h"
 #include "util/check.h"
 
 namespace mcirbm::clustering {
@@ -19,12 +20,14 @@ double Dbscan::SelfTuneEps(const linalg::Matrix& x, int min_points,
   const std::size_t kth =
       std::min(static_cast<std::size_t>(std::max(min_points - 1, 1)), n - 1);
   std::vector<double> kdist(n);
-  std::vector<double> row(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) row[j] = d2(i, j);
-    std::nth_element(row.begin(), row.begin() + kth, row.end());
-    kdist[i] = std::sqrt(std::max(row[kth], 0.0));
-  }
+  parallel::ParallelFor(n, 64, [&](std::size_t begin, std::size_t end) {
+    std::vector<double> row(n);
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t j = 0; j < n; ++j) row[j] = d2(i, j);
+      std::nth_element(row.begin(), row.begin() + kth, row.end());
+      kdist[i] = std::sqrt(std::max(row[kth], 0.0));
+    }
+  });
   const double eps = linalg::Percentile(kdist, quantile);
   // Degenerate data (all duplicates) would give eps = 0; any tiny positive
   // radius then behaves identically.
@@ -45,11 +48,15 @@ ClusteringResult Dbscan::Cluster(const linalg::Matrix& x,
 
   const linalg::Matrix d2 = linalg::PairwiseSquaredDistances(x);
   std::vector<std::vector<std::size_t>> neighbours(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = 0; j < n; ++j) {
-      if (d2(i, j) <= eps2) neighbours[i].push_back(j);  // includes self
+  // Each instance owns its neighbour list, so the O(n²) range scan is an
+  // embarrassingly parallel map.
+  parallel::ParallelFor(n, 64, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        if (d2(i, j) <= eps2) neighbours[i].push_back(j);  // includes self
+      }
     }
-  }
+  });
 
   constexpr int kUnvisited = -2;
   constexpr int kNoise = -1;

@@ -7,6 +7,7 @@
 
 #include "linalg/ops.h"
 #include "linalg/stats.h"
+#include "parallel/thread_pool.h"
 #include "util/check.h"
 
 namespace mcirbm::clustering {
@@ -26,15 +27,19 @@ ClusteringResult DensityPeaks::Cluster(const linalg::Matrix& x,
   linalg::Matrix d2 = linalg::PairwiseSquaredDistances(x);
   linalg::Matrix dist(n, n);
   {
+    // Full-row sqrt map: each element is written once by its row's shard;
+    // sqrt of the symmetric d2 gives a symmetric dist.
+    parallel::ParallelFor(n, 64, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        double* drow = dist.data() + i * n;
+        const double* d2row = d2.data() + i * n;
+        for (std::size_t j = 0; j < n; ++j) drow[j] = std::sqrt(d2row[j]);
+      }
+    });
     std::vector<double> upper;
     upper.reserve(n * (n - 1) / 2);
     for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        const double dv = std::sqrt(d2(i, j));
-        dist(i, j) = dv;
-        dist(j, i) = dv;
-        upper.push_back(dv);
-      }
+      for (std::size_t j = i + 1; j < n; ++j) upper.push_back(dist(i, j));
     }
     // Cutoff distance d_c: percentile of all pairwise distances.
     const double dc = n > 1 ? std::max(linalg::Percentile(
@@ -43,21 +48,30 @@ ClusteringResult DensityPeaks::Cluster(const linalg::Matrix& x,
                                        1e-12)
                             : 1.0;
 
-    // Local density rho.
+    // Local density rho. The pairwise form accumulates rho[i] over
+    // increasing j (pairs (j,i) for j<i, then (i,j) for j>i); the per-row
+    // scan below visits the same symmetric contributions in the same
+    // order, so it reproduces the serial result exactly while making each
+    // rho[i] the property of a single shard. (This evaluates each
+    // symmetric kernel twice — the price of bit-compatibility with the
+    // triangular serial pass; revisit if DP ever dominates a profile.)
     std::vector<double> rho(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        double contrib;
-        if (config_.gaussian_kernel) {
-          const double r = dist(i, j) / dc;
-          contrib = std::exp(-r * r);
-        } else {
-          contrib = dist(i, j) < dc ? 1.0 : 0.0;
+    parallel::ParallelFor(n, 64, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t i = begin; i < end; ++i) {
+        const double* drow = dist.data() + i * n;
+        double acc = 0;
+        for (std::size_t j = 0; j < n; ++j) {
+          if (j == i) continue;
+          if (config_.gaussian_kernel) {
+            const double r = drow[j] / dc;
+            acc += std::exp(-r * r);
+          } else {
+            acc += drow[j] < dc ? 1.0 : 0.0;
+          }
         }
-        rho[i] += contrib;
-        rho[j] += contrib;
+        rho[i] = acc;
       }
-    }
+    });
 
     // delta: distance to nearest higher-density point; the densest point
     // gets the global max distance. nn_higher records that neighbor.
@@ -68,30 +82,45 @@ ClusteringResult DensityPeaks::Cluster(const linalg::Matrix& x,
     std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
       return rho[a] > rho[b];
     });
-    double max_dist = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      for (std::size_t j = i + 1; j < n; ++j) {
-        max_dist = std::max(max_dist, dist(i, j));
-      }
-    }
-    for (std::size_t rank = 0; rank < n; ++rank) {
-      const std::size_t i = order[rank];
-      if (rank == 0) {
-        delta[i] = max_dist;
-        continue;
-      }
-      double best = std::numeric_limits<double>::max();
-      int best_j = -1;
-      for (std::size_t r2 = 0; r2 < rank; ++r2) {
-        const std::size_t j = order[r2];
-        if (dist(i, j) < best) {
-          best = dist(i, j);
-          best_j = static_cast<int>(j);
+    // Max over a fixed sharding; max is exact, so the result is the
+    // serial one regardless of the combine order.
+    const double max_dist = parallel::ShardedReduce(
+        n, 64, 0.0,
+        [&](std::size_t begin, std::size_t end) {
+          double local = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            const double* drow = dist.data() + i * n;
+            for (std::size_t j = i + 1; j < n; ++j) {
+              local = std::max(local, drow[j]);
+            }
+          }
+          return local;
+        },
+        [](double a, double b) { return std::max(a, b); });
+    // Each rank's nearest-higher-density scan reads only `order` and
+    // `dist` and writes its own delta/nn_higher slot — a parallel map.
+    // The inner scan keeps the serial r2 order, so distance ties resolve
+    // to the same neighbour.
+    parallel::ParallelFor(n, 16, [&](std::size_t begin, std::size_t end) {
+      for (std::size_t rank = begin; rank < end; ++rank) {
+        const std::size_t i = order[rank];
+        if (rank == 0) {
+          delta[i] = max_dist;
+          continue;
         }
+        double best = std::numeric_limits<double>::max();
+        int best_j = -1;
+        for (std::size_t r2 = 0; r2 < rank; ++r2) {
+          const std::size_t j = order[r2];
+          if (dist(i, j) < best) {
+            best = dist(i, j);
+            best_j = static_cast<int>(j);
+          }
+        }
+        delta[i] = best;
+        nn_higher[i] = best_j;
       }
-      delta[i] = best;
-      nn_higher[i] = best_j;
-    }
+    });
 
     // Pick the top-k gamma = rho * delta points as centers.
     std::vector<std::size_t> by_gamma(n);

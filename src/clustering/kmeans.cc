@@ -4,11 +4,17 @@
 #include <limits>
 
 #include "linalg/ops.h"
+#include "parallel/thread_pool.h"
 #include "rng/rng.h"
 #include "util/check.h"
 
 namespace mcirbm::clustering {
 namespace {
+
+// Fixed shard width for the assignment-step SSE reduction: boundaries are
+// independent of the thread count, so the reduction tree (and result) is
+// identical serial vs parallel.
+constexpr std::size_t kAssignGrain = 256;
 
 // One full k-means run (k-means++ init + Lloyd) returning SSE.
 ClusteringResult RunOnce(const linalg::Matrix& x, const KMeansConfig& cfg,
@@ -24,10 +30,13 @@ ClusteringResult RunOnce(const linalg::Matrix& x, const KMeansConfig& cfg,
   std::copy_n(x.data() + first * d, d, centroids.data());
   for (int c = 1; c < k; ++c) {
     const auto prev = centroids.Row(c - 1);
-    for (std::size_t i = 0; i < n; ++i) {
-      const double dist = linalg::SquaredDistance(x.Row(i), prev);
-      if (dist < min_dist[i]) min_dist[i] = dist;
-    }
+    parallel::ParallelFor(
+        n, kAssignGrain, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const double dist = linalg::SquaredDistance(x.Row(i), prev);
+            if (dist < min_dist[i]) min_dist[i] = dist;
+          }
+        });
     const std::size_t next = rng->Categorical(min_dist);
     std::copy_n(x.data() + next * d, d, centroids.data() + c * d);
   }
@@ -38,22 +47,28 @@ ClusteringResult RunOnce(const linalg::Matrix& x, const KMeansConfig& cfg,
 
   double prev_sse = std::numeric_limits<double>::max();
   for (int iter = 0; iter < cfg.max_iterations; ++iter) {
-    // Assignment step.
-    double sse = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      double best = std::numeric_limits<double>::max();
-      int best_c = 0;
-      for (int c = 0; c < k; ++c) {
-        const double dist =
-            linalg::SquaredDistance(x.Row(i), centroids.Row(c));
-        if (dist < best) {
-          best = dist;
-          best_c = c;
-        }
-      }
-      result.assignment[i] = best_c;
-      sse += best;
-    }
+    // Assignment step: per-instance nearest centroid is an exact (and
+    // hence order-independent) argmin; the SSE total is reduced over
+    // fixed shards so it is thread-count independent.
+    const double sse = parallel::ShardedSum(
+        x.rows(), kAssignGrain, [&](std::size_t begin, std::size_t end) {
+          double shard_sse = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            double best = std::numeric_limits<double>::max();
+            int best_c = 0;
+            for (int c = 0; c < k; ++c) {
+              const double dist =
+                  linalg::SquaredDistance(x.Row(i), centroids.Row(c));
+              if (dist < best) {
+                best = dist;
+                best_c = c;
+              }
+            }
+            result.assignment[i] = best_c;
+            shard_sse += best;
+          }
+          return shard_sse;
+        });
     result.objective = sse;
     result.iterations = iter + 1;
 
@@ -119,7 +134,28 @@ ClusteringResult KMeans::Cluster(const linalg::Matrix& x,
                                  std::uint64_t seed) const {
   MCIRBM_CHECK_GE(x.rows(), static_cast<std::size_t>(config_.k))
       << "fewer instances than clusters";
-  rng::Rng rng(seed ^ 0x6b6d65616e73ULL);  // "kmeans" stream tag
+  const std::uint64_t stream_seed = seed ^ 0x6b6d65616e73ULL;  // "kmeans"
+  if (!parallel::Deterministic() && config_.restarts > 1 &&
+      !parallel::InParallelRegion()) {
+    // Opt-in fast path: restarts fan out on independent ShardRng
+    // substreams. Reproducible for a fixed seed (streams and the best-of
+    // selection depend only on (seed, restart index)) but not identical
+    // to the serial Split() stream below.
+    std::vector<ClusteringResult> candidates(config_.restarts);
+    parallel::ParallelFor(
+        config_.restarts, 1, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t r = begin; r < end; ++r) {
+            rng::Rng run_rng = parallel::ShardRng(stream_seed, r);
+            candidates[r] = RunOnce(x, config_, &run_rng);
+          }
+        });
+    std::size_t best_r = 0;
+    for (std::size_t r = 1; r < candidates.size(); ++r) {
+      if (candidates[r].objective < candidates[best_r].objective) best_r = r;
+    }
+    return std::move(candidates[best_r]);
+  }
+  rng::Rng rng(stream_seed);
   ClusteringResult best;
   best.objective = std::numeric_limits<double>::max();
   for (int r = 0; r < config_.restarts; ++r) {

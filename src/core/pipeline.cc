@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -10,6 +11,7 @@
 #include "clustering/gmm.h"
 #include "clustering/kmeans.h"
 #include "clustering/spectral.h"
+#include "parallel/thread_pool.h"
 #include "util/check.h"
 #include "util/logging.h"
 
@@ -33,58 +35,78 @@ voting::LocalSupervision ComputeSelfLearningSupervision(
     const linalg::Matrix& x, const SupervisionConfig& config,
     std::uint64_t seed) {
   MCIRBM_CHECK_GT(config.num_clusters, 0);
-  std::vector<std::vector<int>> partitions;
+
+  // Every enabled voter is an independent (clusterer, seed) job; collect
+  // them first so the ensemble can train in parallel. Slot order — and
+  // therefore the integrated result — matches the original serial
+  // construction exactly; each voter keeps its original seed.
+  std::vector<std::function<std::vector<int>()>> voters;
 
   if (config.use_density_peaks) {
     clustering::DensityPeaksConfig dp;
     dp.k = config.num_clusters;
-    partitions.push_back(
-        clustering::DensityPeaks(dp).Cluster(x, seed).assignment);
+    voters.push_back([&x, dp, seed] {
+      return clustering::DensityPeaks(dp).Cluster(x, seed).assignment;
+    });
   }
   if (config.use_kmeans) {
     MCIRBM_CHECK_GT(config.kmeans_voters, 0);
     clustering::KMeansConfig km;
     km.k = config.num_clusters;
     for (int v = 0; v < config.kmeans_voters; ++v) {
-      partitions.push_back(
-          clustering::KMeans(km)
-              .Cluster(x, seed + static_cast<std::uint64_t>(v) * 7919ULL)
-              .assignment);
+      const std::uint64_t voter_seed =
+          seed + static_cast<std::uint64_t>(v) * 7919ULL;
+      voters.push_back([&x, km, voter_seed] {
+        return clustering::KMeans(km).Cluster(x, voter_seed).assignment;
+      });
     }
   }
   if (config.use_affinity_propagation) {
     clustering::AffinityPropagationConfig ap;
     ap.target_clusters = config.num_clusters;
-    partitions.push_back(
-        clustering::AffinityPropagation(ap).Cluster(x, seed).assignment);
+    voters.push_back([&x, ap, seed] {
+      return clustering::AffinityPropagation(ap).Cluster(x, seed).assignment;
+    });
   }
   if (config.use_agglomerative) {
-    partitions.push_back(
-        clustering::Agglomerative(config.num_clusters,
-                                  clustering::Linkage::kWard)
-            .Cluster(x, seed)
-            .assignment);
+    voters.push_back([&x, &config, seed] {
+      return clustering::Agglomerative(config.num_clusters,
+                                       clustering::Linkage::kWard)
+          .Cluster(x, seed)
+          .assignment;
+    });
   }
   if (config.use_dbscan) {
-    partitions.push_back(
-        clustering::Dbscan(clustering::Dbscan::Options{})
-            .Cluster(x, seed)
-            .assignment);
+    voters.push_back([&x, seed] {
+      return clustering::Dbscan(clustering::Dbscan::Options{})
+          .Cluster(x, seed)
+          .assignment;
+    });
   }
   if (config.use_gmm) {
     clustering::GaussianMixture::Options gmm;
     gmm.num_components = config.num_clusters;
-    partitions.push_back(
-        clustering::GaussianMixture(gmm).Cluster(x, seed).assignment);
+    voters.push_back([&x, gmm, seed] {
+      return clustering::GaussianMixture(gmm).Cluster(x, seed).assignment;
+    });
   }
   if (config.use_spectral) {
     clustering::Spectral::Options sp;
     sp.num_clusters = config.num_clusters;
-    partitions.push_back(
-        clustering::Spectral(sp).Cluster(x, seed).assignment);
+    voters.push_back([&x, sp, seed] {
+      return clustering::Spectral(sp).Cluster(x, seed).assignment;
+    });
   }
-  MCIRBM_CHECK(!partitions.empty())
+  MCIRBM_CHECK(!voters.empty())
       << "at least one base clusterer must be enabled";
+
+  std::vector<std::vector<int>> partitions(voters.size());
+  parallel::ParallelFor(voters.size(), 1,
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t v = begin; v < end; ++v) {
+                            partitions[v] = voters[v]();
+                          }
+                        });
 
   voting::LocalSupervision sup = voting::IntegratePartitions(
       partitions, config.strategy, config.min_cluster_size);
@@ -93,10 +115,20 @@ voting::LocalSupervision ComputeSelfLearningSupervision(
   return sup;
 }
 
+void ApplyParallelConfig(const ParallelConfig& config) {
+  if (config.num_threads > 0 &&
+      config.num_threads != parallel::NumThreads() &&
+      !parallel::InParallelRegion()) {
+    parallel::SetNumThreads(config.num_threads);
+  }
+  parallel::SetDeterministic(config.deterministic);
+}
+
 PipelineResult RunEncoderPipeline(const linalg::Matrix& x,
                                   const PipelineConfig& config,
                                   std::uint64_t seed) {
   MCIRBM_CHECK_GT(x.rows(), 0u);
+  ApplyParallelConfig(config.parallel);
   rbm::RbmConfig rbm_config = config.rbm;
   if (rbm_config.num_visible == 0) {
     rbm_config.num_visible = static_cast<int>(x.cols());

@@ -74,7 +74,13 @@ struct PipelineConfig {
   rbm::RbmConfig rbm;          ///< num_visible may be 0 = infer from data
   SlsConfig sls;               ///< ignored by plain models
   SupervisionConfig supervision;  ///< ignored by plain models
+  ParallelConfig parallel;     ///< execution-engine settings
 };
+
+/// Applies the execution-engine settings to the global thread pool:
+/// resizes it when num_threads > 0 and records the determinism mode.
+/// Idempotent; called by RunEncoderPipeline and the experiment harness.
+void ApplyParallelConfig(const ParallelConfig& config);
 
 /// Result of running the pipeline on one dataset.
 struct PipelineResult {

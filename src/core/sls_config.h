@@ -4,6 +4,22 @@
 
 namespace mcirbm::core {
 
+/// Execution-engine knobs plumbed through the pipeline/experiment configs
+/// into src/parallel/ (see ApplyParallelConfig in core/pipeline.h).
+struct ParallelConfig {
+  /// Worker threads for the global pool. 0 keeps the current global
+  /// setting (MCIRBM_THREADS env var, else hardware concurrency).
+  int num_threads = 0;
+
+  /// When true (default) every parallel kernel partitions work into
+  /// shards whose boundaries are independent of the thread count, so
+  /// results are bit-identical serial vs parallel. When false, kernels
+  /// may trade the fixed serial-reference schedule for faster ones that
+  /// are still reproducible for a fixed seed (e.g. parallel k-means
+  /// restarts on independent ShardRng substreams).
+  bool deterministic = true;
+};
+
 /// Hyper-parameters of the constrict/disperse supervision terms (Eq. 13).
 struct SlsConfig {
   /// Scale coefficient η ∈ (0,1) weighting the CD likelihood term against

@@ -5,6 +5,7 @@
 #include "data/paper_datasets.h"
 #include "data/transforms.h"
 #include "linalg/stats.h"
+#include "parallel/thread_pool.h"
 #include "util/check.h"
 #include "util/logging.h"
 #include "util/timer.h"
@@ -88,6 +89,7 @@ DatasetExperimentResult RunDatasetExperiment(const data::Dataset& dataset,
                                              int dataset_number,
                                              const ExperimentConfig& config) {
   MCIRBM_CHECK_GT(config.repeats, 0);
+  core::ApplyParallelConfig(config.parallel);
   WallTimer timer;
   data::Dataset working = dataset;
   if (config.max_instances > 0) {
@@ -112,11 +114,18 @@ DatasetExperimentResult RunDatasetExperiment(const data::Dataset& dataset,
   result.dataset = working.name;
   result.dataset_number = dataset_number;
 
-  std::vector<metrics::MetricBundle>
-      runs[kNumVariants][kNumClusterers];
-  double coverage_sum = 0;
+  // Each repeat is an independent trial keyed by its own rep_seed; fan the
+  // trials out over the pool (parallel kernels inside the pipeline degrade
+  // to serial on the workers) and fold the outcomes back together in
+  // repeat order so the aggregates match the serial harness exactly.
+  struct RepeatOutcome {
+    metrics::MetricBundle bundles[kNumVariants][kNumClusterers];
+    double coverage = 0;
+    int supervision_clusters = 0;
+  };
+  std::vector<RepeatOutcome> outcomes(config.repeats);
 
-  for (int rep = 0; rep < config.repeats; ++rep) {
+  const auto run_repeat = [&](std::size_t rep) {
     const std::uint64_t rep_seed =
         config.seed * 1000003ULL + static_cast<std::uint64_t>(rep);
 
@@ -125,6 +134,7 @@ DatasetExperimentResult RunDatasetExperiment(const data::Dataset& dataset,
     plain_cfg.model =
         config.grbm_family ? core::ModelKind::kGrbm : core::ModelKind::kRbm;
     plain_cfg.rbm = config.rbm;
+    plain_cfg.parallel = config.parallel;
     core::PipelineResult plain =
         core::RunEncoderPipeline(x, plain_cfg, rep_seed);
 
@@ -135,12 +145,13 @@ DatasetExperimentResult RunDatasetExperiment(const data::Dataset& dataset,
     sls_cfg.rbm = config.rbm;
     sls_cfg.sls = config.sls;
     sls_cfg.supervision = config.supervision;
+    sls_cfg.parallel = config.parallel;
     sls_cfg.supervision.num_clusters = std::max(
         2, static_cast<int>(
                std::lround(k * config.supervision_cluster_factor)));
     core::PipelineResult sls = core::RunEncoderPipeline(x, sls_cfg, rep_seed);
-    coverage_sum += sls.supervision.Coverage();
-    result.supervision_clusters = sls.supervision.num_clusters;
+    outcomes[rep].coverage = sls.supervision.Coverage();
+    outcomes[rep].supervision_clusters = sls.supervision.num_clusters;
 
     const linalg::Matrix* features[kNumVariants] = {
         &x_raw, &plain.hidden_features, &sls.hidden_features};
@@ -149,15 +160,31 @@ DatasetExperimentResult RunDatasetExperiment(const data::Dataset& dataset,
       for (int c = 0; c < kNumClusterers; ++c) {
         const auto clustering_result = RunClusterer(
             static_cast<ClustererKind>(c), *features[v], k, rep_seed);
-        runs[v][c].push_back(metrics::ComputeAll(
-            working.labels, clustering_result.assignment));
+        outcomes[rep].bundles[v][c] = metrics::ComputeAll(
+            working.labels, clustering_result.assignment);
       }
     }
-  }
+  };
+  parallel::ParallelFor(static_cast<std::size_t>(config.repeats), 1,
+                        [&](std::size_t begin, std::size_t end) {
+                          for (std::size_t rep = begin; rep < end; ++rep) {
+                            run_repeat(rep);
+                          }
+                        });
 
+  double coverage_sum = 0;
+  for (const RepeatOutcome& outcome : outcomes) {
+    coverage_sum += outcome.coverage;
+  }
+  result.supervision_clusters = outcomes.back().supervision_clusters;
   for (int v = 0; v < kNumVariants; ++v) {
     for (int c = 0; c < kNumClusterers; ++c) {
-      result.cells[v][c] = Aggregate(runs[v][c]);
+      std::vector<metrics::MetricBundle> runs;
+      runs.reserve(outcomes.size());
+      for (const RepeatOutcome& outcome : outcomes) {
+        runs.push_back(outcome.bundles[v][c]);
+      }
+      result.cells[v][c] = Aggregate(runs);
     }
   }
   result.supervision_coverage =

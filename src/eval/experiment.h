@@ -60,6 +60,7 @@ struct ExperimentConfig {
   rbm::RbmConfig rbm;             ///< num_visible inferred per dataset
   core::SlsConfig sls;            ///< paper defaults set by MakePaperConfig
   core::SupervisionConfig supervision;  ///< K set per dataset
+  core::ParallelConfig parallel;  ///< execution-engine settings
 
   /// The base clusterers produce partitions with
   /// round(num_classes * supervision_cluster_factor) clusters: 1.0 votes at

@@ -3,18 +3,33 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/thread_pool.h"
+
 namespace mcirbm::linalg {
 
 namespace {
 constexpr std::size_t kBlock = 64;  // elements per cache tile dimension
+
+// Rows per shard so one shard carries ~64k multiply-adds. Depends only on
+// the problem shape (never the thread count), so shard boundaries — and
+// therefore results — are identical at any pool width. Small problems
+// collapse to a single shard, which ParallelFor runs inline.
+std::size_t RowGrain(std::size_t unit_cost) {
+  constexpr std::size_t kTargetShardWork = std::size_t{1} << 16;
+  return std::max<std::size_t>(
+      1, kTargetShardWork / std::max<std::size_t>(1, unit_cost));
+}
 }  // namespace
 
 Matrix Gemm(const Matrix& a, const Matrix& b) {
   MCIRBM_CHECK_EQ(a.cols(), b.rows()) << "Gemm shape mismatch";
   const std::size_t m = a.rows(), k = a.cols(), n = b.cols();
   Matrix c(m, n);
-  for (std::size_t i0 = 0; i0 < m; i0 += kBlock) {
-    const std::size_t i1 = std::min(i0 + kBlock, m);
+  // Row stripes are independent; within a stripe the p-blocked loop keeps
+  // the per-element accumulation order of the serial kernel, so the result
+  // is bit-identical at any thread count.
+  const std::size_t grain = std::max(kBlock, RowGrain(k * n));
+  parallel::ParallelFor(m, grain, [&](std::size_t i0, std::size_t i1) {
     for (std::size_t p0 = 0; p0 < k; p0 += kBlock) {
       const std::size_t p1 = std::min(p0 + kBlock, k);
       for (std::size_t i = i0; i < i1; ++i) {
@@ -28,7 +43,7 @@ Matrix Gemm(const Matrix& a, const Matrix& b) {
         }
       }
     }
-  }
+  });
   return c;
 }
 
@@ -36,17 +51,23 @@ Matrix GemmTransA(const Matrix& a, const Matrix& b) {
   MCIRBM_CHECK_EQ(a.rows(), b.rows()) << "GemmTransA shape mismatch";
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
   Matrix c(m, n);
-  // Cᵀ-style accumulation: iterate shared dim outermost, rank-1 updates.
-  for (std::size_t p = 0; p < k; ++p) {
-    const double* arow = a.data() + p * m;
-    const double* brow = b.data() + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double av = arow[i];
-      if (av == 0.0) continue;
-      double* crow = c.data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // Partitioned by output row (column of A), but each shard keeps the
+  // serial p-outer rank-1 order on its row slice: `a` is read
+  // contiguously per p and every element still accumulates over p in
+  // increasing order, matching the serial formulation bit for bit.
+  parallel::ParallelFor(
+      m, RowGrain(k * n), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t p = 0; p < k; ++p) {
+          const double* arow = a.data() + p * m;
+          const double* brow = b.data() + p * n;
+          for (std::size_t i = i0; i < i1; ++i) {
+            const double av = arow[i];
+            if (av == 0.0) continue;
+            double* crow = c.data() + i * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
   return c;
 }
 
@@ -54,16 +75,19 @@ Matrix GemmTransB(const Matrix& a, const Matrix& b) {
   MCIRBM_CHECK_EQ(a.cols(), b.cols()) << "GemmTransB shape mismatch";
   const std::size_t m = a.rows(), k = a.cols(), n = b.rows();
   Matrix c(m, n);
-  for (std::size_t i = 0; i < m; ++i) {
-    const double* arow = a.data() + i * k;
-    double* crow = c.data() + i * n;
-    for (std::size_t j = 0; j < n; ++j) {
-      const double* brow = b.data() + j * k;
-      double s = 0;
-      for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
-      crow[j] = s;
-    }
-  }
+  parallel::ParallelFor(
+      m, RowGrain(k * n), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const double* arow = a.data() + i * k;
+          double* crow = c.data() + i * n;
+          for (std::size_t j = 0; j < n; ++j) {
+            const double* brow = b.data() + j * k;
+            double s = 0;
+            for (std::size_t p = 0; p < k; ++p) s += arow[p] * brow[p];
+            crow[j] = s;
+          }
+        }
+      });
   return c;
 }
 
@@ -72,16 +96,21 @@ void AccumulateGemmTransA(double alpha, const Matrix& a, const Matrix& b,
   MCIRBM_CHECK_EQ(a.rows(), b.rows());
   MCIRBM_CHECK(out->rows() == a.cols() && out->cols() == b.cols());
   const std::size_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (std::size_t p = 0; p < k; ++p) {
-    const double* arow = a.data() + p * m;
-    const double* brow = b.data() + p * n;
-    for (std::size_t i = 0; i < m; ++i) {
-      const double av = alpha * arow[i];
-      if (av == 0.0) continue;
-      double* crow = out->data() + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  // Same row-sliced rank-1 scheme as GemmTransA; per-element accumulation
+  // order over p is unchanged from the serial kernel.
+  parallel::ParallelFor(
+      m, RowGrain(k * n), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t p = 0; p < k; ++p) {
+          const double* arow = a.data() + p * m;
+          const double* brow = b.data() + p * n;
+          for (std::size_t i = i0; i < i1; ++i) {
+            const double av = alpha * arow[i];
+            if (av == 0.0) continue;
+            double* crow = out->data() + i * n;
+            for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+      });
 }
 
 std::vector<double> MatVec(const Matrix& a, const std::vector<double>& x) {
@@ -110,18 +139,28 @@ std::vector<double> MatTVec(const Matrix& a, const std::vector<double>& x) {
 
 void AddRowVector(Matrix* m, const std::vector<double>& v) {
   MCIRBM_CHECK_EQ(m->cols(), v.size());
-  for (std::size_t i = 0; i < m->rows(); ++i) {
-    double* row = m->data() + i * m->cols();
-    for (std::size_t j = 0; j < m->cols(); ++j) row[j] += v[j];
-  }
+  const std::size_t cols = m->cols();
+  parallel::ParallelFor(
+      m->rows(), RowGrain(cols), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          double* row = m->data() + i * cols;
+          for (std::size_t j = 0; j < cols; ++j) row[j] += v[j];
+        }
+      });
 }
 
 std::vector<double> ColSums(const Matrix& m) {
   std::vector<double> s(m.cols(), 0.0);
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    const double* row = m.data() + i * m.cols();
-    for (std::size_t j = 0; j < m.cols(); ++j) s[j] += row[j];
-  }
+  // Partitioned by *column*: each shard owns a column slice and walks the
+  // rows in order, so every s[j] accumulates in exactly the serial order.
+  const std::size_t rows = m.rows(), cols = m.cols();
+  parallel::ParallelFor(
+      cols, RowGrain(rows), [&](std::size_t j0, std::size_t j1) {
+        for (std::size_t i = 0; i < rows; ++i) {
+          const double* row = m.data() + i * cols;
+          for (std::size_t j = j0; j < j1; ++j) s[j] += row[j];
+        }
+      });
   return s;
 }
 
@@ -134,19 +173,25 @@ std::vector<double> ColMeans(const Matrix& m) {
 
 std::vector<double> RowSums(const Matrix& m) {
   std::vector<double> s(m.rows(), 0.0);
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    const double* row = m.data() + i * m.cols();
-    double acc = 0;
-    for (std::size_t j = 0; j < m.cols(); ++j) acc += row[j];
-    s[i] = acc;
-  }
+  const std::size_t cols = m.cols();
+  parallel::ParallelFor(
+      m.rows(), RowGrain(cols), [&](std::size_t i0, std::size_t i1) {
+        for (std::size_t i = i0; i < i1; ++i) {
+          const double* row = m.data() + i * cols;
+          double acc = 0;
+          for (std::size_t j = 0; j < cols; ++j) acc += row[j];
+          s[i] = acc;
+        }
+      });
   return s;
 }
 
 void Apply(Matrix* m, const std::function<double(double)>& f) {
   double* p = m->data();
   const std::size_t n = m->size();
-  for (std::size_t i = 0; i < n; ++i) p[i] = f(p[i]);
+  parallel::ParallelFor(n, RowGrain(4), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) p[i] = f(p[i]);
+  });
 }
 
 double Sigmoid(double x) {
@@ -161,14 +206,19 @@ double Sigmoid(double x) {
 void SigmoidInPlace(Matrix* m) {
   double* p = m->data();
   const std::size_t n = m->size();
-  for (std::size_t i = 0; i < n; ++i) p[i] = Sigmoid(p[i]);
+  parallel::ParallelFor(n, RowGrain(8), [&](std::size_t b, std::size_t e) {
+    for (std::size_t i = b; i < e; ++i) p[i] = Sigmoid(p[i]);
+  });
 }
 
 Matrix SigmoidDeriv(const Matrix& a) {
   Matrix d(a.rows(), a.cols());
   const double* src = a.data();
   double* dst = d.data();
-  for (std::size_t i = 0; i < a.size(); ++i) dst[i] = src[i] * (1 - src[i]);
+  parallel::ParallelFor(
+      a.size(), RowGrain(4), [&](std::size_t b, std::size_t e) {
+        for (std::size_t i = b; i < e; ++i) dst[i] = src[i] * (1 - src[i]);
+      });
   return d;
 }
 
@@ -189,15 +239,21 @@ Matrix PairwiseSquaredDistances(const Matrix& m) {
   std::vector<double> sq(n);
   for (std::size_t i = 0; i < n; ++i) sq[i] = gram(i, i);
   Matrix d(n, n);
-  for (std::size_t i = 0; i < n; ++i) {
-    d(i, i) = 0.0;
-    for (std::size_t j = i + 1; j < n; ++j) {
-      double v = sq[i] + sq[j] - 2.0 * gram(i, j);
-      if (v < 0) v = 0;  // numeric guard
-      d(i, j) = v;
-      d(j, i) = v;
+  // Full-row expansion (rather than mirrored upper-triangle writes) keeps
+  // every element owned by exactly one row shard; the symmetric formula
+  // yields the identical value for (i,j) and (j,i).
+  parallel::ParallelFor(n, RowGrain(n), [&](std::size_t i0, std::size_t i1) {
+    for (std::size_t i = i0; i < i1; ++i) {
+      double* drow = d.data() + i * n;
+      const double* grow = gram.data() + i * n;
+      for (std::size_t j = 0; j < n; ++j) {
+        double v = sq[i] + sq[j] - 2.0 * grow[j];
+        if (v < 0) v = 0;  // numeric guard
+        drow[j] = v;
+      }
+      drow[i] = 0.0;
     }
-  }
+  });
   return d;
 }
 

@@ -5,10 +5,18 @@
 
 #include "linalg/ops.h"
 #include "linalg/pca.h"
+#include "parallel/thread_pool.h"
 #include "util/check.h"
 #include "util/logging.h"
 
 namespace mcirbm::rbm {
+
+namespace {
+// Fixed shard widths for the reductions below; independent of the thread
+// count so results are bit-identical serial vs parallel.
+constexpr std::size_t kElemGrain = 1 << 16;  // element-wise buffers
+constexpr std::size_t kRowGrain = 64;        // per-instance reductions
+}  // namespace
 
 RbmBase::RbmBase(const RbmConfig& config) : config_(config) {
   MCIRBM_CHECK_GT(config.num_visible, 0);
@@ -55,11 +63,15 @@ linalg::Matrix RbmBase::GibbsStep(const linalg::Matrix& v,
 
 double RbmBase::ReconstructionError(const linalg::Matrix& v) const {
   const linalg::Matrix r = Reconstruct(v);
-  double err = 0;
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    const double d = v.data()[i] - r.data()[i];
-    err += d * d;
-  }
+  const double err = parallel::ShardedSum(
+      v.size(), kElemGrain, [&](std::size_t begin, std::size_t end) {
+        double s = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          const double d = v.data()[i] - r.data()[i];
+          s += d * d;
+        }
+        return s;
+      });
   return err / static_cast<double>(v.size());
 }
 
@@ -79,8 +91,12 @@ double RbmBase::FreeEnergy(std::span<const double> v) const {
 
 double RbmBase::MeanFreeEnergy(const linalg::Matrix& v) const {
   MCIRBM_CHECK_GT(v.rows(), 0u);
-  double total = 0;
-  for (std::size_t i = 0; i < v.rows(); ++i) total += FreeEnergy(v.Row(i));
+  const double total = parallel::ShardedSum(
+      v.rows(), kRowGrain, [&](std::size_t begin, std::size_t end) {
+        double s = 0;
+        for (std::size_t i = begin; i < end; ++i) s += FreeEnergy(v.Row(i));
+        return s;
+      });
   return total / static_cast<double>(v.rows());
 }
 
@@ -273,12 +289,15 @@ std::vector<EpochStats> RbmBase::Train(const linalg::Matrix& data) {
            epoch >= config_.momentum_switch_epoch)
               ? config_.momentum_final
               : config_.momentum;
-      for (std::size_t i = 0; i < w_.size(); ++i) {
-        const double g =
-            grads.dw.data()[i] - config_.weight_decay * w_.data()[i];
-        w_vel.data()[i] = mom * w_vel.data()[i] + lr * g;
-        w_.data()[i] += w_vel.data()[i];
-      }
+      parallel::ParallelFor(
+          w_.size(), kElemGrain, [&](std::size_t begin, std::size_t end) {
+            for (std::size_t i = begin; i < end; ++i) {
+              const double g =
+                  grads.dw.data()[i] - config_.weight_decay * w_.data()[i];
+              w_vel.data()[i] = mom * w_vel.data()[i] + lr * g;
+              w_.data()[i] += w_vel.data()[i];
+            }
+          });
       for (std::size_t j = 0; j < nv; ++j) {
         a_vel[j] = mom * a_vel[j] + lr * grads.da[j];
         a_[j] += a_vel[j];
@@ -289,11 +308,15 @@ std::vector<EpochStats> RbmBase::Train(const linalg::Matrix& data) {
       }
 
       // Telemetry.
-      double err = 0;
-      for (std::size_t i = 0; i < v.size(); ++i) {
-        const double d = v.data()[i] - v_recon.data()[i];
-        err += d * d;
-      }
+      const double err = parallel::ShardedSum(
+          v.size(), kElemGrain, [&](std::size_t begin, std::size_t end) {
+            double s = 0;
+            for (std::size_t i = begin; i < end; ++i) {
+              const double d = v.data()[i] - v_recon.data()[i];
+              s += d * d;
+            }
+            return s;
+          });
       epoch_err += err / static_cast<double>(v.size());
       epoch_gnorm += grads.dw.FrobeniusNorm();
       epoch_activation +=

@@ -1,0 +1,166 @@
+// Bit-parity of the parallelized hot kernels across thread counts: every
+// result below must be *identical* (not merely close) at 1, 2 and 8
+// threads, because shard boundaries and reduction trees are fixed by the
+// problem size alone. A failure here means a kernel picked up a
+// thread-count-dependent schedule.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "clustering/kmeans.h"
+#include "data/synthetic.h"
+#include "linalg/ops.h"
+#include "parallel/thread_pool.h"
+#include "rbm/grbm.h"
+#include "rbm/rbm.h"
+#include "rng/rng.h"
+
+namespace mcirbm {
+namespace {
+
+constexpr int kWidths[] = {1, 2, 8};
+
+class ParityTest : public ::testing::Test {
+ protected:
+  ~ParityTest() override { parallel::SetNumThreads(0); }
+};
+
+linalg::Matrix RandomMatrix(std::size_t r, std::size_t c,
+                            std::uint64_t seed) {
+  rng::Rng rng(seed);
+  linalg::Matrix m(r, c);
+  for (std::size_t i = 0; i < m.size(); ++i) m.data()[i] = rng.Gaussian();
+  return m;
+}
+
+template <typename Fn>
+void ExpectSameMatrixAtAllWidths(const Fn& compute) {
+  parallel::SetNumThreads(1);
+  const linalg::Matrix reference = compute();
+  for (int width : {2, 8}) {
+    parallel::SetNumThreads(width);
+    const linalg::Matrix got = compute();
+    ASSERT_EQ(got.rows(), reference.rows());
+    ASSERT_EQ(got.cols(), reference.cols());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got.data()[i], reference.data()[i])
+          << "element " << i << " differs at " << width << " threads";
+    }
+  }
+}
+
+TEST_F(ParityTest, GemmVariantsAreBitIdenticalAcrossWidths) {
+  const linalg::Matrix a = RandomMatrix(311, 97, 1);
+  const linalg::Matrix b = RandomMatrix(97, 53, 2);
+  ExpectSameMatrixAtAllWidths([&] { return linalg::Gemm(a, b); });
+
+  const linalg::Matrix at = RandomMatrix(311, 97, 3);
+  const linalg::Matrix bt = RandomMatrix(311, 53, 4);
+  ExpectSameMatrixAtAllWidths([&] { return linalg::GemmTransA(at, bt); });
+  const linalg::Matrix c = RandomMatrix(53, 97, 5);
+  ExpectSameMatrixAtAllWidths([&] { return linalg::GemmTransB(a, c); });
+}
+
+TEST_F(ParityTest, PairwiseDistancesAndReductionsAreBitIdentical) {
+  const linalg::Matrix m = RandomMatrix(401, 37, 6);
+  ExpectSameMatrixAtAllWidths(
+      [&] { return linalg::PairwiseSquaredDistances(m); });
+
+  parallel::SetNumThreads(1);
+  const std::vector<double> col_ref = linalg::ColSums(m);
+  const std::vector<double> row_ref = linalg::RowSums(m);
+  for (int width : {2, 8}) {
+    parallel::SetNumThreads(width);
+    EXPECT_EQ(linalg::ColSums(m), col_ref);
+    EXPECT_EQ(linalg::RowSums(m), row_ref);
+  }
+}
+
+TEST_F(ParityTest, KMeansLabelsIdenticalAcrossWidths) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "parity";
+  spec.num_classes = 4;
+  spec.num_instances = 600;  // > assignment shard width, so shards matter
+  spec.num_features = 12;
+  spec.separation = 4.0;
+  const data::Dataset ds = data::GenerateGaussianMixture(spec, 11);
+
+  clustering::KMeansConfig cfg;
+  cfg.k = 4;
+  parallel::SetNumThreads(1);
+  const auto reference = clustering::KMeans(cfg).Cluster(ds.x, 5);
+  for (int width : {2, 8}) {
+    parallel::SetNumThreads(width);
+    const auto got = clustering::KMeans(cfg).Cluster(ds.x, 5);
+    EXPECT_EQ(got.assignment, reference.assignment)
+        << "labels differ at " << width << " threads";
+    EXPECT_EQ(got.objective, reference.objective);
+    EXPECT_EQ(got.iterations, reference.iterations);
+  }
+}
+
+TEST_F(ParityTest, FastKMeansModeIsThreadCountInvariant) {
+  // deterministic=false trades the serial-reference restart stream for
+  // ShardRng substreams; the result must still be identical at any
+  // thread count (it depends only on seed and restart index).
+  data::GaussianMixtureSpec spec;
+  spec.name = "parity-fast";
+  spec.num_classes = 3;
+  spec.num_instances = 300;
+  spec.num_features = 8;
+  spec.separation = 4.0;
+  const data::Dataset ds = data::GenerateGaussianMixture(spec, 13);
+
+  clustering::KMeansConfig cfg;
+  cfg.k = 3;
+  parallel::SetDeterministic(false);
+  parallel::SetNumThreads(1);
+  const auto reference = clustering::KMeans(cfg).Cluster(ds.x, 5);
+  for (int width : {2, 8}) {
+    parallel::SetNumThreads(width);
+    const auto got = clustering::KMeans(cfg).Cluster(ds.x, 5);
+    EXPECT_EQ(got.assignment, reference.assignment);
+    EXPECT_EQ(got.objective, reference.objective);
+  }
+  parallel::SetDeterministic(true);
+}
+
+template <typename Model>
+void ExpectCd1ParityAcrossWidths(const linalg::Matrix& x,
+                                 rbm::RbmConfig config) {
+  config.num_visible = static_cast<int>(x.cols());
+  parallel::SetNumThreads(1);
+  Model reference(config);
+  reference.Train(x);
+  for (int width : {2, 8}) {
+    parallel::SetNumThreads(width);
+    Model got(config);
+    got.Train(x);
+    ASSERT_EQ(got.weights().size(), reference.weights().size());
+    for (std::size_t i = 0; i < got.weights().size(); ++i) {
+      ASSERT_EQ(got.weights().data()[i], reference.weights().data()[i])
+          << "weight " << i << " differs at " << width << " threads";
+    }
+    EXPECT_EQ(got.visible_bias(), reference.visible_bias());
+    EXPECT_EQ(got.hidden_bias(), reference.hidden_bias());
+  }
+}
+
+TEST_F(ParityTest, Cd1WeightUpdatesIdenticalAcrossWidths) {
+  // Large enough that the GEMMs, reductions and the weight update all
+  // split into several shards.
+  linalg::Matrix x = RandomMatrix(320, 48, 21);
+  linalg::Matrix binary = x;
+  linalg::SigmoidInPlace(&binary);  // map into [0,1] for the binary RBM
+
+  rbm::RbmConfig config;
+  config.num_hidden = 40;
+  config.epochs = 3;
+  config.batch_size = 64;
+  config.seed = 9;
+  ExpectCd1ParityAcrossWidths<rbm::Rbm>(binary, config);
+  ExpectCd1ParityAcrossWidths<rbm::Grbm>(x, config);
+}
+
+}  // namespace
+}  // namespace mcirbm

@@ -18,9 +18,11 @@
 //       --out vt_model.txt
 //   mcirbm_cli eval --data vt.csv --model-file vt_model.txt \
 //       --standardize --clusterer kmeans
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <stdexcept>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -35,6 +37,7 @@
 #include "eval/algorithms.h"
 #include "eval/experiment.h"
 #include "metrics/external.h"
+#include "parallel/thread_pool.h"
 #include "rbm/serialize.h"
 #include "util/string_util.h"
 
@@ -53,7 +56,10 @@ class Args {
         if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
           values_[key] = argv[++i];
         } else {
-          values_[key] = "1";  // boolean flag
+          // Valueless flag. The empty sentinel keeps Has() working for
+          // boolean flags while making GetInt/GetDouble reject a numeric
+          // flag whose value was forgotten (e.g. `--threads --seed 7`).
+          values_[key] = "";
         }
       } else {
         std::cerr << "unexpected positional argument: " << arg << "\n";
@@ -70,10 +76,30 @@ class Args {
     return it == values_.end() ? fallback : it->second;
   }
   int GetInt(const std::string& key, int fallback) const {
-    return Has(key) ? std::stoi(Get(key)) : fallback;
+    if (!Has(key)) return fallback;
+    try {
+      std::size_t pos = 0;
+      const int v = std::stoi(Get(key), &pos);
+      if (pos != Get(key).size()) throw std::invalid_argument(key);
+      return v;
+    } catch (const std::exception&) {
+      std::cerr << "error: flag --" << key << " expects an integer, got '"
+                << Get(key) << "'\n";
+      std::exit(2);
+    }
   }
   double GetDouble(const std::string& key, double fallback) const {
-    return Has(key) ? std::stod(Get(key)) : fallback;
+    if (!Has(key)) return fallback;
+    try {
+      std::size_t pos = 0;
+      const double v = std::stod(Get(key), &pos);
+      if (pos != Get(key).size()) throw std::invalid_argument(key);
+      return v;
+    } catch (const std::exception&) {
+      std::cerr << "error: flag --" << key << " expects a number, got '"
+                << Get(key) << "'\n";
+      std::exit(2);
+    }
   }
 
  private:
@@ -341,6 +367,11 @@ void PrintUsage() {
   std::cout <<
       "usage: mcirbm_cli <command> [--flag value ...]\n"
       "\n"
+      "global flags:\n"
+      "  --threads N   worker threads for the parallel runtime (default:\n"
+      "                MCIRBM_THREADS env var, else hardware concurrency;\n"
+      "                results are identical at any thread count)\n"
+      "\n"
       "commands:\n"
       "  synth      --family msra|uci --index N --out <csv> [--seed N]\n"
       "  select-k   --data <csv> [--kmin 2] [--kmax 8] [--standardize|"
@@ -373,6 +404,13 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const Args args(argc, argv);
   if (!args.ok()) return 1;
+  // Pool width: --threads beats the MCIRBM_THREADS env var beats hardware
+  // concurrency. Applies to every subcommand.
+  if (args.Has("threads")) {
+    const int threads = args.GetInt("threads", 0);
+    if (threads <= 0) return Fail("--threads must be a positive integer");
+    parallel::SetNumThreads(threads);
+  }
   if (command == "synth") return RunSynth(args);
   if (command == "select-k") return RunSelectK(args);
   if (command == "supervise") return RunSupervise(args);
