@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_members.dir/bench/ablation_members.cc.o"
+  "CMakeFiles/bench_ablation_members.dir/bench/ablation_members.cc.o.d"
+  "bench_ablation_members"
+  "bench_ablation_members.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_members.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dataset_probe.dir/bench/dataset_probe.cc.o"
+  "CMakeFiles/bench_dataset_probe.dir/bench/dataset_probe.cc.o.d"
+  "bench_dataset_probe"
+  "bench_dataset_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dataset_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

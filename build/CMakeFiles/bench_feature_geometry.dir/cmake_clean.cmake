@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_feature_geometry.dir/bench/feature_geometry.cc.o"
+  "CMakeFiles/bench_feature_geometry.dir/bench/feature_geometry.cc.o.d"
+  "bench_feature_geometry"
+  "bench_feature_geometry.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_feature_geometry.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_averages_msra.dir/bench/fig5_averages_msra.cc.o"
+  "CMakeFiles/bench_fig5_averages_msra.dir/bench/fig5_averages_msra.cc.o.d"
+  "bench_fig5_averages_msra"
+  "bench_fig5_averages_msra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_averages_msra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

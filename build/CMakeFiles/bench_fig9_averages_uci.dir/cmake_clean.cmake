@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_averages_uci.dir/bench/fig9_averages_uci.cc.o"
+  "CMakeFiles/bench_fig9_averages_uci.dir/bench/fig9_averages_uci.cc.o.d"
+  "bench_fig9_averages_uci"
+  "bench_fig9_averages_uci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_averages_uci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_probe.dir/bench/probe.cc.o"
+  "CMakeFiles/bench_probe.dir/bench/probe.cc.o.d"
+  "bench_probe"
+  "bench_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

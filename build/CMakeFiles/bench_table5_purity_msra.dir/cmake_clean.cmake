@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_purity_msra.dir/bench/table5_purity_msra.cc.o"
+  "CMakeFiles/bench_table5_purity_msra.dir/bench/table5_purity_msra.cc.o.d"
+  "bench_table5_purity_msra"
+  "bench_table5_purity_msra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_purity_msra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_fmi_msra.dir/bench/table6_fmi_msra.cc.o"
+  "CMakeFiles/bench_table6_fmi_msra.dir/bench/table6_fmi_msra.cc.o.d"
+  "bench_table6_fmi_msra"
+  "bench_table6_fmi_msra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_fmi_msra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

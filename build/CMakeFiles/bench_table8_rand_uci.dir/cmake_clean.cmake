@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_rand_uci.dir/bench/table8_rand_uci.cc.o"
+  "CMakeFiles/bench_table8_rand_uci.dir/bench/table8_rand_uci.cc.o.d"
+  "bench_table8_rand_uci"
+  "bench_table8_rand_uci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_rand_uci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table9_fmi_uci.dir/bench/table9_fmi_uci.cc.o"
+  "CMakeFiles/bench_table9_fmi_uci.dir/bench/table9_fmi_uci.cc.o.d"
+  "bench_table9_fmi_uci"
+  "bench_table9_fmi_uci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table9_fmi_uci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

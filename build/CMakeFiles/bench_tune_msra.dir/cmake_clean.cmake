@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tune_msra.dir/bench/tune_msra.cc.o"
+  "CMakeFiles/bench_tune_msra.dir/bench/tune_msra.cc.o.d"
+  "bench_tune_msra"
+  "bench_tune_msra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tune_msra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

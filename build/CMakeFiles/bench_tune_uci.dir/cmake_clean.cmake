@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tune_uci.dir/bench/tune_uci.cc.o"
+  "CMakeFiles/bench_tune_uci.dir/bench/tune_uci.cc.o.d"
+  "bench_tune_uci"
+  "bench_tune_uci.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tune_uci.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

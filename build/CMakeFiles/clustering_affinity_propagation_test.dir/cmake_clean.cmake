@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_affinity_propagation_test.dir/tests/clustering/affinity_propagation_test.cc.o"
+  "CMakeFiles/clustering_affinity_propagation_test.dir/tests/clustering/affinity_propagation_test.cc.o.d"
+  "clustering_affinity_propagation_test"
+  "clustering_affinity_propagation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_affinity_propagation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

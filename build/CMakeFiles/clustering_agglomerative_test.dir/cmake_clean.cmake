@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_agglomerative_test.dir/tests/clustering/agglomerative_test.cc.o"
+  "CMakeFiles/clustering_agglomerative_test.dir/tests/clustering/agglomerative_test.cc.o.d"
+  "clustering_agglomerative_test"
+  "clustering_agglomerative_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_agglomerative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_clusterer_property_test.dir/tests/clustering/clusterer_property_test.cc.o"
+  "CMakeFiles/clustering_clusterer_property_test.dir/tests/clustering/clusterer_property_test.cc.o.d"
+  "clustering_clusterer_property_test"
+  "clustering_clusterer_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_clusterer_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_dbscan_test.dir/tests/clustering/dbscan_test.cc.o"
+  "CMakeFiles/clustering_dbscan_test.dir/tests/clustering/dbscan_test.cc.o.d"
+  "clustering_dbscan_test"
+  "clustering_dbscan_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_dbscan_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_density_peaks_test.dir/tests/clustering/density_peaks_test.cc.o"
+  "CMakeFiles/clustering_density_peaks_test.dir/tests/clustering/density_peaks_test.cc.o.d"
+  "clustering_density_peaks_test"
+  "clustering_density_peaks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_density_peaks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_kmeans_test.dir/tests/clustering/kmeans_test.cc.o"
+  "CMakeFiles/clustering_kmeans_test.dir/tests/clustering/kmeans_test.cc.o.d"
+  "clustering_kmeans_test"
+  "clustering_kmeans_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_kmeans_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

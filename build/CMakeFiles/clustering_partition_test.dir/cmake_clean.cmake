@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_partition_test.dir/tests/clustering/partition_test.cc.o"
+  "CMakeFiles/clustering_partition_test.dir/tests/clustering/partition_test.cc.o.d"
+  "clustering_partition_test"
+  "clustering_partition_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_partition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clustering_spectral_test.dir/tests/clustering/spectral_test.cc.o"
+  "CMakeFiles/clustering_spectral_test.dir/tests/clustering/spectral_test.cc.o.d"
+  "clustering_spectral_test"
+  "clustering_spectral_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clustering_spectral_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

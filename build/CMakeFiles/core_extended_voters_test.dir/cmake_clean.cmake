@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_extended_voters_test.dir/tests/core/extended_voters_test.cc.o"
+  "CMakeFiles/core_extended_voters_test.dir/tests/core/extended_voters_test.cc.o.d"
+  "core_extended_voters_test"
+  "core_extended_voters_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_extended_voters_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

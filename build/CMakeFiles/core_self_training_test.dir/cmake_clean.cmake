@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_self_training_test.dir/tests/core/self_training_test.cc.o"
+  "CMakeFiles/core_self_training_test.dir/tests/core/self_training_test.cc.o.d"
+  "core_self_training_test"
+  "core_self_training_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_self_training_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sls_gradient_test.dir/tests/core/sls_gradient_test.cc.o"
+  "CMakeFiles/core_sls_gradient_test.dir/tests/core/sls_gradient_test.cc.o.d"
+  "core_sls_gradient_test"
+  "core_sls_gradient_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sls_gradient_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_sls_models_test.dir/tests/core/sls_models_test.cc.o"
+  "CMakeFiles/core_sls_models_test.dir/tests/core/sls_models_test.cc.o.d"
+  "core_sls_models_test"
+  "core_sls_models_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_sls_models_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stack_serialize_test.dir/tests/core/stack_serialize_test.cc.o"
+  "CMakeFiles/core_stack_serialize_test.dir/tests/core/stack_serialize_test.cc.o.d"
+  "core_stack_serialize_test"
+  "core_stack_serialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stack_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

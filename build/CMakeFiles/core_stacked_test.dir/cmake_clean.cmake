@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_stacked_test.dir/tests/core/stacked_test.cc.o"
+  "CMakeFiles/core_stacked_test.dir/tests/core/stacked_test.cc.o.d"
+  "core_stacked_test"
+  "core_stacked_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_stacked_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

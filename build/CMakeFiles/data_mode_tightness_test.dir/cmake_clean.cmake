@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_mode_tightness_test.dir/tests/data/mode_tightness_test.cc.o"
+  "CMakeFiles/data_mode_tightness_test.dir/tests/data/mode_tightness_test.cc.o.d"
+  "data_mode_tightness_test"
+  "data_mode_tightness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_mode_tightness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_paper_datasets_test.dir/tests/data/paper_datasets_test.cc.o"
+  "CMakeFiles/data_paper_datasets_test.dir/tests/data/paper_datasets_test.cc.o.d"
+  "data_paper_datasets_test"
+  "data_paper_datasets_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_paper_datasets_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/data_transforms_test.dir/tests/data/transforms_test.cc.o"
+  "CMakeFiles/data_transforms_test.dir/tests/data/transforms_test.cc.o.d"
+  "data_transforms_test"
+  "data_transforms_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/data_transforms_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

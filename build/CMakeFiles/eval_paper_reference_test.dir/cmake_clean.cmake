@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eval_paper_reference_test.dir/tests/eval/paper_reference_test.cc.o"
+  "CMakeFiles/eval_paper_reference_test.dir/tests/eval/paper_reference_test.cc.o.d"
+  "eval_paper_reference_test"
+  "eval_paper_reference_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eval_paper_reference_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_deep_stack.dir/examples/deep_stack.cpp.o"
+  "CMakeFiles/example_deep_stack.dir/examples/deep_stack.cpp.o.d"
+  "example_deep_stack"
+  "example_deep_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_deep_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_ensemble_members.dir/examples/ensemble_members.cpp.o"
+  "CMakeFiles/example_ensemble_members.dir/examples/ensemble_members.cpp.o.d"
+  "example_ensemble_members"
+  "example_ensemble_members.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_ensemble_members.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_export_features.dir/examples/export_features.cpp.o"
+  "CMakeFiles/example_export_features.dir/examples/export_features.cpp.o.d"
+  "example_export_features"
+  "example_export_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_export_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

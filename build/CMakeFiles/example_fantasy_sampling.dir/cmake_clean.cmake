@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fantasy_sampling.dir/examples/fantasy_sampling.cpp.o"
+  "CMakeFiles/example_fantasy_sampling.dir/examples/fantasy_sampling.cpp.o.d"
+  "example_fantasy_sampling"
+  "example_fantasy_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fantasy_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_msra_image_clustering.dir/examples/msra_image_clustering.cpp.o"
+  "CMakeFiles/example_msra_image_clustering.dir/examples/msra_image_clustering.cpp.o.d"
+  "example_msra_image_clustering"
+  "example_msra_image_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_msra_image_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

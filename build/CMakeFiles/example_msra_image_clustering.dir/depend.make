@@ -1,0 +1,2 @@
+# Empty dependencies file for example_msra_image_clustering.
+# This may be replaced when dependencies are built.

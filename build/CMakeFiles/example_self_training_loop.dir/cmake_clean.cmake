@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_self_training_loop.dir/examples/self_training_loop.cpp.o"
+  "CMakeFiles/example_self_training_loop.dir/examples/self_training_loop.cpp.o.d"
+  "example_self_training_loop"
+  "example_self_training_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_self_training_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

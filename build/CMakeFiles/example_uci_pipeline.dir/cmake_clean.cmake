@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_uci_pipeline.dir/examples/uci_pipeline.cpp.o"
+  "CMakeFiles/example_uci_pipeline.dir/examples/uci_pipeline.cpp.o.d"
+  "example_uci_pipeline"
+  "example_uci_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_uci_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

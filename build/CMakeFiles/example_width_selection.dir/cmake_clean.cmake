@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_width_selection.dir/examples/width_selection.cpp.o"
+  "CMakeFiles/example_width_selection.dir/examples/width_selection.cpp.o.d"
+  "example_width_selection"
+  "example_width_selection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_width_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcirbm_bench_common.dir/bench/bench_common.cc.o"
+  "CMakeFiles/mcirbm_bench_common.dir/bench/bench_common.cc.o.d"
+  "libmcirbm_bench_common.a"
+  "libmcirbm_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcirbm_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcirbm_cli.dir/tools/mcirbm_cli.cc.o"
+  "CMakeFiles/mcirbm_cli.dir/tools/mcirbm_cli.cc.o.d"
+  "mcirbm_cli"
+  "mcirbm_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcirbm_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

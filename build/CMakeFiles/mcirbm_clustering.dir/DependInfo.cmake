@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/affinity_propagation.cc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/affinity_propagation.cc.o" "gcc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/affinity_propagation.cc.o.d"
+  "/root/repo/src/clustering/agglomerative.cc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/agglomerative.cc.o" "gcc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/agglomerative.cc.o.d"
+  "/root/repo/src/clustering/dbscan.cc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/dbscan.cc.o" "gcc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/dbscan.cc.o.d"
+  "/root/repo/src/clustering/density_peaks.cc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/density_peaks.cc.o" "gcc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/density_peaks.cc.o.d"
+  "/root/repo/src/clustering/gmm.cc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/gmm.cc.o" "gcc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/gmm.cc.o.d"
+  "/root/repo/src/clustering/kmeans.cc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/kmeans.cc.o" "gcc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/kmeans.cc.o.d"
+  "/root/repo/src/clustering/partition.cc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/partition.cc.o" "gcc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/partition.cc.o.d"
+  "/root/repo/src/clustering/spectral.cc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/spectral.cc.o" "gcc" "CMakeFiles/mcirbm_clustering.dir/src/clustering/spectral.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/mcirbm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_rng.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

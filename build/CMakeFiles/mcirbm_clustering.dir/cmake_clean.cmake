@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/affinity_propagation.cc.o"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/affinity_propagation.cc.o.d"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/agglomerative.cc.o"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/agglomerative.cc.o.d"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/dbscan.cc.o"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/dbscan.cc.o.d"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/density_peaks.cc.o"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/density_peaks.cc.o.d"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/gmm.cc.o"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/gmm.cc.o.d"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/kmeans.cc.o"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/kmeans.cc.o.d"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/partition.cc.o"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/partition.cc.o.d"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/spectral.cc.o"
+  "CMakeFiles/mcirbm_clustering.dir/src/clustering/spectral.cc.o.d"
+  "libmcirbm_clustering.a"
+  "libmcirbm_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcirbm_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

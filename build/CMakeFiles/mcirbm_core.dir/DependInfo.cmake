@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/model_selection.cc" "CMakeFiles/mcirbm_core.dir/src/core/model_selection.cc.o" "gcc" "CMakeFiles/mcirbm_core.dir/src/core/model_selection.cc.o.d"
+  "/root/repo/src/core/pipeline.cc" "CMakeFiles/mcirbm_core.dir/src/core/pipeline.cc.o" "gcc" "CMakeFiles/mcirbm_core.dir/src/core/pipeline.cc.o.d"
+  "/root/repo/src/core/self_training.cc" "CMakeFiles/mcirbm_core.dir/src/core/self_training.cc.o" "gcc" "CMakeFiles/mcirbm_core.dir/src/core/self_training.cc.o.d"
+  "/root/repo/src/core/sls_gradient.cc" "CMakeFiles/mcirbm_core.dir/src/core/sls_gradient.cc.o" "gcc" "CMakeFiles/mcirbm_core.dir/src/core/sls_gradient.cc.o.d"
+  "/root/repo/src/core/sls_models.cc" "CMakeFiles/mcirbm_core.dir/src/core/sls_models.cc.o" "gcc" "CMakeFiles/mcirbm_core.dir/src/core/sls_models.cc.o.d"
+  "/root/repo/src/core/stack_serialize.cc" "CMakeFiles/mcirbm_core.dir/src/core/stack_serialize.cc.o" "gcc" "CMakeFiles/mcirbm_core.dir/src/core/stack_serialize.cc.o.d"
+  "/root/repo/src/core/stacked.cc" "CMakeFiles/mcirbm_core.dir/src/core/stacked.cc.o" "gcc" "CMakeFiles/mcirbm_core.dir/src/core/stacked.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/mcirbm_rbm.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_voting.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_rng.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcirbm_core.dir/src/core/model_selection.cc.o"
+  "CMakeFiles/mcirbm_core.dir/src/core/model_selection.cc.o.d"
+  "CMakeFiles/mcirbm_core.dir/src/core/pipeline.cc.o"
+  "CMakeFiles/mcirbm_core.dir/src/core/pipeline.cc.o.d"
+  "CMakeFiles/mcirbm_core.dir/src/core/self_training.cc.o"
+  "CMakeFiles/mcirbm_core.dir/src/core/self_training.cc.o.d"
+  "CMakeFiles/mcirbm_core.dir/src/core/sls_gradient.cc.o"
+  "CMakeFiles/mcirbm_core.dir/src/core/sls_gradient.cc.o.d"
+  "CMakeFiles/mcirbm_core.dir/src/core/sls_models.cc.o"
+  "CMakeFiles/mcirbm_core.dir/src/core/sls_models.cc.o.d"
+  "CMakeFiles/mcirbm_core.dir/src/core/stack_serialize.cc.o"
+  "CMakeFiles/mcirbm_core.dir/src/core/stack_serialize.cc.o.d"
+  "CMakeFiles/mcirbm_core.dir/src/core/stacked.cc.o"
+  "CMakeFiles/mcirbm_core.dir/src/core/stacked.cc.o.d"
+  "libmcirbm_core.a"
+  "libmcirbm_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcirbm_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

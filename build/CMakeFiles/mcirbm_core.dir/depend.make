@@ -1,0 +1,2 @@
+# Empty dependencies file for mcirbm_core.
+# This may be replaced when dependencies are built.

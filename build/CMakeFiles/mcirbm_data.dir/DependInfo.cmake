@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset.cc" "CMakeFiles/mcirbm_data.dir/src/data/dataset.cc.o" "gcc" "CMakeFiles/mcirbm_data.dir/src/data/dataset.cc.o.d"
+  "/root/repo/src/data/io.cc" "CMakeFiles/mcirbm_data.dir/src/data/io.cc.o" "gcc" "CMakeFiles/mcirbm_data.dir/src/data/io.cc.o.d"
+  "/root/repo/src/data/paper_datasets.cc" "CMakeFiles/mcirbm_data.dir/src/data/paper_datasets.cc.o" "gcc" "CMakeFiles/mcirbm_data.dir/src/data/paper_datasets.cc.o.d"
+  "/root/repo/src/data/synthetic.cc" "CMakeFiles/mcirbm_data.dir/src/data/synthetic.cc.o" "gcc" "CMakeFiles/mcirbm_data.dir/src/data/synthetic.cc.o.d"
+  "/root/repo/src/data/transforms.cc" "CMakeFiles/mcirbm_data.dir/src/data/transforms.cc.o" "gcc" "CMakeFiles/mcirbm_data.dir/src/data/transforms.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/mcirbm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_rng.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

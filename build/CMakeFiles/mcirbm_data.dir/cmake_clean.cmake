@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcirbm_data.dir/src/data/dataset.cc.o"
+  "CMakeFiles/mcirbm_data.dir/src/data/dataset.cc.o.d"
+  "CMakeFiles/mcirbm_data.dir/src/data/io.cc.o"
+  "CMakeFiles/mcirbm_data.dir/src/data/io.cc.o.d"
+  "CMakeFiles/mcirbm_data.dir/src/data/paper_datasets.cc.o"
+  "CMakeFiles/mcirbm_data.dir/src/data/paper_datasets.cc.o.d"
+  "CMakeFiles/mcirbm_data.dir/src/data/synthetic.cc.o"
+  "CMakeFiles/mcirbm_data.dir/src/data/synthetic.cc.o.d"
+  "CMakeFiles/mcirbm_data.dir/src/data/transforms.cc.o"
+  "CMakeFiles/mcirbm_data.dir/src/data/transforms.cc.o.d"
+  "libmcirbm_data.a"
+  "libmcirbm_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcirbm_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcirbm_eval.dir/src/eval/algorithms.cc.o"
+  "CMakeFiles/mcirbm_eval.dir/src/eval/algorithms.cc.o.d"
+  "CMakeFiles/mcirbm_eval.dir/src/eval/experiment.cc.o"
+  "CMakeFiles/mcirbm_eval.dir/src/eval/experiment.cc.o.d"
+  "CMakeFiles/mcirbm_eval.dir/src/eval/paper_reference.cc.o"
+  "CMakeFiles/mcirbm_eval.dir/src/eval/paper_reference.cc.o.d"
+  "CMakeFiles/mcirbm_eval.dir/src/eval/report.cc.o"
+  "CMakeFiles/mcirbm_eval.dir/src/eval/report.cc.o.d"
+  "libmcirbm_eval.a"
+  "libmcirbm_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcirbm_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linalg/eigen.cc" "CMakeFiles/mcirbm_linalg.dir/src/linalg/eigen.cc.o" "gcc" "CMakeFiles/mcirbm_linalg.dir/src/linalg/eigen.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "CMakeFiles/mcirbm_linalg.dir/src/linalg/matrix.cc.o" "gcc" "CMakeFiles/mcirbm_linalg.dir/src/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/ops.cc" "CMakeFiles/mcirbm_linalg.dir/src/linalg/ops.cc.o" "gcc" "CMakeFiles/mcirbm_linalg.dir/src/linalg/ops.cc.o.d"
+  "/root/repo/src/linalg/pca.cc" "CMakeFiles/mcirbm_linalg.dir/src/linalg/pca.cc.o" "gcc" "CMakeFiles/mcirbm_linalg.dir/src/linalg/pca.cc.o.d"
+  "/root/repo/src/linalg/stats.cc" "CMakeFiles/mcirbm_linalg.dir/src/linalg/stats.cc.o" "gcc" "CMakeFiles/mcirbm_linalg.dir/src/linalg/stats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/mcirbm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_rng.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcirbm_linalg.dir/src/linalg/eigen.cc.o"
+  "CMakeFiles/mcirbm_linalg.dir/src/linalg/eigen.cc.o.d"
+  "CMakeFiles/mcirbm_linalg.dir/src/linalg/matrix.cc.o"
+  "CMakeFiles/mcirbm_linalg.dir/src/linalg/matrix.cc.o.d"
+  "CMakeFiles/mcirbm_linalg.dir/src/linalg/ops.cc.o"
+  "CMakeFiles/mcirbm_linalg.dir/src/linalg/ops.cc.o.d"
+  "CMakeFiles/mcirbm_linalg.dir/src/linalg/pca.cc.o"
+  "CMakeFiles/mcirbm_linalg.dir/src/linalg/pca.cc.o.d"
+  "CMakeFiles/mcirbm_linalg.dir/src/linalg/stats.cc.o"
+  "CMakeFiles/mcirbm_linalg.dir/src/linalg/stats.cc.o.d"
+  "libmcirbm_linalg.a"
+  "libmcirbm_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcirbm_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/external.cc" "CMakeFiles/mcirbm_metrics.dir/src/metrics/external.cc.o" "gcc" "CMakeFiles/mcirbm_metrics.dir/src/metrics/external.cc.o.d"
+  "/root/repo/src/metrics/hungarian.cc" "CMakeFiles/mcirbm_metrics.dir/src/metrics/hungarian.cc.o" "gcc" "CMakeFiles/mcirbm_metrics.dir/src/metrics/hungarian.cc.o.d"
+  "/root/repo/src/metrics/internal.cc" "CMakeFiles/mcirbm_metrics.dir/src/metrics/internal.cc.o" "gcc" "CMakeFiles/mcirbm_metrics.dir/src/metrics/internal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/mcirbm_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_rng.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcirbm_metrics.dir/src/metrics/external.cc.o"
+  "CMakeFiles/mcirbm_metrics.dir/src/metrics/external.cc.o.d"
+  "CMakeFiles/mcirbm_metrics.dir/src/metrics/hungarian.cc.o"
+  "CMakeFiles/mcirbm_metrics.dir/src/metrics/hungarian.cc.o.d"
+  "CMakeFiles/mcirbm_metrics.dir/src/metrics/internal.cc.o"
+  "CMakeFiles/mcirbm_metrics.dir/src/metrics/internal.cc.o.d"
+  "libmcirbm_metrics.a"
+  "libmcirbm_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcirbm_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmcirbm_metrics.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcirbm_parallel.dir/src/parallel/thread_pool.cc.o"
+  "CMakeFiles/mcirbm_parallel.dir/src/parallel/thread_pool.cc.o.d"
+  "libmcirbm_parallel.a"
+  "libmcirbm_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcirbm_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rbm/free_energy.cc" "CMakeFiles/mcirbm_rbm.dir/src/rbm/free_energy.cc.o" "gcc" "CMakeFiles/mcirbm_rbm.dir/src/rbm/free_energy.cc.o.d"
+  "/root/repo/src/rbm/grbm.cc" "CMakeFiles/mcirbm_rbm.dir/src/rbm/grbm.cc.o" "gcc" "CMakeFiles/mcirbm_rbm.dir/src/rbm/grbm.cc.o.d"
+  "/root/repo/src/rbm/rbm.cc" "CMakeFiles/mcirbm_rbm.dir/src/rbm/rbm.cc.o" "gcc" "CMakeFiles/mcirbm_rbm.dir/src/rbm/rbm.cc.o.d"
+  "/root/repo/src/rbm/rbm_base.cc" "CMakeFiles/mcirbm_rbm.dir/src/rbm/rbm_base.cc.o" "gcc" "CMakeFiles/mcirbm_rbm.dir/src/rbm/rbm_base.cc.o.d"
+  "/root/repo/src/rbm/sampling.cc" "CMakeFiles/mcirbm_rbm.dir/src/rbm/sampling.cc.o" "gcc" "CMakeFiles/mcirbm_rbm.dir/src/rbm/sampling.cc.o.d"
+  "/root/repo/src/rbm/serialize.cc" "CMakeFiles/mcirbm_rbm.dir/src/rbm/serialize.cc.o" "gcc" "CMakeFiles/mcirbm_rbm.dir/src/rbm/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/mcirbm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_rng.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

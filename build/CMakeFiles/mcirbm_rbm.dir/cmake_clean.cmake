@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcirbm_rbm.dir/src/rbm/free_energy.cc.o"
+  "CMakeFiles/mcirbm_rbm.dir/src/rbm/free_energy.cc.o.d"
+  "CMakeFiles/mcirbm_rbm.dir/src/rbm/grbm.cc.o"
+  "CMakeFiles/mcirbm_rbm.dir/src/rbm/grbm.cc.o.d"
+  "CMakeFiles/mcirbm_rbm.dir/src/rbm/rbm.cc.o"
+  "CMakeFiles/mcirbm_rbm.dir/src/rbm/rbm.cc.o.d"
+  "CMakeFiles/mcirbm_rbm.dir/src/rbm/rbm_base.cc.o"
+  "CMakeFiles/mcirbm_rbm.dir/src/rbm/rbm_base.cc.o.d"
+  "CMakeFiles/mcirbm_rbm.dir/src/rbm/sampling.cc.o"
+  "CMakeFiles/mcirbm_rbm.dir/src/rbm/sampling.cc.o.d"
+  "CMakeFiles/mcirbm_rbm.dir/src/rbm/serialize.cc.o"
+  "CMakeFiles/mcirbm_rbm.dir/src/rbm/serialize.cc.o.d"
+  "libmcirbm_rbm.a"
+  "libmcirbm_rbm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcirbm_rbm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

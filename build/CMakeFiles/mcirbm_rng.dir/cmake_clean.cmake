@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcirbm_rng.dir/src/rng/rng.cc.o"
+  "CMakeFiles/mcirbm_rng.dir/src/rng/rng.cc.o.d"
+  "libmcirbm_rng.a"
+  "libmcirbm_rng.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcirbm_rng.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcirbm_util.dir/src/util/csv.cc.o"
+  "CMakeFiles/mcirbm_util.dir/src/util/csv.cc.o.d"
+  "CMakeFiles/mcirbm_util.dir/src/util/logging.cc.o"
+  "CMakeFiles/mcirbm_util.dir/src/util/logging.cc.o.d"
+  "CMakeFiles/mcirbm_util.dir/src/util/status.cc.o"
+  "CMakeFiles/mcirbm_util.dir/src/util/status.cc.o.d"
+  "CMakeFiles/mcirbm_util.dir/src/util/string_util.cc.o"
+  "CMakeFiles/mcirbm_util.dir/src/util/string_util.cc.o.d"
+  "libmcirbm_util.a"
+  "libmcirbm_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcirbm_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

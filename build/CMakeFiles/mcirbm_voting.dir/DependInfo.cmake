@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/voting/alignment.cc" "CMakeFiles/mcirbm_voting.dir/src/voting/alignment.cc.o" "gcc" "CMakeFiles/mcirbm_voting.dir/src/voting/alignment.cc.o.d"
+  "/root/repo/src/voting/local_supervision.cc" "CMakeFiles/mcirbm_voting.dir/src/voting/local_supervision.cc.o" "gcc" "CMakeFiles/mcirbm_voting.dir/src/voting/local_supervision.cc.o.d"
+  "/root/repo/src/voting/vote.cc" "CMakeFiles/mcirbm_voting.dir/src/voting/vote.cc.o" "gcc" "CMakeFiles/mcirbm_voting.dir/src/voting/vote.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/mcirbm_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_rng.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcirbm_voting.dir/src/voting/alignment.cc.o"
+  "CMakeFiles/mcirbm_voting.dir/src/voting/alignment.cc.o.d"
+  "CMakeFiles/mcirbm_voting.dir/src/voting/local_supervision.cc.o"
+  "CMakeFiles/mcirbm_voting.dir/src/voting/local_supervision.cc.o.d"
+  "CMakeFiles/mcirbm_voting.dir/src/voting/vote.cc.o"
+  "CMakeFiles/mcirbm_voting.dir/src/voting/vote.cc.o.d"
+  "libmcirbm_voting.a"
+  "libmcirbm_voting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcirbm_voting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

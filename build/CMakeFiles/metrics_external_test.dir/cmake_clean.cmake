@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_external_test.dir/tests/metrics/external_test.cc.o"
+  "CMakeFiles/metrics_external_test.dir/tests/metrics/external_test.cc.o.d"
+  "metrics_external_test"
+  "metrics_external_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_external_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_hungarian_test.dir/tests/metrics/hungarian_test.cc.o"
+  "CMakeFiles/metrics_hungarian_test.dir/tests/metrics/hungarian_test.cc.o.d"
+  "metrics_hungarian_test"
+  "metrics_hungarian_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_hungarian_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metrics_internal_test.dir/tests/metrics/internal_test.cc.o"
+  "CMakeFiles/metrics_internal_test.dir/tests/metrics/internal_test.cc.o.d"
+  "metrics_internal_test"
+  "metrics_internal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metrics_internal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

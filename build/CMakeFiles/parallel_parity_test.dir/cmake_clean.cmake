@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_parity_test.dir/tests/parallel/parity_test.cc.o"
+  "CMakeFiles/parallel_parity_test.dir/tests/parallel/parity_test.cc.o.d"
+  "parallel_parity_test"
+  "parallel_parity_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_parity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_thread_pool_test.dir/tests/parallel/thread_pool_test.cc.o"
+  "CMakeFiles/parallel_thread_pool_test.dir/tests/parallel/thread_pool_test.cc.o.d"
+  "parallel_thread_pool_test"
+  "parallel_thread_pool_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_thread_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbm_free_energy_test.dir/tests/rbm/free_energy_test.cc.o"
+  "CMakeFiles/rbm_free_energy_test.dir/tests/rbm/free_energy_test.cc.o.d"
+  "rbm_free_energy_test"
+  "rbm_free_energy_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbm_free_energy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

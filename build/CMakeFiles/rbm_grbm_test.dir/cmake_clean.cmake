@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbm_grbm_test.dir/tests/rbm/grbm_test.cc.o"
+  "CMakeFiles/rbm_grbm_test.dir/tests/rbm/grbm_test.cc.o.d"
+  "rbm_grbm_test"
+  "rbm_grbm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbm_grbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

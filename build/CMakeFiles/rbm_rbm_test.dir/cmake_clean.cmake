@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbm_rbm_test.dir/tests/rbm/rbm_test.cc.o"
+  "CMakeFiles/rbm_rbm_test.dir/tests/rbm/rbm_test.cc.o.d"
+  "rbm_rbm_test"
+  "rbm_rbm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbm_rbm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbm_sampling_test.dir/tests/rbm/sampling_test.cc.o"
+  "CMakeFiles/rbm_sampling_test.dir/tests/rbm/sampling_test.cc.o.d"
+  "rbm_sampling_test"
+  "rbm_sampling_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbm_sampling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

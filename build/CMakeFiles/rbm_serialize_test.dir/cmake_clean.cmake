@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbm_serialize_test.dir/tests/rbm/serialize_test.cc.o"
+  "CMakeFiles/rbm_serialize_test.dir/tests/rbm/serialize_test.cc.o.d"
+  "rbm_serialize_test"
+  "rbm_serialize_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbm_serialize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

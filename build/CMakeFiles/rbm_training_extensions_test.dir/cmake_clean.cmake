@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rbm_training_extensions_test.dir/tests/rbm/training_extensions_test.cc.o"
+  "CMakeFiles/rbm_training_extensions_test.dir/tests/rbm/training_extensions_test.cc.o.d"
+  "rbm_training_extensions_test"
+  "rbm_training_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rbm_training_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/util/csv_test.cc" "CMakeFiles/util_csv_test.dir/tests/util/csv_test.cc.o" "gcc" "CMakeFiles/util_csv_test.dir/tests/util/csv_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/CMakeFiles/mcirbm_eval.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_core.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_rbm.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_voting.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_data.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_rng.dir/DependInfo.cmake"
+  "/root/repo/build/CMakeFiles/mcirbm_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voting_alignment_test.dir/tests/voting/alignment_test.cc.o"
+  "CMakeFiles/voting_alignment_test.dir/tests/voting/alignment_test.cc.o.d"
+  "voting_alignment_test"
+  "voting_alignment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voting_alignment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/voting_vote_extended_test.dir/tests/voting/vote_extended_test.cc.o"
+  "CMakeFiles/voting_vote_extended_test.dir/tests/voting/vote_extended_test.cc.o.d"
+  "voting_vote_extended_test"
+  "voting_vote_extended_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/voting_vote_extended_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
