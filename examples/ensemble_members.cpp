@@ -1,10 +1,11 @@
 // Ensemble members: swap and extend the clusterers behind the
-// multi-clustering integration.
+// multi-clustering integration, using registry voter specs.
 //
 // The paper integrates DP, K-means and AP with unanimous voting. This
 // example adds the extended voters (Ward agglomerative, DBSCAN, GMM,
-// spectral) and shows the precision/coverage trade-off of each member
-// set, then trains an slsGRBM from the strictest consensus.
+// spectral) by name through clustering::ClustererRegistry and shows the
+// precision/coverage trade-off of each member set, then trains an slsGRBM
+// from the strictest consensus.
 //
 // Build & run:  ./build/examples/ensemble_members
 #include <iomanip>
@@ -12,13 +13,11 @@
 #include <string>
 #include <vector>
 
-#include "clustering/kmeans.h"
-#include "core/pipeline.h"
+#include "api/api.h"
 #include "data/paper_datasets.h"
-#include "eval/experiment.h"
 #include "data/transforms.h"
+#include "eval/experiment.h"
 #include "metrics/external.h"
-#include "voting/vote.h"
 
 int main() {
   using namespace mcirbm;
@@ -28,42 +27,46 @@ int main() {
   linalg::Matrix x = dataset.x;
   data::StandardizeInPlace(&x);
 
-  // Member sets to compare, from the paper's trio to the full ensemble.
+  // Member sets as ordered voter lists — the same "name" / "name*count"
+  // syntax the CLI's --voters flag and config files use.
   struct MemberSet {
     std::string label;
-    core::SupervisionConfig config;
+    std::string voters;
+    voting::VoteStrategy strategy = voting::VoteStrategy::kUnanimous;
   };
-  std::vector<MemberSet> sets;
-  {
-    core::SupervisionConfig paper;
-    paper.num_clusters = dataset.num_classes;
-    sets.push_back({"paper: DP+KM+AP", paper});
-
-    core::SupervisionConfig plus_ward = paper;
-    plus_ward.use_agglomerative = true;
-    sets.push_back({"+ Ward linkage", plus_ward});
-
-    core::SupervisionConfig plus_gmm = plus_ward;
-    plus_gmm.use_gmm = true;
-    sets.push_back({"+ GMM", plus_gmm});
-
-    // Unanimity gets stricter with every member; over the full 7-voter
-    // ensemble it collapses to near-zero coverage, so the full set votes
-    // by majority instead — the right reduction for large ensembles.
-    core::SupervisionConfig full = plus_gmm;
-    full.use_dbscan = true;
-    full.use_spectral = true;
-    sets.push_back({"full (unanimous)", full});
-
-    core::SupervisionConfig full_majority = full;
-    full_majority.strategy = voting::VoteStrategy::kMajority;
-    sets.push_back({"full (majority)", full_majority});
-  }
+  const std::vector<MemberSet> sets = {
+      {"paper: DP+KM+AP", "dp,kmeans,ap"},
+      {"+ Ward linkage", "dp,kmeans,ap,agglomerative"},
+      {"+ GMM", "dp,kmeans,ap,agglomerative,gmm"},
+      // Unanimity gets stricter with every member; over the full 7-voter
+      // ensemble it collapses to near-zero coverage, so the full set votes
+      // by majority instead — the right reduction for large ensembles.
+      {"full (unanimous)", "dp,kmeans,ap,agglomerative,gmm,dbscan,spectral"},
+      {"full (majority)", "dp,kmeans,ap,agglomerative,gmm,dbscan,spectral",
+       voting::VoteStrategy::kMajority},
+  };
 
   std::cout << std::fixed << std::setprecision(3);
   std::cout << "member set          coverage  consensus-purity\n";
+  core::SupervisionConfig last_config;
   for (const auto& set : sets) {
-    const auto sup = core::ComputeSelfLearningSupervision(x, set.config, 5);
+    core::SupervisionConfig config;
+    config.num_clusters = dataset.num_classes;
+    config.strategy = set.strategy;
+    auto voters = core::ParseVoterList(set.voters);
+    if (!voters.ok()) {
+      std::cerr << "bad voter list: " << voters.status().ToString() << "\n";
+      return 1;
+    }
+    config.voters = std::move(voters).value();
+    last_config = config;
+    auto sup_or = core::TryComputeSelfLearningSupervision(x, config, 5);
+    if (!sup_or.ok()) {
+      std::cerr << "supervision failed: " << sup_or.status().ToString()
+                << "\n";
+      return 1;
+    }
+    const voting::LocalSupervision& sup = sup_or.value();
     // Purity of the credible instances against ground truth (diagnostic
     // only — the pipeline itself never sees labels).
     std::vector<int> truth, pred;
@@ -86,14 +89,19 @@ int main() {
   pipeline.model = core::ModelKind::kSlsGrbm;
   pipeline.rbm = paper.rbm;
   pipeline.sls = paper.sls;
-  pipeline.supervision = sets.back().config;
-  const auto result = core::RunEncoderPipeline(x, pipeline, 7);
+  pipeline.supervision = last_config;
+  auto model = api::Model::Train(x, pipeline, 7);
+  if (!model.ok()) {
+    std::cerr << "training failed: " << model.status().ToString() << "\n";
+    return 1;
+  }
 
-  clustering::KMeansConfig km;
-  km.k = dataset.num_classes;
-  const auto raw = clustering::KMeans(km).Cluster(dataset.x, 1);
+  ParamMap km;
+  km.Set("k", std::to_string(dataset.num_classes));
+  auto kmeans = clustering::ClustererRegistry::Global().Create("kmeans", km);
+  const auto raw = kmeans.value()->Cluster(dataset.x, 1);
   const auto hidden =
-      clustering::KMeans(km).Cluster(result.hidden_features, 1);
+      kmeans.value()->Cluster(model.value().Transform(x).value(), 1);
   std::cout << "\nk-means accuracy on original data: "
             << metrics::ClusteringAccuracy(dataset.labels, raw.assignment)
             << "  hidden(majority-ensemble slsGRBM): "

@@ -1,15 +1,15 @@
 // Domain example: batch feature extraction for downstream tooling.
 //
-// Trains an slsGRBM on a dataset, exports the hidden-layer features plus
-// labels to CSV (LoadDatasetCsv-compatible), and verifies the round trip —
-// the workflow for feeding mcirbm representations into external analysis
-// stacks (pandas, R, ...).
+// Trains an slsRBM through the api facade, exports the hidden-layer
+// features plus labels to CSV (LoadDatasetCsv-compatible), and verifies
+// the round trip — the workflow for feeding mcirbm representations into
+// external analysis stacks (pandas, R, ...).
 //
 // Usage: export_features [output.csv]
 #include <iostream>
 #include <string>
 
-#include "core/pipeline.h"
+#include "api/api.h"
 #include "data/io.h"
 #include "data/paper_datasets.h"
 #include "data/transforms.h"
@@ -31,12 +31,21 @@ int main(int argc, char** argv) {
   cfg.rbm.learning_rate = 1e-5;
   cfg.sls.eta = 0.5;
   cfg.supervision.num_clusters = ds.num_classes;
-  const core::PipelineResult result = core::RunEncoderPipeline(x, cfg, 7);
+  auto model = api::Model::Train(x, cfg, 7);
+  if (!model.ok()) {
+    std::cerr << "training failed: " << model.status().ToString() << "\n";
+    return 1;
+  }
+  auto hidden = model.value().Transform(x);
+  if (!hidden.ok()) {
+    std::cerr << "transform failed: " << hidden.status().ToString() << "\n";
+    return 1;
+  }
 
   // Package hidden features + ground-truth labels as a Dataset and save.
   data::Dataset features;
   features.name = ds.name + " (slsRBM features)";
-  features.x = result.hidden_features;
+  features.x = std::move(hidden).value();
   features.labels = ds.labels;
   features.num_classes = ds.num_classes;
   const Status status = data::SaveDatasetCsv(features, out_path);

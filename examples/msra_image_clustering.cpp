@@ -9,7 +9,7 @@
 #include <cstdlib>
 #include <iostream>
 
-#include "core/pipeline.h"
+#include "api/api.h"
 #include "data/paper_datasets.h"
 #include "data/transforms.h"
 #include "eval/algorithms.h"
@@ -44,32 +44,46 @@ int main(int argc, char** argv) {
   // uses; see eval::MakePaperConfig and EXPERIMENTS.md).
   const eval::ExperimentConfig paper = eval::MakePaperConfig(true);
 
-  // Stage 1-2: multi-clustering integration on the visible layer.
+  // Stage 1-2: multi-clustering integration on the visible layer, with
+  // the voters expressed as registry specs ("dp", "kmeans"×3, "ap").
   core::SupervisionConfig sup_cfg = paper.supervision;
   sup_cfg.num_clusters = ds.num_classes;
-  const voting::LocalSupervision supervision =
-      core::ComputeSelfLearningSupervision(x, sup_cfg, 3);
+  sup_cfg.voters = {{"dp", {}, 1},
+                    {"kmeans", {}, paper.supervision.kmeans_voters},
+                    {"ap", {}, 1}};
+  auto supervision_or = core::TryComputeSelfLearningSupervision(x, sup_cfg, 3);
+  if (!supervision_or.ok()) {
+    std::cerr << "supervision failed: "
+              << supervision_or.status().ToString() << "\n";
+    return 1;
+  }
+  const voting::LocalSupervision& supervision = supervision_or.value();
   std::cout << "\nunanimous voting kept " << supervision.NumCredible()
             << " credible instances in " << supervision.num_clusters
             << " local clusters (coverage "
             << FormatDouble(supervision.Coverage(), 3) << ")\n";
 
-  // Stage 3: train plain GRBM and slsGRBM side by side.
+  // Stage 3: train plain GRBM and slsGRBM side by side via the facade.
   core::PipelineConfig plain_cfg;
   plain_cfg.model = core::ModelKind::kGrbm;
   plain_cfg.rbm = paper.rbm;
-  const auto plain = core::RunEncoderPipeline(x, plain_cfg, 7);
+  auto plain = api::Model::Train(x, plain_cfg, 7);
 
   core::PipelineConfig sls_cfg = plain_cfg;
   sls_cfg.model = core::ModelKind::kSlsGrbm;
   sls_cfg.sls = paper.sls;
   sls_cfg.supervision = sup_cfg;
-  const auto sls = core::RunEncoderPipeline(x, sls_cfg, 7);
+  auto sls = api::Model::Train(x, sls_cfg, 7);
+  if (!plain.ok() || !sls.ok()) {
+    std::cerr << "training failed\n";
+    return 1;
+  }
+  const linalg::Matrix plain_hidden = plain.value().Transform(x).value();
+  const linalg::Matrix sls_hidden = sls.value().Transform(x).value();
 
   // Stage 4: the paper's 3x3 comparison on this dataset.
   std::cout << "\nclusterer   variant        accuracy  purity   FMI\n";
-  const linalg::Matrix* feats[3] = {&x_raw, &plain.hidden_features,
-                                    &sls.hidden_features};
+  const linalg::Matrix* feats[3] = {&x_raw, &plain_hidden, &sls_hidden};
   const char* variant_names[3] = {"raw       ", "+GRBM     ", "+slsGRBM  "};
   for (int c = 0; c < eval::kNumClusterers; ++c) {
     for (int v = 0; v < 3; ++v) {

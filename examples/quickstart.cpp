@@ -1,5 +1,5 @@
-// Quickstart: the full mcirbm pipeline on a synthetic dataset in ~40 lines
-// of user code (Fig. 1 of the paper, end to end).
+// Quickstart: the full mcirbm pipeline on a synthetic dataset through the
+// public api facade (Fig. 1 of the paper, end to end).
 //
 //   data -> {DP, K-means, AP} -> unanimous voting -> slsGRBM training ->
 //   hidden features -> k-means -> external metrics
@@ -7,12 +7,10 @@
 // Build & run:  ./build/examples/quickstart
 #include <iostream>
 
-#include "clustering/kmeans.h"
-#include "core/pipeline.h"
+#include "api/api.h"
 #include "data/paper_datasets.h"
 #include "data/transforms.h"
 #include "eval/experiment.h"
-#include "metrics/external.h"
 
 int main() {
   using namespace mcirbm;
@@ -26,9 +24,9 @@ int main() {
   linalg::Matrix x = dataset.x;
   data::StandardizeInPlace(&x);
 
-  // 3. Configure and run the encoder pipeline (slsGRBM) with the
-  //    calibrated paper hyper-parameters (η=0.4, lr=1e-4, Section V.B;
-  //    width/epochs/scale from EXPERIMENTS.md).
+  // 3. Configure and train the encoder (slsGRBM) with the calibrated
+  //    paper hyper-parameters (η=0.4, lr=1e-4, Section V.B; width/epochs/
+  //    scale from EXPERIMENTS.md). Everything fallible returns StatusOr.
   const eval::ExperimentConfig paper = eval::MakePaperConfig(true);
   core::PipelineConfig config;
   config.model = core::ModelKind::kSlsGrbm;
@@ -36,28 +34,44 @@ int main() {
   config.sls = paper.sls;
   config.supervision = paper.supervision;
   config.supervision.num_clusters = dataset.num_classes;
-  const core::PipelineResult result =
-      core::RunEncoderPipeline(x, config, /*seed=*/7);
+  auto model = api::Model::Train(x, config, /*seed=*/7);
+  if (!model.ok()) {
+    std::cerr << "training failed: " << model.status().ToString() << "\n";
+    return 1;
+  }
 
   std::cout << "self-learning supervision: "
-            << result.supervision.num_clusters << " credible clusters, "
-            << result.supervision.NumCredible() << "/"
+            << model.value().supervision().num_clusters
+            << " credible clusters, "
+            << model.value().supervision().NumCredible() << "/"
             << dataset.num_instances() << " instances credible\n";
   std::cout << "final reconstruction error: "
-            << result.final_reconstruction_error << "\n";
+            << model.value().final_reconstruction_error() << "\n";
 
   // 4. Cluster the original data (as the paper's raw baseline does) vs
-  //    the hidden features and compare.
-  clustering::KMeansConfig km;
-  km.k = dataset.num_classes;
-  const auto raw = clustering::KMeans(km).Cluster(dataset.x, 1);
-  const auto hidden =
-      clustering::KMeans(km).Cluster(result.hidden_features, 1);
-
+  //    the hidden features and compare — one Evaluate call each.
+  api::EvalOptions eval_options;
+  eval_options.clusterer = "kmeans";
+  eval_options.k = dataset.num_classes;
+  eval_options.seed = 1;
+  // Raw baseline: k-means straight from the registry.
+  ParamMap params;
+  params.Set("k", std::to_string(dataset.num_classes));
+  auto kmeans =
+      clustering::ClustererRegistry::Global().Create("kmeans", params);
+  const auto raw = kmeans.value()->Cluster(dataset.x, 1);
   const metrics::MetricBundle raw_m =
       metrics::ComputeAll(dataset.labels, raw.assignment);
-  const metrics::MetricBundle hid_m =
-      metrics::ComputeAll(dataset.labels, hidden.assignment);
+  // Hidden features: straight through the model (transform + cluster +
+  // score in one call). Note the paper clusters raw on the *original*
+  // representation, so Evaluate runs on the standardized x only for the
+  // hidden side.
+  auto hid = model.value().Evaluate(x, dataset.labels, eval_options);
+  if (!hid.ok()) {
+    std::cerr << "evaluate failed: " << hid.status().ToString() << "\n";
+    return 1;
+  }
+  const metrics::MetricBundle& hid_m = hid.value().metrics;
 
   std::cout << "\n             accuracy  purity   Rand     FMI\n";
   std::cout << "raw features   " << raw_m.accuracy << "   " << raw_m.purity

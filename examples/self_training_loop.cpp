@@ -11,7 +11,7 @@
 #include <iomanip>
 #include <iostream>
 
-#include "clustering/kmeans.h"
+#include "api/api.h"
 #include "core/self_training.h"
 #include "data/paper_datasets.h"
 #include "eval/experiment.h"
@@ -53,11 +53,12 @@ int main() {
     std::cout << "(stopped early: consensus coverage stabilized)\n";
   }
 
-  clustering::KMeansConfig km;
-  km.k = dataset.num_classes;
-  const auto raw = clustering::KMeans(km).Cluster(dataset.x, 1);
-  const auto refined =
-      clustering::KMeans(km).Cluster(result.hidden_features, 1);
+  // Downstream comparison through the clusterer registry.
+  ParamMap km;
+  km.Set("k", std::to_string(dataset.num_classes));
+  auto kmeans = clustering::ClustererRegistry::Global().Create("kmeans", km);
+  const auto raw = kmeans.value()->Cluster(dataset.x, 1);
+  const auto refined = kmeans.value()->Cluster(result.hidden_features, 1);
   std::cout << "\nk-means accuracy on original data: "
             << metrics::ClusteringAccuracy(dataset.labels, raw.assignment)
             << "  after " << result.rounds.size()

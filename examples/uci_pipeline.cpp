@@ -1,17 +1,16 @@
 // Domain example: slsRBM on binary-visible (UCI-like) tabular data — the
 // paper's datasets II scenario, including the binarization step and model
-// checkpointing via the serialization API.
+// checkpointing through the versioned api::Model artifact.
 //
 // Usage: uci_pipeline [dataset-index 0..5]
 #include <cstdlib>
 #include <iostream>
 
-#include "core/pipeline.h"
+#include "api/api.h"
 #include "data/paper_datasets.h"
 #include "data/transforms.h"
 #include "eval/algorithms.h"
 #include "metrics/external.h"
-#include "rbm/serialize.h"
 #include "util/string_util.h"
 
 int main(int argc, char** argv) {
@@ -42,17 +41,26 @@ int main(int argc, char** argv) {
   cfg.sls.eta = 0.5;             // paper, Section V.B
   cfg.sls.supervision_scale = 1000.0;
   cfg.supervision.num_clusters = ds.num_classes;
-  const core::PipelineResult result = core::RunEncoderPipeline(x, cfg, 7);
+  auto trained = api::Model::Train(x, cfg, 7);
+  if (!trained.ok()) {
+    std::cerr << "training failed: " << trained.status().ToString() << "\n";
+    return 1;
+  }
 
-  // Checkpoint the trained encoder and restore it into a fresh model.
+  // Checkpoint the trained encoder and restore it through the unified
+  // artifact: one Save, one Load, no model-specific plumbing.
   const std::string path = "/tmp/mcirbm_uci_model.txt";
-  const Status save_status = rbm::SaveParameters(*result.model, path);
+  const Status save_status = trained.value().Save(path);
   std::cout << "checkpoint save: " << save_status.ToString() << "\n";
-  rbm::RbmConfig restored_cfg = result.model->config();
-  core::SlsRbm restored(restored_cfg, cfg.sls, result.supervision);
-  const Status load_status = rbm::LoadParameters(path, &restored);
-  std::cout << "checkpoint load: " << load_status.ToString() << "\n";
-  const linalg::Matrix h = restored.HiddenFeatures(x);
+  auto restored = api::Model::Load(path);
+  std::cout << "checkpoint load: " << restored.status().ToString() << "\n";
+  if (!restored.ok()) return 1;
+  auto hidden = restored.value().Transform(x);
+  if (!hidden.ok()) {
+    std::cerr << "transform failed: " << hidden.status().ToString() << "\n";
+    return 1;
+  }
+  const linalg::Matrix& h = hidden.value();
 
   std::cout << "\nclusterer   accuracy(raw)  accuracy(slsRBM hidden)\n";
   for (int c = 0; c < eval::kNumClusterers; ++c) {

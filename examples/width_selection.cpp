@@ -11,7 +11,7 @@
 #include <iostream>
 #include <vector>
 
-#include "clustering/kmeans.h"
+#include "api/api.h"
 #include "core/model_selection.h"
 #include "data/paper_datasets.h"
 #include "data/transforms.h"
@@ -42,17 +42,23 @@ int main() {
   std::cout << "width  silhouette(label-free)  recon-error  "
                "accuracy(diagnostic)\n";
   for (const auto& candidate : selection.candidates) {
-    // Diagnostic column only: retrain at this width and score against
-    // ground truth. The selection itself never saw a label.
+    // Diagnostic column only: retrain at this width through the facade
+    // and score against ground truth. The selection itself never saw a
+    // label.
     core::PipelineConfig probe = config;
     probe.rbm.num_hidden = candidate.num_hidden;
-    const auto result = core::RunEncoderPipeline(x, probe, 7);
-    clustering::KMeansConfig km;
-    km.k = dataset.num_classes;
-    const auto clusters =
-        clustering::KMeans(km).Cluster(result.hidden_features, 7);
+    auto model = api::Model::Train(x, probe, 7);
+    if (!model.ok()) {
+      std::cerr << "training failed: " << model.status().ToString() << "\n";
+      return 1;
+    }
+    api::EvalOptions options;
+    options.k = dataset.num_classes;
+    options.seed = 7;
     const double accuracy =
-        metrics::ClusteringAccuracy(dataset.labels, clusters.assignment);
+        model.value().Evaluate(x, dataset.labels, options)
+            .value()
+            .metrics.accuracy;
     std::cout << std::setw(5) << candidate.num_hidden << std::setw(14)
               << candidate.silhouette << std::setw(18)
               << candidate.reconstruction_error << std::setw(14) << accuracy

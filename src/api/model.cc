@@ -1,0 +1,202 @@
+#include "api/model.h"
+
+#include <fstream>
+#include <set>
+#include <utility>
+
+#include "api/model_registry.h"
+#include "clustering/registry.h"
+#include "rbm/serialize.h"
+#include "util/check.h"
+#include "util/string_util.h"
+
+namespace mcirbm::api {
+
+const char kModelMagic[] = "mcirbm-model v1";
+
+namespace {
+
+constexpr char kMagicPrefix[] = "mcirbm-model v";
+
+// Parses "mcirbm-model v<N>" into N; ParseError for anything else.
+StatusOr<int> ParseModelVersion(const std::string& line,
+                                const std::string& path) {
+  if (!StartsWith(line, kMagicPrefix)) {
+    return Status::ParseError(path + ": bad model magic '" + line + "'");
+  }
+  const std::string version_text =
+      line.substr(std::string(kMagicPrefix).size());
+  // 6 digits bounds the accumulator well below INT_MAX; any real version
+  // is a small integer, so longer strings are corruption.
+  if (version_text.empty() || version_text.size() > 6) {
+    return Status::ParseError(path + ": bad model version '" + line + "'");
+  }
+  int version = 0;
+  for (char c : version_text) {
+    if (c < '0' || c > '9') {
+      return Status::ParseError(path + ": bad model version '" + line + "'");
+    }
+    version = version * 10 + (c - '0');
+  }
+  return version;
+}
+
+}  // namespace
+
+StatusOr<Model> Model::Train(const linalg::Matrix& x,
+                             const core::PipelineConfig& config,
+                             std::uint64_t seed) {
+  auto result = core::TryRunEncoderPipeline(x, config, seed);
+  if (!result.ok()) return result.status();
+  core::PipelineResult pipeline = std::move(result).value();
+  Model model;
+  model.kind_ = ModelKindRegistryName(config.model);
+  model.encoder_ = std::move(pipeline.model);
+  model.supervision_ = std::move(pipeline.supervision);
+  model.final_reconstruction_error_ = pipeline.final_reconstruction_error;
+  return model;
+}
+
+Status Model::Save(const std::string& path) const {
+  if (!valid()) return Status::InvalidArgument("cannot save an empty model");
+  if (stack_ != nullptr) {
+    return Status::InvalidArgument(
+        "stack-backed models are multi-file manifests; save them with "
+        "core::SaveStack");
+  }
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  out << kModelMagic << "\n" << "kind: " << kind_ << "\n";
+  const Status status = rbm::SaveParameters(*encoder_, out);
+  if (!status.ok()) {
+    return Status::IoError(status.message() + " for " + path);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Model> Model::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::string first_line;
+  if (!std::getline(in, first_line)) {
+    return Status::ParseError(path + ": empty model file");
+  }
+
+  Model model;
+
+  // Legacy stack manifest: delegate to core/stack_serialize (the layer
+  // payloads live in sibling files).
+  if (first_line == core::kStackMagic) {
+    auto stack = std::make_unique<core::LoadedStack>();
+    const Status status = core::LoadStack(path, stack.get());
+    if (!status.ok()) return status;
+    model.kind_ = "stack";
+    model.stack_ = std::move(stack);
+    return model;
+  }
+
+  // Legacy bare parameter file: the payload names the model itself.
+  if (first_line == rbm::kRbmMagic) {
+    in.seekg(0);
+    auto encoder = rbm::LoadInferenceModel(in, path);
+    if (!encoder.ok()) return encoder.status();
+    model.encoder_ = std::move(encoder).value();
+    model.kind_ = model.encoder_->name();
+    return model;
+  }
+
+  // Versioned wrapper.
+  auto version = ParseModelVersion(first_line, path);
+  if (!version.ok()) return version.status();
+  if (version.value() > kModelFormatVersion) {
+    return Status::InvalidArgument(
+        path + ": model format v" + std::to_string(version.value()) +
+        " is newer than this build supports (v" +
+        std::to_string(kModelFormatVersion) + ")");
+  }
+  std::string kind_line;
+  if (!std::getline(in, kind_line) || !StartsWith(kind_line, "kind: ")) {
+    return Status::ParseError(path + ": missing 'kind:' header line");
+  }
+  model.kind_ = Trim(kind_line.substr(std::string("kind: ").size()));
+  if (model.kind_.empty()) {
+    return Status::ParseError(path + ": empty model kind");
+  }
+  auto encoder = rbm::LoadInferenceModel(in, path);
+  if (!encoder.ok()) return encoder.status();
+  model.encoder_ = std::move(encoder).value();
+  return model;
+}
+
+StatusOr<linalg::Matrix> Model::Transform(const linalg::Matrix& x) const {
+  if (!valid()) {
+    return Status::InvalidArgument("cannot transform with an empty model");
+  }
+  if (x.rows() == 0) {
+    return Status::InvalidArgument("transform input is empty");
+  }
+  if (x.cols() != num_visible()) {
+    return Status::InvalidArgument(
+        "transform input has " + std::to_string(x.cols()) +
+        " features but the model expects " + std::to_string(num_visible()));
+  }
+  return stack_ != nullptr ? stack_->Transform(x)
+                           : encoder_->HiddenFeatures(x);
+}
+
+StatusOr<EvalResult> Model::Evaluate(const linalg::Matrix& x,
+                                     const std::vector<int>& labels,
+                                     const EvalOptions& options) const {
+  if (labels.size() != x.rows()) {
+    return Status::InvalidArgument(
+        "labels length " + std::to_string(labels.size()) +
+        " does not match " + std::to_string(x.rows()) + " instances");
+  }
+  auto features = Transform(x);
+  if (!features.ok()) return features.status();
+
+  int k = options.k;
+  if (k <= 0) {
+    k = static_cast<int>(
+        std::set<int>(labels.begin(), labels.end()).size());
+  }
+  if (k <= 0) return Status::InvalidArgument("cannot infer cluster count");
+
+  ParamMap params;
+  params.Set("k", std::to_string(k));
+  auto clusterer = clustering::ClustererRegistry::Global().Create(
+      options.clusterer, params);
+  if (!clusterer.ok()) return clusterer.status();
+
+  const clustering::ClusteringResult clustering =
+      clusterer.value()->Cluster(features.value(), options.seed);
+  EvalResult result;
+  result.metrics = metrics::ComputeAll(labels, clustering.assignment);
+  result.clusters_found = clustering.num_clusters;
+  return result;
+}
+
+std::size_t Model::num_visible() const {
+  if (stack_ != nullptr) return stack_->layer(0).weights().rows();
+  return encoder_ != nullptr ? encoder_->weights().rows() : 0;
+}
+
+std::size_t Model::num_hidden() const {
+  if (stack_ != nullptr) {
+    return stack_->layer(stack_->num_layers() - 1).weights().cols();
+  }
+  return encoder_ != nullptr ? encoder_->weights().cols() : 0;
+}
+
+std::size_t Model::num_layers() const {
+  if (stack_ != nullptr) return stack_->num_layers();
+  return encoder_ != nullptr ? 1 : 0;
+}
+
+const rbm::RbmBase& Model::encoder() const {
+  MCIRBM_CHECK(encoder_ != nullptr)
+      << "encoder() requires a single-layer model";
+  return *encoder_;
+}
+
+}  // namespace mcirbm::api

@@ -1,0 +1,155 @@
+#include "api/model_registry.h"
+
+#include <utility>
+
+#include "core/sls_models.h"
+#include "rbm/grbm.h"
+#include "rbm/rbm.h"
+
+namespace mcirbm::api {
+namespace {
+
+constexpr std::initializer_list<const char*> kRbmKeys = {
+    "visible",        "hidden",       "epochs",
+    "lr",             "batch_size",   "cd_k",
+    "momentum",       "momentum_final", "momentum_switch_epoch",
+    "weight_decay",   "init_weight_stddev",
+    "sample_hidden",  "seed"};
+
+constexpr std::initializer_list<const char*> kSlsKeys = {
+    "visible",        "hidden",       "epochs",
+    "lr",             "batch_size",   "cd_k",
+    "momentum",       "momentum_final", "momentum_switch_epoch",
+    "weight_decay",   "init_weight_stddev",
+    "sample_hidden",  "seed",         "eta",
+    "scale",          "disperse_weight", "max_grad_norm"};
+
+// Shared rbm hyper-parameter keys: visible (required), hidden, epochs,
+// lr, batch_size, cd_k, momentum, weight_decay, init_weight_stddev,
+// sample_hidden, seed.
+StatusOr<rbm::RbmConfig> RbmConfigFromParams(const ParamMap& p) {
+  rbm::RbmConfig cfg;
+  MCIRBM_ASSIGN_OR_RETURN(cfg.num_visible, p.GetInt("visible", cfg.num_visible));
+  MCIRBM_ASSIGN_OR_RETURN(cfg.num_hidden, p.GetInt("hidden", cfg.num_hidden));
+  MCIRBM_ASSIGN_OR_RETURN(cfg.epochs, p.GetInt("epochs", cfg.epochs));
+  MCIRBM_ASSIGN_OR_RETURN(cfg.learning_rate,
+                      p.GetDouble("lr", cfg.learning_rate));
+  MCIRBM_ASSIGN_OR_RETURN(cfg.batch_size, p.GetInt("batch_size", cfg.batch_size));
+  MCIRBM_ASSIGN_OR_RETURN(cfg.cd_k, p.GetInt("cd_k", cfg.cd_k));
+  MCIRBM_ASSIGN_OR_RETURN(cfg.momentum, p.GetDouble("momentum", cfg.momentum));
+  MCIRBM_ASSIGN_OR_RETURN(cfg.momentum_final,
+                      p.GetDouble("momentum_final", cfg.momentum_final));
+  MCIRBM_ASSIGN_OR_RETURN(
+      cfg.momentum_switch_epoch,
+      p.GetInt("momentum_switch_epoch", cfg.momentum_switch_epoch));
+  MCIRBM_ASSIGN_OR_RETURN(cfg.weight_decay,
+                      p.GetDouble("weight_decay", cfg.weight_decay));
+  MCIRBM_ASSIGN_OR_RETURN(
+      cfg.init_weight_stddev,
+      p.GetDouble("init_weight_stddev", cfg.init_weight_stddev));
+  MCIRBM_ASSIGN_OR_RETURN(cfg.sample_hidden_states,
+                      p.GetBool("sample_hidden", cfg.sample_hidden_states));
+  int seed = static_cast<int>(cfg.seed);
+  MCIRBM_ASSIGN_OR_RETURN(seed, p.GetInt("seed", seed));
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  if (cfg.num_visible <= 0) {
+    return Status::InvalidArgument(
+        "model factory requires a positive 'visible' parameter");
+  }
+  if (cfg.num_hidden <= 0) {
+    return Status::InvalidArgument("'hidden' must be positive");
+  }
+  // Mirror RbmBase's constructor CHECKs so a bad parameter surfaces as a
+  // Status instead of an abort.
+  if (cfg.epochs < 0) {
+    return Status::InvalidArgument("'epochs' must be non-negative");
+  }
+  if (!(cfg.learning_rate > 0)) {
+    return Status::InvalidArgument("'lr' must be positive");
+  }
+  if (cfg.cd_k < 1) {
+    return Status::InvalidArgument("'cd_k' must be >= 1");
+  }
+  return cfg;
+}
+
+// sls-only keys: eta, scale, disperse_weight, max_grad_norm.
+StatusOr<core::SlsConfig> SlsConfigFromParams(const ParamMap& p) {
+  core::SlsConfig cfg;
+  MCIRBM_ASSIGN_OR_RETURN(cfg.eta, p.GetDouble("eta", cfg.eta));
+  MCIRBM_ASSIGN_OR_RETURN(cfg.supervision_scale,
+                      p.GetDouble("scale", cfg.supervision_scale));
+  MCIRBM_ASSIGN_OR_RETURN(cfg.disperse_weight,
+                      p.GetDouble("disperse_weight", cfg.disperse_weight));
+  MCIRBM_ASSIGN_OR_RETURN(cfg.max_grad_norm,
+                      p.GetDouble("max_grad_norm", cfg.max_grad_norm));
+  if (!(cfg.eta > 0 && cfg.eta < 1)) {
+    return Status::InvalidArgument("'eta' must be in (0, 1)");
+  }
+  if (cfg.supervision_scale < 0) {
+    return Status::InvalidArgument("'scale' must be non-negative");
+  }
+  return cfg;
+}
+
+template <typename PlainModel>
+StatusOr<std::unique_ptr<rbm::RbmBase>> MakePlain(
+    const ParamMap& p, const voting::LocalSupervision& /*supervision*/) {
+  Status s = p.ExpectOnly(kRbmKeys);
+  if (!s.ok()) return s;
+  auto cfg = RbmConfigFromParams(p);
+  if (!cfg.ok()) return cfg.status();
+  return std::unique_ptr<rbm::RbmBase>(new PlainModel(cfg.value()));
+}
+
+template <typename SlsModel>
+StatusOr<std::unique_ptr<rbm::RbmBase>> MakeSls(
+    const ParamMap& p, const voting::LocalSupervision& supervision) {
+  Status s = p.ExpectOnly(kSlsKeys);
+  if (!s.ok()) return s;
+  auto cfg = RbmConfigFromParams(p);
+  if (!cfg.ok()) return cfg.status();
+  auto sls = SlsConfigFromParams(p);
+  if (!sls.ok()) return sls.status();
+  return std::unique_ptr<rbm::RbmBase>(
+      new SlsModel(cfg.value(), sls.value(), supervision));
+}
+
+}  // namespace
+
+StatusOr<core::ModelKind> ModelKindFromName(const std::string& name) {
+  if (name == "rbm") return core::ModelKind::kRbm;
+  if (name == "grbm") return core::ModelKind::kGrbm;
+  if (name == "sls-rbm") return core::ModelKind::kSlsRbm;
+  if (name == "sls-grbm") return core::ModelKind::kSlsGrbm;
+  return Status::NotFound("unknown model '" + name +
+                          "' (rbm|grbm|sls-rbm|sls-grbm)");
+}
+
+const char* ModelKindRegistryName(core::ModelKind kind) {
+  switch (kind) {
+    case core::ModelKind::kRbm:
+      return "rbm";
+    case core::ModelKind::kGrbm:
+      return "grbm";
+    case core::ModelKind::kSlsRbm:
+      return "sls-rbm";
+    case core::ModelKind::kSlsGrbm:
+      return "sls-grbm";
+  }
+  return "?";
+}
+
+ModelRegistry::ModelRegistry() : NamedRegistry("model") {
+  AddBuiltin("rbm", MakePlain<rbm::Rbm>);
+  AddBuiltin("grbm", MakePlain<rbm::Grbm>);
+  AddBuiltin("sls-rbm", MakeSls<core::SlsRbm>);
+  AddBuiltin("sls-grbm", MakeSls<core::SlsGrbm>);
+}
+
+ModelRegistry& ModelRegistry::Global() {
+  static ModelRegistry* registry = new ModelRegistry();
+  return *registry;
+}
+
+}  // namespace mcirbm::api

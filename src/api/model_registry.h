@@ -1,0 +1,57 @@
+// String-keyed factory registry over the encoder models.
+//
+// Built-in names mirror the CLI's --model values:
+//
+//   rbm | grbm | sls-rbm | sls-grbm
+//
+// Each factory builds an *untrained* encoder from a ParamMap (see the key
+// list next to each factory in model_registry.cc); the sls variants
+// additionally consume the LocalSupervision handed to Create. Training,
+// persistence, and inference on top of these live in api::Model.
+#ifndef MCIRBM_API_MODEL_REGISTRY_H_
+#define MCIRBM_API_MODEL_REGISTRY_H_
+
+#include <memory>
+#include <string>
+
+#include "core/pipeline.h"
+#include "rbm/rbm_base.h"
+#include "util/param_map.h"
+#include "util/registry.h"
+#include "util/status.h"
+#include "voting/local_supervision.h"
+
+namespace mcirbm::api {
+
+/// Maps a registry/CLI model name to the pipeline's ModelKind.
+/// NotFound for unregistered names.
+StatusOr<core::ModelKind> ModelKindFromName(const std::string& name);
+
+/// Registry/CLI name of a ModelKind ("rbm", "grbm", "sls-rbm", "sls-grbm").
+const char* ModelKindRegistryName(core::ModelKind kind);
+
+/// Process-wide name -> factory table for encoder models. Create builds
+/// an *untrained* model; `supervision` is consumed by the sls variants
+/// and ignored by plain ones. NotFound for unknown names; factory
+/// parameter errors pass through.
+class ModelRegistry
+    : public NamedRegistry<StatusOr<std::unique_ptr<rbm::RbmBase>>(
+          const ParamMap&, const voting::LocalSupervision&)> {
+ public:
+  /// The singleton, pre-populated with the four built-in models.
+  static ModelRegistry& Global();
+
+  using NamedRegistry::Create;
+  /// Convenience overload for the plain models, which take no supervision.
+  StatusOr<std::unique_ptr<rbm::RbmBase>> Create(
+      const std::string& name, const ParamMap& params) const {
+    return Create(name, params, voting::LocalSupervision{});
+  }
+
+ private:
+  ModelRegistry();
+};
+
+}  // namespace mcirbm::api
+
+#endif  // MCIRBM_API_MODEL_REGISTRY_H_

@@ -1,0 +1,44 @@
+// String-keyed factory registry over every clusterer in this module.
+//
+// The registry is the extension seam for the multi-clustering integration:
+// the supervision stage, the eval harness, and the CLI all resolve voters
+// and evaluation clusterers by name here, so a new algorithm becomes
+// available everywhere by registering one factory. Built-in names:
+//
+//   dp | kmeans | ap | agglomerative | dbscan | gmm | spectral
+//
+// Every factory accepts the shared "k" parameter (requested cluster count;
+// density-based algorithms that find their own count ignore it) plus the
+// algorithm-specific keys documented next to each factory in registry.cc.
+// Unknown names and malformed parameters come back as non-OK Status — the
+// registry never aborts on user input.
+#ifndef MCIRBM_CLUSTERING_REGISTRY_H_
+#define MCIRBM_CLUSTERING_REGISTRY_H_
+
+#include <memory>
+
+#include "clustering/clusterer.h"
+#include "util/param_map.h"
+#include "util/registry.h"
+#include "util/status.h"
+
+namespace mcirbm::clustering {
+
+/// Process-wide name -> factory table for Clusterer implementations.
+/// Create resolves the clusterer registered under a name and instantiates
+/// it with a ParamMap; NotFound for unknown names, factory-specific errors
+/// (unknown or malformed parameters) pass through.
+class ClustererRegistry
+    : public NamedRegistry<StatusOr<std::unique_ptr<Clusterer>>(
+          const ParamMap&)> {
+ public:
+  /// The singleton, pre-populated with the built-in clusterers.
+  static ClustererRegistry& Global();
+
+ private:
+  ClustererRegistry();
+};
+
+}  // namespace mcirbm::clustering
+
+#endif  // MCIRBM_CLUSTERING_REGISTRY_H_

@@ -1,19 +1,15 @@
 #include "core/pipeline.h"
 
+#include <cmath>
 #include <functional>
 #include <utility>
 #include <vector>
 
-#include "clustering/affinity_propagation.h"
-#include "clustering/agglomerative.h"
-#include "clustering/dbscan.h"
-#include "clustering/density_peaks.h"
-#include "clustering/gmm.h"
-#include "clustering/kmeans.h"
-#include "clustering/spectral.h"
+#include "clustering/registry.h"
 #include "parallel/thread_pool.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace mcirbm::core {
 
@@ -31,74 +27,107 @@ const char* ModelKindName(ModelKind kind) {
   return "?";
 }
 
-voting::LocalSupervision ComputeSelfLearningSupervision(
+StatusOr<std::vector<VoterSpec>> ParseVoterList(const std::string& text) {
+  std::vector<VoterSpec> specs;
+  for (const std::string& part : Split(text, ',')) {
+    const std::string entry = Trim(part);
+    if (entry.empty()) continue;
+    VoterSpec spec;
+    const std::size_t star = entry.find('*');
+    if (star == std::string::npos) {
+      spec.clusterer = entry;
+    } else {
+      spec.clusterer = Trim(entry.substr(0, star));
+      if (!ParseInt(Trim(entry.substr(star + 1)), &spec.count)) {
+        return Status::ParseError("voter '" + entry +
+                                  "': count must be an integer");
+      }
+      if (spec.count <= 0) {
+        return Status::InvalidArgument("voter '" + entry +
+                                       "': count must be positive");
+      }
+    }
+    if (!clustering::ClustererRegistry::Global().Contains(spec.clusterer)) {
+      return Status::NotFound("unknown voter clusterer '" + spec.clusterer +
+                              "'");
+    }
+    specs.push_back(std::move(spec));
+  }
+  if (specs.empty()) {
+    return Status::InvalidArgument("voter list '" + text +
+                                   "' resolves to no voters");
+  }
+  return specs;
+}
+
+StatusOr<std::vector<VoterSpec>> ResolveVoterSpecs(
+    const SupervisionConfig& config) {
+  if (!config.voters.empty()) {
+    std::vector<VoterSpec> specs = config.voters;
+    for (const VoterSpec& spec : specs) {
+      if (spec.count <= 0) {
+        return Status::InvalidArgument("voter '" + spec.clusterer +
+                                       "': count must be positive");
+      }
+    }
+    return specs;
+  }
+  // Deprecated bool-flag shim, preserved in the historical voter order so
+  // seeds — and therefore results — match the pre-registry pipeline.
+  std::vector<VoterSpec> specs;
+  if (config.use_density_peaks) specs.push_back({"dp", {}, 1});
+  if (config.use_kmeans) {
+    if (config.kmeans_voters <= 0) {
+      return Status::InvalidArgument("kmeans_voters must be positive");
+    }
+    specs.push_back({"kmeans", {}, config.kmeans_voters});
+  }
+  if (config.use_affinity_propagation) specs.push_back({"ap", {}, 1});
+  if (config.use_agglomerative) specs.push_back({"agglomerative", {}, 1});
+  if (config.use_dbscan) specs.push_back({"dbscan", {}, 1});
+  if (config.use_gmm) specs.push_back({"gmm", {}, 1});
+  if (config.use_spectral) specs.push_back({"spectral", {}, 1});
+  if (specs.empty()) {
+    return Status::InvalidArgument(
+        "at least one base clusterer must be enabled");
+  }
+  return specs;
+}
+
+StatusOr<voting::LocalSupervision> TryComputeSelfLearningSupervision(
     const linalg::Matrix& x, const SupervisionConfig& config,
     std::uint64_t seed) {
-  MCIRBM_CHECK_GT(config.num_clusters, 0);
+  if (config.num_clusters <= 0) {
+    return Status::InvalidArgument("supervision num_clusters must be > 0");
+  }
+  auto specs_or = ResolveVoterSpecs(config);
+  if (!specs_or.ok()) return specs_or.status();
+  const std::vector<VoterSpec> specs = std::move(specs_or).value();
 
-  // Every enabled voter is an independent (clusterer, seed) job; collect
+  // Every voter repeat is an independent (clusterer, seed) job; collect
   // them first so the ensemble can train in parallel. Slot order — and
   // therefore the integrated result — matches the original serial
-  // construction exactly; each voter keeps its original seed.
+  // construction exactly: repeat v of a spec runs with seed + v·7919.
   std::vector<std::function<std::vector<int>()>> voters;
-
-  if (config.use_density_peaks) {
-    clustering::DensityPeaksConfig dp;
-    dp.k = config.num_clusters;
-    voters.push_back([&x, dp, seed] {
-      return clustering::DensityPeaks(dp).Cluster(x, seed).assignment;
-    });
-  }
-  if (config.use_kmeans) {
-    MCIRBM_CHECK_GT(config.kmeans_voters, 0);
-    clustering::KMeansConfig km;
-    km.k = config.num_clusters;
-    for (int v = 0; v < config.kmeans_voters; ++v) {
+  for (const VoterSpec& spec : specs) {
+    ParamMap params = spec.params;
+    if (!params.Has("k")) {
+      params.Set("k", std::to_string(config.num_clusters));
+    }
+    auto clusterer_or =
+        clustering::ClustererRegistry::Global().Create(spec.clusterer,
+                                                       params);
+    if (!clusterer_or.ok()) return clusterer_or.status();
+    std::shared_ptr<clustering::Clusterer> clusterer =
+        std::move(clusterer_or).value();
+    for (int v = 0; v < spec.count; ++v) {
       const std::uint64_t voter_seed =
           seed + static_cast<std::uint64_t>(v) * 7919ULL;
-      voters.push_back([&x, km, voter_seed] {
-        return clustering::KMeans(km).Cluster(x, voter_seed).assignment;
+      voters.push_back([&x, clusterer, voter_seed] {
+        return clusterer->Cluster(x, voter_seed).assignment;
       });
     }
   }
-  if (config.use_affinity_propagation) {
-    clustering::AffinityPropagationConfig ap;
-    ap.target_clusters = config.num_clusters;
-    voters.push_back([&x, ap, seed] {
-      return clustering::AffinityPropagation(ap).Cluster(x, seed).assignment;
-    });
-  }
-  if (config.use_agglomerative) {
-    voters.push_back([&x, &config, seed] {
-      return clustering::Agglomerative(config.num_clusters,
-                                       clustering::Linkage::kWard)
-          .Cluster(x, seed)
-          .assignment;
-    });
-  }
-  if (config.use_dbscan) {
-    voters.push_back([&x, seed] {
-      return clustering::Dbscan(clustering::Dbscan::Options{})
-          .Cluster(x, seed)
-          .assignment;
-    });
-  }
-  if (config.use_gmm) {
-    clustering::GaussianMixture::Options gmm;
-    gmm.num_components = config.num_clusters;
-    voters.push_back([&x, gmm, seed] {
-      return clustering::GaussianMixture(gmm).Cluster(x, seed).assignment;
-    });
-  }
-  if (config.use_spectral) {
-    clustering::Spectral::Options sp;
-    sp.num_clusters = config.num_clusters;
-    voters.push_back([&x, sp, seed] {
-      return clustering::Spectral(sp).Cluster(x, seed).assignment;
-    });
-  }
-  MCIRBM_CHECK(!voters.empty())
-      << "at least one base clusterer must be enabled";
 
   std::vector<std::vector<int>> partitions(voters.size());
   parallel::ParallelFor(voters.size(), 1,
@@ -115,6 +144,14 @@ voting::LocalSupervision ComputeSelfLearningSupervision(
   return sup;
 }
 
+voting::LocalSupervision ComputeSelfLearningSupervision(
+    const linalg::Matrix& x, const SupervisionConfig& config,
+    std::uint64_t seed) {
+  auto sup = TryComputeSelfLearningSupervision(x, config, seed);
+  MCIRBM_CHECK(sup.ok()) << sup.status().ToString();
+  return std::move(sup).value();
+}
+
 void ApplyParallelConfig(const ParallelConfig& config) {
   if (config.num_threads > 0 &&
       config.num_threads != parallel::NumThreads() &&
@@ -124,10 +161,40 @@ void ApplyParallelConfig(const ParallelConfig& config) {
   parallel::SetDeterministic(config.deterministic);
 }
 
-PipelineResult RunEncoderPipeline(const linalg::Matrix& x,
-                                  const PipelineConfig& config,
-                                  std::uint64_t seed) {
-  MCIRBM_CHECK_GT(x.rows(), 0u);
+StatusOr<PipelineResult> TryRunEncoderPipeline(const linalg::Matrix& x,
+                                               const PipelineConfig& config,
+                                               std::uint64_t seed) {
+  if (x.rows() == 0 || x.cols() == 0) {
+    return Status::InvalidArgument("pipeline input matrix is empty");
+  }
+  if (config.rbm.num_hidden <= 0) {
+    return Status::InvalidArgument("rbm num_hidden must be positive");
+  }
+  if (config.rbm.epochs < 0) {
+    return Status::InvalidArgument("rbm epochs must be non-negative");
+  }
+  if (config.rbm.cd_k < 1) {
+    return Status::InvalidArgument("rbm cd_k must be >= 1");
+  }
+  if (!(config.rbm.learning_rate > 0) ||
+      !std::isfinite(config.rbm.learning_rate)) {
+    return Status::InvalidArgument("rbm learning_rate must be positive");
+  }
+  if (config.rbm.num_visible != 0 &&
+      static_cast<std::size_t>(config.rbm.num_visible) != x.cols()) {
+    return Status::InvalidArgument(
+        "rbm num_visible (" + std::to_string(config.rbm.num_visible) +
+        ") does not match data columns (" + std::to_string(x.cols()) + ")");
+  }
+  const bool is_sls = config.model == ModelKind::kSlsRbm ||
+                      config.model == ModelKind::kSlsGrbm;
+  if (is_sls && !(config.sls.eta > 0 && config.sls.eta < 1)) {
+    return Status::InvalidArgument("sls eta must be in (0, 1)");
+  }
+  if (is_sls && config.sls.supervision_scale < 0) {
+    return Status::InvalidArgument("sls scale must be non-negative");
+  }
+
   ApplyParallelConfig(config.parallel);
   rbm::RbmConfig rbm_config = config.rbm;
   if (rbm_config.num_visible == 0) {
@@ -136,11 +203,11 @@ PipelineResult RunEncoderPipeline(const linalg::Matrix& x,
   rbm_config.seed = rbm_config.seed ^ seed;
 
   PipelineResult result;
-  const bool is_sls = config.model == ModelKind::kSlsRbm ||
-                      config.model == ModelKind::kSlsGrbm;
   if (is_sls) {
-    result.supervision =
-        ComputeSelfLearningSupervision(x, config.supervision, seed);
+    auto sup =
+        TryComputeSelfLearningSupervision(x, config.supervision, seed);
+    if (!sup.ok()) return sup.status();
+    result.supervision = std::move(sup).value();
   }
 
   switch (config.model) {
@@ -166,6 +233,14 @@ PipelineResult RunEncoderPipeline(const linalg::Matrix& x,
                       : history.back().reconstruction_error;
   result.hidden_features = result.model->HiddenFeatures(x);
   return result;
+}
+
+PipelineResult RunEncoderPipeline(const linalg::Matrix& x,
+                                  const PipelineConfig& config,
+                                  std::uint64_t seed) {
+  auto result = TryRunEncoderPipeline(x, config, seed);
+  MCIRBM_CHECK(result.ok()) << result.status().ToString();
+  return std::move(result).value();
 }
 
 }  // namespace mcirbm::core

@@ -8,11 +8,15 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "core/sls_config.h"
 #include "core/sls_models.h"
 #include "linalg/matrix.h"
 #include "rbm/config.h"
+#include "util/param_map.h"
+#include "util/status.h"
 #include "voting/local_supervision.h"
 #include "voting/vote.h"
 
@@ -28,42 +32,72 @@ enum class ModelKind {
 
 const char* ModelKindName(ModelKind kind);
 
+/// One ordered member of the multi-clustering integration, resolved
+/// against clustering::ClustererRegistry by name.
+struct VoterSpec {
+  std::string clusterer;  ///< registry name ("dp", "kmeans", "ap", ...)
+  ParamMap params;        ///< factory parameters; "k" defaults to
+                          ///< SupervisionConfig::num_clusters
+  /// Independently seeded repeats of this voter (>= 1). Extra repeats of a
+  /// randomized clusterer make the unanimous vote stricter: instances it
+  /// assigns unstably across restarts lose their credibility.
+  int count = 1;
+};
+
+/// Parses a comma-separated voter list such as "dp,kmeans*3,ap" into
+/// ordered specs (`name` or `name*count`). Names are validated against the
+/// registry; parameters beyond "k" are set programmatically on the specs.
+StatusOr<std::vector<VoterSpec>> ParseVoterList(const std::string& text);
+
 /// Configuration of the supervision-construction stage.
 struct SupervisionConfig {
   int num_clusters = 2;  ///< K passed to the base clusterers
   voting::VoteStrategy strategy = voting::VoteStrategy::kUnanimous;
   int min_cluster_size = 2;
-  bool use_density_peaks = true;
-  bool use_kmeans = true;
-  bool use_affinity_propagation = true;
 
-  /// Number of independently seeded K-means members contributed to the
-  /// integration (>= 1). Additional runs make the unanimous vote stricter:
-  /// instances that K-means assigns unstably across restarts lose their
-  /// credibility, which raises consensus precision at some coverage cost.
+  /// Ordered integration members. When non-empty this list is
+  /// authoritative and the deprecated `use_*` flags below are ignored;
+  /// when empty, the flags are translated into the equivalent specs by
+  /// ResolveVoterSpecs (bit-identical to the historical behavior).
+  std::vector<VoterSpec> voters;
+
+  // --- Deprecated voter toggles. Prefer `voters`; these booleans survive
+  // only as a source-compatibility shim for pre-registry callers and are
+  // consulted solely when `voters` is empty.
+  bool use_density_peaks = true;           ///< deprecated: use `voters`
+  bool use_kmeans = true;                  ///< deprecated: use `voters`
+  bool use_affinity_propagation = true;    ///< deprecated: use `voters`
+  /// Deprecated: number of independently seeded K-means members (>= 1);
+  /// expressed as VoterSpec::count in the registry form.
   int kmeans_voters = 1;
-
-  // --- Extended integration members (beyond the paper's DP/K-means/AP).
-  // All default off; the ablation bench compares member sets. Diverse
-  // voters sharpen the unanimous vote: agreement across *different biases*
-  // (hierarchical, density-with-noise, model-based, graph-based) is
-  // stronger evidence than agreement across similar ones.
-
-  /// Ward-linkage agglomerative clustering as a voter.
-  bool use_agglomerative = false;
-  /// Self-tuning DBSCAN as a voter. Its noise points (-1) abstain, which
-  /// the voting layer already treats as "no consensus".
+  bool use_agglomerative = false;  ///< deprecated: Ward-linkage voter
+  /// Deprecated: self-tuning DBSCAN voter. Its noise points (-1) abstain,
+  /// which the voting layer already treats as "no consensus".
   bool use_dbscan = false;
-  /// Diagonal-covariance GMM (EM) as a voter.
-  bool use_gmm = false;
-  /// Normalized-cut spectral clustering as a voter. O(n³) eigensolve —
+  bool use_gmm = false;       ///< deprecated: diagonal-covariance GMM voter
+  /// Deprecated: normalized-cut spectral voter. O(n³) eigensolve —
   /// intended for datasets up to a few hundred instances.
   bool use_spectral = false;
 };
 
-/// Runs the enabled base clusterers on `x` and integrates their partitions
-/// into a LocalSupervision (Section V.A.2). `x` should already be in the
-/// representation the encoder will train on.
+/// Expands `config` into the ordered voter list the integration will run:
+/// `config.voters` verbatim when non-empty, otherwise the deprecated bool
+/// flags in their historical order (dp, kmeans×kmeans_voters, ap,
+/// agglomerative, dbscan, gmm, spectral). InvalidArgument when the result
+/// would be empty or a count is non-positive.
+StatusOr<std::vector<VoterSpec>> ResolveVoterSpecs(
+    const SupervisionConfig& config);
+
+/// Runs the configured base clusterers on `x` and integrates their
+/// partitions into a LocalSupervision (Section V.A.2). `x` should already
+/// be in the representation the encoder will train on. Unknown clusterer
+/// names and malformed parameters surface as non-OK Status.
+StatusOr<voting::LocalSupervision> TryComputeSelfLearningSupervision(
+    const linalg::Matrix& x, const SupervisionConfig& config,
+    std::uint64_t seed);
+
+/// CHECK-aborting wrapper around TryComputeSelfLearningSupervision for
+/// callers with statically valid configs.
 voting::LocalSupervision ComputeSelfLearningSupervision(
     const linalg::Matrix& x, const SupervisionConfig& config,
     std::uint64_t seed);
@@ -92,7 +126,15 @@ struct PipelineResult {
 
 /// Trains the configured encoder on `x` and extracts hidden features.
 /// For sls models the supervision is computed from `x` itself (fully
-/// unsupervised). Deterministic given `seed`.
+/// unsupervised). Deterministic given `seed`. Invalid configurations
+/// (empty data, bad hyper-parameters, unresolvable voters) return non-OK
+/// Status instead of aborting.
+StatusOr<PipelineResult> TryRunEncoderPipeline(const linalg::Matrix& x,
+                                               const PipelineConfig& config,
+                                               std::uint64_t seed);
+
+/// CHECK-aborting wrapper around TryRunEncoderPipeline for callers with
+/// statically valid configs.
 PipelineResult RunEncoderPipeline(const linalg::Matrix& x,
                                   const PipelineConfig& config,
                                   std::uint64_t seed);

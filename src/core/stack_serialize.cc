@@ -10,9 +10,10 @@
 #include "util/check.h"
 
 namespace mcirbm::core {
-namespace {
 
-constexpr char kMagic[] = "mcirbm-stack v1";
+const char kStackMagic[] = "mcirbm-stack v1";
+
+namespace {
 
 // Reconstruction type of one layer, from its configured model kind.
 const char* ReconstructionName(ModelKind kind) {
@@ -50,7 +51,7 @@ Status SaveStack(const StackedEncoder& stack, const std::string& path) {
   }
   std::ofstream manifest(path);
   if (!manifest) return Status::IoError("cannot open " + path);
-  manifest << kMagic << "\n" << stack.num_layers() << "\n";
+  manifest << kStackMagic << "\n" << stack.num_layers() << "\n";
   for (std::size_t l = 0; l < stack.num_layers(); ++l) {
     const std::string layer_path = LayerFileName(path, l);
     const Status status = rbm::SaveParameters(stack.layer(l), layer_path);
@@ -69,7 +70,7 @@ Status LoadStack(const std::string& path, LoadedStack* out) {
   if (!manifest) return Status::IoError("cannot open " + path);
   std::string magic_line;
   std::getline(manifest, magic_line);
-  if (magic_line != kMagic) {
+  if (magic_line != kStackMagic) {
     return Status::ParseError("bad stack magic in " + path);
   }
   std::size_t num_layers = 0;

@@ -25,6 +25,9 @@
 
 namespace mcirbm::core {
 
+/// The stack manifest magic line ("mcirbm-stack v1").
+extern const char kStackMagic[];
+
 /// A stack restored from disk: feature extraction only.
 class LoadedStack {
  public:

@@ -1,11 +1,12 @@
 #include "eval/algorithms.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <string>
 
-#include "clustering/affinity_propagation.h"
-#include "clustering/density_peaks.h"
-#include "clustering/kmeans.h"
+#include "clustering/registry.h"
 #include "util/check.h"
+#include "util/param_map.h"
 
 namespace mcirbm::eval {
 
@@ -24,29 +25,27 @@ const char* ClustererKindName(ClustererKind kind) {
 clustering::ClusteringResult RunClusterer(ClustererKind kind,
                                           const linalg::Matrix& x, int k,
                                           std::uint64_t seed) {
+  ParamMap params;
+  params.Set("k", std::to_string(k));
+  const char* name = nullptr;
   switch (kind) {
-    case ClustererKind::kDensityPeaks: {
-      clustering::DensityPeaksConfig cfg;
-      cfg.k = k;
-      return clustering::DensityPeaks(cfg).Cluster(x, seed);
-    }
-    case ClustererKind::kKMeans: {
-      clustering::KMeansConfig cfg;
-      cfg.k = k;
-      // Best-of-3 restarts by SSE; overridable for the restart-
-      // sensitivity ablation (single-run matches MATLAB-era defaults).
-      const char* env = std::getenv("MCIRBM_KMEANS_RESTARTS");
-      cfg.restarts = env != nullptr ? std::max(1, std::atoi(env)) : 3;
-      return clustering::KMeans(cfg).Cluster(x, seed);
-    }
-    case ClustererKind::kAffinityProp: {
-      clustering::AffinityPropagationConfig cfg;
-      cfg.target_clusters = k;
-      return clustering::AffinityPropagation(cfg).Cluster(x, seed);
-    }
+    case ClustererKind::kDensityPeaks:
+      name = "dp";
+      break;
+    case ClustererKind::kKMeans:
+      // Best-of-3 restarts by SSE; the registry factory's default honors
+      // MCIRBM_KMEANS_RESTARTS for the restart-sensitivity ablation.
+      name = "kmeans";
+      break;
+    case ClustererKind::kAffinityProp:
+      name = "ap";
+      break;
   }
-  MCIRBM_CHECK(false) << "unreachable";
-  return {};
+  MCIRBM_CHECK(name != nullptr) << "unreachable";
+  auto clusterer =
+      clustering::ClustererRegistry::Global().Create(name, params);
+  MCIRBM_CHECK(clusterer.ok()) << clusterer.status().ToString();
+  return clusterer.value()->Cluster(x, seed);
 }
 
 }  // namespace mcirbm::eval

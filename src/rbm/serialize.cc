@@ -4,15 +4,15 @@
 #include <iomanip>
 #include <sstream>
 
-namespace mcirbm::rbm {
-namespace {
-constexpr char kMagic[] = "mcirbm-rbm v1";
-}  // namespace
+#include "rbm/grbm.h"
+#include "rbm/rbm.h"
 
-Status SaveParameters(const RbmBase& model, const std::string& path) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out << kMagic << "\n" << model.name() << "\n";
+namespace mcirbm::rbm {
+
+const char kRbmMagic[] = "mcirbm-rbm v1";
+
+Status SaveParameters(const RbmBase& model, std::ostream& out) {
+  out << kRbmMagic << "\n" << model.name() << "\n";
   const auto& w = model.weights();
   out << w.rows() << " " << w.cols() << "\n";
   out << std::setprecision(17);
@@ -28,45 +28,128 @@ Status SaveParameters(const RbmBase& model, const std::string& path) {
     }
     out << "\n";
   }
-  if (!out) return Status::IoError("write failed for " + path);
+  if (!out) return Status::IoError("parameter write failed");
   return Status::Ok();
+}
+
+Status SaveParameters(const RbmBase& model, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  const Status status = SaveParameters(model, out);
+  if (!status.ok()) {
+    return Status::IoError(status.message() + " for " + path);
+  }
+  return Status::Ok();
+}
+
+namespace {
+
+// Parses the "magic / name / nv nh" preamble shared by both loaders.
+Status ReadHeader(std::istream& in, const std::string& context,
+                  std::string* name, std::size_t* nv, std::size_t* nh) {
+  std::string line;
+  if (!std::getline(in, line) || line != kRbmMagic) {
+    return Status::ParseError(context + ": bad magic header");
+  }
+  if (!std::getline(in, *name) || name->empty()) {
+    return Status::ParseError(context + ": missing model name");
+  }
+  in >> *nv >> *nh;
+  if (!in) return Status::ParseError(context + ": bad shape line");
+  if (*nv == 0 || *nh == 0) {
+    return Status::ParseError(context + ": degenerate shape");
+  }
+  // Bound the dimensions before they are narrowed to int (and before the
+  // weight matrix is allocated): a corrupted shape line must surface as a
+  // parse error, not signed-overflow UB or an allocation failure.
+  constexpr std::size_t kMaxDim = 1u << 24;
+  constexpr std::size_t kMaxElements = 1u << 28;
+  if (*nv > kMaxDim || *nh > kMaxDim || *nv > kMaxElements / *nh) {
+    return Status::ParseError(context + ": implausible shape " +
+                              std::to_string(*nv) + "x" +
+                              std::to_string(*nh));
+  }
+  return Status::Ok();
+}
+
+// Reads the a/b/W parameter block into an already shape-matched model.
+Status ReadParameterBlock(std::istream& in, const std::string& context,
+                          std::size_t nv, std::size_t nh, RbmBase* model) {
+  std::string tag;
+  in >> tag;
+  if (tag != "a:") return Status::ParseError(context + ": expected 'a:'");
+  for (std::size_t j = 0; j < nv; ++j) {
+    in >> (*model->mutable_visible_bias())[j];
+  }
+  in >> tag;
+  if (tag != "b:") return Status::ParseError(context + ": expected 'b:'");
+  for (std::size_t j = 0; j < nh; ++j) {
+    in >> (*model->mutable_hidden_bias())[j];
+  }
+  in >> tag;
+  if (tag != "W:") return Status::ParseError(context + ": expected 'W:'");
+  linalg::Matrix* w = model->mutable_weights();
+  for (std::size_t r = 0; r < nv; ++r) {
+    for (std::size_t c = 0; c < nh; ++c) in >> (*w)(r, c);
+  }
+  if (!in) {
+    return Status::ParseError(context + ": truncated parameter block");
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status LoadParameters(std::istream& in, RbmBase* model) {
+  std::string stored_name;
+  std::size_t nv = 0, nh = 0;
+  Status status = ReadHeader(in, "parameter stream", &stored_name, &nv, &nh);
+  if (!status.ok()) return status;
+  if (nv != model->weights().rows() || nh != model->weights().cols()) {
+    std::ostringstream msg;
+    msg << "parameter stream: shape " << nv << "x" << nh << " != model "
+        << model->weights().rows() << "x" << model->weights().cols();
+    return Status::InvalidArgument(msg.str());
+  }
+  return ReadParameterBlock(in, "parameter stream", nv, nh, model);
 }
 
 Status LoadParameters(const std::string& path, RbmBase* model) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
-  std::string line;
-  if (!std::getline(in, line) || line != kMagic) {
-    return Status::ParseError(path + ": bad magic header");
+  const Status status = LoadParameters(in, model);
+  if (!status.ok()) {
+    // Re-prefix stream diagnostics with the file path.
+    std::string message = status.message();
+    const std::string generic = "parameter stream";
+    const std::size_t at = message.find(generic);
+    if (at != std::string::npos) {
+      message.replace(at, generic.size(), path);
+    }
+    return Status(status.code(), message);
   }
-  std::string stored_name;
-  if (!std::getline(in, stored_name)) {
-    return Status::ParseError(path + ": missing model name");
-  }
-  std::size_t nv = 0, nh = 0;
-  in >> nv >> nh;
-  if (!in) return Status::ParseError(path + ": bad shape line");
-  if (nv != model->weights().rows() || nh != model->weights().cols()) {
-    std::ostringstream msg;
-    msg << path << ": shape " << nv << "x" << nh << " != model "
-        << model->weights().rows() << "x" << model->weights().cols();
-    return Status::InvalidArgument(msg.str());
-  }
-  std::string tag;
-  in >> tag;
-  if (tag != "a:") return Status::ParseError(path + ": expected 'a:'");
-  for (std::size_t j = 0; j < nv; ++j) in >> (*model->mutable_visible_bias())[j];
-  in >> tag;
-  if (tag != "b:") return Status::ParseError(path + ": expected 'b:'");
-  for (std::size_t j = 0; j < nh; ++j) in >> (*model->mutable_hidden_bias())[j];
-  in >> tag;
-  if (tag != "W:") return Status::ParseError(path + ": expected 'W:'");
-  linalg::Matrix* w = model->mutable_weights();
-  for (std::size_t r = 0; r < nv; ++r) {
-    for (std::size_t c = 0; c < nh; ++c) in >> (*w)(r, c);
-  }
-  if (!in) return Status::ParseError(path + ": truncated parameter block");
   return Status::Ok();
+}
+
+StatusOr<std::unique_ptr<RbmBase>> LoadInferenceModel(
+    std::istream& in, const std::string& context) {
+  std::string stored_name;
+  std::size_t nv = 0, nh = 0;
+  Status status = ReadHeader(in, context, &stored_name, &nv, &nh);
+  if (!status.ok()) return status;
+
+  RbmConfig config;
+  config.num_visible = static_cast<int>(nv);
+  config.num_hidden = static_cast<int>(nh);
+  std::unique_ptr<RbmBase> model;
+  if (stored_name.find("grbm") != std::string::npos) {
+    model = std::make_unique<Grbm>(config);
+  } else {
+    model = std::make_unique<Rbm>(config);
+  }
+  status = ReadParameterBlock(in, context, nv, nh, model.get());
+  if (!status.ok()) return status;
+  return model;
 }
 
 }  // namespace mcirbm::rbm

@@ -10,6 +10,8 @@
 #ifndef MCIRBM_RBM_SERIALIZE_H_
 #define MCIRBM_RBM_SERIALIZE_H_
 
+#include <iosfwd>
+#include <memory>
 #include <string>
 
 #include "rbm/rbm_base.h"
@@ -17,12 +19,29 @@
 
 namespace mcirbm::rbm {
 
+/// The single-model format magic line ("mcirbm-rbm v1").
+extern const char kRbmMagic[];
+
 /// Writes `model`'s parameters to `path`.
 Status SaveParameters(const RbmBase& model, const std::string& path);
+
+/// Stream form of SaveParameters — lets container formats (api::Model)
+/// embed the parameter block after their own header.
+Status SaveParameters(const RbmBase& model, std::ostream& out);
 
 /// Loads parameters into `model`; fails if the stored shape does not match
 /// the model's configured shape (the model name is informational only).
 Status LoadParameters(const std::string& path, RbmBase* model);
+
+/// Stream form of LoadParameters, starting at the format's magic line.
+Status LoadParameters(std::istream& in, RbmBase* model);
+
+/// Reads a parameter block from `in` and reconstructs an
+/// inference-equivalent model sized from the stored shape: the stored name
+/// chooses sigmoid vs linear reconstruction (sls variants are
+/// inference-identical to their plain bases). `context` labels errors.
+StatusOr<std::unique_ptr<RbmBase>> LoadInferenceModel(
+    std::istream& in, const std::string& context);
 
 }  // namespace mcirbm::rbm
 

@@ -1,0 +1,106 @@
+#include "util/param_map.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/string_util.h"
+
+namespace mcirbm {
+
+StatusOr<ParamMap> ParamMap::FromText(const std::string& text) {
+  ParamMap map;
+  if (Trim(text).empty()) return map;
+  for (const std::string& part : Split(text, ',')) {
+    const std::string entry = Trim(part);
+    if (entry.empty()) continue;
+    const std::size_t eq = entry.find('=');
+    if (eq == std::string::npos) {
+      return Status::ParseError("parameter '" + entry +
+                                "' is not key=value");
+    }
+    const std::string key = Trim(entry.substr(0, eq));
+    if (key.empty()) {
+      return Status::ParseError("empty parameter key in '" + entry + "'");
+    }
+    map.Set(key, Trim(entry.substr(eq + 1)));
+  }
+  return map;
+}
+
+std::vector<std::string> ParamMap::Keys() const {
+  std::vector<std::string> keys;
+  keys.reserve(values_.size());
+  for (const auto& [key, value] : values_) keys.push_back(key);
+  return keys;
+}
+
+Status ParamMap::ExpectOnly(
+    std::initializer_list<const char*> allowed) const {
+  for (const auto& [key, value] : values_) {
+    if (std::none_of(allowed.begin(), allowed.end(),
+                     [&](const char* a) { return key == a; })) {
+      std::string known;
+      for (const char* a : allowed) {
+        if (!known.empty()) known += ", ";
+        known += a;
+      }
+      return Status::InvalidArgument("unknown parameter '" + key +
+                                     "' (accepted: " + known + ")");
+    }
+  }
+  return Status::Ok();
+}
+
+StatusOr<std::string> ParamMap::GetString(const std::string& key,
+                                          const std::string& fallback) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+StatusOr<int> ParamMap::GetInt(const std::string& key, int fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  int v = 0;
+  if (!ParseInt(it->second, &v)) {
+    return Status::ParseError("parameter '" + key +
+                              "' expects an integer, got '" + it->second +
+                              "'");
+  }
+  return v;
+}
+
+StatusOr<double> ParamMap::GetDouble(const std::string& key,
+                                     double fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  double v = 0;
+  if (!ParseDouble(it->second, &v)) {
+    return Status::ParseError("parameter '" + key + "' expects a number, got '" +
+                              it->second + "'");
+  }
+  return v;
+}
+
+StatusOr<bool> ParamMap::GetBool(const std::string& key,
+                                 bool fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::string v = it->second;
+  std::transform(v.begin(), v.end(), v.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (v == "true" || v == "1" || v == "on" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "off" || v == "no") return false;
+  return Status::ParseError("parameter '" + key +
+                            "' expects a boolean, got '" + it->second + "'");
+}
+
+std::string ParamMap::ToString() const {
+  std::string out;
+  for (const auto& [key, value] : values_) {
+    if (!out.empty()) out += ",";
+    out += key + "=" + value;
+  }
+  return out;
+}
+
+}  // namespace mcirbm

@@ -3,6 +3,8 @@
 #include <cctype>
 #include <cstdio>
 #include <cstdlib>
+#include <fstream>
+#include <sstream>
 
 namespace mcirbm {
 
@@ -78,6 +80,15 @@ bool ParseInt(const std::string& s, int* out) {
   if (end != t.c_str() + t.size()) return false;
   *out = static_cast<int>(v);
   return true;
+}
+
+StatusOr<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  if (in.bad()) return Status::IoError("read failed for " + path);
+  return buffer.str();
 }
 
 }  // namespace mcirbm

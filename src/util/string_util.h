@@ -5,6 +5,8 @@
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace mcirbm {
 
 /// Splits `s` on `delim`, keeping empty fields ("a,,b" -> {"a","","b"}).
@@ -34,6 +36,9 @@ bool ParseDouble(const std::string& s, double* out);
 
 /// Parses an int; returns false on any trailing garbage or empty input.
 bool ParseInt(const std::string& s, int* out);
+
+/// Reads an entire text file; IoError when it cannot be opened or read.
+StatusOr<std::string> ReadFileToString(const std::string& path);
 
 }  // namespace mcirbm
 

@@ -1,0 +1,217 @@
+// Registry surface: built-in names, Create error paths, duplicate
+// registration, voter-spec resolution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "api/api.h"
+#include "data/synthetic.h"
+
+namespace mcirbm {
+namespace {
+
+bool Listed(const std::vector<std::string>& names, const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+TEST(ClustererRegistryTest, ListsAllBuiltins) {
+  const auto names = clustering::ClustererRegistry::Global().ListRegistered();
+  for (const char* expected : {"dp", "kmeans", "ap", "agglomerative",
+                               "dbscan", "gmm", "spectral"}) {
+    EXPECT_TRUE(Listed(names, expected)) << expected;
+  }
+}
+
+TEST(ClustererRegistryTest, UnknownNameIsNotFound) {
+  auto result = clustering::ClustererRegistry::Global().Create(
+      "nonexistent", ParamMap{});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ClustererRegistryTest, DuplicateRegistrationFails) {
+  auto& registry = clustering::ClustererRegistry::Global();
+  ASSERT_TRUE(registry
+                  .Register("registry-test-dup",
+                            [](const ParamMap&) {
+                              return StatusOr<
+                                  std::unique_ptr<clustering::Clusterer>>(
+                                  Status::Internal("unused"));
+                            })
+                  .ok());
+  const Status again = registry.Register(
+      "registry-test-dup", [](const ParamMap&) {
+        return StatusOr<std::unique_ptr<clustering::Clusterer>>(
+            Status::Internal("unused"));
+      });
+  EXPECT_FALSE(again.ok());
+  EXPECT_EQ(again.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClustererRegistryTest, UnknownParameterRejected) {
+  ParamMap params;
+  params.Set("k", "3");
+  params.Set("bogus", "1");
+  auto result =
+      clustering::ClustererRegistry::Global().Create("kmeans", params);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClustererRegistryTest, MalformedParameterRejected) {
+  ParamMap params;
+  params.Set("k", "three");
+  auto result =
+      clustering::ClustererRegistry::Global().Create("kmeans", params);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kParseError);
+}
+
+TEST(ClustererRegistryTest, CreatedClusterersCluster) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "reg";
+  spec.num_classes = 2;
+  spec.num_instances = 40;
+  spec.num_features = 4;
+  spec.separation = 6.0;
+  const data::Dataset ds = data::GenerateGaussianMixture(spec, 3);
+  for (const auto& name :
+       clustering::ClustererRegistry::Global().ListRegistered()) {
+    if (name == "registry-test-dup") continue;  // stub from the dup test
+    ParamMap params;
+    params.Set("k", "2");
+    auto clusterer =
+        clustering::ClustererRegistry::Global().Create(name, params);
+    ASSERT_TRUE(clusterer.ok()) << name << ": "
+                                << clusterer.status().ToString();
+    const auto result = clusterer.value()->Cluster(ds.x, 5);
+    EXPECT_EQ(result.assignment.size(), ds.num_instances()) << name;
+  }
+}
+
+TEST(ModelRegistryTest, ListsAllBuiltins) {
+  const auto names = api::ModelRegistry::Global().ListRegistered();
+  for (const char* expected : {"rbm", "grbm", "sls-rbm", "sls-grbm"}) {
+    EXPECT_TRUE(Listed(names, expected)) << expected;
+  }
+}
+
+TEST(ModelRegistryTest, UnknownNameIsNotFound) {
+  auto result = api::ModelRegistry::Global().Create("transformer", {});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ModelRegistryTest, CreateRequiresVisibleSize) {
+  auto result =
+      api::ModelRegistry::Global().Create("rbm", {{"hidden", "4"}});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ModelRegistryTest, CreatesEveryBuiltinKind) {
+  voting::LocalSupervision supervision;
+  supervision.cluster_of = {0, 0, 1, 1};
+  supervision.num_clusters = 2;
+  for (const char* name : {"rbm", "grbm", "sls-rbm", "sls-grbm"}) {
+    auto result = api::ModelRegistry::Global().Create(
+        name, {{"visible", "6"}, {"hidden", "4"}}, supervision);
+    ASSERT_TRUE(result.ok()) << name << ": " << result.status().ToString();
+    EXPECT_EQ(result.value()->name(), name);
+    EXPECT_EQ(result.value()->weights().rows(), 6u);
+    EXPECT_EQ(result.value()->weights().cols(), 4u);
+  }
+}
+
+TEST(ModelRegistryTest, KindNameMappingRoundTrips) {
+  for (const auto kind :
+       {core::ModelKind::kRbm, core::ModelKind::kGrbm,
+        core::ModelKind::kSlsRbm, core::ModelKind::kSlsGrbm}) {
+    auto back = api::ModelKindFromName(api::ModelKindRegistryName(kind));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), kind);
+  }
+  EXPECT_FALSE(api::ModelKindFromName("mlp").ok());
+}
+
+TEST(VoterSpecTest, ParseVoterListHandlesCountsAndErrors) {
+  auto specs = core::ParseVoterList("dp, kmeans*3 ,ap");
+  ASSERT_TRUE(specs.ok());
+  ASSERT_EQ(specs.value().size(), 3u);
+  EXPECT_EQ(specs.value()[0].clusterer, "dp");
+  EXPECT_EQ(specs.value()[1].clusterer, "kmeans");
+  EXPECT_EQ(specs.value()[1].count, 3);
+  EXPECT_EQ(specs.value()[2].clusterer, "ap");
+
+  EXPECT_EQ(core::ParseVoterList("dp,unknown").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(core::ParseVoterList("kmeans*zero").status().code(),
+            StatusCode::kParseError);
+  EXPECT_EQ(core::ParseVoterList("kmeans*0").status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(core::ParseVoterList("").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(VoterSpecTest, SpecsMatchDeprecatedFlagShimExactly) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "shim";
+  spec.num_classes = 2;
+  spec.num_instances = 60;
+  spec.num_features = 5;
+  spec.separation = 5.0;
+  const data::Dataset ds = data::GenerateGaussianMixture(spec, 9);
+
+  // Deprecated bool-flag form (dp + kmeans×2 + ap).
+  core::SupervisionConfig flags;
+  flags.num_clusters = 2;
+  flags.kmeans_voters = 2;
+
+  // Equivalent registry voter-spec form.
+  core::SupervisionConfig specs = flags;
+  specs.voters = {{"dp", {}, 1}, {"kmeans", {}, 2}, {"ap", {}, 1}};
+
+  const auto from_flags =
+      core::ComputeSelfLearningSupervision(ds.x, flags, 17);
+  const auto from_specs =
+      core::ComputeSelfLearningSupervision(ds.x, specs, 17);
+  EXPECT_EQ(from_flags.cluster_of, from_specs.cluster_of);
+  EXPECT_EQ(from_flags.num_clusters, from_specs.num_clusters);
+}
+
+TEST(VoterSpecTest, EmptyVoterSetIsInvalidArgument) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "none";
+  spec.num_classes = 2;
+  spec.num_instances = 20;
+  spec.num_features = 3;
+  spec.separation = 5.0;
+  const data::Dataset ds = data::GenerateGaussianMixture(spec, 1);
+  core::SupervisionConfig config;
+  config.num_clusters = 2;
+  config.use_density_peaks = false;
+  config.use_kmeans = false;
+  config.use_affinity_propagation = false;
+  auto sup = core::TryComputeSelfLearningSupervision(ds.x, config, 1);
+  ASSERT_FALSE(sup.ok());
+  EXPECT_EQ(sup.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(VoterSpecTest, UnknownVoterNameSurfacesAsStatus) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "bad";
+  spec.num_classes = 2;
+  spec.num_instances = 20;
+  spec.num_features = 3;
+  spec.separation = 5.0;
+  const data::Dataset ds = data::GenerateGaussianMixture(spec, 1);
+  core::SupervisionConfig config;
+  config.num_clusters = 2;
+  config.voters = {{"definitely-not-a-clusterer", {}, 1}};
+  auto sup = core::TryComputeSelfLearningSupervision(ds.x, config, 1);
+  ASSERT_FALSE(sup.ok());
+  EXPECT_EQ(sup.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace mcirbm

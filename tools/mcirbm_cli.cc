@@ -1,4 +1,5 @@
-// mcirbm_cli — command-line front end for the library.
+// mcirbm_cli — command-line front end for the library, built on the
+// src/api facade (registries, api::Model, api::ParseConfig).
 //
 // Subcommands:
 //   synth      generate one of the paper-equivalent synthetic datasets
@@ -8,6 +9,8 @@
 //   transform  map a CSV through a saved encoder, write feature CSV
 //   eval       cluster a CSV (optionally through a saved encoder) and
 //              print the paper's external metrics against the labels
+//   pipeline   one-shot synth/load -> supervise -> train -> eval from a
+//              key=value config file
 //
 // CSV format: numeric feature columns with a trailing integer label
 // column (header row required), as written by `synth` / data/io.h.
@@ -18,99 +21,104 @@
 //       --out vt_model.txt
 //   mcirbm_cli eval --data vt.csv --model-file vt_model.txt \
 //       --standardize --clusterer kmeans
+//   mcirbm_cli pipeline --config run.cfg
 #include <cstdlib>
-#include <fstream>
+#include <initializer_list>
 #include <iostream>
-#include <map>
-#include <stdexcept>
 #include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "clustering/kmeans.h"
+#include "api/api.h"
 #include "core/model_selection.h"
-#include "core/pipeline.h"
+#include "eval/experiment.h"
 #include "data/io.h"
 #include "data/paper_datasets.h"
 #include "data/transforms.h"
-#include "eval/algorithms.h"
-#include "eval/experiment.h"
 #include "metrics/external.h"
 #include "parallel/thread_pool.h"
-#include "rbm/serialize.h"
 #include "util/string_util.h"
 
 namespace {
 
 using namespace mcirbm;  // NOLINT: CLI driver
 
-// Minimal --flag value parser; flags without '--' are positional.
+// --flag parser: accepts `--key value` and `--key=value`; flags without
+// '--' are positional (rejected). Unknown flags are rejected per
+// subcommand via Validate. Storage and typed access delegate to ParamMap
+// so flag values share the registry factories' parsing rules.
 class Args {
  public:
   Args(int argc, char** argv) {
     for (int i = 2; i < argc; ++i) {
       std::string arg = argv[i];
-      if (arg.rfind("--", 0) == 0) {
-        const std::string key = arg.substr(2);
-        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-          values_[key] = argv[++i];
-        } else {
-          // Valueless flag. The empty sentinel keeps Has() working for
-          // boolean flags while making GetInt/GetDouble reject a numeric
-          // flag whose value was forgotten (e.g. `--threads --seed 7`).
-          values_[key] = "";
-        }
+      if (arg.rfind("--", 0) != 0) {
+        status_ = Status::InvalidArgument("unexpected positional argument '" +
+                                          arg + "'");
+        return;
+      }
+      std::string key = arg.substr(2);
+      const std::size_t eq = key.find('=');
+      if (eq != std::string::npos) {
+        values_.Set(key.substr(0, eq), key.substr(eq + 1));
+      } else if (i + 1 < argc &&
+                 std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_.Set(key, argv[++i]);
       } else {
-        std::cerr << "unexpected positional argument: " << arg << "\n";
-        ok_ = false;
+        // Valueless flag. The empty sentinel keeps Has() working for
+        // boolean flags while making GetInt/GetDouble reject a numeric
+        // flag whose value was forgotten (e.g. `--threads --seed 7`).
+        values_.Set(key, "");
       }
     }
   }
 
-  bool ok() const { return ok_; }
-  bool Has(const std::string& key) const { return values_.count(key) > 0; }
+  const Status& status() const { return status_; }
+
+  /// Non-OK when any parsed flag is outside `allowed` — every subcommand
+  /// declares its vocabulary, so a typo fails loudly instead of being
+  /// silently ignored.
+  Status Validate(std::initializer_list<const char*> allowed) const {
+    if (!status_.ok()) return status_;
+    return values_.ExpectOnly(allowed);
+  }
+
+  bool Has(const std::string& key) const { return values_.Has(key); }
   std::string Get(const std::string& key, const std::string& fallback = "")
       const {
-    const auto it = values_.find(key);
-    return it == values_.end() ? fallback : it->second;
+    return values_.GetString(key, fallback).value();
   }
   int GetInt(const std::string& key, int fallback) const {
-    if (!Has(key)) return fallback;
-    try {
-      std::size_t pos = 0;
-      const int v = std::stoi(Get(key), &pos);
-      if (pos != Get(key).size()) throw std::invalid_argument(key);
-      return v;
-    } catch (const std::exception&) {
+    auto v = values_.GetInt(key, fallback);
+    if (!v.ok()) {
       std::cerr << "error: flag --" << key << " expects an integer, got '"
                 << Get(key) << "'\n";
       std::exit(2);
     }
+    return v.value();
   }
   double GetDouble(const std::string& key, double fallback) const {
-    if (!Has(key)) return fallback;
-    try {
-      std::size_t pos = 0;
-      const double v = std::stod(Get(key), &pos);
-      if (pos != Get(key).size()) throw std::invalid_argument(key);
-      return v;
-    } catch (const std::exception&) {
+    auto v = values_.GetDouble(key, fallback);
+    if (!v.ok()) {
       std::cerr << "error: flag --" << key << " expects a number, got '"
                 << Get(key) << "'\n";
       std::exit(2);
     }
+    return v.value();
   }
 
  private:
-  std::map<std::string, std::string> values_;
-  bool ok_ = true;
+  ParamMap values_;
+  Status status_;
 };
 
 int Fail(const std::string& message) {
   std::cerr << "error: " << message << "\n";
   return 1;
 }
+
+int Fail(const Status& status) { return Fail(status.ToString()); }
 
 // Applies the representation flags to `x` in the documented order.
 void ApplyTransforms(const Args& args, linalg::Matrix* x) {
@@ -122,54 +130,19 @@ void ApplyTransforms(const Args& args, linalg::Matrix* x) {
   }
 }
 
-core::ModelKind ParseModelKind(const std::string& name, bool* ok) {
-  *ok = true;
-  if (name == "rbm") return core::ModelKind::kRbm;
-  if (name == "grbm") return core::ModelKind::kGrbm;
-  if (name == "sls-rbm") return core::ModelKind::kSlsRbm;
-  if (name == "sls-grbm") return core::ModelKind::kSlsGrbm;
-  *ok = false;
-  return core::ModelKind::kRbm;
-}
-
-// Reconstructs an inference-equivalent model from a parameter file (the
-// stored name chooses sigmoid vs linear reconstruction; sls variants are
-// inference-identical to their plain bases).
-std::unique_ptr<rbm::RbmBase> LoadModelFile(const std::string& path,
-                                            std::string* error) {
-  std::ifstream in(path);
-  if (!in) {
-    *error = "cannot open " + path;
-    return nullptr;
-  }
-  std::string magic, name, shape_line;
-  std::getline(in, magic);
-  std::getline(in, name);
-  std::getline(in, shape_line);
-  std::istringstream shape(shape_line);
-  int nv = 0, nh = 0;
-  if (!(shape >> nv >> nh) || nv <= 0 || nh <= 0) {
-    *error = "bad parameter file " + path;
-    return nullptr;
-  }
-  rbm::RbmConfig config;
-  config.num_visible = nv;
-  config.num_hidden = nh;
-  std::unique_ptr<rbm::RbmBase> model;
-  if (name.find("grbm") != std::string::npos) {
-    model = std::make_unique<rbm::Grbm>(config);
-  } else {
-    model = std::make_unique<rbm::Rbm>(config);
-  }
-  const Status status = rbm::LoadParameters(path, model.get());
-  if (!status.ok()) {
-    *error = status.message();
-    return nullptr;
-  }
-  return model;
+void PrintMetrics(const metrics::MetricBundle& m) {
+  std::cout << "accuracy " << FormatDouble(m.accuracy, 4) << "  purity "
+            << FormatDouble(m.purity, 4) << "  rand "
+            << FormatDouble(m.rand_index, 4) << "  FMI "
+            << FormatDouble(m.fmi, 4) << "  ARI "
+            << FormatDouble(m.ari, 4) << "  NMI "
+            << FormatDouble(m.nmi, 4) << "\n";
 }
 
 int RunSynth(const Args& args) {
+  const Status valid = args.Validate(
+      {"family", "index", "out", "seed", "threads"});
+  if (!valid.ok()) return Fail(valid);
   const std::string family = args.Get("family", "msra");
   const int index = args.GetInt("index", 0);
   const std::string out = args.Get("out");
@@ -191,17 +164,21 @@ int RunSynth(const Args& args) {
     return Fail("unknown family '" + family + "' (msra|uci)");
   }
   const Status status = data::SaveDatasetCsv(ds, out);
-  if (!status.ok()) return Fail(status.message());
+  if (!status.ok()) return Fail(status);
   std::cout << "wrote " << ds.name << ": " << ds.num_instances() << " x "
             << ds.num_features() << " (+label) to " << out << "\n";
   return 0;
 }
 
 int RunSelectK(const Args& args) {
+  const Status valid = args.Validate({"data", "kmin", "kmax", "seed",
+                                      "standardize", "minmax", "binarize",
+                                      "threads"});
+  if (!valid.ok()) return Fail(valid);
   const std::string path = args.Get("data");
   if (path.empty()) return Fail("select-k needs --data <csv>");
   auto loaded = data::LoadDatasetCsv(path, path);
-  if (!loaded.ok()) return Fail(loaded.status().message());
+  if (!loaded.ok()) return Fail(loaded.status());
   data::Dataset ds = std::move(loaded).value();
   ApplyTransforms(args, &ds.x);
   const int k_min = args.GetInt("kmin", 2);
@@ -219,53 +196,96 @@ int RunSelectK(const Args& args) {
 }
 
 int RunSupervise(const Args& args) {
+  const Status valid = args.Validate(
+      {"data", "clusters", "strategy", "voters", "kmeans-voters",
+       "with-agglomerative", "with-dbscan", "with-gmm", "with-spectral",
+       "seed", "standardize", "minmax", "binarize", "threads"});
+  if (!valid.ok()) return Fail(valid);
   const std::string path = args.Get("data");
   if (path.empty()) return Fail("supervise needs --data <csv>");
   auto loaded = data::LoadDatasetCsv(path, path);
-  if (!loaded.ok()) return Fail(loaded.status().message());
+  if (!loaded.ok()) return Fail(loaded.status());
   data::Dataset ds = std::move(loaded).value();
   ApplyTransforms(args, &ds.x);
 
   core::SupervisionConfig config;
   config.num_clusters = args.GetInt("clusters", ds.num_classes);
-  config.kmeans_voters = args.GetInt("kmeans-voters", 1);
-  config.use_agglomerative = args.Has("with-agglomerative");
-  config.use_dbscan = args.Has("with-dbscan");
-  config.use_gmm = args.Has("with-gmm");
-  config.use_spectral = args.Has("with-spectral");
+  if (args.Has("voters")) {
+    // Registry form: an ordered "name" / "name*count" list. The deprecated
+    // toggle flags would be silently ignored alongside it, so combining
+    // the two forms is an error.
+    for (const char* flag : {"kmeans-voters", "with-agglomerative",
+                             "with-dbscan", "with-gmm", "with-spectral"}) {
+      if (args.Has(flag)) {
+        return Fail("--" + std::string(flag) +
+                    " cannot be combined with --voters; fold it into the "
+                    "voter list (e.g. --voters dp,kmeans*3,gmm)");
+      }
+    }
+    auto voters = core::ParseVoterList(args.Get("voters"));
+    if (!voters.ok()) return Fail(voters.status());
+    config.voters = std::move(voters).value();
+  } else {
+    config.kmeans_voters = args.GetInt("kmeans-voters", 1);
+    config.use_agglomerative = args.Has("with-agglomerative");
+    config.use_dbscan = args.Has("with-dbscan");
+    config.use_gmm = args.Has("with-gmm");
+    config.use_spectral = args.Has("with-spectral");
+  }
   if (args.Get("strategy", "unanimous") == "majority") {
     config.strategy = voting::VoteStrategy::kMajority;
   }
-  const auto sup = core::ComputeSelfLearningSupervision(
+  auto sup = core::TryComputeSelfLearningSupervision(
       ds.x, config, args.GetInt("seed", 7));
-  std::cout << "consensus: " << sup.num_clusters << " credible clusters, "
-            << sup.NumCredible() << "/" << ds.num_instances()
-            << " instances (coverage " << FormatDouble(sup.Coverage(), 3)
-            << ")\n";
+  if (!sup.ok()) return Fail(sup.status());
+  std::cout << "consensus: " << sup.value().num_clusters
+            << " credible clusters, " << sup.value().NumCredible() << "/"
+            << ds.num_instances() << " instances (coverage "
+            << FormatDouble(sup.value().Coverage(), 3) << ")\n";
   return 0;
 }
 
 int RunTrain(const Args& args) {
+  const Status valid = args.Validate(
+      {"data", "out", "model", "config", "hidden", "epochs", "lr", "eta",
+       "scale", "clusters", "seed", "standardize", "minmax", "binarize",
+       "threads"});
+  if (!valid.ok()) return Fail(valid);
   const std::string path = args.Get("data");
   const std::string out = args.Get("out");
   if (path.empty() || out.empty()) {
     return Fail("train needs --data <csv> and --out <path>");
   }
-  bool kind_ok = false;
-  const core::ModelKind kind =
-      ParseModelKind(args.Get("model", "sls-grbm"), &kind_ok);
-  if (!kind_ok) return Fail("unknown --model (rbm|grbm|sls-rbm|sls-grbm)");
+  auto kind = api::ModelKindFromName(args.Get("model", "sls-grbm"));
+  if (!kind.ok()) return Fail(kind.status());
+  core::ModelKind model_kind = kind.value();
+
+  std::string config_text;
+  if (args.Has("config")) {
+    auto text = ReadFileToString(args.Get("config"));
+    if (!text.ok()) return Fail(text.status());
+    config_text = std::move(text).value();
+    // A `model` key in the file overrides --model, and — matching
+    // ParsePipelineSpec — it must be resolved *before* the paper-family
+    // base hyper-parameters are chosen, or an sls-rbm configured via the
+    // file would silently train with GRBM-family defaults.
+    core::PipelineConfig probe;
+    probe.model = model_kind;
+    auto probed = api::ParseConfig(config_text, probe);
+    if (!probed.ok()) return Fail(probed.status());
+    model_kind = probed.value().model;
+  }
 
   auto loaded = data::LoadDatasetCsv(path, path);
-  if (!loaded.ok()) return Fail(loaded.status().message());
+  if (!loaded.ok()) return Fail(loaded.status());
   data::Dataset ds = std::move(loaded).value();
   ApplyTransforms(args, &ds.x);
 
-  const bool grbm_family = kind == core::ModelKind::kGrbm ||
-                           kind == core::ModelKind::kSlsGrbm;
+  const bool grbm_family = model_kind == core::ModelKind::kGrbm ||
+                           model_kind == core::ModelKind::kSlsGrbm;
   const eval::ExperimentConfig paper = eval::MakePaperConfig(grbm_family);
   core::PipelineConfig config;
-  config.model = kind;
+  config.model = model_kind;
   config.rbm = paper.rbm;
   config.sls = paper.sls;
   config.supervision = paper.supervision;
@@ -277,25 +297,37 @@ int RunTrain(const Args& args) {
       args.GetDouble("scale", paper.sls.supervision_scale);
   config.supervision.num_clusters =
       args.GetInt("clusters", ds.num_classes);
+  if (args.Has("config")) {
+    // Key=value file over the flag-derived base; file keys win.
+    auto parsed = api::ParseConfig(config_text, config);
+    if (!parsed.ok()) return Fail(parsed.status());
+    config = std::move(parsed).value();
+  }
 
-  const auto result =
-      core::RunEncoderPipeline(ds.x, config, args.GetInt("seed", 7));
-  std::cout << "trained " << result.model->name()
+  auto model = api::Model::Train(ds.x, config, args.GetInt("seed", 7));
+  if (!model.ok()) return Fail(model.status());
+  std::cout << "trained " << model.value().kind()
             << "; final reconstruction error "
-            << FormatDouble(result.final_reconstruction_error, 4) << "\n";
+            << FormatDouble(model.value().final_reconstruction_error(), 4)
+            << "\n";
   if (config.model == core::ModelKind::kSlsRbm ||
       config.model == core::ModelKind::kSlsGrbm) {
+    const auto& sup = model.value().supervision();
     std::cout << "supervision coverage "
-              << FormatDouble(result.supervision.Coverage(), 3) << " ("
-              << result.supervision.num_clusters << " credible clusters)\n";
+              << FormatDouble(sup.Coverage(), 3) << " (" << sup.num_clusters
+              << " credible clusters)\n";
   }
-  const Status status = rbm::SaveParameters(*result.model, out);
-  if (!status.ok()) return Fail(status.message());
-  std::cout << "saved parameters to " << out << "\n";
+  const Status status = model.value().Save(out);
+  if (!status.ok()) return Fail(status);
+  std::cout << "saved model to " << out << "\n";
   return 0;
 }
 
 int RunTransform(const Args& args) {
+  const Status valid = args.Validate(
+      {"data", "model-file", "out", "standardize", "minmax", "binarize",
+       "threads"});
+  if (!valid.ok()) return Fail(valid);
   const std::string path = args.Get("data");
   const std::string model_path = args.Get("model-file");
   const std::string out = args.Get("out");
@@ -303,69 +335,121 @@ int RunTransform(const Args& args) {
     return Fail("transform needs --data, --model-file and --out");
   }
   auto loaded = data::LoadDatasetCsv(path, path);
-  if (!loaded.ok()) return Fail(loaded.status().message());
+  if (!loaded.ok()) return Fail(loaded.status());
   data::Dataset ds = std::move(loaded).value();
   ApplyTransforms(args, &ds.x);
 
-  std::string error;
-  const auto model = LoadModelFile(model_path, &error);
-  if (!model) return Fail(error);
+  auto model = api::Model::Load(model_path);
+  if (!model.ok()) return Fail(model.status());
+  auto hidden = model.value().Transform(ds.x);
+  if (!hidden.ok()) return Fail(hidden.status());
 
   data::Dataset features = ds;
-  features.x = model->HiddenFeatures(ds.x);
+  features.x = std::move(hidden).value();
   features.name = ds.name + ":hidden";
   const Status status = data::SaveDatasetCsv(features, out);
-  if (!status.ok()) return Fail(status.message());
+  if (!status.ok()) return Fail(status);
   std::cout << "wrote " << features.x.rows() << " x " << features.x.cols()
             << " hidden features (+label) to " << out << "\n";
   return 0;
 }
 
 int RunEval(const Args& args) {
+  const Status valid = args.Validate(
+      {"data", "model-file", "clusterer", "k", "seed", "standardize",
+       "minmax", "binarize", "threads"});
+  if (!valid.ok()) return Fail(valid);
   const std::string path = args.Get("data");
   if (path.empty()) return Fail("eval needs --data <csv>");
   auto loaded = data::LoadDatasetCsv(path, path);
-  if (!loaded.ok()) return Fail(loaded.status().message());
+  if (!loaded.ok()) return Fail(loaded.status());
   data::Dataset ds = std::move(loaded).value();
   linalg::Matrix x = ds.x;
   ApplyTransforms(args, &x);
 
   if (args.Has("model-file")) {
-    std::string error;
-    const auto model = LoadModelFile(args.Get("model-file"), &error);
-    if (!model) return Fail(error);
-    x = model->HiddenFeatures(x);
+    auto model = api::Model::Load(args.Get("model-file"));
+    if (!model.ok()) return Fail(model.status());
+    auto hidden = model.value().Transform(x);
+    if (!hidden.ok()) return Fail(hidden.status());
+    x = std::move(hidden).value();
   }
 
+  // Any registered clusterer works here, not just the paper's three.
   const std::string clusterer_name = args.Get("clusterer", "kmeans");
-  eval::ClustererKind kind;
-  if (clusterer_name == "kmeans") {
-    kind = eval::ClustererKind::kKMeans;
-  } else if (clusterer_name == "dp") {
-    kind = eval::ClustererKind::kDensityPeaks;
-  } else if (clusterer_name == "ap") {
-    kind = eval::ClustererKind::kAffinityProp;
-  } else {
-    return Fail("unknown --clusterer (kmeans|dp|ap)");
-  }
   const int k = args.GetInt("k", ds.num_classes);
-  const auto result =
-      eval::RunClusterer(kind, x, k, args.GetInt("seed", 7));
+  ParamMap params;
+  params.Set("k", std::to_string(k));
+  auto clusterer = clustering::ClustererRegistry::Global().Create(
+      clusterer_name, params);
+  if (!clusterer.ok()) return Fail(clusterer.status());
+  const auto result = clusterer.value()->Cluster(x, args.GetInt("seed", 7));
   const auto m = metrics::ComputeAll(ds.labels, result.assignment);
-  std::cout << "clusterer " << eval::ClustererKindName(kind) << ", k=" << k
-            << ", " << result.num_clusters << " clusters found\n";
-  std::cout << "accuracy " << FormatDouble(m.accuracy, 4) << "  purity "
-            << FormatDouble(m.purity, 4) << "  rand "
-            << FormatDouble(m.rand_index, 4) << "  FMI "
-            << FormatDouble(m.fmi, 4) << "  ARI "
-            << FormatDouble(m.ari, 4) << "  NMI "
-            << FormatDouble(m.nmi, 4) << "\n";
+  std::cout << "clusterer " << clusterer_name << ", k=" << k << ", "
+            << result.num_clusters << " clusters found\n";
+  PrintMetrics(m);
+  return 0;
+}
+
+int RunPipeline(const Args& args) {
+  const Status valid = args.Validate(
+      {"config", "data", "model-out", "features-out", "seed", "threads"});
+  if (!valid.ok()) return Fail(valid);
+  const std::string config_path = args.Get("config");
+  if (config_path.empty()) return Fail("pipeline needs --config <file>");
+  auto spec_or = api::ParsePipelineSpecFile(config_path);
+  if (!spec_or.ok()) return Fail(spec_or.status());
+  api::PipelineSpec spec = std::move(spec_or).value();
+  // Flag overrides for the run-specific bits of the spec.
+  if (args.Has("data")) {
+    spec.data_path = args.Get("data");
+    spec.data_family.clear();
+  }
+  if (args.Has("model-out")) spec.model_out = args.Get("model-out");
+  if (args.Has("features-out")) spec.features_out = args.Get("features-out");
+  if (args.Has("seed")) spec.seed = args.GetInt("seed", 7);
+
+  auto summary_or = api::RunPipeline(spec);
+  if (!summary_or.ok()) return Fail(summary_or.status());
+  const api::PipelineRunSummary& summary = summary_or.value();
+  std::cout << "dataset " << summary.dataset_name << ": "
+            << summary.instances << " x " << summary.features << "\n";
+  std::cout << "model " << summary.model.kind()
+            << "; final reconstruction error "
+            << FormatDouble(summary.reconstruction_error, 4) << "\n";
+  if (summary.supervision_clusters > 0) {
+    std::cout << "supervision coverage "
+              << FormatDouble(summary.supervision_coverage, 3) << " ("
+              << summary.supervision_clusters << " credible clusters)\n";
+  }
+  if (!spec.model_out.empty()) {
+    std::cout << "saved model to " << spec.model_out << "\n";
+  }
+  if (!spec.features_out.empty()) {
+    std::cout << "saved hidden features to " << spec.features_out << "\n";
+  }
+  std::cout << "eval (" << spec.eval_clusterer << ", k=" << summary.eval_k
+            << ")\n";
+  std::cout << "  raw:     ";
+  PrintMetrics(summary.raw_metrics);
+  std::cout << "  hidden:  ";
+  PrintMetrics(summary.hidden_metrics);
   return 0;
 }
 
 void PrintUsage() {
+  std::string clusterers, models;
+  for (const auto& name :
+       clustering::ClustererRegistry::Global().ListRegistered()) {
+    if (!clusterers.empty()) clusterers += "|";
+    clusterers += name;
+  }
+  for (const auto& name : api::ModelRegistry::Global().ListRegistered()) {
+    if (!models.empty()) models += "|";
+    models += name;
+  }
   std::cout <<
-      "usage: mcirbm_cli <command> [--flag value ...]\n"
+      "usage: mcirbm_cli <command> [--flag value | --flag=value ...]\n"
       "\n"
       "global flags:\n"
       "  --threads N   worker threads for the parallel runtime (default:\n"
@@ -378,20 +462,25 @@ void PrintUsage() {
       "--binarize]\n"
       "  supervise  --data <csv> [--clusters K] [--strategy "
       "unanimous|majority]\n"
-      "             [--kmeans-voters N] [--with-agglomerative] "
-      "[--with-dbscan]\n"
-      "             [--with-gmm] [--with-spectral] [--standardize|"
-      "--binarize]\n"
-      "  train      --data <csv> --model rbm|grbm|sls-rbm|sls-grbm --out "
-      "<path>\n"
-      "             [--hidden N] [--epochs N] [--lr F] [--eta F] "
-      "[--scale F]\n"
-      "             [--clusters K] [--standardize|--binarize] [--seed N]\n"
+      "             [--voters dp,kmeans*3,ap] [--kmeans-voters N]\n"
+      "             [--with-agglomerative] [--with-dbscan] [--with-gmm]\n"
+      "             [--with-spectral] [--standardize|--binarize]\n"
+      "  train      --data <csv> --model " + models + "\n"
+      "             --out <path> [--config <file>] [--hidden N] "
+      "[--epochs N]\n"
+      "             [--lr F] [--eta F] [--scale F] [--clusters K]\n"
+      "             [--standardize|--binarize] [--seed N]\n"
       "  transform  --data <csv> --model-file <path> --out <csv>\n"
       "             [--standardize|--binarize]\n"
-      "  eval       --data <csv> [--model-file <path>] [--clusterer "
-      "kmeans|dp|ap]\n"
-      "             [--k K] [--standardize|--binarize] [--seed N]\n";
+      "  eval       --data <csv> [--model-file <path>]\n"
+      "             [--clusterer " + clusterers + "]\n"
+      "             [--k K] [--standardize|--binarize] [--seed N]\n"
+      "  pipeline   --config <file> [--data <csv>] [--model-out <path>]\n"
+      "             [--features-out <csv>] [--seed N]\n"
+      "\n"
+      "pipeline config keys: see src/api/config.h (key = value lines;\n"
+      "model, rbm.*, sls.*, supervision.*, parallel.*, data.*, eval.*,\n"
+      "out.*, seed)\n";
 }
 
 }  // namespace
@@ -402,8 +491,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string command = argv[1];
+  if (command == "help" || command == "--help") {
+    PrintUsage();
+    return 0;
+  }
   const Args args(argc, argv);
-  if (!args.ok()) return 1;
+  if (!args.status().ok()) return Fail(args.status());
   // Pool width: --threads beats the MCIRBM_THREADS env var beats hardware
   // concurrency. Applies to every subcommand.
   if (args.Has("threads")) {
@@ -417,10 +510,7 @@ int main(int argc, char** argv) {
   if (command == "train") return RunTrain(args);
   if (command == "transform") return RunTransform(args);
   if (command == "eval") return RunEval(args);
-  if (command == "help" || command == "--help") {
-    PrintUsage();
-    return 0;
-  }
+  if (command == "pipeline") return RunPipeline(args);
   std::cerr << "unknown command '" << command << "'\n";
   PrintUsage();
   return 1;
