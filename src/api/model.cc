@@ -95,13 +95,16 @@ StatusOr<Model> Model::Load(const std::string& path) {
     return model;
   }
 
-  // Legacy bare parameter file: the payload names the model itself.
+  // Legacy bare parameter file: the payload names the model itself. Keep
+  // the *stored* name — the reconstruction is a plain rbm/grbm, but an
+  // sls-trained artifact's provenance must survive Load (and re-Save).
   if (first_line == rbm::kRbmMagic) {
     in.seekg(0);
-    auto encoder = rbm::LoadInferenceModel(in, path);
+    std::string stored_name;
+    auto encoder = rbm::LoadInferenceModel(in, path, &stored_name);
     if (!encoder.ok()) return encoder.status();
     model.encoder_ = std::move(encoder).value();
-    model.kind_ = model.encoder_->name();
+    model.kind_ = stored_name;
     return model;
   }
 

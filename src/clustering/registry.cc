@@ -1,7 +1,5 @@
 #include "clustering/registry.h"
 
-#include <algorithm>
-#include <cstdlib>
 #include <utility>
 
 #include "clustering/affinity_propagation.h"
@@ -29,17 +27,11 @@ StatusOr<std::unique_ptr<Clusterer>> MakeDensityPeaks(const ParamMap& p) {
   return std::unique_ptr<Clusterer>(new DensityPeaks(cfg));
 }
 
-// kmeans: k, max_iterations, restarts, tol. The restart default honors
-// the MCIRBM_KMEANS_RESTARTS env override (restart-sensitivity ablation)
-// so every Create("kmeans", ...) caller — eval harness, CLI, facade —
-// behaves identically; an explicit "restarts" parameter still wins.
+// kmeans: k, max_iterations, restarts, tol
 StatusOr<std::unique_ptr<Clusterer>> MakeKMeans(const ParamMap& p) {
   Status s = p.ExpectOnly({"k", "max_iterations", "restarts", "tol"});
   if (!s.ok()) return s;
   KMeansConfig cfg;
-  if (const char* env = std::getenv("MCIRBM_KMEANS_RESTARTS")) {
-    cfg.restarts = std::max(1, std::atoi(env));
-  }
   MCIRBM_ASSIGN_OR_RETURN(cfg.k, p.GetInt("k", cfg.k));
   MCIRBM_ASSIGN_OR_RETURN(cfg.max_iterations,
                       p.GetInt("max_iterations", cfg.max_iterations));

@@ -33,9 +33,10 @@ clustering::ClusteringResult RunClusterer(ClustererKind kind,
       name = "dp";
       break;
     case ClustererKind::kKMeans:
-      // Best-of-3 restarts by SSE; the registry factory's default honors
-      // MCIRBM_KMEANS_RESTARTS for the restart-sensitivity ablation.
+      // Best-of-3 restarts by SSE (single-run matches MATLAB-era
+      // defaults).
       name = "kmeans";
+      ApplyKMeansRestartOverride(&params);
       break;
     case ClustererKind::kAffinityProp:
       name = "ap";
@@ -46,6 +47,13 @@ clustering::ClusteringResult RunClusterer(ClustererKind kind,
       clustering::ClustererRegistry::Global().Create(name, params);
   MCIRBM_CHECK(clusterer.ok()) << clusterer.status().ToString();
   return clusterer.value()->Cluster(x, seed);
+}
+
+void ApplyKMeansRestartOverride(mcirbm::ParamMap* params) {
+  const char* env = std::getenv("MCIRBM_KMEANS_RESTARTS");
+  if (env != nullptr) {
+    params->Set("restarts", std::to_string(std::max(1, std::atoi(env))));
+  }
 }
 
 }  // namespace mcirbm::eval

@@ -132,11 +132,13 @@ Status LoadParameters(const std::string& path, RbmBase* model) {
 }
 
 StatusOr<std::unique_ptr<RbmBase>> LoadInferenceModel(
-    std::istream& in, const std::string& context) {
+    std::istream& in, const std::string& context,
+    std::string* stored_name_out) {
   std::string stored_name;
   std::size_t nv = 0, nh = 0;
   Status status = ReadHeader(in, context, &stored_name, &nv, &nh);
   if (!status.ok()) return status;
+  if (stored_name_out != nullptr) *stored_name_out = stored_name;
 
   RbmConfig config;
   config.num_visible = static_cast<int>(nv);

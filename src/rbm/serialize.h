@@ -40,8 +40,12 @@ Status LoadParameters(std::istream& in, RbmBase* model);
 /// inference-equivalent model sized from the stored shape: the stored name
 /// chooses sigmoid vs linear reconstruction (sls variants are
 /// inference-identical to their plain bases). `context` labels errors.
+/// `stored_name`, when non-null, receives the payload's model name — the
+/// returned object's name() is the plain reconstruction ("rbm"/"grbm"),
+/// so callers preserving provenance (e.g. api::Model) need the original.
 StatusOr<std::unique_ptr<RbmBase>> LoadInferenceModel(
-    std::istream& in, const std::string& context);
+    std::istream& in, const std::string& context,
+    std::string* stored_name = nullptr);
 
 }  // namespace mcirbm::rbm
 

@@ -7,6 +7,7 @@
 
 #include "api/api.h"
 #include "data/synthetic.h"
+#include "rbm/serialize.h"
 
 namespace mcirbm::api {
 namespace {
@@ -76,6 +77,25 @@ TEST_P(ModelRoundTripTest, SaveLoadTransformMatchesInMemoryRun) {
   ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
   EXPECT_TRUE(reloaded.value().AllClose(in_memory.value(), 0))
       << "reloaded transform diverged from the freshly trained model";
+}
+
+TEST_P(ModelRoundTripTest, LegacyBareFilePreservesStoredKind) {
+  const core::ModelKind kind = GetParam();
+  auto trained = Model::Train(x_, TinyConfig(kind), 33);
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+
+  // Pre-facade artifact: a bare rbm/serialize parameter file with no
+  // "mcirbm-model" wrapper. Its payload name must survive Load.
+  ASSERT_TRUE(rbm::SaveParameters(trained.value().encoder(), path_).ok());
+  auto restored = Model::Load(path_);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_EQ(restored.value().kind(), ModelKindRegistryName(kind));
+
+  auto expected = trained.value().Transform(x_);
+  auto actual = restored.value().Transform(x_);
+  ASSERT_TRUE(expected.ok());
+  ASSERT_TRUE(actual.ok());
+  EXPECT_TRUE(actual.value().AllClose(expected.value(), 0));
 }
 
 TEST_P(ModelRoundTripTest, TransformRejectsWrongWidth) {
