@@ -1,8 +1,11 @@
 // Speedup-vs-threads microbench for the parallel execution engine.
 //
-// Measures the two paths named in the acceptance criteria — the
-// PairwiseSquaredDistances kernel and one CD-1 training epoch — plus the
-// GEMM underneath both, at 1/2/4/8 threads, and emits a JSON document:
+// Measures every kernel family the engine covers — the GEMM /
+// pairwise-distance hot paths, one CD-1 training epoch, GMM EM, the
+// spectral embedding (affinity + Jacobi eigensolve), agglomerative
+// linkage, PCA fit, the sls supervision gradient, dataset synthesis, and
+// the opt-in sharded Gibbs sampler — at 1/2/4/8 threads, and emits a
+// JSON document:
 //
 //   {"hardware_threads": ..., "kernels": [
 //     {"name": "pairwise_sqdist", "n": ..., "results":
@@ -15,15 +18,23 @@
 // Note: speedups are only meaningful on a machine with that many physical
 // cores; the JSON records hardware_threads so trajectory tooling can
 // discount oversubscribed points.
+#include <algorithm>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "clustering/agglomerative.h"
+#include "clustering/gmm.h"
+#include "clustering/spectral.h"
+#include "core/sls_gradient.h"
+#include "data/synthetic.h"
 #include "linalg/ops.h"
+#include "linalg/pca.h"
 #include "parallel/thread_pool.h"
 #include "rbm/grbm.h"
+#include "rbm/sampling.h"
 #include "rng/rng.h"
 #include "util/timer.h"
 
@@ -87,6 +98,10 @@ void EmitKernel(const std::string& name, std::size_t n,
 }  // namespace
 
 int main() {
+  // Pin the serial-reference schedules regardless of an inherited
+  // MCIRBM_DETERMINISTIC: every kernel below measures the deterministic
+  // path except gibbs_sharded, which toggles the fast mode itself.
+  parallel::SetDeterministic(true);
   const std::size_t n = EnvInt("MCIRBM_BENCH_SCALE_N", 1200);
   const int reps = EnvInt("MCIRBM_BENCH_SCALE_REPS", 3);
   const std::vector<int> widths = {1, 2, 4, 8};
@@ -102,7 +117,39 @@ int main() {
   cd1.batch_size = 0;  // full batch, the paper's small-dataset setting
   cd1.seed = 7;
 
-  std::vector<Timing> pairwise, gemm, cd1_epoch;
+  // Smaller substrates for the super-linear kernels (Jacobi is O(n³) per
+  // sweep, agglomerative O(n³) total).
+  const std::size_t n_spec = std::min<std::size_t>(n, 320);
+  const std::size_t n_agg = std::min<std::size_t>(n, 480);
+  data::GaussianMixtureSpec synth_spec;
+  synth_spec.name = "scaling";
+  synth_spec.num_classes = 5;
+  synth_spec.num_instances = static_cast<int>(n) * 4;
+  synth_spec.num_features = 64;
+  const data::Dataset gmm_data = data::GenerateGaussianMixture(
+      {.name = "gmm", .num_classes = 6,
+       .num_instances = static_cast<int>(n), .num_features = 32}, 5);
+
+  // sls-gradient substrate: sigmoid hidden features plus a handful of
+  // credible clusters over the first rows.
+  linalg::Matrix h_feat = RandomMatrix(n, 128, 4);
+  linalg::SigmoidInPlace(&h_feat);
+  core::SupervisionBatch batch;
+  for (std::size_t c = 0; c < 6; ++c) {
+    std::vector<std::size_t> rows;
+    for (std::size_t r = c * 40; r < (c + 1) * 40 && r < n; ++r) {
+      rows.push_back(r);
+    }
+    if (rows.size() < 2) continue;
+    batch.num_credible += rows.size();
+    batch.num_ordered_pairs += rows.size() * (rows.size() - 1);
+    batch.members.push_back(std::move(rows));
+  }
+  const linalg::Matrix w_sls = RandomMatrix(a.cols(), 128, 5);
+  const std::vector<double> b_sls(128, 0.0);
+
+  std::vector<Timing> pairwise, gemm, cd1_epoch, gmm_em, spectral_embed,
+      agglomerative, pca_fit, sls_gradient, synthesis, gibbs_fast;
   for (int threads : widths) {
     pairwise.push_back(
         {threads, TimeAt(threads, reps, [&] {
@@ -117,6 +164,68 @@ int main() {
                            rbm::Grbm model(cd1);
                            model.Train(x);
                          })});
+    gmm_em.push_back({threads, TimeAt(threads, reps, [&] {
+                        const clustering::GaussianMixture gmm(
+                            {.num_components = 6, .max_iterations = 8});
+                        volatile int sink =
+                            gmm.Cluster(gmm_data.x, 3).num_clusters;
+                        (void)sink;
+                      })});
+    spectral_embed.push_back(
+        {threads, TimeAt(threads, reps, [&] {
+           clustering::Spectral::Options options;
+           options.num_clusters = 6;
+           const clustering::Spectral spectral(options);
+           linalg::Matrix sub(n_spec, gmm_data.x.cols());
+           std::copy_n(gmm_data.x.data(), sub.size(), sub.data());
+           volatile double sink = spectral.Embed(sub)(0, 0);
+           (void)sink;
+         })});
+    agglomerative.push_back(
+        {threads, TimeAt(threads, reps, [&] {
+           const clustering::Agglomerative agg(6,
+                                               clustering::Linkage::kWard);
+           linalg::Matrix sub(n_agg, gmm_data.x.cols());
+           std::copy_n(gmm_data.x.data(), sub.size(), sub.data());
+           volatile int sink = agg.Cluster(sub, 0).num_clusters;
+           (void)sink;
+         })});
+    pca_fit.push_back({threads, TimeAt(threads, reps, [&] {
+                         linalg::Pca::Options options;
+                         options.num_components = 32;
+                         volatile double sink =
+                             linalg::Pca::Fit(a, options).Transform(a)(0, 0);
+                         (void)sink;
+                       })});
+    sls_gradient.push_back(
+        {threads, TimeAt(threads, reps, [&] {
+           linalg::Matrix dw(a.cols(), 128);
+           std::vector<double> db(128, 0.0);
+           core::AccumulateSlsGradientFast(a, h_feat, batch, w_sls, b_sls,
+                                           {}, {&dw, &db});
+           volatile double sink = dw(0, 0);
+           (void)sink;
+         })});
+    synthesis.push_back(
+        {threads, TimeAt(threads, reps, [&] {
+           volatile double sink =
+               data::GenerateGaussianMixture(synth_spec, 9).x(0, 0);
+           (void)sink;
+         })});
+    gibbs_fast.push_back(
+        {threads, TimeAt(threads, reps, [&] {
+           // Opt-in sharded sampler: rows fan out onto ShardRng
+           // substreams (deterministic mode pins the serial chain).
+           parallel::SetDeterministic(false);
+           rbm::Grbm model(cd1);
+           rbm::GibbsOptions gibbs;
+           gibbs.burn_in = 20;
+           gibbs.seed = 11;
+           volatile double sink =
+               rbm::SampleFantasies(model, x, gibbs)(0, 0);
+           (void)sink;
+           parallel::SetDeterministic(true);
+         })});
   }
   parallel::SetNumThreads(0);
 
@@ -124,7 +233,14 @@ int main() {
             << std::thread::hardware_concurrency() << ",\n  \"kernels\": [\n";
   EmitKernel("pairwise_sqdist", n, pairwise, false);
   EmitKernel("gemm", n, gemm, false);
-  EmitKernel("cd1_epoch", n, cd1_epoch, true);
+  EmitKernel("cd1_epoch", n, cd1_epoch, false);
+  EmitKernel("gmm_em", n, gmm_em, false);
+  EmitKernel("spectral_embed", n_spec, spectral_embed, false);
+  EmitKernel("agglomerative", n_agg, agglomerative, false);
+  EmitKernel("pca_fit", n, pca_fit, false);
+  EmitKernel("sls_gradient", n, sls_gradient, false);
+  EmitKernel("synthesis", synth_spec.num_instances, synthesis, false);
+  EmitKernel("gibbs_sharded", n, gibbs_fast, true);
   std::cout << "  ]\n}\n";
   return 0;
 }

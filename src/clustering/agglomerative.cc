@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "linalg/ops.h"
+#include "parallel/thread_pool.h"
 #include "util/check.h"
 
 namespace mcirbm::clustering {
@@ -50,6 +51,17 @@ double MergedDistance(Linkage linkage, double dac, double dbc, double dab,
   return 0;
 }
 
+// Fixed shard width for the nearest-pair scans and merge updates.
+constexpr std::size_t kRowGrain = 64;
+
+// Closest active pair in one row range; ties resolve to the first pair in
+// row-major scan order (strict <), matching the serial scan exactly.
+struct BestPair {
+  double dist = std::numeric_limits<double>::infinity();
+  std::size_t i = 0;
+  std::size_t j = 0;
+};
+
 }  // namespace
 
 ClusteringResult Agglomerative::Cluster(const linalg::Matrix& x,
@@ -75,31 +87,46 @@ ClusteringResult Agglomerative::Cluster(const linalg::Matrix& x,
   std::size_t num_active = n;
   int merges = 0;
   while (num_active > k) {
-    // Find the closest active pair. O(n²) scan per merge; total O(n³).
-    double best = std::numeric_limits<double>::infinity();
-    std::size_t bi = 0, bj = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      if (!active[i]) continue;
-      for (std::size_t j = i + 1; j < n; ++j) {
-        if (!active[j]) continue;
-        if (dist(i, j) < best) {
-          best = dist(i, j);
-          bi = i;
-          bj = j;
-        }
-      }
-    }
+    // Find the closest active pair. O(n²) scan per merge (total O(n³)),
+    // sharded over rows; partials combine in shard order with strict <,
+    // which reproduces the serial scan's first-minimum tie-breaking at
+    // any thread count.
+    const BestPair found = parallel::ShardedReduce(
+        n, kRowGrain, BestPair{},
+        [&](std::size_t begin, std::size_t end) {
+          BestPair local;
+          for (std::size_t i = begin; i < end; ++i) {
+            if (!active[i]) continue;
+            for (std::size_t j = i + 1; j < n; ++j) {
+              if (!active[j]) continue;
+              if (dist(i, j) < local.dist) {
+                local.dist = dist(i, j);
+                local.i = i;
+                local.j = j;
+              }
+            }
+          }
+          return local;
+        },
+        [](BestPair acc, const BestPair& shard) {
+          return shard.dist < acc.dist ? shard : acc;
+        });
+    const std::size_t bi = found.i, bj = found.j;
 
-    // Merge bj into bi; update distances from bi to every other cluster.
+    // Merge bj into bi; update distances from bi to every other cluster
+    // (disjoint (bi,c)/(c,bi) writes per c).
     const double dab = dist(bi, bj);
-    for (std::size_t c = 0; c < n; ++c) {
-      if (!active[c] || c == bi || c == bj) continue;
-      const double updated =
-          MergedDistance(linkage_, dist(bi, c), dist(bj, c), dab,
-                         cluster_size[bi], cluster_size[bj], cluster_size[c]);
-      dist(bi, c) = updated;
-      dist(c, bi) = updated;
-    }
+    parallel::ParallelFor(
+        n, kRowGrain, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t c = begin; c < end; ++c) {
+            if (!active[c] || c == bi || c == bj) continue;
+            const double updated = MergedDistance(
+                linkage_, dist(bi, c), dist(bj, c), dab, cluster_size[bi],
+                cluster_size[bj], cluster_size[c]);
+            dist(bi, c) = updated;
+            dist(c, bi) = updated;
+          }
+        });
     cluster_size[bi] += cluster_size[bj];
     active[bj] = false;
     merged_into[bj] = static_cast<int>(bi);

@@ -6,10 +6,16 @@
 
 #include "clustering/kmeans.h"
 #include "linalg/ops.h"
+#include "parallel/thread_pool.h"
 #include "util/check.h"
 
 namespace mcirbm::clustering {
 namespace {
+
+// Fixed shard width for the per-instance E/M sweeps: boundaries depend
+// only on n, so the reduction trees (and results) are identical at any
+// thread count.
+constexpr std::size_t kRowGrain = 128;
 
 // log Σ exp(v) computed stably (shift by max).
 double LogSumExp(std::span<const double> v) {
@@ -20,6 +26,24 @@ double LogSumExp(std::span<const double> v) {
   for (double x : v) sum += std::exp(x - mx);
   return mx + std::log(sum);
 }
+
+// Per-shard partial of an M-step accumulation pass: per-component
+// responsibility mass and a k x d weighted sum.
+struct MStepPartial {
+  std::vector<double> nk;
+  linalg::Matrix sums;
+
+  MStepPartial() = default;
+  MStepPartial(int k, std::size_t d) : nk(k, 0.0), sums(k, d) {}
+
+  MStepPartial& operator+=(const MStepPartial& other) {
+    for (std::size_t c = 0; c < nk.size(); ++c) nk[c] += other.nk[c];
+    for (std::size_t i = 0; i < sums.size(); ++i) {
+      sums.data()[i] += other.sums.data()[i];
+    }
+    return *this;
+  }
+};
 
 }  // namespace
 
@@ -47,14 +71,23 @@ GaussianMixture::SoftResult GaussianMixture::FitSoft(
   {
     // Start variances at the per-feature global variance (floored).
     std::vector<double> mean = linalg::ColMeans(x);
-    std::vector<double> var(d, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto row = x.Row(i);
-      for (std::size_t j = 0; j < d; ++j) {
-        const double c = row[j] - mean[j];
-        var[j] += c * c;
-      }
-    }
+    std::vector<double> var = parallel::ShardedReduce(
+        n, kRowGrain, std::vector<double>(d, 0.0),
+        [&](std::size_t begin, std::size_t end) {
+          std::vector<double> partial(d, 0.0);
+          for (std::size_t i = begin; i < end; ++i) {
+            const auto row = x.Row(i);
+            for (std::size_t j = 0; j < d; ++j) {
+              const double c = row[j] - mean[j];
+              partial[j] += c * c;
+            }
+          }
+          return partial;
+        },
+        [](std::vector<double> a, std::vector<double> b) {
+          for (std::size_t j = 0; j < a.size(); ++j) a[j] += b[j];
+          return a;
+        });
     for (std::size_t j = 0; j < d; ++j) {
       var[j] = std::max(var[j] / n, options_.variance_floor);
     }
@@ -66,70 +99,137 @@ GaussianMixture::SoftResult GaussianMixture::FitSoft(
   SoftResult out;
   out.responsibilities.Resize(n, k);
   linalg::Matrix& resp = out.responsibilities;
-  std::vector<double> log_prob(k);
 
   double previous_ll = -std::numeric_limits<double>::infinity();
   int iteration = 0;
   bool converged = false;
   for (; iteration < options_.max_iterations; ++iteration) {
-    // E step: responsibilities and data log-likelihood.
-    double ll = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto row = x.Row(i);
-      for (int c = 0; c < k; ++c) {
-        double lp = std::log(std::max(weights[c], 1e-300));
-        for (std::size_t j = 0; j < d; ++j) {
-          const double v = vars(c, j);
-          const double diff = row[j] - means(c, j);
-          lp += -0.5 * (std::log(2 * M_PI * v) + diff * diff / v);
-        }
-        log_prob[c] = lp;
-      }
-      const double lse = LogSumExp(log_prob);
-      ll += lse;
-      for (int c = 0; c < k; ++c) resp(i, c) = std::exp(log_prob[c] - lse);
-    }
+    // E step: responsibilities and data log-likelihood. Rows are
+    // independent; the LL total reduces over fixed shards.
+    double ll = parallel::ShardedSum(
+        n, kRowGrain, [&](std::size_t begin, std::size_t end) {
+          std::vector<double> log_prob(k);
+          double shard_ll = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            const auto row = x.Row(i);
+            for (int c = 0; c < k; ++c) {
+              double lp = std::log(std::max(weights[c], 1e-300));
+              for (std::size_t j = 0; j < d; ++j) {
+                const double v = vars(c, j);
+                const double diff = row[j] - means(c, j);
+                lp += -0.5 * (std::log(2 * M_PI * v) + diff * diff / v);
+              }
+              log_prob[c] = lp;
+            }
+            const double lse = LogSumExp(log_prob);
+            shard_ll += lse;
+            for (int c = 0; c < k; ++c) {
+              resp(i, c) = std::exp(log_prob[c] - lse);
+            }
+          }
+          return shard_ll;
+        });
     ll /= static_cast<double>(n);
     out.log_likelihood_trace.push_back(ll);
-    if (ll - previous_ll < options_.tolerance && iteration > 0) {
+    // Converge only on a small *non-negative* improvement. A drop (possible
+    // when the variance floor binds or a component starves) is not
+    // convergence — it stays visible in the trace and EM keeps iterating.
+    const double improvement = ll - previous_ll;
+    if (iteration > 0 && improvement >= 0 &&
+        improvement < options_.tolerance) {
       converged = true;
       break;
     }
     previous_ll = ll;
 
-    // M step: weights, means, variances from responsibilities.
-    for (int c = 0; c < k; ++c) {
-      double nk = 0;
-      for (std::size_t i = 0; i < n; ++i) nk += resp(i, c);
-      // A fully starved component keeps its parameters (it can recover
-      // only by data shifting; re-seeding would break determinism).
-      if (nk < 1e-10) continue;
-      weights[c] = nk / static_cast<double>(n);
-      for (std::size_t j = 0; j < d; ++j) {
-        double m = 0;
-        for (std::size_t i = 0; i < n; ++i) m += resp(i, c) * x(i, j);
-        means(c, j) = m / nk;
-      }
-      for (std::size_t j = 0; j < d; ++j) {
-        double v = 0;
-        for (std::size_t i = 0; i < n; ++i) {
-          const double diff = x(i, j) - means(c, j);
-          v += resp(i, c) * diff * diff;
-        }
-        vars(c, j) = std::max(v / nk, options_.variance_floor);
-      }
-    }
-  }
+    // M step: weights, means, variances from responsibilities. Both
+    // passes accumulate over instance shards and combine partials in
+    // shard order (thread-count independent).
+    MStepPartial mean_acc = parallel::ShardedReduce(
+        n, kRowGrain, MStepPartial(k, d),
+        [&](std::size_t begin, std::size_t end) {
+          MStepPartial partial(k, d);
+          for (std::size_t i = begin; i < end; ++i) {
+            const double* xrow = x.data() + i * d;
+            for (int c = 0; c < k; ++c) {
+              const double r = resp(i, c);
+              partial.nk[c] += r;
+              double* srow = partial.sums.data() + c * d;
+              for (std::size_t j = 0; j < d; ++j) srow[j] += r * xrow[j];
+            }
+          }
+          return partial;
+        },
+        [](MStepPartial a, const MStepPartial& b) {
+          a += b;
+          return a;
+        });
 
-  // Hard labels by max responsibility; compact away empty components.
-  out.hard.assignment.assign(n, 0);
-  for (std::size_t i = 0; i < n; ++i) {
-    int best = 0;
-    for (int c = 1; c < k; ++c) {
-      if (resp(i, c) > resp(i, best)) best = c;
+    // A fully starved component keeps its mean/variance (it can recover
+    // only by data shifting; re-seeding would break determinism).
+    std::vector<bool> starved(k, false);
+    for (int c = 0; c < k; ++c) {
+      if (mean_acc.nk[c] < 1e-10) {
+        starved[c] = true;
+        continue;
+      }
+      weights[c] = mean_acc.nk[c] / static_cast<double>(n);
+      for (std::size_t j = 0; j < d; ++j) {
+        means(c, j) = mean_acc.sums(c, j) / mean_acc.nk[c];
+      }
     }
-    out.hard.assignment[i] = best;
+    // Renormalize the mixing weights: a starved component's stale weight
+    // would otherwise leave Σ weights ≠ 1 after the others update.
+    double weight_sum = 0;
+    for (int c = 0; c < k; ++c) weight_sum += weights[c];
+    for (int c = 0; c < k; ++c) weights[c] /= weight_sum;
+
+    MStepPartial var_acc = parallel::ShardedReduce(
+        n, kRowGrain, MStepPartial(k, d),
+        [&](std::size_t begin, std::size_t end) {
+          MStepPartial partial(k, d);
+          for (std::size_t i = begin; i < end; ++i) {
+            const double* xrow = x.data() + i * d;
+            for (int c = 0; c < k; ++c) {
+              if (starved[c]) continue;
+              const double r = resp(i, c);
+              double* srow = partial.sums.data() + c * d;
+              for (std::size_t j = 0; j < d; ++j) {
+                const double diff = xrow[j] - means(c, j);
+                srow[j] += r * diff * diff;
+              }
+            }
+          }
+          return partial;
+        },
+        [](MStepPartial a, const MStepPartial& b) {
+          a += b;
+          return a;
+        });
+    for (int c = 0; c < k; ++c) {
+      if (starved[c]) continue;
+      for (std::size_t j = 0; j < d; ++j) {
+        vars(c, j) =
+            std::max(var_acc.sums(c, j) / mean_acc.nk[c],
+                     options_.variance_floor);
+      }
+    }
   }
+  out.weights = weights;
+
+  // Hard labels by max responsibility (parallel, disjoint writes); the
+  // first-occurrence id compaction stays serial to preserve label order.
+  out.hard.assignment.assign(n, 0);
+  parallel::ParallelFor(
+      n, kRowGrain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          int best = 0;
+          for (int c = 1; c < k; ++c) {
+            if (resp(i, c) > resp(i, best)) best = c;
+          }
+          out.hard.assignment[i] = best;
+        }
+      });
   std::vector<int> remap(k, -1);
   int next = 0;
   for (auto& id : out.hard.assignment) {

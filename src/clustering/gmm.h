@@ -42,6 +42,7 @@ class GaussianMixture : public Clusterer {
     ClusteringResult hard;
     linalg::Matrix responsibilities;  ///< n x k, rows sum to 1
     std::vector<double> log_likelihood_trace;  ///< per EM iteration
+    std::vector<double> weights;  ///< final mixing weights, sum to 1
   };
   SoftResult FitSoft(const linalg::Matrix& x, std::uint64_t seed) const;
 

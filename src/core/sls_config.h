@@ -2,6 +2,8 @@
 #ifndef MCIRBM_CORE_SLS_CONFIG_H_
 #define MCIRBM_CORE_SLS_CONFIG_H_
 
+#include "parallel/thread_pool.h"
+
 namespace mcirbm::core {
 
 /// Execution-engine knobs plumbed through the pipeline/experiment configs
@@ -16,8 +18,11 @@ struct ParallelConfig {
   /// results are bit-identical serial vs parallel. When false, kernels
   /// may trade the fixed serial-reference schedule for faster ones that
   /// are still reproducible for a fixed seed (e.g. parallel k-means
-  /// restarts on independent ShardRng substreams).
-  bool deterministic = true;
+  /// restarts, or CD-1 hidden-state sampling batched onto independent
+  /// ShardRng substreams). Defaults to the process-wide mode so the
+  /// MCIRBM_DETERMINISTIC environment variable reaches pipelines whose
+  /// callers never touch this field.
+  bool deterministic = parallel::DefaultDeterministic();
 };
 
 /// Hyper-parameters of the constrict/disperse supervision terms (Eq. 13).

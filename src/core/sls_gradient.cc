@@ -3,10 +3,17 @@
 #include <cmath>
 
 #include "linalg/ops.h"
+#include "parallel/thread_pool.h"
 #include "util/check.h"
 
 namespace mcirbm::core {
 namespace {
+
+// Fixed shard widths: hidden columns for the pairwise sweeps (each column
+// j owns db[j] and dW column j, so shards write disjoint elements) and
+// visible rows for the fast path's rank-1 corrections.
+constexpr std::size_t kColGrain = 8;
+constexpr std::size_t kRowGrain = 64;
 
 // Visible-cluster centers O_k (rows) for the retained clusters.
 linalg::Matrix ClusterCenters(const linalg::Matrix& v,
@@ -54,24 +61,30 @@ void AccumulateDisperse(const linalg::Matrix& v,
   // ∂Ld/∂w_ij = (2/NC) Σ_{p<q} (C_pj−C_qj)(gC_pj O_pi − gC_qj O_qi);
   // the dispersion enters L with a minus sign, hence -scale below.
   const double f = -scale * disperse_weight * 2.0 / nc;
-  for (std::size_t p = 0; p < k; ++p) {
-    for (std::size_t q = p + 1; q < k; ++q) {
-      for (std::size_t j = 0; j < nh; ++j) {
-        const double cp = mapped(p, j), cq = mapped(q, j);
-        const double diff = cp - cq;
-        if (diff == 0.0) continue;
-        const double gp = cp * (1 - cp), gq = cq * (1 - cq);
-        (*out.db)[j] += f * diff * (gp - gq);
-        const double cj = f * diff;
-        double* dwcol = out.dw->data() + j;  // column j, stride nh
-        const double* op = centers.data() + p * nv;
-        const double* oq = centers.data() + q * nv;
-        for (std::size_t i = 0; i < nv; ++i) {
-          dwcol[i * nh] += cj * (gp * op[i] - gq * oq[i]);
+  // Hidden columns are independent (db[j] and dW column j); the (p,q)
+  // pair loop runs innermost so each element accumulates contributions
+  // in the same pair order at any thread count.
+  parallel::ParallelFor(
+      nh, kColGrain, [&](std::size_t j_begin, std::size_t j_end) {
+        for (std::size_t j = j_begin; j < j_end; ++j) {
+          for (std::size_t p = 0; p < k; ++p) {
+            for (std::size_t q = p + 1; q < k; ++q) {
+              const double cp = mapped(p, j), cq = mapped(q, j);
+              const double diff = cp - cq;
+              if (diff == 0.0) continue;
+              const double gp = cp * (1 - cp), gq = cq * (1 - cq);
+              (*out.db)[j] += f * diff * (gp - gq);
+              const double cj = f * diff;
+              double* dwcol = out.dw->data() + j;  // column j, stride nh
+              const double* op = centers.data() + p * nv;
+              const double* oq = centers.data() + q * nv;
+              for (std::size_t i = 0; i < nv; ++i) {
+                dwcol[i * nh] += cj * (gp * op[i] - gq * oq[i]);
+              }
+            }
+          }
         }
-      }
-    }
-  }
+      });
 }
 
 }  // namespace
@@ -116,29 +129,35 @@ void AccumulateSlsGradientNaive(const linalg::Matrix& v,
   const double f = options.scale * 2.0 * inv_norm;  // constrict prefactor
 
   // Literal Eq. 27/31: ordered pairs (s,t) within each credible cluster.
-  for (const auto& rows : batch.members) {
-    for (std::size_t s : rows) {
-      const double* hs = h.data() + s * nh;
-      const double* vs = v.data() + s * nv;
-      for (std::size_t t : rows) {
-        if (s == t) continue;
-        const double* ht = h.data() + t * nh;
-        const double* vt = v.data() + t * nv;
-        for (std::size_t j = 0; j < nh; ++j) {
-          const double diff = hs[j] - ht[j];
-          if (diff == 0.0) continue;
-          const double gs = hs[j] * (1 - hs[j]);
-          const double gt = ht[j] * (1 - ht[j]);
-          (*out.db)[j] += f * diff * (gs - gt);
-          const double cj = f * diff;
-          double* dwcol = out.dw->data() + j;
-          for (std::size_t i = 0; i < nv; ++i) {
-            dwcol[i * nh] += cj * (gs * vs[i] - gt * vt[i]);
+  // Sharded over hidden columns — each j owns db[j] and dW column j, and
+  // the (cluster, s, t) loops run innermost, so every element receives
+  // its contributions in the serial pair order at any thread count.
+  parallel::ParallelFor(
+      nh, kColGrain, [&](std::size_t j_begin, std::size_t j_end) {
+        for (std::size_t j = j_begin; j < j_end; ++j) {
+          for (const auto& rows : batch.members) {
+            for (std::size_t s : rows) {
+              const double* hs = h.data() + s * nh;
+              const double* vs = v.data() + s * nv;
+              for (std::size_t t : rows) {
+                if (s == t) continue;
+                const double* ht = h.data() + t * nh;
+                const double* vt = v.data() + t * nv;
+                const double diff = hs[j] - ht[j];
+                if (diff == 0.0) continue;
+                const double gs = hs[j] * (1 - hs[j]);
+                const double gt = ht[j] * (1 - ht[j]);
+                (*out.db)[j] += f * diff * (gs - gt);
+                const double cj = f * diff;
+                double* dwcol = out.dw->data() + j;
+                for (std::size_t i = 0; i < nv; ++i) {
+                  dwcol[i * nh] += cj * (gs * vs[i] - gt * vt[i]);
+                }
+              }
+            }
           }
         }
-      }
-    }
-  }
+      });
   if (options.include_disperse) {
     AccumulateDisperse(v, batch, w, b, options.scale,
                        options.disperse_weight, out);
@@ -181,13 +200,16 @@ void AccumulateSlsGradientFast(const linalg::Matrix& v,
     linalg::AccumulateGemmTransA(c1, vk, hg, out.dw);
     const linalg::Matrix vg = linalg::GemmTransA(vk, gk);  // nv x nh
     const std::vector<double> hsum = linalg::ColSums(hk);
-    for (std::size_t i = 0; i < nv; ++i) {
-      double* dwrow = out.dw->data() + i * nh;
-      const double* vgrow = vg.data() + i * nh;
-      for (std::size_t j = 0; j < nh; ++j) {
-        dwrow[j] -= c2 * hsum[j] * vgrow[j];
-      }
-    }
+    parallel::ParallelFor(
+        nv, kRowGrain, [&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            double* dwrow = out.dw->data() + i * nh;
+            const double* vgrow = vg.data() + i * nh;
+            for (std::size_t j = 0; j < nh; ++j) {
+              dwrow[j] -= c2 * hsum[j] * vgrow[j];
+            }
+          }
+        });
     // db += c1·Σ_s h_sj g_sj − c2·hsum_j·gsum_j.
     const std::vector<double> hgsum = linalg::ColSums(hg);
     const std::vector<double> gsum = linalg::ColSums(gk);
@@ -207,15 +229,22 @@ double SlsObjective(const linalg::Matrix& v, const linalg::Matrix& h,
                     const SlsGradientOptions& options) {
   if (batch.empty()) return 0.0;
   const std::size_t nh = h.cols();
-  double constrict = 0;
-  for (const auto& rows : batch.members) {
-    for (std::size_t s : rows) {
-      for (std::size_t t : rows) {
-        if (s == t) continue;
-        constrict += linalg::SquaredDistance(h.Row(s), h.Row(t));
-      }
-    }
-  }
+  // Per-cluster subtotals over fixed single-cluster shards, combined in
+  // cluster order (thread-count independent).
+  double constrict = parallel::ShardedSum(
+      batch.members.size(), 1, [&](std::size_t begin, std::size_t end) {
+        double sum = 0;
+        for (std::size_t c = begin; c < end; ++c) {
+          const auto& rows = batch.members[c];
+          for (std::size_t s : rows) {
+            for (std::size_t t : rows) {
+              if (s == t) continue;
+              sum += linalg::SquaredDistance(h.Row(s), h.Row(t));
+            }
+          }
+        }
+        return sum;
+      });
   constrict /= static_cast<double>(options.normalize_by_pairs
                                        ? batch.num_ordered_pairs
                                        : batch.num_credible);

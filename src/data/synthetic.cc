@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "parallel/thread_pool.h"
 #include "rng/rng.h"
 #include "util/check.h"
 
@@ -162,66 +163,90 @@ Dataset GenerateGaussianMixture(const GaussianMixtureSpec& spec,
   out.x.Resize(n, d);
   out.labels.resize(n);
 
-  int row = 0;
-  for (int c = 0; c < k; ++c) {
-    for (int i = 0; i < counts[c]; ++i, ++row) {
-      out.labels[row] = c;
-      int sample_class = c;
-      if (k > 1 && rng.Bernoulli(spec.confusion_fraction)) {
-        // Re-sample around another class center (ambiguous instance).
-        sample_class = static_cast<int>(rng.UniformIndex(k - 1));
-        if (sample_class >= c) ++sample_class;
-      }
-      const bool outlier = rng.Bernoulli(spec.outlier_fraction);
-      const bool halo = !rng.Bernoulli(spec.core_fraction);
-      double* xrow = out.x.data() + static_cast<std::size_t>(row) * d;
-      const double* mode_center;
-      double spread;
-      if (n_modes > 0) {
-        // Shared-mode layout: pick an owned mode with prob affinity,
-        // any foreign mode otherwise. Class spread scaling is off here —
-        // modes are common visual themes of a shared space. Halo
-        // instances use the (typically lower) halo affinity.
-        const double affinity =
-            halo && spec.halo_affinity >= 0 ? spec.halo_affinity
-                                            : spec.mode_class_affinity;
-        int mode;
-        if (rng.Bernoulli(affinity) ||
-            static_cast<int>(class_modes[sample_class].size()) == n_modes) {
-          const auto& own = class_modes[sample_class];
-          mode = own[rng.UniformIndex(own.size())];
-        } else {
-          do {
-            mode = static_cast<int>(rng.UniformIndex(n_modes));
-          } while (mode_owner[mode] == sample_class);
-        }
-        mode_center = mode_centers.data() +
-                      static_cast<std::size_t>(mode) * d_info;
-        // Minority-owned visual themes are compact, majority-owned ones
-        // diffuse (see GaussianMixtureSpec::mode_tightness_exponent).
-        spread = spec.mode_tightness_exponent > 0
-                     ? std::pow(static_cast<double>(k) * props[mode_owner[mode]],
-                                spec.mode_tightness_exponent)
-                     : 1.0;
-      } else {
-        const int sub = static_cast<int>(rng.UniformIndex(n_sub));
-        const int mode = sample_class * n_sub + sub;
-        mode_center =
-            sub_centers.data() + static_cast<std::size_t>(mode) * d_info;
-        spread = class_spread[sample_class];
-      }
-      if (halo) spread *= spec.halo_scale;
-      if (outlier) spread *= 3.0;
-      for (int j = 0; j < d_info; ++j) {
-        xrow[j] = mode_center[j] + rng.Gaussian(0.0, dim_stddev[j] * spread);
-      }
-      for (int j = d_info; j < d; ++j) {
-        // Uninformative dimension with its own descriptor-bin scale.
-        xrow[j] = rng.Gaussian(0.0, noise_stddev[j - d_info]);
-      }
+  // Row -> class from the class-block layout, so rows can be sampled in
+  // any order (and in parallel) without threading state through the loop.
+  std::vector<int> row_class(n);
+  {
+    int row = 0;
+    for (int c = 0; c < k; ++c) {
+      for (int i = 0; i < counts[c]; ++i, ++row) row_class[row] = c;
     }
+    MCIRBM_CHECK_EQ(row, n);
   }
-  MCIRBM_CHECK_EQ(row, n);
+
+  // Every row draws from its own ShardRng substream keyed by (seed, row):
+  // instance sampling is embarrassingly parallel and bit-identical at any
+  // thread count (the stream depends only on the row index, never on the
+  // shard width or worker schedule).
+  const std::uint64_t row_stream_seed = seed ^ 0x726f777374726dULL;  // "rowstrm"
+  constexpr std::size_t kRowGrain = 64;
+  const auto sample_row = [&](std::size_t r, rng::Rng* row_rng) {
+    const int row = static_cast<int>(r);
+    const int c = row_class[r];
+    out.labels[row] = c;
+    int sample_class = c;
+    if (k > 1 && row_rng->Bernoulli(spec.confusion_fraction)) {
+      // Re-sample around another class center (ambiguous instance).
+      sample_class = static_cast<int>(row_rng->UniformIndex(k - 1));
+      if (sample_class >= c) ++sample_class;
+    }
+    const bool outlier = row_rng->Bernoulli(spec.outlier_fraction);
+    const bool halo = !row_rng->Bernoulli(spec.core_fraction);
+    double* xrow = out.x.data() + static_cast<std::size_t>(row) * d;
+    const double* mode_center;
+    double spread;
+    if (n_modes > 0) {
+      // Shared-mode layout: pick an owned mode with prob affinity,
+      // any foreign mode otherwise. Class spread scaling is off here —
+      // modes are common visual themes of a shared space. Halo
+      // instances use the (typically lower) halo affinity.
+      const double affinity =
+          halo && spec.halo_affinity >= 0 ? spec.halo_affinity
+                                          : spec.mode_class_affinity;
+      int mode;
+      if (row_rng->Bernoulli(affinity) ||
+          static_cast<int>(class_modes[sample_class].size()) == n_modes) {
+        const auto& own = class_modes[sample_class];
+        mode = own[row_rng->UniformIndex(own.size())];
+      } else {
+        do {
+          mode = static_cast<int>(row_rng->UniformIndex(n_modes));
+        } while (mode_owner[mode] == sample_class);
+      }
+      mode_center = mode_centers.data() +
+                    static_cast<std::size_t>(mode) * d_info;
+      // Minority-owned visual themes are compact, majority-owned ones
+      // diffuse (see GaussianMixtureSpec::mode_tightness_exponent).
+      spread = spec.mode_tightness_exponent > 0
+                   ? std::pow(static_cast<double>(k) * props[mode_owner[mode]],
+                              spec.mode_tightness_exponent)
+                   : 1.0;
+    } else {
+      const int sub = static_cast<int>(row_rng->UniformIndex(n_sub));
+      const int mode = sample_class * n_sub + sub;
+      mode_center =
+          sub_centers.data() + static_cast<std::size_t>(mode) * d_info;
+      spread = class_spread[sample_class];
+    }
+    if (halo) spread *= spec.halo_scale;
+    if (outlier) spread *= 3.0;
+    for (int j = 0; j < d_info; ++j) {
+      xrow[j] =
+          mode_center[j] + row_rng->Gaussian(0.0, dim_stddev[j] * spread);
+    }
+    for (int j = d_info; j < d; ++j) {
+      // Uninformative dimension with its own descriptor-bin scale.
+      xrow[j] = row_rng->Gaussian(0.0, noise_stddev[j - d_info]);
+    }
+  };
+  parallel::ParallelFor(
+      static_cast<std::size_t>(n), kRowGrain,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t r = begin; r < end; ++r) {
+          rng::Rng row_rng = parallel::ShardRng(row_stream_seed, r);
+          sample_row(r, &row_rng);
+        }
+      });
 
   // Shuffle rows so class blocks are interleaved.
   const std::vector<std::size_t> perm = rng.Permutation(n);

@@ -175,11 +175,18 @@ DatasetExperimentResult RunDatasetExperiment(const data::Dataset& dataset,
                           }
                         });
 
+  // Aggregate consistently: both supervision summaries average over the
+  // same repeats (clusters rounded to the nearest count) instead of
+  // mixing a mean coverage with a last-repeat cluster count.
+  MCIRBM_CHECK(!outcomes.empty()) << "no repeat outcomes to aggregate";
   double coverage_sum = 0;
+  double cluster_sum = 0;
   for (const RepeatOutcome& outcome : outcomes) {
     coverage_sum += outcome.coverage;
+    cluster_sum += outcome.supervision_clusters;
   }
-  result.supervision_clusters = outcomes.back().supervision_clusters;
+  result.supervision_clusters = static_cast<int>(
+      std::lround(cluster_sum / static_cast<double>(outcomes.size())));
   for (int v = 0; v < kNumVariants; ++v) {
     for (int c = 0; c < kNumClusterers; ++c) {
       std::vector<metrics::MetricBundle> runs;
@@ -200,15 +207,30 @@ DatasetExperimentResult RunDatasetExperiment(const data::Dataset& dataset,
 
 std::vector<DatasetExperimentResult> RunFamilyExperiments(
     const ExperimentConfig& config) {
-  std::vector<DatasetExperimentResult> results;
+  core::ApplyParallelConfig(config.parallel);
   const int n = config.grbm_family ? data::NumMsraDatasets()
                                    : data::NumUciDatasets();
+  // Generate up front (synthesis parallelizes internally), then fan the
+  // independent per-dataset experiments out over the pool. Results land
+  // at their dataset index, so the family table is identical to the
+  // serial harness; nested parallel kernels degrade to serial on the
+  // workers.
+  std::vector<data::Dataset> datasets;
+  datasets.reserve(n);
   for (int i = 0; i < n; ++i) {
-    const data::Dataset dataset =
-        config.grbm_family ? data::GenerateMsraLike(i, config.seed)
-                           : data::GenerateUciLike(i, config.seed);
-    results.push_back(RunDatasetExperiment(dataset, i + 1, config));
+    datasets.push_back(config.grbm_family
+                           ? data::GenerateMsraLike(i, config.seed)
+                           : data::GenerateUciLike(i, config.seed));
   }
+  std::vector<DatasetExperimentResult> results(n);
+  parallel::ParallelFor(
+      static_cast<std::size_t>(n), 1,
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          results[i] = RunDatasetExperiment(datasets[i],
+                                            static_cast<int>(i) + 1, config);
+        }
+      });
   return results;
 }
 

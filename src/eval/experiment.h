@@ -47,7 +47,11 @@ struct DatasetExperimentResult {
   /// cells[variant][clusterer]
   AggregatedMetrics cells[kNumVariants][kNumClusterers];
   double supervision_coverage = 0;  ///< mean over repeats (sls variant)
-  int supervision_clusters = 0;     ///< from the last repeat
+  int supervision_clusters = 0;     ///< mean over repeats, rounded
+  /// Wall-clock time of this dataset's experiment. When datasets run
+  /// concurrently (RunFamilyExperiments fans them out over the pool),
+  /// spans include time slices spent on other datasets' work, so the
+  /// per-dataset values overlap and their sum exceeds the family total.
   double wall_seconds = 0;
 };
 

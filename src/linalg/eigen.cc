@@ -4,21 +4,31 @@
 #include <cmath>
 #include <numeric>
 
+#include "parallel/thread_pool.h"
 #include "util/check.h"
 
 namespace mcirbm::linalg {
 namespace {
 
-// Sum of squares of the strictly off-diagonal elements.
+// Fixed shard width for the per-row sweeps; rotations below this size run
+// the plain loop (identical arithmetic) to spare the dispatch overhead on
+// the small matrices spectral clustering typically produces.
+constexpr std::size_t kRowGrain = 256;
+
+// Sum of squares of the strictly off-diagonal elements, reduced over
+// fixed row shards (thread-count independent).
 double OffDiagonalSquaredNorm(const Matrix& a) {
   const std::size_t n = a.rows();
-  double sum = 0;
-  for (std::size_t i = 0; i < n; ++i) {
-    for (std::size_t j = i + 1; j < n; ++j) {
-      sum += 2 * a(i, j) * a(i, j);
-    }
-  }
-  return sum;
+  return parallel::ShardedSum(
+      n, kRowGrain, [&](std::size_t begin, std::size_t end) {
+        double sum = 0;
+        for (std::size_t i = begin; i < end; ++i) {
+          for (std::size_t j = i + 1; j < n; ++j) {
+            sum += 2 * a(i, j) * a(i, j);
+          }
+        }
+        return sum;
+      });
 }
 
 void ValidateSymmetric(const Matrix& a) {
@@ -78,26 +88,44 @@ EigenDecomposition JacobiEigenSymmetric(const Matrix& a,
         const double c = 1.0 / std::sqrt(t * t + 1.0);
         const double s = t * c;
 
-        // Apply J(p,q,θ)ᵀ·D·J(p,q,θ) touching only rows/cols p,q.
-        for (std::size_t i = 0; i < n; ++i) {
-          const double dip = d(i, p);
-          const double diq = d(i, q);
-          d(i, p) = c * dip - s * diq;
-          d(i, q) = s * dip + c * diq;
-        }
-        for (std::size_t i = 0; i < n; ++i) {
-          const double dpi = d(p, i);
-          const double dqi = d(q, i);
-          d(p, i) = c * dpi - s * dqi;
-          d(q, i) = s * dpi + c * dqi;
-        }
+        // Apply J(p,q,θ)ᵀ·D·J(p,q,θ) touching only rows/cols p,q. Within
+        // each pass every index i touches disjoint elements, so large
+        // rotations fan out over fixed shards; the passes themselves must
+        // stay ordered (the row update at i=p reads the column update
+        // from i=q and vice versa). Below the grain the plain loops
+        // perform the identical arithmetic without dispatch overhead.
+        const auto run_pass = [n](const auto& pass) {
+          if (n > kRowGrain) {
+            parallel::ParallelFor(n, kRowGrain, pass);
+          } else {
+            pass(0, n);
+          }
+        };
+        run_pass([&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const double dip = d(i, p);
+            const double diq = d(i, q);
+            d(i, p) = c * dip - s * diq;
+            d(i, q) = s * dip + c * diq;
+          }
+        });
+        run_pass([&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const double dpi = d(p, i);
+            const double dqi = d(q, i);
+            d(p, i) = c * dpi - s * dqi;
+            d(q, i) = s * dpi + c * dqi;
+          }
+        });
         // Accumulate the rotation into the eigenvector matrix.
-        for (std::size_t i = 0; i < n; ++i) {
-          const double vip = v(i, p);
-          const double viq = v(i, q);
-          v(i, p) = c * vip - s * viq;
-          v(i, q) = s * vip + c * viq;
-        }
+        run_pass([&](std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            const double vip = v(i, p);
+            const double viq = v(i, q);
+            v(i, p) = c * vip - s * viq;
+            v(i, q) = s * vip + c * viq;
+          }
+        });
       }
     }
   }

@@ -5,9 +5,48 @@
 
 #include "linalg/eigen.h"
 #include "linalg/ops.h"
+#include "parallel/thread_pool.h"
 #include "util/check.h"
 
 namespace mcirbm::linalg {
+namespace {
+
+// Fixed shard width for the per-row sweeps (centering, whitening);
+// boundaries depend only on the row count, so results are bit-identical
+// at any thread count.
+constexpr std::size_t kRowGrain = 128;
+
+// Adds `shift[j] * sign` to every row of `m` in parallel.
+void ShiftRows(Matrix* m, const std::vector<double>& shift, double sign) {
+  parallel::ParallelFor(
+      m->rows(), kRowGrain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          auto row = m->Row(i);
+          for (std::size_t j = 0; j < row.size(); ++j) {
+            row[j] += sign * shift[j];
+          }
+        }
+      });
+}
+
+// Multiplies column j of `m` by scale[j] (or divides, with `invert`).
+void ScaleColumns(Matrix* m, const std::vector<double>& scale, bool invert) {
+  parallel::ParallelFor(
+      m->rows(), kRowGrain, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          auto row = m->Row(i);
+          for (std::size_t j = 0; j < row.size(); ++j) {
+            if (invert) {
+              row[j] /= scale[j];
+            } else {
+              row[j] *= scale[j];
+            }
+          }
+        }
+      });
+}
+
+}  // namespace
 
 Pca Pca::Fit(const Matrix& x, const Options& options) {
   const std::size_t n = x.rows();
@@ -21,10 +60,7 @@ Pca Pca::Fit(const Matrix& x, const Options& options) {
 
   // Centered copy, then covariance C = Xcᵀ·Xc / (n-1).
   Matrix centered = x;
-  for (std::size_t i = 0; i < n; ++i) {
-    auto row = centered.Row(i);
-    for (std::size_t j = 0; j < d; ++j) row[j] -= pca.mean_[j];
-  }
+  ShiftRows(&centered, pca.mean_, -1.0);
   Matrix cov = GemmTransA(centered, centered);
   cov *= 1.0 / static_cast<double>(n - 1);
 
@@ -56,17 +92,9 @@ Pca Pca::Fit(const Matrix& x, const Options& options) {
 Matrix Pca::Transform(const Matrix& x) const {
   MCIRBM_CHECK_EQ(x.cols(), mean_.size()) << "feature-count mismatch";
   Matrix centered = x;
-  for (std::size_t i = 0; i < centered.rows(); ++i) {
-    auto row = centered.Row(i);
-    for (std::size_t j = 0; j < row.size(); ++j) row[j] -= mean_[j];
-  }
+  ShiftRows(&centered, mean_, -1.0);
   Matrix projected = Gemm(centered, components_);
-  if (whiten_) {
-    for (std::size_t i = 0; i < projected.rows(); ++i) {
-      auto row = projected.Row(i);
-      for (std::size_t j = 0; j < row.size(); ++j) row[j] *= scale_[j];
-    }
-  }
+  if (whiten_) ScaleColumns(&projected, scale_, /*invert=*/false);
   return projected;
 }
 
@@ -74,17 +102,9 @@ Matrix Pca::InverseTransform(const Matrix& projected) const {
   MCIRBM_CHECK_EQ(projected.cols(), components_.cols())
       << "component-count mismatch";
   Matrix unscaled = projected;
-  if (whiten_) {
-    for (std::size_t i = 0; i < unscaled.rows(); ++i) {
-      auto row = unscaled.Row(i);
-      for (std::size_t j = 0; j < row.size(); ++j) row[j] /= scale_[j];
-    }
-  }
+  if (whiten_) ScaleColumns(&unscaled, scale_, /*invert=*/true);
   Matrix restored = GemmTransB(unscaled, components_);
-  for (std::size_t i = 0; i < restored.rows(); ++i) {
-    auto row = restored.Row(i);
-    for (std::size_t j = 0; j < row.size(); ++j) row[j] += mean_[j];
-  }
+  ShiftRows(&restored, mean_, 1.0);
   return restored;
 }
 

@@ -98,6 +98,12 @@ bool InParallelRegion();
 bool Deterministic();
 void SetDeterministic(bool deterministic);
 
+/// Process-default determinism mode: true unless the MCIRBM_DETERMINISTIC
+/// environment variable is set to 0/false/off/no. Config structs that
+/// carry a `deterministic` field default to this value so an environment
+/// override survives ApplyParallelConfig.
+bool DefaultDeterministic();
+
 /// Splits [0, n) into ceil(n/grain) fixed-size shards and runs
 /// fn(begin, end) for each. Shard boundaries depend only on (n, grain), so
 /// any side effects that are disjoint per shard are deterministic across

@@ -124,6 +124,13 @@ class RbmBase {
   void InitWeightsFromPca(const linalg::Matrix& data);
   /// Samples binary states from probabilities in place.
   void SampleBernoulliInPlace(linalg::Matrix* probs, rng::Rng* rng) const;
+  /// Fast-path Bernoulli sampling (parallel::Deterministic() == false):
+  /// row shards of fixed width draw from independent ShardRng substreams
+  /// keyed by (stream, shard), so the result is reproducible for a fixed
+  /// stream and identical at any thread count — but not identical to the
+  /// serial single-stream draw above.
+  void SampleBernoulliSharded(linalg::Matrix* probs,
+                              std::uint64_t stream) const;
 };
 
 }  // namespace mcirbm::rbm

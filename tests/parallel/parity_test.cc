@@ -7,12 +7,18 @@
 
 #include <vector>
 
+#include "clustering/agglomerative.h"
+#include "clustering/gmm.h"
 #include "clustering/kmeans.h"
+#include "clustering/spectral.h"
+#include "core/sls_gradient.h"
 #include "data/synthetic.h"
 #include "linalg/ops.h"
+#include "linalg/pca.h"
 #include "parallel/thread_pool.h"
 #include "rbm/grbm.h"
 #include "rbm/rbm.h"
+#include "rbm/sampling.h"
 #include "rng/rng.h"
 
 namespace mcirbm {
@@ -22,7 +28,10 @@ constexpr int kWidths[] = {1, 2, 8};
 
 class ParityTest : public ::testing::Test {
  protected:
-  ~ParityTest() override { parallel::SetNumThreads(0); }
+  ~ParityTest() override {
+    parallel::SetNumThreads(0);
+    parallel::SetDeterministic(parallel::DefaultDeterministic());
+  }
 };
 
 linalg::Matrix RandomMatrix(std::size_t r, std::size_t c,
@@ -37,7 +46,7 @@ template <typename Fn>
 void ExpectSameMatrixAtAllWidths(const Fn& compute) {
   parallel::SetNumThreads(1);
   const linalg::Matrix reference = compute();
-  for (int width : {2, 8}) {
+  for (int width : {2, 4, 8}) {
     parallel::SetNumThreads(width);
     const linalg::Matrix got = compute();
     ASSERT_EQ(got.rows(), reference.rows());
@@ -144,6 +153,223 @@ void ExpectCd1ParityAcrossWidths(const linalg::Matrix& x,
     EXPECT_EQ(got.visible_bias(), reference.visible_bias());
     EXPECT_EQ(got.hidden_bias(), reference.hidden_bias());
   }
+}
+
+data::Dataset ParityDataset(int classes, int n, int d, std::uint64_t seed) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "parity-kernels";
+  spec.num_classes = classes;
+  spec.num_instances = n;
+  spec.num_features = d;
+  spec.separation = 4.0;
+  return data::GenerateGaussianMixture(spec, seed);
+}
+
+TEST_F(ParityTest, SynthesisBitIdenticalAcrossWidths) {
+  parallel::SetNumThreads(1);
+  const data::Dataset reference = ParityDataset(3, 500, 16, 29);
+  for (int width : {2, 4, 8}) {
+    parallel::SetNumThreads(width);
+    const data::Dataset got = ParityDataset(3, 500, 16, 29);
+    EXPECT_EQ(got.labels, reference.labels);
+    ASSERT_EQ(got.x.size(), reference.x.size());
+    for (std::size_t i = 0; i < got.x.size(); ++i) {
+      ASSERT_EQ(got.x.data()[i], reference.x.data()[i])
+          << "element " << i << " differs at " << width << " threads";
+    }
+  }
+}
+
+TEST_F(ParityTest, GmmFitSoftBitIdenticalAcrossWidths) {
+  const data::Dataset ds = ParityDataset(4, 600, 10, 31);
+  const clustering::GaussianMixture gmm(
+      {.num_components = 4, .max_iterations = 30});
+  ExpectSameMatrixAtAllWidths(
+      [&] { return gmm.FitSoft(ds.x, 7).responsibilities; });
+  parallel::SetNumThreads(1);
+  const auto reference = gmm.FitSoft(ds.x, 7);
+  for (int width : {2, 4, 8}) {
+    parallel::SetNumThreads(width);
+    const auto got = gmm.FitSoft(ds.x, 7);
+    EXPECT_EQ(got.hard.assignment, reference.hard.assignment);
+    EXPECT_EQ(got.log_likelihood_trace, reference.log_likelihood_trace);
+    EXPECT_EQ(got.weights, reference.weights);
+  }
+}
+
+TEST_F(ParityTest, SpectralEmbeddingBitIdenticalAcrossWidths) {
+  // 300 rows: the affinity/Laplacian shards split (grain 32) and the
+  // Jacobi rotations cross their serial-inline threshold (grain 256).
+  const data::Dataset ds = ParityDataset(3, 300, 8, 37);
+  clustering::Spectral::Options options;
+  options.num_clusters = 3;
+  options.knn = 12;
+  const clustering::Spectral spectral(options);
+  ExpectSameMatrixAtAllWidths([&] { return spectral.Embed(ds.x); });
+}
+
+TEST_F(ParityTest, AgglomerativeLabelsIdenticalAcrossWidths) {
+  const data::Dataset ds = ParityDataset(4, 300, 6, 41);
+  for (const auto linkage :
+       {clustering::Linkage::kWard, clustering::Linkage::kComplete}) {
+    const clustering::Agglomerative agg(4, linkage);
+    parallel::SetNumThreads(1);
+    const auto reference = agg.Cluster(ds.x, 0);
+    for (int width : {2, 4, 8}) {
+      parallel::SetNumThreads(width);
+      const auto got = agg.Cluster(ds.x, 0);
+      EXPECT_EQ(got.assignment, reference.assignment)
+          << LinkageName(linkage) << " labels differ at " << width
+          << " threads";
+    }
+  }
+}
+
+TEST_F(ParityTest, PcaFitAndTransformBitIdenticalAcrossWidths) {
+  const linalg::Matrix x = RandomMatrix(400, 24, 43);
+  const linalg::Matrix probe = RandomMatrix(50, 24, 44);
+  linalg::Pca::Options options;
+  options.num_components = 8;
+  options.whiten = true;
+  ExpectSameMatrixAtAllWidths([&] {
+    const linalg::Pca pca = linalg::Pca::Fit(x, options);
+    return pca.Transform(probe);
+  });
+}
+
+TEST_F(ParityTest, SlsGradientBitIdenticalAcrossWidths) {
+  const std::size_t m = 120, nv = 20, nh = 24;
+  const linalg::Matrix v = RandomMatrix(m, nv, 47);
+  linalg::Matrix h = RandomMatrix(m, nh, 48);
+  linalg::SigmoidInPlace(&h);
+  const linalg::Matrix w = RandomMatrix(nv, nh, 49);
+  const std::vector<double> b(nh, 0.1);
+
+  core::SupervisionBatch batch;
+  batch.members = {{0, 3, 7, 11, 19}, {2, 5, 8}, {30, 31, 40, 41}};
+  for (const auto& rows : batch.members) {
+    batch.num_credible += rows.size();
+    batch.num_ordered_pairs += rows.size() * (rows.size() - 1);
+  }
+  const core::SlsGradientOptions options;
+
+  for (const bool fast : {false, true}) {
+    ExpectSameMatrixAtAllWidths([&] {
+      linalg::Matrix dw(nv, nh);
+      std::vector<double> db(nh, 0.0);
+      if (fast) {
+        core::AccumulateSlsGradientFast(v, h, batch, w, b, options,
+                                        {&dw, &db});
+      } else {
+        core::AccumulateSlsGradientNaive(v, h, batch, w, b, options,
+                                         {&dw, &db});
+      }
+      return dw;
+    });
+  }
+}
+
+TEST_F(ParityTest, FantasySamplingDeterministicDefaultParity) {
+  // Pins the deterministic mode (the shipped default): the single-stream
+  // Gibbs chain is bit-identical at any thread count.
+  parallel::SetDeterministic(true);
+  linalg::Matrix x = RandomMatrix(96, 24, 51);
+  linalg::SigmoidInPlace(&x);
+  rbm::RbmConfig config;
+  config.num_visible = 24;
+  config.num_hidden = 16;
+  config.epochs = 2;
+  config.seed = 3;
+  parallel::SetNumThreads(1);
+  rbm::Rbm model(config);
+  model.Train(x);
+  rbm::GibbsOptions gibbs;
+  gibbs.burn_in = 5;
+  gibbs.seed = 13;
+  ExpectSameMatrixAtAllWidths(
+      [&] { return rbm::SampleFantasies(model, x, gibbs); });
+}
+
+TEST_F(ParityTest, FastGibbsSamplerSeedReproducible) {
+  // deterministic=false trades the serial RNG stream for per-shard
+  // substreams: the fantasies must still be a pure function of the seed,
+  // identical at any thread count, and distinct for a different seed.
+  linalg::Matrix x = RandomMatrix(96, 24, 53);
+  linalg::SigmoidInPlace(&x);
+  rbm::RbmConfig config;
+  config.num_visible = 24;
+  config.num_hidden = 16;
+  config.epochs = 2;
+  config.seed = 5;
+  parallel::SetNumThreads(1);
+  rbm::Rbm model(config);
+  model.Train(x);
+  rbm::GibbsOptions gibbs;
+  gibbs.burn_in = 5;
+  gibbs.seed = 17;
+
+  parallel::SetDeterministic(false);
+  parallel::SetNumThreads(1);
+  const linalg::Matrix reference = rbm::SampleFantasies(model, x, gibbs);
+  for (int width : {1, 2, 4, 8}) {
+    parallel::SetNumThreads(width);
+    const linalg::Matrix got = rbm::SampleFantasies(model, x, gibbs);
+    ASSERT_EQ(got.size(), reference.size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_EQ(got.data()[i], reference.data()[i])
+          << "fantasy element " << i << " differs at " << width
+          << " threads";
+    }
+  }
+  rbm::GibbsOptions other = gibbs;
+  other.seed = 18;
+  const linalg::Matrix different = rbm::SampleFantasies(model, x, other);
+  bool any_differs = false;
+  for (std::size_t i = 0; i < different.size() && !any_differs; ++i) {
+    any_differs = different.data()[i] != reference.data()[i];
+  }
+  EXPECT_TRUE(any_differs) << "seed change did not perturb the fast chain";
+  parallel::SetDeterministic(true);
+
+  // The deterministic default is a *different* stream than the fast path
+  // (single serial chain), so flipping the mode back changes the draw.
+  const linalg::Matrix serial = rbm::SampleFantasies(model, x, gibbs);
+  bool mode_differs = false;
+  for (std::size_t i = 0; i < serial.size() && !mode_differs; ++i) {
+    mode_differs = serial.data()[i] != reference.data()[i];
+  }
+  EXPECT_TRUE(mode_differs);
+}
+
+TEST_F(ParityTest, FastCd1TrainingSeedReproducible) {
+  // Sharded hidden-state sampling in the training loop: fixed seed ->
+  // fixed weights at any thread count.
+  linalg::Matrix x = RandomMatrix(200, 32, 57);
+  linalg::SigmoidInPlace(&x);
+  rbm::RbmConfig config;
+  config.num_visible = 32;
+  config.num_hidden = 24;
+  config.epochs = 3;
+  config.batch_size = 64;
+  config.seed = 11;
+
+  parallel::SetDeterministic(false);
+  parallel::SetNumThreads(1);
+  rbm::Rbm reference(config);
+  reference.Train(x);
+  for (int width : {1, 2, 4, 8}) {
+    parallel::SetNumThreads(width);
+    rbm::Rbm got(config);
+    got.Train(x);
+    ASSERT_EQ(got.weights().size(), reference.weights().size());
+    for (std::size_t i = 0; i < got.weights().size(); ++i) {
+      ASSERT_EQ(got.weights().data()[i], reference.weights().data()[i])
+          << "fast-mode weight " << i << " differs at " << width
+          << " threads";
+    }
+    EXPECT_EQ(got.hidden_bias(), reference.hidden_bias());
+  }
+  parallel::SetDeterministic(true);
 }
 
 TEST_F(ParityTest, Cd1WeightUpdatesIdenticalAcrossWidths) {

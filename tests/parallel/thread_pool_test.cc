@@ -161,11 +161,13 @@ TEST_F(ThreadPoolTest, ShardRngIsDeterministicAndDecorrelated) {
 }
 
 TEST_F(ThreadPoolTest, DeterministicFlagRoundTrips) {
-  EXPECT_TRUE(Deterministic());
+  // The startup default tracks MCIRBM_DETERMINISTIC (true when unset).
+  EXPECT_EQ(Deterministic(), DefaultDeterministic());
   SetDeterministic(false);
   EXPECT_FALSE(Deterministic());
   SetDeterministic(true);
   EXPECT_TRUE(Deterministic());
+  SetDeterministic(DefaultDeterministic());
 }
 
 }  // namespace
