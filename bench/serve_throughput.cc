@@ -1,0 +1,194 @@
+// Serving throughput/latency benchmark for the src/serve micro-batcher.
+//
+// A tiny GRBM encoder is trained once, saved, and served from the model
+// store; client threads then hammer the Server with single-row Transform
+// requests. The sweep crosses batch size (max_batch_rows 1 = no
+// coalescing, i.e. one-row-at-a-time passes, vs 8/32/128) with pool
+// width 1/2/4/8 and reports requests/sec plus p50/p95 queue latency.
+//
+// Output is the same JSON shape as bench/parallel_scaling.cc — a
+// top-level {"hardware_threads", "kernels": [{"name", "n", "results":
+// [{"threads", "seconds", "speedup", ...}]}]} document — with serving
+// extras (rps, p50/p95 queue micros, mean batch rows) on each result, so
+// CI uploads it alongside the scaling artifact and trajectory tooling
+// can parse both with one reader. The serving win to look for: at
+// MCIRBM_THREADS >= 2, the serve_batch8/32/128 kernels should beat
+// serve_batch1 (unbatched) on rps.
+//
+// Environment knobs:
+//   MCIRBM_BENCH_SERVE_REQUESTS=<int>  requests per measurement (1000)
+//   MCIRBM_BENCH_SERVE_CLIENTS=<int>   client threads (2)
+//   MCIRBM_BENCH_SERVE_REPS=<int>      repetitions, best-of (2)
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "api/api.h"
+#include "data/synthetic.h"
+#include "parallel/thread_pool.h"
+#include "serve/serve.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace mcirbm;  // NOLINT: bench driver
+
+int EnvInt(const char* name, int fallback) {
+  const char* v = std::getenv(name);
+  return v ? std::atoi(v) : fallback;
+}
+
+struct Result {
+  int threads = 0;
+  double seconds = 0;
+  double rps = 0;
+  double p50_micros = 0;
+  double p95_micros = 0;
+  double mean_batch_rows = 0;
+};
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0;
+  std::sort(values.begin(), values.end());
+  const std::size_t index = std::min(
+      values.size() - 1,
+      static_cast<std::size_t>(p * static_cast<double>(values.size())));
+  return values[index];
+}
+
+linalg::Matrix RowOf(const linalg::Matrix& x, std::size_t r) {
+  linalg::Matrix row(1, x.cols());
+  std::memcpy(row.data(), x.data() + r * x.cols(),
+              x.cols() * sizeof(double));
+  return row;
+}
+
+// One measurement: `clients` threads submit `requests` single-row
+// transforms against a fresh Server serving `model_path`; best-of-`reps`
+// wall time, latency percentiles from the batcher's queue-wait records.
+Result Measure(const std::string& model_path, const linalg::Matrix& x,
+               int threads, std::size_t max_batch_rows,
+               std::size_t requests, int clients, int reps) {
+  Result result;
+  result.threads = threads;
+  parallel::SetNumThreads(threads);
+  double best = 1e300;
+  for (int rep = 0; rep < reps; ++rep) {
+    serve::ServerConfig config;
+    config.batcher.max_batch_rows = max_batch_rows;
+    config.batcher.max_queue_micros = 200;
+    config.batcher.record_latencies = true;
+    serve::Server server(config);
+    if (!server.store().Get(model_path).ok()) std::abort();  // pre-warm
+
+    WallTimer timer;
+    std::vector<std::thread> workers;
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        std::vector<std::future<StatusOr<linalg::Matrix>>> futures;
+        futures.reserve(requests / clients + 1);
+        for (std::size_t r = c; r < requests;
+             r += static_cast<std::size_t>(clients)) {
+          futures.push_back(
+              server.Submit(model_path, RowOf(x, r % x.rows())));
+        }
+        for (auto& future : futures) {
+          if (!future.get().ok()) std::abort();
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    const double seconds = timer.Seconds();
+    if (seconds < best) {
+      best = seconds;
+      result.seconds = seconds;
+      result.rps = static_cast<double>(requests) / seconds;
+      std::vector<double> latencies = server.latencies_micros();
+      result.p50_micros = Percentile(latencies, 0.50);
+      result.p95_micros = Percentile(latencies, 0.95);
+      result.mean_batch_rows = server.stats().batcher.MeanBatchRows();
+    }
+    server.Shutdown();
+  }
+  return result;
+}
+
+void EmitKernel(const std::string& name, std::size_t n,
+                const std::vector<Result>& results, bool last) {
+  std::cout << "    {\"name\": \"" << name << "\", \"n\": " << n
+            << ", \"results\": [";
+  const double serial = results.front().seconds;
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Result& r = results[i];
+    std::cout << (i ? ", " : "") << "{\"threads\": " << r.threads
+              << ", \"seconds\": " << r.seconds
+              << ", \"speedup\": " << serial / r.seconds
+              << ", \"rps\": " << r.rps
+              << ", \"p50_micros\": " << r.p50_micros
+              << ", \"p95_micros\": " << r.p95_micros
+              << ", \"mean_batch_rows\": " << r.mean_batch_rows << "}";
+  }
+  std::cout << "]}" << (last ? "" : ",") << "\n";
+}
+
+}  // namespace
+
+int main() {
+  parallel::SetDeterministic(true);
+  const std::size_t requests = EnvInt("MCIRBM_BENCH_SERVE_REQUESTS", 1000);
+  const int clients = std::max(1, EnvInt("MCIRBM_BENCH_SERVE_CLIENTS", 2));
+  const int reps = std::max(1, EnvInt("MCIRBM_BENCH_SERVE_REPS", 2));
+  const std::vector<int> widths = {1, 2, 4, 8};
+  const std::vector<std::size_t> batch_sizes = {1, 8, 32, 128};
+
+  // Encoder sized so one batched pass carries real GEMM work (a 1-row
+  // pass is ~12k multiply-adds — pure overhead; a 32-row batch is ~400k,
+  // enough for the pool to bite at >= 2 threads).
+  data::GaussianMixtureSpec spec;
+  spec.name = "serve";
+  spec.num_classes = 4;
+  spec.num_instances = 256;
+  spec.num_features = 64;
+  const data::Dataset ds = data::GenerateGaussianMixture(spec, 7);
+
+  core::PipelineConfig config;
+  config.model = core::ModelKind::kGrbm;
+  config.rbm.num_hidden = 192;
+  config.rbm.epochs = 2;
+  config.rbm.batch_size = 64;
+  auto trained = api::Model::Train(ds.x, config, 7);
+  if (!trained.ok()) {
+    std::cerr << "training failed: " << trained.status().ToString() << "\n";
+    return 1;
+  }
+  // Persist once; every Server rep loads it through its own ModelStore
+  // (the disk hit is one miss per rep, outside the contested path).
+  const std::string model_path = "mcirbm_serve_bench_model.txt";
+  if (!trained.value().Save(model_path).ok()) {
+    std::cerr << "cannot write " << model_path << "\n";
+    return 1;
+  }
+
+  std::cout << "{\n  \"hardware_threads\": "
+            << std::thread::hardware_concurrency() << ",\n  \"kernels\": [\n";
+  for (std::size_t b = 0; b < batch_sizes.size(); ++b) {
+    std::vector<Result> results;
+    for (int threads : widths) {
+      results.push_back(Measure(model_path, ds.x, threads, batch_sizes[b],
+                                requests, clients, reps));
+    }
+    EmitKernel("serve_batch" + std::to_string(batch_sizes[b]), requests,
+               results, b + 1 == batch_sizes.size());
+  }
+  std::cout << "  ]\n}\n";
+  parallel::SetNumThreads(0);
+  std::remove(model_path.c_str());
+  return 0;
+}

@@ -131,6 +131,14 @@ StatusOr<Model> Model::Load(const std::string& path) {
   return model;
 }
 
+StatusOr<std::shared_ptr<const Model>> Model::LoadShared(
+    const std::string& path) {
+  auto model = Load(path);
+  if (!model.ok()) return model.status();
+  return std::shared_ptr<const Model>(
+      std::make_shared<Model>(std::move(model).value()));
+}
+
 StatusOr<linalg::Matrix> Model::Transform(const linalg::Matrix& x) const {
   if (!valid()) {
     return Status::InvalidArgument("cannot transform with an empty model");
@@ -147,17 +155,14 @@ StatusOr<linalg::Matrix> Model::Transform(const linalg::Matrix& x) const {
                            : encoder_->HiddenFeatures(x);
 }
 
-StatusOr<EvalResult> Model::Evaluate(const linalg::Matrix& x,
-                                     const std::vector<int>& labels,
-                                     const EvalOptions& options) const {
-  if (labels.size() != x.rows()) {
+StatusOr<EvalResult> EvaluateFeatures(const linalg::Matrix& features,
+                                      const std::vector<int>& labels,
+                                      const EvalOptions& options) {
+  if (labels.size() != features.rows()) {
     return Status::InvalidArgument(
         "labels length " + std::to_string(labels.size()) +
-        " does not match " + std::to_string(x.rows()) + " instances");
+        " does not match " + std::to_string(features.rows()) + " instances");
   }
-  auto features = Transform(x);
-  if (!features.ok()) return features.status();
-
   int k = options.k;
   if (k <= 0) {
     k = static_cast<int>(
@@ -172,11 +177,21 @@ StatusOr<EvalResult> Model::Evaluate(const linalg::Matrix& x,
   if (!clusterer.ok()) return clusterer.status();
 
   const clustering::ClusteringResult clustering =
-      clusterer.value()->Cluster(features.value(), options.seed);
+      clusterer.value()->Cluster(features, options.seed);
   EvalResult result;
   result.metrics = metrics::ComputeAll(labels, clustering.assignment);
   result.clusters_found = clustering.num_clusters;
   return result;
+}
+
+StatusOr<EvalResult> Model::Evaluate(const linalg::Matrix& x,
+                                     const std::vector<int>& labels,
+                                     const EvalOptions& options) const {
+  auto features = Transform(x);
+  if (!features.ok()) return features.status();
+  // Transform preserves the row count, so EvaluateFeatures' label/row
+  // check covers the input too.
+  return EvaluateFeatures(features.value(), labels, options);
 }
 
 std::size_t Model::num_visible() const {

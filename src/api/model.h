@@ -55,9 +55,29 @@ struct EvalResult {
   int clusters_found = 0;
 };
 
+/// Clusters pre-computed features with the named clusterer and scores the
+/// assignment against `labels`. This is exactly the post-transform half of
+/// Model::Evaluate, exposed so batch-serving callers that already hold a
+/// feature slice score it through the identical code path (same registry
+/// lookup, same seed handling, same metrics).
+StatusOr<EvalResult> EvaluateFeatures(const linalg::Matrix& features,
+                                      const std::vector<int>& labels,
+                                      const EvalOptions& options = {});
+
 /// A trained (or loaded) encoder with unified persistence and inference.
 /// Move-only; a default-constructed Model is empty until assigned from
 /// Train or Load.
+///
+/// Thread safety: every const member is safe to call concurrently from
+/// any number of threads on one instance. Transform and Evaluate read the
+/// immutable parameter blocks (weights, biases) and keep all per-call
+/// state on the stack; the parallel kernels they invoke (linalg::Gemm et
+/// al.) may be entered concurrently from multiple external threads — the
+/// global parallel::ThreadPool serializes region scheduling internally.
+/// Nothing in the inference path mutates the model, so a single instance
+/// can back many concurrent batches (the serve::ModelStore relies on
+/// this). Non-const operations (move-assignment, mutable_* access via
+/// encoder()) must be externally synchronized, as usual.
 class Model {
  public:
   Model() = default;
@@ -75,6 +95,13 @@ class Model {
   /// Restores a model saved by Save, a bare rbm/serialize.h parameter
   /// file, or a core/stack_serialize.h manifest.
   static StatusOr<Model> Load(const std::string& path);
+
+  /// Load with shared ownership: the artifact is immutable after loading,
+  /// so long-lived services (serve::ModelStore) hand the same instance to
+  /// many concurrent readers and retire it only when the last batch in
+  /// flight releases its reference.
+  static StatusOr<std::shared_ptr<const Model>> LoadShared(
+      const std::string& path);
 
   /// Writes the versioned artifact. Stack-backed models are persisted by
   /// core::SaveStack (multi-file manifests) and rejected here.

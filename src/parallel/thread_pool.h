@@ -60,6 +60,15 @@ class ThreadPool {
   /// tasks finish. Rethrows the first exception any task threw. Must not
   /// be called from a worker thread (callers use ParallelFor, which
   /// degrades to inline execution there).
+  ///
+  /// Run may be entered concurrently from any number of *external*
+  /// threads: each call is an independent region and the shared queue is
+  /// internally synchronized. This is what lets a persistent service
+  /// (serve::MicroBatcher's flusher, plus its client threads) share one
+  /// pool with the rest of the process instead of spawning its own
+  /// workers. The pool's lifetime is the caveat — SetNumThreads replaces
+  /// the global pool and must not race live regions, so long-lived
+  /// services pick the width at startup and leave it alone.
   void Run(std::size_t num_tasks, const std::function<void(std::size_t)>& fn);
 
   /// The process-wide pool. Created on first use with the width given by

@@ -1,0 +1,282 @@
+#include "serve/micro_batcher.h"
+
+#include <algorithm>
+#include <cstring>
+#include <iterator>
+#include <utility>
+
+namespace mcirbm::serve {
+
+namespace {
+
+/// Ready future carrying an error, for submissions rejected up front.
+template <typename T>
+std::future<StatusOr<T>> FailedFuture(Status status) {
+  std::promise<StatusOr<T>> promise;
+  promise.set_value(std::move(status));
+  return promise.get_future();
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(const BatcherConfig& config)
+    : config_(config), flusher_([this] { FlusherLoop(); }) {}
+
+MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+Status MicroBatcher::Enqueue(
+    std::shared_ptr<const api::Model> model, const std::string& key,
+    linalg::Matrix rows,
+    std::function<void(StatusOr<linalg::Matrix>)> complete) {
+  if (model == nullptr || !model->valid()) {
+    return Status::InvalidArgument("submit requires a loaded model");
+  }
+  if (rows.rows() == 0) {
+    return Status::InvalidArgument("submit requires at least one row");
+  }
+  if (rows.cols() != model->num_visible()) {
+    return Status::InvalidArgument(
+        "request has " + std::to_string(rows.cols()) +
+        " features but model '" + key + "' expects " +
+        std::to_string(model->num_visible()));
+  }
+  const auto now = Clock::now();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      return Status::Unavailable("micro-batcher is shut down");
+    }
+    Queue& queue = queues_[key];
+    if (!queue.pending.empty() &&
+        queue.model.get() != model.get()) {
+      // The key was hot-reloaded while requests were queued: seal the
+      // current queue as a ready batch so earlier requests finish on the
+      // instance they were submitted against, and start a fresh queue on
+      // the new model. Never mix two instances in one batch.
+      Batch sealed;
+      sealed.model = std::move(queue.model);
+      sealed.requests = std::move(queue.pending);
+      sealed.rows = queue.pending_rows;
+      ready_.push_back(std::move(sealed));
+      queue.pending.clear();
+      queue.pending_rows = 0;
+    }
+    if (queue.pending.empty()) {
+      queue.model = std::move(model);
+      queue.oldest = now;
+    }
+    queue.pending_rows += rows.rows();
+    queue.pending.push_back(
+        Request{std::move(rows), now, std::move(complete)});
+    ++stats_.requests;
+    stats_.rows += queue.pending.back().rows.rows();
+  }
+  cv_.notify_one();
+  return Status::Ok();
+}
+
+std::future<StatusOr<linalg::Matrix>> MicroBatcher::SubmitTransform(
+    std::shared_ptr<const api::Model> model, const std::string& key,
+    linalg::Matrix rows) {
+  auto promise =
+      std::make_shared<std::promise<StatusOr<linalg::Matrix>>>();
+  auto future = promise->get_future();
+  const Status queued = Enqueue(
+      std::move(model), key, std::move(rows),
+      [promise](StatusOr<linalg::Matrix> features) {
+        promise->set_value(std::move(features));
+      });
+  if (!queued.ok()) return FailedFuture<linalg::Matrix>(queued);
+  return future;
+}
+
+std::future<StatusOr<api::EvalResult>> MicroBatcher::SubmitEvaluate(
+    std::shared_ptr<const api::Model> model, const std::string& key,
+    linalg::Matrix rows, std::vector<int> labels,
+    api::EvalOptions options) {
+  if (labels.size() != rows.rows()) {
+    return FailedFuture<api::EvalResult>(Status::InvalidArgument(
+        "labels length " + std::to_string(labels.size()) +
+        " does not match " + std::to_string(rows.rows()) + " rows"));
+  }
+  auto promise =
+      std::make_shared<std::promise<StatusOr<api::EvalResult>>>();
+  auto future = promise->get_future();
+  const Status queued = Enqueue(
+      std::move(model), key, std::move(rows),
+      [promise, labels = std::move(labels),
+       options](StatusOr<linalg::Matrix> features) {
+        if (!features.ok()) {
+          promise->set_value(features.status());
+          return;
+        }
+        promise->set_value(
+            api::EvaluateFeatures(features.value(), labels, options));
+      });
+  if (!queued.ok()) return FailedFuture<api::EvalResult>(queued);
+  return future;
+}
+
+void MicroBatcher::Shutdown() {
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    // Claim the thread handle under the lock so concurrent Shutdown
+    // calls (user + destructor) cannot both join it.
+    if (flusher_.joinable()) to_join = std::move(flusher_);
+  }
+  cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+void MicroBatcher::FlusherLoop() {
+  const auto queue_wait = std::chrono::microseconds(
+      std::max<std::int64_t>(0, config_.max_queue_micros));
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    bool any_pending = !ready_.empty();
+    auto next_deadline = Clock::time_point::max();
+    for (const auto& [key, queue] : queues_) {
+      if (queue.pending.empty()) continue;
+      any_pending = true;
+      next_deadline = std::min(next_deadline, queue.oldest + queue_wait);
+    }
+    if (!any_pending) {
+      if (stopping_) return;
+      cv_.wait(lock);
+      continue;
+    }
+
+    const auto now = Clock::now();
+    // Batches sealed by Enqueue (model hot-swap) flush ahead of the
+    // regular queues.
+    std::vector<Batch> due = std::move(ready_);
+    ready_.clear();
+    for (auto it = queues_.begin(); it != queues_.end();) {
+      Queue& queue = it->second;
+      const bool full = queue.pending_rows >= config_.max_batch_rows;
+      if (queue.pending.empty() ||
+          (!full && !stopping_ && now < queue.oldest + queue_wait)) {
+        ++it;
+        continue;
+      }
+      // Carve off whole requests up to max_batch_rows per batch. The
+      // first request always goes in, so one oversized request forms one
+      // oversized batch. Anything left over stays queued; the loop
+      // re-evaluates immediately, so a backlog drains as a sequence of
+      // capped batches rather than one unbounded pass.
+      Batch batch;
+      batch.model = queue.model;
+      batch.full = full;
+      std::size_t take = 0;
+      while (take < queue.pending.size()) {
+        const std::size_t request_rows = queue.pending[take].rows.rows();
+        if (take > 0 && batch.rows + request_rows > config_.max_batch_rows) {
+          break;
+        }
+        batch.rows += request_rows;
+        ++take;
+      }
+      batch.requests.assign(
+          std::make_move_iterator(queue.pending.begin()),
+          std::make_move_iterator(queue.pending.begin() + take));
+      queue.pending.erase(queue.pending.begin(),
+                          queue.pending.begin() + take);
+      queue.pending_rows -= batch.rows;
+      due.push_back(std::move(batch));
+      if (queue.pending.empty()) {
+        // Drop the drained entry: a long-lived server sees many distinct
+        // keys, and a lingering Queue would both pin its model shared_ptr
+        // (defeating the ModelStore LRU bound) and grow the per-wakeup
+        // scan without bound.
+        it = queues_.erase(it);
+      } else {
+        queue.oldest = queue.pending.front().enqueued;
+        ++it;
+      }
+    }
+    if (due.empty()) {
+      cv_.wait_until(lock, next_deadline);
+      continue;
+    }
+
+    // Record queue waits and flush accounting while still locked, then
+    // run the (possibly slow) batched passes without holding the lock so
+    // submitters keep queuing into the next batch.
+    for (const Batch& batch : due) {
+      batch.full ? ++stats_.full_flushes : ++stats_.deadline_flushes;
+      ++stats_.batches;
+      stats_.batched_rows += batch.rows;
+      for (const Request& request : batch.requests) {
+        const double waited =
+            std::chrono::duration<double, std::micro>(now -
+                                                      request.enqueued)
+                .count();
+        stats_.total_queue_micros += waited;
+        stats_.max_queue_micros = std::max(stats_.max_queue_micros, waited);
+        if (config_.record_latencies) latencies_micros_.push_back(waited);
+      }
+    }
+    lock.unlock();
+    for (Batch& batch : due) ExecuteBatch(&batch);
+    lock.lock();
+  }
+}
+
+void MicroBatcher::ExecuteBatch(Batch* batch) {
+  // A lone request needs no assembly or slicing: its rows *are* the
+  // batch, and the result matrix is handed over whole.
+  if (batch->requests.size() == 1) {
+    Request& request = batch->requests.front();
+    request.complete(batch->model->Transform(request.rows));
+    return;
+  }
+
+  const std::size_t cols = batch->requests.front().rows.cols();
+  linalg::Matrix assembled(batch->rows, cols);
+  std::size_t offset = 0;
+  for (const Request& request : batch->requests) {
+    std::memcpy(assembled.data() + offset * cols, request.rows.data(),
+                request.rows.size() * sizeof(double));
+    offset += request.rows.rows();
+  }
+
+  auto features = batch->model->Transform(assembled);
+  if (!features.ok()) {
+    for (Request& request : batch->requests) {
+      request.complete(features.status());
+    }
+    return;
+  }
+
+  // Hand each request its row slice. Rows are independent through every
+  // inference kernel, so the slice is bit-identical to a one-at-a-time
+  // Transform of the same rows.
+  const linalg::Matrix& all = features.value();
+  offset = 0;
+  for (Request& request : batch->requests) {
+    linalg::Matrix slice(request.rows.rows(), all.cols());
+    std::memcpy(slice.data(), all.data() + offset * all.cols(),
+                slice.size() * sizeof(double));
+    offset += request.rows.rows();
+    request.complete(std::move(slice));
+  }
+}
+
+MicroBatcher::Stats MicroBatcher::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+std::vector<double> MicroBatcher::latencies_micros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return latencies_micros_;
+}
+
+std::size_t MicroBatcher::pending_queues() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queues_.size() + ready_.size();
+}
+
+}  // namespace mcirbm::serve

@@ -1,0 +1,174 @@
+// MicroBatcher — request coalescing for the serving layer.
+//
+// Single-row (or small) Transform/Evaluate requests are queued per model
+// and flushed as one batched matrix pass when either trigger fires:
+//
+//   - the model's queue reaches `max_batch_rows` pending rows, or
+//   - the oldest pending request has waited `max_queue_micros`.
+//
+// One background flusher thread assembles each due batch, runs a single
+// api::Model::Transform over the concatenated rows (which fans out across
+// the global parallel::ThreadPool exactly like any other kernel), and
+// completes each request's future with its row slice. Because every
+// inference kernel is row-independent and shard boundaries depend only on
+// the problem shape, a request's slice is bit-identical to what a
+// one-at-a-time Transform call would have produced — batching changes
+// throughput, never results (pinned by tests/serve/micro_batcher_test.cc).
+//
+// Evaluate requests ride the same per-model queue: their rows join the
+// batched Transform pass, then the clusterer + metrics run on the
+// request's own feature slice via api::EvaluateFeatures — the identical
+// post-transform code path Model::Evaluate uses.
+//
+// Queues for different models never mix; each flush serves exactly one
+// model. Shutdown flushes everything still pending (no request is ever
+// abandoned) and subsequent submissions fail with kUnavailable.
+#ifndef MCIRBM_SERVE_MICRO_BATCHER_H_
+#define MCIRBM_SERVE_MICRO_BATCHER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/model.h"
+#include "linalg/matrix.h"
+#include "util/status.h"
+
+namespace mcirbm::serve {
+
+/// Batching policy knobs.
+struct BatcherConfig {
+  /// Flush a model's queue once this many rows are pending. A single
+  /// request larger than this still forms one (oversized) batch.
+  std::size_t max_batch_rows = 64;
+  /// Flush a non-empty queue once its oldest request has waited this long.
+  std::int64_t max_queue_micros = 200;
+  /// Keep every request's queue latency for percentile analysis
+  /// (bench/serve_throughput.cc). Off by default: a long-lived server
+  /// should not grow memory per request.
+  bool record_latencies = false;
+};
+
+/// Coalesces per-model inference requests into batched passes.
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(const BatcherConfig& config = {});
+  ~MicroBatcher();
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Queues `rows` (n x num_visible) for a batched Transform through
+  /// `model`. The future resolves to this request's feature rows,
+  /// bit-identical to `model->Transform(rows)`. Shape errors and
+  /// submissions after Shutdown resolve immediately with a non-OK Status.
+  /// `key` groups requests into batches. If the instance behind a key
+  /// changes while requests are queued (hot reload), the old queue is
+  /// sealed and flushed on the instance those requests were submitted
+  /// against; one batch never mixes two instances.
+  std::future<StatusOr<linalg::Matrix>> SubmitTransform(
+      std::shared_ptr<const api::Model> model, const std::string& key,
+      linalg::Matrix rows);
+
+  /// Queues `rows` for the batched Transform pass, then clusters this
+  /// request's feature slice and scores it against `labels` — equivalent
+  /// to `model->Evaluate(rows, labels, options)` bit for bit.
+  std::future<StatusOr<api::EvalResult>> SubmitEvaluate(
+      std::shared_ptr<const api::Model> model, const std::string& key,
+      linalg::Matrix rows, std::vector<int> labels,
+      api::EvalOptions options = {});
+
+  /// Flushes all pending requests, stops the flusher thread, and fails
+  /// subsequent submissions with kUnavailable. Idempotent; also run by
+  /// the destructor.
+  void Shutdown();
+
+  /// Monotonic counters since construction.
+  struct Stats {
+    std::uint64_t requests = 0;          ///< accepted submissions
+    std::uint64_t rows = 0;              ///< total rows accepted
+    std::uint64_t batches = 0;           ///< batched passes executed
+    std::uint64_t batched_rows = 0;      ///< rows across those passes
+    std::uint64_t full_flushes = 0;      ///< flushed by max_batch_rows
+    std::uint64_t deadline_flushes = 0;  ///< flushed by timer or Shutdown
+    double total_queue_micros = 0;       ///< summed per-request queue wait
+    double max_queue_micros = 0;
+
+    double MeanBatchRows() const {
+      return batches == 0 ? 0.0
+                          : static_cast<double>(batched_rows) /
+                                static_cast<double>(batches);
+    }
+    double MeanQueueMicros() const {
+      return requests == 0 ? 0.0
+                           : total_queue_micros /
+                                 static_cast<double>(requests);
+    }
+  };
+  Stats stats() const;
+
+  /// Per-request queue latencies (enqueue -> flush start), recorded only
+  /// when BatcherConfig::record_latencies is set.
+  std::vector<double> latencies_micros() const;
+
+  /// Number of model keys with requests currently queued (drained keys
+  /// are dropped, so an idle batcher reports 0 regardless of how many
+  /// distinct keys it has ever served).
+  std::size_t pending_queues() const;
+
+ private:
+  using Clock = std::chrono::steady_clock;
+
+  // One queued request: its rows plus a completion invoked with the
+  // request's feature slice (or the batch's error).
+  struct Request {
+    linalg::Matrix rows;
+    Clock::time_point enqueued;
+    std::function<void(StatusOr<linalg::Matrix>)> complete;
+  };
+
+  // Per-model pending queue.
+  struct Queue {
+    std::shared_ptr<const api::Model> model;
+    std::vector<Request> pending;
+    std::size_t pending_rows = 0;
+    Clock::time_point oldest;  // enqueue time of pending.front()
+  };
+
+  // A due queue detached from the map for execution outside the lock.
+  struct Batch {
+    std::shared_ptr<const api::Model> model;
+    std::vector<Request> requests;
+    std::size_t rows = 0;
+    bool full = false;  // flushed by max_batch_rows (else deadline)
+  };
+
+  /// Validates and enqueues; returns non-OK without queuing on bad input.
+  Status Enqueue(std::shared_ptr<const api::Model> model,
+                 const std::string& key, linalg::Matrix rows,
+                 std::function<void(StatusOr<linalg::Matrix>)> complete);
+  void FlusherLoop();
+  void ExecuteBatch(Batch* batch);
+
+  const BatcherConfig config_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, Queue> queues_;
+  std::vector<Batch> ready_;  // sealed by Enqueue on model hot-swap
+  bool stopping_ = false;
+  Stats stats_;
+  std::vector<double> latencies_micros_;
+  std::thread flusher_;  // last member: started after everything above
+};
+
+}  // namespace mcirbm::serve
+
+#endif  // MCIRBM_SERVE_MICRO_BATCHER_H_

@@ -1,0 +1,97 @@
+#include "serve/model_store.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mcirbm::serve {
+
+ModelStore::ModelStore(std::size_t capacity)
+    : capacity_(std::max<std::size_t>(1, capacity)) {}
+
+void ModelStore::Touch(const std::string& key, Entry* entry) {
+  lru_.erase(entry->lru_it);
+  lru_.push_front(key);
+  entry->lru_it = lru_.begin();
+}
+
+void ModelStore::InsertLocked(const std::string& key,
+                              std::shared_ptr<const api::Model> model) {
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    it->second.model = std::move(model);
+    Touch(key, &it->second);
+    return;
+  }
+  lru_.push_front(key);
+  entries_[key] = Entry{std::move(model), lru_.begin()};
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+StatusOr<std::shared_ptr<const api::Model>> ModelStore::Get(
+    const std::string& key) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++stats_.hits;
+      Touch(key, &it->second);
+      return it->second.model;
+    }
+    ++stats_.misses;
+  }
+  // Load outside the lock: a slow disk read must not block cache hits.
+  // Two threads may race here for the same key; both loads succeed and
+  // the re-check below converges everyone on one cached instance.
+  auto loaded = api::Model::LoadShared(key);
+  if (!loaded.ok()) return loaded.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    Touch(key, &it->second);
+    return it->second.model;
+  }
+  InsertLocked(key, loaded.value());
+  return std::move(loaded).value();
+}
+
+std::shared_ptr<const api::Model> ModelStore::Put(const std::string& key,
+                                                  api::Model model) {
+  auto shared = std::make_shared<const api::Model>(std::move(model));
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(key, shared);
+  return shared;
+}
+
+Status ModelStore::Reload(const std::string& key) {
+  auto loaded = api::Model::LoadShared(key);
+  if (!loaded.ok()) return loaded.status();
+  std::lock_guard<std::mutex> lock(mu_);
+  InsertLocked(key, std::move(loaded).value());
+  ++stats_.reloads;
+  return Status::Ok();
+}
+
+bool ModelStore::Evict(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return false;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  return true;
+}
+
+std::size_t ModelStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+ModelStore::Stats ModelStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mcirbm::serve

@@ -1,0 +1,101 @@
+// ModelStore — shared-ownership cache of api::Model artifacts for the
+// serving layer.
+//
+// The store maps a key (normally the artifact path on disk) to an
+// immutable, shared api::Model instance:
+//
+//   serve::ModelStore store(/*capacity=*/8);
+//   auto model = store.Get("encoder.mcirbm");     // loads + caches
+//   auto again = store.Get("encoder.mcirbm");     // cache hit, same instance
+//   store.Reload("encoder.mcirbm");               // hot-swap from disk
+//
+// Concurrency: every method is safe to call from any thread. Readers
+// receive `shared_ptr<const api::Model>`, so eviction and hot-reload never
+// invalidate a model that a batch in flight is still using — the old
+// instance is destroyed when its last reference drops. Disk loads happen
+// outside the store lock, so a slow load never blocks cache hits on other
+// keys; two threads racing to load the same key both succeed and converge
+// on a single cached instance.
+//
+// Eviction is LRU over `capacity` entries. A failed Reload keeps the
+// previously cached instance (serving continues on the stale model and
+// the error is reported to the caller).
+#ifndef MCIRBM_SERVE_MODEL_STORE_H_
+#define MCIRBM_SERVE_MODEL_STORE_H_
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/model.h"
+#include "util/status.h"
+
+namespace mcirbm::serve {
+
+/// LRU cache of shared, immutable api::Model instances keyed by path.
+class ModelStore {
+ public:
+  /// `capacity` bounds the number of cached models (clamped to >= 1).
+  explicit ModelStore(std::size_t capacity = 8);
+
+  ModelStore(const ModelStore&) = delete;
+  ModelStore& operator=(const ModelStore&) = delete;
+
+  /// Returns the cached model for `key`, loading it from disk (key ==
+  /// path) on a miss. Load failures are returned and not cached.
+  StatusOr<std::shared_ptr<const api::Model>> Get(const std::string& key);
+
+  /// Inserts an in-memory model under `key` (replacing any cached entry)
+  /// and returns the shared instance. Used by benchmarks/tests and any
+  /// embedder that trains in-process; such keys have no backing file, so
+  /// Reload on them fails until one exists.
+  std::shared_ptr<const api::Model> Put(const std::string& key,
+                                        api::Model model);
+
+  /// Re-reads `key` from disk and atomically swaps the cached entry.
+  /// In-flight readers keep the old instance. On failure the previous
+  /// entry (if any) stays cached and serving continues.
+  Status Reload(const std::string& key);
+
+  /// Drops `key` from the cache (in-flight readers are unaffected).
+  /// Returns true if an entry was removed.
+  bool Evict(const std::string& key);
+
+  /// Number of cached models.
+  std::size_t size() const;
+  std::size_t capacity() const { return capacity_; }
+
+  /// Monotonic counters since construction.
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;      ///< Get calls that went to disk
+    std::uint64_t evictions = 0;   ///< LRU evictions (not explicit Evict)
+    std::uint64_t reloads = 0;     ///< successful Reload swaps
+  };
+  Stats stats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const api::Model> model;
+    std::list<std::string>::iterator lru_it;  // position in lru_
+  };
+
+  /// Moves `key` to the most-recently-used position. Requires mu_.
+  void Touch(const std::string& key, Entry* entry);
+  /// Inserts/replaces `key` and evicts past capacity. Requires mu_.
+  void InsertLocked(const std::string& key,
+                    std::shared_ptr<const api::Model> model);
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::list<std::string> lru_;  // front = most recently used
+  std::map<std::string, Entry> entries_;
+  Stats stats_;
+};
+
+}  // namespace mcirbm::serve
+
+#endif  // MCIRBM_SERVE_MODEL_STORE_H_

@@ -1,0 +1,66 @@
+#include "serve/request.h"
+
+#include <sstream>
+
+#include "util/param_map.h"
+#include "util/string_util.h"
+
+namespace mcirbm::serve {
+
+StatusOr<Request> ParseRequestLine(const std::string& line) {
+  ParamMap values;
+  std::istringstream tokens(line);
+  std::string token;
+  while (tokens >> token) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::ParseError("expected key=value, got '" + token + "'");
+    }
+    values.Set(Trim(token.substr(0, eq)), Trim(token.substr(eq + 1)));
+  }
+  if (values.empty()) {
+    return Status::ParseError("empty request line");
+  }
+  const Status known = values.ExpectOnly({"op", "model", "data", "transform",
+                                          "chunk", "clusterer", "k", "seed",
+                                          "out"});
+  if (!known.ok()) return known;
+
+  Request request;
+  MCIRBM_ASSIGN_OR_RETURN(request.op, values.GetString("op", ""));
+  if (request.op != "transform" && request.op != "evaluate") {
+    return Status::InvalidArgument("op must be transform|evaluate, got '" +
+                                   request.op + "'");
+  }
+  MCIRBM_ASSIGN_OR_RETURN(request.model, values.GetString("model", ""));
+  MCIRBM_ASSIGN_OR_RETURN(request.data, values.GetString("data", ""));
+  if (request.model.empty() || request.data.empty()) {
+    return Status::InvalidArgument(
+        "request needs model=<artifact> and data=<csv>");
+  }
+  MCIRBM_ASSIGN_OR_RETURN(request.transform,
+                          values.GetString("transform", "none"));
+  if (request.transform != "none" && request.transform != "standardize" &&
+      request.transform != "minmax" && request.transform != "binarize") {
+    return Status::InvalidArgument(
+        "transform must be none|standardize|minmax|binarize, got '" +
+        request.transform + "'");
+  }
+  int chunk = 1;
+  MCIRBM_ASSIGN_OR_RETURN(chunk, values.GetInt("chunk", 1));
+  if (chunk < 1) {
+    return Status::InvalidArgument("chunk must be >= 1");
+  }
+  request.chunk = static_cast<std::size_t>(chunk);
+  MCIRBM_ASSIGN_OR_RETURN(request.clusterer,
+                          values.GetString("clusterer", "kmeans"));
+  MCIRBM_ASSIGN_OR_RETURN(request.k, values.GetInt("k", 0));
+  int seed = 7;
+  MCIRBM_ASSIGN_OR_RETURN(seed, values.GetInt("seed", 7));
+  if (seed < 0) return Status::InvalidArgument("seed must be >= 0");
+  request.seed = static_cast<std::uint64_t>(seed);
+  MCIRBM_ASSIGN_OR_RETURN(request.out, values.GetString("out", ""));
+  return request;
+}
+
+}  // namespace mcirbm::serve

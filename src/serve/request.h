@@ -1,0 +1,54 @@
+// The `mcirbm_cli serve` request line format.
+//
+// One request per line, whitespace-separated key=value pairs (the same
+// key=value vocabulary idiom as api::ParseConfig; '#' lines and blank
+// lines are skipped by the driver):
+//
+//   op=transform model=enc.mcirbm data=ds.csv chunk=1 out=features.csv
+//   op=evaluate  model=enc.mcirbm data=ds.csv clusterer=kmeans k=3 seed=7
+//
+// Keys:
+//   op         transform | evaluate                        (required)
+//   model      model artifact path — the ModelStore key    (required)
+//   data       dataset CSV (trailing integer label column) (required)
+//   transform  none | standardize | minmax | binarize (default none)
+//   chunk      rows per submitted micro-request for op=transform
+//              (default 1: each row is its own request, the micro-batcher
+//              re-coalesces them)
+//   clusterer  ClustererRegistry name for op=evaluate (default kmeans)
+//   k          cluster count for op=evaluate (default 0: label count)
+//   seed       clusterer seed for op=evaluate (default 7)
+//   out        write the transformed features (+labels) CSV here
+//
+// Unknown keys, malformed values, and missing required keys are rejected
+// with a non-OK Status naming the problem, never an abort.
+#ifndef MCIRBM_SERVE_REQUEST_H_
+#define MCIRBM_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace mcirbm::serve {
+
+/// One parsed `mcirbm_cli serve` request line.
+struct Request {
+  std::string op;         ///< "transform" or "evaluate"
+  std::string model;      ///< model artifact path (ModelStore key)
+  std::string data;       ///< dataset CSV path
+  std::string transform = "none";  ///< preprocessing applied to the CSV
+  std::size_t chunk = 1;  ///< rows per submitted request (transform op)
+  std::string clusterer = "kmeans";
+  int k = 0;
+  std::uint64_t seed = 7;
+  std::string out;        ///< optional output CSV (transform op)
+};
+
+/// Parses one request line. The line must contain at least one key=value
+/// token; comments/blank lines are the caller's concern.
+StatusOr<Request> ParseRequestLine(const std::string& line);
+
+}  // namespace mcirbm::serve
+
+#endif  // MCIRBM_SERVE_REQUEST_H_

@@ -1,0 +1,26 @@
+// Umbrella header for the mcirbm serving layer.
+//
+// src/serve turns the one-shot api facade into a long-lived inference
+// service:
+//
+//   - serve::ModelStore — LRU cache of shared, immutable api::Model
+//     artifacts with hot-reload (serve/model_store.h);
+//   - serve::MicroBatcher — per-model request coalescing into batched
+//     matrix passes on the global parallel::ThreadPool, bit-identical to
+//     one-at-a-time calls (serve/micro_batcher.h);
+//   - serve::Server — the client-facing facade: Submit/SubmitEvaluate
+//     futures, hot reload, serving stats (serve/server.h);
+//   - serve::ParseRequestLine — the `mcirbm_cli serve` request-line
+//     format (serve/request.h).
+//
+// Everything fallible reports through Status/StatusOr; a shut-down
+// service rejects work with StatusCode::kUnavailable.
+#ifndef MCIRBM_SERVE_SERVE_H_
+#define MCIRBM_SERVE_SERVE_H_
+
+#include "serve/micro_batcher.h"
+#include "serve/model_store.h"
+#include "serve/request.h"
+#include "serve/server.h"
+
+#endif  // MCIRBM_SERVE_SERVE_H_

@@ -1,0 +1,51 @@
+#include "serve/server.h"
+
+#include <utility>
+
+namespace mcirbm::serve {
+
+namespace {
+
+template <typename T>
+std::future<StatusOr<T>> FailedFuture(Status status) {
+  std::promise<StatusOr<T>> promise;
+  promise.set_value(std::move(status));
+  return promise.get_future();
+}
+
+}  // namespace
+
+Server::Server(const ServerConfig& config)
+    : store_(config.store_capacity), batcher_(config.batcher) {}
+
+Server::~Server() { Shutdown(); }
+
+std::future<StatusOr<linalg::Matrix>> Server::Submit(
+    const std::string& model_key, linalg::Matrix rows) {
+  auto model = store_.Get(model_key);
+  if (!model.ok()) return FailedFuture<linalg::Matrix>(model.status());
+  return batcher_.SubmitTransform(std::move(model).value(), model_key,
+                                  std::move(rows));
+}
+
+std::future<StatusOr<api::EvalResult>> Server::SubmitEvaluate(
+    const std::string& model_key, linalg::Matrix rows,
+    std::vector<int> labels, api::EvalOptions options) {
+  auto model = store_.Get(model_key);
+  if (!model.ok()) return FailedFuture<api::EvalResult>(model.status());
+  return batcher_.SubmitEvaluate(std::move(model).value(), model_key,
+                                 std::move(rows), std::move(labels),
+                                 options);
+}
+
+Status Server::Reload(const std::string& model_key) {
+  return store_.Reload(model_key);
+}
+
+void Server::Shutdown() { batcher_.Shutdown(); }
+
+Server::Stats Server::stats() const {
+  return Stats{batcher_.stats(), store_.stats()};
+}
+
+}  // namespace mcirbm::serve

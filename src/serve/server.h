@@ -1,0 +1,95 @@
+// serve::Server — the embeddable inference service.
+//
+// Ties the serving layer together: a ModelStore resolves model keys to
+// shared artifacts, a MicroBatcher coalesces requests into batched passes
+// on the global parallel::ThreadPool, and this facade exposes the
+// client-facing surface:
+//
+//   serve::Server server;
+//   auto features = server.Submit("encoder.mcirbm", row);       // future
+//   auto scored = server.SubmitEvaluate("encoder.mcirbm", rows, labels);
+//   ...
+//   server.Shutdown();  // flushes pending work; later submits fail
+//
+// Submissions are safe from any number of client threads. Results are
+// bit-identical to calling api::Model::Transform / Evaluate directly —
+// micro-batching changes throughput, never outputs. `mcirbm_cli serve`
+// drives this class over newline-delimited key=value request files.
+#ifndef MCIRBM_SERVE_SERVER_H_
+#define MCIRBM_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+#include "api/model.h"
+#include "linalg/matrix.h"
+#include "serve/micro_batcher.h"
+#include "serve/model_store.h"
+#include "util/status.h"
+
+namespace mcirbm::serve {
+
+/// Serving knobs: batching policy plus model-cache capacity.
+struct ServerConfig {
+  BatcherConfig batcher;
+  std::size_t store_capacity = 8;
+};
+
+/// Long-lived serving facade over ModelStore + MicroBatcher.
+class Server {
+ public:
+  explicit Server(const ServerConfig& config = {});
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Queues `rows` for a batched Transform through the model cached under
+  /// `model_key` (loaded from that path on first use). Unknown models,
+  /// shape mismatches, and post-Shutdown submissions resolve the future
+  /// immediately with a non-OK Status.
+  std::future<StatusOr<linalg::Matrix>> Submit(const std::string& model_key,
+                                               linalg::Matrix rows);
+
+  /// Queues `rows` for the batched Transform pass, then clusters and
+  /// scores this request's features against `labels`, exactly like
+  /// api::Model::Evaluate.
+  std::future<StatusOr<api::EvalResult>> SubmitEvaluate(
+      const std::string& model_key, linalg::Matrix rows,
+      std::vector<int> labels, api::EvalOptions options = {});
+
+  /// Hot-swaps `model_key` from disk. Requests already queued (and
+  /// batches in flight) finish on the instance they were submitted
+  /// against; later submissions see the new one.
+  Status Reload(const std::string& model_key);
+
+  /// The model cache, exposed for pre-loading and in-memory Put.
+  ModelStore& store() { return store_; }
+
+  /// Flushes pending requests and stops serving; idempotent.
+  void Shutdown();
+
+  /// Serving counters: request/batch totals, mean batch size, and queue
+  /// latency, plus the model-cache hit/miss counters.
+  struct Stats {
+    MicroBatcher::Stats batcher;
+    ModelStore::Stats store;
+  };
+  Stats stats() const;
+
+  /// Per-request queue latencies when ServerConfig::batcher
+  /// .record_latencies is set (bench support).
+  std::vector<double> latencies_micros() const {
+    return batcher_.latencies_micros();
+  }
+
+ private:
+  ModelStore store_;
+  MicroBatcher batcher_;
+};
+
+}  // namespace mcirbm::serve
+
+#endif  // MCIRBM_SERVE_SERVER_H_

@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "PARSE_ERROR";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
   }
   return "UNKNOWN";
 }

@@ -17,6 +17,7 @@ enum class StatusCode {
   kIoError,
   kParseError,
   kInternal,
+  kUnavailable,  ///< a service rejected the call (e.g. shutting down)
 };
 
 /// Returns a short human-readable name for a StatusCode.
@@ -45,6 +46,9 @@ class Status {
   }
   static Status Internal(std::string m) {
     return Status(StatusCode::kInternal, std::move(m));
+  }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -6,6 +6,7 @@
 #include <cstdlib>
 #include <numeric>
 #include <stdexcept>
+#include <thread>
 #include <vector>
 
 namespace mcirbm::parallel {
@@ -26,6 +27,32 @@ TEST_F(ThreadPoolTest, PoolLifecycleRunsEveryTaskOnce) {
     pool.Run(hits.size(), [&](std::size_t i) { hits[i].fetch_add(1); });
     for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
   }
+}
+
+TEST_F(ThreadPoolTest, ConcurrentRunFromExternalThreads) {
+  // A persistent service (serve::MicroBatcher's flusher plus its client
+  // threads) shares the pool with the rest of the process: Run entered
+  // from several external threads at once must keep every region's tasks
+  // isolated and complete.
+  ThreadPool pool(3);
+  constexpr int kSubmitters = 4;
+  constexpr int kRounds = 10;
+  constexpr std::size_t kTasks = 64;
+  std::vector<std::thread> submitters;
+  std::vector<int> failures(kSubmitters, 0);
+  for (int s = 0; s < kSubmitters; ++s) {
+    submitters.emplace_back([&, s] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::atomic<int>> hits(kTasks);
+        pool.Run(kTasks, [&](std::size_t i) { hits[i].fetch_add(1); });
+        for (const auto& h : hits) {
+          if (h.load() != 1) ++failures[s];
+        }
+      }
+    });
+  }
+  for (std::thread& submitter : submitters) submitter.join();
+  for (int s = 0; s < kSubmitters; ++s) EXPECT_EQ(failures[s], 0);
 }
 
 TEST_F(ThreadPoolTest, DestructorJoinsIdleWorkers) {

@@ -1,0 +1,78 @@
+// Thread-safety regression for the api::Model inference surface (the
+// ModelStore shares one instance across concurrent batches, so Transform
+// and Evaluate must be const and data-race-free).
+//
+// Audit result this test pins down: the inference path reads only the
+// immutable parameter blocks (weights/biases loaded or trained before
+// serving starts) and keeps all per-call state on the stack; the parallel
+// kernels it enters schedule through the internally synchronized global
+// ThreadPool. No mutable per-call member state exists, so concurrent
+// calls must return bit-identical results — verified here, and checked
+// for data races by the ThreadSanitizer CI leg.
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "api/api.h"
+#include "data/synthetic.h"
+
+namespace mcirbm::api {
+namespace {
+
+TEST(ConcurrentTransformTest, ManyReadersOneModelBitIdentical) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "concurrent";
+  spec.num_classes = 2;
+  spec.num_instances = 40;
+  spec.num_features = 6;
+  spec.separation = 6.0;
+  const data::Dataset ds = data::GenerateGaussianMixture(spec, 21);
+
+  core::PipelineConfig config;
+  config.model = core::ModelKind::kGrbm;
+  config.rbm.num_hidden = 5;
+  config.rbm.epochs = 2;
+  config.rbm.batch_size = 10;
+  auto trained = Model::Train(ds.x, config, 33);
+  ASSERT_TRUE(trained.ok()) << trained.status().ToString();
+  const Model& model = trained.value();
+
+  const linalg::Matrix reference = model.Transform(ds.x).value();
+  auto eval_reference = model.Evaluate(ds.x, ds.labels);
+  ASSERT_TRUE(eval_reference.ok());
+
+  constexpr int kThreads = 4;
+  constexpr int kIterations = 8;
+  std::vector<std::thread> readers;
+  std::vector<int> mismatches(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    readers.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        auto features = model.Transform(ds.x);
+        if (!features.ok() ||
+            !features.value().AllClose(reference, 0)) {
+          ++mismatches[t];
+        }
+        // Interleave the full Evaluate path (transform + clusterer +
+        // metrics) on half the iterations.
+        if (i % 2 == t % 2) {
+          auto evaluated = model.Evaluate(ds.x, ds.labels);
+          if (!evaluated.ok() ||
+              evaluated.value().metrics.accuracy !=
+                  eval_reference.value().metrics.accuracy) {
+            ++mismatches[t];
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& reader : readers) reader.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(mismatches[t], 0)
+        << "thread " << t << " observed a divergent result";
+  }
+}
+
+}  // namespace
+}  // namespace mcirbm::api

@@ -1,0 +1,345 @@
+// serve::MicroBatcher — coalescing edge cases and the bit-parity
+// guarantee: batched serving output equals one-at-a-time Transform calls.
+#include "serve/micro_batcher.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <future>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/api.h"
+#include "data/synthetic.h"
+
+namespace mcirbm::serve {
+namespace {
+
+data::Dataset TestDataset(int instances = 32) {
+  data::GaussianMixtureSpec spec;
+  spec.name = "batcher";
+  spec.num_classes = 2;
+  spec.num_instances = instances;
+  spec.num_features = 6;
+  spec.separation = 6.0;
+  return data::GenerateGaussianMixture(spec, 21);
+}
+
+std::shared_ptr<const api::Model> TrainShared(
+    const linalg::Matrix& x, core::ModelKind kind, std::uint64_t seed) {
+  core::PipelineConfig config;
+  config.model = kind;
+  config.rbm.num_hidden = 5;
+  config.rbm.epochs = 2;
+  config.rbm.batch_size = 10;
+  config.supervision.num_clusters = 2;
+  auto model = api::Model::Train(x, config, seed);
+  EXPECT_TRUE(model.ok()) << model.status().ToString();
+  return std::make_shared<const api::Model>(std::move(model).value());
+}
+
+/// Extracts row `r` of `x` as a 1 x cols matrix.
+linalg::Matrix RowOf(const linalg::Matrix& x, std::size_t r) {
+  linalg::Matrix row(1, x.cols());
+  std::memcpy(row.data(), x.data() + r * x.cols(),
+              x.cols() * sizeof(double));
+  return row;
+}
+
+class MicroBatcherTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = TestDataset();
+    model_ = TrainShared(ds_.x, core::ModelKind::kGrbm, 33);
+  }
+
+  data::Dataset ds_;
+  std::shared_ptr<const api::Model> model_;
+};
+
+TEST_F(MicroBatcherTest, SingleRequestFlushesOnDeadline) {
+  BatcherConfig config;
+  config.max_batch_rows = 100;  // never reached
+  config.max_queue_micros = 500;
+  MicroBatcher batcher(config);
+  auto future = batcher.SubmitTransform(model_, "m", RowOf(ds_.x, 0));
+  auto features = future.get();
+  ASSERT_TRUE(features.ok()) << features.status().ToString();
+  EXPECT_TRUE(features.value().AllClose(
+      model_->Transform(RowOf(ds_.x, 0)).value(), 0));
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, 1u);
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 1u);
+  EXPECT_EQ(stats.full_flushes, 0u);
+}
+
+TEST_F(MicroBatcherTest, MaxBatchRowsBoundaryFlushesExactlyFull) {
+  BatcherConfig config;
+  config.max_batch_rows = 4;
+  config.max_queue_micros = 60'000'000;  // only the row cap can flush
+  MicroBatcher batcher(config);
+  // 3 rows stay pending; the 4th hits the boundary exactly.
+  std::vector<std::future<StatusOr<linalg::Matrix>>> futures;
+  linalg::Matrix three(3, ds_.x.cols());
+  std::memcpy(three.data(), ds_.x.data(), three.size() * sizeof(double));
+  futures.push_back(batcher.SubmitTransform(model_, "m", std::move(three)));
+  futures.push_back(batcher.SubmitTransform(model_, "m", RowOf(ds_.x, 3)));
+  for (auto& future : futures) {
+    auto features = future.get();
+    ASSERT_TRUE(features.ok()) << features.status().ToString();
+  }
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_rows, 4u);
+  EXPECT_EQ(stats.full_flushes, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 0u);
+  batcher.Shutdown();
+}
+
+TEST_F(MicroBatcherTest, OversizedRequestFormsOneBatch) {
+  BatcherConfig config;
+  config.max_batch_rows = 4;
+  config.max_queue_micros = 60'000'000;
+  MicroBatcher batcher(config);
+  linalg::Matrix all = ds_.x;  // 32 rows >> max_batch_rows
+  auto features = batcher.SubmitTransform(model_, "m", std::move(all)).get();
+  ASSERT_TRUE(features.ok()) << features.status().ToString();
+  EXPECT_TRUE(features.value().AllClose(model_->Transform(ds_.x).value(), 0));
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 1u);
+  EXPECT_EQ(stats.batched_rows, ds_.x.rows());
+  EXPECT_EQ(stats.full_flushes, 1u);
+}
+
+TEST_F(MicroBatcherTest, MixedModelQueuesNeverShareABatch) {
+  // A second model with a different seed: same shapes, different weights.
+  auto other = TrainShared(ds_.x, core::ModelKind::kGrbm, 77);
+  BatcherConfig config;
+  config.max_batch_rows = 2;
+  config.max_queue_micros = 60'000'000;
+  MicroBatcher batcher(config);
+  auto a0 = batcher.SubmitTransform(model_, "a", RowOf(ds_.x, 0));
+  auto b0 = batcher.SubmitTransform(other, "b", RowOf(ds_.x, 0));
+  auto a1 = batcher.SubmitTransform(model_, "a", RowOf(ds_.x, 1));
+  auto b1 = batcher.SubmitTransform(other, "b", RowOf(ds_.x, 1));
+  // Each queue filled to its 2-row cap independently.
+  EXPECT_TRUE(a0.get().value().AllClose(
+      model_->Transform(RowOf(ds_.x, 0)).value(), 0));
+  EXPECT_TRUE(a1.get().value().AllClose(
+      model_->Transform(RowOf(ds_.x, 1)).value(), 0));
+  EXPECT_TRUE(b0.get().value().AllClose(
+      other->Transform(RowOf(ds_.x, 0)).value(), 0));
+  EXPECT_TRUE(b1.get().value().AllClose(
+      other->Transform(RowOf(ds_.x, 1)).value(), 0));
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.full_flushes, 2u);
+  EXPECT_EQ(stats.batched_rows, 4u);
+}
+
+TEST_F(MicroBatcherTest, ModelSwapMidQueueSealsTheOldBatch) {
+  // Hot reload swaps the instance behind a key while requests are still
+  // queued: earlier requests must finish on the instance they were
+  // submitted against, later ones on the new instance — never mixed.
+  auto other = TrainShared(ds_.x, core::ModelKind::kGrbm, 77);
+  BatcherConfig config;
+  config.max_batch_rows = 100;          // nothing flushes by row count
+  config.max_queue_micros = 60'000'000;  // nor by deadline
+  MicroBatcher batcher(config);
+  auto old_instance =
+      batcher.SubmitTransform(model_, "m", RowOf(ds_.x, 0));
+  auto new_instance =
+      batcher.SubmitTransform(other, "m", RowOf(ds_.x, 0));
+  // The sealed old-instance batch flushes immediately; the new queue
+  // drains on Shutdown.
+  auto old_features = old_instance.get();
+  ASSERT_TRUE(old_features.ok());
+  EXPECT_TRUE(old_features.value().AllClose(
+      model_->Transform(RowOf(ds_.x, 0)).value(), 0));
+  batcher.Shutdown();
+  auto new_features = new_instance.get();
+  ASSERT_TRUE(new_features.ok());
+  EXPECT_TRUE(new_features.value().AllClose(
+      other->Transform(RowOf(ds_.x, 0)).value(), 0));
+  EXPECT_EQ(batcher.stats().batches, 2u);
+}
+
+TEST_F(MicroBatcherTest, DrainedQueuesAreDropped) {
+  // A long-lived server sees many distinct keys; drained queues must not
+  // accumulate (each would pin its model shared_ptr and grow the
+  // per-wakeup scan).
+  BatcherConfig config;
+  config.max_batch_rows = 1;
+  MicroBatcher batcher(config);
+  for (int i = 0; i < 3; ++i) {
+    auto features = batcher
+                        .SubmitTransform(model_, "key" + std::to_string(i),
+                                         RowOf(ds_.x, 0))
+                        .get();
+    ASSERT_TRUE(features.ok());
+  }
+  EXPECT_EQ(batcher.pending_queues(), 0u);
+}
+
+TEST_F(MicroBatcherTest, ShutdownWithEmptyQueueIsClean) {
+  MicroBatcher batcher;
+  batcher.Shutdown();
+  batcher.Shutdown();  // idempotent
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, 0u);
+  EXPECT_EQ(stats.batches, 0u);
+}
+
+TEST_F(MicroBatcherTest, ShutdownFlushesPendingRequests) {
+  BatcherConfig config;
+  config.max_batch_rows = 100;
+  config.max_queue_micros = 60'000'000;  // no flush before Shutdown
+  MicroBatcher batcher(config);
+  auto first = batcher.SubmitTransform(model_, "m", RowOf(ds_.x, 0));
+  auto second = batcher.SubmitTransform(model_, "m", RowOf(ds_.x, 1));
+  batcher.Shutdown();
+  // Pending work was completed, not abandoned.
+  ASSERT_TRUE(first.get().ok());
+  auto features = second.get();
+  ASSERT_TRUE(features.ok());
+  EXPECT_TRUE(features.value().AllClose(
+      model_->Transform(RowOf(ds_.x, 1)).value(), 0));
+  EXPECT_EQ(batcher.stats().batches, 1u);
+}
+
+TEST_F(MicroBatcherTest, SubmitAfterShutdownIsUnavailable) {
+  MicroBatcher batcher;
+  batcher.Shutdown();
+  auto transform = batcher.SubmitTransform(model_, "m", RowOf(ds_.x, 0));
+  auto transform_result = transform.get();
+  ASSERT_FALSE(transform_result.ok());
+  EXPECT_EQ(transform_result.status().code(), StatusCode::kUnavailable);
+  auto evaluate =
+      batcher.SubmitEvaluate(model_, "m", ds_.x, ds_.labels).get();
+  ASSERT_FALSE(evaluate.ok());
+  EXPECT_EQ(evaluate.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(MicroBatcherTest, BadRequestsFailFastWithoutQueueing) {
+  MicroBatcher batcher;
+  // Wrong width.
+  auto narrow =
+      batcher.SubmitTransform(model_, "m",
+                              linalg::Matrix(1, ds_.x.cols() - 1)).get();
+  ASSERT_FALSE(narrow.ok());
+  EXPECT_EQ(narrow.status().code(), StatusCode::kInvalidArgument);
+  // Empty request.
+  auto empty = batcher.SubmitTransform(model_, "m", linalg::Matrix()).get();
+  EXPECT_FALSE(empty.ok());
+  // Missing model.
+  auto orphan =
+      batcher.SubmitTransform(nullptr, "m", RowOf(ds_.x, 0)).get();
+  EXPECT_FALSE(orphan.ok());
+  // Label/row mismatch on evaluate.
+  auto mismatched =
+      batcher.SubmitEvaluate(model_, "m", RowOf(ds_.x, 0), ds_.labels)
+          .get();
+  EXPECT_FALSE(mismatched.ok());
+  EXPECT_EQ(batcher.stats().requests, 0u);
+}
+
+TEST_F(MicroBatcherTest, RecordsLatenciesWhenEnabled) {
+  BatcherConfig config;
+  config.max_batch_rows = 2;
+  config.record_latencies = true;
+  MicroBatcher batcher(config);
+  auto a = batcher.SubmitTransform(model_, "m", RowOf(ds_.x, 0));
+  auto b = batcher.SubmitTransform(model_, "m", RowOf(ds_.x, 1));
+  ASSERT_TRUE(a.get().ok());
+  ASSERT_TRUE(b.get().ok());
+  EXPECT_EQ(batcher.latencies_micros().size(), 2u);
+  EXPECT_GE(batcher.stats().max_queue_micros, 0.0);
+}
+
+// Bit-parity for every model kind: rows submitted one at a time through
+// the batcher, coalesced into batched passes, must reproduce the direct
+// Model::Transform / Evaluate results exactly.
+class BatchParityTest : public ::testing::TestWithParam<core::ModelKind> {};
+
+TEST_P(BatchParityTest, BatchedTransformMatchesSequentialBitForBit) {
+  const data::Dataset ds = TestDataset(24);
+  auto model = TrainShared(ds.x, GetParam(), 33);
+  const linalg::Matrix reference = model->Transform(ds.x).value();
+
+  BatcherConfig config;
+  config.max_batch_rows = 8;
+  // Generous deadline: rows coalesce into full batches even when a
+  // sanitizer or a loaded CI machine slows submission down.
+  config.max_queue_micros = 50'000;
+  MicroBatcher batcher(config);
+  std::vector<std::future<StatusOr<linalg::Matrix>>> futures;
+  for (std::size_t r = 0; r < ds.x.rows(); ++r) {
+    futures.push_back(batcher.SubmitTransform(model, "m", RowOf(ds.x, r)));
+  }
+  for (std::size_t r = 0; r < futures.size(); ++r) {
+    auto slice = futures[r].get();
+    ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+    ASSERT_EQ(slice.value().rows(), 1u);
+    ASSERT_EQ(slice.value().cols(), reference.cols());
+    // AllClose with tol 0 is exact bit equality up to ±0.0/NaN, which the
+    // sigmoid never produces.
+    EXPECT_TRUE(slice.value().AllClose(RowOf(reference, r), 0))
+        << "row " << r << " diverged from the sequential transform";
+  }
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.requests, ds.x.rows());
+  EXPECT_GE(stats.batches, 3u);  // 24 rows / cap 8
+  EXPECT_GT(stats.MeanBatchRows(), 1.0)
+      << "rows were not actually coalesced";
+}
+
+TEST_P(BatchParityTest, BatchedEvaluateMatchesModelEvaluate) {
+  const data::Dataset ds = TestDataset(24);
+  auto model = TrainShared(ds.x, GetParam(), 33);
+  const api::EvalOptions options;
+  auto reference = model->Evaluate(ds.x, ds.labels, options);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  BatcherConfig config;
+  config.max_batch_rows = 64;
+  MicroBatcher batcher(config);
+  // Interleave transform rows so the evaluate request's slice sits inside
+  // a larger mixed batch.
+  auto before = batcher.SubmitTransform(model, "m", RowOf(ds.x, 0));
+  auto evaluated =
+      batcher.SubmitEvaluate(model, "m", ds.x, ds.labels, options);
+  auto after = batcher.SubmitTransform(model, "m", RowOf(ds.x, 1));
+  ASSERT_TRUE(before.get().ok());
+  ASSERT_TRUE(after.get().ok());
+  auto result = evaluated.get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().clusters_found, reference.value().clusters_found);
+  EXPECT_DOUBLE_EQ(result.value().metrics.accuracy,
+                   reference.value().metrics.accuracy);
+  EXPECT_DOUBLE_EQ(result.value().metrics.purity,
+                   reference.value().metrics.purity);
+  EXPECT_DOUBLE_EQ(result.value().metrics.rand_index,
+                   reference.value().metrics.rand_index);
+  EXPECT_DOUBLE_EQ(result.value().metrics.fmi,
+                   reference.value().metrics.fmi);
+  EXPECT_DOUBLE_EQ(result.value().metrics.nmi,
+                   reference.value().metrics.nmi);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllKinds, BatchParityTest,
+    ::testing::Values(core::ModelKind::kRbm, core::ModelKind::kGrbm,
+                      core::ModelKind::kSlsRbm, core::ModelKind::kSlsGrbm),
+    [](const ::testing::TestParamInfo<core::ModelKind>& info) {
+      std::string name = api::ModelKindRegistryName(info.param);
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace mcirbm::serve

@@ -1,0 +1,63 @@
+// serve::ParseRequestLine — the `mcirbm_cli serve` request vocabulary.
+#include "serve/request.h"
+
+#include <gtest/gtest.h>
+
+namespace mcirbm::serve {
+namespace {
+
+TEST(ParseRequestLineTest, ParsesTransformRequestWithDefaults) {
+  auto request = ParseRequestLine("op=transform model=m.txt data=d.csv");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request.value().op, "transform");
+  EXPECT_EQ(request.value().model, "m.txt");
+  EXPECT_EQ(request.value().data, "d.csv");
+  EXPECT_EQ(request.value().transform, "none");
+  EXPECT_EQ(request.value().chunk, 1u);
+  EXPECT_EQ(request.value().clusterer, "kmeans");
+  EXPECT_EQ(request.value().k, 0);
+  EXPECT_EQ(request.value().seed, 7u);
+  EXPECT_TRUE(request.value().out.empty());
+}
+
+TEST(ParseRequestLineTest, ParsesEvaluateRequestWithAllKeys) {
+  auto request = ParseRequestLine(
+      "op=evaluate model=m.txt data=d.csv transform=standardize "
+      "clusterer=dp k=3 seed=11 chunk=4 out=f.csv");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request.value().op, "evaluate");
+  EXPECT_EQ(request.value().transform, "standardize");
+  EXPECT_EQ(request.value().clusterer, "dp");
+  EXPECT_EQ(request.value().k, 3);
+  EXPECT_EQ(request.value().seed, 11u);
+  EXPECT_EQ(request.value().chunk, 4u);
+  EXPECT_EQ(request.value().out, "f.csv");
+}
+
+TEST(ParseRequestLineTest, RejectsMalformedLines) {
+  EXPECT_FALSE(ParseRequestLine("").ok());
+  EXPECT_FALSE(ParseRequestLine("transform m.txt").ok());  // no '='
+  EXPECT_FALSE(ParseRequestLine("=value").ok());
+  // Unknown key, same rejection style as the CLI's unknown flags.
+  auto unknown =
+      ParseRequestLine("op=transform model=m data=d bogus=1");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ParseRequestLineTest, RejectsBadValues) {
+  EXPECT_FALSE(ParseRequestLine("op=delete model=m data=d").ok());
+  EXPECT_FALSE(ParseRequestLine("op=transform data=d").ok());  // no model
+  EXPECT_FALSE(ParseRequestLine("op=transform model=m").ok());  // no data
+  EXPECT_FALSE(
+      ParseRequestLine("op=transform model=m data=d chunk=0").ok());
+  EXPECT_FALSE(
+      ParseRequestLine("op=transform model=m data=d chunk=two").ok());
+  EXPECT_FALSE(
+      ParseRequestLine("op=transform model=m data=d transform=log").ok());
+  EXPECT_FALSE(
+      ParseRequestLine("op=evaluate model=m data=d seed=-1").ok());
+}
+
+}  // namespace
+}  // namespace mcirbm::serve

@@ -1,0 +1,172 @@
+// serve::Server — end-to-end serving over saved artifacts: submission by
+// model path, evaluate parity, stats, hot reload, shutdown semantics, and
+// concurrent clients (a ThreadSanitizer target).
+#include "serve/server.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/api.h"
+#include "data/synthetic.h"
+
+namespace mcirbm::serve {
+namespace {
+
+data::Dataset TestDataset() {
+  data::GaussianMixtureSpec spec;
+  spec.name = "server";
+  spec.num_classes = 2;
+  spec.num_instances = 32;
+  spec.num_features = 6;
+  spec.separation = 6.0;
+  return data::GenerateGaussianMixture(spec, 21);
+}
+
+linalg::Matrix RowOf(const linalg::Matrix& x, std::size_t r) {
+  linalg::Matrix row(1, x.cols());
+  std::memcpy(row.data(), x.data() + r * x.cols(),
+              x.cols() * sizeof(double));
+  return row;
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ds_ = TestDataset();
+    path_ = ::testing::TempDir() + "/server_model.mcirbm";
+    core::PipelineConfig config;
+    config.model = core::ModelKind::kGrbm;
+    config.rbm.num_hidden = 5;
+    config.rbm.epochs = 2;
+    config.rbm.batch_size = 10;
+    auto model = api::Model::Train(ds_.x, config, 33);
+    ASSERT_TRUE(model.ok()) << model.status().ToString();
+    ASSERT_TRUE(model.value().Save(path_).ok());
+    reference_ = model.value().Transform(ds_.x).value();
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  data::Dataset ds_;
+  std::string path_;
+  linalg::Matrix reference_;
+};
+
+TEST_F(ServerTest, ServesRowRequestsByModelPath) {
+  Server server;
+  std::vector<std::future<StatusOr<linalg::Matrix>>> futures;
+  for (std::size_t r = 0; r < ds_.x.rows(); ++r) {
+    futures.push_back(server.Submit(path_, RowOf(ds_.x, r)));
+  }
+  for (std::size_t r = 0; r < futures.size(); ++r) {
+    auto slice = futures[r].get();
+    ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+    EXPECT_TRUE(slice.value().AllClose(RowOf(reference_, r), 0))
+        << "row " << r;
+  }
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.batcher.requests, ds_.x.rows());
+  EXPECT_GE(stats.batcher.batches, 1u);
+  // One disk load, every later submission a cache hit.
+  EXPECT_EQ(stats.store.misses, 1u);
+  EXPECT_EQ(stats.store.hits, ds_.x.rows() - 1);
+}
+
+TEST_F(ServerTest, EvaluateMatchesDirectModelEvaluate) {
+  auto model = api::Model::Load(path_);
+  ASSERT_TRUE(model.ok());
+  auto reference = model.value().Evaluate(ds_.x, ds_.labels);
+  ASSERT_TRUE(reference.ok());
+
+  Server server;
+  auto result = server.SubmitEvaluate(path_, ds_.x, ds_.labels).get();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result.value().clusters_found,
+            reference.value().clusters_found);
+  EXPECT_DOUBLE_EQ(result.value().metrics.accuracy,
+                   reference.value().metrics.accuracy);
+  EXPECT_DOUBLE_EQ(result.value().metrics.nmi,
+                   reference.value().metrics.nmi);
+}
+
+TEST_F(ServerTest, UnknownModelFailsFast) {
+  Server server;
+  auto missing =
+      server.Submit(::testing::TempDir() + "/nope.mcirbm", RowOf(ds_.x, 0));
+  auto result = missing.get();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(ServerTest, SubmitAfterShutdownIsUnavailable) {
+  Server server;
+  ASSERT_TRUE(server.Submit(path_, RowOf(ds_.x, 0)).get().ok());
+  server.Shutdown();
+  auto rejected = server.Submit(path_, RowOf(ds_.x, 1)).get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+}
+
+TEST_F(ServerTest, ReloadKeepsServingIdenticalArtifact) {
+  Server server;
+  ASSERT_TRUE(server.Submit(path_, RowOf(ds_.x, 0)).get().ok());
+  ASSERT_TRUE(server.Reload(path_).ok());
+  auto features = server.Submit(path_, RowOf(ds_.x, 1)).get();
+  ASSERT_TRUE(features.ok());
+  EXPECT_TRUE(features.value().AllClose(RowOf(reference_, 1), 0));
+  EXPECT_EQ(server.stats().store.reloads, 1u);
+}
+
+TEST_F(ServerTest, ServesInMemoryModelsViaStorePut) {
+  Server server;
+  auto model = api::Model::Load(path_);
+  ASSERT_TRUE(model.ok());
+  server.store().Put("hot", std::move(model).value());
+  auto features = server.Submit("hot", RowOf(ds_.x, 2)).get();
+  ASSERT_TRUE(features.ok());
+  EXPECT_TRUE(features.value().AllClose(RowOf(reference_, 2), 0));
+}
+
+TEST_F(ServerTest, ConcurrentClientsGetBitIdenticalRows) {
+  ServerConfig config;
+  config.batcher.max_batch_rows = 8;
+  Server server(config);
+  constexpr int kClients = 4;
+  constexpr int kRounds = 3;
+  std::vector<std::thread> clients;
+  std::vector<int> mismatches(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < kRounds; ++round) {
+        std::vector<std::future<StatusOr<linalg::Matrix>>> futures;
+        for (std::size_t r = c; r < ds_.x.rows();
+             r += static_cast<std::size_t>(kClients)) {
+          futures.push_back(server.Submit(path_, RowOf(ds_.x, r)));
+        }
+        std::size_t r = c;
+        for (auto& future : futures) {
+          auto slice = future.get();
+          if (!slice.ok() ||
+              !slice.value().AllClose(RowOf(reference_, r), 0)) {
+            ++mismatches[c];
+          }
+          r += kClients;
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(mismatches[c], 0);
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.batcher.requests,
+            static_cast<std::uint64_t>(kClients * kRounds) *
+                (ds_.x.rows() / kClients));
+}
+
+}  // namespace
+}  // namespace mcirbm::serve

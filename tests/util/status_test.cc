@@ -25,11 +25,13 @@ TEST(StatusTest, AllFactoriesSetCodes) {
   EXPECT_EQ(Status::NotFound("").code(), StatusCode::kNotFound);
   EXPECT_EQ(Status::ParseError("").code(), StatusCode::kParseError);
   EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Unavailable("").code(), StatusCode::kUnavailable);
 }
 
 TEST(StatusCodeNameTest, NamesAreStable) {
   EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeName(StatusCode::kParseError), "PARSE_ERROR");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kUnavailable), "UNAVAILABLE");
 }
 
 TEST(StatusOrTest, HoldsValue) {

@@ -11,6 +11,9 @@
 //              print the paper's external metrics against the labels
 //   pipeline   one-shot synth/load -> supervise -> train -> eval from a
 //              key=value config file
+//   serve      long-lived micro-batching inference service: stream
+//              newline-delimited key=value requests (see serve/request.h)
+//              from a file or stdin and print one response line each
 //
 // CSV format: numeric feature columns with a trailing integer label
 // column (header row required), as written by `synth` / data/io.h.
@@ -22,15 +25,22 @@
 //   mcirbm_cli eval --data vt.csv --model-file vt_model.txt \
 //       --standardize --clusterer kmeans
 //   mcirbm_cli pipeline --config run.cfg
+#include <algorithm>
 #include <cstdlib>
+#include <deque>
+#include <fstream>
+#include <future>
 #include <initializer_list>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "api/api.h"
+#include "serve/serve.h"
 #include "core/model_selection.h"
 #include "eval/experiment.h"
 #include "data/io.h"
@@ -440,6 +450,185 @@ int RunPipeline(const Args& args) {
   return 0;
 }
 
+// Dataset cache for the serve loop: one load + preprocess per distinct
+// (path, transform) pair, so per-row requests do not re-read the CSV.
+// Bounded (FIFO over insertion order) because the serve loop is
+// long-lived — a stream naming ever-new CSVs must not grow memory
+// without limit. The returned pointer is valid until the next Get.
+class ServeDatasetCache {
+ public:
+  StatusOr<const data::Dataset*> Get(const std::string& path,
+                                     const std::string& transform) {
+    const std::string key = transform + "|" + path;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return &it->second;
+    auto loaded = data::LoadDatasetCsv(path, path);
+    if (!loaded.ok()) return loaded.status();
+    data::Dataset ds = std::move(loaded).value();
+    if (transform == "standardize") {
+      data::StandardizeInPlace(&ds.x);
+    } else if (transform == "minmax") {
+      data::MinMaxScaleInPlace(&ds.x);
+    } else if (transform == "binarize") {
+      data::MinMaxScaleInPlace(&ds.x);
+      data::BinarizeAtColumnMeanInPlace(&ds.x);
+    }
+    while (cache_.size() >= kCapacity) {
+      cache_.erase(order_.front());
+      order_.pop_front();
+    }
+    order_.push_back(key);
+    return &cache_.emplace(key, std::move(ds)).first->second;
+  }
+
+ private:
+  static constexpr std::size_t kCapacity = 8;
+  std::map<std::string, data::Dataset> cache_;
+  std::deque<std::string> order_;
+};
+
+// op=transform: submits the dataset in `chunk`-row requests (default one
+// row each — the micro-batcher coalesces them back into batched passes),
+// reassembles the feature rows in order, and prints one response line.
+Status ServeTransform(serve::Server* server, const serve::Request& request,
+                      const data::Dataset& ds) {
+  const std::size_t rows = ds.x.rows();
+  const std::size_t cols = ds.x.cols();
+  std::vector<std::future<StatusOr<linalg::Matrix>>> futures;
+  for (std::size_t begin = 0; begin < rows; begin += request.chunk) {
+    const std::size_t end = std::min(begin + request.chunk, rows);
+    linalg::Matrix slice(end - begin, cols);
+    std::copy_n(ds.x.data() + begin * cols, slice.size(), slice.data());
+    futures.push_back(server->Submit(request.model, std::move(slice)));
+  }
+  linalg::Matrix features;
+  std::size_t offset = 0;
+  for (auto& future : futures) {
+    auto part = future.get();
+    if (!part.ok()) return part.status();
+    if (features.empty()) features.Resize(rows, part.value().cols());
+    std::copy_n(part.value().data(), part.value().size(),
+                features.data() + offset * features.cols());
+    offset += part.value().rows();
+  }
+  std::cout << "ok op=transform model=" << request.model
+            << " data=" << request.data << " rows=" << features.rows()
+            << " cols=" << features.cols() << " requests=" << futures.size()
+            << " sum=" << FormatDouble(features.Sum(), 6) << std::endl;
+  if (!request.out.empty()) {
+    data::Dataset out_ds = ds;
+    out_ds.x = std::move(features);
+    out_ds.name = ds.name + ":hidden";
+    const Status saved = data::SaveDatasetCsv(out_ds, request.out);
+    if (!saved.ok()) return saved;
+  }
+  return Status::Ok();
+}
+
+// op=evaluate: one request carrying the whole dataset (clustering is a
+// whole-set operation); its rows still join the shared batched pass.
+Status ServeEvaluate(serve::Server* server, const serve::Request& request,
+                     const data::Dataset& ds) {
+  api::EvalOptions options;
+  options.clusterer = request.clusterer;
+  options.k = request.k;
+  options.seed = request.seed;
+  auto result =
+      server->SubmitEvaluate(request.model, ds.x, ds.labels, options).get();
+  if (!result.ok()) return result.status();
+  const metrics::MetricBundle& m = result.value().metrics;
+  std::cout << "ok op=evaluate model=" << request.model
+            << " data=" << request.data
+            << " clusterer=" << request.clusterer
+            << " clusters=" << result.value().clusters_found
+            << " accuracy=" << FormatDouble(m.accuracy, 4)
+            << " purity=" << FormatDouble(m.purity, 4)
+            << " rand=" << FormatDouble(m.rand_index, 4)
+            << " fmi=" << FormatDouble(m.fmi, 4)
+            << " ari=" << FormatDouble(m.ari, 4)
+            << " nmi=" << FormatDouble(m.nmi, 4) << std::endl;
+  return Status::Ok();
+}
+
+int RunServe(const Args& args) {
+  const Status valid = args.Validate({"requests", "max-batch-rows",
+                                      "max-queue-micros", "store-capacity",
+                                      "threads"});
+  if (!valid.ok()) return Fail(valid);
+  serve::ServerConfig config;
+  const int max_batch_rows = args.GetInt("max-batch-rows", 64);
+  const int max_queue_micros = args.GetInt("max-queue-micros", 200);
+  const int store_capacity = args.GetInt("store-capacity", 8);
+  if (max_batch_rows < 1) return Fail("--max-batch-rows must be >= 1");
+  if (max_queue_micros < 0) return Fail("--max-queue-micros must be >= 0");
+  if (store_capacity < 1) return Fail("--store-capacity must be >= 1");
+  config.batcher.max_batch_rows =
+      static_cast<std::size_t>(max_batch_rows);
+  config.batcher.max_queue_micros = max_queue_micros;
+  config.store_capacity = static_cast<std::size_t>(store_capacity);
+
+  std::ifstream file;
+  std::istream* in = &std::cin;
+  const std::string requests_path = args.Get("requests", "-");
+  if (requests_path != "-") {
+    file.open(requests_path);
+    if (!file) {
+      return Fail("cannot open request file " + requests_path);
+    }
+    in = &file;
+  }
+
+  serve::Server server(config);
+  ServeDatasetCache datasets;
+  std::string line;
+  int line_no = 0;
+  int served = 0;
+  int failures = 0;
+  while (std::getline(*in, line)) {
+    ++line_no;
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    Status status = Status::Ok();
+    auto request = serve::ParseRequestLine(trimmed);
+    if (!request.ok()) {
+      status = request.status();
+    } else {
+      auto dataset =
+          datasets.Get(request.value().data, request.value().transform);
+      // Resolve the model once up front: a bad path fails the request
+      // with one disk probe instead of one per submitted chunk.
+      auto model = server.store().Get(request.value().model);
+      if (!dataset.ok()) {
+        status = dataset.status();
+      } else if (!model.ok()) {
+        status = model.status();
+      } else if (request.value().op == "transform") {
+        status = ServeTransform(&server, request.value(), *dataset.value());
+      } else {
+        status = ServeEvaluate(&server, request.value(), *dataset.value());
+      }
+    }
+    if (status.ok()) {
+      ++served;
+    } else {
+      ++failures;
+      std::cout << "error line=" << line_no << " " << status.ToString()
+                << std::endl;
+    }
+  }
+  server.Shutdown();
+  const serve::Server::Stats stats = server.stats();
+  std::cout << "# served=" << served << " failed=" << failures
+            << " requests=" << stats.batcher.requests
+            << " batches=" << stats.batcher.batches << " mean_batch_rows="
+            << FormatDouble(stats.batcher.MeanBatchRows(), 2)
+            << " mean_queue_micros="
+            << FormatDouble(stats.batcher.MeanQueueMicros(), 1)
+            << " store_hits=" << stats.store.hits
+            << " store_misses=" << stats.store.misses << std::endl;
+  return failures == 0 ? 0 : 1;
+}
+
 void PrintUsage() {
   std::string clusterers, models;
   for (const auto& name :
@@ -480,6 +669,12 @@ void PrintUsage() {
       "             [--k K] [--standardize|--binarize] [--seed N]\n"
       "  pipeline   --config <file> [--data <csv>] [--model-out <path>]\n"
       "             [--features-out <csv>] [--seed N]\n"
+      "  serve      [--requests <file>|-] [--max-batch-rows N]\n"
+      "             [--max-queue-micros N] [--store-capacity N]\n"
+      "             one key=value request per line (op=transform|evaluate\n"
+      "             model=<artifact> data=<csv> [transform=...] [chunk=N]\n"
+      "             [clusterer=...] [k=K] [seed=N] [out=<csv>]); responses\n"
+      "             stream to stdout, '# ...' stats line at EOF\n"
       "\n"
       "pipeline config keys: see src/api/config.h (key = value lines;\n"
       "model, rbm.*, sls.*, supervision.*, parallel.*, data.*, eval.*,\n"
@@ -514,7 +709,11 @@ int main(int argc, char** argv) {
   if (command == "transform") return RunTransform(args);
   if (command == "eval") return RunEval(args);
   if (command == "pipeline") return RunPipeline(args);
-  std::cerr << "unknown command '" << command << "'\n";
-  PrintUsage();
-  return 1;
+  if (command == "serve") return RunServe(args);
+  // Same loud rejection style as unknown flags: name the input, list the
+  // vocabulary, exit non-OK (no usage dump to scroll past).
+  return Fail(Status::InvalidArgument(
+      "unknown command '" + command +
+      "' (expected one of synth|select-k|supervise|train|transform|eval|"
+      "pipeline|serve|help)"));
 }
