@@ -1,10 +1,15 @@
-// Serving throughput/latency benchmark for the src/serve micro-batcher.
+// Serving throughput/latency benchmark for the src/serve micro-batcher
+// and the replica-sharded serve::Router.
 //
 // A tiny GRBM encoder is trained once, saved, and served from the model
 // store; client threads then hammer the Server with single-row Transform
 // requests. The sweep crosses batch size (max_batch_rows 1 = no
 // coalescing, i.e. one-row-at-a-time passes, vs 8/32/128) with pool
 // width 1/2/4/8 and reports requests/sec plus p50/p95 queue latency.
+// A second sweep (serve_replicas1/2/4) fixes the batch size at 32 and
+// scales the Router's replica count instead, spreading requests over 16
+// model keys so the key-hash actually shards — the number to watch on a
+// multi-socket box is rps vs replicas at a fixed pool width.
 //
 // Output is the same JSON shape as bench/parallel_scaling.cc — a
 // top-level {"hardware_threads", "kernels": [{"name", "n", "results":
@@ -120,6 +125,70 @@ Result Measure(const std::string& model_path, const linalg::Matrix& x,
   return result;
 }
 
+// One Router measurement: requests spread round-robin over `kRouterKeys`
+// in-memory model keys (the same artifact Put under each name), so a
+// replica count > 1 genuinely shards the stream across batchers.
+constexpr int kRouterKeys = 16;
+
+Result MeasureRouter(const std::string& model_path, const linalg::Matrix& x,
+                     int threads, std::size_t replicas,
+                     std::size_t requests, int clients, int reps) {
+  Result result;
+  result.threads = threads;
+  parallel::SetNumThreads(threads);
+  double best = 1e300;
+  std::vector<std::string> keys;
+  for (int k = 0; k < kRouterKeys; ++k) {
+    keys.push_back("replica_key_" + std::to_string(k));
+  }
+  for (int rep = 0; rep < reps; ++rep) {
+    serve::RouterConfig config;
+    config.replicas = replicas;
+    config.batcher.max_batch_rows = 32;
+    config.batcher.max_queue_micros = 200;
+    config.batcher.record_latencies = true;
+    // The shared store must hold every pre-warmed key, or the LRU would
+    // evict the early ones and the submit path would miss to disk.
+    config.store_capacity = kRouterKeys;
+    serve::Router router(config);
+    for (const std::string& key : keys) {  // pre-warm the shared store
+      auto model = api::Model::Load(model_path);
+      if (!model.ok()) std::abort();
+      router.store().Put(key, std::move(model).value());
+    }
+
+    WallTimer timer;
+    std::vector<std::thread> workers;
+    for (int c = 0; c < clients; ++c) {
+      workers.emplace_back([&, c] {
+        std::vector<std::future<StatusOr<linalg::Matrix>>> futures;
+        futures.reserve(requests / clients + 1);
+        for (std::size_t r = c; r < requests;
+             r += static_cast<std::size_t>(clients)) {
+          futures.push_back(router.Submit(keys[r % keys.size()],
+                                          RowOf(x, r % x.rows())));
+        }
+        for (auto& future : futures) {
+          if (!future.get().ok()) std::abort();
+        }
+      });
+    }
+    for (std::thread& worker : workers) worker.join();
+    const double seconds = timer.Seconds();
+    if (seconds < best) {
+      best = seconds;
+      result.seconds = seconds;
+      result.rps = static_cast<double>(requests) / seconds;
+      std::vector<double> latencies = router.latencies_micros();
+      result.p50_micros = Percentile(latencies, 0.50);
+      result.p95_micros = Percentile(latencies, 0.95);
+      result.mean_batch_rows = router.stats().batcher.MeanBatchRows();
+    }
+    router.Shutdown();
+  }
+  return result;
+}
+
 void EmitKernel(const std::string& name, std::size_t n,
                 const std::vector<Result>& results, bool last) {
   std::cout << "    {\"name\": \"" << name << "\", \"n\": " << n
@@ -185,7 +254,18 @@ int main() {
                                 requests, clients, reps));
     }
     EmitKernel("serve_batch" + std::to_string(batch_sizes[b]), requests,
-               results, b + 1 == batch_sizes.size());
+               results, /*last=*/false);
+  }
+  const std::vector<std::size_t> replica_counts = {1, 2, 4};
+  for (std::size_t r = 0; r < replica_counts.size(); ++r) {
+    std::vector<Result> results;
+    for (int threads : widths) {
+      results.push_back(MeasureRouter(model_path, ds.x, threads,
+                                      replica_counts[r], requests, clients,
+                                      reps));
+    }
+    EmitKernel("serve_replicas" + std::to_string(replica_counts[r]),
+               requests, results, r + 1 == replica_counts.size());
   }
   std::cout << "  ]\n}\n";
   parallel::SetNumThreads(0);

@@ -46,18 +46,76 @@ Status MicroBatcher::Enqueue(
     if (stopping_) {
       return Status::Unavailable("micro-batcher is shut down");
     }
-    Queue& queue = queues_[key];
+    // Backpressure, checked before any mutation — find(), not
+    // operator[], so a rejected submission on a never-seen key does not
+    // leave an empty Queue behind for the flusher to scan forever. The
+    // find() miss is also what admits the first request into an empty
+    // queue unconditionally (mirroring max_batch_rows, so one oversized
+    // request can still be served): a key present in the map always
+    // holds at least one pending row.
+    auto queue_it = queues_.find(key);
+    if (config_.max_pending_rows > 0 && queue_it != queues_.end()) {
+      // Swap-sealed batches the flusher has not claimed yet still hold
+      // this key's memory, so they count against the bound too — a
+      // Reload-heavy client cannot launder rows past backpressure by
+      // sealing them.
+      const std::size_t held =
+          queue_it->second.pending_rows + queue_it->second.sealed_rows;
+      if (held + rows.rows() > config_.max_pending_rows) {
+        ++stats_.rejected_requests;
+        return Status::Unavailable(
+            "queue for model '" + key + "' is full (" +
+            std::to_string(held) + " of " +
+            std::to_string(config_.max_pending_rows) + " pending rows)");
+      }
+    }
+    if (config_.admission != nullptr && !config_.admission->TryAcquire()) {
+      ++stats_.rejected_requests;
+      return Status::Unavailable(
+          "server is at its inflight-request limit (" +
+          std::to_string(config_.admission->max_inflight()) + ")");
+    }
+    Queue& queue =
+        queue_it != queues_.end() ? queue_it->second : queues_[key];
+    if (config_.admission != nullptr) {
+      // Release the slot exactly when the request's future resolves.
+      complete = [admission = config_.admission,
+                  inner = std::move(complete)](
+                     StatusOr<linalg::Matrix> features) {
+        inner(std::move(features));
+        admission->Release();
+      };
+    }
     if (!queue.pending.empty() &&
         queue.model.get() != model.get()) {
       // The key was hot-reloaded while requests were queued: seal the
-      // current queue as a ready batch so earlier requests finish on the
+      // current queue as ready batches so earlier requests finish on the
       // instance they were submitted against, and start a fresh queue on
-      // the new model. Never mix two instances in one batch.
-      Batch sealed;
-      sealed.model = std::move(queue.model);
-      sealed.requests = std::move(queue.pending);
-      sealed.rows = queue.pending_rows;
-      ready_.push_back(std::move(sealed));
+      // the new model. Never mix two instances in one batch, and respect
+      // max_batch_rows — a long queue seals as a sequence of capped
+      // batches (whole requests each; a single oversized request still
+      // forms one oversized batch, exactly like the regular flush path).
+      std::vector<Request> pending = std::move(queue.pending);
+      std::shared_ptr<const api::Model> swapped = std::move(queue.model);
+      queue.sealed_rows += queue.pending_rows;
+      std::size_t taken = 0;
+      while (taken < pending.size()) {
+        Batch sealed;
+        sealed.model = swapped;
+        sealed.key = key;
+        sealed.trigger = FlushTrigger::kSwap;
+        while (taken < pending.size()) {
+          const std::size_t request_rows = pending[taken].rows.rows();
+          if (!sealed.requests.empty() &&
+              sealed.rows + request_rows > config_.max_batch_rows) {
+            break;
+          }
+          sealed.rows += request_rows;
+          sealed.requests.push_back(std::move(pending[taken]));
+          ++taken;
+        }
+        ready_.push_back(std::move(sealed));
+      }
       queue.pending.clear();
       queue.pending_rows = 0;
     }
@@ -150,9 +208,14 @@ void MicroBatcher::FlusherLoop() {
 
     const auto now = Clock::now();
     // Batches sealed by Enqueue (model hot-swap) flush ahead of the
-    // regular queues.
+    // regular queues; claiming them releases their rows from the keys'
+    // backpressure accounting.
     std::vector<Batch> due = std::move(ready_);
     ready_.clear();
+    for (const Batch& sealed : due) {
+      auto it = queues_.find(sealed.key);
+      if (it != queues_.end()) it->second.sealed_rows -= sealed.rows;
+    }
     for (auto it = queues_.begin(); it != queues_.end();) {
       Queue& queue = it->second;
       const bool full = queue.pending_rows >= config_.max_batch_rows;
@@ -168,7 +231,7 @@ void MicroBatcher::FlusherLoop() {
       // capped batches rather than one unbounded pass.
       Batch batch;
       batch.model = queue.model;
-      batch.full = full;
+      batch.trigger = full ? FlushTrigger::kFull : FlushTrigger::kDeadline;
       std::size_t take = 0;
       while (take < queue.pending.size()) {
         const std::size_t request_rows = queue.pending[take].rows.rows();
@@ -205,7 +268,17 @@ void MicroBatcher::FlusherLoop() {
     // run the (possibly slow) batched passes without holding the lock so
     // submitters keep queuing into the next batch.
     for (const Batch& batch : due) {
-      batch.full ? ++stats_.full_flushes : ++stats_.deadline_flushes;
+      switch (batch.trigger) {
+        case FlushTrigger::kFull:
+          ++stats_.full_flushes;
+          break;
+        case FlushTrigger::kDeadline:
+          ++stats_.deadline_flushes;
+          break;
+        case FlushTrigger::kSwap:
+          ++stats_.swap_flushes;
+          break;
+      }
       ++stats_.batches;
       stats_.batched_rows += batch.rows;
       for (const Request& request : batch.requests) {

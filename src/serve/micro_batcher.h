@@ -23,9 +23,16 @@
 // Queues for different models never mix; each flush serves exactly one
 // model. Shutdown flushes everything still pending (no request is ever
 // abandoned) and subsequent submissions fail with kUnavailable.
+//
+// Backpressure is fail-fast: when a queue is over max_pending_rows, or
+// the shared AdmissionController is out of inflight slots, the
+// submission's future resolves immediately with kUnavailable (counted in
+// Stats::rejected_requests) — overflow never blocks the caller and never
+// drops a request silently.
 #ifndef MCIRBM_SERVE_MICRO_BATCHER_H_
 #define MCIRBM_SERVE_MICRO_BATCHER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -44,6 +51,44 @@
 
 namespace mcirbm::serve {
 
+/// Global admission bound shared by every batcher behind one router: a
+/// submission acquires a slot before queueing and releases it when its
+/// future resolves. Overflow never blocks — TryAcquire just fails and the
+/// caller rejects the request with kUnavailable.
+class AdmissionController {
+ public:
+  /// `max_inflight` of 0 means unbounded (TryAcquire always succeeds).
+  explicit AdmissionController(std::uint64_t max_inflight)
+      : max_inflight_(max_inflight) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  bool TryAcquire() {
+    if (max_inflight_ == 0) return true;
+    std::uint64_t current = inflight_.load(std::memory_order_relaxed);
+    while (current < max_inflight_) {
+      if (inflight_.compare_exchange_weak(current, current + 1,
+                                          std::memory_order_acq_rel)) {
+        return true;
+      }
+    }
+    return false;
+  }
+  void Release() {
+    if (max_inflight_ == 0) return;
+    inflight_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  std::uint64_t inflight() const {
+    return inflight_.load(std::memory_order_acquire);
+  }
+  std::uint64_t max_inflight() const { return max_inflight_; }
+
+ private:
+  const std::uint64_t max_inflight_;
+  std::atomic<std::uint64_t> inflight_{0};
+};
+
 /// Batching policy knobs.
 struct BatcherConfig {
   /// Flush a model's queue once this many rows are pending. A single
@@ -51,6 +96,15 @@ struct BatcherConfig {
   std::size_t max_batch_rows = 64;
   /// Flush a non-empty queue once its oldest request has waited this long.
   std::int64_t max_queue_micros = 200;
+  /// Backpressure: reject a submission with kUnavailable when its model's
+  /// queue already holds this many pending rows (0 = unbounded). The
+  /// first request into an empty queue is always admitted, so a single
+  /// oversized request can still be served.
+  std::size_t max_pending_rows = 0;
+  /// Optional admission bound shared across batchers (replica sharding):
+  /// a submission that cannot acquire an inflight slot is rejected with
+  /// kUnavailable. Null means no global bound.
+  std::shared_ptr<AdmissionController> admission;
   /// Keep every request's queue latency for percentile analysis
   /// (bench/serve_throughput.cc). Off by default: a long-lived server
   /// should not grow memory per request.
@@ -99,8 +153,30 @@ class MicroBatcher {
     std::uint64_t batched_rows = 0;      ///< rows across those passes
     std::uint64_t full_flushes = 0;      ///< flushed by max_batch_rows
     std::uint64_t deadline_flushes = 0;  ///< flushed by timer or Shutdown
+    std::uint64_t swap_flushes = 0;      ///< sealed by a model hot-swap
+    /// Submissions rejected by backpressure (max_pending_rows or the
+    /// shared AdmissionController) — not shutdown rejections.
+    std::uint64_t rejected_requests = 0;
     double total_queue_micros = 0;       ///< summed per-request queue wait
     double max_queue_micros = 0;
+
+    /// Folds another batcher's counters into this one (replica
+    /// aggregation — serve::Router). Lives next to the field list so a
+    /// new counter cannot be forgotten here silently.
+    void Add(const Stats& other) {
+      requests += other.requests;
+      rows += other.rows;
+      batches += other.batches;
+      batched_rows += other.batched_rows;
+      full_flushes += other.full_flushes;
+      deadline_flushes += other.deadline_flushes;
+      swap_flushes += other.swap_flushes;
+      rejected_requests += other.rejected_requests;
+      total_queue_micros += other.total_queue_micros;
+      if (other.max_queue_micros > max_queue_micros) {
+        max_queue_micros = other.max_queue_micros;
+      }
+    }
 
     double MeanBatchRows() const {
       return batches == 0 ? 0.0
@@ -140,15 +216,27 @@ class MicroBatcher {
     std::shared_ptr<const api::Model> model;
     std::vector<Request> pending;
     std::size_t pending_rows = 0;
+    // Rows this key sealed into ready_ that the flusher has not yet
+    // claimed. Counted against max_pending_rows so a Reload-heavy
+    // client cannot grow sealed batches past the backpressure bound.
+    std::size_t sealed_rows = 0;
     Clock::time_point oldest;  // enqueue time of pending.front()
+  };
+
+  // What fired a batch — attributed to the matching stats counter.
+  enum class FlushTrigger {
+    kFull,      // the queue reached max_batch_rows
+    kDeadline,  // the oldest request timed out (or Shutdown drained it)
+    kSwap,      // sealed by Enqueue on a model hot-swap
   };
 
   // A due queue detached from the map for execution outside the lock.
   struct Batch {
     std::shared_ptr<const api::Model> model;
+    std::string key;  // set on sealed batches to settle sealed_rows
     std::vector<Request> requests;
     std::size_t rows = 0;
-    bool full = false;  // flushed by max_batch_rows (else deadline)
+    FlushTrigger trigger = FlushTrigger::kDeadline;
   };
 
   /// Validates and enqueues; returns non-OK without queuing on bad input.

@@ -1,23 +1,66 @@
 #include "serve/request.h"
 
-#include <sstream>
+#include <cctype>
 
 #include "util/param_map.h"
 #include "util/string_util.h"
 
 namespace mcirbm::serve {
 
+namespace {
+
+bool IsSpace(char c) { return std::isspace(static_cast<unsigned char>(c)); }
+
+/// Splits `line` into key=value pairs. A value may be double-quoted
+/// (`data="my file.csv"`) to carry spaces; the quotes are stripped and no
+/// escape sequences are interpreted. An unterminated quote is an error.
+Status Tokenize(const std::string& line, ParamMap* values) {
+  std::size_t i = 0;
+  while (i < line.size()) {
+    if (IsSpace(line[i])) {
+      ++i;
+      continue;
+    }
+    // Key: everything up to '=' (quotes have no meaning inside keys).
+    std::size_t eq = i;
+    while (eq < line.size() && line[eq] != '=' && !IsSpace(line[eq])) ++eq;
+    if (eq == line.size() || line[eq] != '=' || eq == i) {
+      return Status::ParseError("expected key=value, got '" +
+                                line.substr(i, eq - i) + "'");
+    }
+    const std::string key = line.substr(i, eq - i);
+    std::string value;
+    i = eq + 1;
+    if (i < line.size() && line[i] == '"') {
+      const std::size_t close = line.find('"', i + 1);
+      if (close == std::string::npos) {
+        return Status::ParseError("unterminated quote in value of '" + key +
+                                  "'");
+      }
+      value = line.substr(i + 1, close - i - 1);
+      i = close + 1;
+      if (i < line.size() && !IsSpace(line[i])) {
+        return Status::ParseError("trailing characters after closing quote "
+                                  "in value of '" +
+                                  key + "'");
+      }
+    } else {
+      std::size_t end = i;
+      while (end < line.size() && !IsSpace(line[end])) ++end;
+      value = line.substr(i, end - i);
+      i = end;
+    }
+    values->Set(key, value);
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
 StatusOr<Request> ParseRequestLine(const std::string& line) {
   ParamMap values;
-  std::istringstream tokens(line);
-  std::string token;
-  while (tokens >> token) {
-    const std::size_t eq = token.find('=');
-    if (eq == std::string::npos || eq == 0) {
-      return Status::ParseError("expected key=value, got '" + token + "'");
-    }
-    values.Set(Trim(token.substr(0, eq)), Trim(token.substr(eq + 1)));
-  }
+  const Status tokenized = Tokenize(line, &values);
+  if (!tokenized.ok()) return tokenized;
   if (values.empty()) {
     return Status::ParseError("empty request line");
   }
@@ -55,10 +98,10 @@ StatusOr<Request> ParseRequestLine(const std::string& line) {
   MCIRBM_ASSIGN_OR_RETURN(request.clusterer,
                           values.GetString("clusterer", "kmeans"));
   MCIRBM_ASSIGN_OR_RETURN(request.k, values.GetInt("k", 0));
-  int seed = 7;
-  MCIRBM_ASSIGN_OR_RETURN(seed, values.GetInt("seed", 7));
-  if (seed < 0) return Status::InvalidArgument("seed must be >= 0");
-  request.seed = static_cast<std::uint64_t>(seed);
+  // Seeds span the full unsigned 64-bit range; GetUint64 rejects signs,
+  // non-digits, and anything above 2^64 - 1 (GetInt would truncate any
+  // seed >= 2^31).
+  MCIRBM_ASSIGN_OR_RETURN(request.seed, values.GetUint64("seed", 7));
   MCIRBM_ASSIGN_OR_RETURN(request.out, values.GetString("out", ""));
   return request;
 }

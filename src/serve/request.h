@@ -7,6 +7,11 @@
 //   op=transform model=enc.mcirbm data=ds.csv chunk=1 out=features.csv
 //   op=evaluate  model=enc.mcirbm data=ds.csv clusterer=kmeans k=3 seed=7
 //
+// A value may be double-quoted to carry spaces (`data="my file.csv"`);
+// the quotes are stripped verbatim — no escape sequences. An
+// unterminated quote fails the line. `seed` accepts the full unsigned
+// 64-bit range.
+//
 // Keys:
 //   op         transform | evaluate                        (required)
 //   model      model artifact path — the ModelStore key    (required)

@@ -1,0 +1,92 @@
+#include "serve/router.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace mcirbm::serve {
+
+namespace {
+
+/// FNV-1a, chosen over std::hash for a routing function that is
+/// deterministic across standard libraries and process runs (std::hash
+/// makes no such promise, and replica assignment should be stable for
+/// capacity planning).
+std::uint64_t Fnv1a(const std::string& key) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const char c : key) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+}  // namespace
+
+Router::Router(const RouterConfig& config)
+    : store_(std::make_shared<ModelStore>(config.store_capacity)) {
+  if (config.max_inflight_requests > 0) {
+    admission_ =
+        std::make_shared<AdmissionController>(config.max_inflight_requests);
+  }
+  BatcherConfig batcher = config.batcher;
+  batcher.admission = admission_;
+  const std::size_t replicas = std::max<std::size_t>(1, config.replicas);
+  servers_.reserve(replicas);
+  for (std::size_t r = 0; r < replicas; ++r) {
+    servers_.push_back(std::make_unique<Server>(batcher, store_));
+  }
+}
+
+Router::~Router() { Shutdown(); }
+
+std::size_t Router::ReplicaFor(const std::string& key) const {
+  return static_cast<std::size_t>(Fnv1a(key) % servers_.size());
+}
+
+std::future<StatusOr<linalg::Matrix>> Router::Submit(
+    const std::string& model_key, linalg::Matrix rows) {
+  return servers_[ReplicaFor(model_key)]->Submit(model_key,
+                                                 std::move(rows));
+}
+
+std::future<StatusOr<api::EvalResult>> Router::SubmitEvaluate(
+    const std::string& model_key, linalg::Matrix rows,
+    std::vector<int> labels, api::EvalOptions options) {
+  return servers_[ReplicaFor(model_key)]->SubmitEvaluate(
+      model_key, std::move(rows), std::move(labels), options);
+}
+
+Status Router::Reload(const std::string& model_key) {
+  return store_->Reload(model_key);
+}
+
+std::uint64_t Router::inflight_requests() const {
+  return admission_ == nullptr ? 0 : admission_->inflight();
+}
+
+void Router::Shutdown() {
+  for (const auto& server : servers_) server->Shutdown();
+}
+
+Router::Stats Router::stats() const {
+  Stats stats;
+  stats.store = store_->stats();
+  stats.per_replica.reserve(servers_.size());
+  for (const auto& server : servers_) {
+    const MicroBatcher::Stats replica = server->stats().batcher;
+    stats.per_replica.push_back(replica);
+    stats.batcher.Add(replica);
+  }
+  return stats;
+}
+
+std::vector<double> Router::latencies_micros() const {
+  std::vector<double> all;
+  for (const auto& server : servers_) {
+    const std::vector<double> replica = server->latencies_micros();
+    all.insert(all.end(), replica.begin(), replica.end());
+  }
+  return all;
+}
+
+}  // namespace mcirbm::serve

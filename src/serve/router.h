@@ -1,0 +1,126 @@
+// serve::Router — replica sharding with admission control for the
+// serving layer.
+//
+// A Router owns N serve::Server replicas (each with its own MicroBatcher
+// and flusher thread — the unit worth replicating on a multi-socket box)
+// behind a deterministic key-hash: every model key maps to exactly one
+// replica, so one model's requests always coalesce in one batcher and
+// the routed output is bit-identical to a single Server handling the
+// same stream (pinned by tests/serve/router_test.cc at 1/2/4 replicas).
+// All replicas resolve keys through ONE shared ModelStore — an artifact
+// loaded (or Put) once serves every replica, and Reload swaps it for all
+// of them atomically.
+//
+//   serve::RouterConfig config;
+//   config.replicas = 4;
+//   config.batcher.max_pending_rows = 256;   // per-queue bound
+//   config.max_inflight_requests = 4096;     // global bound
+//   serve::Router router(config);
+//   auto features = router.Submit("encoder.mcirbm", row);   // future
+//
+// Admission control is fail-fast at both granularities: a submission
+// that would push a model's queue past max_pending_rows, or the whole
+// router past max_inflight_requests, resolves its future immediately
+// with StatusCode::kUnavailable (counted in stats as rejected_requests).
+// Overflow never blocks the caller and never drops a request silently.
+#ifndef MCIRBM_SERVE_ROUTER_H_
+#define MCIRBM_SERVE_ROUTER_H_
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/model.h"
+#include "linalg/matrix.h"
+#include "serve/micro_batcher.h"
+#include "serve/model_store.h"
+#include "serve/server.h"
+#include "util/status.h"
+
+namespace mcirbm::serve {
+
+/// Replica-sharded serving knobs.
+struct RouterConfig {
+  /// Server replicas behind the key-hash (clamped to >= 1).
+  std::size_t replicas = 1;
+  /// Global admission bound: submissions beyond this many unresolved
+  /// futures (across all replicas) are rejected with kUnavailable.
+  /// 0 = unbounded.
+  std::uint64_t max_inflight_requests = 0;
+  /// Per-replica batching policy. max_pending_rows bounds each model
+  /// queue; the admission field is overwritten by the router's shared
+  /// controller.
+  BatcherConfig batcher;
+  /// Capacity of the single ModelStore shared by every replica.
+  std::size_t store_capacity = 8;
+};
+
+/// N Servers behind a deterministic key-hash with one shared ModelStore.
+class Router {
+ public:
+  explicit Router(const RouterConfig& config = {});
+  ~Router();
+
+  Router(const Router&) = delete;
+  Router& operator=(const Router&) = delete;
+
+  /// Routes `rows` to `model_key`'s replica for a batched Transform.
+  /// Identical semantics (and bit-identical results) to Server::Submit;
+  /// overflow, unknown models, shape mismatches, and post-Shutdown
+  /// submissions resolve the future immediately with a non-OK Status.
+  std::future<StatusOr<linalg::Matrix>> Submit(const std::string& model_key,
+                                               linalg::Matrix rows);
+
+  /// Routes `rows` to `model_key`'s replica for a batched Transform,
+  /// then clusters and scores against `labels` like Model::Evaluate.
+  std::future<StatusOr<api::EvalResult>> SubmitEvaluate(
+      const std::string& model_key, linalg::Matrix rows,
+      std::vector<int> labels, api::EvalOptions options = {});
+
+  /// Hot-swaps `model_key` from disk in the shared store: one swap is
+  /// seen by every replica. In-flight batches finish on the old instance.
+  Status Reload(const std::string& model_key);
+
+  /// The model cache shared by all replicas (pre-loading, in-memory Put).
+  ModelStore& store() { return *store_; }
+
+  /// Deterministic replica index for `key` (exposed for tests and
+  /// capacity planning): FNV-1a over the key, mod replicas().
+  std::size_t ReplicaFor(const std::string& key) const;
+
+  std::size_t replicas() const { return servers_.size(); }
+
+  /// Unresolved futures currently admitted (0 when unbounded — the
+  /// gauge is only maintained when max_inflight_requests is set).
+  std::uint64_t inflight_requests() const;
+
+  /// Flushes every replica's pending requests and stops serving;
+  /// idempotent. Later submissions fail with kUnavailable.
+  void Shutdown();
+
+  /// Aggregated serving counters: the field-wise sum of every replica's
+  /// batcher stats (max for max_queue_micros) plus the shared store's
+  /// counters. `batcher.rejected_requests` counts all backpressure
+  /// rejections, both per-queue and global.
+  struct Stats {
+    MicroBatcher::Stats batcher;
+    ModelStore::Stats store;
+    std::vector<MicroBatcher::Stats> per_replica;
+  };
+  Stats stats() const;
+
+  /// Concatenated per-request queue latencies from every replica, when
+  /// BatcherConfig::record_latencies is set (bench support).
+  std::vector<double> latencies_micros() const;
+
+ private:
+  std::shared_ptr<ModelStore> store_;
+  std::shared_ptr<AdmissionController> admission_;
+  std::vector<std::unique_ptr<Server>> servers_;
+};
+
+}  // namespace mcirbm::serve
+
+#endif  // MCIRBM_SERVE_ROUTER_H_

@@ -10,17 +10,21 @@
 //     one-at-a-time calls (serve/micro_batcher.h);
 //   - serve::Server — the client-facing facade: Submit/SubmitEvaluate
 //     futures, hot reload, serving stats (serve/server.h);
+//   - serve::Router — N Server replicas behind a deterministic key-hash
+//     with one shared ModelStore and fail-fast admission control
+//     (serve/router.h);
 //   - serve::ParseRequestLine — the `mcirbm_cli serve` request-line
 //     format (serve/request.h).
 //
-// Everything fallible reports through Status/StatusOr; a shut-down
-// service rejects work with StatusCode::kUnavailable.
+// Everything fallible reports through Status/StatusOr; a shut-down or
+// overloaded service rejects work with StatusCode::kUnavailable.
 #ifndef MCIRBM_SERVE_SERVE_H_
 #define MCIRBM_SERVE_SERVE_H_
 
 #include "serve/micro_batcher.h"
 #include "serve/model_store.h"
 #include "serve/request.h"
+#include "serve/router.h"
 #include "serve/server.h"
 
 #endif  // MCIRBM_SERVE_SERVE_H_

@@ -16,13 +16,18 @@ std::future<StatusOr<T>> FailedFuture(Status status) {
 }  // namespace
 
 Server::Server(const ServerConfig& config)
-    : store_(config.store_capacity), batcher_(config.batcher) {}
+    : store_(std::make_shared<ModelStore>(config.store_capacity)),
+      batcher_(config.batcher) {}
+
+Server::Server(const BatcherConfig& batcher,
+               std::shared_ptr<ModelStore> store)
+    : store_(std::move(store)), batcher_(batcher) {}
 
 Server::~Server() { Shutdown(); }
 
 std::future<StatusOr<linalg::Matrix>> Server::Submit(
     const std::string& model_key, linalg::Matrix rows) {
-  auto model = store_.Get(model_key);
+  auto model = store_->Get(model_key);
   if (!model.ok()) return FailedFuture<linalg::Matrix>(model.status());
   return batcher_.SubmitTransform(std::move(model).value(), model_key,
                                   std::move(rows));
@@ -31,7 +36,7 @@ std::future<StatusOr<linalg::Matrix>> Server::Submit(
 std::future<StatusOr<api::EvalResult>> Server::SubmitEvaluate(
     const std::string& model_key, linalg::Matrix rows,
     std::vector<int> labels, api::EvalOptions options) {
-  auto model = store_.Get(model_key);
+  auto model = store_->Get(model_key);
   if (!model.ok()) return FailedFuture<api::EvalResult>(model.status());
   return batcher_.SubmitEvaluate(std::move(model).value(), model_key,
                                  std::move(rows), std::move(labels),
@@ -39,13 +44,13 @@ std::future<StatusOr<api::EvalResult>> Server::SubmitEvaluate(
 }
 
 Status Server::Reload(const std::string& model_key) {
-  return store_.Reload(model_key);
+  return store_->Reload(model_key);
 }
 
 void Server::Shutdown() { batcher_.Shutdown(); }
 
 Server::Stats Server::stats() const {
-  return Stats{batcher_.stats(), store_.stats()};
+  return Stats{batcher_.stats(), store_->stats()};
 }
 
 }  // namespace mcirbm::serve

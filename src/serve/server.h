@@ -20,6 +20,7 @@
 
 #include <cstdint>
 #include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -41,6 +42,11 @@ struct ServerConfig {
 class Server {
  public:
   explicit Server(const ServerConfig& config = {});
+  /// Replica form (serve::Router): this server batches independently but
+  /// resolves model keys through `store`, shared with its sibling
+  /// replicas so an artifact loaded once serves all of them. `store`
+  /// must not be null and must outlive the server.
+  Server(const BatcherConfig& batcher, std::shared_ptr<ModelStore> store);
   ~Server();
 
   Server(const Server&) = delete;
@@ -65,8 +71,9 @@ class Server {
   /// against; later submissions see the new one.
   Status Reload(const std::string& model_key);
 
-  /// The model cache, exposed for pre-loading and in-memory Put.
-  ModelStore& store() { return store_; }
+  /// The model cache, exposed for pre-loading and in-memory Put. Shared
+  /// with the other replicas when the server sits behind a Router.
+  ModelStore& store() { return *store_; }
 
   /// Flushes pending requests and stops serving; idempotent.
   void Shutdown();
@@ -86,7 +93,7 @@ class Server {
   }
 
  private:
-  ModelStore store_;
+  std::shared_ptr<ModelStore> store_;  // possibly shared across replicas
   MicroBatcher batcher_;
 };
 

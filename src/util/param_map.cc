@@ -69,6 +69,19 @@ StatusOr<int> ParamMap::GetInt(const std::string& key, int fallback) const {
   return v;
 }
 
+StatusOr<std::uint64_t> ParamMap::GetUint64(const std::string& key,
+                                            std::uint64_t fallback) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  std::uint64_t v = 0;
+  if (!ParseUint64(it->second, &v)) {
+    return Status::ParseError("parameter '" + key +
+                              "' expects an unsigned 64-bit integer, got '" +
+                              it->second + "'");
+  }
+  return v;
+}
+
 StatusOr<double> ParamMap::GetDouble(const std::string& key,
                                      double fallback) const {
   const auto it = values_.find(key);

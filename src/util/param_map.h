@@ -8,6 +8,7 @@
 #ifndef MCIRBM_UTIL_PARAM_MAP_H_
 #define MCIRBM_UTIL_PARAM_MAP_H_
 
+#include <cstdint>
 #include <initializer_list>
 #include <map>
 #include <string>
@@ -59,6 +60,9 @@ class ParamMap {
   StatusOr<std::string> GetString(const std::string& key,
                                   const std::string& fallback) const;
   StatusOr<int> GetInt(const std::string& key, int fallback) const;
+  /// Full 64-bit unsigned range (seeds); rejects signs and overflow.
+  StatusOr<std::uint64_t> GetUint64(const std::string& key,
+                                    std::uint64_t fallback) const;
   StatusOr<double> GetDouble(const std::string& key, double fallback) const;
   /// Accepts true/false, 1/0, on/off, yes/no (case-insensitive).
   StatusOr<bool> GetBool(const std::string& key, bool fallback) const;

@@ -1,6 +1,7 @@
 #include "util/string_util.h"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -79,6 +80,19 @@ bool ParseInt(const std::string& s, int* out) {
   const long v = std::strtol(t.c_str(), &end, 10);
   if (end != t.c_str() + t.size()) return false;
   *out = static_cast<int>(v);
+  return true;
+}
+
+bool ParseUint64(const std::string& s, std::uint64_t* out) {
+  const std::string t = Trim(s);
+  // strtoull silently negates "-1" instead of failing; reject any sign
+  // (a '+' would also survive round-tripping oddly) up front.
+  if (t.empty() || t[0] == '-' || t[0] == '+') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(t.c_str(), &end, 10);
+  if (end != t.c_str() + t.size() || errno == ERANGE) return false;
+  *out = static_cast<std::uint64_t>(v);
   return true;
 }
 

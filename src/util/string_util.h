@@ -2,6 +2,7 @@
 #ifndef MCIRBM_UTIL_STRING_UTIL_H_
 #define MCIRBM_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,10 @@ bool ParseDouble(const std::string& s, double* out);
 
 /// Parses an int; returns false on any trailing garbage or empty input.
 bool ParseInt(const std::string& s, int* out);
+
+/// Parses an unsigned 64-bit integer; returns false on empty input,
+/// trailing garbage, a leading '-', or a value above 2^64 - 1.
+bool ParseUint64(const std::string& s, std::uint64_t* out);
 
 /// Reads an entire text file; IoError when it cannot be opened or read.
 StatusOr<std::string> ReadFileToString(const std::string& path);

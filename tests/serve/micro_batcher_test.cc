@@ -4,10 +4,12 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstring>
 #include <future>
 #include <memory>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -165,6 +167,208 @@ TEST_F(MicroBatcherTest, ModelSwapMidQueueSealsTheOldBatch) {
   EXPECT_TRUE(new_features.value().AllClose(
       other->Transform(RowOf(ds_.x, 0)).value(), 0));
   EXPECT_EQ(batcher.stats().batches, 2u);
+}
+
+TEST_F(MicroBatcherTest, SwapFlushIsAttributedAsSwapNotDeadline) {
+  // Regression: batches sealed by a mid-queue hot swap hit neither the
+  // size cap nor the deadline and used to be miscounted as
+  // deadline_flushes.
+  auto other = TrainShared(ds_.x, core::ModelKind::kGrbm, 77);
+  BatcherConfig config;
+  config.max_batch_rows = 100;           // nothing flushes by row count
+  config.max_queue_micros = 60'000'000;  // nor by deadline
+  MicroBatcher batcher(config);
+  auto old_instance = batcher.SubmitTransform(model_, "m", RowOf(ds_.x, 0));
+  auto new_instance = batcher.SubmitTransform(other, "m", RowOf(ds_.x, 1));
+  ASSERT_TRUE(old_instance.get().ok());  // sealed batch flushes at once
+  batcher.Shutdown();                    // fresh queue drains on shutdown
+  ASSERT_TRUE(new_instance.get().ok());
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.swap_flushes, 1u);
+  EXPECT_EQ(stats.deadline_flushes, 1u);  // only the shutdown drain
+  EXPECT_EQ(stats.full_flushes, 0u);
+}
+
+TEST_F(MicroBatcherTest, OversizedSealedQueueIsSplitToRespectTheCap) {
+  // Regression: a sealed queue used to flush as ONE batch even when its
+  // pending rows exceeded max_batch_rows. Park the flusher inside a long
+  // pass on another key, pile up 6 rows (cap 4) behind it, then hot-swap:
+  // the seal must produce two capped batches, not one 6-row pass.
+  auto other = TrainShared(ds_.x, core::ModelKind::kGrbm, 77);
+  BatcherConfig config;
+  config.max_batch_rows = 4;
+  config.max_queue_micros = 60'000'000;
+  MicroBatcher batcher(config);
+  // A 20000-row oversized request: admitted whole, flushed immediately
+  // as one full batch the flusher spends a long time executing.
+  linalg::Matrix big(20000, ds_.x.cols());
+  for (std::size_t r = 0; r < big.rows(); ++r) {
+    std::memcpy(big.data() + r * big.cols(),
+                ds_.x.data() + (r % ds_.x.rows()) * ds_.x.cols(),
+                big.cols() * sizeof(double));
+  }
+  auto slow = batcher.SubmitTransform(model_, "slow", std::move(big));
+  // Wait until the flusher has detached the slow batch for execution.
+  while (batcher.pending_queues() != 0) {
+    std::this_thread::yield();
+  }
+  // 3 + 3 pending rows on "m" (> cap; the flusher is busy), then swap.
+  linalg::Matrix first(3, ds_.x.cols());
+  std::memcpy(first.data(), ds_.x.data(), first.size() * sizeof(double));
+  linalg::Matrix second(3, ds_.x.cols());
+  std::memcpy(second.data(), ds_.x.data() + 3 * ds_.x.cols(),
+              second.size() * sizeof(double));
+  auto a = batcher.SubmitTransform(model_, "m", std::move(first));
+  auto b = batcher.SubmitTransform(model_, "m", std::move(second));
+  auto c = batcher.SubmitTransform(other, "m", RowOf(ds_.x, 6));
+  ASSERT_TRUE(slow.get().ok());
+  ASSERT_TRUE(a.get().ok());
+  ASSERT_TRUE(b.get().ok());
+  batcher.Shutdown();
+  ASSERT_TRUE(c.get().ok());
+  const MicroBatcher::Stats stats = batcher.stats();
+  // slow (full) + the two 3-row requests as two capped batches (sealed
+  // by the swap in the expected interleaving; as regular full flushes in
+  // the unlikely one where the flusher finishes the slow pass first —
+  // either way the 6 rows must NOT form one over-cap batch, which would
+  // make this 3 batches) + the fresh queue's shutdown drain.
+  EXPECT_EQ(stats.batches, 4u);
+  EXPECT_EQ(stats.full_flushes + stats.swap_flushes, 3u);
+  EXPECT_EQ(stats.deadline_flushes, 1u);
+  EXPECT_EQ(stats.batched_rows, 20000u + 7u);
+}
+
+TEST_F(MicroBatcherTest, PerQueueOverflowRejectsFastWithUnavailable) {
+  BatcherConfig config;
+  config.max_batch_rows = 100;
+  config.max_queue_micros = 60'000'000;
+  config.max_pending_rows = 1;
+  MicroBatcher batcher(config);
+  auto admitted = batcher.SubmitTransform(model_, "m", RowOf(ds_.x, 0));
+  // Queue full: the next submission must resolve immediately (never
+  // block) with kUnavailable.
+  auto rejected = batcher.SubmitTransform(model_, "m", RowOf(ds_.x, 1));
+  ASSERT_EQ(rejected.wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  auto rejection = rejected.get();
+  ASSERT_FALSE(rejection.ok());
+  EXPECT_EQ(rejection.status().code(), StatusCode::kUnavailable);
+  // Another key is unaffected by "m"'s backpressure (both pending
+  // requests drain on Shutdown — nothing else can flush them here).
+  auto elsewhere = batcher.SubmitTransform(model_, "other", RowOf(ds_.x, 2));
+  batcher.Shutdown();
+  ASSERT_TRUE(elsewhere.get().ok());
+  ASSERT_TRUE(admitted.get().ok());
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.rejected_requests, 1u);
+  EXPECT_EQ(stats.requests, 2u);  // rejected submissions are not counted
+}
+
+TEST_F(MicroBatcherTest, SealedRowsStillCountAgainstTheBackpressureBound) {
+  // Regression: rows sealed into a swap batch used to vanish from the
+  // max_pending_rows accounting, so a Reload-heavy client could grow
+  // sealed work without bound. Park the flusher on a long pass so the
+  // sealed batch cannot be claimed, then verify the bound still holds.
+  auto other = TrainShared(ds_.x, core::ModelKind::kGrbm, 77);
+  BatcherConfig config;
+  config.max_batch_rows = 100;
+  config.max_queue_micros = 60'000'000;
+  config.max_pending_rows = 4;
+  MicroBatcher batcher(config);
+  linalg::Matrix big(20000, ds_.x.cols());
+  for (std::size_t r = 0; r < big.rows(); ++r) {
+    std::memcpy(big.data() + r * big.cols(),
+                ds_.x.data() + (r % ds_.x.rows()) * ds_.x.cols(),
+                big.cols() * sizeof(double));
+  }
+  auto slow = batcher.SubmitTransform(model_, "slow", std::move(big));
+  while (batcher.pending_queues() != 0) {
+    std::this_thread::yield();
+  }
+  // 3 rows pending on the old instance, swap-sealed by a 1-row submit on
+  // the new one: 3 sealed + 1 pending rows now held against the bound.
+  linalg::Matrix three(3, ds_.x.cols());
+  std::memcpy(three.data(), ds_.x.data(), three.size() * sizeof(double));
+  auto old_rows = batcher.SubmitTransform(model_, "m", std::move(three));
+  auto fresh = batcher.SubmitTransform(other, "m", RowOf(ds_.x, 3));
+  auto overflow = batcher.SubmitTransform(other, "m", RowOf(ds_.x, 4));
+  if (overflow.wait_for(std::chrono::seconds(0)) !=
+      std::future_status::ready) {
+    // Admission is only legitimate if the flusher won the (tiny) race
+    // and claimed the sealed batch first, releasing its rows. The claim
+    // and its swap_flushes increment happen under the batcher lock
+    // before any later Enqueue, so a zero counter here means the rows
+    // were still held — i.e. the bound was bypassed.
+    EXPECT_GE(batcher.stats().swap_flushes, 1u)
+        << "submission admitted while sealed rows were still held";
+    GTEST_SKIP() << "flusher claimed the sealed batch first";
+  }
+  auto rejection = overflow.get();
+  ASSERT_FALSE(rejection.ok());
+  EXPECT_EQ(rejection.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(batcher.stats().rejected_requests, 1u);
+  batcher.Shutdown();
+  ASSERT_TRUE(slow.get().ok());
+  ASSERT_TRUE(old_rows.get().ok());
+  ASSERT_TRUE(fresh.get().ok());
+}
+
+TEST_F(MicroBatcherTest, RejectedSubmissionLeavesNoEmptyQueueBehind) {
+  // Regression: a global-admission rejection on a never-seen key must
+  // not leak an empty Queue entry for the flusher to scan forever.
+  BatcherConfig config;
+  config.max_batch_rows = 100;
+  config.max_queue_micros = 60'000'000;
+  config.admission = std::make_shared<AdmissionController>(1);
+  MicroBatcher batcher(config);
+  auto admitted = batcher.SubmitTransform(model_, "a", RowOf(ds_.x, 0));
+  auto rejected =
+      batcher.SubmitTransform(model_, "fresh-key", RowOf(ds_.x, 1)).get();
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable);
+  EXPECT_EQ(batcher.pending_queues(), 1u);  // only "a" — no "fresh-key"
+  batcher.Shutdown();
+  ASSERT_TRUE(admitted.get().ok());
+  EXPECT_EQ(batcher.stats().rejected_requests, 1u);
+}
+
+TEST_F(MicroBatcherTest, OversizedFirstRequestIsAlwaysAdmitted) {
+  BatcherConfig config;
+  config.max_pending_rows = 2;
+  MicroBatcher batcher(config);
+  linalg::Matrix all = ds_.x;  // 32 rows >> max_pending_rows
+  auto features = batcher.SubmitTransform(model_, "m", std::move(all)).get();
+  ASSERT_TRUE(features.ok()) << features.status().ToString();
+  EXPECT_EQ(batcher.stats().rejected_requests, 0u);
+}
+
+TEST_F(MicroBatcherTest, ReloadThenShutdownResolvesEveryFutureExactlyOnce) {
+  // Interleaving from the issue: a hot swap immediately followed by
+  // Shutdown. The sealed old-instance batch and the fresh queue must
+  // both flush — every pending future resolves exactly once, on the
+  // instance it was submitted against. (A double resolution would abort
+  // on the promise; an abandoned one would hang the .get() forever.)
+  auto other = TrainShared(ds_.x, core::ModelKind::kGrbm, 77);
+  BatcherConfig config;
+  config.max_batch_rows = 100;
+  config.max_queue_micros = 60'000'000;
+  MicroBatcher batcher(config);
+  auto old_instance = batcher.SubmitTransform(model_, "m", RowOf(ds_.x, 0));
+  auto new_instance = batcher.SubmitTransform(other, "m", RowOf(ds_.x, 1));
+  batcher.Shutdown();  // immediately — no wait for the sealed flush
+  auto old_features = old_instance.get();
+  ASSERT_TRUE(old_features.ok()) << old_features.status().ToString();
+  EXPECT_TRUE(old_features.value().AllClose(
+      model_->Transform(RowOf(ds_.x, 0)).value(), 0));
+  auto new_features = new_instance.get();
+  ASSERT_TRUE(new_features.ok()) << new_features.status().ToString();
+  EXPECT_TRUE(new_features.value().AllClose(
+      other->Transform(RowOf(ds_.x, 1)).value(), 0));
+  const MicroBatcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.batches, 2u);
+  EXPECT_EQ(stats.batched_rows, 2u);
+  EXPECT_EQ(stats.swap_flushes, 1u);
 }
 
 TEST_F(MicroBatcherTest, DrainedQueuesAreDropped) {

@@ -45,6 +45,53 @@ TEST(ParseRequestLineTest, RejectsMalformedLines) {
   EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(ParseRequestLineTest, ParsesSeedsAcrossTheFullUint64Range) {
+  // Regression: seed used to funnel through a 31-bit int, rejecting any
+  // valid seed >= 2^31.
+  auto wide = ParseRequestLine(
+      "op=evaluate model=m data=d seed=2147483648");
+  ASSERT_TRUE(wide.ok()) << wide.status().ToString();
+  EXPECT_EQ(wide.value().seed, 2147483648ull);
+  auto max = ParseRequestLine(
+      "op=evaluate model=m data=d seed=18446744073709551615");
+  ASSERT_TRUE(max.ok()) << max.status().ToString();
+  EXPECT_EQ(max.value().seed, 18446744073709551615ull);
+  // Out of range / malformed seeds are rejected, not wrapped.
+  EXPECT_FALSE(ParseRequestLine(
+      "op=evaluate model=m data=d seed=18446744073709551616").ok());
+  EXPECT_FALSE(ParseRequestLine("op=evaluate model=m data=d seed=-1").ok());
+  EXPECT_FALSE(ParseRequestLine("op=evaluate model=m data=d seed=+3").ok());
+  EXPECT_FALSE(ParseRequestLine("op=evaluate model=m data=d seed=1.5").ok());
+}
+
+TEST(ParseRequestLineTest, ParsesQuotedValuesWithSpaces) {
+  auto request = ParseRequestLine(
+      "op=transform model=\"my models/enc v2.mcirbm\" "
+      "data=\"data files/my file.csv\" out=\"out dir/features.csv\"");
+  ASSERT_TRUE(request.ok()) << request.status().ToString();
+  EXPECT_EQ(request.value().model, "my models/enc v2.mcirbm");
+  EXPECT_EQ(request.value().data, "data files/my file.csv");
+  EXPECT_EQ(request.value().out, "out dir/features.csv");
+  // Quoting is optional for values without spaces and mixes freely with
+  // bare values.
+  auto mixed = ParseRequestLine(
+      "op=transform model=\"m.txt\" data=d.csv chunk=2");
+  ASSERT_TRUE(mixed.ok()) << mixed.status().ToString();
+  EXPECT_EQ(mixed.value().model, "m.txt");
+  EXPECT_EQ(mixed.value().chunk, 2u);
+}
+
+TEST(ParseRequestLineTest, RejectsUnterminatedOrMalformedQuotes) {
+  auto unterminated =
+      ParseRequestLine("op=transform model=m data=\"my file.csv");
+  ASSERT_FALSE(unterminated.ok());
+  EXPECT_EQ(unterminated.status().code(), StatusCode::kParseError);
+  // Garbage immediately after the closing quote is an error, not
+  // silently glued or dropped.
+  EXPECT_FALSE(
+      ParseRequestLine("op=transform model=m data=\"d.csv\"x").ok());
+}
+
 TEST(ParseRequestLineTest, RejectsBadValues) {
   EXPECT_FALSE(ParseRequestLine("op=delete model=m data=d").ok());
   EXPECT_FALSE(ParseRequestLine("op=transform data=d").ok());  // no model

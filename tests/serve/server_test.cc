@@ -122,6 +122,43 @@ TEST_F(ServerTest, ReloadKeepsServingIdenticalArtifact) {
   EXPECT_EQ(server.stats().store.reloads, 1u);
 }
 
+TEST_F(ServerTest, ReloadThenShutdownResolvesQueuedAndFreshExactlyOnce) {
+  // Hot swap racing shutdown: a request queued against the old instance,
+  // a Reload that swaps the artifact, a request on the new instance
+  // (sealing the old queue), then an immediate Shutdown. Both futures
+  // must resolve exactly once, each on the instance it was submitted
+  // against.
+  ServerConfig config;
+  config.batcher.max_batch_rows = 100;           // only Shutdown flushes
+  config.batcher.max_queue_micros = 60'000'000;
+  Server server(config);
+  auto queued = server.Submit(path_, RowOf(ds_.x, 0));
+  // Replace the artifact on disk with a differently-seeded model so the
+  // two instances are distinguishable by their outputs.
+  core::PipelineConfig model_config;
+  model_config.model = core::ModelKind::kGrbm;
+  model_config.rbm.num_hidden = 5;
+  model_config.rbm.epochs = 2;
+  model_config.rbm.batch_size = 10;
+  auto swapped = api::Model::Train(ds_.x, model_config, 77);
+  ASSERT_TRUE(swapped.ok());
+  const linalg::Matrix swapped_reference =
+      swapped.value().Transform(ds_.x).value();
+  ASSERT_TRUE(swapped.value().Save(path_).ok());
+  ASSERT_TRUE(server.Reload(path_).ok());
+  auto fresh = server.Submit(path_, RowOf(ds_.x, 1));
+  server.Shutdown();
+  auto old_features = queued.get();
+  ASSERT_TRUE(old_features.ok()) << old_features.status().ToString();
+  EXPECT_TRUE(old_features.value().AllClose(RowOf(reference_, 0), 0));
+  auto new_features = fresh.get();
+  ASSERT_TRUE(new_features.ok()) << new_features.status().ToString();
+  EXPECT_TRUE(new_features.value().AllClose(RowOf(swapped_reference, 1), 0));
+  const Server::Stats stats = server.stats();
+  EXPECT_EQ(stats.batcher.batches, 2u);
+  EXPECT_EQ(stats.batcher.swap_flushes, 1u);
+}
+
 TEST_F(ServerTest, ServesInMemoryModelsViaStorePut) {
   Server server;
   auto model = api::Model::Load(path_);

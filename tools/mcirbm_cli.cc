@@ -26,6 +26,7 @@
 //       --standardize --clusterer kmeans
 //   mcirbm_cli pipeline --config run.cfg
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <deque>
 #include <fstream>
@@ -36,6 +37,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -487,33 +489,87 @@ class ServeDatasetCache {
   std::deque<std::string> order_;
 };
 
+// Client-side backpressure policy for the serve loop: a submission
+// rejected with kUnavailable (queue or inflight overflow) is retried
+// after the oldest outstanding future drains — the natural response to
+// admission control, and since this loop is the router's only client the
+// pressure always clears. The retry cap turns a logic error (e.g. a
+// bound no single request can ever fit under) into a failed request
+// instead of a hung CLI.
+constexpr int kMaxOverflowRetries = 100000;
+constexpr std::chrono::microseconds kOverflowBackoff(100);
+
 // op=transform: submits the dataset in `chunk`-row requests (default one
 // row each — the micro-batcher coalesces them back into batched passes),
 // reassembles the feature rows in order, and prints one response line.
-Status ServeTransform(serve::Server* server, const serve::Request& request,
+Status ServeTransform(serve::Router* router, const serve::Request& request,
                       const data::Dataset& ds) {
   const std::size_t rows = ds.x.rows();
   const std::size_t cols = ds.x.cols();
-  std::vector<std::future<StatusOr<linalg::Matrix>>> futures;
-  for (std::size_t begin = 0; begin < rows; begin += request.chunk) {
-    const std::size_t end = std::min(begin + request.chunk, rows);
-    linalg::Matrix slice(end - begin, cols);
-    std::copy_n(ds.x.data() + begin * cols, slice.size(), slice.data());
-    futures.push_back(server->Submit(request.model, std::move(slice)));
-  }
-  linalg::Matrix features;
-  std::size_t offset = 0;
-  for (auto& future : futures) {
+  const std::size_t num_chunks = (rows + request.chunk - 1) / request.chunk;
+  std::vector<linalg::Matrix> parts(num_chunks);
+  // Chunks accepted but not yet resolved, oldest first.
+  std::deque<std::pair<std::size_t, std::future<StatusOr<linalg::Matrix>>>>
+      outstanding;
+  auto resolve_oldest = [&]() -> Status {
+    auto [index, future] = std::move(outstanding.front());
+    outstanding.pop_front();
     auto part = future.get();
     if (!part.ok()) return part.status();
-    if (features.empty()) features.Resize(rows, part.value().cols());
-    std::copy_n(part.value().data(), part.value().size(),
+    parts[index] = std::move(part).value();
+    return Status::Ok();
+  };
+
+  int retries = 0;
+  std::size_t chunk_index = 0;
+  for (std::size_t begin = 0; begin < rows;
+       begin += request.chunk, ++chunk_index) {
+    const std::size_t end = std::min(begin + request.chunk, rows);
+    for (;;) {
+      linalg::Matrix slice(end - begin, cols);
+      std::copy_n(ds.x.data() + begin * cols, slice.size(), slice.data());
+      auto future = router->Submit(request.model, std::move(slice));
+      if (future.wait_for(std::chrono::seconds(0)) !=
+          std::future_status::ready) {
+        outstanding.emplace_back(chunk_index, std::move(future));
+        break;
+      }
+      // Already resolved: either a fast completion, a rejection to retry,
+      // or a real error.
+      auto result = future.get();
+      if (result.ok()) {
+        parts[chunk_index] = std::move(result).value();
+        break;
+      }
+      if (result.status().code() != StatusCode::kUnavailable ||
+          ++retries > kMaxOverflowRetries) {
+        return result.status();
+      }
+      if (outstanding.empty()) {
+        std::this_thread::sleep_for(kOverflowBackoff);
+      } else {
+        const Status drained = resolve_oldest();
+        if (!drained.ok()) return drained;
+      }
+    }
+  }
+  while (!outstanding.empty()) {
+    const Status drained = resolve_oldest();
+    if (!drained.ok()) return drained;
+  }
+
+  linalg::Matrix features;
+  std::size_t offset = 0;
+  for (linalg::Matrix& part : parts) {
+    if (features.empty()) features.Resize(rows, part.cols());
+    std::copy_n(part.data(), part.size(),
                 features.data() + offset * features.cols());
-    offset += part.value().rows();
+    offset += part.rows();
   }
   std::cout << "ok op=transform model=" << request.model
             << " data=" << request.data << " rows=" << features.rows()
-            << " cols=" << features.cols() << " requests=" << futures.size()
+            << " cols=" << features.cols() << " requests=" << num_chunks
+            << " retries=" << retries
             << " sum=" << FormatDouble(features.Sum(), 6) << std::endl;
   if (!request.out.empty()) {
     data::Dataset out_ds = ds;
@@ -527,14 +583,24 @@ Status ServeTransform(serve::Server* server, const serve::Request& request,
 
 // op=evaluate: one request carrying the whole dataset (clustering is a
 // whole-set operation); its rows still join the shared batched pass.
-Status ServeEvaluate(serve::Server* server, const serve::Request& request,
+Status ServeEvaluate(serve::Router* router, const serve::Request& request,
                      const data::Dataset& ds) {
   api::EvalOptions options;
   options.clusterer = request.clusterer;
   options.k = request.k;
   options.seed = request.seed;
-  auto result =
-      server->SubmitEvaluate(request.model, ds.x, ds.labels, options).get();
+  StatusOr<api::EvalResult> result = Status::Unavailable("not submitted");
+  for (int retries = 0;; ++retries) {
+    result =
+        router->SubmitEvaluate(request.model, ds.x, ds.labels, options)
+            .get();
+    if (result.ok() ||
+        result.status().code() != StatusCode::kUnavailable ||
+        retries >= kMaxOverflowRetries) {
+      break;
+    }
+    std::this_thread::sleep_for(kOverflowBackoff);
+  }
   if (!result.ok()) return result.status();
   const metrics::MetricBundle& m = result.value().metrics;
   std::cout << "ok op=evaluate model=" << request.model
@@ -553,19 +619,30 @@ Status ServeEvaluate(serve::Server* server, const serve::Request& request,
 int RunServe(const Args& args) {
   const Status valid = args.Validate({"requests", "max-batch-rows",
                                       "max-queue-micros", "store-capacity",
-                                      "threads"});
+                                      "replicas", "max-pending",
+                                      "max-inflight", "threads"});
   if (!valid.ok()) return Fail(valid);
-  serve::ServerConfig config;
+  serve::RouterConfig config;
   const int max_batch_rows = args.GetInt("max-batch-rows", 64);
   const int max_queue_micros = args.GetInt("max-queue-micros", 200);
   const int store_capacity = args.GetInt("store-capacity", 8);
+  const int replicas = args.GetInt("replicas", 1);
+  const int max_pending = args.GetInt("max-pending", 0);
+  const int max_inflight = args.GetInt("max-inflight", 0);
   if (max_batch_rows < 1) return Fail("--max-batch-rows must be >= 1");
   if (max_queue_micros < 0) return Fail("--max-queue-micros must be >= 0");
   if (store_capacity < 1) return Fail("--store-capacity must be >= 1");
+  if (replicas < 1) return Fail("--replicas must be >= 1");
+  if (max_pending < 0) return Fail("--max-pending must be >= 0");
+  if (max_inflight < 0) return Fail("--max-inflight must be >= 0");
   config.batcher.max_batch_rows =
       static_cast<std::size_t>(max_batch_rows);
   config.batcher.max_queue_micros = max_queue_micros;
+  config.batcher.max_pending_rows = static_cast<std::size_t>(max_pending);
   config.store_capacity = static_cast<std::size_t>(store_capacity);
+  config.replicas = static_cast<std::size_t>(replicas);
+  config.max_inflight_requests =
+      static_cast<std::uint64_t>(max_inflight);
 
   std::ifstream file;
   std::istream* in = &std::cin;
@@ -578,7 +655,7 @@ int RunServe(const Args& args) {
     in = &file;
   }
 
-  serve::Server server(config);
+  serve::Router server(config);
   ServeDatasetCache datasets;
   std::string line;
   int line_no = 0;
@@ -617,9 +694,11 @@ int RunServe(const Args& args) {
     }
   }
   server.Shutdown();
-  const serve::Server::Stats stats = server.stats();
+  const serve::Router::Stats stats = server.stats();
   std::cout << "# served=" << served << " failed=" << failures
+            << " replicas=" << server.replicas()
             << " requests=" << stats.batcher.requests
+            << " rejected=" << stats.batcher.rejected_requests
             << " batches=" << stats.batcher.batches << " mean_batch_rows="
             << FormatDouble(stats.batcher.MeanBatchRows(), 2)
             << " mean_queue_micros="
@@ -671,10 +750,14 @@ void PrintUsage() {
       "             [--features-out <csv>] [--seed N]\n"
       "  serve      [--requests <file>|-] [--max-batch-rows N]\n"
       "             [--max-queue-micros N] [--store-capacity N]\n"
+      "             [--replicas N] [--max-pending ROWS] [--max-inflight N]\n"
       "             one key=value request per line (op=transform|evaluate\n"
       "             model=<artifact> data=<csv> [transform=...] [chunk=N]\n"
-      "             [clusterer=...] [k=K] [seed=N] [out=<csv>]); responses\n"
-      "             stream to stdout, '# ...' stats line at EOF\n"
+      "             [clusterer=...] [k=K] [seed=N] [out=<csv>]; quote\n"
+      "             values with spaces: data=\"my file.csv\"); responses\n"
+      "             stream to stdout, '# ...' stats line at EOF;\n"
+      "             overflow beyond --max-pending/--max-inflight rejects\n"
+      "             fast with kUnavailable (reported as rejected=)\n"
       "\n"
       "pipeline config keys: see src/api/config.h (key = value lines;\n"
       "model, rbm.*, sls.*, supervision.*, parallel.*, data.*, eval.*,\n"
