@@ -5,7 +5,11 @@
 // store; client threads then hammer the Server with single-row Transform
 // requests. The sweep crosses batch size (max_batch_rows 1 = no
 // coalescing, i.e. one-row-at-a-time passes, vs 8/32/128) with pool
-// width 1/2/4/8 and reports requests/sec plus p50/p95 queue latency.
+// width 1/2/4/8 and reports requests/sec plus p50/p95/p99 queue latency
+// derived from the serving layer's own obs histograms (the same
+// serve_queue_wait_micros series op=stats exposes), merged across model
+// keys — so the bench exercises the production metrics path instead of a
+// bench-only latency vector.
 // A second sweep (serve_replicas1/2/4) fixes the batch size at 32 and
 // scales the Router's replica count instead, spreading requests over 16
 // model keys so the key-hash actually shards — the number to watch on a
@@ -14,7 +18,7 @@
 // Output is the same JSON shape as bench/parallel_scaling.cc — a
 // top-level {"hardware_threads", "kernels": [{"name", "n", "results":
 // [{"threads", "seconds", "speedup", ...}]}]} document — with serving
-// extras (rps, p50/p95 queue micros, mean batch rows) on each result, so
+// extras (rps, p50/p95/p99 queue micros, mean batch rows) on each result, so
 // CI uploads it alongside the scaling artifact and trajectory tooling
 // can parse both with one reader. The serving win to look for: at
 // MCIRBM_THREADS >= 2, the serve_batch8/32/128 kernels should beat
@@ -37,6 +41,7 @@
 
 #include "api/api.h"
 #include "data/synthetic.h"
+#include "obs/registry.h"
 #include "parallel/thread_pool.h"
 #include "serve/serve.h"
 #include "util/timer.h"
@@ -56,16 +61,19 @@ struct Result {
   double rps = 0;
   double p50_micros = 0;
   double p95_micros = 0;
+  double p99_micros = 0;
   double mean_batch_rows = 0;
 };
 
-double Percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0;
-  std::sort(values.begin(), values.end());
-  const std::size_t index = std::min(
-      values.size() - 1,
-      static_cast<std::size_t>(p * static_cast<double>(values.size())));
-  return values[index];
+// Folds every serve_queue_wait_micros series (one per model key) into a
+// single histogram snapshot — quantiles of the merge are quantiles of
+// the whole request stream.
+obs::Histogram::Snapshot MergedQueueWait(const obs::MetricsSnapshot& snap) {
+  obs::Histogram::Snapshot merged;
+  for (const auto& [key, histogram] : snap.histograms) {
+    if (key.first == "serve_queue_wait_micros") merged.Merge(histogram);
+  }
+  return merged;
 }
 
 linalg::Matrix RowOf(const linalg::Matrix& x, std::size_t r) {
@@ -89,7 +97,6 @@ Result Measure(const std::string& model_path, const linalg::Matrix& x,
     serve::ServerConfig config;
     config.batcher.max_batch_rows = max_batch_rows;
     config.batcher.max_queue_micros = 200;
-    config.batcher.record_latencies = true;
     serve::Server server(config);
     if (!server.store().Get(model_path).ok()) std::abort();  // pre-warm
 
@@ -115,9 +122,11 @@ Result Measure(const std::string& model_path, const linalg::Matrix& x,
       best = seconds;
       result.seconds = seconds;
       result.rps = static_cast<double>(requests) / seconds;
-      std::vector<double> latencies = server.latencies_micros();
-      result.p50_micros = Percentile(latencies, 0.50);
-      result.p95_micros = Percentile(latencies, 0.95);
+      const obs::Histogram::Snapshot waits =
+          MergedQueueWait(server.metrics_snapshot());
+      result.p50_micros = waits.Quantile(0.50);
+      result.p95_micros = waits.Quantile(0.95);
+      result.p99_micros = waits.Quantile(0.99);
       result.mean_batch_rows = server.stats().batcher.MeanBatchRows();
     }
     server.Shutdown();
@@ -146,7 +155,6 @@ Result MeasureRouter(const std::string& model_path, const linalg::Matrix& x,
     config.replicas = replicas;
     config.batcher.max_batch_rows = 32;
     config.batcher.max_queue_micros = 200;
-    config.batcher.record_latencies = true;
     // The shared store must hold every pre-warmed key, or the LRU would
     // evict the early ones and the submit path would miss to disk.
     config.store_capacity = kRouterKeys;
@@ -179,9 +187,11 @@ Result MeasureRouter(const std::string& model_path, const linalg::Matrix& x,
       best = seconds;
       result.seconds = seconds;
       result.rps = static_cast<double>(requests) / seconds;
-      std::vector<double> latencies = router.latencies_micros();
-      result.p50_micros = Percentile(latencies, 0.50);
-      result.p95_micros = Percentile(latencies, 0.95);
+      const obs::Histogram::Snapshot waits =
+          MergedQueueWait(router.metrics_snapshot());
+      result.p50_micros = waits.Quantile(0.50);
+      result.p95_micros = waits.Quantile(0.95);
+      result.p99_micros = waits.Quantile(0.99);
       result.mean_batch_rows = router.stats().batcher.MeanBatchRows();
     }
     router.Shutdown();
@@ -202,6 +212,7 @@ void EmitKernel(const std::string& name, std::size_t n,
               << ", \"rps\": " << r.rps
               << ", \"p50_micros\": " << r.p50_micros
               << ", \"p95_micros\": " << r.p95_micros
+              << ", \"p99_micros\": " << r.p99_micros
               << ", \"mean_batch_rows\": " << r.mean_batch_rows << "}";
   }
   std::cout << "]}" << (last ? "" : ",") << "\n";

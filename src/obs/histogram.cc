@@ -1,0 +1,79 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mcirbm::obs {
+
+namespace {
+
+// 2^(1/4): four buckets per doubling.
+constexpr double kBucketRatioLog2 = 0.25;
+
+}  // namespace
+
+std::size_t Histogram::BucketFor(double value) {
+  if (!(value >= 1.0)) return 0;  // negatives and NaN clamp to bucket 0
+  const double index = 1.0 + std::floor(std::log2(value) / kBucketRatioLog2);
+  if (index >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
+  return static_cast<std::size_t>(index);
+}
+
+double Histogram::BucketUpper(std::size_t index) {
+  if (index == 0) return 1.0;
+  return std::exp2(static_cast<double>(index) * kBucketRatioLog2);
+}
+
+void Histogram::Record(double value) {
+  counts_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // CAS loop instead of std::atomic<double>::fetch_add: identical
+  // semantics, but portable to standard libraries that predate P0020.
+  double sum = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(sum, sum + value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot snap;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    snap.counts[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  snap.count = count_.load(std::memory_order_relaxed);
+  snap.sum = sum_.load(std::memory_order_relaxed);
+  return snap;
+}
+
+void Histogram::Snapshot::Merge(const Snapshot& other) {
+  for (std::size_t i = 0; i < kBuckets; ++i) counts[i] += other.counts[i];
+  count += other.count;
+  sum += other.sum;
+}
+
+double Histogram::Snapshot::Quantile(double q) const {
+  // Quantiles come from the bucket counts alone (count may briefly
+  // disagree with their sum under concurrent writers).
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Nearest-rank target, then linear interpolation inside the bucket.
+  const std::uint64_t target = std::max<std::uint64_t>(
+      1, static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(total))));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (counts[i] == 0) continue;
+    if (cumulative + counts[i] >= target) {
+      const double lower = i == 0 ? 0.0 : BucketUpper(i - 1);
+      const double upper = BucketUpper(i);
+      const double fraction = static_cast<double>(target - cumulative) /
+                              static_cast<double>(counts[i]);
+      return lower + fraction * (upper - lower);
+    }
+    cumulative += counts[i];
+  }
+  return BucketUpper(kBuckets - 1);  // unreachable: total > 0
+}
+
+}  // namespace mcirbm::obs

@@ -1,0 +1,82 @@
+// obs::Histogram — fixed log-bucketed latency histogram for the serving
+// layer's observability surface.
+//
+// Design goals, in order:
+//
+//   1. Record() is cheap and safe from any number of threads ("lock-free
+//      -ish": three relaxed/acq-rel atomic ops, no mutex, no allocation)
+//      — it sits on the micro-batcher's flush path.
+//   2. Snapshots are plain value types that merge associatively, so a
+//      Router can fold N replica histograms into one and quantiles of
+//      the merge equal quantiles of the merged traffic.
+//   3. The bucket layout is fixed at compile time: 128 buckets spaced by
+//      a factor of 2^(1/4) (~19% per bucket) covering [1us, ~1 hour),
+//      with bucket 0 catching [0, 1us) and the last bucket everything
+//      beyond. With linear interpolation inside a bucket, a quantile
+//      estimate is within one bucket width (<= ~19% relative error) of
+//      the exact order statistic — pinned by tests/obs/histogram_test.cc
+//      against exact sorts.
+//
+// Values are latencies in microseconds by convention, but nothing below
+// assumes a unit; negatives clamp to bucket 0.
+#ifndef MCIRBM_OBS_HISTOGRAM_H_
+#define MCIRBM_OBS_HISTOGRAM_H_
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace mcirbm::obs {
+
+/// Thread-safe log-bucketed histogram with mergeable snapshots.
+class Histogram {
+ public:
+  /// Bucket count. Bucket 0 holds [0, 1); bucket i >= 1 holds
+  /// [2^((i-1)/4), 2^(i/4)); the last bucket is open above.
+  static constexpr std::size_t kBuckets = 128;
+
+  Histogram() = default;
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  /// Records one observation. Safe from any thread, never blocks.
+  void Record(double value);
+
+  /// A consistent-enough copy of the counters (a snapshot taken while
+  /// writers are active may straddle a Record; each counter is itself
+  /// race-free). Plain value type: copy, merge, and query freely.
+  struct Snapshot {
+    std::array<std::uint64_t, kBuckets> counts{};
+    std::uint64_t count = 0;  ///< total observations (== sum of counts)
+    double sum = 0;           ///< sum of observed values
+
+    /// Element-wise accumulation; associative and commutative, so any
+    /// fold order over replica snapshots yields the same merge.
+    void Merge(const Snapshot& other);
+
+    /// Estimated q-quantile (q in [0, 1]) with linear interpolation
+    /// inside the target bucket. Returns 0 for an empty snapshot.
+    double Quantile(double q) const;
+
+    double Mean() const {
+      return count == 0 ? 0.0 : sum / static_cast<double>(count);
+    }
+  };
+  Snapshot snapshot() const;
+
+  /// Bucket index for `value` (exposed for tests).
+  static std::size_t BucketFor(double value);
+  /// Upper bound of bucket `index` (inclusive upper edge used for
+  /// interpolation; the last bucket reports its lower edge * 2^(1/4)).
+  static double BucketUpper(std::size_t index);
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0};  // accumulated via CAS loop (portable)
+};
+
+}  // namespace mcirbm::obs
+
+#endif  // MCIRBM_OBS_HISTOGRAM_H_

@@ -1,0 +1,23 @@
+// Umbrella header for the mcirbm observability layer.
+//
+// src/obs is a dependency-free (util-only) metrics toolkit built for the
+// serving stack but usable anywhere:
+//
+//   - obs::Counter / obs::Gauge — atomic scalar metrics (obs/metrics.h);
+//   - obs::Histogram — fixed log-bucketed latency histogram with
+//     lock-free-ish Record and mergeable snapshots (obs/histogram.h);
+//   - obs::Registry — {metric, model_key}-labeled metric collection with
+//     associatively mergeable MetricsSnapshot and a Prometheus-style
+//     RenderText exporter (obs/registry.h).
+//
+// The serve layer threads a Registry through every component; the merged
+// view is reachable via `op=stats` requests and `mcirbm_cli serve
+// --stats-every N` (see README "Observability").
+#ifndef MCIRBM_OBS_OBS_H_
+#define MCIRBM_OBS_OBS_H_
+
+#include "obs/histogram.h"
+#include "obs/metrics.h"
+#include "obs/registry.h"
+
+#endif  // MCIRBM_OBS_OBS_H_

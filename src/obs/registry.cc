@@ -1,0 +1,107 @@
+#include "obs/registry.h"
+
+#include <sstream>
+
+#include "util/string_util.h"
+
+namespace mcirbm::obs {
+
+namespace {
+
+/// `name{model="label"}` — or bare `name` when the label is empty —
+/// with an optional extra `quantile="q"` pair for histogram lines.
+void AppendSeries(std::ostringstream* out, const std::string& name,
+                  const std::string& label,
+                  const std::string& quantile = "") {
+  *out << name;
+  if (label.empty() && quantile.empty()) return;
+  *out << '{';
+  if (!label.empty()) *out << "model=\"" << label << '"';
+  if (!quantile.empty()) {
+    if (!label.empty()) *out << ',';
+    *out << "quantile=\"" << quantile << '"';
+  }
+  *out << '}';
+}
+
+/// Compact decimal: integral values print without a fractional part so
+/// counters stay counters; everything else gets three decimals.
+std::string FormatValue(double value) {
+  if (value == static_cast<double>(static_cast<long long>(value))) {
+    return std::to_string(static_cast<long long>(value));
+  }
+  return FormatDouble(value, 3);
+}
+
+}  // namespace
+
+Counter& Registry::counter(const std::string& name,
+                           const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[{name, label}];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name, const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[{name, label}];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Histogram& Registry::histogram(const std::string& name,
+                               const std::string& label) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[{name, label}];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+MetricsSnapshot Registry::snapshot() const {
+  MetricsSnapshot snap;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [key, counter] : counters_) {
+    snap.counters[key] = counter->Value();
+  }
+  for (const auto& [key, gauge] : gauges_) {
+    snap.gauges[key] = gauge->Value();
+  }
+  for (const auto& [key, histogram] : histograms_) {
+    snap.histograms[key] = histogram->snapshot();
+  }
+  return snap;
+}
+
+void MetricsSnapshot::Merge(const MetricsSnapshot& other) {
+  for (const auto& [key, value] : other.counters) counters[key] += value;
+  for (const auto& [key, value] : other.gauges) gauges[key] += value;
+  for (const auto& [key, value] : other.histograms) {
+    histograms[key].Merge(value);  // default-constructed on first sight
+  }
+}
+
+std::string MetricsSnapshot::RenderText() const {
+  std::ostringstream out;
+  for (const auto& [key, value] : counters) {
+    AppendSeries(&out, key.first, key.second);
+    out << ' ' << value << '\n';
+  }
+  for (const auto& [key, value] : gauges) {
+    AppendSeries(&out, key.first, key.second);
+    out << ' ' << FormatValue(value) << '\n';
+  }
+  for (const auto& [key, snap] : histograms) {
+    for (const char* q : {"0.5", "0.9", "0.95", "0.99"}) {
+      AppendSeries(&out, key.first, key.second, q);
+      out << ' ' << FormatValue(snap.Quantile(std::stod(q))) << '\n';
+    }
+    AppendSeries(&out, key.first + "_count", key.second);
+    out << ' ' << snap.count << '\n';
+    AppendSeries(&out, key.first + "_sum", key.second);
+    out << ' ' << FormatValue(snap.sum) << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace mcirbm::obs

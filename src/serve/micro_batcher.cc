@@ -1,9 +1,13 @@
 #include "serve/micro_batcher.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <iterator>
+#include <limits>
 #include <utility>
+
+#include "util/timer.h"
 
 namespace mcirbm::serve {
 
@@ -17,12 +21,34 @@ std::future<StatusOr<T>> FailedFuture(Status status) {
   return promise.get_future();
 }
 
+std::shared_ptr<obs::Registry> RegistryOrPrivate(
+    const std::shared_ptr<obs::Registry>& configured) {
+  return configured != nullptr ? configured
+                               : std::make_shared<obs::Registry>();
+}
+
 }  // namespace
 
 MicroBatcher::MicroBatcher(const BatcherConfig& config)
-    : config_(config), flusher_([this] { FlusherLoop(); }) {}
+    : config_(config),
+      registry_(RegistryOrPrivate(config.registry)),
+      flusher_([this] { FlusherLoop(); }) {}
 
 MicroBatcher::~MicroBatcher() { Shutdown(); }
+
+void MicroBatcher::UpdateGauges(const std::string& key) {
+  const auto queue_it = queues_.find(key);
+  const double depth =
+      queue_it == queues_.end()
+          ? 0.0
+          : static_cast<double>(queue_it->second.pending.size());
+  const auto load_it = key_loads_.find(key);
+  const double rows = load_it == key_loads_.end()
+                          ? 0.0
+                          : static_cast<double>(load_it->second);
+  registry_->gauge("serve_queue_depth", key).Set(depth);
+  registry_->gauge("serve_pending_rows", key).Set(rows);
+}
 
 Status MicroBatcher::Enqueue(
     std::shared_ptr<const api::Model> model, const std::string& key,
@@ -40,7 +66,7 @@ Status MicroBatcher::Enqueue(
         " features but model '" + key + "' expects " +
         std::to_string(model->num_visible()));
   }
-  const auto now = Clock::now();
+  const std::int64_t now = MonotonicMicros();
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (stopping_) {
@@ -63,6 +89,7 @@ Status MicroBatcher::Enqueue(
           queue_it->second.pending_rows + queue_it->second.sealed_rows;
       if (held + rows.rows() > config_.max_pending_rows) {
         ++stats_.rejected_requests;
+        registry_->counter("serve_rejected_total", key).Increment();
         return Status::Unavailable(
             "queue for model '" + key + "' is full (" +
             std::to_string(held) + " of " +
@@ -71,6 +98,7 @@ Status MicroBatcher::Enqueue(
     }
     if (config_.admission != nullptr && !config_.admission->TryAcquire()) {
       ++stats_.rejected_requests;
+      registry_->counter("serve_rejected_total", key).Increment();
       return Status::Unavailable(
           "server is at its inflight-request limit (" +
           std::to_string(config_.admission->max_inflight()) + ")");
@@ -121,13 +149,19 @@ Status MicroBatcher::Enqueue(
     }
     if (queue.pending.empty()) {
       queue.model = std::move(model);
-      queue.oldest = now;
+      queue.oldest_micros = now;
     }
     queue.pending_rows += rows.rows();
+    const std::size_t accepted_rows = rows.rows();
     queue.pending.push_back(
         Request{std::move(rows), now, std::move(complete)});
     ++stats_.requests;
-    stats_.rows += queue.pending.back().rows.rows();
+    stats_.rows += accepted_rows;
+    key_loads_[key] += accepted_rows;
+    load_.fetch_add(accepted_rows, std::memory_order_relaxed);
+    registry_->counter("serve_requests_total", key).Increment();
+    registry_->counter("serve_rows_total", key).Increment(accepted_rows);
+    UpdateGauges(key);
   }
   cv_.notify_one();
   return Status::Ok();
@@ -189,16 +223,18 @@ void MicroBatcher::Shutdown() {
 }
 
 void MicroBatcher::FlusherLoop() {
-  const auto queue_wait = std::chrono::microseconds(
-      std::max<std::int64_t>(0, config_.max_queue_micros));
+  const std::int64_t queue_wait =
+      std::max<std::int64_t>(0, config_.max_queue_micros);
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     bool any_pending = !ready_.empty();
-    auto next_deadline = Clock::time_point::max();
+    std::int64_t next_deadline_micros =
+        std::numeric_limits<std::int64_t>::max();
     for (const auto& [key, queue] : queues_) {
       if (queue.pending.empty()) continue;
       any_pending = true;
-      next_deadline = std::min(next_deadline, queue.oldest + queue_wait);
+      next_deadline_micros =
+          std::min(next_deadline_micros, queue.oldest_micros + queue_wait);
     }
     if (!any_pending) {
       if (stopping_) return;
@@ -206,7 +242,7 @@ void MicroBatcher::FlusherLoop() {
       continue;
     }
 
-    const auto now = Clock::now();
+    const std::int64_t now = MonotonicMicros();
     // Batches sealed by Enqueue (model hot-swap) flush ahead of the
     // regular queues; claiming them releases their rows from the keys'
     // backpressure accounting.
@@ -220,7 +256,8 @@ void MicroBatcher::FlusherLoop() {
       Queue& queue = it->second;
       const bool full = queue.pending_rows >= config_.max_batch_rows;
       if (queue.pending.empty() ||
-          (!full && !stopping_ && now < queue.oldest + queue_wait)) {
+          (!full && !stopping_ &&
+           now < queue.oldest_micros + queue_wait)) {
         ++it;
         continue;
       }
@@ -231,6 +268,7 @@ void MicroBatcher::FlusherLoop() {
       // capped batches rather than one unbounded pass.
       Batch batch;
       batch.model = queue.model;
+      batch.key = it->first;
       batch.trigger = full ? FlushTrigger::kFull : FlushTrigger::kDeadline;
       std::size_t take = 0;
       while (take < queue.pending.size()) {
@@ -255,12 +293,13 @@ void MicroBatcher::FlusherLoop() {
         // scan without bound.
         it = queues_.erase(it);
       } else {
-        queue.oldest = queue.pending.front().enqueued;
+        queue.oldest_micros = queue.pending.front().enqueued_micros;
         ++it;
       }
     }
     if (due.empty()) {
-      cv_.wait_until(lock, next_deadline);
+      cv_.wait_for(lock, std::chrono::microseconds(std::max<std::int64_t>(
+                             0, next_deadline_micros - now)));
       continue;
     }
 
@@ -281,15 +320,18 @@ void MicroBatcher::FlusherLoop() {
       }
       ++stats_.batches;
       stats_.batched_rows += batch.rows;
+      registry_->counter("serve_batches_total", batch.key).Increment();
+      obs::Histogram& queue_wait_histogram =
+          registry_->histogram("serve_queue_wait_micros", batch.key);
       for (const Request& request : batch.requests) {
         const double waited =
-            std::chrono::duration<double, std::micro>(now -
-                                                      request.enqueued)
-                .count();
+            static_cast<double>(now - request.enqueued_micros);
         stats_.total_queue_micros += waited;
         stats_.max_queue_micros = std::max(stats_.max_queue_micros, waited);
+        queue_wait_histogram.Record(waited);
         if (config_.record_latencies) latencies_micros_.push_back(waited);
       }
+      UpdateGauges(batch.key);
     }
     lock.unlock();
     for (Batch& batch : due) ExecuteBatch(&batch);
@@ -297,12 +339,34 @@ void MicroBatcher::FlusherLoop() {
   }
 }
 
+void MicroBatcher::SettleLoad(const std::string& key, std::size_t rows) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto load_it = key_loads_.find(key);
+  if (load_it != key_loads_.end()) {
+    load_it->second -= std::min(load_it->second, rows);
+    if (load_it->second == 0) key_loads_.erase(load_it);
+  }
+  load_.fetch_sub(std::min(load_.load(std::memory_order_relaxed), rows),
+                  std::memory_order_relaxed);
+  UpdateGauges(key);
+}
+
 void MicroBatcher::ExecuteBatch(Batch* batch) {
+  obs::Histogram& exec_histogram =
+      registry_->histogram("serve_batch_exec_micros", batch->key);
+  const std::int64_t started = MonotonicMicros();
   // A lone request needs no assembly or slicing: its rows *are* the
   // batch, and the result matrix is handed over whole.
   if (batch->requests.size() == 1) {
     Request& request = batch->requests.front();
-    request.complete(batch->model->Transform(request.rows));
+    auto features = batch->model->Transform(request.rows);
+    exec_histogram.Record(
+        static_cast<double>(MonotonicMicros() - started));
+    // Settle before completing: once a future resolves, its rows must no
+    // longer count toward this batcher's load (routers re-route on the
+    // gauge a client reads after .get()).
+    SettleLoad(batch->key, batch->rows);
+    request.complete(std::move(features));
     return;
   }
 
@@ -316,6 +380,8 @@ void MicroBatcher::ExecuteBatch(Batch* batch) {
   }
 
   auto features = batch->model->Transform(assembled);
+  exec_histogram.Record(static_cast<double>(MonotonicMicros() - started));
+  SettleLoad(batch->key, batch->rows);
   if (!features.ok()) {
     for (Request& request : batch->requests) {
       request.complete(features.status());
@@ -350,6 +416,12 @@ std::vector<double> MicroBatcher::latencies_micros() const {
 std::size_t MicroBatcher::pending_queues() const {
   std::lock_guard<std::mutex> lock(mu_);
   return queues_.size() + ready_.size();
+}
+
+std::size_t MicroBatcher::key_load(const std::string& key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = key_loads_.find(key);
+  return it == key_loads_.end() ? 0 : it->second;
 }
 
 }  // namespace mcirbm::serve

@@ -29,11 +29,17 @@
 // submission's future resolves immediately with kUnavailable (counted in
 // Stats::rejected_requests) — overflow never blocks the caller and never
 // drops a request silently.
+//
+// Observability: every batcher records into an obs::Registry (its own,
+// or one injected via BatcherConfig::registry) — per-model-key
+// serve_queue_wait_micros / serve_batch_exec_micros histograms, live
+// serve_queue_depth / serve_pending_rows gauges, and
+// serve_{requests,rows,batches,rejected}_total counters. All timing
+// reads util::MonotonicMicros(), the same clock as the bench drivers.
 #ifndef MCIRBM_SERVE_MICRO_BATCHER_H_
 #define MCIRBM_SERVE_MICRO_BATCHER_H_
 
 #include <atomic>
-#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -47,6 +53,7 @@
 
 #include "api/model.h"
 #include "linalg/matrix.h"
+#include "obs/registry.h"
 #include "util/status.h"
 
 namespace mcirbm::serve {
@@ -109,6 +116,12 @@ struct BatcherConfig {
   /// (bench/serve_throughput.cc). Off by default: a long-lived server
   /// should not grow memory per request.
   bool record_latencies = false;
+  /// Metrics sink. The batcher records per-model-key queue-wait and
+  /// batch-execution histograms, live queue-depth / pending-rows gauges,
+  /// and request/row/batch/rejection counters into it (fixed-size state,
+  /// always on). Null means the batcher creates a private registry;
+  /// share one only if the sharer outlives the batcher.
+  std::shared_ptr<obs::Registry> registry;
 };
 
 /// Coalesces per-model inference requests into batched passes.
@@ -163,6 +176,14 @@ class MicroBatcher {
     /// Folds another batcher's counters into this one (replica
     /// aggregation — serve::Router). Lives next to the field list so a
     /// new counter cannot be forgotten here silently.
+    ///
+    /// Merge semantics, pinned by tests/serve/router_test.cc: every
+    /// counter and every summed total (total_queue_micros included)
+    /// ADDS; max_queue_micros takes the MAX (the max of a union is the
+    /// max of the per-part maxes). Derived means must be recomputed
+    /// from the merged totals — MeanQueueMicros() of the sum — never by
+    /// averaging per-replica means, which would weight an idle replica
+    /// the same as a saturated one.
     void Add(const Stats& other) {
       requests += other.requests;
       rows += other.rows;
@@ -200,14 +221,32 @@ class MicroBatcher {
   /// distinct keys it has ever served).
   std::size_t pending_queues() const;
 
- private:
-  using Clock = std::chrono::steady_clock;
+  /// Live load: rows accepted but not yet through their batched pass
+  /// (queued + sealed + executing). Lock-free read — this is the signal
+  /// serve::Router's least-loaded routing polls per submission.
+  std::size_t load() const {
+    return load_.load(std::memory_order_relaxed);
+  }
 
+  /// `load()` restricted to one model key. A key with nonzero load is
+  /// "pinned": its requests are still coalescing or executing here, so a
+  /// load-aware router must keep routing it to this batcher.
+  std::size_t key_load(const std::string& key) const;
+
+  /// The metrics sink (the config's registry, or the private one).
+  const std::shared_ptr<obs::Registry>& registry() const {
+    return registry_;
+  }
+  obs::MetricsSnapshot metrics_snapshot() const {
+    return registry_->snapshot();
+  }
+
+ private:
   // One queued request: its rows plus a completion invoked with the
   // request's feature slice (or the batch's error).
   struct Request {
     linalg::Matrix rows;
-    Clock::time_point enqueued;
+    std::int64_t enqueued_micros = 0;  // util::MonotonicMicros timebase
     std::function<void(StatusOr<linalg::Matrix>)> complete;
   };
 
@@ -220,7 +259,7 @@ class MicroBatcher {
     // claimed. Counted against max_pending_rows so a Reload-heavy
     // client cannot grow sealed batches past the backpressure bound.
     std::size_t sealed_rows = 0;
-    Clock::time_point oldest;  // enqueue time of pending.front()
+    std::int64_t oldest_micros = 0;  // enqueue time of pending.front()
   };
 
   // What fired a batch — attributed to the matching stats counter.
@@ -245,12 +284,25 @@ class MicroBatcher {
                  std::function<void(StatusOr<linalg::Matrix>)> complete);
   void FlusherLoop();
   void ExecuteBatch(Batch* batch);
+  /// Refreshes this key's queue-depth / pending-rows gauges. Requires mu_.
+  void UpdateGauges(const std::string& key);
+  /// Removes `rows` from this key's live-load accounting. Called by
+  /// ExecuteBatch BEFORE any request future is completed, so a resolved
+  /// future implies its rows no longer count toward load(). Takes mu_
+  /// itself — call with the lock NOT held.
+  void SettleLoad(const std::string& key, std::size_t rows);
 
   const BatcherConfig config_;
+  const std::shared_ptr<obs::Registry> registry_;  // never null
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::map<std::string, Queue> queues_;
   std::vector<Batch> ready_;  // sealed by Enqueue on model hot-swap
+  // Rows accepted but not yet executed, per key and in total (queued +
+  // sealed + executing). key_loads_ is guarded by mu_; load_ mirrors its
+  // sum atomically so routers can read it without the lock.
+  std::map<std::string, std::size_t> key_loads_;
+  std::atomic<std::size_t> load_{0};
   bool stopping_ = false;
   Stats stats_;
   std::vector<double> latencies_micros_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "util/timer.h"
+
 namespace mcirbm::serve {
 
 ModelStore::ModelStore(std::size_t capacity)
@@ -28,6 +30,7 @@ void ModelStore::InsertLocked(const std::string& key,
     entries_.erase(lru_.back());
     lru_.pop_back();
     ++stats_.evictions;
+    registry_->counter("store_evictions_total").Increment();
   }
 }
 
@@ -38,16 +41,21 @@ StatusOr<std::shared_ptr<const api::Model>> ModelStore::Get(
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
+      registry_->counter("store_hits_total").Increment();
       Touch(key, &it->second);
       return it->second.model;
     }
     ++stats_.misses;
+    registry_->counter("store_misses_total").Increment();
   }
   // Load outside the lock: a slow disk read must not block cache hits.
   // Two threads may race here for the same key; both loads succeed and
   // the re-check below converges everyone on one cached instance.
+  const std::int64_t started = MonotonicMicros();
   auto loaded = api::Model::LoadShared(key);
   if (!loaded.ok()) return loaded.status();
+  registry_->histogram("store_load_micros", key)
+      .Record(static_cast<double>(MonotonicMicros() - started));
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -67,11 +75,15 @@ std::shared_ptr<const api::Model> ModelStore::Put(const std::string& key,
 }
 
 Status ModelStore::Reload(const std::string& key) {
+  const std::int64_t started = MonotonicMicros();
   auto loaded = api::Model::LoadShared(key);
   if (!loaded.ok()) return loaded.status();
+  registry_->histogram("store_reload_micros", key)
+      .Record(static_cast<double>(MonotonicMicros() - started));
   std::lock_guard<std::mutex> lock(mu_);
   InsertLocked(key, std::move(loaded).value());
   ++stats_.reloads;
+  registry_->counter("store_reloads_total").Increment();
   return Status::Ok();
 }
 

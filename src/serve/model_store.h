@@ -31,6 +31,7 @@
 #include <string>
 
 #include "api/model.h"
+#include "obs/registry.h"
 #include "util/status.h"
 
 namespace mcirbm::serve {
@@ -77,6 +78,17 @@ class ModelStore {
   };
   Stats stats() const;
 
+  /// Metrics mirror of the counters above plus per-model-key
+  /// store_load_micros / store_reload_micros disk-latency histograms
+  /// (successful loads only — a failed probe has no artifact to label
+  /// honestly). Merged into the serve-layer snapshot by serve::Router.
+  obs::MetricsSnapshot metrics_snapshot() const {
+    return registry_->snapshot();
+  }
+  const std::shared_ptr<obs::Registry>& registry() const {
+    return registry_;
+  }
+
  private:
   struct Entry {
     std::shared_ptr<const api::Model> model;
@@ -90,6 +102,8 @@ class ModelStore {
                     std::shared_ptr<const api::Model> model);
 
   const std::size_t capacity_;
+  const std::shared_ptr<obs::Registry> registry_ =
+      std::make_shared<obs::Registry>();
   mutable std::mutex mu_;
   std::list<std::string> lru_;  // front = most recently used
   std::map<std::string, Entry> entries_;

@@ -71,9 +71,19 @@ StatusOr<Request> ParseRequestLine(const std::string& line) {
 
   Request request;
   MCIRBM_ASSIGN_OR_RETURN(request.op, values.GetString("op", ""));
-  if (request.op != "transform" && request.op != "evaluate") {
-    return Status::InvalidArgument("op must be transform|evaluate, got '" +
-                                   request.op + "'");
+  if (request.op != "transform" && request.op != "evaluate" &&
+      request.op != "stats") {
+    return Status::InvalidArgument(
+        "op must be transform|evaluate|stats, got '" + request.op + "'");
+  }
+  if (request.op == "stats") {
+    // A stats probe names no model or dataset; extra keys are almost
+    // certainly a mangled transform line, so reject loudly.
+    if (values.size() != 1) {
+      return Status::InvalidArgument(
+          "op=stats takes no other keys");
+    }
+    return request;
   }
   MCIRBM_ASSIGN_OR_RETURN(request.model, values.GetString("model", ""));
   MCIRBM_ASSIGN_OR_RETURN(request.data, values.GetString("data", ""));

@@ -6,16 +6,24 @@
 //
 //   op=transform model=enc.mcirbm data=ds.csv chunk=1 out=features.csv
 //   op=evaluate  model=enc.mcirbm data=ds.csv clusterer=kmeans k=3 seed=7
+//   op=stats
 //
 // A value may be double-quoted to carry spaces (`data="my file.csv"`);
 // the quotes are stripped verbatim — no escape sequences. An
 // unterminated quote fails the line. `seed` accepts the full unsigned
 // 64-bit range.
 //
+// `op=stats` takes no other keys (any are rejected): it asks the serve
+// loop for the live observability snapshot — the Router's merged
+// obs::Registry rendered as Prometheus-style `name{model="k"} value`
+// lines, inline in the response stream.
+//
 // Keys:
-//   op         transform | evaluate                        (required)
-//   model      model artifact path — the ModelStore key    (required)
-//   data       dataset CSV (trailing integer label column) (required)
+//   op         transform | evaluate | stats                (required)
+//   model      model artifact path — the ModelStore key    (required
+//              unless op=stats)
+//   data       dataset CSV (trailing integer label column) (required
+//              unless op=stats)
 //   transform  none | standardize | minmax | binarize (default none)
 //   chunk      rows per submitted micro-request for op=transform
 //              (default 1: each row is its own request, the micro-batcher
@@ -39,7 +47,7 @@ namespace mcirbm::serve {
 
 /// One parsed `mcirbm_cli serve` request line.
 struct Request {
-  std::string op;         ///< "transform" or "evaluate"
+  std::string op;         ///< "transform", "evaluate", or "stats"
   std::string model;      ///< model artifact path (ModelStore key)
   std::string data;       ///< dataset CSV path
   std::string transform = "none";  ///< preprocessing applied to the CSV

@@ -20,10 +20,14 @@ std::uint64_t Fnv1a(const std::string& key) {
   return hash;
 }
 
+/// Pin-table size that triggers a sweep of idle entries. Generous: the
+/// table holds one entry per distinct key seen since the last sweep.
+constexpr std::size_t kMaxIdleAssignments = 1024;
+
 }  // namespace
 
-Router::Router(const RouterConfig& config)
-    : store_(std::make_shared<ModelStore>(config.store_capacity)) {
+Router::Router(const RouterConfig& config) : routing_(config.routing) {
+  store_ = std::make_shared<ModelStore>(config.store_capacity);
   if (config.max_inflight_requests > 0) {
     admission_ =
         std::make_shared<AdmissionController>(config.max_inflight_requests);
@@ -43,16 +47,59 @@ std::size_t Router::ReplicaFor(const std::string& key) const {
   return static_cast<std::size_t>(Fnv1a(key) % servers_.size());
 }
 
+std::size_t Router::PickReplica(const std::string& key) {
+  if (routing_ == RoutingMode::kKeyHash || servers_.size() == 1) {
+    return ReplicaFor(key);
+  }
+  std::lock_guard<std::mutex> lock(routing_mu_);
+  // A key with live load (requests queued, sealed, or executing) on its
+  // assigned replica is pinned: moving it would split one model's
+  // traffic across batchers and defeat coalescing.
+  const auto it = assignments_.find(key);
+  if (it != assignments_.end() &&
+      servers_[it->second]->key_load(key) > 0) {
+    return it->second;
+  }
+  // Idle key: route to the least-loaded replica right now. Ties break
+  // toward the key-hash replica (determinism when nothing is loaded),
+  // then the lowest index.
+  std::size_t best = ReplicaFor(key);
+  std::size_t best_load = servers_[best]->load();
+  for (std::size_t r = 0; r < servers_.size(); ++r) {
+    const std::size_t load = servers_[r]->load();
+    if (load < best_load) {
+      best = r;
+      best_load = load;
+    }
+  }
+  if (assignments_.size() >= kMaxIdleAssignments) {
+    // Drop idle pins so the table tracks live keys, not key history.
+    for (auto sweep = assignments_.begin(); sweep != assignments_.end();) {
+      if (servers_[sweep->second]->key_load(sweep->first) == 0) {
+        sweep = assignments_.erase(sweep);
+      } else {
+        ++sweep;
+      }
+    }
+  }
+  assignments_[key] = best;
+  return best;
+}
+
+std::size_t Router::RouteFor(const std::string& key) {
+  return PickReplica(key);
+}
+
 std::future<StatusOr<linalg::Matrix>> Router::Submit(
     const std::string& model_key, linalg::Matrix rows) {
-  return servers_[ReplicaFor(model_key)]->Submit(model_key,
-                                                 std::move(rows));
+  return servers_[PickReplica(model_key)]->Submit(model_key,
+                                                  std::move(rows));
 }
 
 std::future<StatusOr<api::EvalResult>> Router::SubmitEvaluate(
     const std::string& model_key, linalg::Matrix rows,
     std::vector<int> labels, api::EvalOptions options) {
-  return servers_[ReplicaFor(model_key)]->SubmitEvaluate(
+  return servers_[PickReplica(model_key)]->SubmitEvaluate(
       model_key, std::move(rows), std::move(labels), options);
 }
 
@@ -78,6 +125,20 @@ Router::Stats Router::stats() const {
     stats.batcher.Add(replica);
   }
   return stats;
+}
+
+obs::MetricsSnapshot Router::metrics_snapshot() const {
+  obs::MetricsSnapshot merged;
+  for (const auto& server : servers_) {
+    merged.Merge(server->metrics_snapshot());
+  }
+  // The store is shared: fold its registry in once, not per replica.
+  merged.Merge(store_->metrics_snapshot());
+  merged.gauges[{"serve_replicas", ""}] =
+      static_cast<double>(servers_.size());
+  merged.gauges[{"serve_inflight_requests", ""}] =
+      static_cast<double>(inflight_requests());
+  return merged;
 }
 
 std::vector<double> Router::latencies_micros() const {

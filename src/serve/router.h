@@ -23,17 +23,31 @@
 // router past max_inflight_requests, resolves its future immediately
 // with StatusCode::kUnavailable (counted in stats as rejected_requests).
 // Overflow never blocks the caller and never drops a request silently.
+//
+// Routing is pluggable (RouterConfig::routing): kKeyHash binds each key
+// to its hash replica forever; kLeastLoaded sends an idle key to the
+// replica with the smallest pending-rows load, while keys with requests
+// still coalescing or executing stay pinned to their replica so one
+// model's traffic keeps batching together. Either way, per-key results
+// are bit-identical (pinned by tests/serve/router_test.cc).
+//
+// Observability: metrics_snapshot() merges every replica's
+// obs::Registry with the shared store's into one view; RenderStatsText()
+// is the text form served by `op=stats` and `--stats-every`.
 #ifndef MCIRBM_SERVE_ROUTER_H_
 #define MCIRBM_SERVE_ROUTER_H_
 
 #include <cstdint>
 #include <future>
+#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "api/model.h"
 #include "linalg/matrix.h"
+#include "obs/registry.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_store.h"
 #include "serve/server.h"
@@ -41,10 +55,26 @@
 
 namespace mcirbm::serve {
 
+/// How the Router picks a replica for a model key.
+enum class RoutingMode {
+  /// Deterministic FNV-1a hash of the key, mod replica count. A key is
+  /// permanently bound to one replica regardless of load.
+  kKeyHash,
+  /// The replica with the smallest pending-rows load at submit time —
+  /// except for keys with requests still coalescing or executing on a
+  /// replica, which stay pinned there so one model's requests keep
+  /// batching together. Per-key results are bit-identical to kKeyHash
+  /// (every inference is row-independent and all replicas share one
+  /// store); only the queueing changes.
+  kLeastLoaded,
+};
+
 /// Replica-sharded serving knobs.
 struct RouterConfig {
   /// Server replicas behind the key-hash (clamped to >= 1).
   std::size_t replicas = 1;
+  /// Replica selection policy; see RoutingMode.
+  RoutingMode routing = RoutingMode::kKeyHash;
   /// Global admission bound: submissions beyond this many unresolved
   /// futures (across all replicas) are rejected with kUnavailable.
   /// 0 = unbounded.
@@ -87,8 +117,14 @@ class Router {
   ModelStore& store() { return *store_; }
 
   /// Deterministic replica index for `key` (exposed for tests and
-  /// capacity planning): FNV-1a over the key, mod replicas().
+  /// capacity planning): FNV-1a over the key, mod replicas(). This is
+  /// the kKeyHash policy; under kLeastLoaded it is only the tiebreak.
   std::size_t ReplicaFor(const std::string& key) const;
+
+  /// The replica the next submission for `key` would land on under the
+  /// configured routing mode (for kLeastLoaded this consults live load
+  /// and updates the pin table exactly like Submit).
+  std::size_t RouteFor(const std::string& key);
 
   std::size_t replicas() const { return servers_.size(); }
 
@@ -101,9 +137,17 @@ class Router {
   void Shutdown();
 
   /// Aggregated serving counters: the field-wise sum of every replica's
-  /// batcher stats (max for max_queue_micros) plus the shared store's
-  /// counters. `batcher.rejected_requests` counts all backpressure
-  /// rejections, both per-queue and global.
+  /// batcher stats plus the shared store's counters.
+  /// `batcher.rejected_requests` counts all backpressure rejections,
+  /// both per-queue and global.
+  ///
+  /// Merge semantics (pinned by tests/serve/router_test.cc): counters
+  /// and summed totals (total_queue_micros included) ADD across
+  /// replicas; max_queue_micros takes the MAX, because the max over the
+  /// union of all requests is the max of the per-replica maxes. The
+  /// aggregate MeanQueueMicros() therefore comes out of summed totals —
+  /// averaging per-replica means would be wrong whenever replicas serve
+  /// unequal traffic.
   struct Stats {
     MicroBatcher::Stats batcher;
     ModelStore::Stats store;
@@ -111,14 +155,37 @@ class Router {
   };
   Stats stats() const;
 
+  /// Merged observability snapshot: every replica's registry (queue-wait
+  /// / batch-exec histograms merge bucket-wise, counters and gauges sum)
+  /// plus the shared store's registry folded in exactly once, plus the
+  /// router-level serve_replicas / serve_inflight_requests gauges.
+  obs::MetricsSnapshot metrics_snapshot() const;
+
+  /// metrics_snapshot() rendered as Prometheus-style text — the payload
+  /// of the `op=stats` serve request and `--stats-every` emission.
+  std::string RenderStatsText() const {
+    return metrics_snapshot().RenderText();
+  }
+
   /// Concatenated per-request queue latencies from every replica, when
   /// BatcherConfig::record_latencies is set (bench support).
   std::vector<double> latencies_micros() const;
 
  private:
+  /// Applies the routing policy; under kLeastLoaded takes routing_mu_
+  /// and maintains the key-pin table.
+  std::size_t PickReplica(const std::string& key);
+
+  RoutingMode routing_ = RoutingMode::kKeyHash;
   std::shared_ptr<ModelStore> store_;
   std::shared_ptr<AdmissionController> admission_;
   std::vector<std::unique_ptr<Server>> servers_;
+  // kLeastLoaded state: the replica each recently routed key went to.
+  // An entry is authoritative while the key still has load on that
+  // replica (pinned); stale entries are re-resolved on next use and
+  // swept once the table outgrows kMaxIdleAssignments.
+  std::mutex routing_mu_;
+  std::map<std::string, std::size_t> assignments_;
 };
 
 }  // namespace mcirbm::serve

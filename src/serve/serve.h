@@ -10,11 +10,16 @@
 //     one-at-a-time calls (serve/micro_batcher.h);
 //   - serve::Server — the client-facing facade: Submit/SubmitEvaluate
 //     futures, hot reload, serving stats (serve/server.h);
-//   - serve::Router — N Server replicas behind a deterministic key-hash
-//     with one shared ModelStore and fail-fast admission control
-//     (serve/router.h);
+//   - serve::Router — N Server replicas behind key-hash or load-aware
+//     routing with one shared ModelStore and fail-fast admission
+//     control (serve/router.h);
 //   - serve::ParseRequestLine — the `mcirbm_cli serve` request-line
-//     format (serve/request.h).
+//     format, including the op=stats observability probe
+//     (serve/request.h).
+//
+// Every component records into the src/obs metrics layer (latency
+// histograms, queue gauges, counters); Router::RenderStatsText() is the
+// merged Prometheus-style view.
 //
 // Everything fallible reports through Status/StatusOr; a shut-down or
 // overloaded service rejects work with StatusCode::kUnavailable.

@@ -26,6 +26,7 @@
 
 #include "api/model.h"
 #include "linalg/matrix.h"
+#include "obs/registry.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_store.h"
 #include "util/status.h"
@@ -90,6 +91,24 @@ class Server {
   /// .record_latencies is set (bench support).
   std::vector<double> latencies_micros() const {
     return batcher_.latencies_micros();
+  }
+
+  /// Live load: rows accepted but not yet through their batched pass
+  /// (lock-free read — the Router's least-loaded routing signal).
+  std::size_t load() const { return batcher_.load(); }
+
+  /// `load()` restricted to one model key; nonzero means the key is
+  /// pinned to this replica (requests still coalescing or executing).
+  std::size_t key_load(const std::string& key) const {
+    return batcher_.key_load(key);
+  }
+
+  /// This server's metrics — the batcher's registry snapshot (queue-wait
+  /// / batch-exec histograms, queue gauges, request counters). The store
+  /// snapshot is NOT folded in here: when replicas share one store, the
+  /// aggregator (serve::Router) must add it exactly once.
+  obs::MetricsSnapshot metrics_snapshot() const {
+    return batcher_.metrics_snapshot();
   }
 
  private:

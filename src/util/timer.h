@@ -1,30 +1,42 @@
-// Wall-clock timer for experiment bookkeeping.
+// Wall-clock timing helpers. Every latency source in the tree — the
+// micro-batcher's queue waits, the model store's load times, the bench
+// drivers — reads the same monotonic clock through MonotonicMicros(),
+// so histograms and bench numbers are directly comparable.
 #ifndef MCIRBM_UTIL_TIMER_H_
 #define MCIRBM_UTIL_TIMER_H_
 
 #include <chrono>
+#include <cstdint>
 
 namespace mcirbm {
+
+/// Microseconds on the process-wide monotonic clock. Only differences
+/// are meaningful (the epoch is unspecified); never goes backwards.
+inline std::int64_t MonotonicMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
 
 /// Measures elapsed wall-clock time; starts on construction.
 class WallTimer {
  public:
-  WallTimer() : start_(Clock::now()) {}
+  WallTimer() : start_(MonotonicMicros()) {}
 
   /// Restarts the timer.
-  void Reset() { start_ = Clock::now(); }
+  void Reset() { start_ = MonotonicMicros(); }
 
-  /// Elapsed seconds since construction or the last Reset().
-  double Seconds() const {
-    return std::chrono::duration<double>(Clock::now() - start_).count();
-  }
+  /// Elapsed microseconds since construction or the last Reset().
+  std::int64_t Micros() const { return MonotonicMicros() - start_; }
+
+  /// Elapsed seconds.
+  double Seconds() const { return static_cast<double>(Micros()) * 1e-6; }
 
   /// Elapsed milliseconds.
-  double Millis() const { return Seconds() * 1e3; }
+  double Millis() const { return static_cast<double>(Micros()) * 1e-3; }
 
  private:
-  using Clock = std::chrono::steady_clock;
-  Clock::time_point start_;
+  std::int64_t start_;
 };
 
 }  // namespace mcirbm

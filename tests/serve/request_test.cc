@@ -45,6 +45,35 @@ TEST(ParseRequestLineTest, RejectsMalformedLines) {
   EXPECT_EQ(unknown.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(ParseRequestLineTest, ParsesBareStatsRequest) {
+  auto stats = ParseRequestLine("op=stats");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().op, "stats");
+  EXPECT_TRUE(stats.value().model.empty());
+  EXPECT_TRUE(stats.value().data.empty());
+  // Surrounding whitespace is tolerated like any other request line.
+  EXPECT_TRUE(ParseRequestLine("  op=stats  ").ok());
+}
+
+TEST(ParseRequestLineTest, RejectsStatsRequestWithExtraKeys) {
+  // A stats probe names no model or dataset; extra keys are almost
+  // certainly a mangled transform line.
+  auto extra = ParseRequestLine("op=stats model=m.txt");
+  ASSERT_FALSE(extra.ok());
+  EXPECT_EQ(extra.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ParseRequestLine("op=stats data=d.csv").ok());
+  EXPECT_FALSE(ParseRequestLine("op=stats seed=7").ok());
+}
+
+TEST(ParseRequestLineTest, RejectsUnknownOpNamingTheVocabulary) {
+  auto bad = ParseRequestLine("op=status model=m data=d");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(bad.status().message().find("transform|evaluate|stats"),
+            std::string::npos)
+      << bad.status().ToString();
+}
+
 TEST(ParseRequestLineTest, ParsesSeedsAcrossTheFullUint64Range) {
   // Regression: seed used to funnel through a 31-bit int, rejecting any
   // valid seed >= 2^31.

@@ -254,5 +254,198 @@ TEST_F(RouterTest, ConcurrentOverflowNeverBlocksOrDropsRequests) {
   EXPECT_EQ(stats.batcher.rejected_requests, total_rejected);
 }
 
+// Satellite guarantee: Stats::Add merges counters by SUM, the max by
+// MAX, and derived means come from summed totals — never from averaging
+// per-replica means. An idle replica must not drag the aggregate mean
+// down to half.
+TEST(RouterStatsTest, MergeSumsCountersAndRecomputesMeansFromTotals) {
+  MicroBatcher::Stats a;
+  a.requests = 10;
+  a.rows = 40;
+  a.batches = 4;
+  a.batched_rows = 40;
+  a.full_flushes = 3;
+  a.deadline_flushes = 1;
+  a.swap_flushes = 2;
+  a.rejected_requests = 5;
+  a.total_queue_micros = 1000.0;
+  a.max_queue_micros = 400.0;
+
+  MicroBatcher::Stats b;
+  b.requests = 30;
+  b.rows = 60;
+  b.batches = 2;
+  b.batched_rows = 60;
+  b.full_flushes = 1;
+  b.deadline_flushes = 1;
+  b.swap_flushes = 0;
+  b.rejected_requests = 7;
+  b.total_queue_micros = 9000.0;
+  b.max_queue_micros = 250.0;
+
+  MicroBatcher::Stats merged = a;
+  merged.Add(b);
+  EXPECT_EQ(merged.requests, 40u);
+  EXPECT_EQ(merged.rows, 100u);
+  EXPECT_EQ(merged.batches, 6u);
+  EXPECT_EQ(merged.batched_rows, 100u);
+  EXPECT_EQ(merged.full_flushes, 4u);
+  EXPECT_EQ(merged.deadline_flushes, 2u);
+  EXPECT_EQ(merged.swap_flushes, 2u);
+  EXPECT_EQ(merged.rejected_requests, 12u);
+  EXPECT_DOUBLE_EQ(merged.total_queue_micros, 10000.0);
+  // Max of maxes, not sum.
+  EXPECT_DOUBLE_EQ(merged.max_queue_micros, 400.0);
+  // Mean from summed totals: 10000 / 40 = 250. Averaging the per-part
+  // means ((100 + 300) / 2 = 200) would be wrong — the busier replica
+  // must carry more weight.
+  EXPECT_DOUBLE_EQ(merged.MeanQueueMicros(), 250.0);
+  EXPECT_DOUBLE_EQ(merged.MeanBatchRows(), 100.0 / 6.0);
+  // Merging an empty Stats is the identity.
+  MicroBatcher::Stats with_idle = merged;
+  with_idle.Add(MicroBatcher::Stats{});
+  EXPECT_EQ(with_idle.requests, merged.requests);
+  EXPECT_DOUBLE_EQ(with_idle.MeanQueueMicros(), merged.MeanQueueMicros());
+}
+
+// The tentpole routing guarantee: per-key results under kLeastLoaded are
+// bit-identical to kKeyHash (and to the direct Model::Transform
+// reference) at every replica count — routing moves queueing around,
+// never results.
+TEST_F(RouterTest, LeastLoadedRoutingIsBitIdenticalToKeyHash) {
+  for (const std::size_t replicas : {1u, 2u, 4u}) {
+    RouterConfig config;
+    config.replicas = replicas;
+    config.routing = RoutingMode::kLeastLoaded;
+    config.batcher.max_batch_rows = 8;
+    Router router(config);
+    std::vector<std::future<StatusOr<linalg::Matrix>>> futures;
+    for (std::size_t r = 0; r < ds_.x.rows(); ++r) {
+      const std::string& key = (r % 2 == 0) ? path_a_ : path_b_;
+      futures.push_back(router.Submit(key, RowOf(ds_.x, r)));
+    }
+    for (std::size_t r = 0; r < futures.size(); ++r) {
+      auto slice = futures[r].get();
+      ASSERT_TRUE(slice.ok()) << slice.status().ToString();
+      const linalg::Matrix& reference =
+          (r % 2 == 0) ? reference_a_ : reference_b_;
+      EXPECT_TRUE(slice.value().AllClose(RowOf(reference, r), 0))
+          << "row " << r << " diverged at " << replicas
+          << " least-loaded replicas";
+    }
+    const Router::Stats stats = router.stats();
+    EXPECT_EQ(stats.batcher.requests, ds_.x.rows());
+  }
+}
+
+TEST_F(RouterTest, LeastLoadedPinsBusyKeysAndSpreadsIdleOnes) {
+  RouterConfig config;
+  config.replicas = 2;
+  config.routing = RoutingMode::kLeastLoaded;
+  config.batcher.max_batch_rows = 100;           // nothing flushes by size
+  config.batcher.max_queue_micros = 60'000'000;  // nor by deadline
+  Router router(config);
+  router.store().Put("busy", TrainTiny(ds_.x, 33));
+  router.store().Put("idle", TrainTiny(ds_.x, 33));
+
+  // First submission for a key lands on its hash replica (all loads 0).
+  const std::size_t pinned = router.RouteFor("busy");
+  EXPECT_EQ(pinned, router.ReplicaFor("busy"));
+  auto held = router.Submit("busy", RowOf(ds_.x, 0));
+  // While its rows are queued, the key stays pinned even though its
+  // replica is now the MORE loaded one.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(router.RouteFor("busy"), pinned);
+  }
+  // An idle key avoids the loaded replica, whatever its hash says.
+  EXPECT_EQ(router.RouteFor("idle"), 1 - pinned);
+
+  router.Shutdown();  // flushes the held batch
+  auto features = held.get();
+  ASSERT_TRUE(features.ok()) << features.status().ToString();
+  EXPECT_TRUE(features.value().AllClose(RowOf(reference_a_, 0), 0));
+  // Drained, the pin expires: the key re-resolves by load again.
+  EXPECT_LT(router.RouteFor("busy"), 2u);
+}
+
+// TSan target: concurrent clients under kLeastLoaded — the routing table
+// and load gauges race with the flusher threads. Every result must stay
+// bit-identical to the reference.
+TEST_F(RouterTest, ConcurrentLeastLoadedStaysBitIdentical) {
+  RouterConfig config;
+  config.replicas = 4;
+  config.routing = RoutingMode::kLeastLoaded;
+  config.batcher.max_batch_rows = 4;
+  config.batcher.max_queue_micros = 200;
+  Router router(config);
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 40;
+  std::vector<std::thread> clients;
+  std::vector<int> errors(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      std::vector<std::future<StatusOr<linalg::Matrix>>> futures;
+      futures.reserve(kPerClient);
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::size_t r =
+            static_cast<std::size_t>(c * kPerClient + i) % ds_.x.rows();
+        const std::string& key = (i % 2 == 0) ? path_a_ : path_b_;
+        futures.push_back(router.Submit(key, RowOf(ds_.x, r)));
+      }
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::size_t r =
+            static_cast<std::size_t>(c * kPerClient + i) % ds_.x.rows();
+        auto result = futures[i].get();
+        if (!result.ok()) {
+          ++errors[c];
+          continue;
+        }
+        const linalg::Matrix& reference =
+            (i % 2 == 0) ? reference_a_ : reference_b_;
+        if (!result.value().AllClose(RowOf(reference, r), 0)) ++errors[c];
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(errors[c], 0) << "client " << c;
+  }
+  EXPECT_EQ(router.stats().batcher.requests,
+            static_cast<std::uint64_t>(kClients) * kPerClient);
+}
+
+TEST_F(RouterTest, MetricsSnapshotMergesReplicasAndStoreOnce) {
+  RouterConfig config;
+  config.replicas = 2;
+  Router router(config);
+  ASSERT_TRUE(router.Submit(path_a_, RowOf(ds_.x, 0)).get().ok());
+  ASSERT_TRUE(router.Submit(path_b_, RowOf(ds_.x, 1)).get().ok());
+  const obs::MetricsSnapshot snap = router.metrics_snapshot();
+  // Per-key request counters from (possibly different) replicas both
+  // appear in the merged view.
+  EXPECT_EQ((snap.counters.at({"serve_requests_total", path_a_})), 1u);
+  EXPECT_EQ((snap.counters.at({"serve_requests_total", path_b_})), 1u);
+  // The shared store is folded in exactly once: two distinct artifacts,
+  // two misses — not 2 * replicas.
+  EXPECT_EQ((snap.counters.at({"store_misses_total", ""})), 2u);
+  // Router-level gauges ride along.
+  EXPECT_DOUBLE_EQ((snap.gauges.at({"serve_replicas", ""})), 2.0);
+  // Queue-wait histograms recorded one observation per request.
+  std::uint64_t waits = 0;
+  for (const auto& [key, h] : snap.histograms) {
+    if (key.first == "serve_queue_wait_micros") waits += h.count;
+  }
+  EXPECT_EQ(waits, 2u);
+  // All drained: the merged pending-rows gauges read 0.
+  for (const auto& [key, value] : snap.gauges) {
+    if (key.first == "serve_pending_rows") {
+      EXPECT_DOUBLE_EQ(value, 0.0) << key.second;
+    }
+  }
+  // The rendered text is grep-able Prometheus form.
+  const std::string text = router.RenderStatsText();
+  EXPECT_NE(text.find("serve_replicas 2"), std::string::npos) << text;
+}
+
 }  // namespace
 }  // namespace mcirbm::serve

@@ -620,7 +620,8 @@ int RunServe(const Args& args) {
   const Status valid = args.Validate({"requests", "max-batch-rows",
                                       "max-queue-micros", "store-capacity",
                                       "replicas", "max-pending",
-                                      "max-inflight", "threads"});
+                                      "max-inflight", "routing",
+                                      "stats-every", "threads"});
   if (!valid.ok()) return Fail(valid);
   serve::RouterConfig config;
   const int max_batch_rows = args.GetInt("max-batch-rows", 64);
@@ -629,12 +630,19 @@ int RunServe(const Args& args) {
   const int replicas = args.GetInt("replicas", 1);
   const int max_pending = args.GetInt("max-pending", 0);
   const int max_inflight = args.GetInt("max-inflight", 0);
+  const int stats_every = args.GetInt("stats-every", 0);
+  const std::string routing = args.Get("routing", "key_hash");
   if (max_batch_rows < 1) return Fail("--max-batch-rows must be >= 1");
   if (max_queue_micros < 0) return Fail("--max-queue-micros must be >= 0");
   if (store_capacity < 1) return Fail("--store-capacity must be >= 1");
   if (replicas < 1) return Fail("--replicas must be >= 1");
   if (max_pending < 0) return Fail("--max-pending must be >= 0");
   if (max_inflight < 0) return Fail("--max-inflight must be >= 0");
+  if (stats_every < 0) return Fail("--stats-every must be >= 0");
+  if (routing != "key_hash" && routing != "least_loaded") {
+    return Fail("--routing must be key_hash|least_loaded, got '" +
+                routing + "'");
+  }
   config.batcher.max_batch_rows =
       static_cast<std::size_t>(max_batch_rows);
   config.batcher.max_queue_micros = max_queue_micros;
@@ -643,6 +651,9 @@ int RunServe(const Args& args) {
   config.replicas = static_cast<std::size_t>(replicas);
   config.max_inflight_requests =
       static_cast<std::uint64_t>(max_inflight);
+  config.routing = routing == "least_loaded"
+                       ? serve::RoutingMode::kLeastLoaded
+                       : serve::RoutingMode::kKeyHash;
 
   std::ifstream file;
   std::istream* in = &std::cin;
@@ -669,6 +680,15 @@ int RunServe(const Args& args) {
     auto request = serve::ParseRequestLine(trimmed);
     if (!request.ok()) {
       status = request.status();
+    } else if (request.value().op == "stats") {
+      // Live observability probe: the Router's merged registry, inline.
+      // The ok line carries the metric-line count so a client knows how
+      // much of the stream belongs to this response.
+      const std::string rendered = server.RenderStatsText();
+      const long metric_lines =
+          std::count(rendered.begin(), rendered.end(), '\n');
+      std::cout << "ok op=stats metrics=" << metric_lines << "\n"
+                << rendered << std::flush;
     } else {
       auto dataset =
           datasets.Get(request.value().data, request.value().transform);
@@ -692,19 +712,38 @@ int RunServe(const Args& args) {
       std::cout << "error line=" << line_no << " " << status.ToString()
                 << std::endl;
     }
+    if (stats_every > 0 && (served + failures) % stats_every == 0) {
+      // Periodic emission rides the comment channel ('# ' prefix), so
+      // response consumers that count ok/error lines are unaffected.
+      std::istringstream rendered(server.RenderStatsText());
+      std::string metric_line;
+      while (std::getline(rendered, metric_line)) {
+        std::cout << "# " << metric_line << "\n";
+      }
+      std::cout << std::flush;
+    }
   }
   server.Shutdown();
   const serve::Router::Stats stats = server.stats();
+  // The complete counter set, agreeing field-for-field with the op=stats
+  // registry surface (requests/rejected/batches plus every flush-trigger
+  // and store counter — nothing summarized away).
   std::cout << "# served=" << served << " failed=" << failures
             << " replicas=" << server.replicas()
             << " requests=" << stats.batcher.requests
             << " rejected=" << stats.batcher.rejected_requests
-            << " batches=" << stats.batcher.batches << " mean_batch_rows="
+            << " batches=" << stats.batcher.batches
+            << " full_flushes=" << stats.batcher.full_flushes
+            << " deadline_flushes=" << stats.batcher.deadline_flushes
+            << " swap_flushes=" << stats.batcher.swap_flushes
+            << " mean_batch_rows="
             << FormatDouble(stats.batcher.MeanBatchRows(), 2)
             << " mean_queue_micros="
             << FormatDouble(stats.batcher.MeanQueueMicros(), 1)
             << " store_hits=" << stats.store.hits
-            << " store_misses=" << stats.store.misses << std::endl;
+            << " store_misses=" << stats.store.misses
+            << " store_reloads=" << stats.store.reloads
+            << " store_evictions=" << stats.store.evictions << std::endl;
   return failures == 0 ? 0 : 1;
 }
 
@@ -751,11 +790,17 @@ void PrintUsage() {
       "  serve      [--requests <file>|-] [--max-batch-rows N]\n"
       "             [--max-queue-micros N] [--store-capacity N]\n"
       "             [--replicas N] [--max-pending ROWS] [--max-inflight N]\n"
+      "             [--routing key_hash|least_loaded] [--stats-every N]\n"
       "             one key=value request per line (op=transform|evaluate\n"
       "             model=<artifact> data=<csv> [transform=...] [chunk=N]\n"
       "             [clusterer=...] [k=K] [seed=N] [out=<csv>]; quote\n"
       "             values with spaces: data=\"my file.csv\"); responses\n"
       "             stream to stdout, '# ...' stats line at EOF;\n"
+      "             op=stats returns live latency histograms + gauges as\n"
+      "             name{model=\"k\"} value lines; --stats-every N emits\n"
+      "             that snapshot as '# ' comments every N requests;\n"
+      "             --routing least_loaded sends idle keys to the\n"
+      "             emptiest replica (results identical to key_hash);\n"
       "             overflow beyond --max-pending/--max-inflight rejects\n"
       "             fast with kUnavailable (reported as rejected=)\n"
       "\n"
