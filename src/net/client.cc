@@ -1,0 +1,66 @@
+#include "net/client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mcirbm::net {
+
+StatusOr<Client> Client::Connect(const std::string& host, int port) {
+  if (port <= 0 || port > 65535) {
+    return Status::InvalidArgument("port must be in [1, 65535], got " +
+                                   std::to_string(port));
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* resolved = nullptr;
+  const int rc = ::getaddrinfo(host.c_str(), std::to_string(port).c_str(),
+                               &hints, &resolved);
+  if (rc != 0) {
+    return Status::IoError("cannot resolve '" + host +
+                           "': " + gai_strerror(rc));
+  }
+  Status last = Status::IoError("no addresses for '" + host + "'");
+  for (addrinfo* addr = resolved; addr != nullptr; addr = addr->ai_next) {
+    Socket socket(
+        ::socket(addr->ai_family, addr->ai_socktype, addr->ai_protocol));
+    if (!socket.valid()) {
+      last = Status::IoError(std::string("socket: ") + std::strerror(errno));
+      continue;
+    }
+    if (::connect(socket.fd(), addr->ai_addr, addr->ai_addrlen) != 0) {
+      last = Status::IoError("connect " + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno));
+      continue;
+    }
+    const int enable = 1;
+    ::setsockopt(socket.fd(), IPPROTO_TCP, TCP_NODELAY, &enable,
+                 sizeof enable);
+    ::freeaddrinfo(resolved);
+    return Client(Connection(std::move(socket)));
+  }
+  ::freeaddrinfo(resolved);
+  return last;
+}
+
+Status Client::SendLine(const std::string& line) {
+  if (line.find('\n') != std::string::npos) {
+    return Status::InvalidArgument("request line contains '\\n'");
+  }
+  return connection_.WriteAll(line + "\n");
+}
+
+Status Client::ReadLine(std::string* line) {
+  return connection_.ReadLine(line);
+}
+
+}  // namespace mcirbm::net

@@ -1,0 +1,63 @@
+// net::Client — a line-protocol client for the serve stack's TCP
+// transport (tests, the bench load generator, ad-hoc tooling).
+//
+//   auto client = net::Client::Connect("127.0.0.1", port);
+//   client.value().SendLine("op=transform id=r1 model=enc data=d.csv");
+//   client.value().SendLine("op=stats id=s1");        // pipelined
+//   std::string response;
+//   client.value().ReadLine(&response);  // completion order, match ids
+//
+// SendLine appends the '\n' terminator; ReadLine strips it. Responses to
+// id-tagged requests arrive in completion order — match them by the
+// `id=` echo. A multi-line response (op=stats) is read as its ok line
+// (carrying metrics=<n>) followed by n more ReadLine calls.
+// ShutdownWrite() half-closes after the last request: the server
+// finishes everything already sent, flushes the responses, and closes,
+// so "read until kUnavailable" drains cleanly.
+#ifndef MCIRBM_NET_CLIENT_H_
+#define MCIRBM_NET_CLIENT_H_
+
+#include <string>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace mcirbm::net {
+
+/// One TCP connection speaking the serve line protocol.
+class Client {
+ public:
+  Client() = default;
+
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Connects to `host:port` (IPv4 dotted quad or hostname).
+  static StatusOr<Client> Connect(const std::string& host, int port);
+
+  bool valid() const { return connection_.valid(); }
+
+  /// Sends `line` + '\n'. The line must not itself contain '\n' — one
+  /// call is one request.
+  Status SendLine(const std::string& line);
+
+  /// Blocks for the next response line (terminator stripped).
+  /// kUnavailable once the server has closed.
+  Status ReadLine(std::string* line);
+
+  /// Half-close: signals end-of-requests; responses keep flowing until
+  /// the server closes its side.
+  void ShutdownWrite() { connection_.ShutdownWrite(); }
+
+  void Close() { connection_.Close(); }
+
+ private:
+  explicit Client(Connection connection)
+      : connection_(std::move(connection)) {}
+
+  Connection connection_;
+};
+
+}  // namespace mcirbm::net
+
+#endif  // MCIRBM_NET_CLIENT_H_

@@ -1,0 +1,235 @@
+#include "net/line_server.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace mcirbm::net {
+
+namespace {
+
+/// Accept-poll period: the latency bound on noticing Drain().
+constexpr int kAcceptTimeoutMs = 100;
+
+}  // namespace
+
+LineServer::LineServer(const LineServerConfig& config,
+                       serve::RequestExecutor* executor)
+    : config_(config),
+      executor_(executor),
+      accepted_total_(&registry_.counter("net_accepted_total")),
+      requests_total_(&registry_.counter("net_requests_total")),
+      responses_total_(&registry_.counter("net_responses_total")),
+      protocol_errors_total_(
+          &registry_.counter("net_protocol_errors_total")),
+      connections_open_(&registry_.gauge("net_connections_open")),
+      request_micros_(&registry_.histogram("net_request_micros")) {}
+
+LineServer::~LineServer() { Drain(); }
+
+Status LineServer::Start() {
+  auto listener = Listener::Bind(config_.host, config_.port);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  port_ = listener_.port();
+  const int handlers = std::max(1, config_.handler_threads);
+  handler_threads_.reserve(static_cast<std::size_t>(handlers));
+  for (int i = 0; i < handlers; ++i) {
+    handler_threads_.emplace_back([this] { HandlerLoop(); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+void LineServer::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto accepted = listener_.Accept(kAcceptTimeoutMs);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kUnavailable) continue;
+      break;  // listener broken; Drain still joins us cleanly
+    }
+    accepted_total_->Increment();
+    connections_open_->Add(1);
+    auto conn = std::make_shared<Conn>();
+    conn->connection = Connection(std::move(accepted).value());
+    conn->connection.max_line_bytes = config_.max_line_bytes;
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.push_back(conn);
+    reader_threads_.emplace_back([this, conn] { ReaderLoop(conn); });
+  }
+}
+
+void LineServer::ReaderLoop(std::shared_ptr<Conn> conn) {
+  std::string line;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    const Status read = conn->connection.ReadLine(&line);
+    if (!read.ok()) {
+      if (read.code() == StatusCode::kInvalidArgument) {
+        // Oversized line: a protocol violation, not a dead peer — answer
+        // it and keep the connection.
+        requests_total_->Increment();
+        protocol_errors_total_->Increment();
+        WriteResponse(conn,
+                      serve::RequestExecutor::FormatError(read, "", ""),
+                      /*ok=*/false, MonotonicMicros());
+        continue;
+      }
+      break;  // clean EOF / half-close (kUnavailable) or socket error
+    }
+    const std::string trimmed = Trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    const std::int64_t start = MonotonicMicros();
+    requests_total_->Increment();
+    auto parsed = serve::ParseRequestLine(trimmed);
+    if (!parsed.ok()) {
+      // A malformed line cannot carry a trustworthy id; answer untagged.
+      protocol_errors_total_->Increment();
+      WriteResponse(
+          conn,
+          serve::RequestExecutor::FormatError(parsed.status(), "", ""),
+          /*ok=*/false, start);
+      continue;
+    }
+    const serve::Request& request = parsed.value();
+    if (request.id.empty()) {
+      // Untagged: execute inline — strict per-connection FIFO responses.
+      ExecuteAndRespond(conn, request, start);
+      continue;
+    }
+    bool duplicate = false;
+    {
+      std::lock_guard<std::mutex> state(conn->state_mu);
+      if (conn->inflight_ids.insert(request.id).second) {
+        ++conn->inflight;
+      } else {
+        duplicate = true;
+      }
+    }
+    if (duplicate) {
+      protocol_errors_total_->Increment();
+      WriteResponse(conn,
+                    serve::RequestExecutor::FormatError(
+                        Status::InvalidArgument("duplicate id '" +
+                                                request.id +
+                                                "' already in flight"),
+                        request.id, ""),
+                    /*ok=*/false, start);
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      queue_.push_back(Task{conn, request, start});
+    }
+    queue_cv_.notify_one();
+  }
+  // Connection drain: everything this reader admitted to the handler
+  // pool must finish and flush before the socket closes.
+  {
+    std::unique_lock<std::mutex> state(conn->state_mu);
+    conn->idle_cv.wait(state, [&] { return conn->inflight == 0; });
+  }
+  CloseConn(conn);
+}
+
+void LineServer::HandlerLoop() {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock,
+                     [this] { return handlers_stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // only when handlers_stop_
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    bool ok = false;
+    const std::string payload = executor_->Execute(task.request, "", &ok);
+    {
+      // The response write and the id release are atomic with respect to
+      // the reader's duplicate check: a client that reads its response
+      // and immediately reuses the id must never be rejected, and a
+      // duplicate sent before the response is written must always be.
+      std::lock_guard<std::mutex> state(task.conn->state_mu);
+      WriteResponse(task.conn, payload, ok, task.start_micros);
+      task.conn->inflight_ids.erase(task.request.id);
+      --task.conn->inflight;
+    }
+    task.conn->idle_cv.notify_all();
+  }
+}
+
+void LineServer::ExecuteAndRespond(const std::shared_ptr<Conn>& conn,
+                                   const serve::Request& request,
+                                   std::int64_t start_micros) {
+  bool ok = false;
+  const std::string payload = executor_->Execute(request, "", &ok);
+  WriteResponse(conn, payload, ok, start_micros);
+}
+
+void LineServer::WriteResponse(const std::shared_ptr<Conn>& conn,
+                               const std::string& payload, bool ok,
+                               std::int64_t start_micros) {
+  {
+    std::lock_guard<std::mutex> lock(conn->write_mu);
+    if (!conn->write_failed) {
+      const Status written = conn->connection.WriteAll(payload);
+      // A dead peer stops further writes on this connection but must not
+      // kill the request stream already executing against it.
+      if (!written.ok()) conn->write_failed = true;
+    }
+  }
+  request_micros_->Record(
+      static_cast<double>(MonotonicMicros() - start_micros));
+  responses_total_->Increment();
+  if (ok) {
+    ok_responses_.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    error_responses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  const std::uint64_t total =
+      responses_count_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (response_hook_) response_hook_(total);
+}
+
+void LineServer::CloseConn(const std::shared_ptr<Conn>& conn) {
+  std::lock_guard<std::mutex> lock(conn->io_mu);
+  if (conn->closed) return;
+  conn->closed = true;
+  conn->connection.Close();
+  connections_open_->Add(-1);
+}
+
+void LineServer::Drain() {
+  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  if (drained_.load(std::memory_order_acquire)) return;
+  stopping_.store(true, std::memory_order_release);
+  if (started_.load(std::memory_order_acquire)) {
+    // 1. Stop accepting (the poll loop notices within kAcceptTimeoutMs).
+    accept_thread_.join();
+    // 2. Unblock every reader; each finishes its in-flight requests,
+    //    flushes their responses, and closes its connection.
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const auto& conn : conns_) {
+        std::lock_guard<std::mutex> io(conn->io_mu);
+        if (!conn->closed) conn->connection.ShutdownRead();
+      }
+    }
+    for (std::thread& reader : reader_threads_) reader.join();
+  }
+  // 3. Handlers exit once the queue is empty; readers are joined, so no
+  //    new work can arrive.
+  {
+    std::lock_guard<std::mutex> lock(queue_mu_);
+    handlers_stop_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& handler : handler_threads_) handler.join();
+  listener_.Close();
+  drained_.store(true, std::memory_order_release);
+}
+
+}  // namespace mcirbm::net

@@ -1,0 +1,23 @@
+// Umbrella header for the net module — the TCP transport of the serve
+// stack.
+//
+//   - net::Socket / net::Connection / net::Listener (socket.h): thin
+//     RAII POSIX socket layer with buffered line reads.
+//   - net::LineServer (line_server.h): multi-client pipelined
+//     line-protocol server over serve::RequestExecutor, with graceful
+//     drain and net_* metrics.
+//   - net::Client (client.h): blocking line-protocol client for tests
+//     and the load-generator bench.
+//   - net::TextEndpoint (text_endpoint.h): one-shot read-only text
+//     server (the --stats-port surface).
+//
+// The wire protocol itself is specified in serve/request.h.
+#ifndef MCIRBM_NET_NET_H_
+#define MCIRBM_NET_NET_H_
+
+#include "net/client.h"
+#include "net/line_server.h"
+#include "net/socket.h"
+#include "net/text_endpoint.h"
+
+#endif  // MCIRBM_NET_NET_H_

@@ -1,0 +1,197 @@
+#include "net/socket.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mcirbm::net {
+
+namespace {
+
+std::string ErrnoMessage(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1, std::memory_order_acq_rel),
+              std::memory_order_release);
+  }
+  return *this;
+}
+
+void Socket::ShutdownRead() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RD);
+}
+
+void Socket::ShutdownWrite() {
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_WR);
+}
+
+void Socket::Close() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
+}
+
+Status Connection::ReadLine(std::string* line) {
+  line->clear();
+  for (;;) {
+    // Serve a complete line out of the buffer first.
+    const std::size_t newline = buffer_.find('\n');
+    if (newline != std::string::npos) {
+      if (newline > max_line_bytes) {
+        // The whole oversized line arrived: drop exactly it, so the next
+        // ReadLine resyncs on the following line.
+        buffer_.erase(0, newline + 1);
+        return Status::InvalidArgument("request line exceeds " +
+                                       std::to_string(max_line_bytes) +
+                                       " bytes");
+      }
+      std::size_t len = newline;
+      if (len > 0 && buffer_[len - 1] == '\r') --len;
+      line->assign(buffer_, 0, len);
+      buffer_.erase(0, newline + 1);
+      return Status::Ok();
+    }
+    if (buffer_.size() > max_line_bytes) {
+      // Oversized with no terminator yet: drop the prefix so a later
+      // resync is at least possible, and report the violation.
+      buffer_.clear();
+      return Status::InvalidArgument("request line exceeds " +
+                                     std::to_string(max_line_bytes) +
+                                     " bytes");
+    }
+    if (eof_) {
+      // A trailing unterminated fragment is dropped: the peer closed
+      // mid-line, so the "request" was never complete.
+      return Status::Unavailable("connection closed");
+    }
+    char chunk[4096];
+    const ssize_t n = ::recv(socket_.fd(), chunk, sizeof chunk, 0);
+    if (n > 0) {
+      buffer_.append(chunk, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      eof_ = true;
+      continue;  // flush any last complete line already buffered
+    }
+    if (errno == EINTR) continue;
+    if (errno == EBADF || errno == ECONNRESET || errno == ENOTCONN) {
+      // A drain shutdown or peer reset while blocked: treat like EOF.
+      eof_ = true;
+      continue;
+    }
+    return Status::IoError(ErrnoMessage("recv"));
+  }
+}
+
+Status Connection::WriteAll(const std::string& bytes) {
+  std::size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n =
+        ::send(socket_.fd(), bytes.data() + written, bytes.size() - written,
+               MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(ErrnoMessage("send"));
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  return Status::Ok();
+}
+
+StatusOr<Listener> Listener::Bind(const std::string& host, int port,
+                                  int backlog) {
+  if (port < 0 || port > 65535) {
+    return Status::InvalidArgument("port must be in [0, 65535], got " +
+                                   std::to_string(port));
+  }
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  addrinfo* resolved = nullptr;
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               std::to_string(port).c_str(), &hints,
+                               &resolved);
+  if (rc != 0) {
+    return Status::IoError("cannot resolve bind address '" + host +
+                           "': " + gai_strerror(rc));
+  }
+  Socket socket(::socket(resolved->ai_family, resolved->ai_socktype,
+                         resolved->ai_protocol));
+  if (!socket.valid()) {
+    ::freeaddrinfo(resolved);
+    return Status::IoError(ErrnoMessage("socket"));
+  }
+  const int enable = 1;
+  ::setsockopt(socket.fd(), SOL_SOCKET, SO_REUSEADDR, &enable,
+               sizeof enable);
+  const bool bound =
+      ::bind(socket.fd(), resolved->ai_addr, resolved->ai_addrlen) == 0;
+  ::freeaddrinfo(resolved);
+  if (!bound) {
+    return Status::IoError(
+        ErrnoMessage("bind " + host + ":" + std::to_string(port)));
+  }
+  if (::listen(socket.fd(), backlog) != 0) {
+    return Status::IoError(ErrnoMessage("listen"));
+  }
+  // Read back the actually-bound port (resolves a port-0 request).
+  sockaddr_in bound_addr{};
+  socklen_t addr_len = sizeof bound_addr;
+  if (::getsockname(socket.fd(),
+                    reinterpret_cast<sockaddr*>(&bound_addr),
+                    &addr_len) != 0) {
+    return Status::IoError(ErrnoMessage("getsockname"));
+  }
+  Listener listener;
+  listener.socket_ = std::move(socket);
+  listener.port_ = ntohs(bound_addr.sin_port);
+  return listener;
+}
+
+StatusOr<Socket> Listener::Accept(int timeout_ms) {
+  pollfd pfd{};
+  pfd.fd = socket_.fd();
+  pfd.events = POLLIN;
+  const int ready = ::poll(&pfd, 1, timeout_ms);
+  if (ready == 0) return Status::Unavailable("accept timeout");
+  if (ready < 0) {
+    if (errno == EINTR) return Status::Unavailable("accept interrupted");
+    return Status::IoError(ErrnoMessage("poll"));
+  }
+  if ((pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+    return Status::IoError("listener closed");
+  }
+  Socket accepted(::accept(socket_.fd(), nullptr, nullptr));
+  if (!accepted.valid()) {
+    if (errno == EINTR || errno == ECONNABORTED || errno == EAGAIN ||
+        errno == EWOULDBLOCK) {
+      return Status::Unavailable("accept raced away");
+    }
+    return Status::IoError(ErrnoMessage("accept"));
+  }
+  // Request lines are small and latency-sensitive; don't Nagle them.
+  const int enable = 1;
+  ::setsockopt(accepted.fd(), IPPROTO_TCP, TCP_NODELAY, &enable,
+               sizeof enable);
+  return accepted;
+}
+
+}  // namespace mcirbm::net

@@ -1,0 +1,141 @@
+// net::Socket / net::Connection / net::Listener — the dependency-free
+// POSIX socket layer under the serve stack's TCP transport.
+//
+// Three small RAII types, fallible through Status like everything else:
+//
+//   - Socket: move-only owner of one file descriptor. Close() is
+//     idempotent; ShutdownRead/Write may be called from a thread other
+//     than the one blocked in I/O (that is how a graceful drain unblocks
+//     connection readers), but callers must serialize Shutdown* against
+//     Close — a shutdown racing a close could hit a recycled descriptor.
+//     net::LineServer holds a per-connection lifecycle mutex for exactly
+//     this.
+//   - Connection: a connected stream with buffered line reads.
+//     ReadLine() blocks until one '\n'-terminated line arrives (the
+//     terminator, and a preceding '\r', are stripped); a clean peer
+//     close surfaces as kUnavailable, socket errors as kIoError, and a
+//     line longer than max_line_bytes as kInvalidArgument (a protocol
+//     guard — a peer streaming an unbounded "line" must not grow server
+//     memory without limit). WriteAll() loops until every byte is
+//     queued and never raises SIGPIPE.
+//   - Listener: a bound+listening socket. Accept(timeout_ms) waits at
+//     most that long and returns kUnavailable on timeout, so an accept
+//     loop can interleave stop-flag checks without epoll machinery.
+//
+// Blocking I/O on purpose: every consumer (net::LineServer's reader
+// threads, net::Client) owns a dedicated thread for its socket, which
+// keeps the state machine trivial. The compute layers never touch these
+// threads — batched inference stays on the parallel::ThreadPool.
+#ifndef MCIRBM_NET_SOCKET_H_
+#define MCIRBM_NET_SOCKET_H_
+
+#include <atomic>
+#include <cstddef>
+#include <string>
+
+#include "util/status.h"
+
+namespace mcirbm::net {
+
+/// Move-only owner of a POSIX socket file descriptor.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(Socket&& other) noexcept { *this = std::move(other); }
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const { return fd_.load(std::memory_order_acquire) >= 0; }
+  int fd() const { return fd_.load(std::memory_order_acquire); }
+
+  /// Disables further receives; a blocked read returns EOF. Safe to call
+  /// from a thread other than the reader (this is how a graceful drain
+  /// unblocks connection readers). No-op once closed.
+  void ShutdownRead();
+  /// Disables further sends (half-close: the peer sees EOF after
+  /// consuming what was already written). No-op once closed.
+  void ShutdownWrite();
+
+  /// Closes the descriptor; idempotent.
+  void Close();
+
+ private:
+  std::atomic<int> fd_{-1};
+};
+
+/// A connected byte stream with buffered, bounded line reads.
+class Connection {
+ public:
+  Connection() = default;
+  explicit Connection(Socket socket) : socket_(std::move(socket)) {}
+
+  Connection(Connection&&) = default;
+  Connection& operator=(Connection&&) = default;
+
+  bool valid() const { return socket_.valid(); }
+
+  /// Blocks until one full line arrives; strips the trailing '\n' (and a
+  /// preceding '\r'). kUnavailable on clean EOF, kIoError on a socket
+  /// error, kInvalidArgument when a line exceeds max_line_bytes.
+  /// Single-reader: call from one thread at a time.
+  Status ReadLine(std::string* line);
+
+  /// Writes every byte of `bytes` (looping over partial sends); never
+  /// raises SIGPIPE — a dead peer surfaces as kIoError instead.
+  /// Single-writer: callers serialize (LineServer holds a per-connection
+  /// write mutex so pipelined responses never interleave mid-line).
+  Status WriteAll(const std::string& bytes);
+
+  /// See Socket. ShutdownRead is the drain signal; ShutdownWrite is the
+  /// client's half-close after its last request.
+  void ShutdownRead() { socket_.ShutdownRead(); }
+  void ShutdownWrite() { socket_.ShutdownWrite(); }
+  void Close() { socket_.Close(); }
+
+  /// Protocol guard for ReadLine (default 1 MiB).
+  std::size_t max_line_bytes = 1 << 20;
+
+ private:
+  Socket socket_;
+  std::string buffer_;  // bytes received but not yet returned
+  bool eof_ = false;
+};
+
+/// A bound, listening TCP socket.
+class Listener {
+ public:
+  Listener() = default;
+
+  Listener(Listener&&) = default;
+  Listener& operator=(Listener&&) = default;
+
+  /// Binds `host:port` (IPv4 dotted quad or hostname; port 0 asks the
+  /// kernel for an ephemeral port — read it back from port()) and
+  /// listens. SO_REUSEADDR is set so a restarted server rebinds without
+  /// waiting out TIME_WAIT.
+  static StatusOr<Listener> Bind(const std::string& host, int port,
+                                 int backlog = 64);
+
+  bool valid() const { return socket_.valid(); }
+  /// The actually-bound port (resolves port 0 requests).
+  int port() const { return port_; }
+
+  /// Waits up to `timeout_ms` for a connection. kUnavailable on timeout
+  /// (poll again after checking your stop flag), kIoError when the
+  /// listener is broken/closed.
+  StatusOr<Socket> Accept(int timeout_ms);
+
+  void Close() { socket_.Close(); }
+
+ private:
+  Socket socket_;
+  int port_ = 0;
+};
+
+}  // namespace mcirbm::net
+
+#endif  // MCIRBM_NET_SOCKET_H_

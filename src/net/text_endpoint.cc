@@ -1,0 +1,55 @@
+#include "net/text_endpoint.h"
+
+#include <utility>
+
+namespace mcirbm::net {
+
+namespace {
+
+constexpr int kAcceptTimeoutMs = 100;
+
+}  // namespace
+
+TextEndpoint::TextEndpoint(std::string host, int port, Renderer renderer)
+    : host_(std::move(host)),
+      requested_port_(port),
+      renderer_(std::move(renderer)) {}
+
+TextEndpoint::~TextEndpoint() { Stop(); }
+
+Status TextEndpoint::Start() {
+  auto listener = Listener::Bind(host_, requested_port_);
+  if (!listener.ok()) return listener.status();
+  listener_ = std::move(listener).value();
+  port_ = listener_.port();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  started_.store(true, std::memory_order_release);
+  return Status::Ok();
+}
+
+void TextEndpoint::AcceptLoop() {
+  while (!stopping_.load(std::memory_order_acquire)) {
+    auto accepted = listener_.Accept(kAcceptTimeoutMs);
+    if (!accepted.ok()) {
+      if (accepted.status().code() == StatusCode::kUnavailable) continue;
+      break;
+    }
+    Connection connection(std::move(accepted).value());
+    // Best effort: a client that hangs up mid-payload is its own
+    // problem; the next connection gets a fresh render.
+    connection.WriteAll(renderer_());
+    connection.ShutdownWrite();
+    connection.Close();
+  }
+}
+
+void TextEndpoint::Stop() {
+  if (!started_.load(std::memory_order_acquire)) return;
+  if (stopping_.exchange(true, std::memory_order_acq_rel)) {
+    return;  // another Stop (or the destructor after Stop) already ran
+  }
+  accept_thread_.join();
+  listener_.Close();
+}
+
+}  // namespace mcirbm::net

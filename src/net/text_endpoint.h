@@ -1,0 +1,60 @@
+// net::TextEndpoint — a one-shot read-only text server: every client
+// that connects receives the rendered payload and is closed immediately.
+//
+// This is the `mcirbm_cli serve --stats-port <p>` surface: point
+// anything that can open a TCP connection (curl, nc, a dashboard
+// scraper) at the port and it gets the live metrics snapshot as
+// Prometheus-style text, no request line required. The renderer runs on
+// the endpoint's accept thread per connection, so it must be thread-safe
+// against the serving threads (Router::metrics_snapshot and
+// RequestExecutor::RenderStatsText are).
+#ifndef MCIRBM_NET_TEXT_ENDPOINT_H_
+#define MCIRBM_NET_TEXT_ENDPOINT_H_
+
+#include <atomic>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "net/socket.h"
+#include "util/status.h"
+
+namespace mcirbm::net {
+
+/// Serves `renderer()` to each connecting client, then closes it.
+class TextEndpoint {
+ public:
+  using Renderer = std::function<std::string()>;
+
+  /// `renderer` is invoked once per connection; port 0 = ephemeral.
+  TextEndpoint(std::string host, int port, Renderer renderer);
+  ~TextEndpoint();
+
+  TextEndpoint(const TextEndpoint&) = delete;
+  TextEndpoint& operator=(const TextEndpoint&) = delete;
+
+  /// Binds and starts the accept thread.
+  Status Start();
+
+  /// The bound port once Start succeeded.
+  int port() const { return port_; }
+
+  /// Stops accepting and joins; idempotent (also run by the destructor).
+  void Stop();
+
+ private:
+  void AcceptLoop();
+
+  const std::string host_;
+  const int requested_port_;
+  const Renderer renderer_;
+  Listener listener_;
+  int port_ = 0;
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread accept_thread_;
+};
+
+}  // namespace mcirbm::net
+
+#endif  // MCIRBM_NET_TEXT_ENDPOINT_H_

@@ -1,0 +1,121 @@
+// serve::RequestExecutor — executes parsed serve requests against a
+// Router and formats the single-line (or, for stats, multi-line)
+// responses of the protocol documented in serve/request.h.
+//
+// This is the piece between a request transport and the serving core:
+// `mcirbm_cli serve` drives it from a file/stdin line loop, and
+// net::LineServer drives it from per-connection TCP readers. Execute()
+// is safe from any number of threads — the Router is concurrent by
+// contract and the executor's dataset cache takes its own lock — which
+// is what makes pipelined (out-of-order) execution of id-tagged network
+// requests possible.
+//
+// Responsibilities:
+//   - a bounded (path, transform) -> Dataset cache, so per-row request
+//     streams do not re-read and re-preprocess the CSV each time;
+//   - op=transform: chunked submission through Router::Submit with
+//     client-side retry-after-drain on kUnavailable admission
+//     rejections, in-order reassembly, optional out= CSV write;
+//   - op=evaluate: one whole-set SubmitEvaluate with the same retry
+//     policy;
+//   - op=stats: the Router's merged metrics snapshot, folded together
+//     with any extra registries (the net layer's) registered via
+//     AddStatsRegistry;
+//   - response formatting, echoing the request's opaque id= tag as the
+//     first key of every ok/error line.
+//
+// Execution failures come back as "error ..." response lines, never
+// exceptions or aborts; the bool out-param distinguishes them so a
+// driver can keep its own served/failed tally.
+#ifndef MCIRBM_SERVE_EXECUTOR_H_
+#define MCIRBM_SERVE_EXECUTOR_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "obs/registry.h"
+#include "serve/request.h"
+#include "serve/router.h"
+#include "util/status.h"
+
+namespace mcirbm::serve {
+
+/// Request-execution knobs.
+struct ExecutorConfig {
+  /// Distinct (path, transform) datasets kept in memory (FIFO eviction).
+  std::size_t dataset_cache_capacity = 8;
+};
+
+/// Executes parsed requests against a Router; shared by the CLI serve
+/// loop and the net::LineServer transport.
+class RequestExecutor {
+ public:
+  /// `router` must outlive the executor.
+  explicit RequestExecutor(Router* router, const ExecutorConfig& config = {});
+
+  RequestExecutor(const RequestExecutor&) = delete;
+  RequestExecutor& operator=(const RequestExecutor&) = delete;
+
+  /// Folds `registry`'s snapshot into every op=stats response (and
+  /// RenderStatsText) in addition to the Router's own merge — how the
+  /// net layer's net_* metrics join the stats surface. The registry must
+  /// outlive the executor. Not thread-safe against concurrent Execute;
+  /// register during setup.
+  void AddStatsRegistry(const obs::Registry* registry);
+
+  /// Executes one parsed request to completion (blocking on the
+  /// Router's futures) and returns the full '\n'-terminated response
+  /// payload: one "ok ..."/"error ..." line, plus the rendered metric
+  /// lines for op=stats. `context` is extra diagnostic tokens spliced
+  /// into an error line after the id echo (the file loop's "line=N");
+  /// pass "" over the network. `ok_out` (optional) reports whether the
+  /// response is an ok line. Thread-safe.
+  std::string Execute(const Request& request, const std::string& context,
+                      bool* ok_out = nullptr);
+
+  /// The error response line (newline-terminated) for a request that
+  /// failed before execution — parse errors (`id` empty when the line
+  /// was unparseable) and the transport's duplicate-id rejections.
+  static std::string FormatError(const Status& status, const std::string& id,
+                                 const std::string& context);
+
+  /// The Router's merged snapshot plus every AddStatsRegistry extra —
+  /// the op=stats payload and the --stats-port endpoint body.
+  std::string RenderStatsText() const;
+
+ private:
+  /// Bounded (path, transform) -> preprocessed dataset cache. Entries
+  /// are shared_ptr so a hit stays valid while later requests churn the
+  /// cache. FIFO eviction over insertion order.
+  class DatasetCache {
+   public:
+    explicit DatasetCache(std::size_t capacity) : capacity_(capacity) {}
+    StatusOr<std::shared_ptr<const data::Dataset>> Get(
+        const std::string& path, const std::string& transform);
+
+   private:
+    const std::size_t capacity_;
+    std::mutex mu_;
+    std::map<std::string, std::shared_ptr<const data::Dataset>> cache_;
+    std::deque<std::string> order_;
+  };
+
+  StatusOr<std::string> ExecuteTransform(const Request& request,
+                                         const data::Dataset& ds);
+  StatusOr<std::string> ExecuteEvaluate(const Request& request,
+                                        const data::Dataset& ds);
+  std::string ExecuteStats(const Request& request);
+
+  Router* const router_;
+  DatasetCache datasets_;
+  std::vector<const obs::Registry*> extra_registries_;
+};
+
+}  // namespace mcirbm::serve
+
+#endif  // MCIRBM_SERVE_EXECUTOR_H_

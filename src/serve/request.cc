@@ -64,9 +64,9 @@ StatusOr<Request> ParseRequestLine(const std::string& line) {
   if (values.empty()) {
     return Status::ParseError("empty request line");
   }
-  const Status known = values.ExpectOnly({"op", "model", "data", "transform",
-                                          "chunk", "clusterer", "k", "seed",
-                                          "out"});
+  const Status known = values.ExpectOnly({"op", "id", "model", "data",
+                                          "transform", "chunk", "clusterer",
+                                          "k", "seed", "out"});
   if (!known.ok()) return known;
 
   Request request;
@@ -76,12 +76,22 @@ StatusOr<Request> ParseRequestLine(const std::string& line) {
     return Status::InvalidArgument(
         "op must be transform|evaluate|stats, got '" + request.op + "'");
   }
+  // `id` is opaque to the server (echoed verbatim on the response) but
+  // may not be empty: an empty echo would be indistinguishable from an
+  // untagged response, so a client could never match it.
+  if (values.Has("id")) {
+    MCIRBM_ASSIGN_OR_RETURN(request.id, values.GetString("id", ""));
+    if (request.id.empty()) {
+      return Status::InvalidArgument("id must be non-empty when given");
+    }
+  }
   if (request.op == "stats") {
-    // A stats probe names no model or dataset; extra keys are almost
-    // certainly a mangled transform line, so reject loudly.
-    if (values.size() != 1) {
+    // A stats probe names no model or dataset; extra keys beyond the
+    // response-matching id are almost certainly a mangled transform
+    // line, so reject loudly.
+    if (values.size() != (values.Has("id") ? 2u : 1u)) {
       return Status::InvalidArgument(
-          "op=stats takes no other keys");
+          "op=stats takes no keys other than id");
     }
     return request;
   }

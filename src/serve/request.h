@@ -1,25 +1,48 @@
-// The `mcirbm_cli serve` request line format.
+// The serve request line format, shared by `mcirbm_cli serve` file/stdin
+// streams and the net::LineServer TCP transport.
 //
-// One request per line, whitespace-separated key=value pairs (the same
-// key=value vocabulary idiom as api::ParseConfig; '#' lines and blank
-// lines are skipped by the driver):
+// Protocol grammar (one request per line; '#' lines and blank lines are
+// skipped by every driver):
+//
+//   request   = pair *( WSP pair ) LF
+//   pair      = key "=" value
+//   key       = 1*( ALPHA | DIGIT | "_" | "-" )       ; no '=' or WSP
+//   value     = bare / quoted
+//   bare      = *( any octet except WSP )
+//   quoted    = DQUOTE *( any octet except DQUOTE ) DQUOTE
+//   response  = ( "ok" [ " id=" id ] " op=" op *( " " pair ) /
+//                 "error" [ " id=" id ] [ " " context ] " " status ) LF
+//
+// A quoted value carries spaces (`data="my file.csv"`); the quotes are
+// stripped verbatim — no escape sequences. An unterminated quote fails
+// the line. `seed` accepts the full unsigned 64-bit range.
+//
+// Examples:
 //
 //   op=transform model=enc.mcirbm data=ds.csv chunk=1 out=features.csv
 //   op=evaluate  model=enc.mcirbm data=ds.csv clusterer=kmeans k=3 seed=7
-//   op=stats
+//   op=stats id=probe-7
 //
-// A value may be double-quoted to carry spaces (`data="my file.csv"`);
-// the quotes are stripped verbatim — no escape sequences. An
-// unterminated quote fails the line. `seed` accepts the full unsigned
-// 64-bit range.
+// `op=stats` takes no keys other than `id` (any are rejected): it asks
+// the serve loop for the live observability snapshot — the Router's
+// merged obs::Registry rendered as Prometheus-style `name{model="k"}
+// value` lines, inline in the response stream. Its ok line carries
+// `metrics=<n>`, the number of snapshot lines that follow it, so a
+// pipelined client knows how much of the stream belongs to the response.
 //
-// `op=stats` takes no other keys (any are rejected): it asks the serve
-// loop for the live observability snapshot — the Router's merged
-// obs::Registry rendered as Prometheus-style `name{model="k"} value`
-// lines, inline in the response stream.
+// Pipelining (`id=`): every op accepts an opaque non-empty `id` value,
+// echoed verbatim as the first key of the matching ok/error response
+// line. Over a TCP connection, id-tagged requests may be executed
+// concurrently and their responses interleave in completion order;
+// requests WITHOUT an id are answered in strict per-connection FIFO
+// order. Two id-tagged requests with the same id may not be in flight on
+// one connection at the same time (the second is rejected); once a
+// response is written its id may be reused. The file/stdin serve loop is
+// sequential, so ids there only echo.
 //
 // Keys:
 //   op         transform | evaluate | stats                (required)
+//   id         opaque non-empty response-matching tag (optional; any op)
 //   model      model artifact path — the ModelStore key    (required
 //              unless op=stats)
 //   data       dataset CSV (trailing integer label column) (required
@@ -48,6 +71,7 @@ namespace mcirbm::serve {
 /// One parsed `mcirbm_cli serve` request line.
 struct Request {
   std::string op;         ///< "transform", "evaluate", or "stats"
+  std::string id;         ///< opaque response-matching tag ("" = none)
   std::string model;      ///< model artifact path (ModelStore key)
   std::string data;       ///< dataset CSV path
   std::string transform = "none";  ///< preprocessing applied to the CSV

@@ -13,9 +13,12 @@
 //   - serve::Router — N Server replicas behind key-hash or load-aware
 //     routing with one shared ModelStore and fail-fast admission
 //     control (serve/router.h);
-//   - serve::ParseRequestLine — the `mcirbm_cli serve` request-line
-//     format, including the op=stats observability probe
-//     (serve/request.h).
+//   - serve::ParseRequestLine — the serve request-line format, including
+//     the op=stats observability probe and the pipelining id= tag
+//     (serve/request.h);
+//   - serve::RequestExecutor — executes parsed requests against a Router
+//     and formats responses; the piece shared by the CLI's file/stdin
+//     loop and the src/net TCP transport (serve/executor.h).
 //
 // Every component records into the src/obs metrics layer (latency
 // histograms, queue gauges, counters); Router::RenderStatsText() is the
@@ -26,6 +29,7 @@
 #ifndef MCIRBM_SERVE_SERVE_H_
 #define MCIRBM_SERVE_SERVE_H_
 
+#include "serve/executor.h"
 #include "serve/micro_batcher.h"
 #include "serve/model_store.h"
 #include "serve/request.h"

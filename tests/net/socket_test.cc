@@ -1,0 +1,135 @@
+// net::Listener / net::Connection / net::Client — the raw socket layer:
+// bind/accept/connect plumbing, buffered line framing, CR stripping,
+// oversized-line rejection, and half-close EOF semantics.
+#include "net/socket.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "net/client.h"
+
+namespace mcirbm::net {
+namespace {
+
+// Bind an ephemeral listener and connect one client to it, returning
+// both ends ready for line I/O.
+struct LoopbackPair {
+  Listener listener;
+  Connection server;
+  Client client;
+};
+
+LoopbackPair MakeLoopbackPair() {
+  LoopbackPair pair;
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  EXPECT_TRUE(listener.ok()) << listener.status().ToString();
+  pair.listener = std::move(listener).value();
+  auto client = Client::Connect("127.0.0.1", pair.listener.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  pair.client = std::move(client).value();
+  auto accepted = pair.listener.Accept(2000);
+  EXPECT_TRUE(accepted.ok()) << accepted.status().ToString();
+  pair.server = Connection(std::move(accepted).value());
+  return pair;
+}
+
+TEST(ListenerTest, BindEphemeralReportsConcretePort) {
+  auto listener = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(listener.ok()) << listener.status().ToString();
+  EXPECT_GT(listener.value().port(), 0);
+  EXPECT_LE(listener.value().port(), 65535);
+}
+
+TEST(ListenerTest, AcceptTimesOutUnavailableWithoutClients) {
+  auto bound = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(bound.ok());
+  Listener listener = std::move(bound).value();
+  auto accepted = listener.Accept(10);
+  ASSERT_FALSE(accepted.ok());
+  EXPECT_EQ(accepted.status().code(), StatusCode::kUnavailable);
+}
+
+TEST(ClientTest, ConnectToClosedPortFails) {
+  // Bind then immediately close: the port is known-unoccupied, so the
+  // connect is refused rather than hanging.
+  auto bound = Listener::Bind("127.0.0.1", 0);
+  ASSERT_TRUE(bound.ok());
+  Listener listener = std::move(bound).value();
+  const int port = listener.port();
+  listener.Close();
+  auto client = Client::Connect("127.0.0.1", port);
+  ASSERT_FALSE(client.ok());
+  EXPECT_EQ(client.status().code(), StatusCode::kIoError);
+}
+
+TEST(ClientTest, RejectsEmbeddedNewline) {
+  auto pair = MakeLoopbackPair();
+  const Status sent = pair.client.SendLine("two\nlines");
+  ASSERT_FALSE(sent.ok());
+  EXPECT_EQ(sent.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ConnectionTest, RoundTripsLinesAndStripsCarriageReturn) {
+  auto pair = MakeLoopbackPair();
+  ASSERT_TRUE(pair.client.SendLine("hello world").ok());
+  ASSERT_TRUE(pair.client.SendLine("crlf\r").ok());  // wire: "crlf\r\n"
+  std::string line;
+  ASSERT_TRUE(pair.server.ReadLine(&line).ok());
+  EXPECT_EQ(line, "hello world");
+  ASSERT_TRUE(pair.server.ReadLine(&line).ok());
+  EXPECT_EQ(line, "crlf");
+  // And the other direction, through the client's reader.
+  ASSERT_TRUE(pair.server.WriteAll("response\n").ok());
+  ASSERT_TRUE(pair.client.ReadLine(&line).ok());
+  EXPECT_EQ(line, "response");
+}
+
+TEST(ConnectionTest, OversizedLineIsInvalidArgumentAndResyncs) {
+  auto pair = MakeLoopbackPair();
+  pair.server.max_line_bytes = 16;
+  ASSERT_TRUE(pair.client.SendLine(std::string(64, 'x')).ok());
+  ASSERT_TRUE(pair.client.SendLine("short").ok());
+  std::string line;
+  const Status read = pair.server.ReadLine(&line);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.code(), StatusCode::kInvalidArgument);
+  // The stream resynchronizes on the next line.
+  ASSERT_TRUE(pair.server.ReadLine(&line).ok());
+  EXPECT_EQ(line, "short");
+}
+
+TEST(ConnectionTest, HalfCloseDeliversBufferedLinesThenEof) {
+  auto pair = MakeLoopbackPair();
+  ASSERT_TRUE(pair.client.SendLine("last request").ok());
+  pair.client.ShutdownWrite();
+  std::string line;
+  ASSERT_TRUE(pair.server.ReadLine(&line).ok());
+  EXPECT_EQ(line, "last request");
+  const Status eof = pair.server.ReadLine(&line);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.code(), StatusCode::kUnavailable);
+  // The server can still answer after the client's half-close.
+  ASSERT_TRUE(pair.server.WriteAll("goodbye\n").ok());
+  ASSERT_TRUE(pair.client.ReadLine(&line).ok());
+  EXPECT_EQ(line, "goodbye");
+}
+
+TEST(ConnectionTest, UnterminatedTrailingFragmentIsDroppedAtEof) {
+  // A peer that dies mid-line never completed that request; executing a
+  // truncated line (e.g. a clipped out= path) would be worse than
+  // dropping it.
+  auto pair = MakeLoopbackPair();
+  ASSERT_TRUE(pair.server.WriteAll("complete\nfragment without end").ok());
+  pair.server.ShutdownWrite();
+  std::string line;
+  ASSERT_TRUE(pair.client.ReadLine(&line).ok());
+  EXPECT_EQ(line, "complete");
+  const Status eof = pair.client.ReadLine(&line);
+  ASSERT_FALSE(eof.ok());
+  EXPECT_EQ(eof.code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace mcirbm::net

@@ -65,6 +65,33 @@ TEST(ParseRequestLineTest, RejectsStatsRequestWithExtraKeys) {
   EXPECT_FALSE(ParseRequestLine("op=stats seed=7").ok());
 }
 
+TEST(ParseRequestLineTest, ParsesPipeliningIdOnEveryOp) {
+  // The opaque response-matching tag rides any op, including stats.
+  auto transform =
+      ParseRequestLine("op=transform id=c1_r42 model=m.txt data=d.csv");
+  ASSERT_TRUE(transform.ok()) << transform.status().ToString();
+  EXPECT_EQ(transform.value().id, "c1_r42");
+  auto evaluate =
+      ParseRequestLine("op=evaluate model=m data=d id=\"probe 7\"");
+  ASSERT_TRUE(evaluate.ok()) << evaluate.status().ToString();
+  EXPECT_EQ(evaluate.value().id, "probe 7");
+  auto stats = ParseRequestLine("op=stats id=s1");
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats.value().id, "s1");
+  // Untagged requests keep an empty id (FIFO responses).
+  EXPECT_TRUE(
+      ParseRequestLine("op=transform model=m data=d").value().id.empty());
+}
+
+TEST(ParseRequestLineTest, RejectsEmptyId) {
+  // An empty echo would be indistinguishable from an untagged response,
+  // so the client could never match it.
+  auto empty = ParseRequestLine("op=transform id= model=m data=d");
+  ASSERT_FALSE(empty.ok());
+  EXPECT_EQ(empty.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(ParseRequestLine("op=stats id=\"\"").ok());
+}
+
 TEST(ParseRequestLineTest, RejectsUnknownOpNamingTheVocabulary) {
   auto bad = ParseRequestLine("op=status model=m data=d");
   ASSERT_FALSE(bad.ok());

@@ -25,16 +25,20 @@
 //   mcirbm_cli eval --data vt.csv --model-file vt_model.txt \
 //       --standardize --clusterer kmeans
 //   mcirbm_cli pipeline --config run.cfg
-#include <algorithm>
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
+#include <csignal>
+#include <cstdint>
 #include <cstdlib>
-#include <deque>
 #include <fstream>
-#include <future>
 #include <initializer_list>
 #include <iostream>
-#include <map>
 #include <memory>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -42,6 +46,7 @@
 #include <vector>
 
 #include "api/api.h"
+#include "net/net.h"
 #include "serve/serve.h"
 #include "core/model_selection.h"
 #include "eval/experiment.h"
@@ -452,168 +457,143 @@ int RunPipeline(const Args& args) {
   return 0;
 }
 
-// Dataset cache for the serve loop: one load + preprocess per distinct
-// (path, transform) pair, so per-row requests do not re-read the CSV.
-// Bounded (FIFO over insertion order) because the serve loop is
-// long-lived — a stream naming ever-new CSVs must not grow memory
-// without limit. The returned pointer is valid until the next Get.
-class ServeDatasetCache {
+// SIGINT/SIGTERM request a graceful drain of the serve subcommand: stop
+// taking new requests, finish and flush everything in flight, print the
+// final stats, exit 0. Installed WITHOUT SA_RESTART so a getline blocked
+// on stdin returns with EINTR and the file-mode loop notices the flag.
+volatile std::sig_atomic_t g_serve_shutdown = 0;
+
+extern "C" void HandleServeSignal(int) { g_serve_shutdown = 1; }
+
+void InstallServeSignalHandlers() {
+  struct sigaction action {};
+  action.sa_handler = HandleServeSignal;
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // no SA_RESTART: unblock reads on signal
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+}
+
+// Raw-fd line reader for the serve request stream. istream::getline is
+// unusable here: libstdc++ retries ::read on EINTR internally, so a
+// loop blocked on stdin would never observe a drain signal. A direct
+// ::read returns EINTR (the handlers install without SA_RESTART), and
+// Next() turns that into a clean end-of-stream when the flag is up.
+class ServeLineReader {
  public:
-  StatusOr<const data::Dataset*> Get(const std::string& path,
-                                     const std::string& transform) {
-    const std::string key = transform + "|" + path;
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return &it->second;
-    auto loaded = data::LoadDatasetCsv(path, path);
-    if (!loaded.ok()) return loaded.status();
-    data::Dataset ds = std::move(loaded).value();
-    if (transform == "standardize") {
-      data::StandardizeInPlace(&ds.x);
-    } else if (transform == "minmax") {
-      data::MinMaxScaleInPlace(&ds.x);
-    } else if (transform == "binarize") {
-      data::MinMaxScaleInPlace(&ds.x);
-      data::BinarizeAtColumnMeanInPlace(&ds.x);
+  explicit ServeLineReader(int fd) : fd_(fd) {}
+
+  /// False on EOF, read error, or drain signal; a final unterminated
+  /// line still comes through before EOF reports.
+  bool Next(std::string* line) {
+    for (;;) {
+      const std::size_t pos = buffer_.find('\n');
+      if (pos != std::string::npos) {
+        line->assign(buffer_, 0, pos);
+        buffer_.erase(0, pos + 1);
+        return true;
+      }
+      if (eof_) {
+        if (buffer_.empty()) return false;
+        line->assign(buffer_);
+        buffer_.clear();
+        return true;
+      }
+      char chunk[4096];
+      const ssize_t n = ::read(fd_, chunk, sizeof chunk);
+      if (n > 0) {
+        buffer_.append(chunk, static_cast<std::size_t>(n));
+      } else if (n == 0) {
+        eof_ = true;
+      } else if (errno != EINTR || g_serve_shutdown != 0) {
+        return false;
+      }
     }
-    while (cache_.size() >= kCapacity) {
-      cache_.erase(order_.front());
-      order_.pop_front();
-    }
-    order_.push_back(key);
-    return &cache_.emplace(key, std::move(ds)).first->second;
   }
 
  private:
-  static constexpr std::size_t kCapacity = 8;
-  std::map<std::string, data::Dataset> cache_;
-  std::deque<std::string> order_;
+  const int fd_;
+  std::string buffer_;
+  bool eof_ = false;
 };
 
-// Client-side backpressure policy for the serve loop: a submission
-// rejected with kUnavailable (queue or inflight overflow) is retried
-// after the oldest outstanding future drains — the natural response to
-// admission control, and since this loop is the router's only client the
-// pressure always clears. The retry cap turns a logic error (e.g. a
-// bound no single request can ever fit under) into a failed request
-// instead of a hung CLI.
-constexpr int kMaxOverflowRetries = 100000;
-constexpr std::chrono::microseconds kOverflowBackoff(100);
-
-// op=transform: submits the dataset in `chunk`-row requests (default one
-// row each — the micro-batcher coalesces them back into batched passes),
-// reassembles the feature rows in order, and prints one response line.
-Status ServeTransform(serve::Router* router, const serve::Request& request,
-                      const data::Dataset& ds) {
-  const std::size_t rows = ds.x.rows();
-  const std::size_t cols = ds.x.cols();
-  const std::size_t num_chunks = (rows + request.chunk - 1) / request.chunk;
-  std::vector<linalg::Matrix> parts(num_chunks);
-  // Chunks accepted but not yet resolved, oldest first.
-  std::deque<std::pair<std::size_t, std::future<StatusOr<linalg::Matrix>>>>
-      outstanding;
-  auto resolve_oldest = [&]() -> Status {
-    auto [index, future] = std::move(outstanding.front());
-    outstanding.pop_front();
-    auto part = future.get();
-    if (!part.ok()) return part.status();
-    parts[index] = std::move(part).value();
-    return Status::Ok();
-  };
-
-  int retries = 0;
-  std::size_t chunk_index = 0;
-  for (std::size_t begin = 0; begin < rows;
-       begin += request.chunk, ++chunk_index) {
-    const std::size_t end = std::min(begin + request.chunk, rows);
-    for (;;) {
-      linalg::Matrix slice(end - begin, cols);
-      std::copy_n(ds.x.data() + begin * cols, slice.size(), slice.data());
-      auto future = router->Submit(request.model, std::move(slice));
-      if (future.wait_for(std::chrono::seconds(0)) !=
-          std::future_status::ready) {
-        outstanding.emplace_back(chunk_index, std::move(future));
-        break;
-      }
-      // Already resolved: either a fast completion, a rejection to retry,
-      // or a real error.
-      auto result = future.get();
-      if (result.ok()) {
-        parts[chunk_index] = std::move(result).value();
-        break;
-      }
-      if (result.status().code() != StatusCode::kUnavailable ||
-          ++retries > kMaxOverflowRetries) {
-        return result.status();
-      }
-      if (outstanding.empty()) {
-        std::this_thread::sleep_for(kOverflowBackoff);
-      } else {
-        const Status drained = resolve_oldest();
-        if (!drained.ok()) return drained;
-      }
-    }
+// The '# ' comment-channel stats snapshot (periodic --stats-every
+// emissions and the final drain report), serialized so concurrent
+// network handlers cannot interleave lines.
+void PrintCommentedStats(const serve::RequestExecutor& executor,
+                         std::mutex* stdout_mu) {
+  std::istringstream rendered(executor.RenderStatsText());
+  std::string metric_line;
+  std::lock_guard<std::mutex> lock(*stdout_mu);
+  while (std::getline(rendered, metric_line)) {
+    std::cout << "# " << metric_line << "\n";
   }
-  while (!outstanding.empty()) {
-    const Status drained = resolve_oldest();
-    if (!drained.ok()) return drained;
-  }
-
-  linalg::Matrix features;
-  std::size_t offset = 0;
-  for (linalg::Matrix& part : parts) {
-    if (features.empty()) features.Resize(rows, part.cols());
-    std::copy_n(part.data(), part.size(),
-                features.data() + offset * features.cols());
-    offset += part.rows();
-  }
-  std::cout << "ok op=transform model=" << request.model
-            << " data=" << request.data << " rows=" << features.rows()
-            << " cols=" << features.cols() << " requests=" << num_chunks
-            << " retries=" << retries
-            << " sum=" << FormatDouble(features.Sum(), 6) << std::endl;
-  if (!request.out.empty()) {
-    data::Dataset out_ds = ds;
-    out_ds.x = std::move(features);
-    out_ds.name = ds.name + ":hidden";
-    const Status saved = data::SaveDatasetCsv(out_ds, request.out);
-    if (!saved.ok()) return saved;
-  }
-  return Status::Ok();
+  std::cout << std::flush;
 }
 
-// op=evaluate: one request carrying the whole dataset (clustering is a
-// whole-set operation); its rows still join the shared batched pass.
-Status ServeEvaluate(serve::Router* router, const serve::Request& request,
-                     const data::Dataset& ds) {
-  api::EvalOptions options;
-  options.clusterer = request.clusterer;
-  options.k = request.k;
-  options.seed = request.seed;
-  StatusOr<api::EvalResult> result = Status::Unavailable("not submitted");
-  for (int retries = 0;; ++retries) {
-    result =
-        router->SubmitEvaluate(request.model, ds.x, ds.labels, options)
-            .get();
-    if (result.ok() ||
-        result.status().code() != StatusCode::kUnavailable ||
-        retries >= kMaxOverflowRetries) {
-      break;
-    }
-    std::this_thread::sleep_for(kOverflowBackoff);
+// The complete end-of-serve counter line, agreeing field-for-field with
+// the op=stats registry surface (requests/rejected/batches plus every
+// flush-trigger and store counter — nothing summarized away).
+void PrintServeSummary(const serve::Router& server, std::uint64_t served,
+                       std::uint64_t failures) {
+  const serve::Router::Stats stats = server.stats();
+  std::cout << "# served=" << served << " failed=" << failures
+            << " replicas=" << server.replicas()
+            << " requests=" << stats.batcher.requests
+            << " rejected=" << stats.batcher.rejected_requests
+            << " batches=" << stats.batcher.batches
+            << " full_flushes=" << stats.batcher.full_flushes
+            << " deadline_flushes=" << stats.batcher.deadline_flushes
+            << " swap_flushes=" << stats.batcher.swap_flushes
+            << " mean_batch_rows="
+            << FormatDouble(stats.batcher.MeanBatchRows(), 2)
+            << " mean_queue_micros="
+            << FormatDouble(stats.batcher.MeanQueueMicros(), 1)
+            << " store_hits=" << stats.store.hits
+            << " store_misses=" << stats.store.misses
+            << " store_reloads=" << stats.store.reloads
+            << " store_evictions=" << stats.store.evictions << std::endl;
+}
+
+// serve --listen: hand the request stream to the TCP transport and park
+// until a shutdown signal, then drain in order (transport first, so
+// every in-flight request resolves through the router before it stops).
+int RunServeListen(serve::Router* server, serve::RequestExecutor* executor,
+                   net::TextEndpoint* stats_endpoint, int listen_port,
+                   int handler_threads, int stats_every,
+                   std::mutex* stdout_mu) {
+  net::LineServerConfig net_config;
+  net_config.port = listen_port;
+  net_config.handler_threads = handler_threads;
+  net::LineServer transport(net_config, executor);
+  executor->AddStatsRegistry(&transport.registry());
+  if (stats_every > 0) {
+    transport.set_response_hook(
+        [executor, stats_every, stdout_mu](std::uint64_t responses) {
+          if (responses % static_cast<std::uint64_t>(stats_every) == 0) {
+            PrintCommentedStats(*executor, stdout_mu);
+          }
+        });
   }
-  if (!result.ok()) return result.status();
-  const metrics::MetricBundle& m = result.value().metrics;
-  std::cout << "ok op=evaluate model=" << request.model
-            << " data=" << request.data
-            << " clusterer=" << request.clusterer
-            << " clusters=" << result.value().clusters_found
-            << " accuracy=" << FormatDouble(m.accuracy, 4)
-            << " purity=" << FormatDouble(m.purity, 4)
-            << " rand=" << FormatDouble(m.rand_index, 4)
-            << " fmi=" << FormatDouble(m.fmi, 4)
-            << " ari=" << FormatDouble(m.ari, 4)
-            << " nmi=" << FormatDouble(m.nmi, 4) << std::endl;
-  return Status::Ok();
+  const Status started = transport.Start();
+  if (!started.ok()) return Fail(started);
+  {
+    std::lock_guard<std::mutex> lock(*stdout_mu);
+    std::cout << "# listening port=" << transport.port()
+              << " replicas=" << server->replicas() << std::endl;
+  }
+  while (g_serve_shutdown == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  transport.Drain();
+  if (stats_endpoint != nullptr) stats_endpoint->Stop();
+  // Everything is flushed; the final snapshot (pending gauges now zero)
+  // and summary go out before the router stops.
+  PrintCommentedStats(*executor, stdout_mu);
+  PrintServeSummary(*server, transport.ok_responses(),
+                    transport.error_responses());
+  server->Shutdown();
+  return 0;
 }
 
 int RunServe(const Args& args) {
@@ -621,7 +601,9 @@ int RunServe(const Args& args) {
                                       "max-queue-micros", "store-capacity",
                                       "replicas", "max-pending",
                                       "max-inflight", "routing",
-                                      "stats-every", "threads"});
+                                      "stats-every", "listen",
+                                      "handler-threads", "stats-port",
+                                      "threads"});
   if (!valid.ok()) return Fail(valid);
   serve::RouterConfig config;
   const int max_batch_rows = args.GetInt("max-batch-rows", 64);
@@ -655,95 +637,96 @@ int RunServe(const Args& args) {
                        ? serve::RoutingMode::kLeastLoaded
                        : serve::RoutingMode::kKeyHash;
 
-  std::ifstream file;
-  std::istream* in = &std::cin;
-  const std::string requests_path = args.Get("requests", "-");
-  if (requests_path != "-") {
-    file.open(requests_path);
-    if (!file) {
-      return Fail("cannot open request file " + requests_path);
-    }
-    in = &file;
+  const int listen_port = args.GetInt("listen", -1);
+  const int handler_threads = args.GetInt("handler-threads", 4);
+  const int stats_port = args.GetInt("stats-port", -1);
+  if (args.Has("listen") && (listen_port < 0 || listen_port > 65535)) {
+    return Fail("--listen must be a port in [0, 65535] (0 = ephemeral)");
+  }
+  if (args.Has("stats-port") && (stats_port < 0 || stats_port > 65535)) {
+    return Fail("--stats-port must be a port in [0, 65535] (0 = ephemeral)");
+  }
+  if (handler_threads < 1) return Fail("--handler-threads must be >= 1");
+  if (args.Has("listen") && args.Has("requests")) {
+    return Fail("--listen replaces the request stream; drop --requests");
   }
 
+  int request_fd = 0;  // stdin
+  const std::string requests_path = args.Get("requests", "-");
+  if (!args.Has("listen") && requests_path != "-") {
+    request_fd = ::open(requests_path.c_str(), O_RDONLY);
+    if (request_fd < 0) {
+      return Fail("cannot open request file " + requests_path);
+    }
+  }
+
+  InstallServeSignalHandlers();
   serve::Router server(config);
-  ServeDatasetCache datasets;
+  serve::RequestExecutor executor(&server);
+  std::mutex stdout_mu;
+
+  // --stats-port: a standalone read-only observability endpoint — every
+  // connection receives the current metrics snapshot as text, then is
+  // closed. Available in both listen and file/stdin modes.
+  std::unique_ptr<net::TextEndpoint> stats_endpoint;
+  if (args.Has("stats-port")) {
+    stats_endpoint = std::make_unique<net::TextEndpoint>(
+        "127.0.0.1", stats_port,
+        [&executor] { return executor.RenderStatsText(); });
+    const Status started = stats_endpoint->Start();
+    if (!started.ok()) return Fail(started);
+    std::cout << "# stats port=" << stats_endpoint->port() << std::endl;
+  }
+
+  if (args.Has("listen")) {
+    return RunServeListen(&server, &executor, stats_endpoint.get(),
+                          listen_port, handler_threads, stats_every,
+                          &stdout_mu);
+  }
+
+  ServeLineReader reader(request_fd);
   std::string line;
   int line_no = 0;
-  int served = 0;
-  int failures = 0;
-  while (std::getline(*in, line)) {
+  std::uint64_t served = 0;
+  std::uint64_t failures = 0;
+  // A shutdown signal breaks the loop (the reader surfaces EINTR);
+  // every request already answered stays answered, and the final stats
+  // still print — the same drain contract as --listen.
+  while (g_serve_shutdown == 0 && reader.Next(&line)) {
     ++line_no;
     const std::string trimmed = Trim(line);
     if (trimmed.empty() || trimmed[0] == '#') continue;
-    Status status = Status::Ok();
+    const std::string context = "line=" + std::to_string(line_no);
+    bool ok = false;
+    std::string payload;
     auto request = serve::ParseRequestLine(trimmed);
     if (!request.ok()) {
-      status = request.status();
-    } else if (request.value().op == "stats") {
-      // Live observability probe: the Router's merged registry, inline.
-      // The ok line carries the metric-line count so a client knows how
-      // much of the stream belongs to this response.
-      const std::string rendered = server.RenderStatsText();
-      const long metric_lines =
-          std::count(rendered.begin(), rendered.end(), '\n');
-      std::cout << "ok op=stats metrics=" << metric_lines << "\n"
-                << rendered << std::flush;
+      payload = serve::RequestExecutor::FormatError(request.status(), "",
+                                                    context);
     } else {
-      auto dataset =
-          datasets.Get(request.value().data, request.value().transform);
-      // Resolve the model once up front: a bad path fails the request
-      // with one disk probe instead of one per submitted chunk.
-      auto model = server.store().Get(request.value().model);
-      if (!dataset.ok()) {
-        status = dataset.status();
-      } else if (!model.ok()) {
-        status = model.status();
-      } else if (request.value().op == "transform") {
-        status = ServeTransform(&server, request.value(), *dataset.value());
-      } else {
-        status = ServeEvaluate(&server, request.value(), *dataset.value());
-      }
+      payload = executor.Execute(request.value(), context, &ok);
     }
-    if (status.ok()) {
+    {
+      std::lock_guard<std::mutex> lock(stdout_mu);
+      std::cout << payload << std::flush;
+    }
+    if (ok) {
       ++served;
     } else {
       ++failures;
-      std::cout << "error line=" << line_no << " " << status.ToString()
-                << std::endl;
     }
-    if (stats_every > 0 && (served + failures) % stats_every == 0) {
+    if (stats_every > 0 &&
+        (served + failures) % static_cast<std::uint64_t>(stats_every) == 0) {
       // Periodic emission rides the comment channel ('# ' prefix), so
       // response consumers that count ok/error lines are unaffected.
-      std::istringstream rendered(server.RenderStatsText());
-      std::string metric_line;
-      while (std::getline(rendered, metric_line)) {
-        std::cout << "# " << metric_line << "\n";
-      }
-      std::cout << std::flush;
+      PrintCommentedStats(executor, &stdout_mu);
     }
   }
+  if (request_fd != 0) ::close(request_fd);
+  if (stats_endpoint != nullptr) stats_endpoint->Stop();
+  if (g_serve_shutdown != 0) PrintCommentedStats(executor, &stdout_mu);
+  PrintServeSummary(server, served, failures);
   server.Shutdown();
-  const serve::Router::Stats stats = server.stats();
-  // The complete counter set, agreeing field-for-field with the op=stats
-  // registry surface (requests/rejected/batches plus every flush-trigger
-  // and store counter — nothing summarized away).
-  std::cout << "# served=" << served << " failed=" << failures
-            << " replicas=" << server.replicas()
-            << " requests=" << stats.batcher.requests
-            << " rejected=" << stats.batcher.rejected_requests
-            << " batches=" << stats.batcher.batches
-            << " full_flushes=" << stats.batcher.full_flushes
-            << " deadline_flushes=" << stats.batcher.deadline_flushes
-            << " swap_flushes=" << stats.batcher.swap_flushes
-            << " mean_batch_rows="
-            << FormatDouble(stats.batcher.MeanBatchRows(), 2)
-            << " mean_queue_micros="
-            << FormatDouble(stats.batcher.MeanQueueMicros(), 1)
-            << " store_hits=" << stats.store.hits
-            << " store_misses=" << stats.store.misses
-            << " store_reloads=" << stats.store.reloads
-            << " store_evictions=" << stats.store.evictions << std::endl;
   return failures == 0 ? 0 : 1;
 }
 
@@ -787,22 +770,31 @@ void PrintUsage() {
       "             [--k K] [--standardize|--binarize] [--seed N]\n"
       "  pipeline   --config <file> [--data <csv>] [--model-out <path>]\n"
       "             [--features-out <csv>] [--seed N]\n"
-      "  serve      [--requests <file>|-] [--max-batch-rows N]\n"
-      "             [--max-queue-micros N] [--store-capacity N]\n"
-      "             [--replicas N] [--max-pending ROWS] [--max-inflight N]\n"
+      "  serve      [--requests <file>|- | --listen PORT] [--stats-port P]\n"
+      "             [--max-batch-rows N] [--max-queue-micros N]\n"
+      "             [--store-capacity N] [--replicas N]\n"
+      "             [--max-pending ROWS] [--max-inflight N]\n"
       "             [--routing key_hash|least_loaded] [--stats-every N]\n"
+      "             [--handler-threads N]\n"
       "             one key=value request per line (op=transform|evaluate\n"
       "             model=<artifact> data=<csv> [transform=...] [chunk=N]\n"
-      "             [clusterer=...] [k=K] [seed=N] [out=<csv>]; quote\n"
-      "             values with spaces: data=\"my file.csv\"); responses\n"
-      "             stream to stdout, '# ...' stats line at EOF;\n"
+      "             [clusterer=...] [k=K] [seed=N] [out=<csv>] [id=TAG];\n"
+      "             quote values with spaces: data=\"my file.csv\");\n"
+      "             responses stream to stdout, '# ...' stats line at EOF;\n"
       "             op=stats returns live latency histograms + gauges as\n"
       "             name{model=\"k\"} value lines; --stats-every N emits\n"
       "             that snapshot as '# ' comments every N requests;\n"
       "             --routing least_loaded sends idle keys to the\n"
       "             emptiest replica (results identical to key_hash);\n"
       "             overflow beyond --max-pending/--max-inflight rejects\n"
-      "             fast with kUnavailable (reported as rejected=)\n"
+      "             fast with kUnavailable (reported as rejected=);\n"
+      "             --listen PORT serves the same protocol over TCP\n"
+      "             (multi-client, pipelined via id= tags, 0 = ephemeral\n"
+      "             port printed as '# listening port=N'); --stats-port P\n"
+      "             opens a read-only endpoint that returns the metrics\n"
+      "             snapshot to every connection; SIGINT/SIGTERM drain\n"
+      "             gracefully in both modes (finish in-flight requests,\n"
+      "             flush, print final stats, exit 0)\n"
       "\n"
       "pipeline config keys: see src/api/config.h (key = value lines;\n"
       "model, rbm.*, sls.*, supervision.*, parallel.*, data.*, eval.*,\n"
