@@ -6,6 +6,7 @@
 // baseline. Expected shape: depth 1 captures most of the gain, a second
 // layer can add a little, and deeper greedy layers without global
 // fine-tuning drift back down (standard DBN behaviour on small data).
+#include "bench_common.h"
 #include <iostream>
 
 #include "clustering/kmeans.h"
@@ -73,8 +74,14 @@ void RunDataset(const data::Dataset& full) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   std::cout << "=== ablation: greedy stack depth (sls encoders) ===\n";
+  const auto datasets = bench::LoadBenchDatasets(7);
+  if (!datasets.empty()) {
+    for (const auto& ds : datasets) RunDataset(ds);
+    return 0;
+  }
   for (const int index : {4, 8}) {
     RunDataset(data::GenerateMsraLike(index, 7));
   }

@@ -4,6 +4,7 @@
 //
 // Sweeps η on one MSRA-like and one UCI-like dataset and reports k-means
 // accuracy on the resulting hidden features.
+#include "bench_common.h"
 #include <iostream>
 
 #include "clustering/kmeans.h"
@@ -60,8 +61,15 @@ void SweepEta(bool grbm, const data::Dataset& full) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   std::cout << "=== ablation: eta (CD weight vs supervision weight) ===\n";
+  const auto datasets = bench::LoadBenchDatasets(7);
+  if (!datasets.empty()) {
+    // Real datasets sweep under the GRBM-family (standardized) settings.
+    for (const auto& ds : datasets) SweepEta(/*grbm=*/true, ds);
+    return 0;
+  }
   SweepEta(/*grbm=*/true, data::GenerateMsraLike(1, 7));
   SweepEta(/*grbm=*/false, data::GenerateUciLike(1, 7));
   return 0;

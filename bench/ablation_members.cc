@@ -6,6 +6,7 @@
 // k-means accuracy of the trained slsGRBM — including the key scaling
 // fact: unanimity collapses as members are added, majority voting keeps
 // large ensembles usable.
+#include "bench_common.h"
 #include <iostream>
 #include <string>
 #include <vector>
@@ -92,10 +93,16 @@ void RunDataset(const data::Dataset& full) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   std::cout << "=== ablation: integration member sets (slsGRBM) ===\n";
-  for (const int index : {4, 8}) {
-    RunDataset(data::GenerateMsraLike(index, 7));
+  const auto datasets = bench::LoadBenchDatasets(7);
+  if (!datasets.empty()) {
+    for (const auto& ds : datasets) RunDataset(ds);
+  } else {
+    for (const int index : {4, 8}) {
+      RunDataset(data::GenerateMsraLike(index, 7));
+    }
   }
   std::cout << "\nreading: unanimity over many diverse voters collapses "
                "coverage; majority voting restores it while keeping the "

@@ -4,6 +4,7 @@
 //  * disperse term on/off   — the center-dispersion half of Eq. 14/15
 //  * pair vs Nh norm        — the constrict normalization (see DESIGN.md:
 //                             the literal Eq. 13 form collapses the code)
+#include "bench_common.h"
 #include <iostream>
 
 #include "clustering/kmeans.h"
@@ -36,9 +37,12 @@ double RunVariant(const linalg::Matrix& x, const std::vector<int>& labels,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   std::cout << "=== ablation: sls objective components (slsGRBM) ===\n";
-  const data::Dataset full = data::GenerateMsraLike(6, 7);
+  const auto datasets = bench::LoadBenchDatasets(7);
+  const data::Dataset full =
+      datasets.empty() ? data::GenerateMsraLike(6, 7) : datasets.front();
   const data::Dataset ds = data::StratifiedSubsample(full, 250, 1);
   linalg::Matrix x = ds.x;
   data::StandardizeInPlace(&x);

@@ -5,6 +5,7 @@
 // hidden features. Reported per round: consensus coverage, credible-
 // cluster purity against ground truth (diagnostic only), and downstream
 // k-means accuracy.
+#include "bench_common.h"
 #include <iostream>
 
 #include "clustering/kmeans.h"
@@ -64,10 +65,16 @@ void RunDataset(const data::Dataset& full) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   std::cout << "=== ablation: iterated self-training rounds (slsGRBM) ===\n";
-  for (const int index : {4, 8}) {
-    RunDataset(data::GenerateMsraLike(index, 7));
+  const auto datasets = bench::LoadBenchDatasets(7);
+  if (!datasets.empty()) {
+    for (const auto& ds : datasets) RunDataset(ds);
+  } else {
+    for (const int index : {4, 8}) {
+      RunDataset(data::GenerateMsraLike(index, 7));
+    }
   }
   std::cout << "\nreading: re-deriving the supervision from the encoder's "
                "own features can lift accuracy well beyond the one-shot "

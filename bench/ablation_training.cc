@@ -5,6 +5,7 @@
 // encoder? Reported per variant: final reconstruction error, mean hidden
 // activation, pseudo-log-likelihood (binary family), and downstream
 // k-means accuracy on the hidden features.
+#include "bench_common.h"
 #include <iostream>
 #include <string>
 #include <vector>
@@ -90,10 +91,16 @@ void RunDataset(const data::Dataset& full) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   std::cout << "=== ablation: CD variants / regularizers (binary RBM) ===\n";
-  for (const int index : {1, 5}) {
-    RunDataset(data::GenerateUciLike(index, 7));
+  const auto datasets = bench::LoadBenchDatasets(7);
+  if (!datasets.empty()) {
+    for (const auto& ds : datasets) RunDataset(ds);
+  } else {
+    for (const int index : {1, 5}) {
+      RunDataset(data::GenerateUciLike(index, 7));
+    }
   }
   std::cout << "\nreading: the variants end close in likelihood on these "
                "small sets (PCD slightly ahead of CD-1); the sparsity "

@@ -4,6 +4,7 @@
 // This bench compares supervision quality (coverage, purity) and the
 // downstream k-means accuracy for: unanimous, majority, and each single
 // clusterer used alone (no voting).
+#include "bench_common.h"
 #include <iostream>
 
 #include "clustering/kmeans.h"
@@ -108,8 +109,15 @@ void RunDataset(bool grbm, const data::Dataset& full) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (!bench::ParseBenchArgs(argc, argv)) return 2;
   std::cout << "=== ablation: voting strategy for local supervision ===\n";
+  const auto datasets = bench::LoadBenchDatasets(7);
+  if (!datasets.empty()) {
+    // Real datasets run under the GRBM-family (standardized) settings.
+    for (const auto& ds : datasets) RunDataset(/*grbm=*/true, ds);
+    return 0;
+  }
   RunDataset(/*grbm=*/true, data::GenerateMsraLike(4, 7));
   RunDataset(/*grbm=*/false, data::GenerateUciLike(4, 7));
   return 0;

@@ -3,7 +3,9 @@
 #include <cstdlib>
 #include <iostream>
 #include <map>
+#include <utility>
 
+#include "data/loaders.h"
 #include "eval/report.h"
 #include "util/timer.h"
 
@@ -20,7 +22,53 @@ double EnvDouble(const char* name, double fallback) {
   return value != nullptr ? std::atof(value) : fallback;
 }
 
+std::vector<std::string>& MutableDataSpecs() {
+  static std::vector<std::string> specs;
+  return specs;
+}
+
 }  // namespace
+
+bool ParseBenchArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--data") {
+      if (i + 1 >= argc) {
+        std::cerr << "error: --data needs a loader spec\n";
+        return false;
+      }
+      MutableDataSpecs().push_back(argv[++i]);
+    } else if (arg.rfind("--data=", 0) == 0) {
+      MutableDataSpecs().push_back(arg.substr(7));
+    } else {
+      std::cerr << "error: unknown bench flag '" << arg
+                << "' (only --data <spec> is accepted)\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+const std::vector<std::string>& BenchDataSpecs() {
+  return MutableDataSpecs();
+}
+
+std::vector<data::Dataset> LoadBenchDatasets(std::uint64_t seed) {
+  std::vector<data::Dataset> datasets;
+  datasets.reserve(BenchDataSpecs().size());
+  for (const std::string& spec : BenchDataSpecs()) {
+    data::DataSourceConfig config;
+    config.synth_seed = seed;
+    auto loaded = data::LoadDataset(spec, config);
+    if (!loaded.ok()) {
+      std::cerr << "error: --data " << spec << ": "
+                << loaded.status().ToString() << "\n";
+      std::exit(2);
+    }
+    datasets.push_back(std::move(loaded).value());
+  }
+  return datasets;
+}
 
 eval::ExperimentConfig MakeBenchConfig(bool grbm_family) {
   eval::ExperimentConfig config = eval::MakePaperConfig(grbm_family);
@@ -48,6 +96,7 @@ eval::ExperimentConfig MakeBenchConfig(bool grbm_family) {
       EnvLong("MCIRBM_BENCH_SAMPLE_H", config.rbm.sample_hidden_states ? 1
                                                                        : 0)
       != 0;
+  config.data_specs = BenchDataSpecs();
   return config;
 }
 
@@ -75,7 +124,14 @@ const std::vector<eval::DatasetExperimentResult>& FamilyResults(
 int RunTableBench(eval::PaperTable table) {
   const bool grbm = eval::PaperTableIsGrbmFamily(table);
   const auto& results = FamilyResults(grbm);
-  eval::PrintTableComparison(std::cout, table, results);
+  if (BenchDataSpecs().empty()) {
+    eval::PrintTableComparison(std::cout, table, results);
+  } else {
+    // User-supplied --data sources: the paper's fixed 9-dataset
+    // comparison doesn't apply, so render the measured grid alone.
+    eval::PrintMeasuredTable(std::cout, eval::PaperTableMetric(table),
+                             grbm, results);
+  }
   eval::PrintFigureSeries(std::cout, table, results);
   const auto checks = eval::EvaluateShapeChecks(
       results, eval::PaperTableMetric(table), grbm);

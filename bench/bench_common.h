@@ -6,17 +6,40 @@
 //   MCIRBM_BENCH_REPEATS=<int> repeats per dataset (default 3)
 //   MCIRBM_BENCH_SEED=<int>    experiment seed (default 7)
 //   MCIRBM_SLS_SCALE=<float>   override SlsConfig::supervision_scale
+//
+// Every bench also accepts repeatable `--data <spec>` flags (loader specs
+// from data/loaders.h — paths or csv:|bin:|libsvm:|synth: forms). When
+// given, the named datasets replace the generated family sweep, so the
+// tables/figures/ablations run against real ingested data (e.g. a
+// converted mcirbm-data binary).
 #ifndef MCIRBM_BENCH_BENCH_COMMON_H_
 #define MCIRBM_BENCH_BENCH_COMMON_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
+#include "data/dataset.h"
 #include "eval/experiment.h"
 #include "eval/paper_reference.h"
 
 namespace mcirbm::bench {
 
-/// Experiment configuration honoring the environment knobs above.
+/// Parses the shared bench argv (`--data <spec>`, repeatable; `--data=x`
+/// also accepted). Prints an error and returns false on unknown flags or
+/// a missing value. Call once at the top of main.
+bool ParseBenchArgs(int argc, char** argv);
+
+/// The --data specs collected by ParseBenchArgs, in argv order.
+const std::vector<std::string>& BenchDataSpecs();
+
+/// Loads every --data spec, exiting(2) with the loader's message on
+/// failure. Empty when no --data flags were given — callers fall back to
+/// their generated datasets.
+std::vector<data::Dataset> LoadBenchDatasets(std::uint64_t seed);
+
+/// Experiment configuration honoring the environment knobs above (and the
+/// parsed --data specs, which replace the generated family sweep).
 eval::ExperimentConfig MakeBenchConfig(bool grbm_family);
 
 /// Runs (or reuses a per-process cache of) the family experiments for the

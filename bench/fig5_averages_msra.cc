@@ -3,7 +3,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!mcirbm::bench::ParseBenchArgs(argc, argv)) return 2;
   const int failures = mcirbm::bench::RunAveragesBench(/*grbm_family=*/true);
   std::cout << "\nfig5_averages_msra: " << failures
             << " shape-check failure(s)\n";

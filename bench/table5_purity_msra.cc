@@ -4,7 +4,8 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
+  if (!mcirbm::bench::ParseBenchArgs(argc, argv)) return 2;
   const int failures =
       mcirbm::bench::RunTableBench(mcirbm::eval::PaperTable::kTable5PurityMsra);
   std::cout << "\ntable5_purity_msra: " << failures << " shape-check failure(s)\n";

@@ -3,12 +3,16 @@
 #include <utility>
 #include <vector>
 
+#include <algorithm>
+
 #include "api/model_registry.h"
 #include "clustering/registry.h"
 #include "data/io.h"
-#include "data/paper_datasets.h"
+#include "data/loaders.h"
+#include "data/source.h"
 #include "data/transforms.h"
 #include "eval/experiment.h"
+#include "util/csv.h"
 #include "util/string_util.h"
 
 namespace mcirbm::api {
@@ -182,7 +186,9 @@ Status ApplyConfigKey(const ConfigEntry& e, core::PipelineConfig* config) {
 // not part of the spec vocabulary.
 Status ApplySpecKey(const ConfigEntry& e, PipelineSpec* spec) {
   const std::string& key = e.key;
-  if (key == "data.path") {
+  if (key == "data") {
+    spec->data_spec = e.value;
+  } else if (key == "data.path") {
     spec->data_path = e.value;
   } else if (key == "data.family") {
     if (e.value != "msra" && e.value != "uci") {
@@ -192,6 +198,15 @@ Status ApplySpecKey(const ConfigEntry& e, PipelineSpec* spec) {
     spec->data_family = e.value;
   } else if (key == "data.index") {
     MCIRBM_ASSIGN_OR_RETURN(spec->data_index, ValueAsInt(e));
+  } else if (key == "data.max_resident_rows") {
+    int n = 0;
+    MCIRBM_ASSIGN_OR_RETURN(n, ValueAsInt(e));
+    if (n < 0) {
+      return Status::InvalidArgument(
+          "line " + std::to_string(e.line) +
+          ": data.max_resident_rows must be non-negative");
+    }
+    spec->max_resident_rows = static_cast<std::size_t>(n);
   } else if (key == "data.max_instances") {
     int n = 0;
     MCIRBM_ASSIGN_OR_RETURN(n, ValueAsInt(e));
@@ -210,7 +225,10 @@ Status ApplySpecKey(const ConfigEntry& e, PipelineSpec* spec) {
     }
     spec->transform = e.value;
   } else if (key == "eval.clusterer") {
-    if (!clustering::ClustererRegistry::Global().Contains(e.value)) {
+    // "none" skips the evaluation stage (required for out-of-core runs,
+    // where clustering would materialize every instance).
+    if (e.value != "none" &&
+        !clustering::ClustererRegistry::Global().Contains(e.value)) {
       return Status::NotFound("line " + std::to_string(e.line) +
                               ": unknown eval.clusterer '" + e.value + "'");
     }
@@ -278,13 +296,16 @@ StatusOr<PipelineSpec> ParsePipelineSpec(const std::string& text) {
     if (!status.ok()) return status;
   }
 
-  if (spec.data_path.empty() && spec.data_family.empty()) {
+  const int sources = (spec.data_spec.empty() ? 0 : 1) +
+                      (spec.data_path.empty() ? 0 : 1) +
+                      (spec.data_family.empty() ? 0 : 1);
+  if (sources == 0) {
     return Status::InvalidArgument(
-        "config must set data.path or data.family");
+        "config must set data, data.path, or data.family");
   }
-  if (!spec.data_path.empty() && !spec.data_family.empty()) {
+  if (sources > 1) {
     return Status::InvalidArgument(
-        "data.path and data.family are mutually exclusive");
+        "data, data.path, and data.family are mutually exclusive");
   }
   return spec;
 }
@@ -295,24 +316,118 @@ StatusOr<PipelineSpec> ParsePipelineSpecFile(const std::string& path) {
   return ParsePipelineSpec(text.value());
 }
 
-StatusOr<PipelineRunSummary> RunPipeline(const PipelineSpec& spec) {
-  // 1. Dataset.
-  data::Dataset dataset;
-  if (!spec.data_path.empty()) {
-    auto loaded = data::LoadDatasetCsv(spec.data_path, spec.data_path);
-    if (!loaded.ok()) return loaded.status();
-    dataset = std::move(loaded).value();
-  } else if (spec.data_family == "msra") {
-    if (spec.data_index < 0 || spec.data_index >= data::NumMsraDatasets()) {
-      return Status::InvalidArgument("data.index out of range for msra");
-    }
-    dataset = data::GenerateMsraLike(spec.data_index, spec.seed);
-  } else {
-    if (spec.data_index < 0 || spec.data_index >= data::NumUciDatasets()) {
-      return Status::InvalidArgument("data.index out of range for uci");
-    }
-    dataset = data::GenerateUciLike(spec.data_index, spec.seed);
+namespace {
+
+// The loader-registry spec string describing the run's dataset source.
+// The legacy data.family/data.index pair is the spelling of synth specs
+// that predates the registry, so it maps onto one.
+std::string ResolveDataSpec(const PipelineSpec& spec) {
+  if (!spec.data_spec.empty()) return spec.data_spec;
+  if (!spec.data_path.empty()) return spec.data_path;
+  return "synth:" + spec.data_family + ":" + std::to_string(spec.data_index);
+}
+
+// The out-of-core run: training streams minibatches from the source and
+// the feature export streams chunk-by-chunk through the same CsvWriter
+// byte format as SaveDatasetCsv, so at most max_resident_rows source rows
+// (plus a couple of minibatches) are ever resident. Stages that need the
+// full matrix at once are rejected up front rather than silently
+// materializing.
+StatusOr<PipelineRunSummary> RunPipelineOutOfCore(const PipelineSpec& spec) {
+  if (spec.max_instances > 0) {
+    return Status::InvalidArgument(
+        "data.max_instances requires a materialized run; drop it or set "
+        "data.max_resident_rows = 0");
   }
+  if (spec.transform != "none") {
+    return Status::InvalidArgument(
+        "out-of-core runs need data.transform = none: global column "
+        "statistics would require materializing the dataset (got '" +
+        spec.transform + "')");
+  }
+  if (spec.eval_clusterer != "none") {
+    return Status::InvalidArgument(
+        "out-of-core runs need eval.clusterer = none: clustering "
+        "materializes every instance (got '" + spec.eval_clusterer + "')");
+  }
+
+  data::DataSourceConfig source_config;
+  source_config.max_resident_rows = spec.max_resident_rows;
+  source_config.synth_seed = spec.seed;
+  auto source_or = data::OpenDataSource(ResolveDataSpec(spec), source_config);
+  if (!source_or.ok()) return source_or.status();
+  data::DataSource& source = *source_or.value();
+
+  core::PipelineConfig config = spec.config;
+  if (config.supervision.num_clusters <= 0) {
+    config.supervision.num_clusters = source.num_classes();
+  }
+  auto model_or = Model::TrainFromSource(source, config, spec.seed);
+  if (!model_or.ok()) return model_or.status();
+
+  PipelineRunSummary summary;
+  summary.model = std::move(model_or).value();
+  summary.dataset_name = source.name();
+  summary.instances = source.rows();
+  summary.features = source.cols();
+  summary.supervision_coverage = summary.model.supervision().Coverage();
+  summary.supervision_clusters = summary.model.supervision().num_clusters;
+  summary.reconstruction_error = summary.model.final_reconstruction_error();
+  summary.eval_k = spec.eval_k > 0 ? spec.eval_k : source.num_classes();
+
+  if (!spec.model_out.empty()) {
+    const Status status = summary.model.Save(spec.model_out);
+    if (!status.ok()) return status;
+  }
+  if (!spec.features_out.empty()) {
+    // Same header and cell formatting as SaveDatasetCsv, and row-sliced
+    // Transform is bit-identical to the full pass, so this file is
+    // byte-for-byte the materialized export.
+    std::vector<std::string> header;
+    header.reserve(summary.model.num_hidden() + 1);
+    for (std::size_t j = 0; j < summary.model.num_hidden(); ++j) {
+      header.push_back("f" + std::to_string(j));
+    }
+    header.push_back("label");
+    CsvWriter writer;
+    Status status = writer.Open(spec.features_out, header);
+    if (!status.ok()) return status;
+    std::vector<double> row;
+    status = source.ForEachChunk([&](const data::ChunkSpec& chunk) {
+      linalg::Matrix block(chunk.rows, chunk.cols);
+      std::copy(chunk.x, chunk.x + chunk.rows * chunk.cols, block.data());
+      auto hidden = summary.model.Transform(block);
+      if (!hidden.ok()) return hidden.status();
+      const linalg::Matrix& h = hidden.value();
+      row.resize(h.cols() + 1);
+      for (std::size_t i = 0; i < h.rows(); ++i) {
+        std::copy(h.data() + i * h.cols(), h.data() + (i + 1) * h.cols(),
+                  row.begin());
+        row.back() = static_cast<double>(chunk.labels[i]);
+        const Status written = writer.WriteRow(row);
+        if (!written.ok()) return written;
+      }
+      return Status::Ok();
+    });
+    if (!status.ok()) return status;
+    status = writer.Close();
+    if (!status.ok()) return status;
+  }
+  return summary;
+}
+
+}  // namespace
+
+StatusOr<PipelineRunSummary> RunPipeline(const PipelineSpec& spec) {
+  if (spec.max_resident_rows > 0) return RunPipelineOutOfCore(spec);
+
+  // 1. Dataset — any registered loader spec; synth sources see the run
+  // seed, so data.family runs reproduce the pre-registry datasets exactly.
+  data::DataSourceConfig source_config;
+  source_config.synth_seed = spec.seed;
+  auto loaded = data::LoadDataset(ResolveDataSpec(spec), source_config);
+  if (!loaded.ok()) return loaded.status();
+  data::Dataset dataset = std::move(loaded).value();
   if (spec.max_instances > 0) {
     dataset = data::StratifiedSubsample(dataset, spec.max_instances,
                                         spec.seed ^ 0x73756273ULL);
@@ -369,8 +484,10 @@ StatusOr<PipelineRunSummary> RunPipeline(const PipelineSpec& spec) {
     if (!status.ok()) return status;
   }
 
-  // 5. Evaluation: the named clusterer on raw vs hidden representations.
+  // 5. Evaluation: the named clusterer on raw vs hidden representations
+  // ("none" skips it, leaving the metric bundles zero).
   summary.eval_k = spec.eval_k > 0 ? spec.eval_k : dataset.num_classes;
+  if (spec.eval_clusterer == "none") return summary;
   ParamMap params;
   params.Set("k", std::to_string(summary.eval_k));
   auto clusterer = clustering::ClustererRegistry::Global().Create(

@@ -22,9 +22,12 @@
 //   parallel.threads parallel.deterministic
 //
 // Additional run keys (ParsePipelineSpec):
-//   data.path | data.family (msra|uci) + data.index
+//   data (loader spec: path | csv:p | bin:p | libsvm:p | synth:fam:i[:seed])
+//     | data.path | data.family (msra|uci) + data.index
+//   data.max_resident_rows (out-of-core chunk/memory bound; 0 = in-RAM)
 //   data.max_instances data.transform (auto|none|standardize|minmax|binarize)
-//   eval.clusterer eval.k out.model out.features seed
+//   eval.clusterer (registry name or "none") eval.k
+//   out.model out.features seed
 #ifndef MCIRBM_API_CONFIG_H_
 #define MCIRBM_API_CONFIG_H_
 
@@ -48,11 +51,21 @@ StatusOr<core::PipelineConfig> ParseConfig(const std::string& text,
 struct PipelineSpec {
   core::PipelineConfig config;
 
-  // Dataset source: exactly one of `data_path` (CSV with trailing label
-  // column) or `data_family` + `data_index` (paper-equivalent synthetic).
+  // Dataset source: exactly one of `data_spec` (a data::DataLoaderRegistry
+  // spec — any path or scheme:rest form), `data_path` (file path, loader
+  // inferred), or `data_family` + `data_index` (paper-equivalent
+  // synthetic; the legacy spelling of data=synth:<family>:<index>).
+  std::string data_spec;
   std::string data_path;
   std::string data_family;
   int data_index = 0;
+  /// If > 0, the run is out-of-core: training streams minibatches from
+  /// the source and transforms/export run chunk-by-chunk with at most
+  /// this many source rows resident. Requires transform=none,
+  /// eval.clusterer=none, max_instances=0, and a random-access source
+  /// (binary/mmap or in-memory). Results are bit-identical to the
+  /// materialized run.
+  std::size_t max_resident_rows = 0;
   /// If > 0, stratified-subsample to this many instances first.
   std::size_t max_instances = 0;
   /// auto = standardize for the GRBM family, min-max scale for the RBM

@@ -16,6 +16,31 @@ const char kModelMagic[] = "mcirbm-model v1";
 
 namespace {
 
+// Bridges data::DataSource to the trainer's row-gather contract. Labels
+// are dropped — training is unsupervised; the supervision stage (sls)
+// reads them never, and evaluation loads them separately.
+class DataSourceAdapter final : public rbm::TrainingDataSource {
+ public:
+  explicit DataSourceAdapter(const data::DataSource& source)
+      : source_(source) {}
+
+  std::size_t rows() const override { return source_.rows(); }
+  std::size_t cols() const override { return source_.cols(); }
+
+  Status GatherRows(const std::vector<std::size_t>& indices,
+                    linalg::Matrix* out) const override {
+    return source_.GatherRows(indices, out, nullptr);
+  }
+
+  const linalg::Matrix* DenseView() const override {
+    const data::Dataset* dense = source_.DenseView();
+    return dense != nullptr ? &dense->x : nullptr;
+  }
+
+ private:
+  const data::DataSource& source_;
+};
+
 constexpr char kMagicPrefix[] = "mcirbm-model v";
 
 // Parses "mcirbm-model v<N>" into N; ParseError for anything else.
@@ -47,6 +72,27 @@ StatusOr<Model> Model::Train(const linalg::Matrix& x,
                              const core::PipelineConfig& config,
                              std::uint64_t seed) {
   auto result = core::TryRunEncoderPipeline(x, config, seed);
+  if (!result.ok()) return result.status();
+  core::PipelineResult pipeline = std::move(result).value();
+  Model model;
+  model.kind_ = ModelKindRegistryName(config.model);
+  model.encoder_ = std::move(pipeline.model);
+  model.supervision_ = std::move(pipeline.supervision);
+  model.final_reconstruction_error_ = pipeline.final_reconstruction_error;
+  return model;
+}
+
+StatusOr<Model> Model::TrainFromSource(const data::DataSource& source,
+                                       const core::PipelineConfig& config,
+                                       std::uint64_t seed) {
+  if (!source.SupportsRandomAccess()) {
+    return Status::InvalidArgument(
+        "out-of-core training needs random row access; source '" +
+        source.name() +
+        "' is sequential — convert it with `mcirbm_cli dataset convert`");
+  }
+  const DataSourceAdapter adapter(source);
+  auto result = core::TryRunEncoderPipelineFromSource(adapter, config, seed);
   if (!result.ok()) return result.status();
   core::PipelineResult pipeline = std::move(result).value();
   Model model;

@@ -29,6 +29,7 @@
 
 #include "core/pipeline.h"
 #include "core/stack_serialize.h"
+#include "data/source.h"
 #include "linalg/matrix.h"
 #include "metrics/external.h"
 #include "rbm/rbm_base.h"
@@ -91,6 +92,16 @@ class Model {
   static StatusOr<Model> Train(const linalg::Matrix& x,
                                const core::PipelineConfig& config,
                                std::uint64_t seed);
+
+  /// Trains by streaming minibatches from `source` — the out-of-core
+  /// path. Requires random row access (mmap/in-memory backends; convert
+  /// text formats with `mcirbm_cli dataset convert`). Bit-identical to
+  /// Train on the materialized rows at any thread count, in both
+  /// determinism modes. Sls models and PCA init need the matrix resident
+  /// and fail with kInvalidArgument on non-dense sources.
+  static StatusOr<Model> TrainFromSource(const data::DataSource& source,
+                                         const core::PipelineConfig& config,
+                                         std::uint64_t seed);
 
   /// Restores a model saved by Save, a bare rbm/serialize.h parameter
   /// file, or a core/stack_serialize.h manifest.

@@ -1,5 +1,6 @@
 #include "core/pipeline.h"
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <utility>
@@ -161,10 +162,13 @@ void ApplyParallelConfig(const ParallelConfig& config) {
   parallel::SetDeterministic(config.deterministic);
 }
 
-StatusOr<PipelineResult> TryRunEncoderPipeline(const linalg::Matrix& x,
-                                               const PipelineConfig& config,
-                                               std::uint64_t seed) {
-  if (x.rows() == 0 || x.cols() == 0) {
+namespace {
+
+// Shape/hyper-parameter validation shared by the materialized and
+// streaming pipeline entry points.
+Status ValidatePipelineInput(std::size_t rows, std::size_t cols,
+                             const PipelineConfig& config) {
+  if (rows == 0 || cols == 0) {
     return Status::InvalidArgument("pipeline input matrix is empty");
   }
   if (config.rbm.num_hidden <= 0) {
@@ -181,10 +185,10 @@ StatusOr<PipelineResult> TryRunEncoderPipeline(const linalg::Matrix& x,
     return Status::InvalidArgument("rbm learning_rate must be positive");
   }
   if (config.rbm.num_visible != 0 &&
-      static_cast<std::size_t>(config.rbm.num_visible) != x.cols()) {
+      static_cast<std::size_t>(config.rbm.num_visible) != cols) {
     return Status::InvalidArgument(
         "rbm num_visible (" + std::to_string(config.rbm.num_visible) +
-        ") does not match data columns (" + std::to_string(x.cols()) + ")");
+        ") does not match data columns (" + std::to_string(cols) + ")");
   }
   const bool is_sls = config.model == ModelKind::kSlsRbm ||
                       config.model == ModelKind::kSlsGrbm;
@@ -194,6 +198,35 @@ StatusOr<PipelineResult> TryRunEncoderPipeline(const linalg::Matrix& x,
   if (is_sls && config.sls.supervision_scale < 0) {
     return Status::InvalidArgument("sls scale must be non-negative");
   }
+  return Status::Ok();
+}
+
+// Instantiates the configured (possibly sls-supervised) encoder.
+std::unique_ptr<rbm::RbmBase> MakeEncoder(
+    const PipelineConfig& config, const rbm::RbmConfig& rbm_config,
+    const voting::LocalSupervision& supervision) {
+  switch (config.model) {
+    case ModelKind::kRbm:
+      return std::make_unique<rbm::Rbm>(rbm_config);
+    case ModelKind::kGrbm:
+      return std::make_unique<rbm::Grbm>(rbm_config);
+    case ModelKind::kSlsRbm:
+      return std::make_unique<SlsRbm>(rbm_config, config.sls, supervision);
+    case ModelKind::kSlsGrbm:
+      return std::make_unique<SlsGrbm>(rbm_config, config.sls, supervision);
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+StatusOr<PipelineResult> TryRunEncoderPipeline(const linalg::Matrix& x,
+                                               const PipelineConfig& config,
+                                               std::uint64_t seed) {
+  const Status valid = ValidatePipelineInput(x.rows(), x.cols(), config);
+  if (!valid.ok()) return valid;
+  const bool is_sls = config.model == ModelKind::kSlsRbm ||
+                      config.model == ModelKind::kSlsGrbm;
 
   ApplyParallelConfig(config.parallel);
   rbm::RbmConfig rbm_config = config.rbm;
@@ -210,28 +243,81 @@ StatusOr<PipelineResult> TryRunEncoderPipeline(const linalg::Matrix& x,
     result.supervision = std::move(sup).value();
   }
 
-  switch (config.model) {
-    case ModelKind::kRbm:
-      result.model = std::make_unique<rbm::Rbm>(rbm_config);
-      break;
-    case ModelKind::kGrbm:
-      result.model = std::make_unique<rbm::Grbm>(rbm_config);
-      break;
-    case ModelKind::kSlsRbm:
-      result.model = std::make_unique<SlsRbm>(rbm_config, config.sls,
-                                              result.supervision);
-      break;
-    case ModelKind::kSlsGrbm:
-      result.model = std::make_unique<SlsGrbm>(rbm_config, config.sls,
-                                               result.supervision);
-      break;
-  }
+  result.model = MakeEncoder(config, rbm_config, result.supervision);
 
   const std::vector<rbm::EpochStats> history = result.model->Train(x);
   result.final_reconstruction_error =
       history.empty() ? result.model->ReconstructionError(x)
                       : history.back().reconstruction_error;
   result.hidden_features = result.model->HiddenFeatures(x);
+  return result;
+}
+
+StatusOr<PipelineResult> TryRunEncoderPipelineFromSource(
+    const rbm::TrainingDataSource& source, const PipelineConfig& config,
+    std::uint64_t seed) {
+  const Status valid =
+      ValidatePipelineInput(source.rows(), source.cols(), config);
+  if (!valid.ok()) return valid;
+  const bool is_sls = config.model == ModelKind::kSlsRbm ||
+                      config.model == ModelKind::kSlsGrbm;
+
+  ApplyParallelConfig(config.parallel);
+  rbm::RbmConfig rbm_config = config.rbm;
+  if (rbm_config.num_visible == 0) {
+    rbm_config.num_visible = static_cast<int>(source.cols());
+  }
+  rbm_config.seed = rbm_config.seed ^ seed;
+
+  PipelineResult result;
+  if (is_sls) {
+    // The supervision ensemble clusters every row at once (distance
+    // matrices, O(n^2)); it cannot stream. Sls training therefore needs
+    // the matrix resident — plain rbm/grbm train fully out of core.
+    const linalg::Matrix* dense = source.DenseView();
+    if (dense == nullptr) {
+      return Status::InvalidArgument(
+          "sls models need the training matrix in memory for the "
+          "supervision ensemble; train a plain rbm/grbm out of core or "
+          "materialize the source");
+    }
+    auto sup =
+        TryComputeSelfLearningSupervision(*dense, config.supervision, seed);
+    if (!sup.ok()) return sup.status();
+    result.supervision = std::move(sup).value();
+  }
+
+  result.model = MakeEncoder(config, rbm_config, result.supervision);
+
+  auto history_or = result.model->TrainFromSource(source);
+  if (!history_or.ok()) return history_or.status();
+  const std::vector<rbm::EpochStats>& history = history_or.value();
+  if (!history.empty()) {
+    result.final_reconstruction_error =
+        history.back().reconstruction_error;
+  } else {
+    // Zero-epoch run: stream the reconstruction error in row blocks.
+    // (Block-mean accumulation, not element-shard order — only this
+    // untrained edge case differs from the materialized path in FP
+    // ordering.)
+    constexpr std::size_t kBlockRows = 4096;
+    double weighted = 0;
+    for (std::size_t begin = 0; begin < source.rows();
+         begin += kBlockRows) {
+      const std::size_t end =
+          std::min(begin + kBlockRows, source.rows());
+      std::vector<std::size_t> indices(end - begin);
+      for (std::size_t i = begin; i < end; ++i) indices[i - begin] = i;
+      linalg::Matrix block;
+      const Status status = source.GatherRows(indices, &block);
+      if (!status.ok()) return status;
+      weighted += result.model->ReconstructionError(block) *
+                  static_cast<double>(end - begin);
+    }
+    result.final_reconstruction_error =
+        weighted / static_cast<double>(source.rows());
+  }
+  // hidden_features stays empty: out-of-core callers stream transforms.
   return result;
 }
 

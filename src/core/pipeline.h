@@ -15,6 +15,7 @@
 #include "core/sls_models.h"
 #include "linalg/matrix.h"
 #include "rbm/config.h"
+#include "rbm/training_source.h"
 #include "util/param_map.h"
 #include "util/status.h"
 #include "voting/local_supervision.h"
@@ -132,6 +133,19 @@ struct PipelineResult {
 StatusOr<PipelineResult> TryRunEncoderPipeline(const linalg::Matrix& x,
                                                const PipelineConfig& config,
                                                std::uint64_t seed);
+
+/// TryRunEncoderPipeline gathering minibatches through `source` — the
+/// out-of-core entry point. Bit-identical to the materialized run with the
+/// same rows: the trainer streams double-buffered batches, so peak
+/// residency is a couple of minibatches, not the dataset. Features that
+/// need every row at once degrade explicitly: sls supervision and PCA
+/// weight init require source.DenseView() (kInvalidArgument otherwise),
+/// and PipelineResult::hidden_features stays empty — stream transforms
+/// chunk-by-chunk instead (row-sliced GEMM is bit-identical to the full
+/// pass).
+StatusOr<PipelineResult> TryRunEncoderPipelineFromSource(
+    const rbm::TrainingDataSource& source, const PipelineConfig& config,
+    std::uint64_t seed);
 
 /// CHECK-aborting wrapper around TryRunEncoderPipeline for callers with
 /// statically valid configs.

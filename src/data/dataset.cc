@@ -1,20 +1,47 @@
 #include "data/dataset.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "rng/rng.h"
 #include "util/check.h"
 
 namespace mcirbm::data {
 
-void Dataset::CheckValid() const {
-  MCIRBM_CHECK_EQ(x.rows(), labels.size())
-      << "dataset " << name << ": label count mismatch";
-  MCIRBM_CHECK_GT(num_classes, 0) << "dataset " << name;
-  for (int l : labels) {
-    MCIRBM_CHECK(l >= 0 && l < num_classes)
-        << "dataset " << name << ": label " << l << " out of range";
+Status Dataset::Validate() const {
+  if (x.rows() != labels.size()) {
+    return Status::InvalidArgument(
+        "dataset " + name + ": label count mismatch (" +
+        std::to_string(labels.size()) + " labels for " +
+        std::to_string(x.rows()) + " rows)");
   }
+  if (num_classes <= 0) {
+    return Status::InvalidArgument("dataset " + name +
+                                   ": num_classes must be positive");
+  }
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const int l = labels[i];
+    if (l < 0 || l >= num_classes) {
+      return Status::InvalidArgument(
+          "dataset " + name + ": label " + std::to_string(l) + " at row " +
+          std::to_string(i) + " out of range [0, " +
+          std::to_string(num_classes) + ")");
+    }
+  }
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (!std::isfinite(x.data()[i])) {
+      return Status::InvalidArgument(
+          "dataset " + name + ": non-finite feature at row " +
+          std::to_string(i / std::max<std::size_t>(x.cols(), 1)) +
+          ", column " + std::to_string(i % std::max<std::size_t>(x.cols(), 1)));
+    }
+  }
+  return Status::Ok();
+}
+
+void Dataset::CheckValid() const {
+  const Status status = Validate();
+  MCIRBM_CHECK(status.ok()) << status.message();
 }
 
 Dataset Dataset::Subset(const std::vector<std::size_t>& indices) const {

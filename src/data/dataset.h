@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "linalg/matrix.h"
+#include "util/status.h"
 
 namespace mcirbm::data {
 
@@ -23,8 +24,15 @@ struct Dataset {
   std::size_t num_instances() const { return x.rows(); }
   std::size_t num_features() const { return x.cols(); }
 
-  /// Validates the internal invariants (label range, sizes); aborts on
-  /// violation. Called by generators and loaders after construction.
+  /// Validates the invariants — label count matches the row count,
+  /// num_classes > 0, every label in [0, num_classes), every feature
+  /// finite — and reports violations as kInvalidArgument. Loaders call
+  /// this on user-supplied files and propagate the Status instead of
+  /// aborting.
+  Status Validate() const;
+
+  /// Validate() for *internal* invariants (generators, test fixtures):
+  /// aborts on violation.
   void CheckValid() const;
 
   /// Returns a copy restricted to the given row indices.

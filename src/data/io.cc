@@ -8,53 +8,63 @@
 namespace mcirbm::data {
 
 Status SaveDatasetCsv(const Dataset& dataset, const std::string& path) {
-  dataset.CheckValid();
+  const Status valid = dataset.Validate();
+  if (!valid.ok()) return valid;
   std::vector<std::string> header;
   header.reserve(dataset.num_features() + 1);
   for (std::size_t j = 0; j < dataset.num_features(); ++j) {
     header.push_back("f" + std::to_string(j));
   }
   header.push_back("label");
-  std::vector<std::vector<double>> rows;
-  rows.reserve(dataset.num_instances());
+  CsvWriter writer;
+  Status status = writer.Open(path, header);
+  if (!status.ok()) return status;
+  std::vector<double> row(dataset.num_features() + 1);
   for (std::size_t i = 0; i < dataset.num_instances(); ++i) {
-    std::vector<double> row(dataset.x.Row(i).begin(),
-                            dataset.x.Row(i).end());
-    row.push_back(static_cast<double>(dataset.labels[i]));
-    rows.push_back(std::move(row));
+    const auto features = dataset.x.Row(i);
+    std::copy(features.begin(), features.end(), row.begin());
+    row.back() = static_cast<double>(dataset.labels[i]);
+    status = writer.WriteRow(row);
+    if (!status.ok()) return status;
   }
-  return WriteCsv(path, header, rows);
+  return writer.Close();
 }
 
 StatusOr<Dataset> LoadDatasetCsv(const std::string& path,
                                  const std::string& name) {
-  StatusOr<CsvTable> table = ReadCsv(path, /*has_header=*/true);
-  if (!table.ok()) return table.status();
-  const CsvTable& csv = table.value();
-  if (csv.rows.empty()) return Status::ParseError(path + ": no data rows");
-  const std::size_t width = csv.rows[0].size();
-  if (width < 2) {
-    return Status::ParseError(path + ": need >=1 feature + label column");
-  }
   Dataset out;
   out.name = name;
-  out.x.Resize(csv.rows.size(), width - 1);
-  out.labels.resize(csv.rows.size());
+  std::size_t width = 0;
   int max_label = 0;
-  for (std::size_t i = 0; i < csv.rows.size(); ++i) {
-    const auto& row = csv.rows[i];
-    for (std::size_t j = 0; j + 1 < width; ++j) out.x(i, j) = row[j];
-    const double lv = row[width - 1];
-    const int label = static_cast<int>(std::lround(lv));
-    if (std::fabs(lv - label) > 1e-9 || label < 0) {
-      return Status::ParseError(path + ": non-integer label at row " +
-                                std::to_string(i));
-    }
-    out.labels[i] = label;
-    max_label = std::max(max_label, label);
+  const Status status = ScanCsv(
+      path, /*has_header=*/true, nullptr,
+      [&](std::size_t lineno, const std::vector<double>& row) {
+        if (width == 0) {
+          if (row.size() < 2) {
+            return Status::ParseError(
+                path + ":" + std::to_string(lineno) +
+                ": need >=1 feature column plus a trailing label column");
+          }
+          width = row.size();
+        }
+        const double lv = row[width - 1];
+        const int label = static_cast<int>(std::lround(lv));
+        if (std::fabs(lv - label) > 1e-9 || label < 0) {
+          return Status::ParseError(path + ":" + std::to_string(lineno) +
+                                    ": non-integer label");
+        }
+        out.labels.push_back(label);
+        max_label = std::max(max_label, label);
+        out.x.AppendRow({row.data(), width - 1});
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
+  if (out.labels.empty()) {
+    return Status::ParseError(path + ": no data rows");
   }
   out.num_classes = max_label + 1;
-  out.CheckValid();
+  const Status valid = out.Validate();
+  if (!valid.ok()) return valid;
   return out;
 }
 

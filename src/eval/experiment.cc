@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "data/loaders.h"
 #include "data/paper_datasets.h"
 #include "data/transforms.h"
 #include "linalg/stats.h"
@@ -208,20 +209,33 @@ DatasetExperimentResult RunDatasetExperiment(const data::Dataset& dataset,
 std::vector<DatasetExperimentResult> RunFamilyExperiments(
     const ExperimentConfig& config) {
   core::ApplyParallelConfig(config.parallel);
-  const int n = config.grbm_family ? data::NumMsraDatasets()
-                                   : data::NumUciDatasets();
-  // Generate up front (synthesis parallelizes internally), then fan the
-  // independent per-dataset experiments out over the pool. Results land
-  // at their dataset index, so the family table is identical to the
+  // Load/generate up front (synthesis parallelizes internally), then fan
+  // the independent per-dataset experiments out over the pool. Results
+  // land at their dataset index, so the family table is identical to the
   // serial harness; nested parallel kernels degrade to serial on the
   // workers.
   std::vector<data::Dataset> datasets;
-  datasets.reserve(n);
-  for (int i = 0; i < n; ++i) {
-    datasets.push_back(config.grbm_family
-                           ? data::GenerateMsraLike(i, config.seed)
-                           : data::GenerateUciLike(i, config.seed));
+  if (!config.data_specs.empty()) {
+    datasets.reserve(config.data_specs.size());
+    for (const std::string& spec : config.data_specs) {
+      data::DataSourceConfig source_config;
+      source_config.synth_seed = config.seed;
+      auto loaded = data::LoadDataset(spec, source_config);
+      MCIRBM_CHECK(loaded.ok())
+          << "data spec '" << spec << "': " << loaded.status().ToString();
+      datasets.push_back(std::move(loaded).value());
+    }
+  } else {
+    const int family_size = config.grbm_family ? data::NumMsraDatasets()
+                                               : data::NumUciDatasets();
+    datasets.reserve(family_size);
+    for (int i = 0; i < family_size; ++i) {
+      datasets.push_back(config.grbm_family
+                             ? data::GenerateMsraLike(i, config.seed)
+                             : data::GenerateUciLike(i, config.seed));
+    }
   }
+  const int n = static_cast<int>(datasets.size());
   std::vector<DatasetExperimentResult> results(n);
   parallel::ParallelFor(
       static_cast<std::size_t>(n), 1,

@@ -75,6 +75,12 @@ struct ExperimentConfig {
   int repeats = 3;
   std::uint64_t seed = 7;
 
+  /// Datasets to run instead of the generated family: loader specs
+  /// (data/loaders.h — paths or scheme:rest forms, e.g. a converted
+  /// binary artifact). Empty = the family's paper-equivalent synthetic
+  /// datasets. Specs that fail to load abort with the loader's message.
+  std::vector<std::string> data_specs;
+
   /// If > 0, stratified-subsample datasets to this many instances before
   /// running (fast bench mode). 0 = full size.
   std::size_t max_instances = 0;
@@ -90,7 +96,8 @@ DatasetExperimentResult RunDatasetExperiment(const data::Dataset& dataset,
                                              const ExperimentConfig& config);
 
 /// Runs the protocol on every dataset of the family: all 9 MSRA-like sets
-/// (grbm_family) or all 6 UCI-like sets.
+/// (grbm_family) or all 6 UCI-like sets — or, when config.data_specs is
+/// non-empty, on each loaded spec instead (real-dataset runs).
 std::vector<DatasetExperimentResult> RunFamilyExperiments(
     const ExperimentConfig& config);
 

@@ -72,6 +72,46 @@ void PrintTableComparison(
   out << "\n";
 }
 
+void PrintMeasuredTable(
+    std::ostream& out, const std::string& metric, bool grbm_family,
+    const std::vector<DatasetExperimentResult>& results) {
+  out << "\n=== measured " << metric << " ("
+      << (grbm_family ? "GRBM" : "RBM") << " family, user datasets) ===\n\n";
+  out << PadRight("Dataset", 9);
+  for (int v = 0; v < kNumVariants; ++v) {
+    for (int c = 0; c < kNumClusterers; ++c) {
+      out << PadLeft(CellName(static_cast<Variant>(v),
+                              static_cast<ClustererKind>(c), grbm_family),
+                     kColWidth);
+    }
+  }
+  out << "\n";
+  for (const auto& r : results) {
+    out << PadRight(r.dataset.substr(0, 8), 9);
+    for (int v = 0; v < kNumVariants; ++v) {
+      for (int c = 0; c < kNumClusterers; ++c) {
+        out << PadLeft(
+            FormatDouble(MeasuredCell(r, metric, static_cast<Variant>(v),
+                                      static_cast<ClustererKind>(c)),
+                         4),
+            kColWidth);
+      }
+    }
+    out << "\n";
+  }
+  out << PadRight("Average", 9);
+  for (int v = 0; v < kNumVariants; ++v) {
+    for (int c = 0; c < kNumClusterers; ++c) {
+      out << PadLeft(
+          FormatDouble(FamilyAverage(results, static_cast<Variant>(v),
+                                     static_cast<ClustererKind>(c), metric),
+                       4),
+          kColWidth);
+    }
+  }
+  out << "\n";
+}
+
 void PrintFigureSeries(std::ostream& out, PaperTable table,
                        const std::vector<DatasetExperimentResult>& results) {
   const std::string metric = PaperTableMetric(table);

@@ -16,6 +16,14 @@ namespace mcirbm::eval {
 void PrintTableComparison(std::ostream& out, PaperTable table,
                           const std::vector<DatasetExperimentResult>& results);
 
+/// Prints the same measured grid for an arbitrary dataset list (one row
+/// per result, no paper columns, no row-count pinning) — the renderer for
+/// bench runs over user-supplied `--data` sources, where the paper's
+/// fixed 9-dataset comparison does not apply.
+void PrintMeasuredTable(std::ostream& out, const std::string& metric,
+                        bool grbm_family,
+                        const std::vector<DatasetExperimentResult>& results);
+
 /// Prints the corresponding per-dataset figure series (Figs. 2-4 / 6-8):
 /// three panels (DP, K-means, AP), each with series raw / +model / +sls
 /// over the dataset number axis.

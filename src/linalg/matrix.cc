@@ -26,6 +26,15 @@ void Matrix::Resize(std::size_t rows, std::size_t cols) {
   data_.assign(rows * cols, 0.0);
 }
 
+void Matrix::AppendRow(std::span<const double> row) {
+  if (data_.empty() && cols_ == 0) {
+    cols_ = row.size();
+  }
+  MCIRBM_CHECK_EQ(row.size(), cols_) << "AppendRow width mismatch";
+  data_.insert(data_.end(), row.begin(), row.end());
+  ++rows_;
+}
+
 Matrix Matrix::Transposed() const {
   Matrix t(cols_, rows_);
   for (std::size_t r = 0; r < rows_; ++r) {

@@ -68,6 +68,11 @@ class Matrix {
   /// Resizes to rows x cols, zeroing all content.
   void Resize(std::size_t rows, std::size_t cols);
 
+  /// Appends one row; on an empty matrix the row fixes cols(), afterwards
+  /// the length must match. Amortized O(cols) — streaming loaders build
+  /// matrices row by row with this.
+  void AppendRow(std::span<const double> row);
+
   /// Returns the transposed matrix (cols x rows).
   Matrix Transposed() const;
 

@@ -2,6 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <utility>
 
 #include "linalg/ops.h"
 #include "linalg/pca.h"
@@ -16,6 +22,71 @@ namespace {
 // count so results are bit-identical serial vs parallel.
 constexpr std::size_t kElemGrain = 1 << 16;  // element-wise buffers
 constexpr std::size_t kRowGrain = 64;        // per-instance reductions
+
+// Double-buffered minibatch pipeline for one epoch: a background thread
+// gathers batch b+1 from the source while the trainer consumes batch b,
+// keeping at most two gathered batches resident. The gather order is the
+// epoch's batch order, so results are identical to synchronous gathering.
+class BatchPrefetcher {
+ public:
+  BatchPrefetcher(const TrainingDataSource& source,
+                  const std::vector<std::vector<std::size_t>>& batches)
+      : source_(source), batches_(batches) {
+    worker_ = std::thread([this] { Run(); });
+  }
+
+  ~BatchPrefetcher() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      abort_ = true;
+    }
+    cv_.notify_all();
+    worker_.join();
+  }
+
+  /// Blocks until the next batch (in order) is gathered; a gather failure
+  /// is delivered exactly once, in its batch position.
+  Status Take(linalg::Matrix* out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return !ready_.empty(); });
+    Slot slot = std::move(ready_.front());
+    ready_.pop_front();
+    cv_.notify_all();
+    if (!slot.status.ok()) return slot.status;
+    *out = std::move(slot.batch);
+    return Status::Ok();
+  }
+
+ private:
+  struct Slot {
+    linalg::Matrix batch;
+    Status status = Status::Ok();
+  };
+
+  void Run() {
+    for (const std::vector<std::size_t>& indices : batches_) {
+      Slot slot;
+      slot.status = source_.GatherRows(indices, &slot.batch);
+      const bool failed = !slot.status.ok();
+      {
+        std::unique_lock<std::mutex> lock(mu_);
+        cv_.wait(lock, [this] { return abort_ || ready_.size() < 2; });
+        if (abort_) return;
+        ready_.push_back(std::move(slot));
+      }
+      cv_.notify_all();
+      if (failed) return;  // error delivered; stop gathering
+    }
+  }
+
+  const TrainingDataSource& source_;
+  const std::vector<std::vector<std::size_t>>& batches_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Slot> ready_;
+  bool abort_ = false;
+  std::thread worker_;
+};
 }  // namespace
 
 RbmBase::RbmBase(const RbmConfig& config) : config_(config) {
@@ -145,10 +216,28 @@ void RbmBase::SampleBernoulliSharded(linalg::Matrix* probs,
 }
 
 std::vector<EpochStats> RbmBase::Train(const linalg::Matrix& data) {
-  MCIRBM_CHECK_EQ(data.cols(), static_cast<std::size_t>(config_.num_visible))
-      << name() << ": data width != num_visible";
-  const std::size_t n = data.rows();
-  MCIRBM_CHECK_GT(n, 0u);
+  const MatrixTrainingSource source(data);
+  auto history = TrainImpl(source, /*prefetch=*/false);
+  MCIRBM_CHECK(history.ok()) << name() << ": " << history.status().ToString();
+  return std::move(history).value();
+}
+
+StatusOr<std::vector<EpochStats>> RbmBase::TrainFromSource(
+    const TrainingDataSource& source) {
+  return TrainImpl(source, /*prefetch=*/true);
+}
+
+StatusOr<std::vector<EpochStats>> RbmBase::TrainImpl(
+    const TrainingDataSource& source, bool prefetch) {
+  if (source.cols() != static_cast<std::size_t>(config_.num_visible)) {
+    return Status::InvalidArgument(
+        name() + ": data width " + std::to_string(source.cols()) +
+        " != num_visible " + std::to_string(config_.num_visible));
+  }
+  const std::size_t n = source.rows();
+  if (n == 0) {
+    return Status::InvalidArgument(name() + ": training data is empty");
+  }
   const std::size_t batch_size =
       config_.batch_size > 0 ? static_cast<std::size_t>(config_.batch_size)
                              : n;
@@ -176,7 +265,13 @@ std::vector<EpochStats> RbmBase::Train(const linalg::Matrix& data) {
   };
 
   if (config_.weight_init == RbmConfig::WeightInit::kPca) {
-    InitWeightsFromPca(data);
+    const linalg::Matrix* dense = source.DenseView();
+    if (dense == nullptr) {
+      return Status::InvalidArgument(
+          name() + ": pca weight init needs the full matrix in memory; "
+          "use gaussian init for out-of-core training");
+    }
+    InitWeightsFromPca(*dense);
   }
 
   GradientBuffers grads(nv, nh);
@@ -195,7 +290,8 @@ std::vector<EpochStats> RbmBase::Train(const linalg::Matrix& data) {
     for (std::size_t c = 0; c < num_chains; ++c) {
       seed_rows[c] = rng.UniformIndex(n);
     }
-    chains = data.SelectRows(seed_rows);
+    const Status status = source.GatherRows(seed_rows, &chains);
+    if (!status.ok()) return status;
   }
 
   // Running mean hidden activation (per unit) for the sparsity penalty.
@@ -216,11 +312,24 @@ std::vector<EpochStats> RbmBase::Train(const linalg::Matrix& data) {
     double epoch_activation = 0;
     std::size_t batches = 0;
 
+    // The epoch's minibatches: contiguous slices of the shuffled order.
+    std::vector<std::vector<std::size_t>> epoch_batches;
+    epoch_batches.reserve((n + batch_size - 1) / batch_size);
     for (std::size_t start = 0; start < n; start += batch_size) {
       const std::size_t end = std::min(start + batch_size, n);
-      std::vector<std::size_t> idx(order.begin() + start,
-                                   order.begin() + end);
-      const linalg::Matrix v = data.SelectRows(idx);
+      epoch_batches.emplace_back(order.begin() + start, order.begin() + end);
+    }
+    std::unique_ptr<BatchPrefetcher> prefetcher;
+    if (prefetch) {
+      prefetcher = std::make_unique<BatchPrefetcher>(source, epoch_batches);
+    }
+
+    for (const std::vector<std::size_t>& idx : epoch_batches) {
+      linalg::Matrix v;
+      const Status gather_status = prefetcher != nullptr
+                                       ? prefetcher->Take(&v)
+                                       : source.GatherRows(idx, &v);
+      if (!gather_status.ok()) return gather_status;
       const std::size_t m = v.rows();
 
       // Positive phase: h probs driven by data (Eq. 2).

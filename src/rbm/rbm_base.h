@@ -17,7 +17,9 @@
 #include "linalg/matrix.h"
 #include "rbm/config.h"
 #include "rbm/gradients.h"
+#include "rbm/training_source.h"
 #include "rng/rng.h"
+#include "util/status.h"
 
 namespace mcirbm::rbm {
 
@@ -54,6 +56,18 @@ class RbmBase {
   /// Trains on the rows of `data` (n x num_visible). Returns per-epoch
   /// stats. Deterministic given config.seed.
   std::vector<EpochStats> Train(const linalg::Matrix& data);
+
+  /// Trains by gathering minibatches from `source` — the out-of-core
+  /// path. A background thread double-buffers the next batch gather
+  /// while the current one trains, so at most two batches (plus PCD
+  /// chains) are resident at once. Gathering is RNG-free, so the result
+  /// is bit-identical to Train on the materialized matrix, in both
+  /// determinism modes and at any thread count. PCA weight init needs
+  /// the full matrix and fails with kInvalidArgument unless the source
+  /// has a DenseView; malformed shapes and gather failures surface as
+  /// non-OK Status instead of aborting.
+  StatusOr<std::vector<EpochStats>> TrainFromSource(
+      const TrainingDataSource& source);
 
   /// Hidden-layer features σ(b + V·W) for each row of `v` (Eq. 2) — the
   /// representation consumed by downstream clustering.
@@ -118,6 +132,12 @@ class RbmBase {
   std::vector<double> b_;  ///< hidden bias
 
  private:
+  /// Shared CD loop behind Train and TrainFromSource. With `prefetch`,
+  /// batch gathers run one ahead on a background thread (results are
+  /// identical either way; Train on a resident matrix skips the thread).
+  StatusOr<std::vector<EpochStats>> TrainImpl(
+      const TrainingDataSource& source, bool prefetch);
+
   void InitParameters();
   /// Replaces the Gaussian init with the leading principal directions of
   /// `data` (config WeightInit::kPca); called once at the start of Train.

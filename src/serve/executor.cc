@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "data/io.h"
+#include "data/loaders.h"
 #include "data/transforms.h"
 #include "util/string_util.h"
 
@@ -53,7 +54,9 @@ RequestExecutor::DatasetCache::Get(const std::string& path,
   // Load and preprocess outside the lock so a slow disk read does not
   // serialize every concurrent handler; two racing misses both load and
   // the second insert wins (both copies are identical and immutable).
-  auto loaded = data::LoadDatasetCsv(path, path);
+  // `path` is a loader spec, so serving accepts every registered dataset
+  // format (csv, binary, libsvm, synth) through one cache.
+  auto loaded = data::LoadDataset(path);
   if (!loaded.ok()) return loaded.status();
   data::Dataset ds = std::move(loaded).value();
   if (transform == "standardize") {

@@ -1,27 +1,46 @@
 #include "util/csv.h"
 
-#include <fstream>
 #include <iomanip>
-#include <sstream>
 
 #include "util/string_util.h"
 
 namespace mcirbm {
 
-StatusOr<CsvTable> ReadCsv(const std::string& path, bool has_header) {
+namespace {
+
+// Strips one pair of surrounding double quotes ("f0" -> f0). Quotes must
+// enclose the whole trimmed cell; embedded commas are not supported.
+std::string UnquoteCell(const std::string& cell) {
+  if (cell.size() >= 2 && cell.front() == '"' && cell.back() == '"') {
+    return cell.substr(1, cell.size() - 2);
+  }
+  return cell;
+}
+
+}  // namespace
+
+Status ScanCsv(
+    const std::string& path, bool has_header,
+    std::vector<std::string>* header,
+    const std::function<Status(std::size_t lineno,
+                               const std::vector<double>& row)>& on_row) {
   std::ifstream in(path);
   if (!in) return Status::IoError("cannot open " + path);
-  CsvTable table;
   std::string line;
-  size_t lineno = 0;
-  size_t width = 0;
+  std::size_t lineno = 0;
+  std::size_t width = 0;
+  bool header_pending = has_header;
+  std::vector<double> row;
   while (std::getline(in, line)) {
     ++lineno;
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (Trim(line).empty()) continue;
     const std::vector<std::string> cells = Split(line, ',');
-    if (lineno == 1 && has_header) {
-      for (const auto& c : cells) table.header.push_back(Trim(c));
+    if (header_pending) {
+      header_pending = false;
+      if (header != nullptr) {
+        for (const auto& c : cells) header->push_back(UnquoteCell(Trim(c)));
+      }
       width = cells.size();
       continue;
     }
@@ -30,37 +49,74 @@ StatusOr<CsvTable> ReadCsv(const std::string& path, bool has_header) {
       return Status::ParseError(path + ":" + std::to_string(lineno) +
                                 ": ragged row");
     }
-    std::vector<double> row;
+    row.clear();
     row.reserve(cells.size());
     for (const auto& c : cells) {
       double v;
-      if (!ParseDouble(c, &v)) {
+      if (!ParseDouble(UnquoteCell(Trim(c)), &v)) {
         return Status::ParseError(path + ":" + std::to_string(lineno) +
                                   ": non-numeric cell '" + c + "'");
       }
       row.push_back(v);
     }
-    table.rows.push_back(std::move(row));
+    const Status status = on_row(lineno, row);
+    if (!status.ok()) return status;
   }
+  return Status::Ok();
+}
+
+StatusOr<CsvTable> ReadCsv(const std::string& path, bool has_header) {
+  CsvTable table;
+  const Status status = ScanCsv(
+      path, has_header, &table.header,
+      [&table](std::size_t /*lineno*/, const std::vector<double>& row) {
+        table.rows.push_back(row);
+        return Status::Ok();
+      });
+  if (!status.ok()) return status;
   return table;
+}
+
+Status CsvWriter::Open(const std::string& path,
+                       const std::vector<std::string>& header) {
+  path_ = path;
+  out_.open(path);
+  if (!out_) return Status::IoError("cannot open " + path + " for writing");
+  out_ << std::setprecision(17);  // lossless double round-trip
+  if (!header.empty()) out_ << Join(header, ",") << "\n";
+  return Status::Ok();
+}
+
+Status CsvWriter::WriteRow(std::span<const double> row) {
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << row[i];
+  }
+  out_ << "\n";
+  if (!out_) return Status::IoError("write failed for " + path_);
+  return Status::Ok();
+}
+
+Status CsvWriter::Close() {
+  if (out_.is_open()) {
+    out_.flush();
+    if (!out_) return Status::IoError("write failed for " + path_);
+    out_.close();
+  }
+  return Status::Ok();
 }
 
 Status WriteCsv(const std::string& path,
                 const std::vector<std::string>& header,
                 const std::vector<std::vector<double>>& rows) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path + " for writing");
-  out << std::setprecision(17);  // lossless double round-trip
-  if (!header.empty()) out << Join(header, ",") << "\n";
+  CsvWriter writer;
+  Status status = writer.Open(path, header);
+  if (!status.ok()) return status;
   for (const auto& row : rows) {
-    for (size_t i = 0; i < row.size(); ++i) {
-      if (i > 0) out << ',';
-      out << row[i];
-    }
-    out << "\n";
+    status = writer.WriteRow(row);
+    if (!status.ok()) return status;
   }
-  if (!out) return Status::IoError("write failed for " + path);
-  return Status::Ok();
+  return writer.Close();
 }
 
 }  // namespace mcirbm

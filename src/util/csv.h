@@ -1,7 +1,16 @@
 // Minimal CSV reading/writing for numeric tables (datasets, features).
+//
+// Parsing rules shared by every entry point: lines end in LF or CRLF,
+// blank lines (including a trailing one) are skipped, and any cell may be
+// wrapped in double quotes (stripped after trimming; embedded commas are
+// not supported). Ragged rows and non-numeric cells fail with kParseError
+// naming `path:lineno`.
 #ifndef MCIRBM_UTIL_CSV_H_
 #define MCIRBM_UTIL_CSV_H_
 
+#include <fstream>
+#include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -15,9 +24,43 @@ struct CsvTable {
   std::vector<std::vector<double>> rows; ///< all rows have equal width
 };
 
+/// Streams a numeric CSV without materializing it: `on_row` is invoked once
+/// per data row with its 1-based line number; a non-OK return aborts the
+/// scan and propagates. If `has_header`, the first non-blank line is
+/// delivered through `header` (ignored when null) instead of `on_row`.
+Status ScanCsv(
+    const std::string& path, bool has_header,
+    std::vector<std::string>* header,
+    const std::function<Status(std::size_t lineno,
+                               const std::vector<double>& row)>& on_row);
+
 /// Reads a numeric CSV file. If `has_header`, the first line is kept as
 /// column names. Fails with kParseError on ragged rows or non-numeric cells.
 StatusOr<CsvTable> ReadCsv(const std::string& path, bool has_header);
+
+/// Streaming CSV row sink. Writes the exact same bytes as WriteCsv
+/// (setprecision(17) doubles, '\n' line ends), so chunked exports are
+/// byte-identical to materialized ones.
+class CsvWriter {
+ public:
+  CsvWriter() = default;
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Opens `path` and writes the header line (skipped when empty).
+  Status Open(const std::string& path,
+              const std::vector<std::string>& header);
+
+  /// Appends one data row.
+  Status WriteRow(std::span<const double> row);
+
+  /// Flushes and reports any deferred write error. Idempotent.
+  Status Close();
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+};
 
 /// Writes a numeric CSV file; `header` may be empty to omit the header line.
 Status WriteCsv(const std::string& path,

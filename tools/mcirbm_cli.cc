@@ -3,26 +3,33 @@
 //
 // Subcommands:
 //   synth      generate one of the paper-equivalent synthetic datasets
+//   dataset    convert between dataset formats (csv/libsvm/synth -> the
+//              mmap-able mcirbm-data v1 binary, or back to csv) and
+//              inspect a source's shape without loading it
 //   select-k   label-free choice of the cluster count (silhouette sweep)
-//   supervise  report the multi-clustering consensus for a CSV
-//   train      train an encoder (rbm|grbm|sls-rbm|sls-grbm) on a CSV
-//   transform  map a CSV through a saved encoder, write feature CSV
-//   eval       cluster a CSV (optionally through a saved encoder) and
+//   supervise  report the multi-clustering consensus for a dataset
+//   train      train an encoder (rbm|grbm|sls-rbm|sls-grbm) on a dataset
+//   transform  map a dataset through a saved encoder, write feature CSV
+//   eval       cluster a dataset (optionally through a saved encoder) and
 //              print the paper's external metrics against the labels
-//   pipeline   one-shot synth/load -> supervise -> train -> eval from a
+//   pipeline   one-shot load -> supervise -> train -> eval from a
 //              key=value config file
 //   serve      long-lived micro-batching inference service: stream
 //              newline-delimited key=value requests (see serve/request.h)
 //              from a file or stdin and print one response line each
 //
-// CSV format: numeric feature columns with a trailing integer label
+// Every --data flag takes a loader spec (data/loaders.h): a path whose
+// format is inferred (.csv, .libsvm/.svm, .bin/.mcd, else magic-sniffed)
+// or an explicit "csv:", "bin:", "libsvm:", "synth:<family>:<index>"
+// form. CSV means numeric feature columns with a trailing integer label
 // column (header row required), as written by `synth` / data/io.h.
 //
 // Examples:
 //   mcirbm_cli synth --family msra --index 8 --out vt.csv
-//   mcirbm_cli train --data vt.csv --model sls-grbm --standardize \
+//   mcirbm_cli dataset convert --in vt.csv --out vt.bin
+//   mcirbm_cli train --data vt.bin --model sls-grbm --standardize \
 //       --out vt_model.txt
-//   mcirbm_cli eval --data vt.csv --model-file vt_model.txt \
+//   mcirbm_cli eval --data vt.bin --model-file vt_model.txt \
 //       --standardize --clusterer kmeans
 //   mcirbm_cli pipeline --config run.cfg
 #include <fcntl.h>
@@ -50,7 +57,9 @@
 #include "serve/serve.h"
 #include "core/model_selection.h"
 #include "eval/experiment.h"
+#include "data/binary_io.h"
 #include "data/io.h"
+#include "data/loaders.h"
 #include "data/paper_datasets.h"
 #include "data/transforms.h"
 #include "metrics/external.h"
@@ -137,6 +146,16 @@ int Fail(const std::string& message) {
 
 int Fail(const Status& status) { return Fail(status.ToString()); }
 
+// Loads --data through the loader registry: any path (csv, mcirbm-data
+// binary, libsvm — inferred by extension/magic) or an explicit
+// "scheme:rest" spec, including "synth:<family>:<index>[:<seed>]".
+StatusOr<data::Dataset> LoadCliDataset(const Args& args,
+                                       const std::string& spec) {
+  data::DataSourceConfig config;
+  config.synth_seed = static_cast<std::uint64_t>(args.GetInt("seed", 7));
+  return data::LoadDataset(spec, config);
+}
+
 // Applies the representation flags to `x` in the documented order.
 void ApplyTransforms(const Args& args, linalg::Matrix* x) {
   if (args.Has("standardize")) data::StandardizeInPlace(x);
@@ -194,7 +213,7 @@ int RunSelectK(const Args& args) {
   if (!valid.ok()) return Fail(valid);
   const std::string path = args.Get("data");
   if (path.empty()) return Fail("select-k needs --data <csv>");
-  auto loaded = data::LoadDatasetCsv(path, path);
+  auto loaded = LoadCliDataset(args, path);
   if (!loaded.ok()) return Fail(loaded.status());
   data::Dataset ds = std::move(loaded).value();
   ApplyTransforms(args, &ds.x);
@@ -220,7 +239,7 @@ int RunSupervise(const Args& args) {
   if (!valid.ok()) return Fail(valid);
   const std::string path = args.Get("data");
   if (path.empty()) return Fail("supervise needs --data <csv>");
-  auto loaded = data::LoadDatasetCsv(path, path);
+  auto loaded = LoadCliDataset(args, path);
   if (!loaded.ok()) return Fail(loaded.status());
   data::Dataset ds = std::move(loaded).value();
   ApplyTransforms(args, &ds.x);
@@ -293,7 +312,7 @@ int RunTrain(const Args& args) {
     model_kind = probed.value().model;
   }
 
-  auto loaded = data::LoadDatasetCsv(path, path);
+  auto loaded = LoadCliDataset(args, path);
   if (!loaded.ok()) return Fail(loaded.status());
   data::Dataset ds = std::move(loaded).value();
   ApplyTransforms(args, &ds.x);
@@ -351,7 +370,7 @@ int RunTransform(const Args& args) {
   if (path.empty() || model_path.empty() || out.empty()) {
     return Fail("transform needs --data, --model-file and --out");
   }
-  auto loaded = data::LoadDatasetCsv(path, path);
+  auto loaded = LoadCliDataset(args, path);
   if (!loaded.ok()) return Fail(loaded.status());
   data::Dataset ds = std::move(loaded).value();
   ApplyTransforms(args, &ds.x);
@@ -378,7 +397,7 @@ int RunEval(const Args& args) {
   if (!valid.ok()) return Fail(valid);
   const std::string path = args.Get("data");
   if (path.empty()) return Fail("eval needs --data <csv>");
-  auto loaded = data::LoadDatasetCsv(path, path);
+  auto loaded = LoadCliDataset(args, path);
   if (!loaded.ok()) return Fail(loaded.status());
   data::Dataset ds = std::move(loaded).value();
   linalg::Matrix x = ds.x;
@@ -422,7 +441,8 @@ int RunPipeline(const Args& args) {
   api::PipelineSpec spec = std::move(spec_or).value();
   // Flag overrides for the run-specific bits of the spec.
   if (args.Has("data")) {
-    spec.data_path = args.Get("data");
+    spec.data_spec = args.Get("data");
+    spec.data_path.clear();
     spec.data_family.clear();
   }
   if (args.Has("model-out")) spec.model_out = args.Get("model-out");
@@ -448,12 +468,86 @@ int RunPipeline(const Args& args) {
   if (!spec.features_out.empty()) {
     std::cout << "saved hidden features to " << spec.features_out << "\n";
   }
-  std::cout << "eval (" << spec.eval_clusterer << ", k=" << summary.eval_k
-            << ")\n";
-  std::cout << "  raw:     ";
-  PrintMetrics(summary.raw_metrics);
-  std::cout << "  hidden:  ";
-  PrintMetrics(summary.hidden_metrics);
+  if (spec.eval_clusterer != "none") {
+    std::cout << "eval (" << spec.eval_clusterer << ", k=" << summary.eval_k
+              << ")\n";
+    std::cout << "  raw:     ";
+    PrintMetrics(summary.raw_metrics);
+    std::cout << "  hidden:  ";
+    PrintMetrics(summary.hidden_metrics);
+  }
+  return 0;
+}
+
+// dataset convert: stream any loader spec into the mcirbm-data v1 binary
+// artifact (or, with a .csv output, back to CSV) without materializing
+// the source. dataset info: print the source's shape without loading it.
+int RunDatasetCommand(int argc, char** argv) {
+  if (argc < 3) {
+    return Fail("dataset needs an action: convert|info");
+  }
+  const std::string action = argv[2];
+  // Shift argv so Args' "flags start at index 2" convention sees the
+  // flags after the action word.
+  const Args args(argc - 1, argv + 1);
+  if (!args.status().ok()) return Fail(args.status());
+
+  if (action == "info") {
+    const Status valid = args.Validate({"in", "seed"});
+    if (!valid.ok()) return Fail(valid);
+    const std::string in = args.Get("in");
+    if (in.empty()) return Fail("dataset info needs --in <spec>");
+    data::DataSourceConfig config;
+    config.synth_seed = static_cast<std::uint64_t>(args.GetInt("seed", 7));
+    auto source = data::OpenDataSource(in, config);
+    if (!source.ok()) return Fail(source.status());
+    std::cout << "name " << source.value()->name() << "\n"
+              << "rows " << source.value()->rows() << "\n"
+              << "cols " << source.value()->cols() << "\n"
+              << "classes " << source.value()->num_classes() << "\n"
+              << "random_access "
+              << (source.value()->SupportsRandomAccess() ? "yes" : "no")
+              << "\n";
+    return 0;
+  }
+  if (action != "convert") {
+    return Fail("unknown dataset action '" + action +
+                "' (expected convert|info)");
+  }
+
+  const Status valid = args.Validate({"in", "out", "chunk-rows", "seed"});
+  if (!valid.ok()) return Fail(valid);
+  const std::string in = args.Get("in");
+  const std::string out = args.Get("out");
+  if (in.empty() || out.empty()) {
+    return Fail("dataset convert needs --in <spec> and --out <path>");
+  }
+  const int chunk_rows = args.GetInt("chunk-rows", 4096);
+  if (chunk_rows < 1) return Fail("--chunk-rows must be >= 1");
+
+  data::DataSourceConfig config;
+  config.max_resident_rows = static_cast<std::size_t>(chunk_rows);
+  config.synth_seed = static_cast<std::uint64_t>(args.GetInt("seed", 7));
+  auto source = data::OpenDataSource(in, config);
+  if (!source.ok()) return Fail(source.status());
+
+  const bool to_csv =
+      out.size() >= 4 && out.compare(out.size() - 4, 4, ".csv") == 0;
+  if (to_csv) {
+    // CSV output materializes (the label column interleaves with rows,
+    // and SaveDatasetCsv already streams the write side).
+    auto dataset = source.value()->Materialize();
+    if (!dataset.ok()) return Fail(dataset.status());
+    const Status saved = data::SaveDatasetCsv(dataset.value(), out);
+    if (!saved.ok()) return Fail(saved);
+  } else {
+    const Status saved = data::ConvertSourceToBinary(*source.value(), out);
+    if (!saved.ok()) return Fail(saved);
+  }
+  std::cout << "converted " << source.value()->name() << " ("
+            << source.value()->rows() << " x " << source.value()->cols()
+            << ", " << source.value()->num_classes() << " classes) to "
+            << (to_csv ? "csv " : "mcirbm-data v1 ") << out << "\n";
   return 0;
 }
 
@@ -751,6 +845,12 @@ void PrintUsage() {
       "\n"
       "commands:\n"
       "  synth      --family msra|uci --index N --out <csv> [--seed N]\n"
+      "  dataset    convert --in <spec> --out <path> [--chunk-rows N]\n"
+      "             (a .csv output writes CSV, anything else the mmap-able\n"
+      "             mcirbm-data v1 binary; conversion streams in bounded\n"
+      "             memory) | info --in <spec>\n"
+      "             <spec>: a path (.csv/.libsvm/.bin, else magic-sniffed)\n"
+      "             or csv:|bin:|libsvm:|synth:<family>:<index>[:<seed>]\n"
       "  select-k   --data <csv> [--kmin 2] [--kmax 8] [--standardize|"
       "--binarize]\n"
       "  supervise  --data <csv> [--clusters K] [--strategy "
@@ -813,6 +913,9 @@ int main(int argc, char** argv) {
     PrintUsage();
     return 0;
   }
+  // `dataset` takes an action word before its flags, so it parses its own
+  // argv (the shared Args ctor rejects positionals).
+  if (command == "dataset") return RunDatasetCommand(argc, argv);
   const Args args(argc, argv);
   if (!args.status().ok()) return Fail(args.status());
   // Pool width: --threads beats the MCIRBM_THREADS env var beats hardware
@@ -834,6 +937,6 @@ int main(int argc, char** argv) {
   // vocabulary, exit non-OK (no usage dump to scroll past).
   return Fail(Status::InvalidArgument(
       "unknown command '" + command +
-      "' (expected one of synth|select-k|supervise|train|transform|eval|"
-      "pipeline|serve|help)"));
+      "' (expected one of synth|dataset|select-k|supervise|train|transform|"
+      "eval|pipeline|serve|help)"));
 }
