@@ -9,7 +9,9 @@
 // and reports requests/sec plus p50/p95/p99 request latency taken from
 // the server's own net_request_micros histogram — parsed out of an
 // op=stats response over the wire, so the bench measures the production
-// metrics path, not a bench-only latency vector. A fourth kernel
+// metrics path, not a bench-only latency vector. Mean queue/exec/format
+// span micros ride along the same way, parsed from an op=trace probe
+// against the in-process server's 1-in-16 sampled traces. A fourth kernel
 // (net_transform8) sends real chunked transform requests against a
 // trained encoder instead of stats probes, putting actual inference
 // behind every response.
@@ -45,6 +47,7 @@
 #include "data/io.h"
 #include "data/synthetic.h"
 #include "net/net.h"
+#include "obs/trace.h"
 #include "parallel/thread_pool.h"
 #include "serve/serve.h"
 #include "util/timer.h"
@@ -65,18 +68,32 @@ struct Result {
   double p50_micros = 0;
   double p95_micros = 0;
   double p99_micros = 0;
+  // Mean per-span breakdown parsed from an op=trace probe after the
+  // timed pass — where a request's wall time actually went. Zero when
+  // the target server has tracing off (external mode without
+  // --trace-sample).
+  double span_queue_micros = 0;
+  double span_exec_micros = 0;
+  double span_format_micros = 0;
 };
 
-// Reads one full response: the ok/error line plus the metric lines an
-// op=stats ok line announces. Aborts on transport failure — a bench
-// with a dead server has nothing to report.
+// Reads one full response: the ok/error line plus the payload lines a
+// multi-line ok response announces (op=stats metrics=N, op=trace
+// lines=N). Aborts on transport failure — a bench with a dead server
+// has nothing to report.
 std::string ReadResponse(net::Client* client, std::string* body = nullptr) {
   std::string first;
   if (!client->ReadLine(&first).ok()) std::abort();
   if (body != nullptr) body->clear();
-  const std::size_t pos = first.find(" metrics=");
-  if (pos == std::string::npos) return first;
-  const int count = std::atoi(first.c_str() + pos + 9);
+  std::size_t pos = first.find(" metrics=");
+  int count = 0;
+  if (pos != std::string::npos) {
+    count = std::atoi(first.c_str() + pos + 9);
+  } else if ((pos = first.find(" lines=")) != std::string::npos) {
+    count = std::atoi(first.c_str() + pos + 7);
+  } else {
+    return first;
+  }
   std::string line;
   for (int i = 0; i < count; ++i) {
     if (!client->ReadLine(&line).ok()) std::abort();
@@ -144,6 +161,44 @@ void FillQuantiles(const std::string& host, int port, Result* result) {
   result->p99_micros = ParseQuantile(body, "0.99");
 }
 
+// Where the wall time went: one op=trace round trip, mean span
+// durations by name parsed from the trace payload. An error response
+// (external server with tracing off) leaves the means at zero.
+void FillSpanMeans(const std::string& host, int port, Result* result) {
+  auto connected = net::Client::Connect(host, port);
+  if (!connected.ok()) std::abort();
+  net::Client client = std::move(connected).value();
+  if (!client.SendLine("op=trace last=256").ok()) std::abort();
+  std::string body;
+  const std::string first = ReadResponse(&client, &body);
+  if (first.rfind("ok ", 0) != 0) return;
+  const char* const names[3] = {"queue", "exec", "format"};
+  double sums[3] = {0, 0, 0};
+  std::size_t counts[3] = {0, 0, 0};
+  std::size_t line_start = 0;
+  while (line_start < body.size()) {
+    std::size_t line_end = body.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = body.size();
+    const std::string line = body.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    const std::size_t span_pos = line.find(" span=");
+    if (span_pos == std::string::npos) continue;
+    const std::size_t duration_pos = line.find(" duration_micros=");
+    if (duration_pos == std::string::npos) continue;
+    const double duration = std::atof(line.c_str() + duration_pos + 17);
+    for (int s = 0; s < 3; ++s) {
+      if (line.compare(span_pos + 6, std::string(names[s]).size() + 1,
+                       std::string(names[s]) + " ") == 0) {
+        sums[s] += duration;
+        ++counts[s];
+      }
+    }
+  }
+  if (counts[0] > 0) result->span_queue_micros = sums[0] / counts[0];
+  if (counts[1] > 0) result->span_exec_micros = sums[1] / counts[1];
+  if (counts[2] > 0) result->span_format_micros = sums[2] / counts[2];
+}
+
 // In-process server bundle, fresh per repetition so every measurement
 // starts with clean histograms.
 struct LocalServer {
@@ -156,8 +211,14 @@ struct LocalServer {
     serve::RouterConfig config;
     config.replicas = 2;
     local.router = std::make_unique<serve::Router>(config);
-    local.executor =
-        std::make_unique<serve::RequestExecutor>(local.router.get());
+    serve::ExecutorConfig executor_config;
+    obs::TraceConfig trace_config;
+    trace_config.sample_every_n = 16;
+    trace_config.capacity = 1024;
+    executor_config.trace_store =
+        std::make_shared<obs::TraceStore>(trace_config);
+    local.executor = std::make_unique<serve::RequestExecutor>(
+        local.router.get(), executor_config);
     net::LineServerConfig net_config;
     local.server = std::make_unique<net::LineServer>(net_config,
                                                      local.executor.get());
@@ -194,6 +255,7 @@ Result Measure(const std::string& connect_host, int connect_port,
       result.seconds = seconds;
       result.rps = static_cast<double>(requests) / seconds;
       FillQuantiles(host, port, &result);
+      FillSpanMeans(host, port, &result);
     }
     if (connect_port == 0) local.Stop();
   }
@@ -213,7 +275,10 @@ void EmitKernel(const std::string& name, std::size_t n,
               << ", \"rps\": " << r.rps
               << ", \"p50_micros\": " << r.p50_micros
               << ", \"p95_micros\": " << r.p95_micros
-              << ", \"p99_micros\": " << r.p99_micros << "}";
+              << ", \"p99_micros\": " << r.p99_micros
+              << ", \"span_queue_micros\": " << r.span_queue_micros
+              << ", \"span_exec_micros\": " << r.span_exec_micros
+              << ", \"span_format_micros\": " << r.span_format_micros << "}";
   }
   std::cout << "]}" << (last ? "" : ",") << "\n";
 }

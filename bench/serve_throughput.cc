@@ -18,7 +18,8 @@
 // Output is the same JSON shape as bench/parallel_scaling.cc — a
 // top-level {"hardware_threads", "kernels": [{"name", "n", "results":
 // [{"threads", "seconds", "speedup", ...}]}]} document — with serving
-// extras (rps, p50/p95/p99 queue micros, mean batch rows) on each result, so
+// extras (rps, p50/p95/p99 queue micros, mean batch rows, and mean
+// queue/exec span micros from 1-in-16 sampled traces) on each result, so
 // CI uploads it alongside the scaling artifact and trajectory tooling
 // can parse both with one reader. The serving win to look for: at
 // MCIRBM_THREADS >= 2, the serve_batch8/32/128 kernels should beat
@@ -29,6 +30,7 @@
 //   MCIRBM_BENCH_SERVE_CLIENTS=<int>   client threads (2)
 //   MCIRBM_BENCH_SERVE_REPS=<int>      repetitions, best-of (2)
 #include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -63,7 +65,42 @@ struct Result {
   double p95_micros = 0;
   double p99_micros = 0;
   double mean_batch_rows = 0;
+  // Mean per-span breakdown from sampled traces (obs/trace.h). At the
+  // Server/Router layer only queue and exec spans exist — format is the
+  // executor's span and stays 0 here (net_throughput reports it).
+  double span_queue_micros = 0;
+  double span_exec_micros = 0;
+  double span_format_micros = 0;
 };
+
+// Every 16th request carries a trace — enough samples for stable span
+// means, cheap enough (one atomic + two short mutexed appends per
+// sampled request) not to perturb the measurement.
+obs::TraceConfig BenchTraceConfig() {
+  obs::TraceConfig config;
+  config.sample_every_n = 16;
+  config.capacity = 4096;
+  return config;
+}
+
+void FillSpanMeans(const obs::TraceStore& store, Result* result) {
+  double sums[3] = {0, 0, 0};
+  std::uint64_t counts[3] = {0, 0, 0};
+  for (const obs::Trace& trace : store.snapshot().traces) {
+    for (const obs::TraceSpan& span : trace.spans) {
+      const int slot = span.name == "queue"    ? 0
+                       : span.name == "exec"   ? 1
+                       : span.name == "format" ? 2
+                                               : -1;
+      if (slot < 0) continue;
+      sums[slot] += static_cast<double>(span.duration_micros);
+      ++counts[slot];
+    }
+  }
+  result->span_queue_micros = counts[0] ? sums[0] / counts[0] : 0;
+  result->span_exec_micros = counts[1] ? sums[1] / counts[1] : 0;
+  result->span_format_micros = counts[2] ? sums[2] / counts[2] : 0;
+}
 
 // Folds every serve_queue_wait_micros series (one per model key) into a
 // single histogram snapshot — quantiles of the merge are quantiles of
@@ -99,20 +136,27 @@ Result Measure(const std::string& model_path, const linalg::Matrix& x,
     config.batcher.max_queue_micros = 200;
     serve::Server server(config);
     if (!server.store().Get(model_path).ok()) std::abort();  // pre-warm
+    obs::TraceStore trace_store(BenchTraceConfig());
 
     WallTimer timer;
     std::vector<std::thread> workers;
     for (int c = 0; c < clients; ++c) {
       workers.emplace_back([&, c] {
         std::vector<std::future<StatusOr<linalg::Matrix>>> futures;
+        std::vector<std::shared_ptr<obs::TraceContext>> traces;
         futures.reserve(requests / clients + 1);
+        traces.reserve(requests / clients + 1);
         for (std::size_t r = c; r < requests;
              r += static_cast<std::size_t>(clients)) {
+          auto trace =
+              trace_store.MaybeStartTrace("transform", "", MonotonicMicros());
           futures.push_back(
-              server.Submit(model_path, RowOf(x, r % x.rows())));
+              server.Submit(model_path, RowOf(x, r % x.rows()), trace));
+          traces.push_back(std::move(trace));
         }
-        for (auto& future : futures) {
-          if (!future.get().ok()) std::abort();
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          if (!futures[i].get().ok()) std::abort();
+          trace_store.Finish(traces[i], MonotonicMicros());
         }
       });
     }
@@ -128,6 +172,7 @@ Result Measure(const std::string& model_path, const linalg::Matrix& x,
       result.p95_micros = waits.Quantile(0.95);
       result.p99_micros = waits.Quantile(0.99);
       result.mean_batch_rows = server.stats().batcher.MeanBatchRows();
+      FillSpanMeans(trace_store, &result);
     }
     server.Shutdown();
   }
@@ -165,19 +210,26 @@ Result MeasureRouter(const std::string& model_path, const linalg::Matrix& x,
       router.store().Put(key, std::move(model).value());
     }
 
+    obs::TraceStore trace_store(BenchTraceConfig());
     WallTimer timer;
     std::vector<std::thread> workers;
     for (int c = 0; c < clients; ++c) {
       workers.emplace_back([&, c] {
         std::vector<std::future<StatusOr<linalg::Matrix>>> futures;
+        std::vector<std::shared_ptr<obs::TraceContext>> traces;
         futures.reserve(requests / clients + 1);
+        traces.reserve(requests / clients + 1);
         for (std::size_t r = c; r < requests;
              r += static_cast<std::size_t>(clients)) {
+          auto trace =
+              trace_store.MaybeStartTrace("transform", "", MonotonicMicros());
           futures.push_back(router.Submit(keys[r % keys.size()],
-                                          RowOf(x, r % x.rows())));
+                                          RowOf(x, r % x.rows()), trace));
+          traces.push_back(std::move(trace));
         }
-        for (auto& future : futures) {
-          if (!future.get().ok()) std::abort();
+        for (std::size_t i = 0; i < futures.size(); ++i) {
+          if (!futures[i].get().ok()) std::abort();
+          trace_store.Finish(traces[i], MonotonicMicros());
         }
       });
     }
@@ -193,6 +245,7 @@ Result MeasureRouter(const std::string& model_path, const linalg::Matrix& x,
       result.p95_micros = waits.Quantile(0.95);
       result.p99_micros = waits.Quantile(0.99);
       result.mean_batch_rows = router.stats().batcher.MeanBatchRows();
+      FillSpanMeans(trace_store, &result);
     }
     router.Shutdown();
   }
@@ -213,7 +266,10 @@ void EmitKernel(const std::string& name, std::size_t n,
               << ", \"p50_micros\": " << r.p50_micros
               << ", \"p95_micros\": " << r.p95_micros
               << ", \"p99_micros\": " << r.p99_micros
-              << ", \"mean_batch_rows\": " << r.mean_batch_rows << "}";
+              << ", \"mean_batch_rows\": " << r.mean_batch_rows
+              << ", \"span_queue_micros\": " << r.span_queue_micros
+              << ", \"span_exec_micros\": " << r.span_exec_micros
+              << ", \"span_format_micros\": " << r.span_format_micros << "}";
   }
   std::cout << "]}" << (last ? "" : ",") << "\n";
 }

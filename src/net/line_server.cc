@@ -94,9 +94,12 @@ void LineServer::ReaderLoop(std::shared_ptr<Conn> conn) {
       continue;
     }
     const serve::Request& request = parsed.value();
+    // Sampling decision at the same timestamp net_request_micros starts
+    // from: the trace window is exactly that measurement, decomposed.
+    auto trace = executor_->StartTrace(request, start);
     if (request.id.empty()) {
       // Untagged: execute inline — strict per-connection FIFO responses.
-      ExecuteAndRespond(conn, request, start);
+      ExecuteAndRespond(conn, request, start, trace);
       continue;
     }
     bool duplicate = false;
@@ -121,7 +124,7 @@ void LineServer::ReaderLoop(std::shared_ptr<Conn> conn) {
     }
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
-      queue_.push_back(Task{conn, request, start});
+      queue_.push_back(Task{conn, request, start, std::move(trace)});
     }
     queue_cv_.notify_one();
   }
@@ -146,14 +149,15 @@ void LineServer::HandlerLoop() {
       queue_.pop_front();
     }
     bool ok = false;
-    const std::string payload = executor_->Execute(task.request, "", &ok);
+    const std::string payload =
+        executor_->Execute(task.request, "", &ok, task.trace);
     {
       // The response write and the id release are atomic with respect to
       // the reader's duplicate check: a client that reads its response
       // and immediately reuses the id must never be rejected, and a
       // duplicate sent before the response is written must always be.
       std::lock_guard<std::mutex> state(task.conn->state_mu);
-      WriteResponse(task.conn, payload, ok, task.start_micros);
+      WriteResponse(task.conn, payload, ok, task.start_micros, task.trace);
       task.conn->inflight_ids.erase(task.request.id);
       --task.conn->inflight;
     }
@@ -161,17 +165,20 @@ void LineServer::HandlerLoop() {
   }
 }
 
-void LineServer::ExecuteAndRespond(const std::shared_ptr<Conn>& conn,
-                                   const serve::Request& request,
-                                   std::int64_t start_micros) {
+void LineServer::ExecuteAndRespond(
+    const std::shared_ptr<Conn>& conn, const serve::Request& request,
+    std::int64_t start_micros,
+    const std::shared_ptr<obs::TraceContext>& trace) {
   bool ok = false;
-  const std::string payload = executor_->Execute(request, "", &ok);
-  WriteResponse(conn, payload, ok, start_micros);
+  const std::string payload = executor_->Execute(request, "", &ok, trace);
+  WriteResponse(conn, payload, ok, start_micros, trace);
 }
 
-void LineServer::WriteResponse(const std::shared_ptr<Conn>& conn,
-                               const std::string& payload, bool ok,
-                               std::int64_t start_micros) {
+void LineServer::WriteResponse(
+    const std::shared_ptr<Conn>& conn, const std::string& payload, bool ok,
+    std::int64_t start_micros,
+    const std::shared_ptr<obs::TraceContext>& trace) {
+  const std::int64_t flush_start = MonotonicMicros();
   {
     std::lock_guard<std::mutex> lock(conn->write_mu);
     if (!conn->write_failed) {
@@ -180,6 +187,10 @@ void LineServer::WriteResponse(const std::shared_ptr<Conn>& conn,
       // kill the request stream already executing against it.
       if (!written.ok()) conn->write_failed = true;
     }
+  }
+  if (trace != nullptr) {
+    trace->AddSpan("flush", flush_start, MonotonicMicros() - flush_start);
+    executor_->FinishTrace(trace);
   }
   request_micros_->Record(
       static_cast<double>(MonotonicMicros() - start_micros));

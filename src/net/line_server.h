@@ -42,7 +42,11 @@
 // RequestExecutor::AddStatsRegistry): net_connections_open gauge,
 // net_{accepted,requests,responses,protocol_errors}_total counters, and
 // a net_request_micros histogram measuring read-to-flushed wall time per
-// request.
+// request. When the executor has a trace store, each sampled request's
+// trace starts at the same post-read timestamp net_request_micros uses,
+// gains a "flush" span around the response write, and is finished right
+// after it — so a trace's end-to-end window is the histogram's
+// measurement, decomposed.
 #ifndef MCIRBM_NET_LINE_SERVER_H_
 #define MCIRBM_NET_LINE_SERVER_H_
 
@@ -152,6 +156,7 @@ class LineServer {
     std::shared_ptr<Conn> conn;
     serve::Request request;
     std::int64_t start_micros = 0;
+    std::shared_ptr<obs::TraceContext> trace;  // null when unsampled
   };
 
   void AcceptLoop();
@@ -161,12 +166,15 @@ class LineServer {
   /// for untagged requests and by handlers for id-tagged ones).
   void ExecuteAndRespond(const std::shared_ptr<Conn>& conn,
                          const serve::Request& request,
-                         std::int64_t start_micros);
+                         std::int64_t start_micros,
+                         const std::shared_ptr<obs::TraceContext>& trace);
   /// Writes one already-formatted response payload and records the
-  /// request's wall time + counters.
+  /// request's wall time + counters. A non-null `trace` gets its "flush"
+  /// span here and is finished (committed to the store) right after.
   void WriteResponse(const std::shared_ptr<Conn>& conn,
                      const std::string& payload, bool ok,
-                     std::int64_t start_micros);
+                     std::int64_t start_micros,
+                     const std::shared_ptr<obs::TraceContext>& trace = {});
   void CloseConn(const std::shared_ptr<Conn>& conn);
 
   const LineServerConfig config_;

@@ -33,6 +33,14 @@ void Histogram::Record(double value) {
   while (!sum_.compare_exchange_weak(sum, sum + value,
                                      std::memory_order_relaxed)) {
   }
+  double min = min_.load(std::memory_order_relaxed);
+  while (value < min && !min_.compare_exchange_weak(
+                            min, value, std::memory_order_relaxed)) {
+  }
+  double max = max_.load(std::memory_order_relaxed);
+  while (value > max && !max_.compare_exchange_weak(
+                            max, value, std::memory_order_relaxed)) {
+  }
 }
 
 Histogram::Snapshot Histogram::snapshot() const {
@@ -42,10 +50,22 @@ Histogram::Snapshot Histogram::snapshot() const {
   }
   snap.count = count_.load(std::memory_order_relaxed);
   snap.sum = sum_.load(std::memory_order_relaxed);
+  // Sentinels (no observation yet) render as 0 so an empty snapshot is a
+  // merge identity and the text form never exposes DBL_MAX.
+  const double min = min_.load(std::memory_order_relaxed);
+  const double max = max_.load(std::memory_order_relaxed);
+  snap.min = snap.count == 0 || min == kNoMin ? 0.0 : min;
+  snap.max = snap.count == 0 || max == kNoMax ? 0.0 : max;
   return snap;
 }
 
 void Histogram::Snapshot::Merge(const Snapshot& other) {
+  // Extremes only count for non-empty sides: 0 means "no data", not an
+  // observed value, so an empty snapshot must not drag min to 0.
+  if (other.count > 0) {
+    min = count == 0 ? other.min : std::min(min, other.min);
+    max = count == 0 ? other.max : std::max(max, other.max);
+  }
   for (std::size_t i = 0; i < kBuckets; ++i) counts[i] += other.counts[i];
   count += other.count;
   sum += other.sum;

@@ -50,6 +50,8 @@ class Histogram {
     std::array<std::uint64_t, kBuckets> counts{};
     std::uint64_t count = 0;  ///< total observations (== sum of counts)
     double sum = 0;           ///< sum of observed values
+    double min = 0;           ///< smallest observation (0 when empty)
+    double max = 0;           ///< largest observation (0 when empty)
 
     /// Element-wise accumulation; associative and commutative, so any
     /// fold order over replica snapshots yields the same merge.
@@ -75,6 +77,13 @@ class Histogram {
   std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
   std::atomic<std::uint64_t> count_{0};
   std::atomic<double> sum_{0};  // accumulated via CAS loop (portable)
+  // Extremes, CAS'd like sum_; sentinels mean "no observation yet" and
+  // are translated to 0 in snapshots so empty merges stay identities.
+  std::atomic<double> min_{kNoMin};
+  std::atomic<double> max_{kNoMax};
+
+  static constexpr double kNoMin = 1.7976931348623157e308;   // DBL_MAX
+  static constexpr double kNoMax = -1.7976931348623157e308;  // -DBL_MAX
 };
 
 }  // namespace mcirbm::obs

@@ -8,16 +8,21 @@
 //     lock-free-ish Record and mergeable snapshots (obs/histogram.h);
 //   - obs::Registry — {metric, model_key}-labeled metric collection with
 //     associatively mergeable MetricsSnapshot and a Prometheus-style
-//     RenderText exporter (obs/registry.h).
+//     RenderText exporter (obs/registry.h);
+//   - obs::TraceStore / obs::TraceContext — sampled per-request span
+//     timelines with a ring buffer of completed traces (obs/trace.h).
 //
 // The serve layer threads a Registry through every component; the merged
 // view is reachable via `op=stats` requests and `mcirbm_cli serve
-// --stats-every N` (see README "Observability").
+// --stats-every N`. Per-request traces ride the same path when sampling
+// is on (`--trace-sample N`), surfaced via `op=trace`, the stats port,
+// and a JSONL stream (see README "Observability" and "Tracing").
 #ifndef MCIRBM_OBS_OBS_H_
 #define MCIRBM_OBS_OBS_H_
 
 #include "obs/histogram.h"
 #include "obs/metrics.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 
 #endif  // MCIRBM_OBS_OBS_H_

@@ -6,17 +6,28 @@
 
 namespace mcirbm::obs {
 
+std::string EscapeLabel(const std::string& value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (const char c : value) {
+    if (c == '"' || c == '\\') escaped.push_back('\\');
+    escaped.push_back(c);
+  }
+  return escaped;
+}
+
 namespace {
 
 /// `name{model="label"}` — or bare `name` when the label is empty —
 /// with an optional extra `quantile="q"` pair for histogram lines.
+/// Label values are escaped; quantiles are literals we control.
 void AppendSeries(std::ostringstream* out, const std::string& name,
                   const std::string& label,
                   const std::string& quantile = "") {
   *out << name;
   if (label.empty() && quantile.empty()) return;
   *out << '{';
-  if (!label.empty()) *out << "model=\"" << label << '"';
+  if (!label.empty()) *out << "model=\"" << EscapeLabel(label) << '"';
   if (!quantile.empty()) {
     if (!label.empty()) *out << ',';
     *out << "quantile=\"" << quantile << '"';
@@ -100,6 +111,10 @@ std::string MetricsSnapshot::RenderText() const {
     out << ' ' << snap.count << '\n';
     AppendSeries(&out, key.first + "_sum", key.second);
     out << ' ' << FormatValue(snap.sum) << '\n';
+    AppendSeries(&out, key.first + "_min", key.second);
+    out << ' ' << FormatValue(snap.min) << '\n';
+    AppendSeries(&out, key.first + "_max", key.second);
+    out << ' ' << FormatValue(snap.max) << '\n';
   }
   return out.str();
 }

@@ -14,14 +14,16 @@
 // bucket-wise), which is how serve::Router folds N replica registries
 // plus the shared ModelStore's into one view. RenderText() emits the
 // Prometheus-style text form, one `name{model="key"} value` line per
-// metric (histograms expand to _count/_sum plus quantile lines):
+// metric (histograms expand to _count/_sum/_min/_max plus quantile
+// lines):
 //
 //   serve_requests_total{model="enc.mcirbm"} 128
 //   serve_queue_wait_micros{model="enc.mcirbm",quantile="0.95"} 412.7
 //   serve_queue_wait_micros_count{model="enc.mcirbm"} 128
 //
-// Label values are rendered verbatim; model keys are paths, which never
-// contain '"' in practice, so no escaping is attempted.
+// Label values escape '"' and '\' (model keys derived from quoted user
+// paths may contain either), so the exposition format stays parseable
+// for any key.
 #ifndef MCIRBM_OBS_REGISTRY_H_
 #define MCIRBM_OBS_REGISTRY_H_
 
@@ -39,6 +41,10 @@ namespace mcirbm::obs {
 /// {metric name, label value} — the label is the model key ("" = none).
 using MetricKey = std::pair<std::string, std::string>;
 
+/// Backslash-escapes '"' and '\' for quoted rendering contexts (label
+/// values in RenderText, string fields in trace JSONL).
+std::string EscapeLabel(const std::string& value);
+
 /// Point-in-time value copy of a registry (or a merge of several).
 struct MetricsSnapshot {
   std::map<MetricKey, std::uint64_t> counters;
@@ -51,8 +57,8 @@ struct MetricsSnapshot {
 
   /// Prometheus-style text: one `name{model="v"} value` line per scalar
   /// (no braces when the label is empty); histograms expand to
-  /// quantile="0.5|0.9|0.95|0.99" lines plus `_count` and `_sum`.
-  /// Deterministic order (sorted by metric, then label).
+  /// quantile="0.5|0.9|0.95|0.99" lines plus `_count`, `_sum`, `_min`,
+  /// and `_max`. Deterministic order (sorted by metric, then label).
   std::string RenderText() const;
 };
 

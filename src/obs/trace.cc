@@ -1,0 +1,141 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <sstream>
+#include <utility>
+
+namespace mcirbm::obs {
+
+TraceContext::TraceContext(std::uint64_t trace_id, std::string op,
+                           std::string tag, std::int64_t start_micros) {
+  trace_.trace_id = trace_id;
+  trace_.op = std::move(op);
+  trace_.tag = std::move(tag);
+  trace_.start_micros = start_micros;
+}
+
+void TraceContext::AddSpan(const std::string& name, std::int64_t start_micros,
+                           std::int64_t duration_micros,
+                           const std::string& model_key, std::size_t rows) {
+  TraceSpan span;
+  span.name = name;
+  span.start_micros = start_micros;
+  span.duration_micros = duration_micros < 0 ? 0 : duration_micros;
+  span.model_key = model_key;
+  span.rows = rows;
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.spans.push_back(std::move(span));
+}
+
+Trace TraceContext::Finalize(std::int64_t end_micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  trace_.duration_micros =
+      end_micros < trace_.start_micros ? 0 : end_micros - trace_.start_micros;
+  std::stable_sort(trace_.spans.begin(), trace_.spans.end(),
+                   [](const TraceSpan& a, const TraceSpan& b) {
+                     return a.start_micros < b.start_micros;
+                   });
+  return std::move(trace_);
+}
+
+TraceStore::TraceStore(TraceConfig config) : config_(config) {}
+
+std::shared_ptr<TraceContext> TraceStore::MaybeStartTrace(
+    const std::string& op, const std::string& tag, std::int64_t start_micros) {
+  if (config_.sample_every_n == 0) return nullptr;
+  const std::uint64_t n =
+      request_counter_.fetch_add(1, std::memory_order_relaxed);
+  if (n % config_.sample_every_n != 0) return nullptr;
+  sampled_.Increment();
+  return std::make_shared<TraceContext>(
+      next_trace_id_.fetch_add(1, std::memory_order_relaxed), op, tag,
+      start_micros);
+}
+
+void TraceStore::Finish(const std::shared_ptr<TraceContext>& context,
+                        std::int64_t end_micros) {
+  if (context == nullptr) return;
+  Trace trace = context->Finalize(end_micros);
+  completed_.Increment();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (jsonl_sink_) jsonl_sink_(TraceToJsonLine(trace));
+  ring_.push_back(std::move(trace));
+  while (ring_.size() > config_.capacity) {
+    ring_.pop_front();
+    dropped_.Increment();
+  }
+}
+
+std::vector<Trace> TraceStore::Recent(std::size_t n) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::size_t take = std::min(n, ring_.size());
+  return std::vector<Trace>(ring_.end() - static_cast<std::ptrdiff_t>(take),
+                            ring_.end());
+}
+
+TraceStore::Snapshot TraceStore::snapshot() const {
+  Snapshot snap;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snap.traces.assign(ring_.begin(), ring_.end());
+  }
+  snap.sampled = sampled_.Value();
+  snap.completed = completed_.Value();
+  snap.dropped = dropped_.Value();
+  return snap;
+}
+
+void TraceStore::Snapshot::Merge(const Snapshot& other) {
+  traces.insert(traces.end(), other.traces.begin(), other.traces.end());
+  std::stable_sort(traces.begin(), traces.end(),
+                   [](const Trace& a, const Trace& b) {
+                     return a.start_micros < b.start_micros;
+                   });
+  sampled += other.sampled;
+  completed += other.completed;
+  dropped += other.dropped;
+}
+
+void TraceStore::SetJsonlSink(std::function<void(const std::string&)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  jsonl_sink_ = std::move(sink);
+}
+
+std::string TraceStore::TraceToJsonLine(const Trace& trace) {
+  std::ostringstream out;
+  out << "{\"trace_id\":" << trace.trace_id << ",\"op\":\""
+      << EscapeLabel(trace.op) << "\",\"id\":\"" << EscapeLabel(trace.tag)
+      << "\",\"start_micros\":" << trace.start_micros
+      << ",\"duration_micros\":" << trace.duration_micros << ",\"spans\":[";
+  for (std::size_t i = 0; i < trace.spans.size(); ++i) {
+    const TraceSpan& span = trace.spans[i];
+    if (i > 0) out << ',';
+    out << "{\"name\":\"" << EscapeLabel(span.name)
+        << "\",\"start_micros\":" << span.start_micros
+        << ",\"duration_micros\":" << span.duration_micros << ",\"model\":\""
+        << EscapeLabel(span.model_key) << "\",\"rows\":" << span.rows << '}';
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string TraceStore::RenderTracesText(const std::vector<Trace>& traces,
+                                         const std::string& prefix) {
+  std::ostringstream out;
+  for (const Trace& trace : traces) {
+    out << prefix << "trace=" << trace.trace_id << " op=" << trace.op
+        << " id=\"" << EscapeLabel(trace.tag)
+        << "\" start_micros=" << trace.start_micros
+        << " duration_micros=" << trace.duration_micros
+        << " spans=" << trace.spans.size() << '\n';
+    for (const TraceSpan& span : trace.spans) {
+      out << prefix << "trace=" << trace.trace_id << " span=" << span.name
+          << " start_micros=" << span.start_micros
+          << " duration_micros=" << span.duration_micros << " model=\""
+          << EscapeLabel(span.model_key) << "\" rows=" << span.rows << '\n';
+    }
+  }
+  return out.str();
+}
+
+}  // namespace mcirbm::obs

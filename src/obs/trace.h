@@ -1,0 +1,181 @@
+// obs::Trace — per-request span timelines for the serving stack.
+//
+// Aggregate metrics (obs::Histogram and friends) answer "how slow are
+// requests overall"; traces answer "where did THIS request spend its
+// time". A Trace is a dapper-style span tree flattened into one ordered
+// timeline: every stage that handles a sampled request appends a span
+// `{name, start_micros, duration_micros, model_key, rows}` on the shared
+// mcirbm::MonotonicMicros() timebase, so a completed trace reads as
+//
+//   parse -> [load] -> queue -> exec -> format -> [flush]
+//
+// with disjoint spans whose durations sum to at most the request's
+// end-to-end duration (pinned by tests and by the soak harness).
+//
+// Cost model: tracing is off by default (`TraceConfig::sample_every_n ==
+// 0`) and the hot path pays exactly one branch — a null
+// `std::shared_ptr<TraceContext>` threads through the request path and
+// every stage checks it before touching anything else. With sampling on,
+// every Nth request allocates one TraceContext; span appends take the
+// context's own leaf mutex (spans arrive from flusher threads and the
+// request thread concurrently).
+//
+// Completed traces land in a lock-protected fixed-capacity ring buffer
+// (TraceStore), oldest-evicted, queryable via Recent() and exported as a
+// mergeable TraceStore::Snapshot — the same fold discipline as
+// obs::MetricsSnapshot, so multiple stores (e.g. per-process in a future
+// multi-node setup) combine associatively. The store also counts
+// sampled/completed/dropped in an embedded obs::Registry so the trace
+// subsystem shows up in `op=stats` like everything else, and can stream
+// each completed trace as one JSON line to a caller-provided sink
+// (`mcirbm_cli serve --trace-jsonl <path>`).
+#ifndef MCIRBM_OBS_TRACE_H_
+#define MCIRBM_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+
+namespace mcirbm::obs {
+
+/// One timed stage of a request. `model_key`/`rows` are attribution:
+/// batch-exec spans carry the flushed batch's key and total row count.
+struct TraceSpan {
+  std::string name;
+  std::int64_t start_micros = 0;
+  std::int64_t duration_micros = 0;
+  std::string model_key;
+  std::size_t rows = 0;
+};
+
+/// A completed request timeline. `tag` is the protocol `id=` tag (empty
+/// for untagged requests); spans are sorted by start_micros.
+struct Trace {
+  std::uint64_t trace_id = 0;
+  std::string op;
+  std::string tag;
+  std::int64_t start_micros = 0;
+  std::int64_t duration_micros = 0;
+  std::vector<TraceSpan> spans;
+};
+
+struct TraceConfig {
+  /// Sample every Nth request; 0 disables tracing entirely (default),
+  /// 1 traces everything.
+  std::uint64_t sample_every_n = 0;
+  /// Ring-buffer capacity for completed traces (oldest evicted).
+  std::size_t capacity = 256;
+};
+
+/// The live, in-flight side of one sampled request. Stages append spans
+/// concurrently (request thread, flusher threads), so the context owns a
+/// leaf mutex; nothing is read back until Finalize.
+class TraceContext {
+ public:
+  TraceContext(std::uint64_t trace_id, std::string op, std::string tag,
+               std::int64_t start_micros);
+  TraceContext(const TraceContext&) = delete;
+  TraceContext& operator=(const TraceContext&) = delete;
+
+  /// Appends one span. Safe from any thread.
+  void AddSpan(const std::string& name, std::int64_t start_micros,
+               std::int64_t duration_micros, const std::string& model_key = "",
+               std::size_t rows = 0);
+
+  std::uint64_t trace_id() const { return trace_.trace_id; }
+  std::int64_t start_micros() const { return trace_.start_micros; }
+
+  /// Seals the trace: sets the end-to-end duration and sorts spans by
+  /// start time. Called exactly once, by TraceStore::Finish.
+  Trace Finalize(std::int64_t end_micros);
+
+ private:
+  mutable std::mutex mu_;
+  Trace trace_;
+};
+
+/// Sampling decision + ring buffer of completed traces. Thread-safe.
+class TraceStore {
+ public:
+  explicit TraceStore(TraceConfig config = {});
+  TraceStore(const TraceStore&) = delete;
+  TraceStore& operator=(const TraceStore&) = delete;
+
+  /// Returns a live context for every `sample_every_n`-th call (a single
+  /// atomic increment decides), null otherwise — and always null when
+  /// sampling is off, so the untraced hot path is one branch.
+  std::shared_ptr<TraceContext> MaybeStartTrace(const std::string& op,
+                                                const std::string& tag,
+                                                std::int64_t start_micros);
+
+  /// Finalizes `context` at `end_micros` and pushes the completed trace
+  /// into the ring (evicting the oldest when full). Null-safe: a null
+  /// context is ignored, so callers can finish unconditionally.
+  void Finish(const std::shared_ptr<TraceContext>& context,
+              std::int64_t end_micros);
+
+  /// The most recent min(n, size) completed traces, oldest first.
+  std::vector<Trace> Recent(std::size_t n) const;
+
+  /// Plain value copy of the ring + lifecycle counters; merges
+  /// associatively like MetricsSnapshot (traces interleave by start
+  /// time, counters sum).
+  struct Snapshot {
+    std::vector<Trace> traces;  ///< oldest first
+    std::uint64_t sampled = 0;
+    std::uint64_t completed = 0;
+    std::uint64_t dropped = 0;  ///< evicted from the ring
+
+    void Merge(const Snapshot& other);
+  };
+  Snapshot snapshot() const;
+
+  /// Lifecycle counters (trace_sampled_total / trace_completed_total /
+  /// trace_dropped_total) for folding into the stats surfaces.
+  const Registry& registry() const { return registry_; }
+
+  /// Streams every subsequently completed trace as one JSON line. The
+  /// sink is invoked under the store mutex (keep it fast); pass nullptr
+  /// to detach.
+  void SetJsonlSink(std::function<void(const std::string&)> sink);
+
+  std::uint64_t sample_every_n() const { return config_.sample_every_n; }
+  bool enabled() const { return config_.sample_every_n > 0; }
+
+  /// One trace as a JSON object on a single line (the --trace-jsonl
+  /// schema; see README "Tracing"). String values escape `"` and `\`.
+  static std::string TraceToJsonLine(const Trace& trace);
+
+  /// `last` recent traces as text, one header line per trace and one
+  /// line per span — the `op=trace` payload. `prefix` is prepended to
+  /// every line ("# " for the stats-port rendition so exposition-format
+  /// parsers skip it).
+  static std::string RenderTracesText(const std::vector<Trace>& traces,
+                                      const std::string& prefix = "");
+
+ private:
+  const TraceConfig config_;
+  std::atomic<std::uint64_t> request_counter_{0};
+  std::atomic<std::uint64_t> next_trace_id_{1};
+
+  mutable std::mutex mu_;
+  std::deque<Trace> ring_;  // oldest at front
+  std::function<void(const std::string&)> jsonl_sink_;
+
+  Registry registry_;
+  Counter& sampled_ = registry_.counter("trace_sampled_total");
+  Counter& completed_ = registry_.counter("trace_completed_total");
+  Counter& dropped_ = registry_.counter("trace_dropped_total");
+};
+
+}  // namespace mcirbm::obs
+
+#endif  // MCIRBM_OBS_TRACE_H_

@@ -11,6 +11,7 @@
 #include "data/loaders.h"
 #include "data/transforms.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace mcirbm::serve {
 
@@ -35,8 +36,21 @@ void AppendIdEcho(std::ostringstream* out, const std::string& id) {
 }  // namespace
 
 RequestExecutor::RequestExecutor(Router* router, const ExecutorConfig& config)
-    : router_(router), datasets_(std::max<std::size_t>(
-                           1, config.dataset_cache_capacity)) {}
+    : router_(router),
+      datasets_(std::max<std::size_t>(1, config.dataset_cache_capacity)),
+      trace_store_(config.trace_store) {}
+
+std::shared_ptr<obs::TraceContext> RequestExecutor::StartTrace(
+    const Request& request, std::int64_t start_micros) {
+  if (trace_store_ == nullptr) return nullptr;
+  return trace_store_->MaybeStartTrace(request.op, request.id, start_micros);
+}
+
+void RequestExecutor::FinishTrace(
+    const std::shared_ptr<obs::TraceContext>& trace) {
+  if (trace_store_ == nullptr || trace == nullptr) return;
+  trace_store_->Finish(trace, MonotonicMicros());
+}
 
 void RequestExecutor::AddStatsRegistry(const obs::Registry* registry) {
   extra_registries_.push_back(registry);
@@ -79,7 +93,8 @@ RequestExecutor::DatasetCache::Get(const std::string& path,
 }
 
 StatusOr<std::string> RequestExecutor::ExecuteTransform(
-    const Request& request, const data::Dataset& ds) {
+    const Request& request, const data::Dataset& ds,
+    const std::shared_ptr<obs::TraceContext>& trace) {
   const std::size_t rows = ds.x.rows();
   const std::size_t cols = ds.x.cols();
   const std::size_t num_chunks = (rows + request.chunk - 1) / request.chunk;
@@ -104,7 +119,11 @@ StatusOr<std::string> RequestExecutor::ExecuteTransform(
     for (;;) {
       linalg::Matrix slice(end - begin, cols);
       std::copy_n(ds.x.data() + begin * cols, slice.size(), slice.data());
-      auto future = router_->Submit(request.model, std::move(slice));
+      // Only the first chunk carries the trace: later chunks queue and
+      // execute concurrently with it, and overlapping spans would break
+      // the sum-of-spans <= end-to-end accounting the timeline promises.
+      auto future = router_->Submit(request.model, std::move(slice),
+                                    chunk_index == 0 ? trace : nullptr);
       if (future.wait_for(std::chrono::seconds(0)) !=
           std::future_status::ready) {
         outstanding.emplace_back(chunk_index, std::move(future));
@@ -134,6 +153,7 @@ StatusOr<std::string> RequestExecutor::ExecuteTransform(
     if (!drained.ok()) return drained;
   }
 
+  const std::int64_t format_start = MonotonicMicros();
   linalg::Matrix features;
   std::size_t offset = 0;
   for (linalg::Matrix& part : parts) {
@@ -142,6 +162,7 @@ StatusOr<std::string> RequestExecutor::ExecuteTransform(
                 features.data() + offset * features.cols());
     offset += part.rows();
   }
+  const std::size_t feature_rows = features.rows();
   std::ostringstream response;
   response << "ok";
   AppendIdEcho(&response, request.id);
@@ -157,20 +178,27 @@ StatusOr<std::string> RequestExecutor::ExecuteTransform(
     const Status saved = data::SaveDatasetCsv(out_ds, request.out);
     if (!saved.ok()) return saved;
   }
+  if (trace != nullptr) {
+    trace->AddSpan("format", format_start, MonotonicMicros() - format_start,
+                   request.model, feature_rows);
+  }
   return response.str();
 }
 
 StatusOr<std::string> RequestExecutor::ExecuteEvaluate(
-    const Request& request, const data::Dataset& ds) {
+    const Request& request, const data::Dataset& ds,
+    const std::shared_ptr<obs::TraceContext>& trace) {
   api::EvalOptions options;
   options.clusterer = request.clusterer;
   options.k = request.k;
   options.seed = request.seed;
   StatusOr<api::EvalResult> result = Status::Unavailable("not submitted");
   for (int retries = 0;; ++retries) {
-    result =
-        router_->SubmitEvaluate(request.model, ds.x, ds.labels, options)
-            .get();
+    // A rejected submission never enqueues, so re-passing the trace on a
+    // retry cannot double-record queue spans.
+    result = router_->SubmitEvaluate(request.model, ds.x, ds.labels, options,
+                                     trace)
+                 .get();
     if (result.ok() ||
         result.status().code() != StatusCode::kUnavailable ||
         retries >= kMaxOverflowRetries) {
@@ -179,6 +207,7 @@ StatusOr<std::string> RequestExecutor::ExecuteEvaluate(
     std::this_thread::sleep_for(kOverflowBackoff);
   }
   if (!result.ok()) return result.status();
+  const std::int64_t format_start = MonotonicMicros();
   const metrics::MetricBundle& m = result.value().metrics;
   std::ostringstream response;
   response << "ok";
@@ -193,6 +222,10 @@ StatusOr<std::string> RequestExecutor::ExecuteEvaluate(
            << " fmi=" << FormatDouble(m.fmi, 4)
            << " ari=" << FormatDouble(m.ari, 4)
            << " nmi=" << FormatDouble(m.nmi, 4) << "\n";
+  if (trace != nullptr) {
+    trace->AddSpan("format", format_start, MonotonicMicros() - format_start,
+                   request.model, ds.x.rows());
+  }
   return response.str();
 }
 
@@ -209,27 +242,72 @@ std::string RequestExecutor::ExecuteStats(const Request& request) {
   return response.str();
 }
 
-std::string RequestExecutor::Execute(const Request& request,
-                                     const std::string& context,
-                                     bool* ok_out) {
+std::string RequestExecutor::ExecuteTrace(const Request& request,
+                                          const std::string& context,
+                                          bool* ok_out) {
+  if (trace_store_ == nullptr || !trace_store_->enabled()) {
+    if (ok_out != nullptr) *ok_out = false;
+    return FormatError(
+        Status::Unavailable(
+            "tracing is not enabled (start serve with --trace-sample N)"),
+        request.id, context);
+  }
+  const std::vector<obs::Trace> recent = trace_store_->Recent(request.last);
+  const std::string rendered = obs::TraceStore::RenderTracesText(recent);
+  const long payload_lines =
+      std::count(rendered.begin(), rendered.end(), '\n');
+  std::ostringstream response;
+  response << "ok";
+  AppendIdEcho(&response, request.id);
+  response << " op=trace traces=" << recent.size()
+           << " lines=" << payload_lines << "\n" << rendered;
+  return response.str();
+}
+
+StatusOr<std::string> RequestExecutor::ExecuteReload(
+    const Request& request, obs::TraceContext* trace) {
+  const Status reloaded = router_->Reload(request.model, trace);
+  if (!reloaded.ok()) return reloaded;
+  std::ostringstream response;
+  response << "ok";
+  AppendIdEcho(&response, request.id);
+  response << " op=reload model=" << request.model << "\n";
+  return response.str();
+}
+
+std::string RequestExecutor::Execute(
+    const Request& request, const std::string& context, bool* ok_out,
+    const std::shared_ptr<obs::TraceContext>& trace) {
   if (ok_out != nullptr) *ok_out = true;
   if (request.op == "stats") return ExecuteStats(request);
+  if (request.op == "trace") return ExecuteTrace(request, context, ok_out);
 
   Status status = Status::Ok();
   StatusOr<std::string> response = Status::Internal("not executed");
-  auto dataset = datasets_.Get(request.data, request.transform);
-  // Resolve the model once up front: a bad path fails the request with
-  // one disk probe instead of one per submitted chunk.
-  auto model = router_->store().Get(request.model);
-  if (!dataset.ok()) {
-    status = dataset.status();
-  } else if (!model.ok()) {
-    status = model.status();
-  } else {
-    response = request.op == "transform"
-                   ? ExecuteTransform(request, *dataset.value())
-                   : ExecuteEvaluate(request, *dataset.value());
+  if (request.op == "reload") {
+    response = ExecuteReload(request, trace.get());
     status = response.status();
+  } else {
+    const std::int64_t parse_start = MonotonicMicros();
+    auto dataset = datasets_.Get(request.data, request.transform);
+    if (dataset.ok() && trace != nullptr) {
+      trace->AddSpan("parse", parse_start, MonotonicMicros() - parse_start,
+                     request.data, dataset.value()->x.rows());
+    }
+    // Resolve the model once up front: a bad path fails the request with
+    // one disk probe instead of one per submitted chunk. A store miss
+    // contributes the trace's "load" span.
+    auto model = router_->store().Get(request.model, trace.get());
+    if (!dataset.ok()) {
+      status = dataset.status();
+    } else if (!model.ok()) {
+      status = model.status();
+    } else {
+      response = request.op == "transform"
+                     ? ExecuteTransform(request, *dataset.value(), trace)
+                     : ExecuteEvaluate(request, *dataset.value(), trace);
+      status = response.status();
+    }
   }
   if (status.ok()) return std::move(response).value();
   if (ok_out != nullptr) *ok_out = false;
@@ -252,7 +330,24 @@ std::string RequestExecutor::RenderStatsText() const {
   for (const obs::Registry* registry : extra_registries_) {
     snapshot.Merge(registry->snapshot());
   }
+  if (trace_store_ != nullptr) {
+    snapshot.Merge(trace_store_->registry().snapshot());
+  }
   return snapshot.RenderText();
+}
+
+std::string RequestExecutor::RenderStatsAndTracesText() const {
+  std::string text = RenderStatsText();
+  if (trace_store_ == nullptr || !trace_store_->enabled()) return text;
+  const obs::TraceStore::Snapshot traces = trace_store_->snapshot();
+  std::ostringstream section;
+  section << "# traces recent=" << traces.traces.size()
+          << " sampled=" << traces.sampled
+          << " completed=" << traces.completed
+          << " dropped=" << traces.dropped << "\n";
+  text += section.str();
+  text += obs::TraceStore::RenderTracesText(traces.traces, "# ");
+  return text;
 }
 
 }  // namespace mcirbm::serve

@@ -21,8 +21,18 @@
 //   - op=stats: the Router's merged metrics snapshot, folded together
 //     with any extra registries (the net layer's) registered via
 //     AddStatsRegistry;
+//   - op=trace: the most recent completed request traces from the
+//     configured obs::TraceStore, one line per span;
+//   - op=reload: a hot-swap through Router::Reload;
 //   - response formatting, echoing the request's opaque id= tag as the
 //     first key of every ok/error line.
+//
+// Tracing: when ExecutorConfig::trace_store is set, transports call
+// StartTrace() after parsing a request and FinishTrace() after writing
+// its response; the executor contributes parse and format spans and
+// threads the context down through Router -> MicroBatcher/ModelStore for
+// the queue/exec/load spans. With sampling off (the default) StartTrace
+// returns null and every stage's check is a single branch.
 //
 // Execution failures come back as "error ..." response lines, never
 // exceptions or aborts; the bool out-param distinguishes them so a
@@ -30,6 +40,7 @@
 #ifndef MCIRBM_SERVE_EXECUTOR_H_
 #define MCIRBM_SERVE_EXECUTOR_H_
 
+#include <cstdint>
 #include <deque>
 #include <map>
 #include <memory>
@@ -39,6 +50,7 @@
 
 #include "data/dataset.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "serve/request.h"
 #include "serve/router.h"
 #include "util/status.h"
@@ -49,6 +61,10 @@ namespace mcirbm::serve {
 struct ExecutorConfig {
   /// Distinct (path, transform) datasets kept in memory (FIFO eviction).
   std::size_t dataset_cache_capacity = 8;
+  /// Per-request trace sampling (obs/trace.h). Null disables tracing
+  /// and makes op=trace fail; a store with sample_every_n == 0 behaves
+  /// the same but still serves its (empty) counters.
+  std::shared_ptr<obs::TraceStore> trace_store;
 };
 
 /// Executes parsed requests against a Router; shared by the CLI serve
@@ -74,9 +90,27 @@ class RequestExecutor {
   /// lines for op=stats. `context` is extra diagnostic tokens spliced
   /// into an error line after the id echo (the file loop's "line=N");
   /// pass "" over the network. `ok_out` (optional) reports whether the
-  /// response is an ok line. Thread-safe.
+  /// response is an ok line. `trace` (optional, from StartTrace) collects
+  /// this request's spans; the caller finishes it AFTER the response is
+  /// written so the transport's flush span makes it in. Thread-safe.
   std::string Execute(const Request& request, const std::string& context,
-                      bool* ok_out = nullptr);
+                      bool* ok_out = nullptr,
+                      const std::shared_ptr<obs::TraceContext>& trace = {});
+
+  /// Sampling decision for one request: a live context every Nth call
+  /// when a trace store with sampling is configured, null otherwise.
+  /// `start_micros` anchors the trace's end-to-end window — transports
+  /// pass the same timestamp their request histogram uses.
+  std::shared_ptr<obs::TraceContext> StartTrace(const Request& request,
+                                                std::int64_t start_micros);
+
+  /// Seals `trace` (null-safe) at MonotonicMicros() and commits it to
+  /// the store's ring + JSONL sink. Call after the response is flushed.
+  void FinishTrace(const std::shared_ptr<obs::TraceContext>& trace);
+
+  const std::shared_ptr<obs::TraceStore>& trace_store() const {
+    return trace_store_;
+  }
 
   /// The error response line (newline-terminated) for a request that
   /// failed before execution — parse errors (`id` empty when the line
@@ -84,9 +118,14 @@ class RequestExecutor {
   static std::string FormatError(const Status& status, const std::string& id,
                                  const std::string& context);
 
-  /// The Router's merged snapshot plus every AddStatsRegistry extra —
-  /// the op=stats payload and the --stats-port endpoint body.
+  /// The Router's merged snapshot plus every AddStatsRegistry extra (and
+  /// the trace store's lifecycle counters) — the op=stats payload.
   std::string RenderStatsText() const;
+
+  /// RenderStatsText plus a '#'-prefixed recent-trace section when
+  /// tracing is on — the --stats-port endpoint body ('#' keeps the
+  /// exposition format parseable for metric scrapers).
+  std::string RenderStatsAndTracesText() const;
 
  private:
   /// Bounded (path, transform) -> preprocessed dataset cache. Entries
@@ -105,15 +144,22 @@ class RequestExecutor {
     std::deque<std::string> order_;
   };
 
-  StatusOr<std::string> ExecuteTransform(const Request& request,
-                                         const data::Dataset& ds);
-  StatusOr<std::string> ExecuteEvaluate(const Request& request,
-                                        const data::Dataset& ds);
+  StatusOr<std::string> ExecuteTransform(
+      const Request& request, const data::Dataset& ds,
+      const std::shared_ptr<obs::TraceContext>& trace);
+  StatusOr<std::string> ExecuteEvaluate(
+      const Request& request, const data::Dataset& ds,
+      const std::shared_ptr<obs::TraceContext>& trace);
   std::string ExecuteStats(const Request& request);
+  std::string ExecuteTrace(const Request& request, const std::string& context,
+                           bool* ok_out);
+  StatusOr<std::string> ExecuteReload(const Request& request,
+                                      obs::TraceContext* trace);
 
   Router* const router_;
   DatasetCache datasets_;
   std::vector<const obs::Registry*> extra_registries_;
+  const std::shared_ptr<obs::TraceStore> trace_store_;
 };
 
 }  // namespace mcirbm::serve

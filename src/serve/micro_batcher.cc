@@ -53,7 +53,8 @@ void MicroBatcher::UpdateGauges(const std::string& key) {
 Status MicroBatcher::Enqueue(
     std::shared_ptr<const api::Model> model, const std::string& key,
     linalg::Matrix rows,
-    std::function<void(StatusOr<linalg::Matrix>)> complete) {
+    std::function<void(StatusOr<linalg::Matrix>)> complete,
+    std::shared_ptr<obs::TraceContext> trace) {
   if (model == nullptr || !model->valid()) {
     return Status::InvalidArgument("submit requires a loaded model");
   }
@@ -154,7 +155,7 @@ Status MicroBatcher::Enqueue(
     queue.pending_rows += rows.rows();
     const std::size_t accepted_rows = rows.rows();
     queue.pending.push_back(
-        Request{std::move(rows), now, std::move(complete)});
+        Request{std::move(rows), now, std::move(complete), std::move(trace)});
     ++stats_.requests;
     stats_.rows += accepted_rows;
     key_loads_[key] += accepted_rows;
@@ -169,7 +170,7 @@ Status MicroBatcher::Enqueue(
 
 std::future<StatusOr<linalg::Matrix>> MicroBatcher::SubmitTransform(
     std::shared_ptr<const api::Model> model, const std::string& key,
-    linalg::Matrix rows) {
+    linalg::Matrix rows, std::shared_ptr<obs::TraceContext> trace) {
   auto promise =
       std::make_shared<std::promise<StatusOr<linalg::Matrix>>>();
   auto future = promise->get_future();
@@ -177,7 +178,8 @@ std::future<StatusOr<linalg::Matrix>> MicroBatcher::SubmitTransform(
       std::move(model), key, std::move(rows),
       [promise](StatusOr<linalg::Matrix> features) {
         promise->set_value(std::move(features));
-      });
+      },
+      std::move(trace));
   if (!queued.ok()) return FailedFuture<linalg::Matrix>(queued);
   return future;
 }
@@ -185,7 +187,7 @@ std::future<StatusOr<linalg::Matrix>> MicroBatcher::SubmitTransform(
 std::future<StatusOr<api::EvalResult>> MicroBatcher::SubmitEvaluate(
     std::shared_ptr<const api::Model> model, const std::string& key,
     linalg::Matrix rows, std::vector<int> labels,
-    api::EvalOptions options) {
+    api::EvalOptions options, std::shared_ptr<obs::TraceContext> trace) {
   if (labels.size() != rows.rows()) {
     return FailedFuture<api::EvalResult>(Status::InvalidArgument(
         "labels length " + std::to_string(labels.size()) +
@@ -204,7 +206,8 @@ std::future<StatusOr<api::EvalResult>> MicroBatcher::SubmitEvaluate(
         }
         promise->set_value(
             api::EvaluateFeatures(features.value(), labels, options));
-      });
+      },
+      std::move(trace));
   if (!queued.ok()) return FailedFuture<api::EvalResult>(queued);
   return future;
 }
@@ -330,6 +333,11 @@ void MicroBatcher::FlusherLoop() {
         stats_.max_queue_micros = std::max(stats_.max_queue_micros, waited);
         queue_wait_histogram.Record(waited);
         if (config_.record_latencies) latencies_micros_.push_back(waited);
+        if (request.trace != nullptr) {
+          request.trace->AddSpan("queue", request.enqueued_micros,
+                                 now - request.enqueued_micros, batch.key,
+                                 request.rows.rows());
+        }
       }
       UpdateGauges(batch.key);
     }
@@ -360,8 +368,12 @@ void MicroBatcher::ExecuteBatch(Batch* batch) {
   if (batch->requests.size() == 1) {
     Request& request = batch->requests.front();
     auto features = batch->model->Transform(request.rows);
-    exec_histogram.Record(
-        static_cast<double>(MonotonicMicros() - started));
+    const std::int64_t finished = MonotonicMicros();
+    exec_histogram.Record(static_cast<double>(finished - started));
+    if (request.trace != nullptr) {
+      request.trace->AddSpan("exec", started, finished - started, batch->key,
+                             batch->rows);
+    }
     // Settle before completing: once a future resolves, its rows must no
     // longer count toward this batcher's load (routers re-route on the
     // gauge a client reads after .get()).
@@ -380,7 +392,17 @@ void MicroBatcher::ExecuteBatch(Batch* batch) {
   }
 
   auto features = batch->model->Transform(assembled);
-  exec_histogram.Record(static_cast<double>(MonotonicMicros() - started));
+  const std::int64_t finished = MonotonicMicros();
+  exec_histogram.Record(static_cast<double>(finished - started));
+  // The batch's exec span lands on every traced request in the flush,
+  // attributed with the batch's total rows — a request's timeline shows
+  // the pass it actually rode, not a per-slice fiction.
+  for (const Request& request : batch->requests) {
+    if (request.trace != nullptr) {
+      request.trace->AddSpan("exec", started, finished - started, batch->key,
+                             batch->rows);
+    }
+  }
   SettleLoad(batch->key, batch->rows);
   if (!features.ok()) {
     for (Request& request : batch->requests) {

@@ -36,6 +36,13 @@
 // serve_queue_depth / serve_pending_rows gauges, and
 // serve_{requests,rows,batches,rejected}_total counters. All timing
 // reads util::MonotonicMicros(), the same clock as the bench drivers.
+//
+// Tracing: a submission may carry an obs::TraceContext (null for the
+// common untraced case — one branch per stage). A traced request gets a
+// "queue" span (enqueue -> flush claim) and an "exec" span covering its
+// batch's Transform pass; the exec span is shared by every request in
+// the flush and attributed with the batch's total row count, which is
+// exactly what makes coalescing visible in a timeline.
 #ifndef MCIRBM_SERVE_MICRO_BATCHER_H_
 #define MCIRBM_SERVE_MICRO_BATCHER_H_
 
@@ -54,6 +61,7 @@
 #include "api/model.h"
 #include "linalg/matrix.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace mcirbm::serve {
@@ -141,9 +149,11 @@ class MicroBatcher {
   /// changes while requests are queued (hot reload), the old queue is
   /// sealed and flushed on the instance those requests were submitted
   /// against; one batch never mixes two instances.
+  /// `trace` (optional) collects "queue" and "exec" spans for this
+  /// request; null (the default) records nothing.
   std::future<StatusOr<linalg::Matrix>> SubmitTransform(
       std::shared_ptr<const api::Model> model, const std::string& key,
-      linalg::Matrix rows);
+      linalg::Matrix rows, std::shared_ptr<obs::TraceContext> trace = {});
 
   /// Queues `rows` for the batched Transform pass, then clusters this
   /// request's feature slice and scores it against `labels` — equivalent
@@ -151,7 +161,8 @@ class MicroBatcher {
   std::future<StatusOr<api::EvalResult>> SubmitEvaluate(
       std::shared_ptr<const api::Model> model, const std::string& key,
       linalg::Matrix rows, std::vector<int> labels,
-      api::EvalOptions options = {});
+      api::EvalOptions options = {},
+      std::shared_ptr<obs::TraceContext> trace = {});
 
   /// Flushes all pending requests, stops the flusher thread, and fails
   /// subsequent submissions with kUnavailable. Idempotent; also run by
@@ -248,6 +259,11 @@ class MicroBatcher {
     linalg::Matrix rows;
     std::int64_t enqueued_micros = 0;  // util::MonotonicMicros timebase
     std::function<void(StatusOr<linalg::Matrix>)> complete;
+    // Shared (not raw): if the submitter abandons the request's future
+    // early, the flusher still holds a live context when it records the
+    // queue/exec spans. Null for untraced requests — a null shared_ptr
+    // copy is free, so the untraced path stays one branch per stage.
+    std::shared_ptr<obs::TraceContext> trace;
   };
 
   // Per-model pending queue.
@@ -281,7 +297,8 @@ class MicroBatcher {
   /// Validates and enqueues; returns non-OK without queuing on bad input.
   Status Enqueue(std::shared_ptr<const api::Model> model,
                  const std::string& key, linalg::Matrix rows,
-                 std::function<void(StatusOr<linalg::Matrix>)> complete);
+                 std::function<void(StatusOr<linalg::Matrix>)> complete,
+                 std::shared_ptr<obs::TraceContext> trace);
   void FlusherLoop();
   void ExecuteBatch(Batch* batch);
   /// Refreshes this key's queue-depth / pending-rows gauges. Requires mu_.

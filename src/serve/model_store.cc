@@ -35,7 +35,7 @@ void ModelStore::InsertLocked(const std::string& key,
 }
 
 StatusOr<std::shared_ptr<const api::Model>> ModelStore::Get(
-    const std::string& key) {
+    const std::string& key, obs::TraceContext* trace) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = entries_.find(key);
@@ -54,8 +54,12 @@ StatusOr<std::shared_ptr<const api::Model>> ModelStore::Get(
   const std::int64_t started = MonotonicMicros();
   auto loaded = api::Model::LoadShared(key);
   if (!loaded.ok()) return loaded.status();
+  const std::int64_t finished = MonotonicMicros();
   registry_->histogram("store_load_micros", key)
-      .Record(static_cast<double>(MonotonicMicros() - started));
+      .Record(static_cast<double>(finished - started));
+  if (trace != nullptr) {
+    trace->AddSpan("load", started, finished - started, key);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
@@ -74,12 +78,16 @@ std::shared_ptr<const api::Model> ModelStore::Put(const std::string& key,
   return shared;
 }
 
-Status ModelStore::Reload(const std::string& key) {
+Status ModelStore::Reload(const std::string& key, obs::TraceContext* trace) {
   const std::int64_t started = MonotonicMicros();
   auto loaded = api::Model::LoadShared(key);
   if (!loaded.ok()) return loaded.status();
+  const std::int64_t finished = MonotonicMicros();
   registry_->histogram("store_reload_micros", key)
-      .Record(static_cast<double>(MonotonicMicros() - started));
+      .Record(static_cast<double>(finished - started));
+  if (trace != nullptr) {
+    trace->AddSpan("reload", started, finished - started, key);
+  }
   std::lock_guard<std::mutex> lock(mu_);
   InsertLocked(key, std::move(loaded).value());
   ++stats_.reloads;

@@ -32,6 +32,7 @@
 
 #include "api/model.h"
 #include "obs/registry.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace mcirbm::serve {
@@ -47,7 +48,10 @@ class ModelStore {
 
   /// Returns the cached model for `key`, loading it from disk (key ==
   /// path) on a miss. Load failures are returned and not cached.
-  StatusOr<std::shared_ptr<const api::Model>> Get(const std::string& key);
+  /// A non-null `trace` receives a "load" span when the call misses and
+  /// goes to disk (cache hits add nothing — there is nothing to time).
+  StatusOr<std::shared_ptr<const api::Model>> Get(
+      const std::string& key, obs::TraceContext* trace = nullptr);
 
   /// Inserts an in-memory model under `key` (replacing any cached entry)
   /// and returns the shared instance. Used by benchmarks/tests and any
@@ -58,8 +62,9 @@ class ModelStore {
 
   /// Re-reads `key` from disk and atomically swaps the cached entry.
   /// In-flight readers keep the old instance. On failure the previous
-  /// entry (if any) stays cached and serving continues.
-  Status Reload(const std::string& key);
+  /// entry (if any) stays cached and serving continues. A non-null
+  /// `trace` receives a "reload" span covering the disk read.
+  Status Reload(const std::string& key, obs::TraceContext* trace = nullptr);
 
   /// Drops `key` from the cache (in-flight readers are unaffected).
   /// Returns true if an entry was removed.

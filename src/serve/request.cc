@@ -66,15 +66,17 @@ StatusOr<Request> ParseRequestLine(const std::string& line) {
   }
   const Status known = values.ExpectOnly({"op", "id", "model", "data",
                                           "transform", "chunk", "clusterer",
-                                          "k", "seed", "out"});
+                                          "k", "seed", "out", "last"});
   if (!known.ok()) return known;
 
   Request request;
   MCIRBM_ASSIGN_OR_RETURN(request.op, values.GetString("op", ""));
   if (request.op != "transform" && request.op != "evaluate" &&
-      request.op != "stats") {
+      request.op != "stats" && request.op != "trace" &&
+      request.op != "reload") {
     return Status::InvalidArgument(
-        "op must be transform|evaluate|stats, got '" + request.op + "'");
+        "op must be transform|evaluate|stats|trace|reload, got '" +
+        request.op + "'");
   }
   // `id` is opaque to the server (echoed verbatim on the response) but
   // may not be empty: an empty echo would be indistinguishable from an
@@ -92,6 +94,35 @@ StatusOr<Request> ParseRequestLine(const std::string& line) {
     if (values.size() != (values.Has("id") ? 2u : 1u)) {
       return Status::InvalidArgument(
           "op=stats takes no keys other than id");
+    }
+    return request;
+  }
+  if (request.op == "trace") {
+    // Same strictness as op=stats: only id and last make sense here.
+    std::size_t allowed = values.Has("id") ? 2u : 1u;
+    if (values.Has("last")) ++allowed;
+    if (values.size() != allowed) {
+      return Status::InvalidArgument(
+          "op=trace takes no keys other than id and last");
+    }
+    int last = 16;
+    MCIRBM_ASSIGN_OR_RETURN(last, values.GetInt("last", 16));
+    if (last < 1) {
+      return Status::InvalidArgument("last must be >= 1");
+    }
+    request.last = static_cast<std::size_t>(last);
+    return request;
+  }
+  if (request.op == "reload") {
+    std::size_t allowed = values.Has("id") ? 2u : 1u;
+    if (values.Has("model")) ++allowed;
+    if (values.size() != allowed) {
+      return Status::InvalidArgument(
+          "op=reload takes no keys other than id and model");
+    }
+    MCIRBM_ASSIGN_OR_RETURN(request.model, values.GetString("model", ""));
+    if (request.model.empty()) {
+      return Status::InvalidArgument("op=reload needs model=<artifact>");
     }
     return request;
   }

@@ -22,6 +22,8 @@
 //   op=transform model=enc.mcirbm data=ds.csv chunk=1 out=features.csv
 //   op=evaluate  model=enc.mcirbm data=ds.csv clusterer=kmeans k=3 seed=7
 //   op=stats id=probe-7
+//   op=trace last=8
+//   op=reload model=enc.mcirbm
 //
 // `op=stats` takes no keys other than `id` (any are rejected): it asks
 // the serve loop for the live observability snapshot — the Router's
@@ -29,6 +31,18 @@
 // value` lines, inline in the response stream. Its ok line carries
 // `metrics=<n>`, the number of snapshot lines that follow it, so a
 // pipelined client knows how much of the stream belongs to the response.
+//
+// `op=trace` takes only `id` and `last=N` (default 16): it returns the
+// most recent min(N, buffered) completed request traces when the server
+// runs with trace sampling on (`--trace-sample`). Its ok line carries
+// `traces=<t> lines=<n>`; the `n` payload lines that follow are one
+// header line per trace plus one line per span (obs/trace.h). Without
+// sampling configured the request fails (there is nothing to report).
+//
+// `op=reload` takes only `id` and `model=<key>`: it hot-swaps the model
+// artifact from disk through the shared ModelStore (requests already
+// queued finish on the instance they were submitted against). The ok
+// line echoes `model=` back.
 //
 // Pipelining (`id=`): every op accepts an opaque non-empty `id` value,
 // echoed verbatim as the first key of the matching ok/error response
@@ -41,12 +55,13 @@
 // sequential, so ids there only echo.
 //
 // Keys:
-//   op         transform | evaluate | stats                (required)
+//   op         transform | evaluate | stats | trace | reload  (required)
 //   id         opaque non-empty response-matching tag (optional; any op)
 //   model      model artifact path — the ModelStore key    (required
-//              unless op=stats)
+//              unless op=stats|trace)
 //   data       dataset CSV (trailing integer label column) (required
-//              unless op=stats)
+//              unless op=stats|trace|reload)
+//   last       trace count for op=trace (default 16, must be >= 1)
 //   transform  none | standardize | minmax | binarize (default none)
 //   chunk      rows per submitted micro-request for op=transform
 //              (default 1: each row is its own request, the micro-batcher
@@ -70,7 +85,7 @@ namespace mcirbm::serve {
 
 /// One parsed `mcirbm_cli serve` request line.
 struct Request {
-  std::string op;         ///< "transform", "evaluate", or "stats"
+  std::string op;         ///< transform|evaluate|stats|trace|reload
   std::string id;         ///< opaque response-matching tag ("" = none)
   std::string model;      ///< model artifact path (ModelStore key)
   std::string data;       ///< dataset CSV path
@@ -80,6 +95,7 @@ struct Request {
   int k = 0;
   std::uint64_t seed = 7;
   std::string out;        ///< optional output CSV (transform op)
+  std::size_t last = 16;  ///< recent-trace count (trace op)
 };
 
 /// Parses one request line. The line must contain at least one key=value

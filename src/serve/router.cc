@@ -91,20 +91,24 @@ std::size_t Router::RouteFor(const std::string& key) {
 }
 
 std::future<StatusOr<linalg::Matrix>> Router::Submit(
-    const std::string& model_key, linalg::Matrix rows) {
-  return servers_[PickReplica(model_key)]->Submit(model_key,
-                                                  std::move(rows));
+    const std::string& model_key, linalg::Matrix rows,
+    std::shared_ptr<obs::TraceContext> trace) {
+  return servers_[PickReplica(model_key)]->Submit(model_key, std::move(rows),
+                                                  std::move(trace));
 }
 
 std::future<StatusOr<api::EvalResult>> Router::SubmitEvaluate(
     const std::string& model_key, linalg::Matrix rows,
-    std::vector<int> labels, api::EvalOptions options) {
+    std::vector<int> labels, api::EvalOptions options,
+    std::shared_ptr<obs::TraceContext> trace) {
   return servers_[PickReplica(model_key)]->SubmitEvaluate(
-      model_key, std::move(rows), std::move(labels), options);
+      model_key, std::move(rows), std::move(labels), options,
+      std::move(trace));
 }
 
-Status Router::Reload(const std::string& model_key) {
-  return store_->Reload(model_key);
+Status Router::Reload(const std::string& model_key,
+                      obs::TraceContext* trace) {
+  return store_->Reload(model_key, trace);
 }
 
 std::uint64_t Router::inflight_requests() const {

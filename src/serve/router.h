@@ -100,18 +100,23 @@ class Router {
   /// Identical semantics (and bit-identical results) to Server::Submit;
   /// overflow, unknown models, shape mismatches, and post-Shutdown
   /// submissions resolve the future immediately with a non-OK Status.
-  std::future<StatusOr<linalg::Matrix>> Submit(const std::string& model_key,
-                                               linalg::Matrix rows);
+  /// A non-null `trace` collects load/queue/exec spans (obs/trace.h).
+  std::future<StatusOr<linalg::Matrix>> Submit(
+      const std::string& model_key, linalg::Matrix rows,
+      std::shared_ptr<obs::TraceContext> trace = {});
 
   /// Routes `rows` to `model_key`'s replica for a batched Transform,
   /// then clusters and scores against `labels` like Model::Evaluate.
   std::future<StatusOr<api::EvalResult>> SubmitEvaluate(
       const std::string& model_key, linalg::Matrix rows,
-      std::vector<int> labels, api::EvalOptions options = {});
+      std::vector<int> labels, api::EvalOptions options = {},
+      std::shared_ptr<obs::TraceContext> trace = {});
 
   /// Hot-swaps `model_key` from disk in the shared store: one swap is
   /// seen by every replica. In-flight batches finish on the old instance.
-  Status Reload(const std::string& model_key);
+  /// A non-null `trace` receives a "reload" span for the disk read.
+  Status Reload(const std::string& model_key,
+                obs::TraceContext* trace = nullptr);
 
   /// The model cache shared by all replicas (pre-loading, in-memory Put).
   ModelStore& store() { return *store_; }

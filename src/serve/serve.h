@@ -14,15 +14,18 @@
 //     routing with one shared ModelStore and fail-fast admission
 //     control (serve/router.h);
 //   - serve::ParseRequestLine — the serve request-line format, including
-//     the op=stats observability probe and the pipelining id= tag
-//     (serve/request.h);
+//     the op=stats / op=trace observability probes, op=reload hot-swaps,
+//     and the pipelining id= tag (serve/request.h);
 //   - serve::RequestExecutor — executes parsed requests against a Router
 //     and formats responses; the piece shared by the CLI's file/stdin
 //     loop and the src/net TCP transport (serve/executor.h).
 //
 // Every component records into the src/obs metrics layer (latency
 // histograms, queue gauges, counters); Router::RenderStatsText() is the
-// merged Prometheus-style view.
+// merged Prometheus-style view. With trace sampling on (obs/trace.h,
+// `--trace-sample N`) every stage also contributes per-request spans —
+// parse/load/queue/exec/format (+ the transport's flush) — surfaced via
+// op=trace, the --stats-port endpoint, and a JSONL stream.
 //
 // Everything fallible reports through Status/StatusOr; a shut-down or
 // overloaded service rejects work with StatusCode::kUnavailable.

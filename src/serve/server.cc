@@ -26,25 +26,28 @@ Server::Server(const BatcherConfig& batcher,
 Server::~Server() { Shutdown(); }
 
 std::future<StatusOr<linalg::Matrix>> Server::Submit(
-    const std::string& model_key, linalg::Matrix rows) {
-  auto model = store_->Get(model_key);
+    const std::string& model_key, linalg::Matrix rows,
+    std::shared_ptr<obs::TraceContext> trace) {
+  auto model = store_->Get(model_key, trace.get());
   if (!model.ok()) return FailedFuture<linalg::Matrix>(model.status());
   return batcher_.SubmitTransform(std::move(model).value(), model_key,
-                                  std::move(rows));
+                                  std::move(rows), std::move(trace));
 }
 
 std::future<StatusOr<api::EvalResult>> Server::SubmitEvaluate(
     const std::string& model_key, linalg::Matrix rows,
-    std::vector<int> labels, api::EvalOptions options) {
-  auto model = store_->Get(model_key);
+    std::vector<int> labels, api::EvalOptions options,
+    std::shared_ptr<obs::TraceContext> trace) {
+  auto model = store_->Get(model_key, trace.get());
   if (!model.ok()) return FailedFuture<api::EvalResult>(model.status());
   return batcher_.SubmitEvaluate(std::move(model).value(), model_key,
                                  std::move(rows), std::move(labels),
-                                 options);
+                                 options, std::move(trace));
 }
 
-Status Server::Reload(const std::string& model_key) {
-  return store_->Reload(model_key);
+Status Server::Reload(const std::string& model_key,
+                      obs::TraceContext* trace) {
+  return store_->Reload(model_key, trace);
 }
 
 void Server::Shutdown() { batcher_.Shutdown(); }

@@ -56,21 +56,25 @@ class Server {
   /// Queues `rows` for a batched Transform through the model cached under
   /// `model_key` (loaded from that path on first use). Unknown models,
   /// shape mismatches, and post-Shutdown submissions resolve the future
-  /// immediately with a non-OK Status.
-  std::future<StatusOr<linalg::Matrix>> Submit(const std::string& model_key,
-                                               linalg::Matrix rows);
+  /// immediately with a non-OK Status. A non-null `trace` collects
+  /// load/queue/exec spans along the way (obs/trace.h).
+  std::future<StatusOr<linalg::Matrix>> Submit(
+      const std::string& model_key, linalg::Matrix rows,
+      std::shared_ptr<obs::TraceContext> trace = {});
 
   /// Queues `rows` for the batched Transform pass, then clusters and
   /// scores this request's features against `labels`, exactly like
   /// api::Model::Evaluate.
   std::future<StatusOr<api::EvalResult>> SubmitEvaluate(
       const std::string& model_key, linalg::Matrix rows,
-      std::vector<int> labels, api::EvalOptions options = {});
+      std::vector<int> labels, api::EvalOptions options = {},
+      std::shared_ptr<obs::TraceContext> trace = {});
 
   /// Hot-swaps `model_key` from disk. Requests already queued (and
   /// batches in flight) finish on the instance they were submitted
   /// against; later submissions see the new one.
-  Status Reload(const std::string& model_key);
+  Status Reload(const std::string& model_key,
+                obs::TraceContext* trace = nullptr);
 
   /// The model cache, exposed for pre-loading and in-memory Put. Shared
   /// with the other replicas when the server sits behind a Router.

@@ -135,6 +135,44 @@ TEST(HistogramTest, MergeWithEmptyIsIdentity) {
   EXPECT_EQ(merged.count, base.count);
   EXPECT_DOUBLE_EQ(merged.sum, base.sum);
   EXPECT_EQ(merged.counts, base.counts);
+  EXPECT_DOUBLE_EQ(merged.min, base.min);
+  EXPECT_DOUBLE_EQ(merged.max, base.max);
+}
+
+TEST(HistogramTest, MinMaxTrackExactExtremes) {
+  Histogram h;
+  // Empty histogram: extremes read as 0 (matching count/sum).
+  EXPECT_DOUBLE_EQ(h.snapshot().min, 0.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().max, 0.0);
+  h.Record(250.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().min, 250.0);
+  EXPECT_DOUBLE_EQ(h.snapshot().max, 250.0);
+  h.Record(12.5);
+  h.Record(9000.0);
+  h.Record(100.0);
+  const Histogram::Snapshot snap = h.snapshot();
+  // Exact, not bucketed: the extremes are the recorded values themselves.
+  EXPECT_DOUBLE_EQ(snap.min, 12.5);
+  EXPECT_DOUBLE_EQ(snap.max, 9000.0);
+}
+
+TEST(HistogramTest, MergeTakesExtremesAcrossReplicas) {
+  Histogram a;
+  Histogram b;
+  a.Record(5.0);
+  a.Record(300.0);
+  b.Record(1.0);
+  b.Record(40.0);
+  Histogram::Snapshot merged = a.snapshot();
+  merged.Merge(b.snapshot());
+  EXPECT_DOUBLE_EQ(merged.min, 1.0);
+  EXPECT_DOUBLE_EQ(merged.max, 300.0);
+  // An empty left side adopts the right side's extremes instead of
+  // folding its 0 sentinel into the min.
+  Histogram::Snapshot from_empty;
+  from_empty.Merge(a.snapshot());
+  EXPECT_DOUBLE_EQ(from_empty.min, 5.0);
+  EXPECT_DOUBLE_EQ(from_empty.max, 300.0);
 }
 
 // Run under TSan in CI (serve-tsan job): concurrent Record must be free
@@ -215,6 +253,28 @@ TEST(RegistryTest, RenderTextFormat) {
   EXPECT_NE(text.find("wait_micros_sum{model=\"enc.mcirbm\"}"),
             std::string::npos)
       << text;
+  EXPECT_NE(text.find("wait_micros_min{model=\"enc.mcirbm\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("wait_micros_max{model=\"enc.mcirbm\"}"),
+            std::string::npos)
+      << text;
+}
+
+TEST(RegistryTest, RenderTextEscapesQuotesAndBackslashesInLabels) {
+  Registry registry;
+  // A hostile-but-legal model key: Windows-ish path with an embedded
+  // quote. Both specials must come out backslash-escaped so the label
+  // stays a single well-formed quoted string.
+  registry.counter("reqs_total", "C:\\models\\\"prod\".mcirbm")
+      .Increment(2);
+  const std::string text = registry.RenderText();
+  EXPECT_NE(
+      text.find(
+          "reqs_total{model=\"C:\\\\models\\\\\\\"prod\\\".mcirbm\"} 2"),
+      std::string::npos)
+      << text;
+  EXPECT_EQ(EscapeLabel("a\\b\"c"), "a\\\\b\\\"c");
 }
 
 }  // namespace

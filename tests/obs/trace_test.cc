@@ -1,0 +1,194 @@
+// obs::TraceStore — sampling cadence, ring-buffer wraparound, snapshot
+// merge across replicas, rendering/JSONL escaping, and concurrent span
+// writers (the last runs under ThreadSanitizer in the serve-tsan CI
+// job, mirroring how batcher flusher threads and the request thread
+// append to one TraceContext).
+#include "obs/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mcirbm::obs {
+namespace {
+
+// Drives one request through the store: sample, span, finish.
+std::shared_ptr<TraceContext> Submit(TraceStore* store,
+                                     std::int64_t start_micros,
+                                     const std::string& op = "transform") {
+  auto trace = store->MaybeStartTrace(op, "", start_micros);
+  if (trace != nullptr) {
+    trace->AddSpan("exec", start_micros + 1, 2, "m.mcirbm", 4);
+    store->Finish(trace, start_micros + 10);
+  }
+  return trace;
+}
+
+TEST(TraceStoreTest, DisabledStoreNeverSamples) {
+  TraceStore store;  // sample_every_n = 0
+  EXPECT_FALSE(store.enabled());
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(store.MaybeStartTrace("transform", "", i), nullptr);
+  }
+  EXPECT_TRUE(store.Recent(10).empty());
+  EXPECT_EQ(store.snapshot().sampled, 0u);
+}
+
+TEST(TraceStoreTest, SamplesEveryNthRequest) {
+  TraceConfig config;
+  config.sample_every_n = 4;
+  TraceStore store(config);
+  ASSERT_TRUE(store.enabled());
+  int sampled = 0;
+  for (int i = 0; i < 40; ++i) {
+    if (Submit(&store, i) != nullptr) ++sampled;
+  }
+  EXPECT_EQ(sampled, 10);
+  const TraceStore::Snapshot snap = store.snapshot();
+  EXPECT_EQ(snap.sampled, 10u);
+  EXPECT_EQ(snap.completed, 10u);
+  EXPECT_EQ(snap.dropped, 0u);
+  EXPECT_EQ(snap.traces.size(), 10u);
+}
+
+TEST(TraceStoreTest, RingEvictsOldestOnWraparound) {
+  TraceConfig config;
+  config.sample_every_n = 1;
+  config.capacity = 4;
+  TraceStore store(config);
+  for (int i = 0; i < 10; ++i) Submit(&store, 100 * i);
+  const TraceStore::Snapshot snap = store.snapshot();
+  EXPECT_EQ(snap.completed, 10u);
+  EXPECT_EQ(snap.dropped, 6u);
+  ASSERT_EQ(snap.traces.size(), 4u);
+  // The survivors are the four newest, oldest first.
+  EXPECT_EQ(snap.traces.front().start_micros, 600);
+  EXPECT_EQ(snap.traces.back().start_micros, 900);
+  // Recent(n) returns the newest min(n, size), still oldest first.
+  const std::vector<Trace> recent = store.Recent(2);
+  ASSERT_EQ(recent.size(), 2u);
+  EXPECT_EQ(recent[0].start_micros, 800);
+  EXPECT_EQ(recent[1].start_micros, 900);
+}
+
+TEST(TraceStoreTest, FinalizeSortsSpansAndClampsDuration) {
+  TraceConfig config;
+  config.sample_every_n = 1;
+  TraceStore store(config);
+  auto trace = store.MaybeStartTrace("transform", "t1", 1000);
+  ASSERT_NE(trace, nullptr);
+  // Appended out of start order, with one negative duration (a clock
+  // hiccup must not produce a negative span).
+  trace->AddSpan("exec", 1300, 50);
+  trace->AddSpan("parse", 1010, -5);
+  trace->AddSpan("queue", 1100, 150);
+  store.Finish(trace, 1400);
+  const std::vector<Trace> recent = store.Recent(1);
+  ASSERT_EQ(recent.size(), 1u);
+  const Trace& sealed = recent[0];
+  EXPECT_EQ(sealed.duration_micros, 400);
+  ASSERT_EQ(sealed.spans.size(), 3u);
+  EXPECT_EQ(sealed.spans[0].name, "parse");
+  EXPECT_EQ(sealed.spans[0].duration_micros, 0);
+  EXPECT_EQ(sealed.spans[1].name, "queue");
+  EXPECT_EQ(sealed.spans[2].name, "exec");
+}
+
+TEST(TraceStoreTest, SnapshotMergeInterleavesReplicasByStartTime) {
+  TraceConfig config;
+  config.sample_every_n = 1;
+  TraceStore a(config);
+  TraceStore b(config);
+  Submit(&a, 100);
+  Submit(&a, 300);
+  Submit(&b, 200);
+  Submit(&b, 400);
+  TraceStore::Snapshot merged = a.snapshot();
+  merged.Merge(b.snapshot());
+  EXPECT_EQ(merged.sampled, 4u);
+  EXPECT_EQ(merged.completed, 4u);
+  ASSERT_EQ(merged.traces.size(), 4u);
+  for (std::size_t i = 0; i + 1 < merged.traces.size(); ++i) {
+    EXPECT_LE(merged.traces[i].start_micros,
+              merged.traces[i + 1].start_micros);
+  }
+}
+
+TEST(TraceStoreTest, JsonlSinkStreamsEveryCompletedTrace) {
+  TraceConfig config;
+  config.sample_every_n = 1;
+  TraceStore store(config);
+  std::vector<std::string> lines;
+  store.SetJsonlSink([&lines](const std::string& line) {
+    lines.push_back(line);
+  });
+  Submit(&store, 10);
+  Submit(&store, 20);
+  ASSERT_EQ(lines.size(), 2u);
+  EXPECT_NE(lines[0].find("\"op\":\"transform\""), std::string::npos)
+      << lines[0];
+  EXPECT_NE(lines[0].find("\"spans\":[{\"name\":\"exec\""),
+            std::string::npos)
+      << lines[0];
+}
+
+TEST(TraceStoreTest, JsonAndTextEscapeQuotesAndBackslashes) {
+  Trace trace;
+  trace.trace_id = 7;
+  trace.op = "transform";
+  trace.tag = "a\"b\\c";
+  TraceSpan span;
+  span.name = "exec";
+  span.model_key = "dir\\\"m\".mcirbm";
+  trace.spans.push_back(span);
+  const std::string json = TraceStore::TraceToJsonLine(trace);
+  EXPECT_NE(json.find("\"id\":\"a\\\"b\\\\c\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"model\":\"dir\\\\\\\"m\\\".mcirbm\""),
+            std::string::npos)
+      << json;
+  const std::string text = TraceStore::RenderTracesText({trace}, "# ");
+  EXPECT_EQ(text.rfind("# trace=7", 0), 0u) << text;
+  EXPECT_NE(text.find("id=\"a\\\"b\\\\c\""), std::string::npos) << text;
+}
+
+// Run under TSan in CI: flusher threads and the request thread append
+// spans to one context concurrently; none may be lost or torn.
+TEST(TraceStoreTest, ConcurrentSpanWritersAndSamplers) {
+  TraceConfig config;
+  config.sample_every_n = 1;
+  config.capacity = 4096;
+  TraceStore store(config);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 200;
+  auto shared = store.MaybeStartTrace("transform", "", 0);
+  ASSERT_NE(shared, nullptr);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&store, &shared, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Half the work hammers the shared context, half exercises the
+        // sample/finish path against the ring concurrently.
+        shared->AddSpan("exec", t * kPerThread + i, 1);
+        Submit(&store, t * kPerThread + i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  store.Finish(shared, kThreads * kPerThread + 1);
+  const TraceStore::Snapshot snap = store.snapshot();
+  EXPECT_EQ(snap.sampled, 1u + kThreads * kPerThread);
+  EXPECT_EQ(snap.completed, snap.sampled);
+  // The shared trace is the newest finish; every appended span arrived.
+  const std::vector<Trace> recent = store.Recent(1);
+  ASSERT_EQ(recent.size(), 1u);
+  EXPECT_EQ(recent[0].spans.size(),
+            static_cast<std::size_t>(kThreads) * kPerThread);
+}
+
+}  // namespace
+}  // namespace mcirbm::obs

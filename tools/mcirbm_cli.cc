@@ -65,6 +65,7 @@
 #include "metrics/external.h"
 #include "parallel/thread_pool.h"
 #include "util/string_util.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -697,6 +698,7 @@ int RunServe(const Args& args) {
                                       "max-inflight", "routing",
                                       "stats-every", "listen",
                                       "handler-threads", "stats-port",
+                                      "trace-sample", "trace-jsonl",
                                       "threads"});
   if (!valid.ok()) return Fail(valid);
   serve::RouterConfig config;
@@ -734,6 +736,12 @@ int RunServe(const Args& args) {
   const int listen_port = args.GetInt("listen", -1);
   const int handler_threads = args.GetInt("handler-threads", 4);
   const int stats_port = args.GetInt("stats-port", -1);
+  const int trace_sample = args.GetInt("trace-sample", 0);
+  const std::string trace_jsonl = args.Get("trace-jsonl", "");
+  if (trace_sample < 0) return Fail("--trace-sample must be >= 0");
+  if (!trace_jsonl.empty() && trace_sample == 0) {
+    return Fail("--trace-jsonl needs --trace-sample N >= 1");
+  }
   if (args.Has("listen") && (listen_port < 0 || listen_port > 65535)) {
     return Fail("--listen must be a port in [0, 65535] (0 = ephemeral)");
   }
@@ -756,7 +764,32 @@ int RunServe(const Args& args) {
 
   InstallServeSignalHandlers();
   serve::Router server(config);
-  serve::RequestExecutor executor(&server);
+  // --trace-sample N: every Nth request carries a span timeline
+  // (obs/trace.h), queryable via op=trace and the --stats-port body;
+  // --trace-jsonl additionally streams each completed trace as one JSON
+  // line. The sink runs under the store's commit lock, so the plain
+  // ofstream needs no extra synchronization.
+  serve::ExecutorConfig executor_config;
+  std::shared_ptr<std::ofstream> trace_jsonl_out;
+  if (trace_sample > 0) {
+    obs::TraceConfig trace_config;
+    trace_config.sample_every_n = static_cast<std::uint64_t>(trace_sample);
+    executor_config.trace_store =
+        std::make_shared<obs::TraceStore>(trace_config);
+    if (!trace_jsonl.empty()) {
+      trace_jsonl_out =
+          std::make_shared<std::ofstream>(trace_jsonl, std::ios::trunc);
+      if (!*trace_jsonl_out) {
+        return Fail("cannot open trace file " + trace_jsonl);
+      }
+      executor_config.trace_store->SetJsonlSink(
+          [trace_jsonl_out](const std::string& json_line) {
+            *trace_jsonl_out << json_line << '\n';
+            trace_jsonl_out->flush();  // tail-able; complete on SIGTERM
+          });
+    }
+  }
+  serve::RequestExecutor executor(&server, executor_config);
   std::mutex stdout_mu;
 
   // --stats-port: a standalone read-only observability endpoint — every
@@ -766,7 +799,7 @@ int RunServe(const Args& args) {
   if (args.Has("stats-port")) {
     stats_endpoint = std::make_unique<net::TextEndpoint>(
         "127.0.0.1", stats_port,
-        [&executor] { return executor.RenderStatsText(); });
+        [&executor] { return executor.RenderStatsAndTracesText(); });
     const Status started = stats_endpoint->Start();
     if (!started.ok()) return Fail(started);
     std::cout << "# stats port=" << stats_endpoint->port() << std::endl;
@@ -793,17 +826,20 @@ int RunServe(const Args& args) {
     const std::string context = "line=" + std::to_string(line_no);
     bool ok = false;
     std::string payload;
+    std::shared_ptr<obs::TraceContext> trace;
     auto request = serve::ParseRequestLine(trimmed);
     if (!request.ok()) {
       payload = serve::RequestExecutor::FormatError(request.status(), "",
                                                     context);
     } else {
-      payload = executor.Execute(request.value(), context, &ok);
+      trace = executor.StartTrace(request.value(), MonotonicMicros());
+      payload = executor.Execute(request.value(), context, &ok, trace);
     }
     {
       std::lock_guard<std::mutex> lock(stdout_mu);
       std::cout << payload << std::flush;
     }
+    executor.FinishTrace(trace);
     if (ok) {
       ++served;
     } else {
@@ -875,7 +911,8 @@ void PrintUsage() {
       "             [--store-capacity N] [--replicas N]\n"
       "             [--max-pending ROWS] [--max-inflight N]\n"
       "             [--routing key_hash|least_loaded] [--stats-every N]\n"
-      "             [--handler-threads N]\n"
+      "             [--handler-threads N] [--trace-sample N]\n"
+      "             [--trace-jsonl <path>]\n"
       "             one key=value request per line (op=transform|evaluate\n"
       "             model=<artifact> data=<csv> [transform=...] [chunk=N]\n"
       "             [clusterer=...] [k=K] [seed=N] [out=<csv>] [id=TAG];\n"
@@ -884,6 +921,12 @@ void PrintUsage() {
       "             op=stats returns live latency histograms + gauges as\n"
       "             name{model=\"k\"} value lines; --stats-every N emits\n"
       "             that snapshot as '# ' comments every N requests;\n"
+      "             --trace-sample N records a span timeline\n"
+      "             (parse/load/queue/exec/format/flush) for every Nth\n"
+      "             request — query with 'op=trace last=K', read the\n"
+      "             recent-trace section of --stats-port, or stream each\n"
+      "             completed trace as JSON with --trace-jsonl <path>;\n"
+      "             op=reload model=<artifact> hot-swaps one artifact;\n"
       "             --routing least_loaded sends idle keys to the\n"
       "             emptiest replica (results identical to key_hash);\n"
       "             overflow beyond --max-pending/--max-inflight rejects\n"
