@@ -1,0 +1,47 @@
+# Configure-time proof that -Wthread-safety is live: a positive control
+# (guarded access under MutexLock) must compile, and a negative probe
+# (the same access without the lock) must NOT. Included only under
+# MCIRBM_THREAD_SAFETY, which already requires clang.
+#
+# This is the compile-fail half of the wrapper test suite — the runtime
+# half is tests/util/mutex_test.cc.
+
+set(_ts_flags
+    -Wthread-safety
+    -Werror=thread-safety-analysis
+    -Werror=thread-safety-attributes
+    -Werror=thread-safety-precise)
+string(REPLACE ";" " " _ts_flags_str "${_ts_flags}")
+
+try_compile(MCIRBM_TS_POSITIVE_OK
+            "${CMAKE_BINARY_DIR}/ts_probe_good"
+            "${CMAKE_CURRENT_SOURCE_DIR}/cmake/thread_safety_probe_good.cc"
+            COMPILE_DEFINITIONS "${_ts_flags_str}"
+            CMAKE_FLAGS
+              "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+            CXX_STANDARD 20
+            CXX_STANDARD_REQUIRED ON)
+if(NOT MCIRBM_TS_POSITIVE_OK)
+  message(FATAL_ERROR
+          "thread-safety positive control failed to compile — the probe "
+          "flags or include paths are broken, so the negative probe "
+          "below would prove nothing")
+endif()
+
+try_compile(MCIRBM_TS_NEGATIVE_OK
+            "${CMAKE_BINARY_DIR}/ts_probe_bad"
+            "${CMAKE_CURRENT_SOURCE_DIR}/cmake/thread_safety_probe_bad.cc"
+            COMPILE_DEFINITIONS "${_ts_flags_str}"
+            CMAKE_FLAGS
+              "-DINCLUDE_DIRECTORIES=${CMAKE_CURRENT_SOURCE_DIR}/src"
+            CXX_STANDARD 20
+            CXX_STANDARD_REQUIRED ON)
+if(MCIRBM_TS_NEGATIVE_OK)
+  message(FATAL_ERROR
+          "thread-safety negative probe COMPILED: an unguarded write to a "
+          "MCIRBM_GUARDED_BY member was accepted, so -Wthread-safety is "
+          "not actually enforcing anything")
+endif()
+
+message(STATUS "clang thread-safety analysis verified "
+               "(positive control compiles, unguarded access rejected)")

@@ -1,0 +1,26 @@
+// Negative probe for cmake/ThreadSafetyCheck.cmake: writes a GUARDED_BY
+// member without holding its mutex. MUST fail to compile under
+// -Wthread-safety -Werror=thread-safety-analysis — if it ever compiles,
+// the analysis is not actually on and the thread-safety gate is
+// worthless, so the configure step errors out.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Bump() { ++count_; }  // unguarded write: the analysis must reject
+
+ private:
+  mcirbm::Mutex mu_;
+  int count_ MCIRBM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Bump();
+  return 0;
+}

@@ -1,0 +1,28 @@
+// Positive control for cmake/ThreadSafetyCheck.cmake: the same guarded
+// access as thread_safety_probe_bad.cc but holding the lock. MUST
+// compile — if it does not, the probe flags or include paths are broken
+// and the negative result from the bad probe proves nothing.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+class Guarded {
+ public:
+  void Bump() {
+    mcirbm::MutexLock lock(mu_);
+    ++count_;
+  }
+
+ private:
+  mcirbm::Mutex mu_;
+  int count_ MCIRBM_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace
+
+int main() {
+  Guarded g;
+  g.Bump();
+  return 0;
+}

@@ -56,7 +56,7 @@ void LineServer::AcceptLoop() {
     auto conn = std::make_shared<Conn>();
     conn->connection = Connection(std::move(accepted).value());
     conn->connection.max_line_bytes = config_.max_line_bytes;
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     conns_.push_back(conn);
     reader_threads_.emplace_back([this, conn] { ReaderLoop(conn); });
   }
@@ -104,7 +104,7 @@ void LineServer::ReaderLoop(std::shared_ptr<Conn> conn) {
     }
     bool duplicate = false;
     {
-      std::lock_guard<std::mutex> state(conn->state_mu);
+      MutexLock state(conn->state_mu);
       if (conn->inflight_ids.insert(request.id).second) {
         ++conn->inflight;
       } else {
@@ -123,16 +123,16 @@ void LineServer::ReaderLoop(std::shared_ptr<Conn> conn) {
       continue;
     }
     {
-      std::lock_guard<std::mutex> lock(queue_mu_);
+      MutexLock lock(queue_mu_);
       queue_.push_back(Task{conn, request, start, std::move(trace)});
     }
-    queue_cv_.notify_one();
+    queue_cv_.NotifyOne();
   }
   // Connection drain: everything this reader admitted to the handler
   // pool must finish and flush before the socket closes.
   {
-    std::unique_lock<std::mutex> state(conn->state_mu);
-    conn->idle_cv.wait(state, [&] { return conn->inflight == 0; });
+    MutexLock state(conn->state_mu);
+    while (conn->inflight != 0) conn->idle_cv.Wait(conn->state_mu);
   }
   CloseConn(conn);
 }
@@ -141,9 +141,8 @@ void LineServer::HandlerLoop() {
   for (;;) {
     Task task;
     {
-      std::unique_lock<std::mutex> lock(queue_mu_);
-      queue_cv_.wait(lock,
-                     [this] { return handlers_stop_ || !queue_.empty(); });
+      MutexLock lock(queue_mu_);
+      while (!handlers_stop_ && queue_.empty()) queue_cv_.Wait(queue_mu_);
       if (queue_.empty()) return;  // only when handlers_stop_
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -156,12 +155,12 @@ void LineServer::HandlerLoop() {
       // the reader's duplicate check: a client that reads its response
       // and immediately reuses the id must never be rejected, and a
       // duplicate sent before the response is written must always be.
-      std::lock_guard<std::mutex> state(task.conn->state_mu);
+      MutexLock state(task.conn->state_mu);
       WriteResponse(task.conn, payload, ok, task.start_micros, task.trace);
       task.conn->inflight_ids.erase(task.request.id);
       --task.conn->inflight;
     }
-    task.conn->idle_cv.notify_all();
+    task.conn->idle_cv.NotifyAll();
   }
 }
 
@@ -180,7 +179,7 @@ void LineServer::WriteResponse(
     const std::shared_ptr<obs::TraceContext>& trace) {
   const std::int64_t flush_start = MonotonicMicros();
   {
-    std::lock_guard<std::mutex> lock(conn->write_mu);
+    MutexLock lock(conn->write_mu);
     if (!conn->write_failed) {
       const Status written = conn->connection.WriteAll(payload);
       // A dead peer stops further writes on this connection but must not
@@ -206,7 +205,7 @@ void LineServer::WriteResponse(
 }
 
 void LineServer::CloseConn(const std::shared_ptr<Conn>& conn) {
-  std::lock_guard<std::mutex> lock(conn->io_mu);
+  MutexLock lock(conn->io_mu);
   if (conn->closed) return;
   conn->closed = true;
   conn->connection.Close();
@@ -214,7 +213,7 @@ void LineServer::CloseConn(const std::shared_ptr<Conn>& conn) {
 }
 
 void LineServer::Drain() {
-  std::lock_guard<std::mutex> drain_lock(drain_mu_);
+  MutexLock drain_lock(drain_mu_);
   if (drained_.load(std::memory_order_acquire)) return;
   stopping_.store(true, std::memory_order_release);
   if (started_.load(std::memory_order_acquire)) {
@@ -223,21 +222,25 @@ void LineServer::Drain() {
     // 2. Unblock every reader; each finishes its in-flight requests,
     //    flushes their responses, and closes its connection.
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       for (const auto& conn : conns_) {
-        std::lock_guard<std::mutex> io(conn->io_mu);
+        MutexLock io(conn->io_mu);
         if (!conn->closed) conn->connection.ShutdownRead();
       }
     }
+    // Holding conns_mu_ across the joins is safe: the accept thread (the
+    // only other writer) is already joined, and readers never take
+    // conns_mu_.
+    MutexLock lock(conns_mu_);
     for (std::thread& reader : reader_threads_) reader.join();
   }
   // 3. Handlers exit once the queue is empty; readers are joined, so no
   //    new work can arrive.
   {
-    std::lock_guard<std::mutex> lock(queue_mu_);
+    MutexLock lock(queue_mu_);
     handlers_stop_ = true;
   }
-  queue_cv_.notify_all();
+  queue_cv_.NotifyAll();
   for (std::thread& handler : handler_threads_) handler.join();
   listener_.Close();
   drained_.store(true, std::memory_order_release);

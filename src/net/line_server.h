@@ -51,12 +51,10 @@
 #define MCIRBM_NET_LINE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <thread>
@@ -66,7 +64,9 @@
 #include "obs/registry.h"
 #include "serve/executor.h"
 #include "serve/request.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mcirbm::net {
 
@@ -137,18 +137,21 @@ class LineServer {
     Connection connection;
     /// Serializes response writes so pipelined responses never
     /// interleave mid-payload.
-    std::mutex write_mu;
-    bool write_failed = false;  // under write_mu: peer gone, stop writing
+    Mutex write_mu;
+    /// Peer gone, stop writing.
+    bool write_failed MCIRBM_GUARDED_BY(write_mu) = false;
     /// Lifecycle: in-flight pipelined requests + id dedup set. Lock
     /// order: state_mu may be taken before write_mu (handlers couple the
-    /// response write with the id release), never the reverse.
-    std::mutex state_mu;
-    std::condition_variable idle_cv;
-    std::set<std::string> inflight_ids;
-    std::size_t inflight = 0;
+    /// response write with the id release), never the reverse — the
+    /// ACQUIRED_BEFORE declaration has the thread-safety beta pass
+    /// check that order at compile time.
+    Mutex state_mu MCIRBM_ACQUIRED_BEFORE(write_mu);
+    CondVar idle_cv;
+    std::set<std::string> inflight_ids MCIRBM_GUARDED_BY(state_mu);
+    std::size_t inflight MCIRBM_GUARDED_BY(state_mu) = 0;
     /// Serializes Shutdown*/Close against each other (socket.h contract).
-    std::mutex io_mu;
-    bool closed = false;  // under io_mu
+    Mutex io_mu;
+    bool closed MCIRBM_GUARDED_BY(io_mu) = false;
   };
 
   /// One id-tagged request dispatched to the handler pool.
@@ -186,17 +189,17 @@ class LineServer {
   std::atomic<bool> started_{false};
   std::atomic<bool> stopping_{false};
   std::atomic<bool> drained_{false};
-  std::mutex drain_mu_;  // serializes concurrent Drain calls
+  Mutex drain_mu_;  // serializes concurrent Drain calls
 
   std::thread accept_thread_;
-  std::mutex conns_mu_;
-  std::vector<std::shared_ptr<Conn>> conns_;
-  std::vector<std::thread> reader_threads_;
+  Mutex conns_mu_;
+  std::vector<std::shared_ptr<Conn>> conns_ MCIRBM_GUARDED_BY(conns_mu_);
+  std::vector<std::thread> reader_threads_ MCIRBM_GUARDED_BY(conns_mu_);
 
-  std::mutex queue_mu_;
-  std::condition_variable queue_cv_;
-  std::deque<Task> queue_;
-  bool handlers_stop_ = false;  // under queue_mu_
+  Mutex queue_mu_;
+  CondVar queue_cv_;
+  std::deque<Task> queue_ MCIRBM_GUARDED_BY(queue_mu_);
+  bool handlers_stop_ MCIRBM_GUARDED_BY(queue_mu_) = false;
   std::vector<std::thread> handler_threads_;
 
   obs::Registry registry_;

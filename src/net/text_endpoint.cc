@@ -37,7 +37,7 @@ void TextEndpoint::AcceptLoop() {
     Connection connection(std::move(accepted).value());
     // Best effort: a client that hangs up mid-payload is its own
     // problem; the next connection gets a fresh render.
-    connection.WriteAll(renderer_());
+    static_cast<void>(connection.WriteAll(renderer_()));
     connection.ShutdownWrite();
     connection.Close();
   }

@@ -48,14 +48,14 @@ std::string FormatValue(double value) {
 
 Counter& Registry::counter(const std::string& name,
                            const std::string& label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = counters_[{name, label}];
   if (slot == nullptr) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& Registry::gauge(const std::string& name, const std::string& label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = gauges_[{name, label}];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
   return *slot;
@@ -63,7 +63,7 @@ Gauge& Registry::gauge(const std::string& name, const std::string& label) {
 
 Histogram& Registry::histogram(const std::string& name,
                                const std::string& label) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto& slot = histograms_[{name, label}];
   if (slot == nullptr) slot = std::make_unique<Histogram>();
   return *slot;
@@ -71,7 +71,7 @@ Histogram& Registry::histogram(const std::string& name,
 
 MetricsSnapshot Registry::snapshot() const {
   MetricsSnapshot snap;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (const auto& [key, counter] : counters_) {
     snap.counters[key] = counter->Value();
   }

@@ -29,12 +29,13 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <utility>
 
 #include "obs/histogram.h"
 #include "obs/metrics.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mcirbm::obs {
 
@@ -81,10 +82,12 @@ class Registry {
   std::string RenderText() const { return snapshot().RenderText(); }
 
  private:
-  mutable std::mutex mu_;
-  std::map<MetricKey, std::unique_ptr<Counter>> counters_;
-  std::map<MetricKey, std::unique_ptr<Gauge>> gauges_;
-  std::map<MetricKey, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<MetricKey, std::unique_ptr<Counter>> counters_
+      MCIRBM_GUARDED_BY(mu_);
+  std::map<MetricKey, std::unique_ptr<Gauge>> gauges_ MCIRBM_GUARDED_BY(mu_);
+  std::map<MetricKey, std::unique_ptr<Histogram>> histograms_
+      MCIRBM_GUARDED_BY(mu_);
 };
 
 }  // namespace mcirbm::obs

@@ -23,12 +23,12 @@ void TraceContext::AddSpan(const std::string& name, std::int64_t start_micros,
   span.duration_micros = duration_micros < 0 ? 0 : duration_micros;
   span.model_key = model_key;
   span.rows = rows;
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   trace_.spans.push_back(std::move(span));
 }
 
 Trace TraceContext::Finalize(std::int64_t end_micros) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   trace_.duration_micros =
       end_micros < trace_.start_micros ? 0 : end_micros - trace_.start_micros;
   std::stable_sort(trace_.spans.begin(), trace_.spans.end(),
@@ -57,7 +57,7 @@ void TraceStore::Finish(const std::shared_ptr<TraceContext>& context,
   if (context == nullptr) return;
   Trace trace = context->Finalize(end_micros);
   completed_.Increment();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (jsonl_sink_) jsonl_sink_(TraceToJsonLine(trace));
   ring_.push_back(std::move(trace));
   while (ring_.size() > config_.capacity) {
@@ -67,7 +67,7 @@ void TraceStore::Finish(const std::shared_ptr<TraceContext>& context,
 }
 
 std::vector<Trace> TraceStore::Recent(std::size_t n) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const std::size_t take = std::min(n, ring_.size());
   return std::vector<Trace>(ring_.end() - static_cast<std::ptrdiff_t>(take),
                             ring_.end());
@@ -76,7 +76,7 @@ std::vector<Trace> TraceStore::Recent(std::size_t n) const {
 TraceStore::Snapshot TraceStore::snapshot() const {
   Snapshot snap;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     snap.traces.assign(ring_.begin(), ring_.end());
   }
   snap.sampled = sampled_.Value();
@@ -97,7 +97,7 @@ void TraceStore::Snapshot::Merge(const Snapshot& other) {
 }
 
 void TraceStore::SetJsonlSink(std::function<void(const std::string&)> sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   jsonl_sink_ = std::move(sink);
 }
 

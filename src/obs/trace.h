@@ -38,11 +38,12 @@
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/registry.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mcirbm::obs {
 
@@ -98,8 +99,8 @@ class TraceContext {
   Trace Finalize(std::int64_t end_micros);
 
  private:
-  mutable std::mutex mu_;
-  Trace trace_;
+  mutable Mutex mu_;
+  Trace trace_ MCIRBM_GUARDED_BY(mu_);
 };
 
 /// Sampling decision + ring buffer of completed traces. Thread-safe.
@@ -166,9 +167,9 @@ class TraceStore {
   std::atomic<std::uint64_t> request_counter_{0};
   std::atomic<std::uint64_t> next_trace_id_{1};
 
-  mutable std::mutex mu_;
-  std::deque<Trace> ring_;  // oldest at front
-  std::function<void(const std::string&)> jsonl_sink_;
+  mutable Mutex mu_;
+  std::deque<Trace> ring_ MCIRBM_GUARDED_BY(mu_);  // oldest at front
+  std::function<void(const std::string&)> jsonl_sink_ MCIRBM_GUARDED_BY(mu_);
 
   Registry registry_;
   Counter& sampled_ = registry_.counter("trace_sampled_total");

@@ -36,8 +36,8 @@ std::unique_ptr<ThreadPool>& GlobalSlot() {
   return pool;
 }
 
-std::mutex& GlobalMutex() {
-  static std::mutex mu;
+Mutex& GlobalMutex() {
+  static Mutex mu;
   return mu;
 }
 
@@ -52,9 +52,9 @@ struct ThreadPool::Region {
   std::size_t num_tasks = 0;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> completed{0};
-  std::mutex mu;
-  std::condition_variable done_cv;
-  std::exception_ptr error;  // first exception, guarded by mu
+  Mutex mu;
+  CondVar done_cv;
+  std::exception_ptr error MCIRBM_GUARDED_BY(mu);  // first exception
 
   // Claims and runs tasks until none remain. Returns after contributing
   // its completions to `completed`.
@@ -65,14 +65,14 @@ struct ThreadPool::Region {
       try {
         (*fn)(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(mu);
+        MutexLock lock(mu);
         if (!error) error = std::current_exception();
       }
       if (completed.fetch_add(1, std::memory_order_acq_rel) + 1 ==
           num_tasks) {
         // Wake the caller (it may already be draining; harmless).
-        std::lock_guard<std::mutex> lock(mu);
-        done_cv.notify_all();
+        MutexLock lock(mu);
+        done_cv.NotifyAll();
       }
     }
   }
@@ -88,10 +88,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  work_cv_.notify_all();
+  work_cv_.NotifyAll();
   for (std::thread& w : workers_) w.join();
 }
 
@@ -100,8 +100,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::shared_ptr<Region> region;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) work_cv_.Wait(mu_);
       if (shutdown_ && queue_.empty()) return;
       region = queue_.front();
       queue_.pop_front();
@@ -145,13 +145,13 @@ void ThreadPool::Run(std::size_t num_tasks,
   const std::size_t helpers =
       std::min(workers_.size(), num_tasks - 1);
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     for (std::size_t h = 0; h < helpers; ++h) queue_.push_back(region);
   }
   if (helpers == 1) {
-    work_cv_.notify_one();
+    work_cv_.NotifyOne();
   } else {
-    work_cv_.notify_all();
+    work_cv_.NotifyAll();
   }
 
   // The caller participates, then waits for stragglers.
@@ -159,17 +159,17 @@ void ThreadPool::Run(std::size_t num_tasks,
   region->Drain();
   tls_in_parallel_region = false;
   {
-    std::unique_lock<std::mutex> lock(region->mu);
-    region->done_cv.wait(lock, [&] {
-      return region->completed.load(std::memory_order_acquire) ==
-             region->num_tasks;
-    });
+    MutexLock lock(region->mu);
+    while (region->completed.load(std::memory_order_acquire) !=
+           region->num_tasks) {
+      region->done_cv.Wait(region->mu);
+    }
     if (region->error) std::rethrow_exception(region->error);
   }
 }
 
 ThreadPool& ThreadPool::Global() {
-  std::lock_guard<std::mutex> lock(GlobalMutex());
+  MutexLock lock(GlobalMutex());
   std::unique_ptr<ThreadPool>& slot = GlobalSlot();
   if (!slot) slot = std::make_unique<ThreadPool>(0);
   return *slot;
@@ -178,7 +178,7 @@ ThreadPool& ThreadPool::Global() {
 int NumThreads() { return ThreadPool::Global().num_threads(); }
 
 void SetNumThreads(int num_threads) {
-  std::lock_guard<std::mutex> lock(GlobalMutex());
+  MutexLock lock(GlobalMutex());
   GlobalSlot() = std::make_unique<ThreadPool>(num_threads);
 }
 

@@ -24,19 +24,19 @@
 #define MCIRBM_PARALLEL_THREAD_POOL_H_
 
 #include <algorithm>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 #include <vector>
 
 #include "rng/rng.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mcirbm::parallel {
 
@@ -81,10 +81,10 @@ class ThreadPool {
   void WorkerLoop();
 
   std::vector<std::thread> workers_;
-  std::mutex mu_;
-  std::condition_variable work_cv_;
-  std::deque<std::shared_ptr<Region>> queue_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar work_cv_;
+  std::deque<std::shared_ptr<Region>> queue_ MCIRBM_GUARDED_BY(mu_);
+  bool shutdown_ MCIRBM_GUARDED_BY(mu_) = false;
 };
 
 /// Width of the global pool (>= 1).

@@ -2,10 +2,8 @@
 
 #include <algorithm>
 #include <cmath>
-#include <condition_variable>
 #include <deque>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <utility>
 
@@ -14,6 +12,8 @@
 #include "parallel/thread_pool.h"
 #include "util/check.h"
 #include "util/logging.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace mcirbm::rbm {
 
@@ -37,21 +37,21 @@ class BatchPrefetcher {
 
   ~BatchPrefetcher() {
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       abort_ = true;
     }
-    cv_.notify_all();
+    cv_.NotifyAll();
     worker_.join();
   }
 
   /// Blocks until the next batch (in order) is gathered; a gather failure
   /// is delivered exactly once, in its batch position.
   Status Take(linalg::Matrix* out) {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return !ready_.empty(); });
+    MutexLock lock(mu_);
+    while (ready_.empty()) cv_.Wait(mu_);
     Slot slot = std::move(ready_.front());
     ready_.pop_front();
-    cv_.notify_all();
+    cv_.NotifyAll();
     if (!slot.status.ok()) return slot.status;
     *out = std::move(slot.batch);
     return Status::Ok();
@@ -69,22 +69,22 @@ class BatchPrefetcher {
       slot.status = source_.GatherRows(indices, &slot.batch);
       const bool failed = !slot.status.ok();
       {
-        std::unique_lock<std::mutex> lock(mu_);
-        cv_.wait(lock, [this] { return abort_ || ready_.size() < 2; });
+        MutexLock lock(mu_);
+        while (!abort_ && ready_.size() >= 2) cv_.Wait(mu_);
         if (abort_) return;
         ready_.push_back(std::move(slot));
       }
-      cv_.notify_all();
+      cv_.NotifyAll();
       if (failed) return;  // error delivered; stop gathering
     }
   }
 
   const TrainingDataSource& source_;
   const std::vector<std::vector<std::size_t>>& batches_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Slot> ready_;
-  bool abort_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<Slot> ready_ MCIRBM_GUARDED_BY(mu_);
+  bool abort_ MCIRBM_GUARDED_BY(mu_) = false;
   std::thread worker_;
 };
 }  // namespace

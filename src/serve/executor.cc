@@ -61,7 +61,7 @@ RequestExecutor::DatasetCache::Get(const std::string& path,
                                    const std::string& transform) {
   const std::string key = transform + "|" + path;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
   }
@@ -82,7 +82,7 @@ RequestExecutor::DatasetCache::Get(const std::string& path,
     data::BinarizeAtColumnMeanInPlace(&ds.x);
   }
   auto shared = std::make_shared<const data::Dataset>(std::move(ds));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (cache_.size() >= capacity_) {
     cache_.erase(order_.front());
     order_.pop_front();

@@ -44,7 +44,6 @@
 #include <deque>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -53,7 +52,9 @@
 #include "obs/trace.h"
 #include "serve/request.h"
 #include "serve/router.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mcirbm::serve {
 
@@ -139,9 +140,10 @@ class RequestExecutor {
 
    private:
     const std::size_t capacity_;
-    std::mutex mu_;
-    std::map<std::string, std::shared_ptr<const data::Dataset>> cache_;
-    std::deque<std::string> order_;
+    Mutex mu_;
+    std::map<std::string, std::shared_ptr<const data::Dataset>> cache_
+        MCIRBM_GUARDED_BY(mu_);
+    std::deque<std::string> order_ MCIRBM_GUARDED_BY(mu_);
   };
 
   StatusOr<std::string> ExecuteTransform(

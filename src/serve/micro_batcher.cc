@@ -1,7 +1,6 @@
 #include "serve/micro_batcher.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cstring>
 #include <iterator>
 #include <limits>
@@ -69,7 +68,7 @@ Status MicroBatcher::Enqueue(
   }
   const std::int64_t now = MonotonicMicros();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (stopping_) {
       return Status::Unavailable("micro-batcher is shut down");
     }
@@ -164,7 +163,7 @@ Status MicroBatcher::Enqueue(
     registry_->counter("serve_rows_total", key).Increment(accepted_rows);
     UpdateGauges(key);
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
   return Status::Ok();
 }
 
@@ -215,20 +214,20 @@ std::future<StatusOr<api::EvalResult>> MicroBatcher::SubmitEvaluate(
 void MicroBatcher::Shutdown() {
   std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
     // Claim the thread handle under the lock so concurrent Shutdown
     // calls (user + destructor) cannot both join it.
     if (flusher_.joinable()) to_join = std::move(flusher_);
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   if (to_join.joinable()) to_join.join();
 }
 
 void MicroBatcher::FlusherLoop() {
   const std::int64_t queue_wait =
       std::max<std::int64_t>(0, config_.max_queue_micros);
-  std::unique_lock<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   for (;;) {
     bool any_pending = !ready_.empty();
     std::int64_t next_deadline_micros =
@@ -241,7 +240,7 @@ void MicroBatcher::FlusherLoop() {
     }
     if (!any_pending) {
       if (stopping_) return;
-      cv_.wait(lock);
+      cv_.Wait(mu_);
       continue;
     }
 
@@ -301,8 +300,7 @@ void MicroBatcher::FlusherLoop() {
       }
     }
     if (due.empty()) {
-      cv_.wait_for(lock, std::chrono::microseconds(std::max<std::int64_t>(
-                             0, next_deadline_micros - now)));
+      cv_.WaitForMicros(mu_, next_deadline_micros - now);
       continue;
     }
 
@@ -341,14 +339,14 @@ void MicroBatcher::FlusherLoop() {
       }
       UpdateGauges(batch.key);
     }
-    lock.unlock();
+    lock.Unlock();
     for (Batch& batch : due) ExecuteBatch(&batch);
-    lock.lock();
+    lock.Lock();
   }
 }
 
 void MicroBatcher::SettleLoad(const std::string& key, std::size_t rows) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto load_it = key_loads_.find(key);
   if (load_it != key_loads_.end()) {
     load_it->second -= std::min(load_it->second, rows);
@@ -426,22 +424,22 @@ void MicroBatcher::ExecuteBatch(Batch* batch) {
 }
 
 MicroBatcher::Stats MicroBatcher::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 
 std::vector<double> MicroBatcher::latencies_micros() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return latencies_micros_;
 }
 
 std::size_t MicroBatcher::pending_queues() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return queues_.size() + ready_.size();
 }
 
 std::size_t MicroBatcher::key_load(const std::string& key) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   const auto it = key_loads_.find(key);
   return it == key_loads_.end() ? 0 : it->second;
 }

@@ -47,13 +47,11 @@
 #define MCIRBM_SERVE_MICRO_BATCHER_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -62,7 +60,9 @@
 #include "linalg/matrix.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mcirbm::serve {
 
@@ -299,31 +299,37 @@ class MicroBatcher {
                  const std::string& key, linalg::Matrix rows,
                  std::function<void(StatusOr<linalg::Matrix>)> complete,
                  std::shared_ptr<obs::TraceContext> trace);
-  void FlusherLoop();
-  void ExecuteBatch(Batch* batch);
-  /// Refreshes this key's queue-depth / pending-rows gauges. Requires mu_.
-  void UpdateGauges(const std::string& key);
+  void FlusherLoop() MCIRBM_EXCLUDES(mu_);
+  /// Runs one batched pass and completes its requests. Calls SettleLoad,
+  /// so the lock must NOT be held.
+  void ExecuteBatch(Batch* batch) MCIRBM_EXCLUDES(mu_);
+  /// Refreshes this key's queue-depth / pending-rows gauges.
+  void UpdateGauges(const std::string& key) MCIRBM_REQUIRES(mu_);
   /// Removes `rows` from this key's live-load accounting. Called by
   /// ExecuteBatch BEFORE any request future is completed, so a resolved
   /// future implies its rows no longer count toward load(). Takes mu_
   /// itself — call with the lock NOT held.
-  void SettleLoad(const std::string& key, std::size_t rows);
+  void SettleLoad(const std::string& key, std::size_t rows)
+      MCIRBM_EXCLUDES(mu_);
 
   const BatcherConfig config_;
   const std::shared_ptr<obs::Registry> registry_;  // never null
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::map<std::string, Queue> queues_;
-  std::vector<Batch> ready_;  // sealed by Enqueue on model hot-swap
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::map<std::string, Queue> queues_ MCIRBM_GUARDED_BY(mu_);
+  /// Sealed by Enqueue on model hot-swap.
+  std::vector<Batch> ready_ MCIRBM_GUARDED_BY(mu_);
   // Rows accepted but not yet executed, per key and in total (queued +
   // sealed + executing). key_loads_ is guarded by mu_; load_ mirrors its
   // sum atomically so routers can read it without the lock.
-  std::map<std::string, std::size_t> key_loads_;
+  std::map<std::string, std::size_t> key_loads_ MCIRBM_GUARDED_BY(mu_);
   std::atomic<std::size_t> load_{0};
-  bool stopping_ = false;
-  Stats stats_;
-  std::vector<double> latencies_micros_;
-  std::thread flusher_;  // last member: started after everything above
+  bool stopping_ MCIRBM_GUARDED_BY(mu_) = false;
+  Stats stats_ MCIRBM_GUARDED_BY(mu_);
+  std::vector<double> latencies_micros_ MCIRBM_GUARDED_BY(mu_);
+  // Claimed (moved out) under mu_ by Shutdown so user + destructor
+  // cannot both join it. Last member: started after everything above.
+  std::thread flusher_ MCIRBM_GUARDED_BY(mu_);
 };
 
 }  // namespace mcirbm::serve

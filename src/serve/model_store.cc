@@ -37,7 +37,7 @@ void ModelStore::InsertLocked(const std::string& key,
 StatusOr<std::shared_ptr<const api::Model>> ModelStore::Get(
     const std::string& key, obs::TraceContext* trace) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(key);
     if (it != entries_.end()) {
       ++stats_.hits;
@@ -60,7 +60,7 @@ StatusOr<std::shared_ptr<const api::Model>> ModelStore::Get(
   if (trace != nullptr) {
     trace->AddSpan("load", started, finished - started, key);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it != entries_.end()) {
     Touch(key, &it->second);
@@ -73,7 +73,7 @@ StatusOr<std::shared_ptr<const api::Model>> ModelStore::Get(
 std::shared_ptr<const api::Model> ModelStore::Put(const std::string& key,
                                                   api::Model model) {
   auto shared = std::make_shared<const api::Model>(std::move(model));
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   InsertLocked(key, shared);
   return shared;
 }
@@ -88,7 +88,7 @@ Status ModelStore::Reload(const std::string& key, obs::TraceContext* trace) {
   if (trace != nullptr) {
     trace->AddSpan("reload", started, finished - started, key);
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   InsertLocked(key, std::move(loaded).value());
   ++stats_.reloads;
   registry_->counter("store_reloads_total").Increment();
@@ -96,7 +96,7 @@ Status ModelStore::Reload(const std::string& key, obs::TraceContext* trace) {
 }
 
 bool ModelStore::Evict(const std::string& key) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(key);
   if (it == entries_.end()) return false;
   lru_.erase(it->second.lru_it);
@@ -105,12 +105,12 @@ bool ModelStore::Evict(const std::string& key) {
 }
 
 std::size_t ModelStore::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.size();
 }
 
 ModelStore::Stats ModelStore::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return stats_;
 }
 

@@ -27,13 +27,14 @@
 #include <list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "api/model.h"
 #include "obs/registry.h"
 #include "obs/trace.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mcirbm::serve {
 
@@ -100,19 +101,20 @@ class ModelStore {
     std::list<std::string>::iterator lru_it;  // position in lru_
   };
 
-  /// Moves `key` to the most-recently-used position. Requires mu_.
-  void Touch(const std::string& key, Entry* entry);
-  /// Inserts/replaces `key` and evicts past capacity. Requires mu_.
+  /// Moves `key` to the most-recently-used position.
+  void Touch(const std::string& key, Entry* entry) MCIRBM_REQUIRES(mu_);
+  /// Inserts/replaces `key` and evicts past capacity.
   void InsertLocked(const std::string& key,
-                    std::shared_ptr<const api::Model> model);
+                    std::shared_ptr<const api::Model> model)
+      MCIRBM_REQUIRES(mu_);
 
   const std::size_t capacity_;
   const std::shared_ptr<obs::Registry> registry_ =
       std::make_shared<obs::Registry>();
-  mutable std::mutex mu_;
-  std::list<std::string> lru_;  // front = most recently used
-  std::map<std::string, Entry> entries_;
-  Stats stats_;
+  mutable Mutex mu_;
+  std::list<std::string> lru_ MCIRBM_GUARDED_BY(mu_);  // front = MRU
+  std::map<std::string, Entry> entries_ MCIRBM_GUARDED_BY(mu_);
+  Stats stats_ MCIRBM_GUARDED_BY(mu_);
 };
 
 }  // namespace mcirbm::serve

@@ -51,7 +51,7 @@ std::size_t Router::PickReplica(const std::string& key) {
   if (routing_ == RoutingMode::kKeyHash || servers_.size() == 1) {
     return ReplicaFor(key);
   }
-  std::lock_guard<std::mutex> lock(routing_mu_);
+  MutexLock lock(routing_mu_);
   // A key with live load (requests queued, sealed, or executing) on its
   // assigned replica is pinned: moving it would split one model's
   // traffic across batchers and defeat coalescing.

@@ -41,7 +41,6 @@
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
@@ -51,7 +50,9 @@
 #include "serve/micro_batcher.h"
 #include "serve/model_store.h"
 #include "serve/server.h"
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mcirbm::serve {
 
@@ -189,8 +190,9 @@ class Router {
   // An entry is authoritative while the key still has load on that
   // replica (pinned); stale entries are re-resolved on next use and
   // swept once the table outgrows kMaxIdleAssignments.
-  std::mutex routing_mu_;
-  std::map<std::string, std::size_t> assignments_;
+  Mutex routing_mu_;
+  std::map<std::string, std::size_t> assignments_
+      MCIRBM_GUARDED_BY(routing_mu_);
 };
 
 }  // namespace mcirbm::serve

@@ -1,0 +1,135 @@
+// Annotated mutex wrappers — the only lock primitives allowed in src/.
+//
+// Mutex / MutexLock / CondVar wrap the std primitives 1:1 but carry the
+// clang thread-safety capability attributes (util/thread_annotations.h),
+// so every guarded member can declare its lock and the CI thread-safety
+// job rejects unguarded accesses at compile time. Raw std::mutex /
+// std::lock_guard / std::condition_variable are banned in src/ by
+// tools/lint/check_source.py, because they are invisible to the
+// analysis.
+//
+// Usage:
+//
+//   class Cache {
+//    public:
+//     int size() const {
+//       MutexLock lock(mu_);
+//       return entries_;
+//     }
+//    private:
+//     void GrowLocked() MCIRBM_REQUIRES(mu_);   // callee needs the lock
+//     mutable Mutex mu_;
+//     int entries_ MCIRBM_GUARDED_BY(mu_) = 0;
+//   };
+//
+// Condition waits are written as explicit loops so the guarded reads in
+// the predicate stay inside the annotated function (the analysis cannot
+// see through a predicate lambda invoked by the wait internals):
+//
+//   MutexLock lock(mu_);
+//   while (queue_.empty() && !stopping_) cv_.Wait(mu_);
+//
+// MutexLock supports the unlock/relock pattern used by flusher loops
+// (run the slow pass without the lock, reclaim it after):
+//
+//   lock.Unlock();
+//   ExecuteBatch(&batch);   // MCIRBM_EXCLUDES(mu_) — takes mu_ itself
+//   lock.Lock();
+#ifndef MCIRBM_UTIL_MUTEX_H_
+#define MCIRBM_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <chrono>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace mcirbm {
+
+class CondVar;
+
+/// std::mutex with the clang `capability` attribute.
+class MCIRBM_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() MCIRBM_ACQUIRE() { mu_.lock(); }
+  void Unlock() MCIRBM_RELEASE() { mu_.unlock(); }
+  bool TryLock() MCIRBM_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+/// RAII lock over a Mutex (scoped capability). Supports temporary
+/// release via Unlock()/Lock(); the destructor releases only if held.
+class MCIRBM_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) MCIRBM_ACQUIRE(mu) : mu_(mu), held_(true) {
+    mu_.Lock();
+  }
+  ~MutexLock() MCIRBM_RELEASE() {
+    if (held_) mu_.Unlock();
+  }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  /// Releases the lock early (e.g. around a slow batch execution).
+  void Unlock() MCIRBM_RELEASE() {
+    mu_.Unlock();
+    held_ = false;
+  }
+  /// Re-acquires after an early Unlock.
+  void Lock() MCIRBM_ACQUIRE() {
+    mu_.Lock();
+    held_ = true;
+  }
+
+ private:
+  Mutex& mu_;
+  bool held_;
+};
+
+/// Condition variable bound to Mutex. Wait/WaitForMicros require the
+/// caller to hold the mutex — the analysis checks that — and return with
+/// it held again. No predicate overloads on purpose: write the wait loop
+/// in the caller so the predicate's guarded reads are analyzed there.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Atomically releases `mu`, blocks, and re-acquires before returning.
+  /// Spurious wakeups happen; always wait in a `while (!cond)` loop.
+  void Wait(Mutex& mu) MCIRBM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();  // the caller still owns the mutex
+  }
+
+  /// Wait with a timeout; returns false on timeout, true when notified
+  /// (either way the mutex is held again). Negative waits clamp to 0.
+  bool WaitForMicros(Mutex& mu, std::int64_t micros) MCIRBM_REQUIRES(mu) {
+    std::unique_lock<std::mutex> lock(mu.mu_, std::adopt_lock);
+    const auto status = cv_.wait_for(
+        lock, std::chrono::microseconds(micros < 0 ? 0 : micros));
+    lock.release();
+    return status == std::cv_status::no_timeout;
+  }
+
+  void NotifyOne() { cv_.notify_one(); }
+  void NotifyAll() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace mcirbm
+
+#endif  // MCIRBM_UTIL_MUTEX_H_

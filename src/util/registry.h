@@ -7,12 +7,13 @@
 
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
 
+#include "util/mutex.h"
 #include "util/status.h"
+#include "util/thread_annotations.h"
 
 namespace mcirbm {
 
@@ -35,7 +36,7 @@ class NamedRegistry<Result(Args...)> {
     if (name.empty()) {
       return Status::InvalidArgument(noun_ + " name must be non-empty");
     }
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     const auto [it, inserted] = factories_.emplace(name, std::move(factory));
     if (!inserted) {
       return Status::InvalidArgument(noun_ + " '" + name +
@@ -49,7 +50,7 @@ class NamedRegistry<Result(Args...)> {
   Result Create(const std::string& name, Args... args) const {
     Factory factory;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       const auto it = factories_.find(name);
       if (it == factories_.end()) {
         std::string known;
@@ -66,13 +67,13 @@ class NamedRegistry<Result(Args...)> {
   }
 
   bool Contains(const std::string& name) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return factories_.count(name) > 0;
   }
 
   /// Registered names in sorted order.
   std::vector<std::string> ListRegistered() const {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     std::vector<std::string> names;
     names.reserve(factories_.size());
     for (const auto& [name, factory] : factories_) names.push_back(name);
@@ -81,15 +82,19 @@ class NamedRegistry<Result(Args...)> {
 
  protected:
   /// Pre-registration hook for the subclass constructor (built-ins skip
-  /// the Register name checks — they are statically well-formed).
+  /// the Register name checks — they are statically well-formed). Takes
+  /// the lock even though it only runs during construction: base-class
+  /// members get no constructor exemption from the analysis, and the
+  /// uncontended acquire is free at startup.
   void AddBuiltin(const std::string& name, Factory factory) {
+    MutexLock lock(mutex_);
     factories_.emplace(name, std::move(factory));
   }
 
  private:
   std::string noun_;
-  mutable std::mutex mutex_;
-  std::map<std::string, Factory> factories_;
+  mutable Mutex mutex_;
+  std::map<std::string, Factory> factories_ MCIRBM_GUARDED_BY(mutex_);
 };
 
 }  // namespace mcirbm

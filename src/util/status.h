@@ -24,7 +24,7 @@ enum class StatusCode {
 const char* StatusCodeName(StatusCode code);
 
 /// Value-semantic result of a fallible operation: a code plus a message.
-class Status {
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -65,7 +65,7 @@ class Status {
 
 /// Holds either a value of T or an error Status.
 template <typename T>
-class StatusOr {
+class [[nodiscard]] StatusOr {
  public:
   StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
   StatusOr(Status status) : status_(std::move(status)) {      // NOLINT

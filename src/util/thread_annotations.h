@@ -1,0 +1,82 @@
+// Clang thread-safety analysis macros (no-ops on other compilers).
+//
+// These wrap the attributes documented at
+// https://clang.llvm.org/docs/ThreadSafetyAnalysis.html so that the
+// concurrency invariants of the serve stack are machine-checked at
+// compile time: a member declared MCIRBM_GUARDED_BY(mu_) cannot be read
+// or written without holding mu_, a helper declared
+// MCIRBM_REQUIRES(mu_) cannot be called without it, and a function
+// declared MCIRBM_EXCLUDES(mu_) cannot be called while holding it
+// (deadlock guard for helpers that take the lock themselves).
+//
+// The annotations only do anything on util::Mutex / util::MutexLock
+// (util/mutex.h), which carry the CAPABILITY / SCOPED_CAPABILITY
+// attributes — raw std::mutex is invisible to the analysis, which is why
+// tools/lint/check_source.py bans it outside the wrapper header.
+//
+// The CI `thread-safety` job compiles the tree with clang and
+// `-Wthread-safety -Werror`; under gcc every macro expands to nothing.
+#ifndef MCIRBM_UTIL_THREAD_ANNOTATIONS_H_
+#define MCIRBM_UTIL_THREAD_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define MCIRBM_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define MCIRBM_THREAD_ANNOTATION_(x)  // no-op off clang
+#endif
+
+/// Declares a class to be a lockable capability ("mutex").
+#define MCIRBM_CAPABILITY(x) MCIRBM_THREAD_ANNOTATION_(capability(x))
+
+/// Declares an RAII class that acquires a capability in its constructor
+/// and releases it in its destructor.
+#define MCIRBM_SCOPED_CAPABILITY MCIRBM_THREAD_ANNOTATION_(scoped_lockable)
+
+/// Declares that a data member is protected by the given capability.
+#define MCIRBM_GUARDED_BY(x) MCIRBM_THREAD_ANNOTATION_(guarded_by(x))
+
+/// Declares that the data pointed to by a pointer member is protected by
+/// the given capability (the pointer itself is not).
+#define MCIRBM_PT_GUARDED_BY(x) MCIRBM_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+/// Declares that the calling thread must hold the given capability(ies).
+#define MCIRBM_REQUIRES(...) \
+  MCIRBM_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the capability and does not release
+/// it (the caller must not already hold it).
+#define MCIRBM_ACQUIRE(...) \
+  MCIRBM_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+
+/// Declares that a function releases a held capability.
+#define MCIRBM_RELEASE(...) \
+  MCIRBM_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+
+/// Declares that a function acquires the capability iff it returns the
+/// given value (TryLock).
+#define MCIRBM_TRY_ACQUIRE(...) \
+  MCIRBM_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+/// Declares that the caller must NOT hold the given capability — the
+/// function (or a callee) acquires it itself, so calling it with the
+/// lock held would self-deadlock.
+#define MCIRBM_EXCLUDES(...) \
+  MCIRBM_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+/// Lock-order declarations on mutex members: checked under
+/// -Wthread-safety-beta (the CI job runs it as an advisory pass).
+#define MCIRBM_ACQUIRED_BEFORE(...) \
+  MCIRBM_THREAD_ANNOTATION_(acquired_before(__VA_ARGS__))
+#define MCIRBM_ACQUIRED_AFTER(...) \
+  MCIRBM_THREAD_ANNOTATION_(acquired_after(__VA_ARGS__))
+
+/// Declares that a function returns a reference to the given capability.
+#define MCIRBM_RETURN_CAPABILITY(x) \
+  MCIRBM_THREAD_ANNOTATION_(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function. Use only with
+/// a comment explaining why the invariant holds anyway.
+#define MCIRBM_NO_THREAD_SAFETY_ANALYSIS \
+  MCIRBM_THREAD_ANNOTATION_(no_thread_safety_analysis)
+
+#endif  // MCIRBM_UTIL_THREAD_ANNOTATIONS_H_

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy — bugprone-*, concurrency-*,
+# performance-*) over every src/ translation unit using the
+# compile_commands.json that CMake exports unconditionally.
+#
+# Usage:
+#   tools/lint/run_clang_tidy.sh [build-dir] [-- extra clang-tidy args]
+#
+# Examples:
+#   tools/lint/run_clang_tidy.sh                 # uses ./build
+#   tools/lint/run_clang_tidy.sh out -- -fix     # apply suggested fixes
+#
+# Exit status: non-zero if clang-tidy reports any warning (CI treats the
+# profile as a gate; local runs can eyeball the output).
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/../.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+shift || true
+if [[ "${1:-}" == "--" ]]; then shift; fi
+
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
+  echo "error: ${tidy_bin} not found on PATH (set CLANG_TIDY to override)" >&2
+  exit 2
+fi
+
+compdb="${build_dir}/compile_commands.json"
+if [[ ! -f "${compdb}" ]]; then
+  echo "error: ${compdb} missing — configure first:" >&2
+  echo "  cmake -B ${build_dir} -S ${repo_root}" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(cd "${repo_root}" && ls src/*/*.cc | sort)
+echo "clang-tidy over ${#sources[@]} src/ files (config: .clang-tidy)"
+
+status=0
+for src in "${sources[@]}"; do
+  if ! "${tidy_bin}" -p "${build_dir}" --quiet "$@" \
+       "${repo_root}/${src}"; then
+    status=1
+  fi
+done
+
+if [[ ${status} -ne 0 ]]; then
+  echo "clang-tidy: findings above must be fixed (or excluded with a" >&2
+  echo "documented rationale in .clang-tidy)" >&2
+fi
+exit ${status}
